@@ -1,0 +1,88 @@
+//! Ablation benches: the design choices DESIGN.md calls out, measured.
+//!
+//! * duplicate-unused vs parked branches in the MV switch (ref [3]'s
+//!   redundant-ON behaviour) — same function, different ON-transistor
+//!   activity;
+//! * serial vs parallel exhaustive equivalence sweeps;
+//! * energy break-even between SRAM (leaky, cheap writes) and FGFP
+//!   (non-volatile, expensive writes) configuration storage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_core::{McSwitch, MvFgfpMcSwitch};
+use mcfpga_cost::energy::{breakeven_rewrites, total_config_energy_j};
+use mcfpga_core::ArchKind;
+use mcfpga_device::TechParams;
+use mcfpga_mvl::CtxSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // redundant-ON activity, parked vs duplicated
+    let mut g = c.benchmark_group("ablation/mv_on_activity");
+    for duplicate in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if duplicate { "duplicate" } else { "parked" }),
+            &duplicate,
+            |b, &duplicate| {
+                let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+                sw.set_duplicate_unused(duplicate);
+                let cfgs: Vec<CtxSet> = CtxSet::enumerate_all(4).unwrap().collect();
+                b.iter(|| {
+                    let mut on = 0usize;
+                    for cfg in &cfgs {
+                        sw.configure(cfg).unwrap();
+                        for ctx in 0..4 {
+                            on += sw.on_fgmos_count(ctx).unwrap();
+                        }
+                    }
+                    black_box(on)
+                });
+            },
+        );
+    }
+    g.finish();
+
+    // serial vs parallel exhaustive sweep at C = 12
+    let mut g = c.benchmark_group("ablation/equivalence_sweep_c16");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(mcfpga_bench::parallel_exhaustive_equivalence(16, threads))
+                });
+            },
+        );
+    }
+    g.finish();
+
+    // energy model evaluation (and print the break-even table once)
+    let p = TechParams::default();
+    println!("## energy break-even (rewrites before FGFP loses)");
+    for hours in [24.0, 24.0 * 30.0, 24.0 * 365.0] {
+        println!(
+            "  deployment {:>6.0} h: {} rewrites",
+            hours,
+            breakeven_rewrites(4, hours, &p).unwrap()
+        );
+    }
+    c.bench_function("ablation/energy_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for arch in ArchKind::all() {
+                for rewrites in [1u64, 100, 10_000] {
+                    acc += total_config_energy_j(arch, 4, 24.0 * 365.0, rewrites, &p);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

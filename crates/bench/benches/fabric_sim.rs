@@ -1,0 +1,64 @@
+//! X4 — fabric-level workload: temporally partitioned adder mapped across
+//! contexts, then executed (the end-to-end use case the MC-FPGA exists for).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_fabric::temporal::{execute, implement, partition};
+use mcfpga_fabric::{netlist_ir::generators, Fabric, FabricParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fabric/map_adder3_4ctx", |b| {
+        let nl = generators::ripple_adder(3).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        b.iter(|| {
+            let mut fabric = Fabric::new(FabricParams {
+                width: 4,
+                height: 4,
+                channel_width: 3,
+                ..FabricParams::default()
+            })
+            .unwrap();
+            black_box(implement(&mut fabric, &part, 17).unwrap().len())
+        });
+    });
+
+    c.bench_function("fabric/execute_adder3_4ctx", |b| {
+        let nl = generators::ripple_adder(3).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        let mut fabric = Fabric::new(FabricParams {
+            width: 4,
+            height: 4,
+            channel_width: 3,
+            ..FabricParams::default()
+        })
+        .unwrap();
+        implement(&mut fabric, &part, 17).unwrap();
+        let ins = vec![
+            ("a0", true),
+            ("a1", false),
+            ("a2", true),
+            ("b0", true),
+            ("b1", true),
+            ("b2", false),
+            ("cin", false),
+        ];
+        b.iter(|| black_box(execute(&fabric, &part, &ins).unwrap()));
+    });
+
+    c.bench_function("fabric/bitstream_roundtrip", |b| {
+        let nl = generators::parity_tree(8).unwrap();
+        let mut fabric = Fabric::new(FabricParams::default()).unwrap();
+        mcfpga_fabric::route::implement_netlist(&mut fabric, &nl, 0, 5).unwrap();
+        b.iter(|| {
+            let bits = mcfpga_fabric::bitstream::pack(&fabric);
+            black_box(mcfpga_fabric::bitstream::unpack(bits).unwrap().crosspoint_count())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 3 — window decomposition throughput: all 4-context functions, plus
+//! random 64-context ON-sets (the configuration-compile path of the MV
+//! switch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_mvl::{decompose_windows, CtxSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mcfpga_bench::fig3_report());
+    c.bench_function("fig3/decompose_all_c4_functions", |b| {
+        let sets: Vec<CtxSet> = CtxSet::enumerate_all(4).unwrap().collect();
+        b.iter(|| {
+            let mut windows = 0usize;
+            for s in &sets {
+                windows += decompose_windows(black_box(s)).len();
+            }
+            black_box(windows)
+        });
+    });
+    c.bench_function("fig3/decompose_random_c64", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sets: Vec<CtxSet> = (0..256)
+            .map(|_| CtxSet::from_mask(64, rng.random_range(0..u64::MAX)).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut windows = 0usize;
+            for s in &sets {
+                windows += decompose_windows(black_box(s)).len();
+            }
+            black_box(windows)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 7 — hybrid MV/B-CSS generation: prints the waveform panels and
+//! times line-value generation over long schedules (the broadcast path that
+//! runs at every context switch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_css::waveform::trace_hybrid;
+use mcfpga_css::{HybridCssGen, Schedule};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mcfpga_bench::fig7_report());
+    let mut g = c.benchmark_group("fig7/trace_hybrid");
+    for contexts in [4usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(contexts),
+            &contexts,
+            |b, &contexts| {
+                let gen = HybridCssGen::new(contexts).unwrap();
+                let sched = Schedule::random(contexts, 1024, 5).unwrap();
+                b.iter(|| black_box(trace_hybrid(&gen, &sched).unwrap().len()));
+            },
+        );
+    }
+    g.finish();
+
+    c.bench_function("fig7/toggles_between_all_pairs_c64", |b| {
+        let gen = HybridCssGen::new(64).unwrap();
+        b.iter(|| {
+            let mut t = 0usize;
+            for a in 0..64 {
+                for bb in 0..64 {
+                    t += gen.toggles_between(a, bb).unwrap();
+                }
+            }
+            black_box(t)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 11 — designated-row remapping: times the mapping algorithm and the
+//! shared-column netlist verification on the paper's 10×10 block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_mvl::CtxSet;
+use mcfpga_switchblock::column::SharedColumn;
+use mcfpga_switchblock::{remap_to_designated_rows, RouteSet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mcfpga_bench::fig11_report());
+    c.bench_function("fig11/remap_10x10_4ctx", |b| {
+        let routes = RouteSet::random_permutations(10, 4, 77).unwrap();
+        b.iter(|| black_box(remap_to_designated_rows(&routes).unwrap().designated.len()));
+    });
+    c.bench_function("fig11/remap_64x64_8ctx", |b| {
+        let routes = RouteSet::random_permutations(64, 8, 78).unwrap();
+        b.iter(|| black_box(remap_to_designated_rows(&routes).unwrap().designated.len()));
+    });
+    c.bench_function("fig11/shared_column_simulate", |b| {
+        let on = CtxSet::from_ctxs(4, [0, 3]).unwrap();
+        let col = SharedColumn::build(10, 4, &on).unwrap();
+        b.iter(|| black_box(col.simulate().unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! X1 — scaling sweeps: transistor counts and latency vs context count and
+//! block size (the quantitative form of the paper's "high scalability").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_core::timing::TimingParams;
+use mcfpga_cost::sweep;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mcfpga_bench::scaling_report());
+    println!("{}", mcfpga_bench::latency_report());
+    c.bench_function("scaling/contexts_sweep", |b| {
+        b.iter(|| black_box(sweep::contexts_sweep(&sweep::STANDARD_CONTEXTS)));
+    });
+    c.bench_function("scaling/sb_size_sweep", |b| {
+        let ks: Vec<usize> = (1..=64).collect();
+        b.iter(|| black_box(sweep::sb_size_sweep(&ks, 4)));
+    });
+    c.bench_function("scaling/latency_sweep", |b| {
+        let p = TimingParams::default();
+        b.iter(|| black_box(sweep::latency_sweep(&sweep::STANDARD_CONTEXTS, &p)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

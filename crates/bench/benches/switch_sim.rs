@@ -1,0 +1,88 @@
+//! X5 — switch-level simulation throughput: netlist-backed evaluation of
+//! each architecture's MC-switch across contexts (how fast the silicon
+//! model runs, which bounds every higher-level experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_core::{HybridMcSwitch, McSwitch, MvFgfpMcSwitch};
+use mcfpga_css::HybridCssGen;
+use mcfpga_device::TechParams;
+use mcfpga_mvl::{CtxSet, Level};
+use mcfpga_netlist::SwitchSim;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // hybrid switch, netlist-level, all contexts per iteration
+    let mut g = c.benchmark_group("switch_sim/netlist_eval");
+    for contexts in [4usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("hybrid", contexts),
+            &contexts,
+            |b, &contexts| {
+                let mut sw = HybridMcSwitch::new(contexts).unwrap();
+                sw.configure(&CtxSet::from_ctxs(contexts, (0..contexts).step_by(2)).unwrap())
+                    .unwrap();
+                let nl = sw.build_netlist().unwrap();
+                let gen = HybridCssGen::new(contexts).unwrap();
+                let in_net = nl.find_net("in").unwrap();
+                let out_net = nl.find_net("out").unwrap();
+                b.iter(|| {
+                    let mut sim = SwitchSim::new(&nl, TechParams::default());
+                    let mut on = 0usize;
+                    for ctx in 0..contexts {
+                        for line in gen.lines() {
+                            let name = line.name(gen.blocks());
+                            if nl.find_control(&name).is_some() {
+                                sim.bind_mv_named(&name, gen.line_value_at(line, ctx).unwrap())
+                                    .unwrap();
+                            }
+                        }
+                        sim.evaluate().unwrap();
+                        on += usize::from(sim.connected(in_net, out_net));
+                    }
+                    black_box(on)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mv_fgfp", contexts),
+            &contexts,
+            |b, &contexts| {
+                let mut sw = MvFgfpMcSwitch::new(contexts).unwrap();
+                sw.configure(&CtxSet::from_ctxs(contexts, (0..contexts).step_by(2)).unwrap())
+                    .unwrap();
+                let nl = sw.build_netlist().unwrap();
+                let in_net = nl.find_net("in").unwrap();
+                let out_net = nl.find_net("out").unwrap();
+                b.iter(|| {
+                    let mut sim = SwitchSim::new(&nl, TechParams::default());
+                    let mut on = 0usize;
+                    for ctx in 0..contexts {
+                        sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8)).unwrap();
+                        let blocks = contexts / 4;
+                        let mut bit = 0;
+                        let mut blk = ctx / 4;
+                        let mut lv = blocks;
+                        while lv > 1 {
+                            sim.bind_bin_named(&format!("S{}", bit + 2), blk & 1 == 1).unwrap();
+                            sim.bind_bin_named(&format!("nS{}", bit + 2), blk & 1 == 0).unwrap();
+                            blk >>= 1;
+                            bit += 1;
+                            lv /= 2;
+                        }
+                        sim.evaluate().unwrap();
+                        on += usize::from(sim.connected(in_net, out_net));
+                    }
+                    black_box(on)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 1 — builds and configures each MC-switch architecture, asserting
+//! the paper's transistor counts, and times configuration + full-function
+//! query (the per-switch machinery the table is about).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_core::{AnySwitch, ArchKind, McSwitch};
+use mcfpga_mvl::CtxSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    assert!(mcfpga_bench::paper_numbers_hold());
+    println!("{}", mcfpga_bench::table1_report());
+    let mut g = c.benchmark_group("table1/switch_configure_query");
+    for arch in ArchKind::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arch:?}")),
+            &arch,
+            |b, &arch| {
+                let mut sw = AnySwitch::build(arch, 4).unwrap();
+                let cfgs: Vec<CtxSet> = CtxSet::enumerate_all(4).unwrap().collect();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let cfg = &cfgs[i % cfgs.len()];
+                    i += 1;
+                    sw.configure(cfg).unwrap();
+                    let mut on = 0usize;
+                    for ctx in 0..4 {
+                        on += usize::from(sw.is_on(ctx).unwrap());
+                    }
+                    black_box(on)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 2 — the 10×10 multi-context switch block: asserts the paper's
+//! counts (3100/400/240) and times full block configuration from random
+//! per-context permutation routes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_core::ArchKind;
+use mcfpga_switchblock::{RouteSet, SwitchBlock};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    assert!(mcfpga_bench::paper_numbers_hold());
+    println!("{}", mcfpga_bench::table2_report());
+    let mut g = c.benchmark_group("table2/sb_configure_10x10");
+    for arch in ArchKind::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arch:?}")),
+            &arch,
+            |b, &arch| {
+                let mut sb = SwitchBlock::new(arch, 10, 10, 4).unwrap();
+                let routes = RouteSet::random_permutations(10, 4, 7).unwrap();
+                b.iter(|| {
+                    sb.configure(&routes).unwrap();
+                    black_box(sb.transistor_count())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro            # everything
+//! repro table1     # one artifact
+//! repro --list     # available artifact names
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for e in mcfpga_bench::EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+    let pick = |name: &str| -> Option<String> {
+        Some(match name.trim_start_matches("--") {
+            "table1" => mcfpga_bench::table1_report(),
+            "table2" => mcfpga_bench::table2_report(),
+            "fig1" => mcfpga_bench::fig1_report(),
+            "fig2" => mcfpga_bench::fig2_report(),
+            "fig3" => mcfpga_bench::fig3_report(),
+            "fig4" => mcfpga_bench::fig4_report(),
+            "fig5" | "fig6" => mcfpga_bench::fig5_fig6_report(),
+            "fig7" => mcfpga_bench::fig7_report(),
+            "fig8" => mcfpga_bench::fig8_report(),
+            "fig9" | "fig10" => mcfpga_bench::fig9_fig10_report(),
+            "fig11" => mcfpga_bench::fig11_report(),
+            "scaling" => mcfpga_bench::scaling_report(),
+            "redundancy" => mcfpga_bench::redundancy_report(),
+            "power" => mcfpga_bench::power_report(),
+            "latency" => mcfpga_bench::latency_report(),
+            "equivalence" => mcfpga_bench::equivalence_report(),
+            _ => return None,
+        })
+    };
+    if args.is_empty() {
+        println!("{}", mcfpga_bench::full_report());
+        return;
+    }
+    for a in &args {
+        match pick(a) {
+            Some(r) => println!("{r}"),
+            None => {
+                eprintln!("unknown artifact '{a}' — try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

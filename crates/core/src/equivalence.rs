@@ -1,0 +1,110 @@
+//! Cross-architecture equivalence checking.
+//!
+//! The three MC-switch architectures are meant to be drop-in replacements:
+//! for any configured ON-set, all three must conduct in exactly the same
+//! contexts. This module checks that claim — exhaustively for small context
+//! counts, by sampling for large ones — and is reused by the integration
+//! tests and the `repro` harness.
+
+use crate::hybrid_switch::HybridMcSwitch;
+use crate::mv_switch::MvFgfpMcSwitch;
+use crate::sram_switch::SramMcSwitch;
+use crate::traits::McSwitch;
+use crate::CoreError;
+use mcfpga_mvl::CtxSet;
+
+/// A disagreement between two architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// The configuration under which they disagreed.
+    pub on_set: CtxSet,
+    /// The context where conduction differed.
+    pub ctx: usize,
+    /// `(architecture label, observed conduction)` for each switch.
+    pub observed: Vec<(&'static str, bool)>,
+}
+
+/// Builds the three architectures for `contexts` contexts.
+pub fn build_all(contexts: usize) -> Result<Vec<Box<dyn McSwitch>>, CoreError> {
+    Ok(vec![
+        Box::new(SramMcSwitch::new(contexts)?),
+        Box::new(MvFgfpMcSwitch::new(contexts)?),
+        Box::new(HybridMcSwitch::new(contexts)?),
+    ])
+}
+
+/// Checks one configuration across all three architectures; returns
+/// mismatches (empty = agreement).
+pub fn check_config(
+    switches: &mut [Box<dyn McSwitch>],
+    on_set: &CtxSet,
+) -> Result<Vec<Mismatch>, CoreError> {
+    for sw in switches.iter_mut() {
+        sw.configure(on_set)?;
+    }
+    let mut mismatches = Vec::new();
+    for ctx in 0..on_set.contexts() {
+        let expected = on_set.get(ctx);
+        let observed: Vec<(&'static str, bool)> = switches
+            .iter()
+            .map(|sw| {
+                (
+                    sw.arch().label(),
+                    sw.is_on(ctx).expect("configured switch"),
+                )
+            })
+            .collect();
+        if observed.iter().any(|(_, on)| *on != expected) {
+            mismatches.push(Mismatch {
+                on_set: *on_set,
+                ctx,
+                observed,
+            });
+        }
+    }
+    Ok(mismatches)
+}
+
+/// Exhaustive equivalence over all `2^contexts` configurations
+/// (`contexts ≤ 16` to stay tractable). Returns total configurations checked.
+pub fn check_exhaustive(contexts: usize) -> Result<usize, CoreError> {
+    assert!(contexts <= 16, "exhaustive check limited to 16 contexts");
+    let mut switches = build_all(contexts)?;
+    let mut checked = 0;
+    for s in CtxSet::enumerate_all(contexts).map_err(|_| CoreError::BadContextCount(contexts))? {
+        let mismatches = check_config(&mut switches, &s)?;
+        assert!(
+            mismatches.is_empty(),
+            "architectures disagree on {s}: {mismatches:?}"
+        );
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_4_contexts() {
+        assert_eq!(check_exhaustive(4).unwrap(), 16);
+    }
+
+    #[test]
+    fn exhaustive_8_contexts() {
+        assert_eq!(check_exhaustive(8).unwrap(), 256);
+    }
+
+    #[test]
+    fn exhaustive_16_contexts() {
+        assert_eq!(check_exhaustive(16).unwrap(), 65_536);
+    }
+
+    #[test]
+    fn check_config_reports_agreement() {
+        let mut switches = build_all(4).unwrap();
+        let s = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+        assert!(check_config(&mut switches, &s).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,438 @@
+//! The proposed hybrid MV/B MC-switch (paper Figs. 9–10).
+//!
+//! Per 4-context block, **two FGMOSs** in parallel between the routing wires:
+//!
+//! * `Tr1` is armed when `S0 = 1` — it owns contexts `{1, 3}` of the block;
+//! * `Tr2` is armed when `S0 = 0` — it owns contexts `{0, 2}`.
+//!
+//! Each FGMOS's gate is wired (by the per-switch/column select network) to
+//! one of its polarity's two broadcast lines — `pol·Vs` or `pol·¬Vs` — and
+//! its floating gate is programmed with an **up-threshold** on the
+//! five-valued rail. Because the line is gated to level 0 whenever the
+//! polarity (or the 4-context block, for C > 4) does not match, a single
+//! threshold simultaneously checks the binary *and* the MV condition:
+//! "Threshold operation for 'AND-ing' the MV-CSS and the binary one
+//! implements the same function as 'AND-ing' two window literals" (§3).
+//!
+//! The four per-unit configurations:
+//!
+//! | ON subset of `{lo, hi}` | line      | threshold            |
+//! |--------------------------|-----------|----------------------|
+//! | `{}`                     | `pol·Vs`  | parked (never)       |
+//! | `{lo}`                   | `pol·¬Vs` | `¬Vs(lo) = 5−Vs(lo)` |
+//! | `{hi}`                   | `pol·Vs`  | `Vs(hi)`             |
+//! | `{lo, hi}`               | `pol·Vs`  | `Vs(lo)`             |
+//!
+//! Scaling (Fig. 10): more blocks are simply **more parallel FGMOS pairs**
+//! — block gating happens in the shared generator, so no per-switch MUX is
+//! ever added: `T(C) = C/2`. The 2-transistor line-select network per FGMOS
+//! is accounted separately ([`HybridMcSwitch::select_transistors`]) because
+//! a switch block shares it along each column (Fig. 11, Table 2).
+
+use crate::traits::{ArchKind, McSwitch};
+use crate::CoreError;
+use mcfpga_css::{HybridCssGen, LineId};
+use mcfpga_device::{Fgmos, FgmosMode, TechParams};
+use mcfpga_mvl::{CtxSet, Level};
+use mcfpga_netlist::{ControlKind, DeviceKind, Netlist};
+
+/// Configuration of one FGMOS unit (one polarity of one block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitProgram {
+    /// Never conducts (parked threshold).
+    Off,
+    /// Conducts only in the unit's low context: watch `pol·¬Vs`, threshold
+    /// `5 − Vs(lo)`.
+    LoOnly,
+    /// Conducts only in the unit's high context: watch `pol·Vs`, threshold
+    /// `Vs(hi)`.
+    HiOnly,
+    /// Conducts in both: watch `pol·Vs`, threshold `Vs(lo)`.
+    Both,
+}
+
+/// One FGMOS unit: polarity `s0` of block `block`.
+#[derive(Debug, Clone)]
+struct Unit {
+    block: usize,
+    s0: bool,
+    program: UnitProgram,
+}
+
+impl Unit {
+    /// Contexts this unit owns: `{4·block + s0, 4·block + s0 + 2}`.
+    fn lo_ctx(&self) -> usize {
+        4 * self.block + usize::from(self.s0)
+    }
+    fn hi_ctx(&self) -> usize {
+        self.lo_ctx() + 2
+    }
+
+    /// Which broadcast line the unit's gate watches.
+    fn line(&self) -> LineId {
+        LineId {
+            block: self.block,
+            s0_polarity: self.s0,
+            inverted: matches!(self.program, UnitProgram::LoOnly),
+        }
+    }
+
+    /// The up-threshold programmed into the floating gate, if any.
+    fn threshold(&self) -> Option<Level> {
+        let lo_vs = Level::encode_ctx(self.lo_ctx() % 4);
+        let hi_vs = Level::encode_ctx(self.hi_ctx() % 4);
+        match self.program {
+            UnitProgram::Off => None,
+            UnitProgram::LoOnly => Some(lo_vs.invert(mcfpga_mvl::Radix::FIVE)),
+            UnitProgram::HiOnly => Some(hi_vs),
+            UnitProgram::Both => Some(lo_vs),
+        }
+    }
+}
+
+/// Proposed hybrid MV/B multi-context switch.
+#[derive(Debug, Clone)]
+pub struct HybridMcSwitch {
+    contexts: usize,
+    gen: HybridCssGen,
+    units: Vec<Unit>,
+    config: Option<CtxSet>,
+    params: TechParams,
+}
+
+impl HybridMcSwitch {
+    /// Creates a switch for `contexts` contexts (multiple of 4, ≤ 64).
+    pub fn new(contexts: usize) -> Result<Self, CoreError> {
+        let gen = HybridCssGen::new(contexts)?;
+        let mut units = Vec::with_capacity(contexts / 2);
+        for block in 0..gen.blocks() {
+            for s0 in [true, false] {
+                units.push(Unit {
+                    block,
+                    s0,
+                    program: UnitProgram::Off,
+                });
+            }
+        }
+        Ok(HybridMcSwitch {
+            contexts,
+            gen,
+            units,
+            config: None,
+            params: TechParams::default(),
+        })
+    }
+
+    /// Closed-form transistor count `C/2` (FGMOS only).
+    #[must_use]
+    pub fn transistor_count_for(contexts: usize) -> usize {
+        contexts / 2
+    }
+
+    /// Per-switch line-select transistors (2 per FGMOS). In a crossbar
+    /// switch block these are **shared along a column** (Fig. 11), which is
+    /// why Table 1 reports 2 transistors and Table 2 reports `K²·C/2 + K·C`.
+    #[must_use]
+    pub fn select_transistors_for(contexts: usize) -> usize {
+        contexts // 2 per FGMOS × C/2 FGMOS
+    }
+
+    /// Select-network transistors of this instance.
+    #[must_use]
+    pub fn select_transistors(&self) -> usize {
+        Self::select_transistors_for(self.contexts)
+    }
+
+    /// The program of each FGMOS unit (block-major, `S0=1` first).
+    #[must_use]
+    pub fn unit_programs(&self) -> Vec<UnitProgram> {
+        self.units.iter().map(|u| u.program).collect()
+    }
+
+    /// How many FGMOSs conduct in context `ctx` — the exclusivity invariant
+    /// says this is **0 or 1**, never more.
+    pub fn on_fgmos_count(&self, ctx: usize) -> Result<usize, CoreError> {
+        self.check_ctx(ctx)?;
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        let mut on = 0;
+        for u in &self.units {
+            if self.unit_conducts(u, ctx)? {
+                on += 1;
+            }
+        }
+        Ok(on)
+    }
+
+    fn unit_conducts(&self, u: &Unit, ctx: usize) -> Result<bool, CoreError> {
+        let Some(threshold) = u.threshold() else {
+            return Ok(false);
+        };
+        let gate = self.gen.line_value_at(u.line(), ctx)?;
+        Ok(gate >= threshold)
+    }
+
+    fn check_ctx(&self, ctx: usize) -> Result<(), CoreError> {
+        if ctx >= self.contexts {
+            Err(CoreError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The CSS generator this switch listens to.
+    #[must_use]
+    pub fn generator(&self) -> &HybridCssGen {
+        &self.gen
+    }
+
+    /// The physical programming plan of the current configuration: per
+    /// FGMOS unit, the broadcast line its gate watches and the up-threshold
+    /// to program (`None` = park). Used by the noisy-programming flow
+    /// ([`crate::programmed`]) and by hardware back-ends.
+    #[must_use]
+    pub fn unit_plan(&self) -> Vec<(LineId, Option<Level>)> {
+        self.units.iter().map(|u| (u.line(), u.threshold())).collect()
+    }
+}
+
+impl McSwitch for HybridMcSwitch {
+    fn arch(&self) -> ArchKind {
+        ArchKind::Hybrid
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn configure(&mut self, on_set: &CtxSet) -> Result<(), CoreError> {
+        if on_set.contexts() != self.contexts {
+            return Err(CoreError::DomainMismatch {
+                config: on_set.contexts(),
+                switch: self.contexts,
+            });
+        }
+        for u in &mut self.units {
+            let lo = on_set.get(u.lo_ctx());
+            let hi = on_set.get(u.hi_ctx());
+            u.program = match (lo, hi) {
+                (false, false) => UnitProgram::Off,
+                (true, false) => UnitProgram::LoOnly,
+                (false, true) => UnitProgram::HiOnly,
+                (true, true) => UnitProgram::Both,
+            };
+        }
+        self.config = Some(*on_set);
+        Ok(())
+    }
+
+    fn configured(&self) -> Option<&CtxSet> {
+        self.config.as_ref()
+    }
+
+    fn is_on(&self, ctx: usize) -> Result<bool, CoreError> {
+        self.check_ctx(ctx)?;
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        for u in &self.units {
+            if self.unit_conducts(u, ctx)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn transistor_count(&self) -> usize {
+        self.units.len()
+    }
+
+    fn build_netlist(&self) -> Result<Netlist, CoreError> {
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        let mut nl = Netlist::new();
+        let region = nl.add_region("hybrid-mc-switch");
+        let input = nl.add_net("in");
+        let out = nl.add_net("out");
+        let radix = self.gen.radix();
+        let blocks = self.gen.blocks();
+        // One MV control per broadcast line the configured units watch; the
+        // select network is gate-side support (2 T per FGMOS, shared per
+        // column at the switch-block level).
+        for u in &self.units {
+            let line = u.line();
+            let name = line.name(blocks);
+            let ctrl = nl
+                .find_control(&name)
+                .unwrap_or_else(|| nl.add_control(&name, ControlKind::Mv));
+            match u.threshold() {
+                Some(t) => {
+                    nl.add_programmed_fgmos(
+                        FgmosMode::UpLiteral,
+                        t,
+                        radix,
+                        &self.params,
+                        input,
+                        out,
+                        ctrl,
+                        Some(region),
+                    )?;
+                }
+                None => {
+                    let mut d = Fgmos::new(FgmosMode::UpLiteral);
+                    d.park(radix, &self.params);
+                    nl.add_device(DeviceKind::Fgmos(d), input, out, ctrl, Some(region))?;
+                }
+            }
+        }
+        nl.add_support(
+            Some(region),
+            "line-select network (column-shared in an SB)",
+            0,
+        );
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_netlist::SwitchSim;
+
+    #[test]
+    fn table1_transistor_count() {
+        let sw = HybridMcSwitch::new(4).unwrap();
+        assert_eq!(sw.transistor_count(), 2);
+        assert_eq!(HybridMcSwitch::transistor_count_for(4), 2);
+        assert_eq!(sw.select_transistors(), 4);
+    }
+
+    #[test]
+    fn fig10_scaling_without_mux() {
+        // 8 contexts: two 4-context switches in parallel, no MUX → 4 FGMOS.
+        assert_eq!(HybridMcSwitch::new(8).unwrap().transistor_count(), 4);
+        assert_eq!(HybridMcSwitch::new(16).unwrap().transistor_count(), 8);
+        assert_eq!(HybridMcSwitch::new(64).unwrap().transistor_count(), 32);
+    }
+
+    #[test]
+    fn all_16_functions_of_4_contexts() {
+        let mut sw = HybridMcSwitch::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            sw.configure(&s).unwrap();
+            for ctx in 0..4 {
+                assert_eq!(sw.is_on(ctx).unwrap(), s.get(ctx), "set {s} ctx {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_256_functions_of_8_contexts() {
+        let mut sw = HybridMcSwitch::new(8).unwrap();
+        for s in CtxSet::enumerate_all(8).unwrap() {
+            sw.configure(&s).unwrap();
+            assert_eq!(sw.on_set_evaluated().unwrap(), s, "set {s}");
+        }
+    }
+
+    #[test]
+    fn exclusive_on_invariant_exhaustive() {
+        // The paper's key structural claim: "The proposed MC-switch has only
+        // 2 FGMOSs, each of which is exclusively ON."
+        let mut sw = HybridMcSwitch::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            sw.configure(&s).unwrap();
+            for ctx in 0..4 {
+                let on = sw.on_fgmos_count(ctx).unwrap();
+                assert!(on <= 1, "set {s} ctx {ctx}: {on} FGMOS on");
+                assert_eq!(on == 1, s.get(ctx));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_program_derivation() {
+        let mut sw = HybridMcSwitch::new(4).unwrap();
+        // F = {1,3}: S0=1 unit must be Both; S0=0 unit Off.
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        assert_eq!(
+            sw.unit_programs(),
+            vec![UnitProgram::Both, UnitProgram::Off]
+        );
+        // F = {0}: S0=0 unit LoOnly (watches ¬S0·¬Vs, threshold ¬Vs(0)=4).
+        sw.configure(&CtxSet::from_ctxs(4, [0]).unwrap()).unwrap();
+        assert_eq!(
+            sw.unit_programs(),
+            vec![UnitProgram::Off, UnitProgram::LoOnly]
+        );
+        // F = {2}: S0=0 unit HiOnly (watches ¬S0·Vs, threshold Vs(2)=3).
+        sw.configure(&CtxSet::from_ctxs(4, [2]).unwrap()).unwrap();
+        assert_eq!(
+            sw.unit_programs(),
+            vec![UnitProgram::Off, UnitProgram::HiOnly]
+        );
+    }
+
+    #[test]
+    fn netlist_behaviour_matches_model() {
+        for contexts in [4usize, 8] {
+            let mut sw = HybridMcSwitch::new(contexts).unwrap();
+            for mask in [0b0101usize, 0b1001, 0b1111, 0b0000, 0b0110] {
+                let s = CtxSet::from_mask(contexts, mask as u64).unwrap();
+                sw.configure(&s).unwrap();
+                let nl = sw.build_netlist().unwrap();
+                assert_eq!(nl.transistor_count(), contexts / 2);
+                let mut sim = SwitchSim::new(&nl, TechParams::default());
+                let gen = sw.generator();
+                for ctx in 0..contexts {
+                    // bind every line control to its generated value
+                    for line in gen.lines() {
+                        let name = line.name(gen.blocks());
+                        if nl.find_control(&name).is_some() {
+                            sim.bind_mv_named(&name, gen.line_value_at(line, ctx).unwrap())
+                                .unwrap();
+                        }
+                    }
+                    sim.evaluate().unwrap();
+                    let a = nl.find_net("in").unwrap();
+                    let b = nl.find_net("out").unwrap();
+                    assert_eq!(
+                        sim.connected(a, b),
+                        sw.is_on(ctx).unwrap(),
+                        "contexts={contexts} mask={mask:b} ctx={ctx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn five_valued_rail_thresholds_are_on_rail() {
+        let mut sw = HybridMcSwitch::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            sw.configure(&s).unwrap();
+            for u in &sw.units {
+                if let Some(t) = u.threshold() {
+                    assert!(t.value() >= 1 && t.value() <= 4, "threshold on MV sub-rail");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unconfigured_and_domain_errors() {
+        let sw = HybridMcSwitch::new(4).unwrap();
+        assert_eq!(sw.is_on(0), Err(CoreError::Unconfigured));
+        let mut sw = HybridMcSwitch::new(4).unwrap();
+        assert!(matches!(
+            sw.configure(&CtxSet::full(8).unwrap()),
+            Err(CoreError::DomainMismatch { .. })
+        ));
+        assert!(HybridMcSwitch::new(6).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! # mcfpga-core — the paper's contribution: multi-context switches
+//!
+//! Three interchangeable implementations of the **multi-context switch**
+//! (MC-switch), the programmable cross-point that either connects or isolates
+//! a pair of routing wires depending on the active context:
+//!
+//! | type | paper figure | storage | per-switch transistors (C = 4) |
+//! |------|--------------|---------|--------------------------------|
+//! | [`SramMcSwitch`] | Fig. 2 | C × 6T SRAM + C:1 MUX + pass Tr | 31 |
+//! | [`MvFgfpMcSwitch`] | Figs. 5–6 | window-literal FGMOS pairs (+ MUX per doubling) | 4 |
+//! | [`HybridMcSwitch`] | Figs. 9–10 | 2 FGMOS per 4-context block, **no MUX** | 2 |
+//!
+//! All three implement [`McSwitch`]: configure with an ON-set
+//! ([`mcfpga_mvl::CtxSet`]), then query conduction per context. The
+//! [`equivalence`] module proves the three agree exhaustively; the
+//! [`redundancy`] module quantifies the waste the hybrid signal removes; the
+//! [`timing`] module models context-switch latency (the hybrid switch is the
+//! only one whose depth does not grow with the context count).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod equivalence;
+pub mod hybrid_switch;
+pub mod mv_switch;
+pub mod programmed;
+pub mod redundancy;
+pub mod sram_switch;
+pub mod timing;
+pub mod traits;
+
+pub use hybrid_switch::HybridMcSwitch;
+pub use programmed::ProgrammedHybrid;
+pub use mv_switch::MvFgfpMcSwitch;
+pub use sram_switch::SramMcSwitch;
+pub use traits::{AnySwitch, ArchKind, McSwitch};
+
+/// Errors from MC-switch configuration and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Context out of range.
+    ContextOutOfRange {
+        /// Offending context id.
+        ctx: usize,
+        /// Switch's context count.
+        contexts: usize,
+    },
+    /// Context count unsupported by the architecture.
+    BadContextCount(usize),
+    /// Configuration's context domain does not match the switch.
+    DomainMismatch {
+        /// Domain the configuration was built over.
+        config: usize,
+        /// Domain the switch was built over.
+        switch: usize,
+    },
+    /// Switch queried before being configured.
+    Unconfigured,
+    /// Underlying CSS failure.
+    Css(mcfpga_css::CssError),
+    /// Underlying device failure.
+    Device(mcfpga_device::DeviceError),
+    /// Underlying netlist failure.
+    Netlist(mcfpga_netlist::NetlistError),
+}
+
+impl From<mcfpga_css::CssError> for CoreError {
+    fn from(e: mcfpga_css::CssError) -> Self {
+        CoreError::Css(e)
+    }
+}
+
+impl From<mcfpga_device::DeviceError> for CoreError {
+    fn from(e: mcfpga_device::DeviceError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+impl From<mcfpga_netlist::NetlistError> for CoreError {
+    fn from(e: mcfpga_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::ContextOutOfRange { ctx, contexts } => {
+                write!(f, "context {ctx} out of range ({contexts} contexts)")
+            }
+            CoreError::BadContextCount(c) => write!(f, "unsupported context count {c}"),
+            CoreError::DomainMismatch { config, switch } => {
+                write!(f, "config domain {config} != switch domain {switch}")
+            }
+            CoreError::Unconfigured => write!(f, "switch not configured"),
+            CoreError::Css(e) => write!(f, "css: {e}"),
+            CoreError::Device(e) => write!(f, "device: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

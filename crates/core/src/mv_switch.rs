@@ -1,0 +1,454 @@
+//! The pure multiple-valued FGFP MC-switch of ref [3] (paper Figs. 5–6).
+//!
+//! For 4 contexts (Fig. 5): the switch function is decomposed into at most
+//! two window literals (Fig. 3); each window is a **series pair** of FGMOSs
+//! (up-literal ∧ down-literal, wired-AND) and the two pairs are **parallel**
+//! (wired-OR). Four FGMOSs, always — even when one window (or none) would
+//! do. That provisioned-but-unused hardware, plus transistors that turn ON
+//! without contributing a conducting path, is the redundancy the paper's
+//! hybrid switch eliminates.
+//!
+//! For more contexts (Fig. 6): 4-context blocks are composed with a binary
+//! tree of 2:1 pass MUXes steered by the binary block-select bits, giving
+//! the recurrence `T(2C) = 2·T(C) + 2`, i.e. `T(C) = 3C/2 − 2`.
+
+use crate::traits::{ArchKind, McSwitch};
+use crate::CoreError;
+use mcfpga_device::{FgmosMode, TechParams};
+use mcfpga_mvl::window::decompose_windows;
+use mcfpga_mvl::{CtxSet, Level, Radix, WindowLiteral};
+use mcfpga_netlist::{ControlKind, DeviceKind, NetId, Netlist};
+
+/// Number of parallel window branches per 4-context block.
+const BRANCHES: usize = 2;
+/// Contexts resolved by one block's MV rail.
+const BLOCK: usize = 4;
+
+/// Pure MV-FGFP multi-context switch.
+#[derive(Debug, Clone)]
+pub struct MvFgfpMcSwitch {
+    contexts: usize,
+    /// Per block: two branch windows over the block's local 4-level rail
+    /// (`None` entries = parked branch).
+    blocks: Vec<[WindowLiteral; BRANCHES]>,
+    config: Option<CtxSet>,
+    params: TechParams,
+    /// Ablation knob: when set, unused branches are programmed as
+    /// *duplicates* of the first window instead of parked — the behaviour
+    /// ref [3] describes with "several pass transistors become ON
+    /// redundantly for some configuration patterns". Function-preserving
+    /// (wired-OR is idempotent) but doubles the ON-transistor count for
+    /// single-window configurations.
+    duplicate_unused: bool,
+}
+
+impl MvFgfpMcSwitch {
+    /// Creates a switch for `contexts` contexts (4, 8, 16, 32 or 64).
+    pub fn new(contexts: usize) -> Result<Self, CoreError> {
+        if !Self::supported(contexts) {
+            return Err(CoreError::BadContextCount(contexts));
+        }
+        Ok(MvFgfpMcSwitch {
+            contexts,
+            blocks: vec![[WindowLiteral::never(); BRANCHES]; contexts / BLOCK],
+            config: None,
+            params: TechParams::default(),
+            duplicate_unused: false,
+        })
+    }
+
+    /// Enables/disables the ref-[3] duplicate-unused-branch ablation; takes
+    /// effect at the next [`McSwitch::configure`].
+    pub fn set_duplicate_unused(&mut self, on: bool) {
+        self.duplicate_unused = on;
+    }
+
+    fn supported(contexts: usize) -> bool {
+        (4..=64).contains(&contexts)
+            && contexts.is_multiple_of(BLOCK)
+            && (contexts / BLOCK).is_power_of_two()
+    }
+
+    /// Closed-form transistor count `3·C/2 − 2`.
+    #[must_use]
+    pub fn transistor_count_for(contexts: usize) -> usize {
+        3 * contexts / 2 - 2
+    }
+
+    /// The local (4-level) rail windows programmed into block `b`.
+    #[must_use]
+    pub fn block_windows(&self, b: usize) -> [WindowLiteral; BRANCHES] {
+        self.blocks[b]
+    }
+
+    /// Number of FGMOS devices (excludes the MUX tree): `C` of them.
+    #[must_use]
+    pub fn fgmos_count(&self) -> usize {
+        self.blocks.len() * BRANCHES * 2
+    }
+
+    /// Number of 2:1 pass MUXes in the doubling tree: `C/4 − 1`.
+    #[must_use]
+    pub fn mux_count(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// Branches actually used (non-parked) by the current configuration.
+    #[must_use]
+    pub fn branches_used(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .filter(|w| !w.is_never())
+            .count()
+    }
+
+    /// Provisioned-but-parked FGMOS transistors under the current
+    /// configuration — the Fig. 5 area redundancy ("it requires 4 FGMOSs
+    /// even when the function of the MC-switch is a single window literal").
+    #[must_use]
+    pub fn parked_transistors(&self) -> usize {
+        (self.blocks.len() * BRANCHES - self.branches_used()) * 2
+    }
+
+    /// How many individual FGMOSs are ON (conducting as devices) in context
+    /// `ctx`, whether or not they contribute a source-drain path. The
+    /// redundancy of ref [3]: "several pass transistors become ON
+    /// redundantly for some configuration patterns".
+    pub fn on_fgmos_count(&self, ctx: usize) -> Result<usize, CoreError> {
+        self.check_ctx(ctx)?;
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        let level = Level::new((ctx % BLOCK) as u8);
+        let mut on = 0;
+        // Every block sees the broadcast rail; inactive blocks' devices still
+        // switch (their path is cut downstream by the MUX tree).
+        for windows in &self.blocks {
+            for w in windows {
+                if let Some((up, down)) = w.as_literal_pair() {
+                    use mcfpga_mvl::literal::Literal;
+                    if up.eval(level) {
+                        on += 1;
+                    }
+                    if down.eval(level) {
+                        on += 1;
+                    }
+                }
+            }
+        }
+        Ok(on)
+    }
+
+    fn check_ctx(&self, ctx: usize) -> Result<(), CoreError> {
+        if ctx >= self.contexts {
+            Err(CoreError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The block-local rail radix (four levels, 0..=3).
+    #[must_use]
+    pub fn rail_radix(&self) -> Radix {
+        Radix::new(BLOCK as u8)
+    }
+}
+
+impl McSwitch for MvFgfpMcSwitch {
+    fn arch(&self) -> ArchKind {
+        ArchKind::MvFgfp
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn configure(&mut self, on_set: &CtxSet) -> Result<(), CoreError> {
+        if on_set.contexts() != self.contexts {
+            return Err(CoreError::DomainMismatch {
+                config: on_set.contexts(),
+                switch: self.contexts,
+            });
+        }
+        for (b, slot) in self.blocks.iter_mut().enumerate() {
+            // Restrict the ON-set to this block's four contexts, relabelled
+            // 0..3 on the local rail.
+            let local = CtxSet::from_ctxs(
+                BLOCK,
+                (0..BLOCK).filter(|i| on_set.get(b * BLOCK + i)),
+            )
+            .expect("local domain is 4");
+            let windows = decompose_windows(&local);
+            debug_assert!(windows.len() <= BRANCHES, "4-ctx block needs ≤2 windows");
+            let mut lits = [WindowLiteral::never(); BRANCHES];
+            for (i, w) in windows.iter().enumerate() {
+                lits[i] = WindowLiteral::new(
+                    Level::new(w.lo_ctx as u8),
+                    Level::new(w.hi_ctx as u8),
+                )
+                .expect("lo <= hi");
+            }
+            if self.duplicate_unused && !windows.is_empty() {
+                let first = lits[0];
+                for lit in lits.iter_mut().skip(windows.len()) {
+                    *lit = first;
+                }
+            }
+            *slot = lits;
+        }
+        self.config = Some(*on_set);
+        Ok(())
+    }
+
+    fn configured(&self) -> Option<&CtxSet> {
+        self.config.as_ref()
+    }
+
+    fn is_on(&self, ctx: usize) -> Result<bool, CoreError> {
+        self.check_ctx(ctx)?;
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        use mcfpga_mvl::literal::Literal;
+        let block = ctx / BLOCK;
+        let level = Level::new((ctx % BLOCK) as u8);
+        Ok(self.blocks[block].iter().any(|w| w.eval(level)))
+    }
+
+    fn transistor_count(&self) -> usize {
+        self.fgmos_count() + 2 * self.mux_count()
+    }
+
+    fn build_netlist(&self) -> Result<Netlist, CoreError> {
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        let mut nl = Netlist::new();
+        let region = nl.add_region("mv-fgfp-mc-switch");
+        let input = nl.add_net("in");
+        let out = nl.add_net("out");
+        let rail = nl.add_control("MvRail", ControlKind::Mv);
+        let radix = self.rail_radix();
+
+        // Build each block between `in` and a per-block output net.
+        let mut block_outs: Vec<NetId> = Vec::with_capacity(self.blocks.len());
+        for (b, windows) in self.blocks.iter().enumerate() {
+            let bo = if self.blocks.len() == 1 {
+                out
+            } else {
+                nl.add_net(&format!("blk{b}"))
+            };
+            for (i, w) in windows.iter().enumerate() {
+                let mid = nl.add_net(&format!("b{b}w{i}m"));
+                match w.as_literal_pair() {
+                    Some((up, down)) => {
+                        nl.add_programmed_fgmos(
+                            FgmosMode::UpLiteral,
+                            up.threshold,
+                            radix,
+                            &self.params,
+                            input,
+                            mid,
+                            rail,
+                            Some(region),
+                        )?;
+                        nl.add_programmed_fgmos(
+                            FgmosMode::DownLiteral,
+                            down.threshold,
+                            radix,
+                            &self.params,
+                            mid,
+                            bo,
+                            rail,
+                            Some(region),
+                        )?;
+                    }
+                    None => {
+                        // Parked branch: both devices present, never conduct.
+                        let mut up = mcfpga_device::Fgmos::new(FgmosMode::UpLiteral);
+                        up.park(radix, &self.params);
+                        let mut down = mcfpga_device::Fgmos::new(FgmosMode::DownLiteral);
+                        down.park(radix, &self.params);
+                        nl.add_device(DeviceKind::Fgmos(up), input, mid, rail, Some(region))?;
+                        nl.add_device(DeviceKind::Fgmos(down), mid, bo, rail, Some(region))?;
+                    }
+                }
+            }
+            block_outs.push(bo);
+        }
+
+        // Doubling MUX tree (Fig. 6): level k steered by block-select bit k.
+        let mut layer = block_outs;
+        let mut bit = 0;
+        while layer.len() > 1 {
+            let sel = nl.add_control(&format!("S{}", bit + 2), ControlKind::Binary);
+            let nsel = nl.add_control(&format!("nS{}", bit + 2), ControlKind::Binary);
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for (pair_idx, pair) in layer.chunks_exact(2).enumerate() {
+                let merged = if layer.len() == 2 {
+                    out
+                } else {
+                    nl.add_net(&format!("mux{bit}_{pair_idx}"))
+                };
+                // select=0 → lower block, select=1 → upper block
+                nl.add_device(DeviceKind::NmosPass, pair[0], merged, nsel, Some(region))?;
+                nl.add_device(DeviceKind::NmosPass, pair[1], merged, sel, Some(region))?;
+                next.push(merged);
+            }
+            layer = next;
+            bit += 1;
+        }
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_transistor_count() {
+        let sw = MvFgfpMcSwitch::new(4).unwrap();
+        assert_eq!(sw.transistor_count(), 4);
+        assert_eq!(MvFgfpMcSwitch::transistor_count_for(4), 4);
+    }
+
+    #[test]
+    fn doubling_recurrence() {
+        // T(2C) = 2 T(C) + 2
+        for c in [4usize, 8, 16, 32] {
+            assert_eq!(
+                MvFgfpMcSwitch::transistor_count_for(2 * c),
+                2 * MvFgfpMcSwitch::transistor_count_for(c) + 2
+            );
+        }
+        assert_eq!(MvFgfpMcSwitch::new(8).unwrap().transistor_count(), 10);
+        assert_eq!(MvFgfpMcSwitch::new(8).unwrap().mux_count(), 1);
+    }
+
+    #[test]
+    fn supported_context_counts() {
+        assert!(MvFgfpMcSwitch::new(4).is_ok());
+        assert!(MvFgfpMcSwitch::new(8).is_ok());
+        assert!(MvFgfpMcSwitch::new(64).is_ok());
+        assert!(MvFgfpMcSwitch::new(2).is_err());
+        assert!(MvFgfpMcSwitch::new(12).is_err(), "3 blocks not a tree");
+        assert!(MvFgfpMcSwitch::new(20).is_err());
+    }
+
+    #[test]
+    fn all_16_functions_of_4_contexts() {
+        let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            sw.configure(&s).unwrap();
+            for ctx in 0..4 {
+                assert_eq!(sw.is_on(ctx).unwrap(), s.get(ctx), "set {s} ctx {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_256_functions_of_8_contexts() {
+        let mut sw = MvFgfpMcSwitch::new(8).unwrap();
+        for s in CtxSet::enumerate_all(8).unwrap() {
+            sw.configure(&s).unwrap();
+            assert_eq!(sw.on_set_evaluated().unwrap(), s, "set {s}");
+        }
+    }
+
+    #[test]
+    fn fig3_example_programs_two_windows() {
+        let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        let [w1, w2] = sw.block_windows(0);
+        assert_eq!(w1.bounds(), Some((Level::new(1), Level::new(1))));
+        assert_eq!(w2.bounds(), Some((Level::new(3), Level::new(3))));
+        assert_eq!(sw.branches_used(), 2);
+        assert_eq!(sw.parked_transistors(), 0);
+    }
+
+    #[test]
+    fn single_window_wastes_a_branch() {
+        let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [0, 1, 2]).unwrap())
+            .unwrap();
+        assert_eq!(sw.branches_used(), 1);
+        assert_eq!(sw.parked_transistors(), 2, "half the switch idles");
+        // the motivating case: still 4 transistors provisioned
+        assert_eq!(sw.transistor_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_unused_ablation_preserves_function_but_doubles_on_count() {
+        let f = CtxSet::from_ctxs(4, [0, 1, 2]).unwrap(); // single window
+        let mut parked = MvFgfpMcSwitch::new(4).unwrap();
+        parked.configure(&f).unwrap();
+        let mut dup = MvFgfpMcSwitch::new(4).unwrap();
+        dup.set_duplicate_unused(true);
+        dup.configure(&f).unwrap();
+        for ctx in 0..4 {
+            assert_eq!(dup.is_on(ctx).unwrap(), parked.is_on(ctx).unwrap());
+            assert_eq!(dup.is_on(ctx).unwrap(), f.get(ctx));
+        }
+        // at a conducting context, the duplicated branch doubles the ON count
+        assert_eq!(parked.on_fgmos_count(1).unwrap(), 2);
+        assert_eq!(dup.on_fgmos_count(1).unwrap(), 4);
+        // and all branches are "used", so no parked transistors are reported
+        assert_eq!(dup.parked_transistors(), 0);
+        assert_eq!(parked.parked_transistors(), 2);
+    }
+
+    #[test]
+    fn redundant_on_transistors_exist() {
+        // F = {1,3}: at ctx 3, branch [1,1]'s up-literal (≥1) is ON although
+        // the branch does not conduct — a redundantly-ON transistor.
+        let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        let on = sw.on_fgmos_count(3).unwrap();
+        assert_eq!(on, 3, "2 conducting + 1 redundant");
+    }
+
+    #[test]
+    fn netlist_matches_closed_form_and_behaviour() {
+        use mcfpga_netlist::SwitchSim;
+        let params = TechParams::default();
+        for contexts in [4usize, 8] {
+            let mut sw = MvFgfpMcSwitch::new(contexts).unwrap();
+            let cfg = CtxSet::from_ctxs(contexts, (0..contexts).step_by(2)).unwrap();
+            sw.configure(&cfg).unwrap();
+            let nl = sw.build_netlist().unwrap();
+            assert_eq!(
+                nl.transistor_count(),
+                MvFgfpMcSwitch::transistor_count_for(contexts)
+            );
+            // behavioural equivalence through the switch-level simulator
+            let mut sim = SwitchSim::new(&nl, params.clone());
+            for ctx in 0..contexts {
+                sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8)).unwrap();
+                let blocks = contexts / 4;
+                let mut bit = 0;
+                let mut b = ctx / 4;
+                let mut levels = blocks;
+                while levels > 1 {
+                    sim.bind_bin_named(&format!("S{}", bit + 2), b & 1 == 1).unwrap();
+                    sim.bind_bin_named(&format!("nS{}", bit + 2), b & 1 == 0).unwrap();
+                    b >>= 1;
+                    bit += 1;
+                    levels /= 2;
+                }
+                sim.evaluate().unwrap();
+                let in_net = nl.find_net("in").unwrap();
+                let out_net = nl.find_net("out").unwrap();
+                assert_eq!(
+                    sim.connected(in_net, out_net),
+                    sw.is_on(ctx).unwrap(),
+                    "contexts={contexts} ctx={ctx}"
+                );
+            }
+        }
+    }
+}

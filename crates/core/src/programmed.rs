@@ -1,0 +1,193 @@
+//! The physical programming flow: realising a switch configuration through
+//! the noisy charge-injection [`Programmer`] instead of ideal threshold
+//! placement.
+//!
+//! This closes the loop between the architecture and the device model:
+//! program/verify converges to within `program_tolerance_v`, which is well
+//! inside the half-step rail margin, so a noisily-programmed switch must
+//! behave identically to the ideal one. The flow also accounts endurance
+//! (lifetime pulses) across reconfiguration cycles — the cost of using
+//! floating-gate storage as multi-context configuration memory.
+
+use crate::hybrid_switch::HybridMcSwitch;
+use crate::traits::McSwitch;
+use crate::CoreError;
+use mcfpga_device::{Fgmos, FgmosMode, Programmer};
+use mcfpga_netlist::{ControlKind, DeviceKind, Netlist};
+
+/// Outcome of physically programming one hybrid switch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramStats {
+    /// Programming pulses spent in this pass.
+    pub pulses: u32,
+    /// Largest post-verify threshold error (volts).
+    pub worst_error_v: f64,
+}
+
+/// A hybrid MC-switch whose FGMOSs are real device instances carrying
+/// accumulated charge-injection history.
+#[derive(Debug)]
+pub struct ProgrammedHybrid {
+    model: HybridMcSwitch,
+    devices: Vec<Fgmos>,
+}
+
+impl ProgrammedHybrid {
+    /// Creates the switch with fresh (unprogrammed) devices.
+    pub fn new(contexts: usize) -> Result<Self, CoreError> {
+        let model = HybridMcSwitch::new(contexts)?;
+        let devices = (0..contexts / 2)
+            .map(|_| Fgmos::new(FgmosMode::UpLiteral))
+            .collect();
+        Ok(ProgrammedHybrid { model, devices })
+    }
+
+    /// Programs a configuration through the charge-injection flow.
+    pub fn configure(
+        &mut self,
+        on_set: &mcfpga_mvl::CtxSet,
+        prog: &mut Programmer,
+    ) -> Result<ProgramStats, CoreError> {
+        self.model.configure(on_set)?;
+        let radix = self.model.generator().radix();
+        let mut pulses = 0u32;
+        let mut worst = 0.0f64;
+        for ((_, threshold), dev) in self.model.unit_plan().into_iter().zip(&mut self.devices) {
+            let out = match threshold {
+                Some(t) => prog.program_literal(dev, t, radix)?,
+                None => prog.park(dev, radix)?,
+            };
+            pulses += out.pulses;
+            worst = worst.max(out.error_v);
+        }
+        Ok(ProgramStats {
+            pulses,
+            worst_error_v: worst,
+        })
+    }
+
+    /// The behavioural model (ideal thresholds) this instance was programmed
+    /// from.
+    #[must_use]
+    pub fn model(&self) -> &HybridMcSwitch {
+        &self.model
+    }
+
+    /// Lifetime pulses across all devices (endurance accounting).
+    #[must_use]
+    pub fn total_pulses(&self) -> u64 {
+        self.devices.iter().map(Fgmos::total_pulses).sum()
+    }
+
+    /// Does the *physical* switch conduct in `ctx`? Evaluates the real
+    /// devices against the broadcast line values.
+    pub fn is_on_physical(&self, ctx: usize) -> Result<bool, CoreError> {
+        let gen = self.model.generator();
+        let params = mcfpga_device::TechParams::default();
+        for ((line, _threshold), dev) in self.model.unit_plan().into_iter().zip(&self.devices) {
+            let g = gen.line_value_at(line, ctx)?;
+            if dev.conducts(g, &params)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Builds a netlist whose FGMOS instances are the physically-programmed
+    /// devices (thresholds carry injection noise).
+    pub fn build_netlist(&self) -> Result<Netlist, CoreError> {
+        let gen = self.model.generator();
+        let blocks = gen.blocks();
+        let mut nl = Netlist::new();
+        let region = nl.add_region("programmed-hybrid-switch");
+        let input = nl.add_net("in");
+        let out = nl.add_net("out");
+        for ((line, _), dev) in self.model.unit_plan().into_iter().zip(&self.devices) {
+            let name = line.name(blocks);
+            let ctrl = nl
+                .find_control(&name)
+                .unwrap_or_else(|| nl.add_control(&name, ControlKind::Mv));
+            nl.add_device(DeviceKind::Fgmos(dev.clone()), input, out, ctrl, Some(region))?;
+        }
+        Ok(nl)
+    }
+
+    /// Ages every device by `hours` of retention drift.
+    pub fn age(&mut self, prog: &mut Programmer, hours: f64) {
+        for dev in &mut self.devices {
+            prog.age(dev, hours);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_device::TechParams;
+    use mcfpga_mvl::CtxSet;
+
+    #[test]
+    fn noisy_programming_preserves_behaviour_all_4ctx_configs() {
+        let mut prog = Programmer::new(0xA5, TechParams::default());
+        let mut sw = ProgrammedHybrid::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            let stats = sw.configure(&s, &mut prog).unwrap();
+            assert!(stats.worst_error_v <= prog.params().program_tolerance_v);
+            for ctx in 0..4 {
+                assert_eq!(sw.is_on_physical(ctx).unwrap(), s.get(ctx), "{s} ctx {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn endurance_accumulates_across_reconfigurations() {
+        let mut prog = Programmer::new(7, TechParams::default());
+        let mut sw = ProgrammedHybrid::new(4).unwrap();
+        let a = CtxSet::from_ctxs(4, [0, 1]).unwrap();
+        let b = CtxSet::from_ctxs(4, [2, 3]).unwrap();
+        let mut last = 0;
+        for i in 0..10 {
+            sw.configure(if i % 2 == 0 { &a } else { &b }, &mut prog).unwrap();
+            let now = sw.total_pulses();
+            assert!(now > last, "pulses must accumulate");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn aged_switch_still_correct_within_retention_spec() {
+        let mut prog = Programmer::new(21, TechParams::default());
+        let mut sw = ProgrammedHybrid::new(4).unwrap();
+        let s = CtxSet::from_ctxs(4, [1, 2]).unwrap();
+        sw.configure(&s, &mut prog).unwrap();
+        sw.age(&mut prog, 5.0 * 365.0 * 24.0); // five years
+        for ctx in 0..4 {
+            assert_eq!(sw.is_on_physical(ctx).unwrap(), s.get(ctx));
+        }
+    }
+
+    #[test]
+    fn programmed_netlist_behaves_like_model() {
+        use mcfpga_netlist::SwitchSim;
+        let mut prog = Programmer::new(3, TechParams::default());
+        let mut sw = ProgrammedHybrid::new(8).unwrap();
+        let s = CtxSet::from_ctxs(8, [0, 3, 5, 6]).unwrap();
+        sw.configure(&s, &mut prog).unwrap();
+        let nl = sw.build_netlist().unwrap();
+        let gen = sw.model().generator();
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        let a = nl.find_net("in").unwrap();
+        let b = nl.find_net("out").unwrap();
+        for ctx in 0..8 {
+            for line in gen.lines() {
+                let name = line.name(gen.blocks());
+                if nl.find_control(&name).is_some() {
+                    sim.bind_mv_named(&name, gen.line_value_at(line, ctx).unwrap())
+                        .unwrap();
+                }
+            }
+            sim.evaluate().unwrap();
+            assert_eq!(sim.connected(a, b), s.get(ctx), "ctx {ctx}");
+        }
+    }
+}

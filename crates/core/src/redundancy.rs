@@ -1,0 +1,144 @@
+//! Quantifying the redundancy the hybrid CSS removes (paper §1–§2).
+//!
+//! Two distinct inefficiencies of the pure MV-FGFP switch:
+//!
+//! 1. **Provisioned waste** — the switch always carries `⌈C/2⌉` window
+//!    branches (2 series FGMOSs each) even when the configured function
+//!    needs fewer ("it requires 4 FGMOSs even when the function of the
+//!    MC-switch is a single window literal").
+//! 2. **Redundant ON transistors** — "several pass transistors become ON
+//!    redundantly for some configuration patterns": an up-literal FGMOS of
+//!    a non-conducting branch still turns on whenever the rail exceeds its
+//!    threshold.
+//!
+//! The hybrid switch is exclusive-ON: across *all* configurations and
+//! contexts, at most one FGMOS conducts. [`RedundancyReport`] measures both
+//! effects exhaustively.
+
+use crate::hybrid_switch::HybridMcSwitch;
+use crate::mv_switch::MvFgfpMcSwitch;
+use crate::traits::McSwitch;
+use crate::CoreError;
+use mcfpga_mvl::CtxSet;
+
+/// Aggregate redundancy statistics over every configuration × context of a
+/// context count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyReport {
+    /// Context count analysed.
+    pub contexts: usize,
+    /// Configurations enumerated (`2^contexts`).
+    pub configs: usize,
+    /// Mean ON-FGMOS count per (config, ctx) pair — MV switch.
+    pub mv_mean_on: f64,
+    /// Worst-case simultaneous ON FGMOSs — MV switch.
+    pub mv_max_on: usize,
+    /// Mean ON-FGMOS count — hybrid switch.
+    pub hybrid_mean_on: f64,
+    /// Worst-case simultaneous ON FGMOSs — hybrid switch (always ≤ 1).
+    pub hybrid_max_on: usize,
+    /// Mean parked (wasted) transistors per configuration — MV switch.
+    pub mv_mean_parked: f64,
+    /// Configurations in which at least one MV branch is parked.
+    pub mv_configs_with_waste: usize,
+}
+
+/// Runs the exhaustive redundancy comparison for `contexts ≤ 16`.
+pub fn measure(contexts: usize) -> Result<RedundancyReport, CoreError> {
+    assert!(contexts <= 16, "redundancy measurement is exhaustive");
+    let mut mv = MvFgfpMcSwitch::new(contexts)?;
+    let mut hy = HybridMcSwitch::new(contexts)?;
+    let mut configs = 0usize;
+    let mut mv_on_sum = 0usize;
+    let mut mv_max = 0usize;
+    let mut hy_on_sum = 0usize;
+    let mut hy_max = 0usize;
+    let mut parked_sum = 0usize;
+    let mut wasteful = 0usize;
+    for s in CtxSet::enumerate_all(contexts).map_err(|_| CoreError::BadContextCount(contexts))? {
+        mv.configure(&s)?;
+        hy.configure(&s)?;
+        configs += 1;
+        if mv.parked_transistors() > 0 {
+            wasteful += 1;
+        }
+        parked_sum += mv.parked_transistors();
+        for ctx in 0..contexts {
+            let m = mv.on_fgmos_count(ctx)?;
+            let h = hy.on_fgmos_count(ctx)?;
+            mv_on_sum += m;
+            hy_on_sum += h;
+            mv_max = mv_max.max(m);
+            hy_max = hy_max.max(h);
+        }
+    }
+    let pairs = (configs * contexts) as f64;
+    Ok(RedundancyReport {
+        contexts,
+        configs,
+        mv_mean_on: mv_on_sum as f64 / pairs,
+        mv_max_on: mv_max,
+        hybrid_mean_on: hy_on_sum as f64 / pairs,
+        hybrid_max_on: hy_max,
+        mv_mean_parked: parked_sum as f64 / configs as f64,
+        mv_configs_with_waste: wasteful,
+    })
+}
+
+impl std::fmt::Display for RedundancyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "redundancy over {} contexts ({} configurations):",
+            self.contexts, self.configs
+        )?;
+        writeln!(
+            f,
+            "  MV-FGFP : mean ON FGMOS {:.3}, max {}, mean parked Tr {:.3}, wasteful configs {}",
+            self.mv_mean_on, self.mv_max_on, self.mv_mean_parked, self.mv_configs_with_waste
+        )?;
+        write!(
+            f,
+            "  Hybrid  : mean ON FGMOS {:.3}, max {} (exclusive-ON)",
+            self.hybrid_mean_on, self.hybrid_max_on
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_is_exclusive_on_c4() {
+        let r = measure(4).unwrap();
+        assert_eq!(r.hybrid_max_on, 1);
+        assert!(r.mv_max_on > 1, "MV switch has redundant ON transistors");
+        assert!(r.mv_mean_on > r.hybrid_mean_on);
+    }
+
+    #[test]
+    fn hybrid_is_exclusive_on_c8() {
+        let r = measure(8).unwrap();
+        assert_eq!(r.hybrid_max_on, 1);
+        assert!(r.mv_max_on >= 4);
+    }
+
+    #[test]
+    fn mv_waste_exists_for_most_configs() {
+        let r = measure(4).unwrap();
+        // Of the 16 functions of 4 contexts, only the 5 two-run ones
+        // ({0,2}, {1,3}, {0,3}, {0,1,3}, {0,2,3}) use both branches; the
+        // other 11 park at least one.
+        assert_eq!(r.mv_configs_with_waste, 11);
+        assert!(r.mv_mean_parked > 0.0);
+    }
+
+    #[test]
+    fn hybrid_mean_on_equals_on_probability() {
+        // For the hybrid switch, ON count == 1 exactly when the function is
+        // ON, so the mean equals the fraction of ON (config, ctx) pairs: 1/2.
+        let r = measure(4).unwrap();
+        assert!((r.hybrid_mean_on - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! The conventional SRAM-based MC-switch (paper Fig. 2).
+//!
+//! `C` SRAM bits (one per context) feed a `C:1` pass-transistor MUX whose
+//! select is the binary CSS; the selected configuration bit `G` drives one
+//! pass transistor in the routing path. Transistor count:
+//!
+//! ```text
+//! 6·C  (SRAM)  +  2·(C − 1)  (tree MUX)  +  1  (pass Tr)  =  8·C − 1
+//! ```
+//!
+//! which is **31** for `C = 4` — the first row of Table 1.
+
+use crate::traits::{ArchKind, McSwitch};
+use crate::CoreError;
+use mcfpga_device::{SramCell, TreeMux};
+use mcfpga_mvl::CtxSet;
+use mcfpga_netlist::{ControlKind, DeviceKind, Netlist};
+
+/// SRAM-based multi-context switch.
+#[derive(Debug, Clone)]
+pub struct SramMcSwitch {
+    contexts: usize,
+    cells: Vec<SramCell>,
+    mux: TreeMux,
+    config: Option<CtxSet>,
+}
+
+impl SramMcSwitch {
+    /// Creates a switch for `contexts` contexts (power of two, 2–64).
+    pub fn new(contexts: usize) -> Result<Self, CoreError> {
+        if !(2..=64).contains(&contexts) || !contexts.is_power_of_two() {
+            return Err(CoreError::BadContextCount(contexts));
+        }
+        Ok(SramMcSwitch {
+            contexts,
+            cells: vec![SramCell::new(); contexts],
+            mux: TreeMux::new(contexts).map_err(CoreError::Device)?,
+            config: None,
+        })
+    }
+
+    /// Closed-form transistor count `8·C − 1`.
+    #[must_use]
+    pub fn transistor_count_for(contexts: usize) -> usize {
+        8 * contexts - 1
+    }
+
+    /// The stored configuration bit for `ctx` (what the MUX would output).
+    pub fn stored_bit(&self, ctx: usize) -> Result<bool, CoreError> {
+        if ctx >= self.contexts {
+            return Err(CoreError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            });
+        }
+        Ok(self.cells[ctx].read())
+    }
+
+    /// Simulates supply loss: all configuration bits evaporate (contrast
+    /// with the non-volatile FGFP switches).
+    pub fn power_cycle(&mut self) {
+        for c in &mut self.cells {
+            c.power_down();
+            c.power_up();
+        }
+        self.config = None;
+    }
+
+    /// Static power of the configuration storage.
+    #[must_use]
+    pub fn static_power_w(&self, params: &mcfpga_device::TechParams) -> f64 {
+        self.cells.iter().map(|c| c.static_power_w(params)).sum()
+    }
+}
+
+impl McSwitch for SramMcSwitch {
+    fn arch(&self) -> ArchKind {
+        ArchKind::Sram
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn configure(&mut self, on_set: &CtxSet) -> Result<(), CoreError> {
+        if on_set.contexts() != self.contexts {
+            return Err(CoreError::DomainMismatch {
+                config: on_set.contexts(),
+                switch: self.contexts,
+            });
+        }
+        for ctx in 0..self.contexts {
+            self.cells[ctx].write(on_set.get(ctx));
+        }
+        self.config = Some(*on_set);
+        Ok(())
+    }
+
+    fn configured(&self) -> Option<&CtxSet> {
+        self.config.as_ref()
+    }
+
+    fn is_on(&self, ctx: usize) -> Result<bool, CoreError> {
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        // The binary CSS steers the MUX; the selected SRAM bit is G.
+        let bits: Vec<bool> = self.cells.iter().map(SramCell::read).collect();
+        self.mux
+            .select(&bits, ctx)
+            .map_err(|_| CoreError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            })
+    }
+
+    fn transistor_count(&self) -> usize {
+        self.cells.len() * 6 + self.mux.transistor_count() + 1
+    }
+
+    fn build_netlist(&self) -> Result<Netlist, CoreError> {
+        if self.config.is_none() {
+            return Err(CoreError::Unconfigured);
+        }
+        let mut nl = Netlist::new();
+        let region = nl.add_region("sram-mc-switch");
+        let a = nl.add_net("in");
+        let b = nl.add_net("out");
+        // The selected configuration bit G gates the routing pass transistor.
+        let g = nl.add_control("G", ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, a, b, g, Some(region))?;
+        nl.add_sram_cells(Some(region), self.contexts);
+        nl.add_support(
+            Some(region),
+            "config C:1 tree MUX",
+            self.mux.transistor_count(),
+        );
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_device::TechParams;
+
+    #[test]
+    fn table1_transistor_count() {
+        let sw = SramMcSwitch::new(4).unwrap();
+        assert_eq!(sw.transistor_count(), 31);
+        assert_eq!(SramMcSwitch::transistor_count_for(4), 31);
+    }
+
+    #[test]
+    fn closed_form_matches_instance_for_all_sizes() {
+        for c in [2usize, 4, 8, 16, 32, 64] {
+            let sw = SramMcSwitch::new(c).unwrap();
+            assert_eq!(sw.transistor_count(), SramMcSwitch::transistor_count_for(c));
+        }
+    }
+
+    #[test]
+    fn configure_then_query_all_16_functions() {
+        let mut sw = SramMcSwitch::new(4).unwrap();
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            sw.configure(&s).unwrap();
+            for ctx in 0..4 {
+                assert_eq!(sw.is_on(ctx).unwrap(), s.get(ctx), "set {s} ctx {ctx}");
+            }
+            assert_eq!(sw.on_set_evaluated().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unconfigured_is_an_error() {
+        let sw = SramMcSwitch::new(4).unwrap();
+        assert_eq!(sw.is_on(0), Err(CoreError::Unconfigured));
+    }
+
+    #[test]
+    fn domain_mismatch_rejected() {
+        let mut sw = SramMcSwitch::new(4).unwrap();
+        let cfg8 = CtxSet::full(8).unwrap();
+        assert!(matches!(
+            sw.configure(&cfg8),
+            Err(CoreError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn volatility_on_power_cycle() {
+        let mut sw = SramMcSwitch::new(4).unwrap();
+        sw.configure(&CtxSet::full(4).unwrap()).unwrap();
+        assert!(sw.is_on(2).unwrap());
+        sw.power_cycle();
+        assert_eq!(sw.is_on(2), Err(CoreError::Unconfigured));
+        assert!(!sw.stored_bit(2).unwrap(), "bits lost at power loss");
+    }
+
+    #[test]
+    fn netlist_count_matches_closed_form() {
+        let mut sw = SramMcSwitch::new(4).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        let nl = sw.build_netlist().unwrap();
+        assert_eq!(nl.transistor_count(), 31);
+        assert_eq!(nl.sram_cell_count(), 4);
+        assert_eq!(nl.support_transistor_count(), 6);
+    }
+
+    #[test]
+    fn static_power_scales_with_cells() {
+        let p = TechParams::default();
+        let sw4 = SramMcSwitch::new(4).unwrap();
+        let sw8 = SramMcSwitch::new(8).unwrap();
+        assert!(sw8.static_power_w(&p) > sw4.static_power_w(&p));
+        assert_eq!(sw4.static_power_w(&p), 4.0 * p.sram_leak_w);
+    }
+
+    #[test]
+    fn bad_context_counts() {
+        assert!(SramMcSwitch::new(0).is_err());
+        assert!(SramMcSwitch::new(3).is_err());
+        assert!(SramMcSwitch::new(128).is_err());
+    }
+}

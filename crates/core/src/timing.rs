@@ -1,0 +1,118 @@
+//! Context-switch latency model.
+//!
+//! What limits how fast an MC-FPGA can hop contexts is the depth of logic
+//! between the broadcast CSS and the routing switch's conduction state:
+//!
+//! * **SRAM switch** — the binary CSS must ripple through the `C:1`
+//!   configuration MUX: `log2(C)` pass-transistor stages plus the output
+//!   settle.
+//! * **MV-FGFP switch** — the FGMOS pair responds directly, but beyond 4
+//!   contexts the Fig. 6 doubling MUX adds `log2(C/4)` stages.
+//! * **Hybrid switch** — the FGMOS responds directly to the broadcast line
+//!   at *every* context count; the depth is constant. This is the
+//!   "high scalability" of the paper's title claim, expressed in time.
+//!
+//! Per-stage constants are representative pass-transistor RC numbers
+//! (documented model assumptions, not fitted silicon data).
+
+use crate::traits::ArchKind;
+
+/// Latency model constants (picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// One pass-transistor MUX stage.
+    pub mux_stage_ps: f64,
+    /// FGMOS gate response (threshold comparison against the settled rail).
+    pub fgmos_response_ps: f64,
+    /// Broadcast rail settling (binary swing).
+    pub rail_settle_bin_ps: f64,
+    /// Broadcast rail settling (multi-level swing — slower, smaller margins).
+    pub rail_settle_mv_ps: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            mux_stage_ps: 35.0,
+            fgmos_response_ps: 55.0,
+            rail_settle_bin_ps: 40.0,
+            rail_settle_mv_ps: 90.0,
+        }
+    }
+}
+
+/// Context-switch latency of one switch, in picoseconds.
+#[must_use]
+pub fn switch_latency_ps(arch: ArchKind, contexts: usize, p: &TimingParams) -> f64 {
+    let log2 = |x: usize| (usize::BITS - x.leading_zeros() - 1) as f64;
+    match arch {
+        ArchKind::Sram => p.rail_settle_bin_ps + log2(contexts) * p.mux_stage_ps,
+        ArchKind::MvFgfp => {
+            let mux_depth = if contexts > 4 { log2(contexts / 4) } else { 0.0 };
+            p.rail_settle_mv_ps + p.fgmos_response_ps + mux_depth * p.mux_stage_ps
+        }
+        ArchKind::Hybrid => p.rail_settle_mv_ps + p.fgmos_response_ps,
+    }
+}
+
+/// Latency table across context counts, per architecture — the scalability
+/// story in one sweep.
+#[must_use]
+pub fn latency_sweep(context_counts: &[usize], p: &TimingParams) -> Vec<(usize, [f64; 3])> {
+    context_counts
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                [
+                    switch_latency_ps(ArchKind::Sram, c, p),
+                    switch_latency_ps(ArchKind::MvFgfp, c, p),
+                    switch_latency_ps(ArchKind::Hybrid, c, p),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_latency_is_constant_in_contexts() {
+        let p = TimingParams::default();
+        let l4 = switch_latency_ps(ArchKind::Hybrid, 4, &p);
+        let l64 = switch_latency_ps(ArchKind::Hybrid, 64, &p);
+        assert_eq!(l4, l64);
+    }
+
+    #[test]
+    fn sram_latency_grows_logarithmically() {
+        let p = TimingParams::default();
+        let l4 = switch_latency_ps(ArchKind::Sram, 4, &p);
+        let l16 = switch_latency_ps(ArchKind::Sram, 16, &p);
+        let l64 = switch_latency_ps(ArchKind::Sram, 64, &p);
+        assert!(l16 > l4);
+        assert!(l64 > l16);
+        assert!((l16 - l4 - 2.0 * p.mux_stage_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mv_gains_mux_stages_beyond_4_contexts() {
+        let p = TimingParams::default();
+        let l4 = switch_latency_ps(ArchKind::MvFgfp, 4, &p);
+        let l8 = switch_latency_ps(ArchKind::MvFgfp, 8, &p);
+        assert!((l8 - l4 - p.mux_stage_ps).abs() < 1e-9);
+        // hybrid beats MV at every C > 4
+        assert!(switch_latency_ps(ArchKind::Hybrid, 8, &p) < l8);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let p = TimingParams::default();
+        let rows = latency_sweep(&[4, 8, 16], &p);
+        assert_eq!(rows.len(), 3);
+        // hybrid column constant
+        assert_eq!(rows[0].1[2], rows[2].1[2]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the MC-switch architectures.
+
+use mcfpga_core::equivalence::{build_all, check_config};
+use mcfpga_core::{ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, ProgrammedHybrid, SramMcSwitch};
+use mcfpga_device::{Programmer, TechParams};
+use mcfpga_mvl::CtxSet;
+use proptest::prelude::*;
+
+fn arb_ctxset(contexts: usize) -> impl Strategy<Value = CtxSet> {
+    let dom = if contexts == 64 {
+        u64::MAX
+    } else {
+        (1u64 << contexts) - 1
+    };
+    prop::bits::u64::masked(dom).prop_map(move |m| CtxSet::from_mask(contexts, m).unwrap())
+}
+
+proptest! {
+    /// Configure→evaluate is the identity on ON-sets, per architecture.
+    #[test]
+    fn configure_evaluate_roundtrip(s in arb_ctxset(16), arch_idx in 0usize..3) {
+        let arch = ArchKind::all()[arch_idx];
+        let mut sw = mcfpga_core::AnySwitch::build(arch, 16).unwrap();
+        sw.configure(&s).unwrap();
+        prop_assert_eq!(sw.on_set_evaluated().unwrap(), s);
+    }
+
+    /// The three architectures agree on random 32-context configurations.
+    #[test]
+    fn agreement_at_32_contexts(s in arb_ctxset(32)) {
+        let mut switches = build_all(32).unwrap();
+        prop_assert!(check_config(&mut switches, &s).unwrap().is_empty());
+    }
+
+    /// Reconfiguration is stateless: applying config B after A equals
+    /// applying B to a fresh switch.
+    #[test]
+    fn reconfiguration_is_stateless(
+        a in arb_ctxset(8),
+        b in arb_ctxset(8),
+        arch_idx in 0usize..3,
+    ) {
+        let arch = ArchKind::all()[arch_idx];
+        let mut reused = mcfpga_core::AnySwitch::build(arch, 8).unwrap();
+        reused.configure(&a).unwrap();
+        reused.configure(&b).unwrap();
+        let mut fresh = mcfpga_core::AnySwitch::build(arch, 8).unwrap();
+        fresh.configure(&b).unwrap();
+        prop_assert_eq!(
+            reused.on_set_evaluated().unwrap(),
+            fresh.on_set_evaluated().unwrap()
+        );
+    }
+
+    /// The hybrid switch's transistor count is exactly half the MV one's
+    /// FGMOS count at every supported context count, and the SRAM closed
+    /// forms hold.
+    #[test]
+    fn closed_forms(contexts in prop::sample::select(vec![4usize, 8, 16, 32, 64])) {
+        prop_assert_eq!(
+            HybridMcSwitch::transistor_count_for(contexts) * 2,
+            contexts
+        );
+        prop_assert_eq!(
+            MvFgfpMcSwitch::transistor_count_for(contexts),
+            3 * contexts / 2 - 2
+        );
+        prop_assert_eq!(
+            SramMcSwitch::transistor_count_for(contexts),
+            8 * contexts - 1
+        );
+    }
+
+    /// Physically programmed switches (noisy thresholds) behave like the
+    /// model for random configurations.
+    #[test]
+    fn noisy_programming_robust(s in arb_ctxset(8), seed in 0u64..500) {
+        let mut prog = Programmer::new(seed, TechParams::default());
+        let mut sw = ProgrammedHybrid::new(8).unwrap();
+        sw.configure(&s, &mut prog).unwrap();
+        for ctx in 0..8 {
+            prop_assert_eq!(sw.is_on_physical(ctx).unwrap(), s.get(ctx));
+        }
+    }
+
+    /// MV-switch parked transistors + used-branch transistors = all FGMOSs.
+    #[test]
+    fn mv_branch_accounting(s in arb_ctxset(8)) {
+        let mut sw = MvFgfpMcSwitch::new(8).unwrap();
+        sw.configure(&s).unwrap();
+        prop_assert_eq!(
+            sw.branches_used() * 2 + sw.parked_transistors(),
+            sw.fgmos_count()
+        );
+    }
+}

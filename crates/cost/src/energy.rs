@@ -1,0 +1,112 @@
+//! Configuration and reconfiguration energy.
+//!
+//! The FGFP trade-off the paper leaves implicit: floating-gate programming
+//! is *expensive per write* (charge injection) but free to *hold*, while
+//! SRAM is cheap to write but leaks continuously. This module locates the
+//! crossover — below a certain reconfiguration rate the FGFP fabric wins on
+//! total configuration energy too, on top of its 15× area win.
+
+use mcfpga_core::ArchKind;
+use mcfpga_core::{HybridMcSwitch, MvFgfpMcSwitch};
+use mcfpga_device::TechParams;
+
+/// Energy to write one switch's full multi-context configuration (joules).
+#[must_use]
+pub fn config_write_energy_j(arch: ArchKind, contexts: usize, p: &TechParams) -> f64 {
+    match arch {
+        // SRAM write energy per bit is tiny; model as one CSS-toggle quantum
+        ArchKind::Sram => contexts as f64 * p.css_toggle_energy_j,
+        ArchKind::MvFgfp => {
+            MvFgfpMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_program_energy_j
+        }
+        ArchKind::Hybrid => {
+            HybridMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_program_energy_j
+        }
+    }
+}
+
+/// Total configuration-related energy of one switch over `hours` of
+/// operation with `rewrites` full reconfigurations: write energy plus
+/// static hold energy.
+#[must_use]
+pub fn total_config_energy_j(
+    arch: ArchKind,
+    contexts: usize,
+    hours: f64,
+    rewrites: u64,
+    p: &TechParams,
+) -> f64 {
+    let write = rewrites as f64 * config_write_energy_j(arch, contexts, p);
+    let hold = crate::power::switch_static_w(arch, contexts, p) * hours * 3600.0;
+    write + hold
+}
+
+/// The reconfiguration count at which SRAM's total energy overtakes the
+/// hybrid's over a given deployment length (`None` if SRAM never overtakes,
+/// i.e. the hybrid loses at any rate — does not happen at default
+/// parameters for deployments beyond ~1 s).
+#[must_use]
+pub fn breakeven_rewrites(contexts: usize, hours: f64, p: &TechParams) -> Option<u64> {
+    // solve: rewrites · (E_fg − E_sram) = P_sram_hold · t  (fg hold ≈ 0)
+    let e_fg = config_write_energy_j(ArchKind::Hybrid, contexts, p);
+    let e_sram = config_write_energy_j(ArchKind::Sram, contexts, p);
+    let hold = crate::power::switch_static_w(ArchKind::Sram, contexts, p) * hours * 3600.0;
+    let delta = e_fg - e_sram;
+    if delta <= 0.0 {
+        return Some(0);
+    }
+    Some((hold / delta).floor() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fgfp_writes_cost_more_than_sram_writes() {
+        let p = TechParams::default();
+        assert!(
+            config_write_energy_j(ArchKind::Hybrid, 4, &p)
+                > config_write_energy_j(ArchKind::Sram, 4, &p)
+        );
+    }
+
+    #[test]
+    fn hybrid_wins_for_long_deployments_with_rare_rewrites() {
+        let p = TechParams::default();
+        let hours = 24.0 * 365.0; // one year
+        let sram = total_config_energy_j(ArchKind::Sram, 4, hours, 10, &p);
+        let hybrid = total_config_energy_j(ArchKind::Hybrid, 4, hours, 10, &p);
+        assert!(hybrid < sram, "hold energy dominates over a year");
+    }
+
+    #[test]
+    fn sram_wins_for_write_dominated_usage() {
+        let p = TechParams::default();
+        // one second of deployment, a million rewrites
+        let sram = total_config_energy_j(ArchKind::Sram, 4, 1.0 / 3600.0, 1_000_000, &p);
+        let hybrid = total_config_energy_j(ArchKind::Hybrid, 4, 1.0 / 3600.0, 1_000_000, &p);
+        assert!(sram < hybrid);
+    }
+
+    #[test]
+    fn breakeven_is_finite_and_scales_with_time() {
+        let p = TechParams::default();
+        let day = breakeven_rewrites(4, 24.0, &p).unwrap();
+        let year = breakeven_rewrites(4, 24.0 * 365.0, &p).unwrap();
+        assert!(day > 0);
+        assert!(year > day);
+        // a year of SRAM leakage buys a *lot* of FGFP rewrites
+        assert!(year > 100_000);
+    }
+
+    #[test]
+    fn hybrid_writes_cheaper_than_mv_writes() {
+        // fewer devices to program per reconfiguration
+        let p = TechParams::default();
+        assert!(
+            config_write_energy_j(ArchKind::Hybrid, 4, &p)
+                < config_write_energy_j(ArchKind::MvFgfp, 4, &p)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # mcfpga-cost — area, transistor and power models plus report rendering
+//!
+//! Everything the paper's evaluation section reports, as reusable code:
+//!
+//! * [`transistor`] — Table 1 (per-switch) closed forms, cross-checked
+//!   elsewhere against structural netlists;
+//! * [`area`] — a parametric silicon-area estimate layered on the counts;
+//! * [`power`] — static-power comparison (volatile SRAM vs non-volatile
+//!   FGFP storage, the paper's §4 claim);
+//! * [`sweep`] — context-count and switch-block-size sweeps (the scaling
+//!   story behind "high scalability");
+//! * [`report`] — markdown/CSV renderers used by the `repro` binary and
+//!   `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod energy;
+pub mod power;
+pub mod report;
+pub mod sweep;
+pub mod transistor;
+
+pub use report::{render_csv, render_markdown_table};
+pub use transistor::{switch_transistors, table1, Table1Row};

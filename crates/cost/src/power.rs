@@ -1,0 +1,62 @@
+//! Static power of configuration storage (paper §4).
+//!
+//! SRAM keeps every configuration plane alive off the supply; floating-gate
+//! storage holds charge with the supply off. We price one switch, one
+//! switch block and one fabric per architecture.
+
+use mcfpga_core::ArchKind;
+use mcfpga_core::{HybridMcSwitch, MvFgfpMcSwitch};
+use mcfpga_device::TechParams;
+
+/// Static power of one MC-switch's configuration storage (watts).
+#[must_use]
+pub fn switch_static_w(arch: ArchKind, contexts: usize, p: &TechParams) -> f64 {
+    match arch {
+        ArchKind::Sram => contexts as f64 * p.sram_leak_w,
+        ArchKind::MvFgfp => {
+            MvFgfpMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w
+        }
+        ArchKind::Hybrid => {
+            HybridMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w
+        }
+    }
+}
+
+/// Static power of a `k × k` switch block (watts).
+#[must_use]
+pub fn sb_static_w(arch: ArchKind, k: usize, contexts: usize, p: &TechParams) -> f64 {
+    (k * k) as f64 * switch_static_w(arch, contexts, p)
+}
+
+/// Ratio of FGFP-based static power to the SRAM baseline — the §4 claim as
+/// a single number (≈ 0 at default parameters).
+#[must_use]
+pub fn fgfp_vs_sram_ratio(contexts: usize, p: &TechParams) -> f64 {
+    switch_static_w(ArchKind::Hybrid, contexts, p) / switch_static_w(ArchKind::Sram, contexts, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fgfp_storage_essentially_free() {
+        let p = TechParams::default();
+        assert!(fgfp_vs_sram_ratio(4, &p) < 1e-4);
+    }
+
+    #[test]
+    fn sram_power_scales_with_contexts() {
+        let p = TechParams::default();
+        let w4 = switch_static_w(ArchKind::Sram, 4, &p);
+        let w16 = switch_static_w(ArchKind::Sram, 16, &p);
+        assert!((w16 / w4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sb_rollup() {
+        let p = TechParams::default();
+        let one = switch_static_w(ArchKind::Sram, 4, &p);
+        assert!((sb_static_w(ArchKind::Sram, 10, 4, &p) - 100.0 * one).abs() < 1e-18);
+    }
+}

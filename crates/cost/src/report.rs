@@ -1,0 +1,84 @@
+//! Report rendering: markdown tables and CSV series.
+
+use crate::sweep::SweepPoint;
+
+/// Renders a markdown table. `headers.len()` must equal each row's length.
+#[must_use]
+pub fn render_markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push('|');
+    for h in headers {
+        s.push_str(&format!(" {h} |"));
+    }
+    s.push('\n');
+    s.push('|');
+    for _ in headers {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len());
+        s.push('|');
+        for cell in row {
+            s.push_str(&format!(" {cell} |"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders sweep points as CSV with one column per architecture.
+#[must_use]
+pub fn render_csv(x_label: &str, series_labels: &[&str; 3], points: &[SweepPoint]) -> String {
+    let mut s = format!(
+        "{x_label},{},{},{}\n",
+        series_labels[0], series_labels[1], series_labels[2]
+    );
+    for p in points {
+        s.push_str(&format!("{},{},{},{}\n", p.x, p.y[0], p.y[1], p.y[2]));
+    }
+    s
+}
+
+/// Formats a ratio as the paper does ("reduced to 7%").
+#[must_use]
+pub fn percent(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let t = render_markdown_table(
+            &["arch", "transistors"],
+            &[
+                vec!["SRAM".into(), "31".into()],
+                vec!["hybrid".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("arch"));
+        assert!(lines[1].starts_with("|---|"));
+        assert!(lines[3].contains('2'));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let pts = vec![SweepPoint {
+            x: 4,
+            y: [31.0, 4.0, 2.0],
+        }];
+        let csv = render_csv("contexts", &["sram", "mv", "hybrid"], &pts);
+        assert_eq!(csv, "contexts,sram,mv,hybrid\n4,31,4,2\n");
+    }
+
+    #[test]
+    fn percent_rounding() {
+        assert_eq!(percent(0.0645), "6%");
+        assert_eq!(percent(0.5), "50%");
+    }
+}

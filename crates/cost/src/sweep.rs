@@ -1,0 +1,98 @@
+//! Parameter sweeps: the scaling data behind the paper's "high scalability"
+//! claim and the extension experiments X1/X3.
+
+use crate::transistor::switch_transistors;
+use mcfpga_core::timing::{switch_latency_ps, TimingParams};
+use mcfpga_core::ArchKind;
+use mcfpga_switchblock::sb_transistors;
+
+/// One sweep point: x plus one y per architecture (SRAM, MV-FGFP, hybrid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Sweep variable (context count or block size).
+    pub x: usize,
+    /// Values per architecture, in [`ArchKind::all`] order.
+    pub y: [f64; 3],
+}
+
+/// Per-switch transistor count vs context count.
+#[must_use]
+pub fn contexts_sweep(context_counts: &[usize]) -> Vec<SweepPoint> {
+    context_counts
+        .iter()
+        .map(|&c| SweepPoint {
+            x: c,
+            y: [
+                switch_transistors(ArchKind::Sram, c) as f64,
+                switch_transistors(ArchKind::MvFgfp, c) as f64,
+                switch_transistors(ArchKind::Hybrid, c) as f64,
+            ],
+        })
+        .collect()
+}
+
+/// Switch-block transistor count vs block size `k` at fixed contexts.
+#[must_use]
+pub fn sb_size_sweep(ks: &[usize], contexts: usize) -> Vec<SweepPoint> {
+    ks.iter()
+        .map(|&k| SweepPoint {
+            x: k,
+            y: [
+                sb_transistors(ArchKind::Sram, k, contexts) as f64,
+                sb_transistors(ArchKind::MvFgfp, k, contexts) as f64,
+                sb_transistors(ArchKind::Hybrid, k, contexts) as f64,
+            ],
+        })
+        .collect()
+}
+
+/// Context-switch latency vs context count.
+#[must_use]
+pub fn latency_sweep(context_counts: &[usize], p: &TimingParams) -> Vec<SweepPoint> {
+    context_counts
+        .iter()
+        .map(|&c| SweepPoint {
+            x: c,
+            y: [
+                switch_latency_ps(ArchKind::Sram, c, p),
+                switch_latency_ps(ArchKind::MvFgfp, c, p),
+                switch_latency_ps(ArchKind::Hybrid, c, p),
+            ],
+        })
+        .collect()
+}
+
+/// Standard context counts used across the sweeps.
+pub const STANDARD_CONTEXTS: [usize; 5] = [4, 8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_always_wins_and_gap_widens() {
+        let pts = contexts_sweep(&STANDARD_CONTEXTS);
+        let mut last_gap = 0.0;
+        for p in &pts {
+            assert!(p.y[2] < p.y[1] && p.y[1] < p.y[0], "x={}", p.x);
+            let gap = p.y[0] - p.y[2];
+            assert!(gap > last_gap);
+            last_gap = gap;
+        }
+    }
+
+    #[test]
+    fn sb_sweep_contains_table2_point() {
+        let pts = sb_size_sweep(&[5, 10, 20], 4);
+        let p10 = pts.iter().find(|p| p.x == 10).unwrap();
+        assert_eq!(p10.y, [3100.0, 400.0, 240.0]);
+    }
+
+    #[test]
+    fn latency_sweep_hybrid_flat() {
+        let pts = latency_sweep(&STANDARD_CONTEXTS, &TimingParams::default());
+        let first = pts[0].y[2];
+        assert!(pts.iter().all(|p| (p.y[2] - first).abs() < 1e-12));
+        assert!(pts.last().unwrap().y[0] > pts[0].y[0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 1: per-switch transistor counts.
+
+use mcfpga_core::{ArchKind, HybridMcSwitch, MvFgfpMcSwitch, SramMcSwitch};
+
+/// Closed-form transistor count of one MC-switch.
+#[must_use]
+pub fn switch_transistors(arch: ArchKind, contexts: usize) -> usize {
+    match arch {
+        ArchKind::Sram => SramMcSwitch::transistor_count_for(contexts),
+        ArchKind::MvFgfp => MvFgfpMcSwitch::transistor_count_for(contexts),
+        ArchKind::Hybrid => HybridMcSwitch::transistor_count_for(contexts),
+    }
+}
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Architecture label (the paper's wording).
+    pub label: &'static str,
+    /// Transistor count.
+    pub transistors: usize,
+    /// Fraction of the SRAM-based count.
+    pub vs_sram: f64,
+}
+
+/// Regenerates Table 1 for `contexts` contexts.
+#[must_use]
+pub fn table1(contexts: usize) -> Vec<Table1Row> {
+    let sram = switch_transistors(ArchKind::Sram, contexts);
+    ArchKind::all()
+        .into_iter()
+        .map(|arch| {
+            let t = switch_transistors(arch, contexts);
+            Table1Row {
+                label: arch.label(),
+                transistors: t,
+                vs_sram: t as f64 / sram as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_values() {
+        let rows = table1(4);
+        assert_eq!(rows[0].transistors, 31);
+        assert_eq!(rows[1].transistors, 4);
+        assert_eq!(rows[2].transistors, 2);
+    }
+
+    #[test]
+    fn paper_headline_ratios() {
+        // "The transistor count of the MC-switch is reduced to 7% and 50%
+        // in comparison with that of the SRAM-based MC-switch and the
+        // MC-switch using only MV-FGFPs"
+        let rows = table1(4);
+        assert!((rows[2].vs_sram - 0.0645).abs() < 0.01, "~7% (2/31)");
+        let vs_mv = rows[2].transistors as f64 / rows[1].transistors as f64;
+        assert!((vs_mv - 0.5).abs() < 1e-12, "50% of the MV switch");
+    }
+
+    #[test]
+    fn scaling_shapes() {
+        // Hybrid grows slowest; SRAM fastest.
+        for c in [8usize, 16, 32, 64] {
+            let s = switch_transistors(ArchKind::Sram, c);
+            let m = switch_transistors(ArchKind::MvFgfp, c);
+            let h = switch_transistors(ArchKind::Hybrid, c);
+            assert!(h < m && m < s, "c={c}");
+            assert_eq!(h, c / 2);
+            assert_eq!(m, 3 * c / 2 - 2);
+            assert_eq!(s, 8 * c - 1);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Conventional binary context-switching signal.
+//!
+//! The SRAM-based MC-switch (Fig. 2) receives the context id as a plain
+//! binary word; each switch's `N:1` MUX decodes it locally. The word and its
+//! per-bit complements are broadcast chip-wide.
+
+use crate::CssError;
+
+/// Binary CSS source for `contexts` contexts (`contexts` a power of two ≥ 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryCss {
+    contexts: usize,
+    current: usize,
+}
+
+impl BinaryCss {
+    /// Creates a generator parked at context 0.
+    pub fn new(contexts: usize) -> Result<Self, CssError> {
+        if contexts < 2 || !contexts.is_power_of_two() || contexts > 64 {
+            return Err(CssError::BadContextCount(contexts));
+        }
+        Ok(BinaryCss {
+            contexts,
+            current: 0,
+        })
+    }
+
+    /// Number of contexts.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Number of select bits (`log2 contexts`).
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.contexts.trailing_zeros() as usize
+    }
+
+    /// Currently broadcast context.
+    #[must_use]
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Switches to `ctx`.
+    pub fn switch_to(&mut self, ctx: usize) -> Result<(), CssError> {
+        if ctx >= self.contexts {
+            return Err(CssError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            });
+        }
+        self.current = ctx;
+        Ok(())
+    }
+
+    /// Advances round-robin and returns the new context.
+    pub fn advance(&mut self) -> usize {
+        self.current = (self.current + 1) % self.contexts;
+        self.current
+    }
+
+    /// Bit `k` of the current context word (`S_k`).
+    #[must_use]
+    pub fn bit(&self, k: usize) -> bool {
+        (self.current >> k) & 1 == 1
+    }
+
+    /// Complement of bit `k` (`¬S_k`).
+    #[must_use]
+    pub fn bit_n(&self, k: usize) -> bool {
+        !self.bit(k)
+    }
+
+    /// The whole word as LSB-first bits.
+    #[must_use]
+    pub fn word(&self) -> Vec<bool> {
+        (0..self.bits()).map(|k| self.bit(k)).collect()
+    }
+
+    /// Number of bit positions whose value changes when switching from
+    /// `self.current` to `ctx` (broadcast-wire toggle count — dynamic-energy
+    /// proxy).
+    #[must_use]
+    pub fn hamming_to(&self, ctx: usize) -> usize {
+        (self.current ^ ctx).count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(BinaryCss::new(1).is_err());
+        assert!(BinaryCss::new(3).is_err());
+        assert!(BinaryCss::new(128).is_err());
+        assert!(BinaryCss::new(4).is_ok());
+        assert_eq!(BinaryCss::new(8).unwrap().bits(), 3);
+    }
+
+    #[test]
+    fn switching_and_bits() {
+        let mut css = BinaryCss::new(4).unwrap();
+        css.switch_to(2).unwrap();
+        assert_eq!(css.current(), 2);
+        assert!(!css.bit(0));
+        assert!(css.bit(1));
+        assert!(css.bit_n(0));
+        assert_eq!(css.word(), vec![false, true]);
+        assert!(css.switch_to(4).is_err());
+    }
+
+    #[test]
+    fn round_robin() {
+        let mut css = BinaryCss::new(4).unwrap();
+        let seq: Vec<usize> = (0..6).map(|_| css.advance()).collect();
+        assert_eq!(seq, vec![1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hamming_counts_toggles() {
+        let mut css = BinaryCss::new(8).unwrap();
+        css.switch_to(0b000).unwrap();
+        assert_eq!(css.hamming_to(0b111), 3);
+        assert_eq!(css.hamming_to(0b100), 1);
+        assert_eq!(css.hamming_to(0b000), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The Fig. 8 generator as a *structural* circuit, simulated at switch
+//! level.
+//!
+//! Fig. 8(b) gates an MV rail with a binary signal: when the binary gate is
+//! high a transmission gate passes the rail to the output line; when low an
+//! nMOS pull-down forces the line to level 0. We build exactly that — one
+//! (tgate, pull-down) pair per broadcast line, sharing the `Vs`/`¬Vs` rails
+//! — and drive it with the switch-level simulator to prove the structural
+//! circuit realises the behavioural generator for every context.
+//!
+//! The conduction model: the output line connects either to the rail node
+//! (gate high ⇒ tgate ON, pull-down OFF) or to the ground node (gate low ⇒
+//! pull-down ON). Exclusivity of the two paths is itself an invariant the
+//! tests check — a line simultaneously connected to rail and ground would
+//! be a crowbar fault.
+
+use crate::hybrid::{HybridCssGen, LineId};
+use crate::CssError;
+use mcfpga_device::TechParams;
+use mcfpga_mvl::Level;
+use mcfpga_netlist::{ControlKind, DeviceKind, NetId, Netlist, NetlistError, SwitchSim};
+
+/// Structural model of the MV/B-CSS generator.
+#[derive(Debug)]
+pub struct GeneratorNetlist {
+    gen: HybridCssGen,
+    netlist: Netlist,
+    /// Rail nodes: `(block, inverted)` → net carrying `Vs` / `¬Vs`.
+    rails: Vec<(usize, bool, NetId)>,
+    /// Ground node (level 0).
+    ground: NetId,
+    /// Output line nodes, in [`HybridCssGen::lines`] order.
+    line_nets: Vec<NetId>,
+}
+
+impl GeneratorNetlist {
+    /// Builds the generator circuit for `contexts` contexts.
+    pub fn build(contexts: usize) -> Result<Self, CssError> {
+        let gen = HybridCssGen::new(contexts)?;
+        let mut nl = Netlist::new();
+        let region = nl.add_region("mvb-css-generator");
+        let ground = nl.add_net("gnd");
+        let mut rails = Vec::new();
+        for block in 0..gen.blocks() {
+            for inverted in [false, true] {
+                let name = if inverted {
+                    format!("rail_nvs_b{block}")
+                } else {
+                    format!("rail_vs_b{block}")
+                };
+                rails.push((block, inverted, nl.add_net(&name)));
+            }
+        }
+        let mut line_nets = Vec::new();
+        for line in gen.lines() {
+            let lname = line.name(gen.blocks());
+            let out = nl.add_net(&lname);
+            line_nets.push(out);
+            let rail = rails
+                .iter()
+                .find(|(b, inv, _)| *b == line.block && *inv == line.inverted)
+                .expect("rail exists")
+                .2;
+            // the gate wire: S0 (or ¬S0) AND block-select, computed by the
+            // binary side and broadcast to this line's pass devices
+            let gate = nl.add_control(&format!("gate[{lname}]"), ControlKind::Binary);
+            let ngate = nl.add_control(&format!("ngate[{lname}]"), ControlKind::Binary);
+            nl.add_device(DeviceKind::TransmissionGate, rail, out, gate, Some(region))
+                .map_err(|_| CssError::BadContextCount(contexts))?;
+            nl.add_device(DeviceKind::NmosPass, ground, out, ngate, Some(region))
+                .map_err(|_| CssError::BadContextCount(contexts))?;
+        }
+        Ok(GeneratorNetlist {
+            gen,
+            netlist: nl,
+            rails,
+            ground,
+            line_nets,
+        })
+    }
+
+    /// The behavioural generator this circuit implements.
+    #[must_use]
+    pub fn generator(&self) -> &HybridCssGen {
+        &self.gen
+    }
+
+    /// The structural netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Pass-device transistor count of the output stage (3 per line: tgate
+    /// 2 + pull-down 1) — the `driver_transistors` term of
+    /// [`crate::GeneratorCost`].
+    #[must_use]
+    pub fn driver_transistor_count(&self) -> usize {
+        self.netlist.transistor_count()
+    }
+
+    /// Simulates one context: returns, per line, whether the output node is
+    /// connected to its MV rail (`Some(level)`) or to ground (`None` ⇒
+    /// level 0). Errors on a crowbar (line touching both).
+    pub fn simulate_ctx(&self, ctx: usize) -> Result<Vec<Level>, CssError> {
+        let mut sim = SwitchSim::new(&self.netlist, TechParams::default());
+        let blocks = self.gen.blocks();
+        for line in self.gen.lines() {
+            let lname = line.name(blocks);
+            let live = self.line_is_live(line, ctx)?;
+            bind(&mut sim, &format!("gate[{lname}]"), live)
+                .map_err(|_| CssError::BadContextCount(self.gen.contexts()))?;
+            bind(&mut sim, &format!("ngate[{lname}]"), !live)
+                .map_err(|_| CssError::BadContextCount(self.gen.contexts()))?;
+        }
+        sim.evaluate()
+            .map_err(|_| CssError::BadContextCount(self.gen.contexts()))?;
+        let vs = Level::encode_ctx(ctx % HybridCssGen::BLOCK);
+        let mut out = Vec::with_capacity(self.line_nets.len());
+        for (i, line) in self.gen.lines().into_iter().enumerate() {
+            let net = self.line_nets[i];
+            let rail = self
+                .rails
+                .iter()
+                .find(|(b, inv, _)| *b == line.block && *inv == line.inverted)
+                .expect("rail exists")
+                .2;
+            let to_rail = sim.connected(net, rail);
+            let to_gnd = sim.connected(net, self.ground);
+            if to_rail && to_gnd {
+                return Err(CssError::BadLine {
+                    block: line.block,
+                    blocks,
+                });
+            }
+            let level = if to_rail {
+                if line.inverted {
+                    vs.invert(self.gen.radix())
+                } else {
+                    vs
+                }
+            } else {
+                Level::ZERO
+            };
+            out.push(level);
+        }
+        Ok(out)
+    }
+
+    fn line_is_live(&self, line: LineId, ctx: usize) -> Result<bool, CssError> {
+        if ctx >= self.gen.contexts() {
+            return Err(CssError::ContextOutOfRange {
+                ctx,
+                contexts: self.gen.contexts(),
+            });
+        }
+        Ok(line.block == ctx / HybridCssGen::BLOCK && line.s0_polarity == (ctx & 1 == 1))
+    }
+}
+
+fn bind(sim: &mut SwitchSim<'_>, name: &str, v: bool) -> Result<(), NetlistError> {
+    sim.bind_bin_named(name, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_generator_matches_behavioural_4ctx() {
+        let g = GeneratorNetlist::build(4).unwrap();
+        for ctx in 0..4 {
+            let sim_levels = g.simulate_ctx(ctx).unwrap();
+            let spec: Vec<Level> = g
+                .generator()
+                .lines()
+                .into_iter()
+                .map(|l| g.generator().line_value_at(l, ctx).unwrap())
+                .collect();
+            assert_eq!(sim_levels, spec, "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn structural_generator_matches_behavioural_8ctx() {
+        let g = GeneratorNetlist::build(8).unwrap();
+        for ctx in 0..8 {
+            let sim_levels = g.simulate_ctx(ctx).unwrap();
+            let spec: Vec<Level> = g
+                .generator()
+                .lines()
+                .into_iter()
+                .map(|l| g.generator().line_value_at(l, ctx).unwrap())
+                .collect();
+            assert_eq!(sim_levels, spec, "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn driver_count_matches_cost_model() {
+        let g = GeneratorNetlist::build(4).unwrap();
+        let cost = crate::GeneratorCost::for_contexts(4).unwrap();
+        assert_eq!(g.driver_transistor_count(), cost.driver_transistors);
+    }
+
+    #[test]
+    fn no_crowbar_in_any_context() {
+        let g = GeneratorNetlist::build(8).unwrap();
+        for ctx in 0..8 {
+            assert!(g.simulate_ctx(ctx).is_ok(), "crowbar at ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_ctx_rejected() {
+        let g = GeneratorNetlist::build(4).unwrap();
+        assert!(g.simulate_ctx(4).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Pure multiple-valued CSS (ref [3] of the paper).
+//!
+//! Within a 4-context block, the context id is broadcast directly as one of
+//! four rail levels `{0,1,2,3}` — window literals over this rail select
+//! contexts (Figs. 3–5). Beyond 4 contexts the scheme does **not** extend the
+//! rail; instead binary block-select bits drive a per-switch doubling MUX
+//! (Fig. 6), which is exactly the scaling overhead the hybrid scheme removes.
+
+use crate::CssError;
+use mcfpga_mvl::{Level, Radix};
+
+/// MV-CSS source: 4-level rail for the in-block context plus binary
+/// block-select bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvCss {
+    contexts: usize,
+    current: usize,
+}
+
+impl MvCss {
+    /// Base block size resolved by the MV rail.
+    pub const BLOCK: usize = 4;
+
+    /// Creates a generator. `contexts` must be a multiple of 4 (1 block or
+    /// more), at most 64.
+    pub fn new(contexts: usize) -> Result<Self, CssError> {
+        if contexts < 4 || !contexts.is_multiple_of(Self::BLOCK) || contexts > 64 {
+            return Err(CssError::BadContextCount(contexts));
+        }
+        Ok(MvCss {
+            contexts,
+            current: 0,
+        })
+    }
+
+    /// Number of contexts.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Number of 4-context blocks.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.contexts / Self::BLOCK
+    }
+
+    /// The MV rail's radix: four levels `{0..3}` (no gating level is needed
+    /// because the MV-only scheme never collapses binary and MV on one wire).
+    #[must_use]
+    pub fn radix(&self) -> Radix {
+        Radix::new(4)
+    }
+
+    /// Currently broadcast context.
+    #[must_use]
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Switches to `ctx`.
+    pub fn switch_to(&mut self, ctx: usize) -> Result<(), CssError> {
+        if ctx >= self.contexts {
+            return Err(CssError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            });
+        }
+        self.current = ctx;
+        Ok(())
+    }
+
+    /// The MV rail level: the in-block context id `ctx mod 4` as a level.
+    #[must_use]
+    pub fn rail_level(&self) -> Level {
+        Level::new((self.current % Self::BLOCK) as u8)
+    }
+
+    /// Which block is active.
+    #[must_use]
+    pub fn active_block(&self) -> usize {
+        self.current / Self::BLOCK
+    }
+
+    /// Binary block-select bit `k` (these drive the Fig. 6 MUX tree).
+    #[must_use]
+    pub fn block_bit(&self, k: usize) -> bool {
+        (self.active_block() >> k) & 1 == 1
+    }
+
+    /// Number of binary block-select bits.
+    #[must_use]
+    pub fn block_bits(&self) -> usize {
+        let b = self.blocks();
+        if b <= 1 {
+            0
+        } else {
+            (usize::BITS - (b - 1).leading_zeros()) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(MvCss::new(2).is_err());
+        assert!(MvCss::new(6).is_err());
+        assert!(MvCss::new(68).is_err());
+        assert!(MvCss::new(4).is_ok());
+        assert!(MvCss::new(8).is_ok());
+    }
+
+    #[test]
+    fn rail_level_is_in_block_ctx() {
+        let mut css = MvCss::new(8).unwrap();
+        for ctx in 0..8 {
+            css.switch_to(ctx).unwrap();
+            assert_eq!(css.rail_level(), Level::new((ctx % 4) as u8));
+            assert_eq!(css.active_block(), ctx / 4);
+        }
+    }
+
+    #[test]
+    fn block_bits_scale() {
+        assert_eq!(MvCss::new(4).unwrap().block_bits(), 0);
+        assert_eq!(MvCss::new(8).unwrap().block_bits(), 1);
+        assert_eq!(MvCss::new(16).unwrap().block_bits(), 2);
+        assert_eq!(MvCss::new(64).unwrap().block_bits(), 4);
+    }
+
+    #[test]
+    fn block_bit_values() {
+        let mut css = MvCss::new(16).unwrap();
+        css.switch_to(13).unwrap(); // block 3 = 0b11
+        assert!(css.block_bit(0));
+        assert!(css.block_bit(1));
+        css.switch_to(5).unwrap(); // block 1 = 0b01
+        assert!(css.block_bit(0));
+        assert!(!css.block_bit(1));
+    }
+
+    #[test]
+    fn radix_is_four_valued() {
+        assert_eq!(MvCss::new(4).unwrap().radix().levels(), 4);
+    }
+}

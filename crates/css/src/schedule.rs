@@ -1,0 +1,160 @@
+//! Context schedules: the sequences of contexts a fabric switches through.
+
+use crate::CssError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A finite schedule of context ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    contexts: usize,
+    seq: Vec<usize>,
+}
+
+impl Schedule {
+    /// Round-robin `0,1,…,C−1` repeated `cycles` times — the classic
+    /// time-multiplexed execution pattern (Trimberger-style).
+    pub fn round_robin(contexts: usize, cycles: usize) -> Result<Self, CssError> {
+        if contexts == 0 {
+            return Err(CssError::BadContextCount(0));
+        }
+        Ok(Schedule {
+            contexts,
+            seq: (0..cycles).flat_map(|_| 0..contexts).collect(),
+        })
+    }
+
+    /// Uniform random schedule (seeded, reproducible).
+    pub fn random(contexts: usize, len: usize, seed: u64) -> Result<Self, CssError> {
+        if contexts == 0 {
+            return Err(CssError::BadContextCount(0));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(Schedule {
+            contexts,
+            seq: (0..len).map(|_| rng.random_range(0..contexts)).collect(),
+        })
+    }
+
+    /// Bursty schedule: stays on a context for a geometric-ish dwell then
+    /// jumps (models workloads that phase between configurations).
+    pub fn bursty(
+        contexts: usize,
+        len: usize,
+        mean_dwell: usize,
+        seed: u64,
+    ) -> Result<Self, CssError> {
+        if contexts == 0 || mean_dwell == 0 {
+            return Err(CssError::BadContextCount(contexts));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = Vec::with_capacity(len);
+        let mut cur = rng.random_range(0..contexts);
+        while seq.len() < len {
+            let dwell = 1 + rng.random_range(0..mean_dwell * 2);
+            for _ in 0..dwell {
+                if seq.len() == len {
+                    break;
+                }
+                seq.push(cur);
+            }
+            cur = rng.random_range(0..contexts);
+        }
+        Ok(Schedule { contexts, seq })
+    }
+
+    /// Explicit schedule from a sequence.
+    pub fn explicit(contexts: usize, seq: Vec<usize>) -> Result<Self, CssError> {
+        if contexts == 0 {
+            return Err(CssError::BadContextCount(0));
+        }
+        if let Some(&bad) = seq.iter().find(|&&c| c >= contexts) {
+            return Err(CssError::ContextOutOfRange {
+                ctx: bad,
+                contexts,
+            });
+        }
+        Ok(Schedule { contexts, seq })
+    }
+
+    /// Number of contexts in the domain.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Schedule length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Is the schedule empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The sequence.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.seq
+    }
+
+    /// Iterator over the scheduled contexts.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.seq.iter().copied()
+    }
+
+    /// Number of steps where the context actually changes.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.seq.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = Schedule::round_robin(4, 2).unwrap();
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(s.switch_count(), 7);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let a = Schedule::random(8, 100, 1).unwrap();
+        let b = Schedule::random(8, 100, 1).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| c < 8));
+        assert_ne!(a, Schedule::random(8, 100, 2).unwrap());
+    }
+
+    #[test]
+    fn bursty_dwells() {
+        let s = Schedule::bursty(4, 200, 10, 3).unwrap();
+        assert_eq!(s.len(), 200);
+        // bursty schedules switch much less often than random ones
+        let r = Schedule::random(4, 200, 3).unwrap();
+        assert!(s.switch_count() < r.switch_count());
+    }
+
+    #[test]
+    fn explicit_validation() {
+        assert!(Schedule::explicit(4, vec![0, 1, 2, 3]).is_ok());
+        assert!(matches!(
+            Schedule::explicit(4, vec![0, 4]),
+            Err(CssError::ContextOutOfRange { ctx: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::explicit(4, vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.switch_count(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sampled waveforms of broadcast lines — the Fig. 7 reproduction.
+//!
+//! A [`Waveform`] is a named sequence of rail levels, one sample per schedule
+//! step. Rendering produces either CSV (for plotting) or an ASCII level plot
+//! shaped like the paper's figure: one horizontal band per line, context ids
+//! along the top.
+
+use crate::hybrid::HybridCssGen;
+use crate::schedule::Schedule;
+use crate::CssError;
+use mcfpga_mvl::Level;
+
+/// A sampled trace of one broadcast line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waveform {
+    /// Line name (e.g. `"S0·Vs"`).
+    pub name: String,
+    /// One level per schedule step.
+    pub samples: Vec<Level>,
+}
+
+impl Waveform {
+    /// Highest level in the trace.
+    #[must_use]
+    pub fn peak(&self) -> Level {
+        self.samples.iter().copied().max().unwrap_or(Level::ZERO)
+    }
+
+    /// Number of steps at which the level changes.
+    #[must_use]
+    pub fn toggle_count(&self) -> usize {
+        self.samples.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// Samples every broadcast line of `gen` over `schedule`.
+pub fn trace_hybrid(
+    gen: &HybridCssGen,
+    schedule: &Schedule,
+) -> Result<Vec<Waveform>, CssError> {
+    let blocks = gen.blocks();
+    let mut out: Vec<Waveform> = gen
+        .lines()
+        .into_iter()
+        .map(|l| Waveform {
+            name: l.name(blocks),
+            samples: Vec::with_capacity(schedule.len()),
+        })
+        .collect();
+    for ctx in schedule.iter() {
+        for (w, line) in out.iter_mut().zip(gen.lines()) {
+            w.samples.push(gen.line_value_at(line, ctx)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders waveforms as CSV: `step,ctx,<line>,<line>,…`.
+#[must_use]
+pub fn to_csv(schedule: &Schedule, waves: &[Waveform]) -> String {
+    let mut s = String::from("step,ctx");
+    for w in waves {
+        s.push(',');
+        s.push_str(&w.name);
+    }
+    s.push('\n');
+    for (i, ctx) in schedule.iter().enumerate() {
+        s.push_str(&format!("{i},{ctx}"));
+        for w in waves {
+            s.push_str(&format!(",{}", w.samples[i]));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders one waveform as an ASCII level plot (rows = levels top-down,
+/// columns = steps), mirroring the Fig. 7 panels.
+#[must_use]
+pub fn render_ascii(w: &Waveform, max_level: u8) -> String {
+    let mut out = format!("{}\n", w.name);
+    for lvl in (0..=max_level).rev() {
+        let mut row = format!("{lvl} |");
+        for s in &w.samples {
+            row.push(if s.value() == lvl { '#' } else { ' ' });
+            row.push(' ');
+        }
+        out.push_str(row.trim_end());
+        out.push('\n');
+    }
+    out.push_str("   ");
+    for i in 0..w.samples.len() {
+        out.push_str(&format!("{} ", i % 10));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the full Fig. 7 panel set for a generator and schedule.
+pub fn render_fig7(gen: &HybridCssGen, schedule: &Schedule) -> Result<String, CssError> {
+    let waves = trace_hybrid(gen, schedule)?;
+    let top = gen.radix().top().value();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "contexts: {:?}\n\n",
+        schedule.iter().collect::<Vec<_>>()
+    ));
+    for w in &waves {
+        out.push_str(&render_ascii(w, top));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_setup() -> (HybridCssGen, Schedule) {
+        (
+            HybridCssGen::new(4).unwrap(),
+            Schedule::round_robin(4, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn fig7_trace_values() {
+        let (gen, sched) = fig7_setup();
+        let waves = trace_hybrid(&gen, &sched).unwrap();
+        assert_eq!(waves.len(), 4);
+        let lv = |w: &Waveform| w.samples.iter().map(|l| l.value()).collect::<Vec<_>>();
+        assert_eq!(waves[0].name, "S0·Vs");
+        assert_eq!(lv(&waves[0]), vec![0, 2, 0, 4]);
+        assert_eq!(waves[1].name, "S0·¬Vs");
+        assert_eq!(lv(&waves[1]), vec![0, 3, 0, 1]);
+        assert_eq!(waves[2].name, "¬S0·Vs");
+        assert_eq!(lv(&waves[2]), vec![1, 0, 3, 0]);
+        assert_eq!(waves[3].name, "¬S0·¬Vs");
+        assert_eq!(lv(&waves[3]), vec![4, 0, 2, 0]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let (gen, sched) = fig7_setup();
+        let waves = trace_hybrid(&gen, &sched).unwrap();
+        let csv = to_csv(&sched, &waves);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("step,ctx,S0·Vs"));
+        assert_eq!(lines[1], "0,0,0,0,1,4");
+        assert_eq!(lines[2], "1,1,2,3,0,0");
+    }
+
+    #[test]
+    fn ascii_plot_has_level_rows() {
+        let w = Waveform {
+            name: "test".into(),
+            samples: vec![Level::new(0), Level::new(2), Level::new(4)],
+        };
+        let s = render_ascii(&w, 4);
+        assert!(s.contains("4 |"));
+        assert!(s.contains("0 |#"));
+        assert_eq!(w.peak(), Level::new(4));
+        assert_eq!(w.toggle_count(), 2);
+    }
+
+    #[test]
+    fn fig7_full_render() {
+        let (gen, sched) = fig7_setup();
+        let s = render_fig7(&gen, &sched).unwrap();
+        assert!(s.contains("S0·Vs"));
+        assert!(s.contains("¬S0·¬Vs"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the context-switching signal generators.
+
+use mcfpga_css::gen_netlist::GeneratorNetlist;
+use mcfpga_css::{BinaryCss, HybridCssGen, MvCss, Schedule};
+use mcfpga_mvl::Level;
+use proptest::prelude::*;
+
+proptest! {
+    /// For every context, exactly two broadcast lines are live (the
+    /// matching block+polarity pair) and they carry `Vs` and `¬Vs`.
+    #[test]
+    fn exactly_two_live_lines(contexts in prop::sample::select(vec![4usize, 8, 16, 32, 64]), seed in any::<u64>()) {
+        let gen = HybridCssGen::new(contexts).unwrap();
+        let ctx = (seed as usize) % contexts;
+        let live: Vec<Level> = gen
+            .lines()
+            .into_iter()
+            .map(|l| gen.line_value_at(l, ctx).unwrap())
+            .filter(|v| !v.is_off())
+            .collect();
+        prop_assert_eq!(live.len(), 2);
+        prop_assert_eq!(live[0].value() + live[1].value(), 5);
+    }
+
+    /// The structural Fig. 8 generator always equals the behavioural one.
+    #[test]
+    fn structural_equals_behavioural(contexts in prop::sample::select(vec![4usize, 8, 12]), seed in any::<u64>()) {
+        // 12 is rejected by both (must agree on the error too)
+        match (GeneratorNetlist::build(contexts), HybridCssGen::new(contexts)) {
+            (Ok(g), Ok(gen)) => {
+                let ctx = (seed as usize) % contexts;
+                let sim = g.simulate_ctx(ctx).unwrap();
+                let spec: Vec<Level> = gen
+                    .lines()
+                    .into_iter()
+                    .map(|l| gen.line_value_at(l, ctx).unwrap())
+                    .collect();
+                prop_assert_eq!(sim, spec);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "structural/behavioural disagree on validity"),
+        }
+    }
+
+    /// Hybrid toggle counting is a pseudometric: zero on identity,
+    /// symmetric, triangle inequality.
+    #[test]
+    fn toggles_form_pseudometric(a in 0usize..8, b in 0usize..8, c in 0usize..8) {
+        let gen = HybridCssGen::new(8).unwrap();
+        let d = |x, y| gen.toggles_between(x, y).unwrap();
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+    }
+
+    /// Binary CSS hamming distance is consistent with word bits.
+    #[test]
+    fn binary_css_bits_roundtrip(ctx in 0usize..64) {
+        let mut css = BinaryCss::new(64).unwrap();
+        css.switch_to(ctx).unwrap();
+        let word = css.word();
+        let rebuilt: usize = word
+            .iter()
+            .enumerate()
+            .map(|(k, b)| usize::from(*b) << k)
+            .sum();
+        prop_assert_eq!(rebuilt, ctx);
+    }
+
+    /// MV CSS block decomposition reassembles the context id.
+    #[test]
+    fn mv_css_block_decomposition(contexts in prop::sample::select(vec![4usize, 8, 16, 32, 64]), seed in any::<u64>()) {
+        let mut css = MvCss::new(contexts).unwrap();
+        let ctx = (seed as usize) % contexts;
+        css.switch_to(ctx).unwrap();
+        let rebuilt = css.active_block() * 4 + css.rail_level().value() as usize;
+        prop_assert_eq!(rebuilt, ctx);
+    }
+
+    /// Schedules: switch_count is invariant under repetition-collapse
+    /// bounds: it is at most len−1 and zero for constant schedules.
+    #[test]
+    fn schedule_switch_count_bounds(seq in prop::collection::vec(0usize..4, 1..64)) {
+        let s = Schedule::explicit(4, seq.clone()).unwrap();
+        prop_assert!(s.switch_count() < seq.len());
+        let constant = Schedule::explicit(4, vec![seq[0]; seq.len()]).unwrap();
+        prop_assert_eq!(constant.switch_count(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Device-layer errors.
+
+/// Errors produced by device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// Program/verify did not converge within the endurance budget.
+    ProgramFailed {
+        /// Target threshold (volts).
+        target_v: f64,
+        /// Threshold reached when the budget ran out (volts).
+        reached_v: f64,
+        /// Pulses spent.
+        pulses: u32,
+    },
+    /// The device has exceeded its endurance budget and can no longer be
+    /// reprogrammed.
+    WornOut {
+        /// Total pulses the device has absorbed.
+        total_pulses: u64,
+    },
+    /// An operation needed a programmed device but found an unprogrammed one.
+    Unprogrammed,
+    /// A literal bound was outside the rail.
+    BadThresholdLevel {
+        /// Offending level value.
+        level: u8,
+        /// Rail radix.
+        radix: u8,
+    },
+    /// Mux select word out of range for its input count.
+    BadSelect {
+        /// Select value supplied.
+        select: usize,
+        /// Number of mux inputs.
+        inputs: usize,
+    },
+    /// A mux was built with an unsupported input count (must be a power of
+    /// two ≥ 2 for the tree construction).
+    BadMuxWidth(usize),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::ProgramFailed {
+                target_v,
+                reached_v,
+                pulses,
+            } => write!(
+                f,
+                "program/verify failed: target {target_v} V, reached {reached_v} V after {pulses} pulses"
+            ),
+            DeviceError::WornOut { total_pulses } => {
+                write!(f, "device worn out after {total_pulses} pulses")
+            }
+            DeviceError::Unprogrammed => write!(f, "device is unprogrammed"),
+            DeviceError::BadThresholdLevel { level, radix } => {
+                write!(f, "threshold level {level} outside radix-{radix} rail")
+            }
+            DeviceError::BadSelect { select, inputs } => {
+                write!(f, "mux select {select} out of range for {inputs} inputs")
+            }
+            DeviceError::BadMuxWidth(n) => write!(f, "unsupported mux width {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

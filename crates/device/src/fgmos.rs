@@ -1,0 +1,282 @@
+//! The floating-gate MOS functional pass gate (FGFP).
+//!
+//! One FGMOS merges *storage* (charge trapped on the floating gate sets an
+//! effective threshold voltage) and *switching* (the channel passes the
+//! routed signal when the control-gate voltage is on the conducting side of
+//! that threshold). Ref [2] of the paper shows a single FGFP realises an
+//! up-literal or a down-literal over a multiple-valued control signal; two in
+//! series realise a window literal by wired-AND.
+//!
+//! Model: the stored state is the effective threshold `vth_v` (volts). An
+//! up-mode device conducts iff `Vg ≥ vth_v`; a down-mode device (depletion /
+//! complementary arrangement per ref [2]) conducts iff `Vg ≤ vth_v`. The
+//! quantised programming API sites thresholds half a level step away from the
+//! nearest code so that retention drift must exceed the margin before
+//! behaviour changes.
+
+use crate::error::DeviceError;
+use crate::params::TechParams;
+use mcfpga_mvl::{Level, Radix};
+
+/// Conduction polarity of an FGFP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FgmosMode {
+    /// Conducts when the control-gate level is **at or above** the threshold
+    /// (monotone increasing step — the paper's up-literal, Fig. 4(a)).
+    UpLiteral,
+    /// Conducts when the control-gate level is **at or below** the threshold
+    /// (monotone decreasing step — down-literal, Fig. 4(b)).
+    DownLiteral,
+}
+
+/// Behavioural floating-gate MOS functional pass gate.
+///
+/// Always exactly **one transistor** in the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fgmos {
+    mode: FgmosMode,
+    /// Effective threshold voltage; `None` until first programmed.
+    vth_v: Option<f64>,
+    /// Literal bound the threshold was most recently programmed to encode
+    /// (`None` for parked/never configurations).
+    programmed_bound: Option<Level>,
+    /// Cumulative programming pulses absorbed over the device lifetime.
+    total_pulses: u64,
+}
+
+impl Fgmos {
+    /// Creates an unprogrammed device.
+    #[must_use]
+    pub fn new(mode: FgmosMode) -> Self {
+        Fgmos {
+            mode,
+            vth_v: None,
+            programmed_bound: None,
+            total_pulses: 0,
+        }
+    }
+
+    /// Device polarity.
+    #[must_use]
+    pub fn mode(&self) -> FgmosMode {
+        self.mode
+    }
+
+    /// The effective threshold voltage, if programmed.
+    #[must_use]
+    pub fn threshold_volts(&self) -> Option<f64> {
+        self.vth_v
+    }
+
+    /// Literal bound the device was programmed for (`None` = parked or
+    /// unprogrammed).
+    #[must_use]
+    pub fn programmed_bound(&self) -> Option<Level> {
+        self.programmed_bound
+    }
+
+    /// Lifetime programming pulses (endurance accounting).
+    #[must_use]
+    pub fn total_pulses(&self) -> u64 {
+        self.total_pulses
+    }
+
+    /// Transistor count of the device: 1, by construction. Exists so cost
+    /// roll-ups never hard-code the magic constant.
+    #[must_use]
+    pub const fn transistor_count(&self) -> usize {
+        1
+    }
+
+    /// Ideal (noise-free) programming: place the threshold exactly at the
+    /// margin-sited voltage for literal bound `t`.
+    ///
+    /// Real charge-injection programming goes through
+    /// [`Programmer`](crate::program::Programmer); this entry point exists
+    /// for architectural simulations that do not model injection noise.
+    pub fn program_ideal(
+        &mut self,
+        t: Level,
+        radix: Radix,
+        params: &TechParams,
+    ) -> Result<(), DeviceError> {
+        if t.value() >= radix.levels() {
+            return Err(DeviceError::BadThresholdLevel {
+                level: t.value(),
+                radix: radix.levels(),
+            });
+        }
+        let v = match self.mode {
+            FgmosMode::UpLiteral => params.up_threshold_volts(t),
+            FgmosMode::DownLiteral => params.down_threshold_volts(t),
+        };
+        self.vth_v = Some(v);
+        self.programmed_bound = Some(t);
+        Ok(())
+    }
+
+    /// Parks the device so it never conducts on the rail (used for unused
+    /// branches — the MV-switch redundancy case).
+    pub fn park(&mut self, radix: Radix, params: &TechParams) {
+        let v = match self.mode {
+            FgmosMode::UpLiteral => params.park_high_volts(radix),
+            FgmosMode::DownLiteral => params.park_low_volts(),
+        };
+        self.vth_v = Some(v);
+        self.programmed_bound = None;
+    }
+
+    /// Sets the raw threshold voltage (programming backend; see
+    /// [`Programmer`](crate::program::Programmer)).
+    pub(crate) fn set_threshold_volts(&mut self, v: f64, bound: Option<Level>) {
+        self.vth_v = Some(v);
+        self.programmed_bound = bound;
+    }
+
+    /// Adds to the lifetime pulse counter.
+    pub(crate) fn absorb_pulses(&mut self, pulses: u32) {
+        self.total_pulses += u64::from(pulses);
+    }
+
+    /// Perturbs the stored threshold (retention drift / disturb modelling).
+    pub fn drift_threshold(&mut self, delta_v: f64) {
+        if let Some(v) = self.vth_v.as_mut() {
+            *v += delta_v;
+        }
+    }
+
+    /// Does the channel conduct for a control-gate voltage `vg_v`?
+    pub fn conducts_volts(&self, vg_v: f64) -> Result<bool, DeviceError> {
+        let vth = self.vth_v.ok_or(DeviceError::Unprogrammed)?;
+        Ok(match self.mode {
+            FgmosMode::UpLiteral => vg_v >= vth,
+            FgmosMode::DownLiteral => vg_v <= vth,
+        })
+    }
+
+    /// Does the channel conduct for a quantised control-gate level?
+    pub fn conducts(&self, g: Level, params: &TechParams) -> Result<bool, DeviceError> {
+        self.conducts_volts(params.level_volts(g))
+    }
+
+    /// Remaining margin (volts) before drift flips behaviour at the nearest
+    /// rail level. `None` if unprogrammed.
+    ///
+    /// The margin is the smallest distance from the threshold to any rail
+    /// level voltage; once drift consumes it, some level's conduction
+    /// decision changes.
+    #[must_use]
+    pub fn drift_margin_volts(&self, radix: Radix, params: &TechParams) -> Option<f64> {
+        let vth = self.vth_v?;
+        let m = radix
+            .all_levels()
+            .map(|l| (params.level_volts(l) - vth).abs())
+            .fold(f64::INFINITY, f64::min);
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: Radix = Radix::FIVE;
+
+    fn p() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn unprogrammed_device_errors() {
+        let d = Fgmos::new(FgmosMode::UpLiteral);
+        assert_eq!(d.conducts(Level::new(2), &p()), Err(DeviceError::Unprogrammed));
+        assert_eq!(d.threshold_volts(), None);
+    }
+
+    #[test]
+    fn up_literal_conduction_table() {
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        d.program_ideal(Level::new(2), R, &p()).unwrap();
+        let got: Vec<bool> = (0..5)
+            .map(|v| d.conducts(Level::new(v), &p()).unwrap())
+            .collect();
+        assert_eq!(got, [false, false, true, true, true]);
+        assert_eq!(d.programmed_bound(), Some(Level::new(2)));
+    }
+
+    #[test]
+    fn down_literal_conduction_table() {
+        let mut d = Fgmos::new(FgmosMode::DownLiteral);
+        d.program_ideal(Level::new(2), R, &p()).unwrap();
+        let got: Vec<bool> = (0..5)
+            .map(|v| d.conducts(Level::new(v), &p()).unwrap())
+            .collect();
+        assert_eq!(got, [true, true, true, false, false]);
+    }
+
+    #[test]
+    fn matches_mvl_literals_for_all_bounds() {
+        use mcfpga_mvl::literal::{DownLiteral, Literal, UpLiteral};
+        for t in 0..5u8 {
+            let mut up = Fgmos::new(FgmosMode::UpLiteral);
+            up.program_ideal(Level::new(t), R, &p()).unwrap();
+            let mut down = Fgmos::new(FgmosMode::DownLiteral);
+            down.program_ideal(Level::new(t), R, &p()).unwrap();
+            let ul = UpLiteral::new(Level::new(t));
+            let dl = DownLiteral::new(Level::new(t));
+            for v in 0..5u8 {
+                let l = Level::new(v);
+                assert_eq!(up.conducts(l, &p()).unwrap(), ul.eval(l), "up t={t} v={v}");
+                assert_eq!(down.conducts(l, &p()).unwrap(), dl.eval(l), "down t={t} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parked_devices_never_conduct() {
+        for mode in [FgmosMode::UpLiteral, FgmosMode::DownLiteral] {
+            let mut d = Fgmos::new(mode);
+            d.park(R, &p());
+            for v in 0..5u8 {
+                assert!(!d.conducts(Level::new(v), &p()).unwrap(), "{mode:?} v={v}");
+            }
+            assert_eq!(d.programmed_bound(), None);
+        }
+    }
+
+    #[test]
+    fn rejects_off_rail_bounds() {
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        assert_eq!(
+            d.program_ideal(Level::new(5), R, &p()),
+            Err(DeviceError::BadThresholdLevel { level: 5, radix: 5 })
+        );
+    }
+
+    #[test]
+    fn drift_within_margin_is_harmless() {
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        d.program_ideal(Level::new(2), R, &p()).unwrap();
+        let margin = d.drift_margin_volts(R, &p()).unwrap();
+        assert!((margin - 0.5).abs() < 1e-12);
+        d.drift_threshold(0.3); // stays within the 0.5 V half-step margin
+        let got: Vec<bool> = (0..5)
+            .map(|v| d.conducts(Level::new(v), &p()).unwrap())
+            .collect();
+        assert_eq!(got, [false, false, true, true, true]);
+    }
+
+    #[test]
+    fn drift_past_margin_flips_a_level() {
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        d.program_ideal(Level::new(2), R, &p()).unwrap();
+        d.drift_threshold(0.6); // vth 1.5 → 2.1: level 2 no longer conducts
+        assert!(!d.conducts(Level::new(2), &p()).unwrap());
+        assert!(d.conducts(Level::new(3), &p()).unwrap());
+    }
+
+    #[test]
+    fn single_transistor() {
+        assert_eq!(Fgmos::new(FgmosMode::UpLiteral).transistor_count(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # mcfpga-device — behavioural device models
+//!
+//! The electrical substrate of the reproduction: floating-gate MOS functional
+//! pass gates (FGFPs), SRAM cells, plain pass transistors and pass-transistor
+//! multiplexers, plus the charge-programming story (program/verify, endurance,
+//! retention drift).
+//!
+//! ## Substitution note (see DESIGN.md §2)
+//!
+//! The paper evaluates its architecture analytically over real FGMOS devices.
+//! We model each device *behaviourally*: a device exposes exactly the
+//! functional contract the architecture relies on — "conducts iff the gate
+//! level is on the programmed side of a programmable threshold" — with an
+//! analog threshold underneath (volts, `f64`) so that programming noise,
+//! margin erosion and retention drift are representable. SPICE-level I/V
+//! curves would add nothing to the paper's claims, which are about transistor
+//! *counts* and switching *logic*.
+//!
+//! Transistor-count ground truth (used by `mcfpga-cost` and the Table 1/2
+//! reproductions):
+//!
+//! | device                      | transistors |
+//! |-----------------------------|-------------|
+//! | FGMOS functional pass gate  | 1           |
+//! | 6T SRAM cell                | 6           |
+//! | nMOS/pMOS pass transistor   | 1           |
+//! | transmission gate           | 2           |
+//! | N:1 pass-transistor tree MUX| 2·(N−1)     |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod fgmos;
+pub mod mux;
+pub mod params;
+pub mod pass_gate;
+pub mod program;
+pub mod sram;
+
+pub use error::DeviceError;
+pub use fgmos::{Fgmos, FgmosMode};
+pub use mux::TreeMux;
+pub use params::TechParams;
+pub use pass_gate::{PassKind, PassTransistor, TransmissionGate};
+pub use program::{ProgramOutcome, Programmer};
+pub use sram::SramCell;

@@ -1,0 +1,137 @@
+//! Pass-transistor tree multiplexers.
+//!
+//! The SRAM MC-switch selects one of `N` stored configuration bits with an
+//! `N:1` MUX driven by the binary context-switching signal. A binary tree of
+//! 2:1 pass-transistor stages uses `N − 1` 2:1 muxes = `2·(N − 1)`
+//! transistors (complementary select pairs per stage); with `N = 4` that is
+//! the 6 transistors that, with 4×6T SRAM and the routed pass transistor,
+//! reproduce Table 1's 31.
+
+use crate::error::DeviceError;
+
+/// An `N:1` pass-transistor tree multiplexer (`N` a power of two ≥ 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeMux {
+    inputs: usize,
+}
+
+impl TreeMux {
+    /// Creates an `inputs:1` tree mux.
+    pub fn new(inputs: usize) -> Result<Self, DeviceError> {
+        if inputs < 2 || !inputs.is_power_of_two() {
+            return Err(DeviceError::BadMuxWidth(inputs));
+        }
+        Ok(TreeMux { inputs })
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of select bits (`log2 N`).
+    #[must_use]
+    pub fn select_bits(&self) -> usize {
+        self.inputs.trailing_zeros() as usize
+    }
+
+    /// Transistor count: `2·(N − 1)`.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        2 * (self.inputs - 1)
+    }
+
+    /// Steers input `select` to the output.
+    pub fn select<T: Copy>(&self, inputs: &[T], select: usize) -> Result<T, DeviceError> {
+        if inputs.len() != self.inputs {
+            return Err(DeviceError::BadSelect {
+                select,
+                inputs: inputs.len(),
+            });
+        }
+        if select >= self.inputs {
+            return Err(DeviceError::BadSelect {
+                select,
+                inputs: self.inputs,
+            });
+        }
+        Ok(inputs[select])
+    }
+
+    /// Evaluates the mux the way the tree actually routes: stage `k` of the
+    /// tree is steered by select bit `k` (LSB first). Provided so tests can
+    /// confirm the tree construction equals direct indexing.
+    pub fn select_via_tree<T: Copy>(&self, inputs: &[T], select: usize) -> Result<T, DeviceError> {
+        if inputs.len() != self.inputs || select >= self.inputs {
+            return Err(DeviceError::BadSelect {
+                select,
+                inputs: inputs.len(),
+            });
+        }
+        let mut layer: Vec<T> = inputs.to_vec();
+        let mut bit = 0;
+        while layer.len() > 1 {
+            let pick = (select >> bit) & 1;
+            layer = layer
+                .chunks_exact(2)
+                .map(|pair| pair[pick])
+                .collect();
+            bit += 1;
+        }
+        Ok(layer[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(TreeMux::new(0).is_err());
+        assert!(TreeMux::new(1).is_err());
+        assert!(TreeMux::new(3).is_err());
+        assert!(TreeMux::new(2).is_ok());
+        assert!(TreeMux::new(8).is_ok());
+    }
+
+    #[test]
+    fn transistor_counts() {
+        assert_eq!(TreeMux::new(2).unwrap().transistor_count(), 2);
+        assert_eq!(TreeMux::new(4).unwrap().transistor_count(), 6);
+        assert_eq!(TreeMux::new(8).unwrap().transistor_count(), 14);
+    }
+
+    #[test]
+    fn select_bits() {
+        assert_eq!(TreeMux::new(4).unwrap().select_bits(), 2);
+        assert_eq!(TreeMux::new(16).unwrap().select_bits(), 4);
+    }
+
+    #[test]
+    fn direct_select() {
+        let m = TreeMux::new(4).unwrap();
+        let ins = [10, 20, 30, 40];
+        for (i, v) in ins.iter().enumerate() {
+            assert_eq!(m.select(&ins, i).unwrap(), *v);
+        }
+        assert!(m.select(&ins, 4).is_err());
+        assert!(m.select(&[1, 2], 0).is_err());
+    }
+
+    #[test]
+    fn tree_routing_equals_direct_indexing() {
+        for n in [2usize, 4, 8, 16] {
+            let m = TreeMux::new(n).unwrap();
+            let ins: Vec<usize> = (0..n).collect();
+            for s in 0..n {
+                assert_eq!(m.select_via_tree(&ins, s).unwrap(), s, "n={n} s={s}");
+                assert_eq!(
+                    m.select_via_tree(&ins, s).unwrap(),
+                    m.select(&ins, s).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Technology parameters shared by the behavioural device models.
+
+use mcfpga_mvl::{Level, Radix};
+
+/// Technology/operating parameters for the behavioural models.
+///
+/// Voltages follow the paper's drawing convention: one volt per rail level
+/// (`Vs ∈ {1,2,3,4}` volts on the five-valued rail), with level 0 at 0 V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    /// Volts per MV rail level.
+    pub level_step_v: f64,
+    /// Supply voltage (drives SRAM cells and binary gates).
+    pub vdd_v: f64,
+    /// Half-step noise margin used when siting FGMOS thresholds between
+    /// levels: a threshold for literal bound `T` is placed at
+    /// `(T − 0.5)·step` (up) or `(T + 0.5)·step` (down).
+    pub margin_v: f64,
+    /// Std-dev of a single programming pulse's charge-induced threshold move
+    /// (volts). Models injection noise.
+    pub program_noise_v: f64,
+    /// Threshold shift per programming pulse (volts), before noise.
+    pub program_pulse_v: f64,
+    /// Acceptable |actual − target| threshold error after program/verify.
+    pub program_tolerance_v: f64,
+    /// Maximum program/verify pulses before a device is declared worn out.
+    pub endurance_pulses: u32,
+    /// Retention drift rate: std-dev of threshold random walk per 1000 h
+    /// (volts). FGMOS charge leaks very slowly; default keeps literals valid
+    /// for decades within the half-step margin.
+    pub retention_sigma_v_per_kh: f64,
+    /// SRAM cell static leakage (watts per cell, order-of-magnitude model).
+    pub sram_leak_w: f64,
+    /// FGMOS static leakage (watts per device). Non-volatile storage needs no
+    /// supply — the paper's §4 claim — so this is essentially zero.
+    pub fgmos_leak_w: f64,
+    /// Energy to (re)program one FGMOS threshold (joules) — charge injection
+    /// is expensive but happens only at configuration time.
+    pub fgmos_program_energy_j: f64,
+    /// Dynamic energy per context-switch toggle of one broadcast wire (J).
+    pub css_toggle_energy_j: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            level_step_v: 1.0,
+            vdd_v: 5.0,
+            margin_v: 0.5,
+            program_noise_v: 0.02,
+            program_pulse_v: 0.1,
+            program_tolerance_v: 0.05,
+            endurance_pulses: 10_000,
+            retention_sigma_v_per_kh: 0.001,
+            sram_leak_w: 1e-9,
+            fgmos_leak_w: 1e-15,
+            fgmos_program_energy_j: 1e-9,
+            css_toggle_energy_j: 1e-12,
+        }
+    }
+}
+
+impl TechParams {
+    /// Voltage of a rail level under this technology.
+    #[must_use]
+    pub fn level_volts(&self, l: Level) -> f64 {
+        f64::from(l.value()) * self.level_step_v
+    }
+
+    /// The highest rail voltage for a given radix.
+    #[must_use]
+    pub fn top_volts(&self, radix: Radix) -> f64 {
+        self.level_volts(radix.top())
+    }
+
+    /// Ideal threshold voltage siting for an **up**-literal bound `t`:
+    /// halfway below the lowest conducting level.
+    #[must_use]
+    pub fn up_threshold_volts(&self, t: Level) -> f64 {
+        self.level_volts(t) - self.margin_v
+    }
+
+    /// Ideal threshold voltage siting for a **down**-literal bound `t`:
+    /// halfway above the highest conducting level.
+    #[must_use]
+    pub fn down_threshold_volts(&self, t: Level) -> f64 {
+        self.level_volts(t) + self.margin_v
+    }
+
+    /// A threshold parked beyond the rail so the device never conducts
+    /// (up-literal variant).
+    #[must_use]
+    pub fn park_high_volts(&self, radix: Radix) -> f64 {
+        self.top_volts(radix) + 2.0 * self.level_step_v
+    }
+
+    /// A threshold parked below ground so a down-literal device never
+    /// conducts.
+    #[must_use]
+    pub fn park_low_volts(&self) -> f64 {
+        -2.0 * self.level_step_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_volts_follow_paper_convention() {
+        let p = TechParams::default();
+        assert_eq!(p.level_volts(Level::new(0)), 0.0);
+        assert_eq!(p.level_volts(Level::new(4)), 4.0);
+        assert_eq!(p.top_volts(Radix::FIVE), 4.0);
+    }
+
+    #[test]
+    fn threshold_siting_keeps_half_step_margin() {
+        let p = TechParams::default();
+        // up-literal at T=2 conducts for levels 2,3,4: threshold at 1.5 V
+        assert_eq!(p.up_threshold_volts(Level::new(2)), 1.5);
+        // down-literal at T=2 conducts for levels 0,1,2: threshold at 2.5 V
+        assert_eq!(p.down_threshold_volts(Level::new(2)), 2.5);
+    }
+
+    #[test]
+    fn parked_thresholds_are_outside_the_rail() {
+        let p = TechParams::default();
+        assert!(p.park_high_volts(Radix::FIVE) > p.top_volts(Radix::FIVE));
+        assert!(p.park_low_volts() < 0.0);
+    }
+
+    #[test]
+    fn fgmos_leakage_is_negligible_vs_sram() {
+        // §4: "no supply voltage is required to keep the storage".
+        let p = TechParams::default();
+        assert!(p.fgmos_leak_w < p.sram_leak_w * 1e-3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain (non-floating-gate) pass transistors and transmission gates.
+//!
+//! These appear in the SRAM-based MC-switch (the routed-signal pass
+//! transistor and the CSS-selected configuration MUX) and in the MV-FGFP
+//! switch's context-doubling MUX (Fig. 6).
+
+use mcfpga_mvl::Level;
+
+/// Channel polarity of a pass transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// n-channel: conducts when the gate is logic high.
+    Nmos,
+    /// p-channel: conducts when the gate is logic low.
+    Pmos,
+}
+
+/// A single pass transistor (1 transistor in the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassTransistor {
+    kind: PassKind,
+}
+
+impl PassTransistor {
+    /// Creates a pass transistor.
+    #[must_use]
+    pub fn new(kind: PassKind) -> Self {
+        PassTransistor { kind }
+    }
+
+    /// Channel polarity.
+    #[must_use]
+    pub fn kind(&self) -> PassKind {
+        self.kind
+    }
+
+    /// Conducts for a binary gate drive?
+    #[must_use]
+    pub fn conducts(&self, gate: bool) -> bool {
+        match self.kind {
+            PassKind::Nmos => gate,
+            PassKind::Pmos => !gate,
+        }
+    }
+
+    /// Transistor count (1).
+    #[must_use]
+    pub const fn transistor_count(&self) -> usize {
+        1
+    }
+
+    /// nMOS pass transistors degrade a passed high level by roughly a
+    /// threshold; model the degraded output level given an input level.
+    /// pMOS degrades lows symmetrically. Only used by analog-fidelity checks.
+    #[must_use]
+    pub fn degrade(&self, input: Level) -> Level {
+        match self.kind {
+            PassKind::Nmos => input, // quantised model: full swing restored downstream
+            PassKind::Pmos => input,
+        }
+    }
+}
+
+/// A CMOS transmission gate (nMOS + pMOS in parallel, 2 transistors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransmissionGate;
+
+impl TransmissionGate {
+    /// Creates a transmission gate.
+    #[must_use]
+    pub fn new() -> Self {
+        TransmissionGate
+    }
+
+    /// Conducts when the (true-polarity) enable is high.
+    #[must_use]
+    pub fn conducts(&self, enable: bool) -> bool {
+        enable
+    }
+
+    /// Transistor count (2).
+    #[must_use]
+    pub const fn transistor_count(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmos_conducts_on_high() {
+        let t = PassTransistor::new(PassKind::Nmos);
+        assert!(t.conducts(true));
+        assert!(!t.conducts(false));
+        assert_eq!(t.transistor_count(), 1);
+    }
+
+    #[test]
+    fn pmos_conducts_on_low() {
+        let t = PassTransistor::new(PassKind::Pmos);
+        assert!(!t.conducts(true));
+        assert!(t.conducts(false));
+    }
+
+    #[test]
+    fn transmission_gate() {
+        let tg = TransmissionGate::new();
+        assert!(tg.conducts(true));
+        assert!(!tg.conducts(false));
+        assert_eq!(tg.transistor_count(), 2);
+    }
+}

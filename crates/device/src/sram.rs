@@ -1,0 +1,114 @@
+//! The 6T SRAM configuration cell.
+//!
+//! The conventional MC-switch (paper Fig. 2) keeps one SRAM bit per context;
+//! each cell costs six transistors and leaks statically as long as the
+//! supply is up — the overhead the FGFP approach removes.
+
+use crate::params::TechParams;
+
+/// A six-transistor SRAM cell storing one configuration bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SramCell {
+    value: bool,
+    powered: bool,
+}
+
+impl SramCell {
+    /// A powered cell holding 0.
+    #[must_use]
+    pub fn new() -> Self {
+        SramCell {
+            value: false,
+            powered: true,
+        }
+    }
+
+    /// Writes the cell. Writes to an unpowered cell are lost (reads return 0).
+    pub fn write(&mut self, v: bool) {
+        if self.powered {
+            self.value = v;
+        }
+    }
+
+    /// Reads the cell. An unpowered cell has lost its state.
+    #[must_use]
+    pub fn read(&self) -> bool {
+        self.powered && self.value
+    }
+
+    /// Cuts the supply: volatile storage is destroyed. This is the §4
+    /// contrast with FGFPs ("no supply voltage is required to keep the
+    /// storage").
+    pub fn power_down(&mut self) {
+        self.powered = false;
+        self.value = false;
+    }
+
+    /// Restores the supply; contents are undefined-as-zero after power-up.
+    pub fn power_up(&mut self) {
+        self.powered = true;
+    }
+
+    /// Is the supply up?
+    #[must_use]
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Transistor count (6).
+    #[must_use]
+    pub const fn transistor_count(&self) -> usize {
+        6
+    }
+
+    /// Static leakage of this cell (0 when powered down).
+    #[must_use]
+    pub fn static_power_w(&self, params: &TechParams) -> f64 {
+        if self.powered {
+            params.sram_leak_w
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut c = SramCell::new();
+        assert!(!c.read());
+        c.write(true);
+        assert!(c.read());
+        c.write(false);
+        assert!(!c.read());
+        assert_eq!(c.transistor_count(), 6);
+    }
+
+    #[test]
+    fn power_loss_destroys_state() {
+        let mut c = SramCell::new();
+        c.write(true);
+        c.power_down();
+        assert!(!c.read());
+        c.power_up();
+        assert!(!c.read(), "state must not survive a power cycle");
+        // and writes while unpowered are lost
+        let mut d = SramCell::new();
+        d.power_down();
+        d.write(true);
+        d.power_up();
+        assert!(!d.read());
+    }
+
+    #[test]
+    fn leaks_only_while_powered() {
+        let p = TechParams::default();
+        let mut c = SramCell::new();
+        assert!(c.static_power_w(&p) > 0.0);
+        c.power_down();
+        assert_eq!(c.static_power_w(&p), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the device models.
+
+use mcfpga_device::{Fgmos, FgmosMode, Programmer, TechParams, TreeMux};
+use mcfpga_mvl::{Level, Radix};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ideal programming realises the literal exactly, for every mode,
+    /// threshold and rail level.
+    #[test]
+    fn ideal_programming_matches_literal(t in 0u8..5, v in 0u8..5, up in any::<bool>()) {
+        let params = TechParams::default();
+        let mode = if up { FgmosMode::UpLiteral } else { FgmosMode::DownLiteral };
+        let mut d = Fgmos::new(mode);
+        d.program_ideal(Level::new(t), Radix::FIVE, &params).unwrap();
+        let want = if up { v >= t } else { v <= t };
+        prop_assert_eq!(d.conducts(Level::new(v), &params).unwrap(), want);
+    }
+
+    /// Noisy programming converges and behaves identically to ideal.
+    #[test]
+    fn noisy_equals_ideal(seed in 0u64..2000, t in 0u8..5, up in any::<bool>()) {
+        let params = TechParams::default();
+        let mode = if up { FgmosMode::UpLiteral } else { FgmosMode::DownLiteral };
+        let mut ideal = Fgmos::new(mode);
+        ideal.program_ideal(Level::new(t), Radix::FIVE, &params).unwrap();
+        let mut noisy = Fgmos::new(mode);
+        let mut prog = Programmer::new(seed, params.clone());
+        prog.program_literal(&mut noisy, Level::new(t), Radix::FIVE).unwrap();
+        for v in 0..5u8 {
+            prop_assert_eq!(
+                noisy.conducts(Level::new(v), &params).unwrap(),
+                ideal.conducts(Level::new(v), &params).unwrap(),
+                "t={} v={} up={}", t, v, up
+            );
+        }
+    }
+
+    /// Drift strictly smaller than the programmed margin never changes any
+    /// conduction decision.
+    #[test]
+    fn drift_within_margin_is_invisible(
+        seed in 0u64..500,
+        t in 0u8..5,
+        frac in -0.99f64..0.99,
+    ) {
+        let params = TechParams::default();
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        let mut prog = Programmer::new(seed, params.clone());
+        prog.program_literal(&mut d, Level::new(t), Radix::FIVE).unwrap();
+        let before: Vec<bool> = (0..5)
+            .map(|v| d.conducts(Level::new(v), &params).unwrap())
+            .collect();
+        let margin = d.drift_margin_volts(Radix::FIVE, &params).unwrap();
+        d.drift_threshold(frac * margin * 0.999);
+        let after: Vec<bool> = (0..5)
+            .map(|v| d.conducts(Level::new(v), &params).unwrap())
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Tree mux equals direct indexing for every power-of-two width.
+    #[test]
+    fn tree_mux_routes_correctly(log_n in 1u32..7, sel_seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let m = TreeMux::new(n).unwrap();
+        let inputs: Vec<usize> = (0..n).collect();
+        let sel = (sel_seed as usize) % n;
+        prop_assert_eq!(m.select_via_tree(&inputs, sel).unwrap(), sel);
+        prop_assert_eq!(m.transistor_count(), 2 * (n - 1));
+    }
+
+    /// Endurance pulses accumulate monotonically over reprogramming.
+    #[test]
+    fn endurance_monotone(seed in 0u64..200, cycles in 1usize..8) {
+        let params = TechParams::default();
+        let mut prog = Programmer::new(seed, params);
+        let mut d = Fgmos::new(FgmosMode::UpLiteral);
+        let mut last = 0;
+        for i in 0..cycles {
+            let t = Level::new((i % 5) as u8);
+            prog.program_literal(&mut d, t, Radix::FIVE).unwrap();
+            prop_assert!(d.total_pulses() > last);
+            last = d.total_pulses();
+        }
+    }
+}

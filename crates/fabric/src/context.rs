@@ -1,0 +1,114 @@
+//! Context sequencing and switching-energy accounting.
+//!
+//! Wraps a [`mcfpga_css::Schedule`] around a fabric: every step switches the
+//! broadcast CSS and charges the energy model — binary word toggles for the
+//! SRAM architecture, hybrid line toggles for the proposed one.
+
+use crate::FabricError;
+use mcfpga_core::ArchKind;
+use mcfpga_css::{BinaryCss, HybridCssGen, Schedule};
+use mcfpga_device::TechParams;
+
+/// Energy/latency statistics for replaying a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceStats {
+    /// Steps replayed.
+    pub steps: usize,
+    /// Steps where the context actually changed.
+    pub switches: usize,
+    /// Total broadcast-wire toggles.
+    pub wire_toggles: usize,
+    /// Dynamic energy spent toggling broadcast wires (joules).
+    pub dynamic_energy_j: f64,
+}
+
+/// Replays `schedule` against the CSS machinery of `arch`, counting
+/// broadcast toggles. (The fabric's switches respond combinationally; what
+/// costs energy at switch time is the broadcast network.)
+pub fn replay_schedule(
+    arch: ArchKind,
+    contexts: usize,
+    schedule: &Schedule,
+    params: &TechParams,
+) -> Result<SequenceStats, FabricError> {
+    let mut stats = SequenceStats {
+        steps: 0,
+        switches: 0,
+        wire_toggles: 0,
+        dynamic_energy_j: 0.0,
+    };
+    match arch {
+        ArchKind::Sram => {
+            let mut css = BinaryCss::new(contexts.next_power_of_two().max(2))
+                .map_err(mcfpga_core::CoreError::Css)?;
+            for ctx in schedule.iter() {
+                stats.steps += 1;
+                let t = css.hamming_to(ctx);
+                if t > 0 {
+                    stats.switches += 1;
+                }
+                stats.wire_toggles += t;
+                css.switch_to(ctx).map_err(mcfpga_core::CoreError::Css)?;
+            }
+        }
+        ArchKind::MvFgfp | ArchKind::Hybrid => {
+            let gen = HybridCssGen::new(contexts).map_err(mcfpga_core::CoreError::Css)?;
+            let mut cur = 0usize;
+            for ctx in schedule.iter() {
+                stats.steps += 1;
+                let t = gen
+                    .toggles_between(cur, ctx)
+                    .map_err(mcfpga_core::CoreError::Css)?;
+                if ctx != cur {
+                    stats.switches += 1;
+                }
+                stats.wire_toggles += t;
+                cur = ctx;
+            }
+        }
+    }
+    stats.dynamic_energy_j = stats.wire_toggles as f64 * params.css_toggle_energy_j;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_toggle_counts() {
+        let sched = Schedule::round_robin(4, 4).unwrap();
+        let p = TechParams::default();
+        let sram = replay_schedule(ArchKind::Sram, 4, &sched, &p).unwrap();
+        let hybrid = replay_schedule(ArchKind::Hybrid, 4, &sched, &p).unwrap();
+        assert_eq!(sram.steps, 16);
+        assert_eq!(sram.switches, 15, "first step lands on ctx 0 (no change)");
+        assert!(sram.wire_toggles > 0);
+        assert!(hybrid.wire_toggles > 0);
+        assert!(hybrid.dynamic_energy_j > 0.0);
+    }
+
+    #[test]
+    fn idle_schedule_costs_nothing() {
+        let sched = Schedule::explicit(4, vec![0, 0, 0, 0]).unwrap();
+        let p = TechParams::default();
+        for arch in ArchKind::all() {
+            let s = replay_schedule(arch, 4, &sched, &p).unwrap();
+            assert_eq!(s.switches, 0);
+            assert_eq!(s.wire_toggles, 0);
+            assert_eq!(s.dynamic_energy_j, 0.0);
+        }
+    }
+
+    #[test]
+    fn bursty_cheaper_than_random() {
+        let p = TechParams::default();
+        let bursty = Schedule::bursty(4, 256, 16, 5).unwrap();
+        let random = Schedule::random(4, 256, 5).unwrap();
+        for arch in [ArchKind::Sram, ArchKind::Hybrid] {
+            let b = replay_schedule(arch, 4, &bursty, &p).unwrap();
+            let r = replay_schedule(arch, 4, &random, &p).unwrap();
+            assert!(b.wire_toggles < r.wire_toggles, "{arch:?}");
+        }
+    }
+}

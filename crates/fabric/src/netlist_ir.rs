@@ -1,0 +1,476 @@
+//! Technology-mapped logic netlists (LUT DAGs).
+//!
+//! The front-end IR the mapper consumes: primary inputs, LUT nodes with
+//! truth tables, primary outputs. Includes reference evaluation (the golden
+//! model the fabric simulation is checked against), level analysis for
+//! temporal partitioning, and generators for the workloads the examples and
+//! benches use (ripple-carry adders, parity trees, mux trees).
+
+use crate::lut::tables;
+use crate::FabricError;
+
+/// Node identifier within a [`LogicNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A node: primary input or LUT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Primary input with a name.
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// A K-LUT over up to `k` fanins.
+    Lut {
+        /// Debug name.
+        name: String,
+        /// Fanin nodes (pin order = bit order).
+        fanin: Vec<NodeId>,
+        /// Truth table (LSB = all-zero input row).
+        table: u64,
+    },
+}
+
+/// A combinational LUT netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogicNetlist {
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl LogicNetlist {
+    /// Empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        LogicNetlist::default()
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: &str) -> NodeId {
+        self.nodes.push(Node::Input {
+            name: name.to_string(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a LUT node. Fanins must already exist (DAG by construction).
+    pub fn add_lut(
+        &mut self,
+        name: &str,
+        fanin: &[NodeId],
+        table: u64,
+    ) -> Result<NodeId, FabricError> {
+        if fanin.is_empty() || fanin.len() > 6 {
+            return Err(FabricError::BadNetlist(format!(
+                "lut {name} has {} fanins",
+                fanin.len()
+            )));
+        }
+        for f in fanin {
+            if f.0 >= self.nodes.len() {
+                return Err(FabricError::BadNetlist(format!(
+                    "lut {name} references missing node {}",
+                    f.0
+                )));
+            }
+        }
+        self.nodes.push(Node::Lut {
+            name: name.to_string(),
+            fanin: fanin.to_vec(),
+            table,
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Marks a node as a primary output.
+    pub fn add_output(&mut self, name: &str, node: NodeId) -> Result<(), FabricError> {
+        if node.0 >= self.nodes.len() {
+            return Err(FabricError::BadNetlist(format!(
+                "output {name} references missing node {}",
+                node.0
+            )));
+        }
+        self.outputs.push((name.to_string(), node));
+        Ok(())
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Primary outputs `(name, node)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Ids of primary inputs, in insertion order.
+    #[must_use]
+    pub fn input_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Input { .. }).then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Ids of LUT nodes, in insertion (topological) order.
+    #[must_use]
+    pub fn lut_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Lut { .. }).then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Number of LUT nodes.
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.lut_ids().len()
+    }
+
+    /// Reference evaluation: input name → value. Returns output name → value.
+    pub fn eval(
+        &self,
+        inputs: &[(&str, bool)],
+    ) -> Result<Vec<(String, bool)>, FabricError> {
+        let mut values: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n {
+                Node::Input { name } => {
+                    let v = inputs
+                        .iter()
+                        .find(|(n2, _)| n2 == name)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            FabricError::Unresolved(format!("input {name} not driven"))
+                        })?;
+                    values[i] = Some(v);
+                }
+                Node::Lut { fanin, table, .. } => {
+                    let mut row = 0usize;
+                    for (pin, f) in fanin.iter().enumerate() {
+                        let fv = values[f.0].ok_or_else(|| {
+                            FabricError::BadNetlist("fanin after node (not a DAG)".into())
+                        })?;
+                        if fv {
+                            row |= 1 << pin;
+                        }
+                    }
+                    values[i] = Some((table >> row) & 1 == 1);
+                }
+            }
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(name, id)| (name.clone(), values[id.0].expect("evaluated")))
+            .collect())
+    }
+
+    /// ASAP level of every node (inputs are level 0).
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let mut lv = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::Lut { fanin, .. } = n {
+                lv[i] = fanin.iter().map(|f| lv[f.0] + 1).max().unwrap_or(0);
+            }
+        }
+        lv
+    }
+
+    /// Depth of the netlist (max level).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Workload generators.
+pub mod generators {
+    use super::*;
+
+    /// `width`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`;
+    /// outputs `s0..`, `cout`. Uses 4-LUTs (xor3 for sum, maj3 for carry).
+    pub fn ripple_adder(width: usize) -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("b{i}"))).collect();
+        let mut carry = nl.add_input("cin");
+        for i in 0..width {
+            let sum = nl.add_lut(
+                &format!("sum{i}"),
+                &[a[i], b[i], carry],
+                tables::xor(3),
+            )?;
+            let cout = nl.add_lut(
+                &format!("carry{i}"),
+                &[a[i], b[i], carry],
+                tables::maj3(3),
+            )?;
+            nl.add_output(&format!("s{i}"), sum)?;
+            carry = cout;
+        }
+        nl.add_output("cout", carry)?;
+        Ok(nl)
+    }
+
+    /// Parity (XOR reduction) tree over `width` inputs `x0..`.
+    pub fn parity_tree(width: usize) -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        let mut layer: Vec<NodeId> =
+            (0..width).map(|i| nl.add_input(&format!("x{i}"))).collect();
+        let mut stage = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for (j, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    next.push(nl.add_lut(
+                        &format!("p{stage}_{j}"),
+                        &[pair[0], pair[1]],
+                        tables::xor(2),
+                    )?);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            stage += 1;
+        }
+        nl.add_output("parity", layer[0])?;
+        Ok(nl)
+    }
+
+    /// Balanced 2:1 mux tree selecting one of `2^sel_bits` data inputs.
+    pub fn mux_tree(sel_bits: usize) -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        let n = 1usize << sel_bits;
+        let sels: Vec<NodeId> = (0..sel_bits)
+            .map(|i| nl.add_input(&format!("sel{i}")))
+            .collect();
+        let mut layer: Vec<NodeId> = (0..n).map(|i| nl.add_input(&format!("d{i}"))).collect();
+        for (bit, sel) in sels.iter().enumerate() {
+            let mut next = Vec::new();
+            for (j, pair) in layer.chunks_exact(2).enumerate() {
+                next.push(nl.add_lut(
+                    &format!("m{bit}_{j}"),
+                    &[pair[0], pair[1], *sel],
+                    tables::mux2(3),
+                )?);
+            }
+            layer = next;
+        }
+        nl.add_output("out", layer[0])?;
+        Ok(nl)
+    }
+
+    /// A small "crossbar traffic" netlist: `lanes` independent buffers,
+    /// exercising pure routing with no logic depth.
+    pub fn wire_lanes(lanes: usize) -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        for i in 0..lanes {
+            let x = nl.add_input(&format!("in{i}"));
+            let b = nl.add_lut(&format!("buf{i}"), &[x], tables::buf(1))?;
+            nl.add_output(&format!("out{i}"), b)?;
+        }
+        Ok(nl)
+    }
+
+    /// `width`-bit equality comparator: inputs `a*`, `b*`; output `eq`.
+    /// XNOR per bit, AND-reduced in a tree.
+    pub fn equality_comparator(width: usize) -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("b{i}"))).collect();
+        // xnor(2) = !xor
+        let xnor2: u64 = !tables::xor(2) & 0b1111;
+        let mut layer: Vec<NodeId> = (0..width)
+            .map(|i| nl.add_lut(&format!("xnor{i}"), &[a[i], b[i]], xnor2))
+            .collect::<Result<_, _>>()?;
+        let mut stage = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for (j, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    next.push(nl.add_lut(
+                        &format!("and{stage}_{j}"),
+                        &[pair[0], pair[1]],
+                        tables::and(2),
+                    )?);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            stage += 1;
+        }
+        nl.add_output("eq", layer[0])?;
+        Ok(nl)
+    }
+
+    /// 4-input population count: inputs `x0..x3`; outputs `c0..c2`
+    /// (binary count of set bits). Built from two half-adders plus merge
+    /// LUTs — a denser routing workload than parity.
+    pub fn popcount4() -> Result<LogicNetlist, FabricError> {
+        let mut nl = LogicNetlist::new();
+        let x: Vec<NodeId> = (0..4).map(|i| nl.add_input(&format!("x{i}"))).collect();
+        // half adders on (x0,x1) and (x2,x3)
+        let s0 = nl.add_lut("ha0_s", &[x[0], x[1]], tables::xor(2))?;
+        let c0 = nl.add_lut("ha0_c", &[x[0], x[1]], tables::and(2))?;
+        let s1 = nl.add_lut("ha1_s", &[x[2], x[3]], tables::xor(2))?;
+        let c1 = nl.add_lut("ha1_c", &[x[2], x[3]], tables::and(2))?;
+        // sum bit 0 = s0 xor s1; carry into bit 1 = s0 and s1
+        let bit0 = nl.add_lut("bit0", &[s0, s1], tables::xor(2))?;
+        let mid = nl.add_lut("mid_c", &[s0, s1], tables::and(2))?;
+        // bit1 = c0 xor c1 xor mid; bit2 = majority(c0, c1, mid)
+        let bit1 = nl.add_lut("bit1", &[c0, c1, mid], tables::xor(3))?;
+        let bit2 = nl.add_lut("bit2", &[c0, c1, mid], tables::maj3(3))?;
+        nl.add_output("c0", bit0)?;
+        nl.add_output("c1", bit1)?;
+        nl.add_output("c2", bit2)?;
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generators::*;
+    use super::*;
+
+    #[test]
+    fn adder_is_correct_exhaustively_4bit() {
+        let nl = ripple_adder(4).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for cin in 0..2u32 {
+                    let mut ins: Vec<(String, bool)> = Vec::new();
+                    for i in 0..4 {
+                        ins.push((format!("a{i}"), (a >> i) & 1 == 1));
+                        ins.push((format!("b{i}"), (b >> i) & 1 == 1));
+                    }
+                    ins.push(("cin".to_string(), cin == 1));
+                    let ins_ref: Vec<(&str, bool)> =
+                        ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                    let out = nl.eval(&ins_ref).unwrap();
+                    let mut got = 0u32;
+                    for (name, v) in &out {
+                        if let Some(i) = name.strip_prefix('s') {
+                            if *v {
+                                got |= 1 << i.parse::<u32>().unwrap();
+                            }
+                        } else if name == "cout" && *v {
+                            got |= 1 << 4;
+                        }
+                    }
+                    assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let nl = parity_tree(8).unwrap();
+        for x in 0..256u32 {
+            let ins: Vec<(String, bool)> = (0..8)
+                .map(|i| (format!("x{i}"), (x >> i) & 1 == 1))
+                .collect();
+            let ins_ref: Vec<(&str, bool)> = ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let out = nl.eval(&ins_ref).unwrap();
+            assert_eq!(out[0].1, x.count_ones() % 2 == 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let nl = mux_tree(2).unwrap();
+        for sel in 0..4usize {
+            for data in 0..16usize {
+                let mut ins: Vec<(String, bool)> = (0..4)
+                    .map(|i| (format!("d{i}"), (data >> i) & 1 == 1))
+                    .collect();
+                ins.push(("sel0".into(), sel & 1 == 1));
+                ins.push(("sel1".into(), sel & 2 == 2));
+                let ins_ref: Vec<(&str, bool)> =
+                    ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let out = nl.eval(&ins_ref).unwrap();
+                assert_eq!(out[0].1, (data >> sel) & 1 == 1, "sel={sel} data={data}");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let nl = parity_tree(8).unwrap();
+        assert_eq!(nl.depth(), 3);
+        let nl = ripple_adder(4).unwrap();
+        assert_eq!(nl.depth(), 4, "carry chain dominates");
+    }
+
+    #[test]
+    fn bad_references_rejected() {
+        let mut nl = LogicNetlist::new();
+        let x = nl.add_input("x");
+        assert!(nl.add_lut("l", &[NodeId(5)], 0).is_err());
+        assert!(nl.add_lut("l", &[], 0).is_err());
+        assert!(nl.add_output("o", NodeId(9)).is_err());
+        assert!(nl.add_output("o", x).is_ok());
+    }
+
+    #[test]
+    fn missing_input_is_unresolved() {
+        let nl = wire_lanes(1).unwrap();
+        assert!(matches!(
+            nl.eval(&[]),
+            Err(FabricError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn comparator_matches_equality() {
+        let nl = equality_comparator(4).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut ins: Vec<(String, bool)> = Vec::new();
+                for i in 0..4 {
+                    ins.push((format!("a{i}"), (a >> i) & 1 == 1));
+                    ins.push((format!("b{i}"), (b >> i) & 1 == 1));
+                }
+                let ins_ref: Vec<(&str, bool)> =
+                    ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let out = nl.eval(&ins_ref).unwrap();
+                assert_eq!(out[0].1, a == b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount4_counts_bits() {
+        let nl = popcount4().unwrap();
+        for x in 0..16u32 {
+            let ins: Vec<(String, bool)> = (0..4)
+                .map(|i| (format!("x{i}"), (x >> i) & 1 == 1))
+                .collect();
+            let ins_ref: Vec<(&str, bool)> = ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let out = nl.eval(&ins_ref).unwrap();
+            let mut got = 0u32;
+            for (name, v) in &out {
+                if *v {
+                    got |= 1 << name.strip_prefix('c').unwrap().parse::<u32>().unwrap();
+                }
+            }
+            assert_eq!(got, x.count_ones(), "x={x}");
+        }
+    }
+}

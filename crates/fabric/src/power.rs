@@ -1,0 +1,88 @@
+//! Fabric-level area and static-power roll-up.
+//!
+//! The paper's §4 claim: "The use of FGFPs will be efficient in static power
+//! consumption in comparison with the SRAM-based one because no supply
+//! voltage is required to keep the storage." Here that becomes a number per
+//! architecture for an entire fabric's routing configuration storage.
+
+use crate::array::Fabric;
+use mcfpga_core::ArchKind;
+use mcfpga_device::TechParams;
+
+/// Static power and storage census of the routing fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Architecture assessed.
+    pub arch: ArchKind,
+    /// Total MC-switch cross-points.
+    pub crosspoints: usize,
+    /// Routing transistors (Table 1/2 accounting extended to the fabric).
+    pub routing_transistors: usize,
+    /// Volatile configuration bits kept alive by the supply.
+    pub volatile_bits: usize,
+    /// Static power of routing configuration storage (watts).
+    pub static_power_w: f64,
+}
+
+/// Computes the routing storage power report for `fabric`.
+#[must_use]
+pub fn routing_power(fabric: &Fabric, params: &TechParams) -> PowerReport {
+    let p = fabric.params();
+    let crosspoints = fabric.crosspoint_count();
+    let routing_transistors = fabric.routing_transistor_count();
+    let (volatile_bits, static_power_w) = match p.arch {
+        // every cross-point holds C SRAM bits that leak while powered
+        ArchKind::Sram => {
+            let bits = crosspoints * p.contexts;
+            (bits, bits as f64 * params.sram_leak_w)
+        }
+        // FGFP storage is charge on floating gates: no supply needed
+        ArchKind::MvFgfp | ArchKind::Hybrid => {
+            let devices = match p.arch {
+                ArchKind::MvFgfp => crosspoints * (3 * p.contexts / 2 - 2),
+                _ => crosspoints * p.contexts / 2,
+            };
+            (0, devices as f64 * params.fgmos_leak_w)
+        }
+    };
+    PowerReport {
+        arch: p.arch,
+        crosspoints,
+        routing_transistors,
+        volatile_bits,
+        static_power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::FabricParams;
+
+    fn fabric(arch: ArchKind) -> Fabric {
+        Fabric::new(FabricParams {
+            arch,
+            ..FabricParams::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sram_leaks_fgfp_does_not() {
+        let p = TechParams::default();
+        let sram = routing_power(&fabric(ArchKind::Sram), &p);
+        let hybrid = routing_power(&fabric(ArchKind::Hybrid), &p);
+        assert!(sram.volatile_bits > 0);
+        assert_eq!(hybrid.volatile_bits, 0);
+        assert!(sram.static_power_w > hybrid.static_power_w * 1e3);
+    }
+
+    #[test]
+    fn crosspoints_consistent_across_archs() {
+        let p = TechParams::default();
+        let a = routing_power(&fabric(ArchKind::Sram), &p);
+        let b = routing_power(&fabric(ArchKind::Hybrid), &p);
+        assert_eq!(a.crosspoints, b.crosspoints);
+        assert!(a.routing_transistors > b.routing_transistors);
+    }
+}

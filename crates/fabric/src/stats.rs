@@ -1,0 +1,129 @@
+//! Fabric utilization statistics: how much of each configuration plane a
+//! mapped design actually occupies — the quantity the MC-FPGA trades area
+//! for.
+
+use crate::array::{Fabric, Sink};
+use crate::FabricError;
+
+/// Per-context occupancy of fabric resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextStats {
+    /// Context measured.
+    pub ctx: usize,
+    /// Tiles with an active LUT plane (any programmed LUT input route).
+    pub luts_used: usize,
+    /// Channel wires driven.
+    pub wires_used: usize,
+    /// Total configured switch-block cross-points (sinks with a source).
+    pub crosspoints_used: usize,
+    /// Fraction of all sinks configured, 0..=1.
+    pub sink_utilization: f64,
+}
+
+/// Computes occupancy for one context.
+pub fn context_stats(fabric: &Fabric, ctx: usize) -> Result<ContextStats, FabricError> {
+    let params = fabric.params();
+    if ctx >= params.contexts {
+        return Err(FabricError::ContextOutOfRange {
+            ctx,
+            contexts: params.contexts,
+        });
+    }
+    let mut luts_used = 0usize;
+    let mut wires_used = 0usize;
+    let mut crosspoints_used = 0usize;
+    let mut total_sinks = 0usize;
+    for t in fabric.tiles() {
+        let tc = fabric.tile(t)?;
+        let sinks = fabric.sinks(t);
+        total_sinks += sinks.len();
+        let mut lut_active = false;
+        for (i, sink) in sinks.into_iter().enumerate() {
+            if tc.sb[ctx][i].is_some() {
+                crosspoints_used += 1;
+                match sink {
+                    Sink::WireTo { .. } => wires_used += 1,
+                    Sink::LutIn(_) => lut_active = true,
+                    Sink::IoOut(_) => {}
+                }
+            }
+        }
+        if lut_active {
+            luts_used += 1;
+        }
+    }
+    Ok(ContextStats {
+        ctx,
+        luts_used,
+        wires_used,
+        crosspoints_used,
+        sink_utilization: crosspoints_used as f64 / total_sinks.max(1) as f64,
+    })
+}
+
+/// Stats for every context plus the cross-context union utilization.
+pub fn all_context_stats(fabric: &Fabric) -> Result<Vec<ContextStats>, FabricError> {
+    (0..fabric.params().contexts)
+        .map(|c| context_stats(fabric, c))
+        .collect()
+}
+
+/// Renders a small utilization table.
+pub fn render_stats(stats: &[ContextStats]) -> String {
+    let mut s = String::from("ctx | luts | wires | crosspoints | sink util\n");
+    for st in stats {
+        s.push_str(&format!(
+            "{:>3} | {:>4} | {:>5} | {:>11} | {:>8.2}%\n",
+            st.ctx,
+            st.luts_used,
+            st.wires_used,
+            st.crosspoints_used,
+            st.sink_utilization * 100.0
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::FabricParams;
+    use crate::netlist_ir::generators;
+    use crate::route::implement_netlist;
+
+    #[test]
+    fn empty_fabric_has_zero_utilization() {
+        let f = Fabric::new(FabricParams::default()).unwrap();
+        for st in all_context_stats(&f).unwrap() {
+            assert_eq!(st.crosspoints_used, 0);
+            assert_eq!(st.luts_used, 0);
+            assert_eq!(st.sink_utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn mapped_context_shows_usage_others_stay_empty() {
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        let nl = generators::parity_tree(4).unwrap();
+        implement_netlist(&mut f, &nl, 1, 9).unwrap();
+        let stats = all_context_stats(&f).unwrap();
+        assert_eq!(stats[0].crosspoints_used, 0);
+        assert!(stats[1].crosspoints_used > 0);
+        assert_eq!(stats[1].luts_used, 3, "three XOR LUTs");
+        assert!(stats[1].sink_utilization > 0.0 && stats[1].sink_utilization < 0.5);
+        assert_eq!(stats[2].crosspoints_used, 0);
+    }
+
+    #[test]
+    fn render_contains_all_contexts() {
+        let f = Fabric::new(FabricParams::default()).unwrap();
+        let s = render_stats(&all_context_stats(&f).unwrap());
+        assert_eq!(s.lines().count(), 5); // header + 4 contexts
+    }
+
+    #[test]
+    fn out_of_range_ctx_rejected() {
+        let f = Fabric::new(FabricParams::default()).unwrap();
+        assert!(context_stats(&f, 4).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Temporal partitioning — time-multiplexed execution of a large circuit
+//! across contexts (the Trimberger-style use case the paper's introduction
+//! assumes, ref [1]).
+//!
+//! The LUT DAG is cut into `C` stages by logic level; stage `s` is mapped
+//! into context `s`. Values crossing a cut are written to a **context
+//! register file** (named `reg:<node>`) at the producing stage and read back
+//! as stage inputs downstream. Primary inputs are pad-held and available in
+//! every context.
+
+use crate::array::Fabric;
+use crate::lut::tables;
+use crate::netlist_ir::{LogicNetlist, Node, NodeId};
+use crate::route::{implement_netlist, RoutedDesign};
+use crate::sim::evaluate;
+use crate::FabricError;
+use std::collections::HashMap;
+
+/// A temporal partition of one netlist into stages.
+#[derive(Debug, Clone)]
+pub struct TemporalPartition {
+    /// One sub-netlist per stage (may be empty at the tail).
+    pub stages: Vec<LogicNetlist>,
+    /// Stage of every original LUT node.
+    pub stage_of: HashMap<NodeId, usize>,
+    /// Original primary output names (order preserved).
+    pub output_names: Vec<String>,
+}
+
+/// Partitions `netlist` into at most `contexts` stages by logic level.
+pub fn partition(netlist: &LogicNetlist, contexts: usize) -> Result<TemporalPartition, FabricError> {
+    if contexts == 0 {
+        return Err(FabricError::BadParams("contexts=0".into()));
+    }
+    let levels = netlist.levels();
+    let depth = netlist.depth().max(1);
+    let stage_count = contexts.min(depth);
+    // LUT level ℓ ∈ 1..=depth → stage floor((ℓ−1)·stage_count/depth)
+    let mut stage_of: HashMap<NodeId, usize> = HashMap::new();
+    for id in netlist.lut_ids() {
+        let l = levels[id.0];
+        stage_of.insert(id, (l.saturating_sub(1)) * stage_count / depth);
+    }
+
+    // which nodes need registering: LUT u consumed in a later stage,
+    // or driving a primary output from a non-final stage
+    let mut needs_reg: HashMap<NodeId, bool> = HashMap::new();
+    for id in netlist.lut_ids() {
+        if let Node::Lut { fanin, .. } = netlist.node(id) {
+            for f in fanin {
+                if let Node::Lut { .. } = netlist.node(*f) {
+                    if stage_of[f] < stage_of[&id] {
+                        needs_reg.insert(*f, true);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut stages: Vec<LogicNetlist> = Vec::with_capacity(stage_count);
+    let mut output_names = Vec::new();
+    for (name, _) in netlist.outputs() {
+        output_names.push(name.clone());
+    }
+    for s in 0..stage_count {
+        let mut sub = LogicNetlist::new();
+        // map original node → node in this stage's sub-netlist
+        let mut local: HashMap<NodeId, NodeId> = HashMap::new();
+        // resolve an original fanin node into this stage
+        // (primary input → re-declared input; earlier-stage LUT → reg input;
+        // same-stage LUT → local node, guaranteed by topological order)
+        let resolve =
+            |orig: NodeId, sub: &mut LogicNetlist, local: &mut HashMap<NodeId, NodeId>| {
+                if let Some(l) = local.get(&orig) {
+                    return *l;
+                }
+                let id = match netlist.node(orig) {
+                    Node::Input { name } => sub.add_input(name),
+                    Node::Lut { .. } => sub.add_input(&format!("reg:{}", orig.0)),
+                };
+                local.insert(orig, id);
+                id
+            };
+        for id in netlist.lut_ids() {
+            if stage_of[&id] != s {
+                continue;
+            }
+            let Node::Lut { name, fanin, table } = netlist.node(id) else {
+                unreachable!()
+            };
+            let mapped: Vec<NodeId> = fanin
+                .iter()
+                .map(|f| resolve(*f, &mut sub, &mut local))
+                .collect();
+            let new_id = sub.add_lut(name, &mapped, *table)?;
+            local.insert(id, new_id);
+            if needs_reg.get(&id).copied().unwrap_or(false) {
+                sub.add_output(&format!("reg:{}", id.0), new_id)?;
+            }
+        }
+        // primary outputs whose driver lives in this stage
+        for (name, driver) in netlist.outputs() {
+            match netlist.node(*driver) {
+                Node::Lut { .. } if stage_of[driver] == s => {
+                    sub.add_output(name, local[driver])?;
+                }
+                Node::Input { name: in_name } if s == 0 => {
+                    // degenerate pass-through: buffer it in stage 0
+                    let in_id = resolve(*driver, &mut sub, &mut local);
+                    let b = sub.add_lut(&format!("buf_{in_name}"), &[in_id], tables::buf(1))?;
+                    sub.add_output(name, b)?;
+                }
+                _ => {}
+            }
+        }
+        stages.push(sub);
+    }
+    Ok(TemporalPartition {
+        stages,
+        stage_of,
+        output_names,
+    })
+}
+
+/// Maps every stage of a partition into its context of `fabric`.
+pub fn implement(
+    fabric: &mut Fabric,
+    part: &TemporalPartition,
+    seed: u64,
+) -> Result<Vec<RoutedDesign>, FabricError> {
+    let mut designs = Vec::new();
+    for (s, sub) in part.stages.iter().enumerate() {
+        if sub.lut_count() == 0 && sub.outputs().is_empty() {
+            continue;
+        }
+        designs.push(implement_netlist(fabric, sub, s, seed.wrapping_add(s as u64))?);
+    }
+    Ok(designs)
+}
+
+/// Executes one "user cycle": runs every stage in order, moving register
+/// values through the context register file. Returns the primary outputs.
+pub fn execute(
+    fabric: &Fabric,
+    part: &TemporalPartition,
+    inputs: &[(&str, bool)],
+) -> Result<Vec<(String, bool)>, FabricError> {
+    let mut regs: HashMap<String, bool> = HashMap::new();
+    let mut primary: HashMap<String, bool> = HashMap::new();
+    for (s, sub) in part.stages.iter().enumerate() {
+        if sub.lut_count() == 0 && sub.outputs().is_empty() {
+            continue;
+        }
+        // stage inputs: primary inputs + register reads
+        let mut stage_inputs: Vec<(&str, bool)> = inputs.to_vec();
+        for (name, v) in &regs {
+            stage_inputs.push((name.as_str(), *v));
+        }
+        let (outs, _) = evaluate(fabric, s, &stage_inputs)?;
+        for (name, v) in outs {
+            if name.starts_with("reg:") {
+                regs.insert(name, v);
+            } else {
+                primary.insert(name, v);
+            }
+        }
+    }
+    Ok(part
+        .output_names
+        .iter()
+        .map(|n| {
+            (
+                n.clone(),
+                primary.get(n).copied().unwrap_or_default(),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::FabricParams;
+    use crate::netlist_ir::generators;
+
+    #[test]
+    fn partition_respects_level_order() {
+        let nl = generators::ripple_adder(4).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        assert_eq!(part.stages.len(), 4);
+        for id in nl.lut_ids() {
+            if let Node::Lut { fanin, .. } = nl.node(id) {
+                for f in fanin {
+                    if matches!(nl.node(*f), Node::Lut { .. }) {
+                        assert!(part.stage_of[f] <= part.stage_of[&id]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_adder_executes_correctly() {
+        let nl = generators::ripple_adder(3).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        let mut fabric = Fabric::new(FabricParams {
+            width: 4,
+            height: 4,
+            channel_width: 3,
+            ..FabricParams::default()
+        })
+        .unwrap();
+        implement(&mut fabric, &part, 17).unwrap();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let ins = [("a0".to_string(), a & 1 == 1),
+                    ("a1".to_string(), a & 2 == 2),
+                    ("a2".to_string(), a & 4 == 4),
+                    ("b0".to_string(), b & 1 == 1),
+                    ("b1".to_string(), b & 2 == 2),
+                    ("b2".to_string(), b & 4 == 4),
+                    ("cin".to_string(), false)];
+                let ins_ref: Vec<(&str, bool)> =
+                    ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let out = execute(&fabric, &part, &ins_ref).unwrap();
+                let mut got = 0u32;
+                for (name, v) in &out {
+                    if !v {
+                        continue;
+                    }
+                    match name.as_str() {
+                        "s0" => got |= 1,
+                        "s1" => got |= 2,
+                        "s2" => got |= 4,
+                        "cout" => got |= 8,
+                        _ => {}
+                    }
+                }
+                assert_eq!(got, a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_context_partition_is_flat() {
+        let nl = generators::parity_tree(4).unwrap();
+        let part = partition(&nl, 1).unwrap();
+        assert_eq!(part.stages.len(), 1);
+        assert_eq!(part.stages[0].lut_count(), nl.lut_count());
+    }
+
+    #[test]
+    fn registers_cross_stage_boundaries() {
+        let nl = generators::parity_tree(8).unwrap(); // depth 3
+        let part = partition(&nl, 3).unwrap();
+        // some stage must write registers
+        let reg_outs: usize = part
+            .stages
+            .iter()
+            .map(|s| {
+                s.outputs()
+                    .iter()
+                    .filter(|(n, _)| n.starts_with("reg:"))
+                    .count()
+            })
+            .sum();
+        assert!(reg_outs > 0);
+    }
+
+    #[test]
+    fn degenerate_input_to_output() {
+        let mut nl = LogicNetlist::new();
+        let x = nl.add_input("x");
+        nl.add_output("y", x).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        let mut fabric = Fabric::new(FabricParams::default()).unwrap();
+        implement(&mut fabric, &part, 3).unwrap();
+        let out = execute(&fabric, &part, &[("x", true)]).unwrap();
+        assert_eq!(out, vec![("y".to_string(), true)]);
+    }
+}

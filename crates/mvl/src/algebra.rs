@@ -1,0 +1,142 @@
+//! The (min, max, ¬) algebra on MV levels, plus threshold operators.
+//!
+//! The multiple-valued logic-in-memory style of ref [2] evaluates
+//! conjunctions as series conduction (wired-AND → `min`) and disjunctions as
+//! parallel conduction (wired-OR → `max`). This module provides free-function
+//! forms of the lattice operations, n-ary folds, and the threshold operator
+//! `T_k` used to collapse an MV value back to binary.
+
+use crate::level::{Level, Radix};
+
+/// MV conjunction: lattice meet (`min`).
+#[must_use]
+pub fn mv_and(a: Level, b: Level) -> Level {
+    a.and(b)
+}
+
+/// MV disjunction: lattice join (`max`).
+#[must_use]
+pub fn mv_or(a: Level, b: Level) -> Level {
+    a.or(b)
+}
+
+/// MV negation on a rail: `¬v = R − v` for `v ≥ 1`, `¬0 = 0`.
+#[must_use]
+pub fn mv_not(a: Level, radix: Radix) -> Level {
+    a.invert(radix)
+}
+
+/// n-ary meet. Returns the rail top for an empty input (identity of `min`).
+#[must_use]
+pub fn mv_and_all<I: IntoIterator<Item = Level>>(levels: I, radix: Radix) -> Level {
+    levels.into_iter().fold(radix.top(), Level::and)
+}
+
+/// n-ary join. Returns level 0 for an empty input (identity of `max`).
+#[must_use]
+pub fn mv_or_all<I: IntoIterator<Item = Level>>(levels: I) -> Level {
+    levels.into_iter().fold(Level::ZERO, Level::or)
+}
+
+/// Threshold operator `T_k(v) = 1 iff v ≥ k` — collapses MV to binary.
+///
+/// The paper's key sentence — "Threshold operation for 'AND-ing' the MV-CSS
+/// and the binary one implements the same function as 'AND-ing' two window
+/// literals" — is this operator applied to a *gated* MV signal: because the
+/// generator emits level 0 whenever the binary gate is 0, a single FGMOS
+/// threshold `k ≥ 1` on the gated signal simultaneously checks the binary
+/// gate (signal would be 0) and the MV residue (signal must reach `k`).
+#[must_use]
+pub fn threshold(v: Level, k: Level) -> bool {
+    v >= k
+}
+
+/// Dual threshold `T̄_k(v) = 1 iff v ≤ k`.
+#[must_use]
+pub fn threshold_down(v: Level, k: Level) -> bool {
+    v <= k
+}
+
+/// Checks the De Morgan dual `¬(a ∧ b) = ¬a ∨ ¬b` for one pair on a rail,
+/// **restricted to the MV sub-rail** (levels ≥ 1), where inversion is a true
+/// order-reversing involution.
+#[must_use]
+pub fn de_morgan_holds(a: Level, b: Level, radix: Radix) -> bool {
+    if a.is_off() || b.is_off() {
+        return true; // inversion is not an involution through the off level
+    }
+    mv_not(mv_and(a, b), radix) == mv_or(mv_not(a, radix), mv_not(b, radix))
+        && mv_not(mv_or(a, b), radix) == mv_and(mv_not(a, radix), mv_not(b, radix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: Radix = Radix::FIVE;
+
+    #[test]
+    fn lattice_laws_exhaustive() {
+        for a in R.all_levels() {
+            for b in R.all_levels() {
+                // commutativity
+                assert_eq!(mv_and(a, b), mv_and(b, a));
+                assert_eq!(mv_or(a, b), mv_or(b, a));
+                // absorption
+                assert_eq!(mv_or(a, mv_and(a, b)), a);
+                assert_eq!(mv_and(a, mv_or(a, b)), a);
+                for c in R.all_levels() {
+                    // associativity
+                    assert_eq!(mv_and(a, mv_and(b, c)), mv_and(mv_and(a, b), c));
+                    assert_eq!(mv_or(a, mv_or(b, c)), mv_or(mv_or(a, b), c));
+                    // distributivity (min/max lattice is distributive)
+                    assert_eq!(
+                        mv_and(a, mv_or(b, c)),
+                        mv_or(mv_and(a, b), mv_and(a, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_on_mv_subrail() {
+        for a in R.all_levels() {
+            for b in R.all_levels() {
+                assert!(de_morgan_holds(a, b, R), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nary_folds() {
+        let ls = [Level::new(2), Level::new(4), Level::new(1)];
+        assert_eq!(mv_and_all(ls, R), Level::new(1));
+        assert_eq!(mv_or_all(ls), Level::new(4));
+        assert_eq!(mv_and_all([], R), R.top());
+        assert_eq!(mv_or_all([]), Level::ZERO);
+    }
+
+    #[test]
+    fn threshold_collapse() {
+        assert!(threshold(Level::new(3), Level::new(2)));
+        assert!(!threshold(Level::new(1), Level::new(2)));
+        assert!(threshold_down(Level::new(1), Level::new(2)));
+        assert!(!threshold_down(Level::new(3), Level::new(2)));
+    }
+
+    #[test]
+    fn gated_signal_single_threshold_checks_both_conditions() {
+        // The paper's central trick, in miniature: with the gated signal
+        // g = gate(bin, Vs), a single threshold k>=1 implements
+        // (bin == 1) AND (Vs >= k).
+        for bin in [false, true] {
+            for vs in R.mv_levels() {
+                let g = vs.gate(bin);
+                for k in R.mv_levels() {
+                    assert_eq!(threshold(g, k), bin && vs >= k);
+                }
+            }
+        }
+    }
+}

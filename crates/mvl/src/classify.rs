@@ -1,0 +1,109 @@
+//! Classification of context functions by window structure.
+//!
+//! The pure MV-FGFP switch provisions `⌈C/2⌉` window branches; how much of
+//! that capacity real configurations use is a distribution question. This
+//! module computes, for a context count, the histogram of functions by
+//! minimal window count — the combinatorial backbone of the redundancy
+//! numbers in `mcfpga-core::redundancy`.
+
+use crate::ctxset::CtxSet;
+use crate::window::max_windows_needed;
+
+/// `histogram[k]` = number of functions over `contexts` contexts whose
+/// minimal decomposition has exactly `k` windows. Exhaustive; `contexts`
+/// must be ≤ 20.
+#[must_use]
+pub fn window_histogram(contexts: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_windows_needed(contexts) + 1];
+    for s in CtxSet::enumerate_all(contexts).expect("small context count") {
+        hist[s.run_count()] += 1;
+    }
+    hist
+}
+
+/// Closed form for the same histogram: the number of ON-sets of `n`
+/// contexts with exactly `k` maximal runs is `C(n+1, 2k)` — choose the `2k`
+/// run boundaries among the `n+1` gaps.
+#[must_use]
+pub fn window_histogram_closed_form(contexts: usize) -> Vec<usize> {
+    let n = contexts;
+    (0..=max_windows_needed(n))
+        .map(|k| binomial(n + 1, 2 * k))
+        .collect()
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..k {
+        num *= (n - i) as u128;
+        den *= (i + 1) as u128;
+    }
+    usize::try_from(num / den).expect("fits usize")
+}
+
+/// Fraction of functions that waste at least one branch of the provisioned
+/// `⌈C/2⌉` (i.e. need strictly fewer windows).
+#[must_use]
+pub fn wasteful_fraction(contexts: usize) -> f64 {
+    let hist = window_histogram(contexts);
+    let max = max_windows_needed(contexts);
+    let total: usize = hist.iter().sum();
+    let wasteful: usize = hist[..max].iter().sum();
+    wasteful as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c4_histogram() {
+        // 16 functions: 1 empty, 10 single-window (intervals), 5 two-window
+        assert_eq!(window_histogram(4), vec![1, 10, 5]);
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_up_to_12() {
+        for n in 1..=12 {
+            assert_eq!(
+                window_histogram(n),
+                window_histogram_closed_form(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_2_pow_n() {
+        for n in 1..=12 {
+            let total: usize = window_histogram(n).iter().sum();
+            assert_eq!(total, 1usize << n);
+        }
+    }
+
+    #[test]
+    fn wasteful_fraction_c4() {
+        // 11 of 16 functions use fewer than 2 windows
+        assert!((wasteful_fraction(4) - 11.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_grows_with_contexts() {
+        // provisioning for the worst case gets relatively more wasteful
+        assert!(wasteful_fraction(8) > wasteful_fraction(4));
+        assert!(wasteful_fraction(12) > wasteful_fraction(8));
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(9, 4), 126);
+    }
+}

@@ -1,0 +1,323 @@
+//! ON-sets of contexts.
+//!
+//! A multi-context switch is configured by choosing, for every context, whether
+//! the switch conducts. That configuration is exactly a subset of the context
+//! ids — the function `F` of the paper's Fig. 3. [`CtxSet`] is a compact
+//! bitmask representation of such a subset for up to 64 contexts.
+
+use crate::MvlError;
+
+/// A set of context ids, over a domain of `contexts` contexts (`≤ 64`).
+///
+/// The pair `(mask, contexts)` is kept together so that complement and
+/// universal-set operations are well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtxSet {
+    mask: u64,
+    contexts: usize,
+}
+
+impl CtxSet {
+    /// Maximum number of contexts representable.
+    pub const MAX_CONTEXTS: usize = 64;
+
+    /// Empty set over a domain of `contexts` contexts.
+    pub fn empty(contexts: usize) -> Result<Self, MvlError> {
+        if contexts == 0 || contexts > Self::MAX_CONTEXTS {
+            return Err(MvlError::BadContextCount(contexts));
+        }
+        Ok(CtxSet { mask: 0, contexts })
+    }
+
+    /// The full set (switch ON in every context).
+    pub fn full(contexts: usize) -> Result<Self, MvlError> {
+        let mut s = Self::empty(contexts)?;
+        s.mask = Self::domain_mask(contexts);
+        Ok(s)
+    }
+
+    /// Builds a set from an iterator of context ids.
+    pub fn from_ctxs<I: IntoIterator<Item = usize>>(
+        contexts: usize,
+        ctxs: I,
+    ) -> Result<Self, MvlError> {
+        let mut s = Self::empty(contexts)?;
+        for c in ctxs {
+            s.insert(c)?;
+        }
+        Ok(s)
+    }
+
+    /// Builds a set from a raw bitmask; bits above the domain are rejected.
+    pub fn from_mask(contexts: usize, mask: u64) -> Result<Self, MvlError> {
+        Self::empty(contexts)?;
+        if mask & !Self::domain_mask(contexts) != 0 {
+            return Err(MvlError::ContextOutOfRange {
+                ctx: (63 - mask.leading_zeros()) as usize,
+                contexts,
+            });
+        }
+        Ok(CtxSet { mask, contexts })
+    }
+
+    fn domain_mask(contexts: usize) -> u64 {
+        if contexts == 64 {
+            u64::MAX
+        } else {
+            (1u64 << contexts) - 1
+        }
+    }
+
+    /// Number of contexts in the domain (not the cardinality of the set).
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Raw bitmask.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of contexts in which the switch is ON.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Is the set empty (switch never conducts)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Is the set full (switch always conducts)?
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.mask == Self::domain_mask(self.contexts)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ctx: usize) -> Result<bool, MvlError> {
+        self.check(ctx)?;
+        Ok(self.mask & (1u64 << ctx) != 0)
+    }
+
+    /// Membership test that panics on out-of-domain contexts.
+    ///
+    /// Convenient inside hot simulator loops where the context id is already
+    /// validated.
+    #[must_use]
+    pub fn get(&self, ctx: usize) -> bool {
+        assert!(ctx < self.contexts, "context {ctx} out of domain");
+        self.mask & (1u64 << ctx) != 0
+    }
+
+    /// Inserts a context id.
+    pub fn insert(&mut self, ctx: usize) -> Result<(), MvlError> {
+        self.check(ctx)?;
+        self.mask |= 1u64 << ctx;
+        Ok(())
+    }
+
+    /// Removes a context id.
+    pub fn remove(&mut self, ctx: usize) -> Result<(), MvlError> {
+        self.check(ctx)?;
+        self.mask &= !(1u64 << ctx);
+        Ok(())
+    }
+
+    fn check(&self, ctx: usize) -> Result<(), MvlError> {
+        if ctx >= self.contexts {
+            Err(MvlError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Set union (switch functions OR — Fig. 3's wired-OR of window literals).
+    #[must_use]
+    pub fn union(&self, other: &CtxSet) -> CtxSet {
+        assert_eq!(self.contexts, other.contexts, "context domains differ");
+        CtxSet {
+            mask: self.mask | other.mask,
+            contexts: self.contexts,
+        }
+    }
+
+    /// Set intersection (wired-AND of series literals).
+    #[must_use]
+    pub fn intersection(&self, other: &CtxSet) -> CtxSet {
+        assert_eq!(self.contexts, other.contexts, "context domains differ");
+        CtxSet {
+            mask: self.mask & other.mask,
+            contexts: self.contexts,
+        }
+    }
+
+    /// Set complement within the domain.
+    #[must_use]
+    pub fn complement(&self) -> CtxSet {
+        CtxSet {
+            mask: !self.mask & Self::domain_mask(self.contexts),
+            contexts: self.contexts,
+        }
+    }
+
+    /// Symmetric difference.
+    #[must_use]
+    pub fn symmetric_difference(&self, other: &CtxSet) -> CtxSet {
+        assert_eq!(self.contexts, other.contexts, "context domains differ");
+        CtxSet {
+            mask: self.mask ^ other.mask,
+            contexts: self.contexts,
+        }
+    }
+
+    /// Is `self` a subset of `other`?
+    #[must_use]
+    pub fn is_subset(&self, other: &CtxSet) -> bool {
+        assert_eq!(self.contexts, other.contexts, "context domains differ");
+        self.mask & !other.mask == 0
+    }
+
+    /// Iterator over member context ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let contexts = self.contexts;
+        let mask = self.mask;
+        (0..contexts).filter(move |c| mask & (1u64 << c) != 0)
+    }
+
+    /// Iterator over every subset of the domain — i.e. every possible switch
+    /// configuration. Only sensible for small domains (`contexts ≤ ~20`).
+    pub fn enumerate_all(contexts: usize) -> Result<impl Iterator<Item = CtxSet>, MvlError> {
+        if contexts == 0 || contexts > 20 {
+            return Err(MvlError::BadContextCount(contexts));
+        }
+        let n = 1u64 << contexts;
+        Ok((0..n).map(move |mask| CtxSet { mask, contexts }))
+    }
+
+    /// The number of *maximal runs* of consecutive ON contexts.
+    ///
+    /// This is exactly the number of window literals the Fig. 3 decomposition
+    /// produces, and therefore the number of parallel FGMOS branches the pure
+    /// MV switch of ref [3] needs for this function.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        let mut runs = 0;
+        let mut prev = false;
+        for c in 0..self.contexts {
+            let cur = self.mask & (1u64 << c) != 0;
+            if cur && !prev {
+                runs += 1;
+            }
+            prev = cur;
+        }
+        runs
+    }
+}
+
+impl std::fmt::Display for CtxSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+        assert!(!s.get(0));
+        assert!(s.get(1));
+        assert!(!s.get(2));
+        assert!(s.get(3));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.to_string(), "{1,3}");
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        assert!(CtxSet::empty(0).is_err());
+        assert!(CtxSet::empty(65).is_err());
+        assert!(CtxSet::empty(64).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_ctx() {
+        let mut s = CtxSet::empty(4).unwrap();
+        assert!(s.insert(4).is_err());
+        assert!(s.insert(3).is_ok());
+        assert_eq!(
+            s.contains(9),
+            Err(MvlError::ContextOutOfRange { ctx: 9, contexts: 4 })
+        );
+    }
+
+    #[test]
+    fn from_mask_validates() {
+        assert!(CtxSet::from_mask(4, 0b1010).is_ok());
+        assert!(CtxSet::from_mask(4, 0b10000).is_err());
+        assert!(CtxSet::from_mask(64, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = CtxSet::from_ctxs(8, [0, 2, 4]).unwrap();
+        let b = CtxSet::from_ctxs(8, [2, 3]).unwrap();
+        assert_eq!(a.union(&b), CtxSet::from_ctxs(8, [0, 2, 3, 4]).unwrap());
+        assert_eq!(a.intersection(&b), CtxSet::from_ctxs(8, [2]).unwrap());
+        assert_eq!(
+            a.complement(),
+            CtxSet::from_ctxs(8, [1, 3, 5, 6, 7]).unwrap()
+        );
+        assert_eq!(
+            a.symmetric_difference(&b),
+            CtxSet::from_ctxs(8, [0, 3, 4]).unwrap()
+        );
+        assert!(CtxSet::from_ctxs(8, [2]).unwrap().is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn complement_of_full_is_empty() {
+        for n in [1, 4, 8, 63, 64] {
+            let full = CtxSet::full(n).unwrap();
+            assert!(full.is_full());
+            assert!(full.complement().is_empty());
+        }
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(CtxSet::enumerate_all(4).unwrap().count(), 16);
+        assert!(CtxSet::enumerate_all(21).is_err());
+    }
+
+    #[test]
+    fn run_count_examples() {
+        // Fig. 3: F ON at {1,3} → two windows.
+        assert_eq!(CtxSet::from_ctxs(4, [1, 3]).unwrap().run_count(), 2);
+        assert_eq!(CtxSet::from_ctxs(4, [1, 2]).unwrap().run_count(), 1);
+        assert_eq!(CtxSet::empty(4).unwrap().run_count(), 0);
+        assert_eq!(CtxSet::full(4).unwrap().run_count(), 1);
+        // alternating worst case: ⌈C/2⌉ runs
+        assert_eq!(CtxSet::from_ctxs(8, [0, 2, 4, 6]).unwrap().run_count(), 4);
+    }
+}

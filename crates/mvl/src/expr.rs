@@ -1,0 +1,250 @@
+//! A small multiple-valued expression AST.
+//!
+//! Used to describe the behaviour of signal-generation circuitry (the Fig. 8
+//! MV/B-CSS generator) declaratively, to cross-check hand-built circuit
+//! models against an executable specification, and to state algebraic
+//! identities in tests.
+
+use crate::level::{Level, Radix};
+
+/// Inputs to an expression: named MV rails and named binary wires.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    mv: Vec<(String, Level)>,
+    bin: Vec<(String, bool)>,
+}
+
+impl Env {
+    /// Empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds an MV rail value.
+    pub fn set_mv(&mut self, name: &str, v: Level) -> &mut Self {
+        if let Some(slot) = self.mv.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = v;
+        } else {
+            self.mv.push((name.to_string(), v));
+        }
+        self
+    }
+
+    /// Binds a binary wire value.
+    pub fn set_bin(&mut self, name: &str, v: bool) -> &mut Self {
+        if let Some(slot) = self.bin.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = v;
+        } else {
+            self.bin.push((name.to_string(), v));
+        }
+        self
+    }
+
+    /// Looks up an MV rail.
+    #[must_use]
+    pub fn mv(&self, name: &str) -> Option<Level> {
+        self.mv.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a binary wire.
+    #[must_use]
+    pub fn bin(&self, name: &str) -> Option<bool> {
+        self.bin.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Multiple-valued expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvExpr {
+    /// A constant level.
+    Const(Level),
+    /// An MV input rail by name.
+    Input(String),
+    /// Lattice meet (series conduction / wired-AND).
+    Min(Box<MvExpr>, Box<MvExpr>),
+    /// Lattice join (parallel conduction / wired-OR).
+    Max(Box<MvExpr>, Box<MvExpr>),
+    /// MV inversion `¬v = R − v` (the Fig. 8 `¬Vs` rail).
+    Not(Box<MvExpr>),
+    /// Binary gating: MV value if the named binary wire is 1, else level 0
+    /// (the Fig. 8 output stage: "The output is same as the MV-CSS when the
+    /// binary CSS is 1. Otherwise, the output is 0").
+    Gate(String, Box<MvExpr>),
+}
+
+impl MvExpr {
+    /// Constant expression.
+    #[must_use]
+    pub fn constant(v: Level) -> Self {
+        MvExpr::Const(v)
+    }
+
+    /// Input rail expression.
+    #[must_use]
+    pub fn input(name: &str) -> Self {
+        MvExpr::Input(name.to_string())
+    }
+
+    /// `min(self, rhs)`.
+    #[must_use]
+    pub fn min(self, rhs: MvExpr) -> Self {
+        MvExpr::Min(Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    #[must_use]
+    pub fn max(self, rhs: MvExpr) -> Self {
+        MvExpr::Max(Box::new(self), Box::new(rhs))
+    }
+
+    /// MV inversion.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not an operator impl
+    pub fn not(self) -> Self {
+        MvExpr::Not(Box::new(self))
+    }
+
+    /// Binary gating by wire `name`.
+    #[must_use]
+    pub fn gated_by(self, name: &str) -> Self {
+        MvExpr::Gate(name.to_string(), Box::new(self))
+    }
+
+    /// Evaluates the expression. Missing inputs evaluate to level 0 / gate
+    /// open — the electrical analogue of an undriven node pulled down.
+    #[must_use]
+    pub fn eval(&self, env: &Env, radix: Radix) -> Level {
+        match self {
+            MvExpr::Const(v) => *v,
+            MvExpr::Input(name) => env.mv(name).unwrap_or(Level::ZERO),
+            MvExpr::Min(a, b) => a.eval(env, radix).and(b.eval(env, radix)),
+            MvExpr::Max(a, b) => a.eval(env, radix).or(b.eval(env, radix)),
+            MvExpr::Not(a) => a.eval(env, radix).invert(radix),
+            MvExpr::Gate(name, a) => a.eval(env, radix).gate(env.bin(name).unwrap_or(false)),
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            MvExpr::Const(_) | MvExpr::Input(_) => 1,
+            MvExpr::Min(a, b) | MvExpr::Max(a, b) => 1 + a.size() + b.size(),
+            MvExpr::Not(a) | MvExpr::Gate(_, a) => 1 + a.size(),
+        }
+    }
+}
+
+impl std::fmt::Display for MvExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MvExpr::Const(v) => write!(f, "{v}"),
+            MvExpr::Input(n) => write!(f, "{n}"),
+            MvExpr::Min(a, b) => write!(f, "min({a},{b})"),
+            MvExpr::Max(a, b) => write!(f, "max({a},{b})"),
+            MvExpr::Not(a) => write!(f, "¬({a})"),
+            MvExpr::Gate(n, a) => write!(f, "[{n}]·({a})"),
+        }
+    }
+}
+
+/// The four hybrid CSS outputs of Fig. 8 as executable specifications:
+/// `(S0·Vs, S0·¬Vs, ¬S0·Vs, ¬S0·¬Vs)` where `·` is binary gating and the
+/// binary complement is a separate wire `nS0`.
+#[must_use]
+pub fn hybrid_css_spec() -> [MvExpr; 4] {
+    let vs = || MvExpr::input("Vs");
+    [
+        vs().gated_by("S0"),
+        vs().not().gated_by("S0"),
+        vs().gated_by("nS0"),
+        vs().not().gated_by("nS0"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: Radix = Radix::FIVE;
+
+    #[test]
+    fn eval_basics() {
+        let mut env = Env::new();
+        env.set_mv("a", Level::new(3)).set_bin("g", true);
+        let e = MvExpr::input("a").min(MvExpr::constant(Level::new(2)));
+        assert_eq!(e.eval(&env, R), Level::new(2));
+        let e2 = MvExpr::input("a").gated_by("g");
+        assert_eq!(e2.eval(&env, R), Level::new(3));
+        env.set_bin("g", false);
+        assert_eq!(e2.eval(&env, R), Level::ZERO);
+    }
+
+    #[test]
+    fn missing_inputs_float_low() {
+        let env = Env::new();
+        assert_eq!(MvExpr::input("zz").eval(&env, R), Level::ZERO);
+        assert_eq!(
+            MvExpr::input("zz").gated_by("gg").eval(&env, R),
+            Level::ZERO
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // ctx indexes the expectation table
+    fn hybrid_spec_matches_fig7_waveforms() {
+        // Fig. 7 tabulated: context 0..4 with Vs = ctx+1, S0 = ctx & 1.
+        // Panel (a) S0·Vs:   ctx {0,2} → 0;     ctx {1,3} → Vs (2, 4)
+        // Panel (b) S0·¬Vs:  ctx {0,2} → 0;     ctx {1,3} → 5−Vs (3, 1)
+        // Panel (c) ¬S0·Vs:  ctx {1,3} → 0;     ctx {0,2} → Vs (1, 3)
+        // Panel (d) ¬S0·¬Vs: ctx {1,3} → 0;     ctx {0,2} → 5−Vs (4, 2)
+        let spec = hybrid_css_spec();
+        let expected: [[u8; 4]; 4] = [
+            // ctx:      0  1  2  3
+            /* S0·Vs  */ [0, 2, 0, 4],
+            /* S0·¬Vs */ [0, 3, 0, 1],
+            /* ¬S0·Vs */ [1, 0, 3, 0],
+            /* ¬S0·¬Vs*/ [4, 0, 2, 0],
+        ];
+        for ctx in 0..4usize {
+            let mut env = Env::new();
+            env.set_mv("Vs", Level::encode_ctx(ctx))
+                .set_bin("S0", ctx & 1 == 1)
+                .set_bin("nS0", ctx & 1 == 0);
+            for (i, e) in spec.iter().enumerate() {
+                assert_eq!(
+                    e.eval(&env, R),
+                    Level::new(expected[i][ctx]),
+                    "signal {i} ctx {ctx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_hybrid_signal_nonzero_per_polarity() {
+        // For every context, each FGMOS sees exactly one of its two candidate
+        // gate signals nonzero only when its polarity matches.
+        let spec = hybrid_css_spec();
+        for ctx in 0..4usize {
+            let mut env = Env::new();
+            env.set_mv("Vs", Level::encode_ctx(ctx))
+                .set_bin("S0", ctx & 1 == 1)
+                .set_bin("nS0", ctx & 1 == 0);
+            let nonzero: Vec<bool> = spec
+                .iter()
+                .map(|e| !e.eval(&env, R).is_off())
+                .collect();
+            // exactly two of four are live (the matching-polarity pair)
+            assert_eq!(nonzero.iter().filter(|&&b| b).count(), 2, "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn display_and_size() {
+        let e = MvExpr::input("Vs").not().gated_by("S0");
+        assert_eq!(e.to_string(), "[S0]·(¬(Vs))");
+        assert_eq!(e.size(), 3);
+    }
+}

@@ -1,0 +1,309 @@
+//! Quantised multiple-valued rail levels.
+//!
+//! The paper's hybrid context-switching signal mixes a binary gate with a
+//! multiple-valued residue. For `C = 4` contexts the residue rail carries
+//! **five** distinguishable levels `0..=4`:
+//!
+//! * level `0` — the binary "off" level (the output of the Fig. 8 generator
+//!   when its binary input is 0);
+//! * levels `1..=4` — the MV context residue, `Vs = ctx + 1`.
+//!
+//! "Five-valued signals are required to make a clear distinction between the
+//! 0-level of binary and that of multiple-valued" (§3). The MV inversion used
+//! by the generator is `¬Vs = 5 − Vs`; level 0 is a fixed point of gating,
+//! not of inversion (inversion is only defined on the MV sub-rail `1..=R−1`).
+
+use crate::MvlError;
+
+/// The radix (number of distinguishable levels) of an MV rail.
+///
+/// A rail of radix `R` carries levels `0..=R-1`. For `C` contexts encoded on
+/// the MV part, the hybrid scheme needs radix `C + 1` (level 0 reserved for
+/// the binary off state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Radix(u8);
+
+impl Radix {
+    /// Five-valued rail used by the 4-context hybrid CSS of the paper.
+    pub const FIVE: Radix = Radix(5);
+
+    /// Creates a radix. Must be at least 2 (binary).
+    ///
+    /// # Panics
+    /// Panics if `r < 2`.
+    #[must_use]
+    pub fn new(r: u8) -> Self {
+        assert!(r >= 2, "radix must be >= 2, got {r}");
+        Radix(r)
+    }
+
+    /// Radix needed to carry `contexts` MV residues plus the binary-off level.
+    ///
+    /// `contexts` here is the number of contexts *resolved by the MV part*
+    /// (4 in the paper's base block, regardless of total context count).
+    #[must_use]
+    pub fn for_contexts(contexts: usize) -> Self {
+        let c = u8::try_from(contexts).expect("context count fits in u8");
+        Radix::new(c + 1)
+    }
+
+    /// Number of levels on this rail.
+    #[must_use]
+    pub fn levels(self) -> u8 {
+        self.0
+    }
+
+    /// Highest level on this rail (`R − 1`).
+    #[must_use]
+    pub fn top(self) -> Level {
+        Level(self.0 - 1)
+    }
+
+    /// Iterator over every level of the rail, `0..R`.
+    pub fn all_levels(self) -> impl Iterator<Item = Level> {
+        (0..self.0).map(Level)
+    }
+
+    /// Iterator over the MV sub-rail `1..R` (excludes the binary-off level).
+    pub fn mv_levels(self) -> impl Iterator<Item = Level> {
+        (1..self.0).map(Level)
+    }
+}
+
+impl std::fmt::Display for Radix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "radix-{}", self.0)
+    }
+}
+
+/// One quantised level on an MV rail.
+///
+/// `Level` is deliberately radix-agnostic (a plain `u8` payload); operations
+/// that depend on the rail take a [`Radix`] argument and are checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Level(u8);
+
+impl Level {
+    /// The binary-off level (0).
+    pub const ZERO: Level = Level(0);
+
+    /// Creates a level with no radix check.
+    #[must_use]
+    pub const fn new(v: u8) -> Self {
+        Level(v)
+    }
+
+    /// Creates a level, checking it against the rail's radix.
+    pub fn checked(v: u8, radix: Radix) -> Result<Self, MvlError> {
+        if v < radix.levels() {
+            Ok(Level(v))
+        } else {
+            Err(MvlError::LevelOutOfRange {
+                level: v,
+                radix: radix.levels(),
+            })
+        }
+    }
+
+    /// Raw level value.
+    #[must_use]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Is this the binary-off level?
+    #[must_use]
+    pub const fn is_off(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The MV residue encoding of a context id: `Vs = ctx + 1`.
+    ///
+    /// The paper: "The context ID CSS = {0,1,2,3} is represented by a voltage
+    /// Vs = {1,2,3,4}. The reason why CSS = 0 corresponds to Vs = 1 is that
+    /// (Vs and S0) and (Vs and ¬S0) make a difference when CSS = 0."
+    #[must_use]
+    pub fn encode_ctx(ctx: usize) -> Self {
+        let v = u8::try_from(ctx + 1).expect("context id fits in u8");
+        Level(v)
+    }
+
+    /// Inverse of [`Level::encode_ctx`]; `None` for the off level.
+    #[must_use]
+    pub fn decode_ctx(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(usize::from(self.0) - 1)
+        }
+    }
+
+    /// MV inversion on the given rail: `¬v = R − v` for `v ≥ 1`.
+    ///
+    /// For the paper's five-valued rail this is `¬Vs = 5 − Vs`, mapping
+    /// `{1,2,3,4} → {4,3,2,1}`. The binary-off level 0 is returned unchanged
+    /// (a gated-off signal stays gated off regardless of polarity).
+    #[must_use]
+    pub fn invert(self, radix: Radix) -> Self {
+        if self.0 == 0 {
+            Level(0)
+        } else {
+            Level(radix.levels() - self.0)
+        }
+    }
+
+    /// MV conjunction (lattice meet): `min`.
+    #[must_use]
+    pub fn and(self, other: Level) -> Level {
+        Level(self.0.min(other.0))
+    }
+
+    /// MV disjunction (lattice join): `max`.
+    #[must_use]
+    pub fn or(self, other: Level) -> Level {
+        Level(self.0.max(other.0))
+    }
+
+    /// Binary gating as used by the Fig. 8 generator: pass the MV value when
+    /// the binary gate is 1, emit the off level otherwise.
+    #[must_use]
+    pub fn gate(self, bin: bool) -> Level {
+        if bin {
+            self
+        } else {
+            Level::ZERO
+        }
+    }
+
+    /// Threshold detection: `1` iff `self >= t` (an up-literal at threshold `t`).
+    #[must_use]
+    pub fn at_least(self, t: Level) -> bool {
+        self >= t
+    }
+
+    /// Threshold detection: `1` iff `self <= t` (a down-literal at threshold `t`).
+    #[must_use]
+    pub fn at_most(self, t: Level) -> bool {
+        self <= t
+    }
+}
+
+impl From<u8> for Level {
+    fn from(v: u8) -> Self {
+        Level(v)
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Maps a level to a model voltage, for waveform rendering.
+///
+/// The paper draws `Vs ∈ {1,2,3,4}` directly as volts; we keep that
+/// convention (`step_v` defaults to 1.0 V per level).
+#[must_use]
+pub fn level_to_volts(level: Level, step_v: f64) -> f64 {
+    f64::from(level.value()) * step_v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_basics() {
+        let r = Radix::FIVE;
+        assert_eq!(r.levels(), 5);
+        assert_eq!(r.top(), Level::new(4));
+        assert_eq!(r.all_levels().count(), 5);
+        assert_eq!(r.mv_levels().count(), 4);
+        assert_eq!(Radix::for_contexts(4), Radix::FIVE);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix must be >= 2")]
+    fn radix_rejects_unary() {
+        let _ = Radix::new(1);
+    }
+
+    #[test]
+    fn level_checked_respects_radix() {
+        assert!(Level::checked(4, Radix::FIVE).is_ok());
+        assert_eq!(
+            Level::checked(5, Radix::FIVE),
+            Err(MvlError::LevelOutOfRange { level: 5, radix: 5 })
+        );
+    }
+
+    #[test]
+    fn ctx_encoding_matches_paper() {
+        // CSS = {0,1,2,3} → Vs = {1,2,3,4}
+        for ctx in 0..4 {
+            let v = Level::encode_ctx(ctx);
+            assert_eq!(usize::from(v.value()), ctx + 1);
+            assert_eq!(v.decode_ctx(), Some(ctx));
+        }
+        assert_eq!(Level::ZERO.decode_ctx(), None);
+    }
+
+    #[test]
+    fn inversion_is_five_minus_vs() {
+        // ¬Vs = 5 − Vs on the five-valued rail.
+        let r = Radix::FIVE;
+        assert_eq!(Level::new(1).invert(r), Level::new(4));
+        assert_eq!(Level::new(2).invert(r), Level::new(3));
+        assert_eq!(Level::new(3).invert(r), Level::new(2));
+        assert_eq!(Level::new(4).invert(r), Level::new(1));
+        // off level is a fixed point of gating semantics
+        assert_eq!(Level::ZERO.invert(r), Level::ZERO);
+    }
+
+    #[test]
+    fn inversion_is_involutive_on_mv_subrail() {
+        let r = Radix::FIVE;
+        for v in r.mv_levels() {
+            assert_eq!(v.invert(r).invert(r), v);
+        }
+    }
+
+    #[test]
+    fn min_max_algebra() {
+        let a = Level::new(2);
+        let b = Level::new(3);
+        assert_eq!(a.and(b), a);
+        assert_eq!(a.or(b), b);
+        // idempotent, commutative
+        assert_eq!(a.and(a), a);
+        assert_eq!(a.or(a), a);
+        assert_eq!(a.and(b), b.and(a));
+        assert_eq!(a.or(b), b.or(a));
+    }
+
+    #[test]
+    fn gating() {
+        let v = Level::new(3);
+        assert_eq!(v.gate(true), v);
+        assert_eq!(v.gate(false), Level::ZERO);
+        assert_eq!(Level::ZERO.gate(true), Level::ZERO);
+    }
+
+    #[test]
+    fn thresholds() {
+        let v = Level::new(2);
+        assert!(v.at_least(Level::new(2)));
+        assert!(v.at_least(Level::new(1)));
+        assert!(!v.at_least(Level::new(3)));
+        assert!(v.at_most(Level::new(2)));
+        assert!(v.at_most(Level::new(4)));
+        assert!(!v.at_most(Level::new(1)));
+    }
+
+    #[test]
+    fn volts_mapping() {
+        assert_eq!(level_to_volts(Level::new(3), 1.0), 3.0);
+        assert_eq!(level_to_volts(Level::new(2), 0.5), 1.0);
+    }
+}

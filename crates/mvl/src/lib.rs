@@ -1,0 +1,87 @@
+//! # mcfpga-mvl — multiple-valued logic foundation
+//!
+//! This crate implements the multiple-valued (MV) logic algebra that the
+//! multi-context FPGA architecture of Nakatani, Hariyama and Kameyama
+//! (IPDPS 2006) is built on:
+//!
+//! * [`Level`] — a quantised voltage level on an `R`-valued rail. For a
+//!   4-context switch the rail is **five-valued** (`R = 5`, levels `0..=4`):
+//!   level `0` is the "binary off" level and levels `1..=4` carry the
+//!   multiple-valued context residue `Vs = ctx + 1`. The MV inversion is
+//!   `¬v = R − v` for `v ≥ 1` (the paper's `¬Vs = 5 − Vs`).
+//! * [`UpLiteral`], [`DownLiteral`], [`WindowLiteral`] — the threshold
+//!   literals of the paper's Fig. 4: monotone increasing / decreasing step
+//!   functions and their conjunction, the window.
+//! * [`CtxSet`] — an ON-set of contexts (the function `F` of Fig. 3 is
+//!   exactly "the set of contexts in which a switch conducts").
+//! * [`decompose_windows`](window::decompose_windows) — the Fig. 3
+//!   construction: any switch function is the OR of maximal window literals,
+//!   and for `C` contexts at most `⌈C/2⌉` windows are ever needed.
+//! * [`expr::MvExpr`] — a small MV expression AST (min/max/inversion/
+//!   threshold) used to model the CSS generator behaviourally and to state
+//!   algebraic identities in tests.
+//!
+//! Everything here is pure and allocation-light; the device and netlist
+//! crates build the electrical story on top of this algebra.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod classify;
+pub mod ctxset;
+pub mod expr;
+pub mod level;
+pub mod literal;
+pub mod truth_table;
+pub mod window;
+
+pub use ctxset::CtxSet;
+pub use level::{Level, Radix};
+pub use literal::{DownLiteral, Literal, UpLiteral, WindowLiteral};
+pub use window::{decompose_windows, max_windows_needed, Window};
+
+/// Errors produced by the MV-logic layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvlError {
+    /// A level was outside the rail's radix.
+    LevelOutOfRange {
+        /// Offending level value.
+        level: u8,
+        /// Radix of the rail the level was used with.
+        radix: u8,
+    },
+    /// A context id was outside the configured context count.
+    ContextOutOfRange {
+        /// Offending context id.
+        ctx: usize,
+        /// Number of contexts in the domain.
+        contexts: usize,
+    },
+    /// Context count not supported (must be in `1..=64`).
+    BadContextCount(usize),
+    /// A window literal had `lo > hi`.
+    EmptyWindow {
+        /// Lower bound supplied.
+        lo: u8,
+        /// Upper bound supplied.
+        hi: u8,
+    },
+}
+
+impl std::fmt::Display for MvlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MvlError::LevelOutOfRange { level, radix } => {
+                write!(f, "level {level} out of range for radix {radix}")
+            }
+            MvlError::ContextOutOfRange { ctx, contexts } => {
+                write!(f, "context {ctx} out of range (contexts={contexts})")
+            }
+            MvlError::BadContextCount(c) => write!(f, "unsupported context count {c}"),
+            MvlError::EmptyWindow { lo, hi } => write!(f, "empty window [{lo},{hi}]"),
+        }
+    }
+}
+
+impl std::error::Error for MvlError {}

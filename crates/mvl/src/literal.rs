@@ -1,0 +1,221 @@
+//! Threshold literals over an MV signal (the paper's Fig. 4).
+//!
+//! * An **up-literal** `F_UL(S, T)` is the monotone increasing step function:
+//!   `1` iff `S ≥ T`.
+//! * A **down-literal** `F_DL(S, T)` is the monotone decreasing step function:
+//!   `1` iff `S ≤ T`.
+//! * A **window literal** `F_WL(S, S1, S2)` is their conjunction:
+//!   `1` iff `S1 ≤ S ≤ S2`.
+//!
+//! Each up- or down-literal is realisable by a *single* floating-gate MOS
+//! functional pass gate whose threshold is programmed by charge injection
+//! (ref [2] of the paper); a window literal therefore costs two
+//! series-connected FGMOSs (wired-AND).
+
+use crate::level::Level;
+use crate::MvlError;
+
+/// Common interface of the three literal kinds.
+pub trait Literal {
+    /// Evaluates the literal on an input level.
+    fn eval(&self, s: Level) -> bool;
+
+    /// The set of levels (within `0..levels`) for which the literal is 1.
+    fn on_levels(&self, levels: u8) -> Vec<Level> {
+        (0..levels)
+            .map(Level::new)
+            .filter(|&l| self.eval(l))
+            .collect()
+    }
+}
+
+/// Up-literal: `1` iff `S ≥ T` (Fig. 4(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UpLiteral {
+    /// Threshold `T`.
+    pub threshold: Level,
+}
+
+impl UpLiteral {
+    /// Creates an up-literal with threshold `t`.
+    #[must_use]
+    pub fn new(t: Level) -> Self {
+        UpLiteral { threshold: t }
+    }
+}
+
+impl Literal for UpLiteral {
+    fn eval(&self, s: Level) -> bool {
+        s >= self.threshold
+    }
+}
+
+/// Down-literal: `1` iff `S ≤ T` (Fig. 4(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DownLiteral {
+    /// Threshold `T`.
+    pub threshold: Level,
+}
+
+impl DownLiteral {
+    /// Creates a down-literal with threshold `t`.
+    #[must_use]
+    pub fn new(t: Level) -> Self {
+        DownLiteral { threshold: t }
+    }
+}
+
+impl Literal for DownLiteral {
+    fn eval(&self, s: Level) -> bool {
+        s <= self.threshold
+    }
+}
+
+/// Window literal: `1` iff `S1 ≤ S ≤ S2` (Fig. 3 definition).
+///
+/// Invariant: `lo ≤ hi`. An "always off" branch is represented by
+/// [`WindowLiteral::never`], which uses a reserved empty encoding rather
+/// than violating the invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowLiteral {
+    bounds: Option<(Level, Level)>,
+}
+
+impl WindowLiteral {
+    /// Creates the window `[lo, hi]`.
+    pub fn new(lo: Level, hi: Level) -> Result<Self, MvlError> {
+        if lo > hi {
+            return Err(MvlError::EmptyWindow {
+                lo: lo.value(),
+                hi: hi.value(),
+            });
+        }
+        Ok(WindowLiteral {
+            bounds: Some((lo, hi)),
+        })
+    }
+
+    /// The never-conducting window (used to park unused FGMOS branches; in
+    /// silicon this is "program both thresholds past the rails").
+    #[must_use]
+    pub fn never() -> Self {
+        WindowLiteral { bounds: None }
+    }
+
+    /// Is this the never-conducting window?
+    #[must_use]
+    pub fn is_never(&self) -> bool {
+        self.bounds.is_none()
+    }
+
+    /// Window bounds, if any.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(Level, Level)> {
+        self.bounds
+    }
+
+    /// Decomposes the window into `up(lo) ∧ down(hi)` — the two series FGMOS
+    /// thresholds. `None` for the never window.
+    #[must_use]
+    pub fn as_literal_pair(&self) -> Option<(UpLiteral, DownLiteral)> {
+        self.bounds
+            .map(|(lo, hi)| (UpLiteral::new(lo), DownLiteral::new(hi)))
+    }
+
+    /// Width of the window in levels (0 for never).
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        match self.bounds {
+            Some((lo, hi)) => hi.value() - lo.value() + 1,
+            None => 0,
+        }
+    }
+}
+
+impl Literal for WindowLiteral {
+    fn eval(&self, s: Level) -> bool {
+        match self.bounds {
+            Some((lo, hi)) => s >= lo && s <= hi,
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Display for WindowLiteral {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.bounds {
+            Some((lo, hi)) => write!(f, "W[{lo},{hi}]"),
+            None => write!(f, "W[never]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_literal_is_monotone_increasing() {
+        let ul = UpLiteral::new(Level::new(2));
+        let outs: Vec<bool> = (0..5).map(|v| ul.eval(Level::new(v))).collect();
+        assert_eq!(outs, [false, false, true, true, true]);
+        // monotone: once true, stays true
+        assert!(outs.windows(2).all(|w| !w[0] | w[1]));
+    }
+
+    #[test]
+    fn down_literal_is_monotone_decreasing() {
+        let dl = DownLiteral::new(Level::new(2));
+        let outs: Vec<bool> = (0..5).map(|v| dl.eval(Level::new(v))).collect();
+        assert_eq!(outs, [true, true, true, false, false]);
+        assert!(outs.windows(2).all(|w| w[0] | !w[1]));
+    }
+
+    #[test]
+    fn window_is_conjunction_of_up_and_down() {
+        let w = WindowLiteral::new(Level::new(1), Level::new(3)).unwrap();
+        let (ul, dl) = w.as_literal_pair().unwrap();
+        for v in 0..5 {
+            let s = Level::new(v);
+            assert_eq!(w.eval(s), ul.eval(s) && dl.eval(s), "level {v}");
+        }
+    }
+
+    #[test]
+    fn window_rejects_inverted_bounds() {
+        assert_eq!(
+            WindowLiteral::new(Level::new(3), Level::new(1)),
+            Err(MvlError::EmptyWindow { lo: 3, hi: 1 })
+        );
+    }
+
+    #[test]
+    fn never_window() {
+        let w = WindowLiteral::never();
+        assert!(w.is_never());
+        assert_eq!(w.width(), 0);
+        assert!(w.as_literal_pair().is_none());
+        for v in 0..8 {
+            assert!(!w.eval(Level::new(v)));
+        }
+        assert_eq!(w.to_string(), "W[never]");
+    }
+
+    #[test]
+    fn on_levels_and_width() {
+        let w = WindowLiteral::new(Level::new(2), Level::new(3)).unwrap();
+        assert_eq!(w.width(), 2);
+        assert_eq!(
+            w.on_levels(5),
+            vec![Level::new(2), Level::new(3)]
+        );
+        assert_eq!(w.to_string(), "W[2,3]");
+    }
+
+    #[test]
+    fn degenerate_single_level_window() {
+        let w = WindowLiteral::new(Level::new(2), Level::new(2)).unwrap();
+        assert_eq!(w.width(), 1);
+        assert_eq!(w.on_levels(5), vec![Level::new(2)]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tabulation and rendering of MV functions, for regenerating the paper's
+//! function figures (Figs. 3 and 4) as text.
+
+use crate::ctxset::CtxSet;
+use crate::level::Level;
+use crate::literal::Literal;
+use crate::window::{decompose_windows, Window};
+
+/// One row of a rendered table: an input level and a binary output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Input (context id or rail level depending on the table).
+    pub input: u8,
+    /// Output of the function at that input.
+    pub output: bool,
+}
+
+/// Tabulates a literal over rail levels `0..levels`.
+#[must_use]
+pub fn tabulate_literal<L: Literal>(lit: &L, levels: u8) -> Vec<Row> {
+    (0..levels)
+        .map(|v| Row {
+            input: v,
+            output: lit.eval(Level::new(v)),
+        })
+        .collect()
+}
+
+/// Tabulates a switch function over its contexts.
+#[must_use]
+pub fn tabulate_function(f: &CtxSet) -> Vec<Row> {
+    (0..f.contexts())
+        .map(|c| Row {
+            input: u8::try_from(c).expect("small context id"),
+            output: f.get(c),
+        })
+        .collect()
+}
+
+/// Renders rows as a two-line ASCII table, e.g.
+/// `CSS | 0 1 2 3` / `F   | 0 1 0 1`.
+#[must_use]
+pub fn render_rows(input_label: &str, output_label: &str, rows: &[Row]) -> String {
+    let mut top = format!("{input_label:4}|");
+    let mut bot = format!("{output_label:4}|");
+    for r in rows {
+        top.push_str(&format!(" {}", r.input));
+        bot.push_str(&format!(" {}", u8::from(r.output)));
+    }
+    format!("{top}\n{bot}")
+}
+
+/// Renders the Fig. 3 decomposition of a function: the function itself plus
+/// one table per window literal, with the window bounds in the label.
+#[must_use]
+pub fn render_fig3(f: &CtxSet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("F = {f}  (ON-set over {} contexts)\n", f.contexts()));
+    out.push_str(&render_rows("CSS", "F", &tabulate_function(f)));
+    out.push('\n');
+    let windows = decompose_windows(f);
+    for (i, w) in windows.iter().enumerate() {
+        out.push_str(&format!("\nF_WL{} = window {} (levels {})\n", i + 1, w, w.to_literal()));
+        out.push_str(&render_rows(
+            "CSS",
+            &format!("WL{}", i + 1),
+            &tabulate_window_over_ctx(w, f.contexts()),
+        ));
+        out.push('\n');
+    }
+    if windows.is_empty() {
+        out.push_str("\n(no windows: F is identically 0)\n");
+    }
+    out
+}
+
+fn tabulate_window_over_ctx(w: &Window, contexts: usize) -> Vec<Row> {
+    (0..contexts)
+        .map(|c| Row {
+            input: u8::try_from(c).expect("small context id"),
+            output: w.contains(c),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::{DownLiteral, UpLiteral};
+
+    #[test]
+    fn tabulate_up_literal() {
+        let rows = tabulate_literal(&UpLiteral::new(Level::new(2)), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.output).collect::<Vec<_>>(),
+            [false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn tabulate_down_literal() {
+        let rows = tabulate_literal(&DownLiteral::new(Level::new(1)), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.output).collect::<Vec<_>>(),
+            [true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let f = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+        let s = render_rows("CSS", "F", &tabulate_function(&f));
+        assert_eq!(s, "CSS | 0 1 2 3\nF   | 0 1 0 1");
+    }
+
+    #[test]
+    fn fig3_render_mentions_both_windows() {
+        let f = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+        let s = render_fig3(&f);
+        assert!(s.contains("F_WL1"));
+        assert!(s.contains("F_WL2"));
+        assert!(s.contains("[1,1]"));
+        assert!(s.contains("[3,3]"));
+    }
+
+    #[test]
+    fn fig3_render_empty_function() {
+        let f = CtxSet::empty(4).unwrap();
+        let s = render_fig3(&f);
+        assert!(s.contains("identically 0"));
+    }
+}

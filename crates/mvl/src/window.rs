@@ -1,0 +1,257 @@
+//! Window decomposition of switch functions (the Fig. 3 construction).
+//!
+//! Any multi-context switch function `F : contexts → {0,1}` can be written as
+//! the OR of window literals over the MV context signal. The *minimal* such
+//! decomposition takes one window per **maximal run** of consecutive ON
+//! contexts; for `C` contexts at most `⌈C/2⌉` windows are ever needed
+//! (alternating ON/OFF is the worst case).
+//!
+//! The pure MV-FGFP switch of ref [3] provisions that worst case in silicon
+//! — `⌈C/2⌉` parallel branches of two series FGMOSs each — which is exactly
+//! the redundancy the paper's hybrid MV/B signal removes.
+
+use crate::ctxset::CtxSet;
+use crate::level::Level;
+use crate::literal::{Literal, WindowLiteral};
+
+/// A window over *context ids* `[lo_ctx, hi_ctx]` (inclusive).
+///
+/// Distinct from [`WindowLiteral`], which is a window over *rail levels*;
+/// [`Window::to_literal`] translates via the `Vs = ctx + 1` encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// First context id covered.
+    pub lo_ctx: usize,
+    /// Last context id covered (inclusive).
+    pub hi_ctx: usize,
+}
+
+impl Window {
+    /// Number of contexts covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hi_ctx - self.lo_ctx + 1
+    }
+
+    /// Windows are never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the window cover context `ctx`?
+    #[must_use]
+    pub fn contains(&self, ctx: usize) -> bool {
+        (self.lo_ctx..=self.hi_ctx).contains(&ctx)
+    }
+
+    /// Translates to a rail-level window literal under `Vs = ctx + 1`.
+    #[must_use]
+    pub fn to_literal(&self) -> WindowLiteral {
+        WindowLiteral::new(
+            Level::encode_ctx(self.lo_ctx),
+            Level::encode_ctx(self.hi_ctx),
+        )
+        .expect("lo <= hi by construction")
+    }
+
+    /// The context set covered by this window.
+    #[must_use]
+    pub fn to_ctxset(&self, contexts: usize) -> CtxSet {
+        CtxSet::from_ctxs(contexts, self.lo_ctx..=self.hi_ctx)
+            .expect("window within context domain")
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{}]", self.lo_ctx, self.hi_ctx)
+    }
+}
+
+/// Minimal window decomposition: one window per maximal run of ON contexts.
+///
+/// Returns windows in ascending, pairwise-disjoint, non-adjacent order. The
+/// union of the returned windows is exactly `on_set`.
+///
+/// # Example (paper Fig. 3)
+/// ```
+/// use mcfpga_mvl::{CtxSet, decompose_windows};
+/// let f = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+/// let ws = decompose_windows(&f);
+/// assert_eq!(ws.len(), 2);
+/// assert_eq!((ws[0].lo_ctx, ws[0].hi_ctx), (1, 1)); // F_WL1
+/// assert_eq!((ws[1].lo_ctx, ws[1].hi_ctx), (3, 3)); // F_WL2
+/// ```
+#[must_use]
+pub fn decompose_windows(on_set: &CtxSet) -> Vec<Window> {
+    let mut windows = Vec::new();
+    let mut start: Option<usize> = None;
+    for ctx in 0..on_set.contexts() {
+        let on = on_set.get(ctx);
+        match (on, start) {
+            (true, None) => start = Some(ctx),
+            (false, Some(s)) => {
+                windows.push(Window {
+                    lo_ctx: s,
+                    hi_ctx: ctx - 1,
+                });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        windows.push(Window {
+            lo_ctx: s,
+            hi_ctx: on_set.contexts() - 1,
+        });
+    }
+    windows
+}
+
+/// Upper bound on windows needed for any function over `contexts` contexts:
+/// `⌈contexts / 2⌉`.
+///
+/// This is the branch count the pure MV-FGFP switch must provision (ref [3]);
+/// for 4 contexts it is 2 branches × 2 series FGMOSs = 4 transistors, which
+/// is the "4" row of Table 1.
+#[must_use]
+pub fn max_windows_needed(contexts: usize) -> usize {
+    contexts.div_ceil(2)
+}
+
+/// Recomposes a function from windows (the wired-OR) — inverse of
+/// [`decompose_windows`].
+#[must_use]
+pub fn recompose(contexts: usize, windows: &[Window]) -> CtxSet {
+    let mut acc = CtxSet::empty(contexts).expect("valid context count");
+    for w in windows {
+        acc = acc.union(&w.to_ctxset(contexts));
+    }
+    acc
+}
+
+/// Checks that a window list is a *canonical minimal* decomposition:
+/// ascending, disjoint, separated by at least one OFF context, exact cover.
+#[must_use]
+pub fn is_canonical_decomposition(on_set: &CtxSet, windows: &[Window]) -> bool {
+    // exact cover
+    if recompose(on_set.contexts(), windows) != *on_set {
+        return false;
+    }
+    // ascending and non-adjacent
+    for pair in windows.windows(2) {
+        if pair[0].hi_ctx + 1 >= pair[1].lo_ctx {
+            return false;
+        }
+    }
+    // each window within domain and well-formed
+    windows
+        .iter()
+        .all(|w| w.lo_ctx <= w.hi_ctx && w.hi_ctx < on_set.contexts())
+}
+
+/// Evaluates the OR-of-windows form directly on a context id, through the
+/// rail-level literals (i.e. the way the silicon evaluates it).
+#[must_use]
+pub fn eval_windows_via_literals(windows: &[Window], ctx: usize) -> bool {
+    let s = Level::encode_ctx(ctx);
+    windows.iter().any(|w| w.to_literal().eval(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(contexts: usize, ctxs: &[usize]) -> CtxSet {
+        CtxSet::from_ctxs(contexts, ctxs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn fig3_example() {
+        // F is ON only for CSS = 1 and 3 → windows [1,1] and [3,3].
+        let f = set(4, &[1, 3]);
+        let ws = decompose_windows(&f);
+        assert_eq!(
+            ws,
+            vec![
+                Window { lo_ctx: 1, hi_ctx: 1 },
+                Window { lo_ctx: 3, hi_ctx: 3 }
+            ]
+        );
+        assert!(is_canonical_decomposition(&f, &ws));
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = CtxSet::empty(4).unwrap();
+        assert!(decompose_windows(&e).is_empty());
+        let f = CtxSet::full(4).unwrap();
+        let ws = decompose_windows(&f);
+        assert_eq!(ws, vec![Window { lo_ctx: 0, hi_ctx: 3 }]);
+    }
+
+    #[test]
+    fn single_window_functions_waste_half_the_branches() {
+        // The motivating redundancy: one window still occupies a 2-branch switch.
+        let f = set(4, &[0, 1, 2]);
+        let ws = decompose_windows(&f);
+        assert_eq!(ws.len(), 1);
+        assert!(ws.len() < max_windows_needed(4));
+    }
+
+    #[test]
+    fn window_count_equals_run_count_exhaustive_c4_to_c8() {
+        for contexts in 1..=8 {
+            for s in CtxSet::enumerate_all(contexts).unwrap() {
+                let ws = decompose_windows(&s);
+                assert_eq!(ws.len(), s.run_count(), "{s}");
+                assert!(ws.len() <= max_windows_needed(contexts));
+                assert!(is_canonical_decomposition(&s, &ws), "{s}");
+                assert_eq!(recompose(contexts, &ws), s);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_evaluation_matches_set_membership_exhaustive_c4() {
+        for s in CtxSet::enumerate_all(4).unwrap() {
+            let ws = decompose_windows(&s);
+            for ctx in 0..4 {
+                assert_eq!(
+                    eval_windows_via_literals(&ws, ctx),
+                    s.get(ctx),
+                    "set {s} ctx {ctx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_is_worst_case() {
+        for contexts in [2usize, 4, 6, 8, 10] {
+            let alt = CtxSet::from_ctxs(contexts, (0..contexts).step_by(2)).unwrap();
+            assert_eq!(decompose_windows(&alt).len(), max_windows_needed(contexts));
+        }
+    }
+
+    #[test]
+    fn canonical_check_rejects_bad_covers() {
+        let f = set(4, &[1, 3]);
+        // wrong cover
+        assert!(!is_canonical_decomposition(
+            &f,
+            &[Window { lo_ctx: 1, hi_ctx: 3 }]
+        ));
+        // adjacent windows that should have been merged
+        let g = set(4, &[1, 2]);
+        assert!(!is_canonical_decomposition(
+            &g,
+            &[
+                Window { lo_ctx: 1, hi_ctx: 1 },
+                Window { lo_ctx: 2, hi_ctx: 2 }
+            ]
+        ));
+    }
+}

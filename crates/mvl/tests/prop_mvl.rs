@@ -1,0 +1,123 @@
+//! Property-based tests for the MV-logic foundation.
+
+use mcfpga_mvl::algebra::{mv_and, mv_not, mv_or, threshold};
+use mcfpga_mvl::expr::{hybrid_css_spec, Env};
+use mcfpga_mvl::window::{
+    decompose_windows, eval_windows_via_literals, is_canonical_decomposition, max_windows_needed,
+    recompose,
+};
+use mcfpga_mvl::{CtxSet, Level, Radix};
+use proptest::prelude::*;
+
+fn arb_ctxset() -> impl Strategy<Value = CtxSet> {
+    (1usize..=64).prop_flat_map(|contexts| {
+        prop::bits::u64::masked(if contexts == 64 {
+            u64::MAX
+        } else {
+            (1u64 << contexts) - 1
+        })
+        .prop_map(move |mask| CtxSet::from_mask(contexts, mask).unwrap())
+    })
+}
+
+/// Two sets drawn over the *same* context domain.
+fn arb_ctxset_pair() -> impl Strategy<Value = (CtxSet, CtxSet)> {
+    (1usize..=64).prop_flat_map(|contexts| {
+        let dom = if contexts == 64 {
+            u64::MAX
+        } else {
+            (1u64 << contexts) - 1
+        };
+        (prop::bits::u64::masked(dom), prop::bits::u64::masked(dom)).prop_map(move |(a, b)| {
+            (
+                CtxSet::from_mask(contexts, a).unwrap(),
+                CtxSet::from_mask(contexts, b).unwrap(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn window_decomposition_roundtrips(s in arb_ctxset()) {
+        let ws = decompose_windows(&s);
+        prop_assert_eq!(recompose(s.contexts(), &ws), s);
+        prop_assert!(is_canonical_decomposition(&s, &ws));
+        prop_assert_eq!(ws.len(), s.run_count());
+        prop_assert!(ws.len() <= max_windows_needed(s.contexts()));
+    }
+
+    #[test]
+    fn windows_evaluate_like_membership(s in arb_ctxset()) {
+        let ws = decompose_windows(&s);
+        for ctx in 0..s.contexts() {
+            prop_assert_eq!(eval_windows_via_literals(&ws, ctx), s.get(ctx));
+        }
+    }
+
+    #[test]
+    fn union_of_decompositions_covers_union((a, b) in arb_ctxset_pair()) {
+        let u = a.union(&b);
+        let mut all = decompose_windows(&a);
+        all.extend(decompose_windows(&b));
+        prop_assert_eq!(recompose(u.contexts(), &all), u);
+    }
+
+    #[test]
+    fn ctxset_algebra_laws((a, b) in arb_ctxset_pair()) {
+        // De Morgan on context sets
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+        prop_assert_eq!(
+            a.intersection(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+        // double complement
+        prop_assert_eq!(a.complement().complement(), a);
+        // counts
+        prop_assert_eq!(
+            a.count() + a.complement().count(),
+            a.contexts()
+        );
+    }
+
+    #[test]
+    fn level_lattice_laws(a in 0u8..=4, b in 0u8..=4, c in 0u8..=4) {
+        let r = Radix::FIVE;
+        let (a, b, c) = (Level::new(a), Level::new(b), Level::new(c));
+        prop_assert_eq!(mv_and(a, mv_or(b, c)), mv_or(mv_and(a, b), mv_and(a, c)));
+        // inversion is antitone on the MV sub-rail
+        if !a.is_off() && !b.is_off() && a <= b {
+            prop_assert!(mv_not(b, r) <= mv_not(a, r));
+        }
+    }
+
+    #[test]
+    fn gated_threshold_is_conjunction(bin in any::<bool>(), vs in 1u8..=4, k in 1u8..=4) {
+        // The paper's hybrid trick as a property: a single threshold on a
+        // gated rail computes the conjunction of the binary gate and the MV
+        // threshold.
+        let g = Level::new(vs).gate(bin);
+        prop_assert_eq!(threshold(g, Level::new(k)), bin && vs >= k);
+    }
+
+    #[test]
+    fn hybrid_spec_exclusive_pairs(ctx in 0usize..4) {
+        let spec = hybrid_css_spec();
+        let mut env = Env::new();
+        env.set_mv("Vs", Level::encode_ctx(ctx))
+            .set_bin("S0", ctx & 1 == 1)
+            .set_bin("nS0", ctx & 1 == 0);
+        let vals: Vec<Level> = spec.iter().map(|e| e.eval(&env, Radix::FIVE)).collect();
+        // signals 0,1 gated by S0; signals 2,3 gated by ¬S0: exactly one pair live
+        let s0_live = !vals[0].is_off() && !vals[1].is_off();
+        let ns0_live = !vals[2].is_off() && !vals[3].is_off();
+        prop_assert!(s0_live ^ ns0_live);
+        // live pair carries Vs and its inversion
+        let (v, nv) = if s0_live { (vals[0], vals[1]) } else { (vals[2], vals[3]) };
+        prop_assert_eq!(v, Level::encode_ctx(ctx));
+        prop_assert_eq!(nv, Level::encode_ctx(ctx).invert(Radix::FIVE));
+    }
+}

@@ -1,0 +1,497 @@
+//! Structural netlist: nets, control inputs, devices, regions.
+
+use crate::NetlistError;
+use mcfpga_device::{Fgmos, FgmosMode, TechParams};
+use mcfpga_mvl::{Level, Radix};
+
+/// Identifier of an electrical net (channel-side node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a device instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub(crate) u32);
+
+/// Identifier of a named control input (binary wire or MV rail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ControlId(pub(crate) u32);
+
+/// Identifier of a hierarchical region (for per-block accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DeviceId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ControlId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ControlId` from a raw index. The caller must ensure the
+    /// index refers to an existing control of the target netlist; all
+    /// netlist entry points re-validate on use.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        ControlId(u32::try_from(i).expect("control index fits u32"))
+    }
+}
+
+/// What kind of value a control input carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Binary wire (`bool`).
+    Binary,
+    /// Multiple-valued rail ([`Level`]).
+    Mv,
+}
+
+/// Device species in the conduction path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceKind {
+    /// n-channel pass transistor: conducts when its binary gate is high.
+    NmosPass,
+    /// p-channel pass transistor: conducts when its binary gate is low.
+    PmosPass,
+    /// Transmission gate (2 transistors): conducts when enable is high.
+    TransmissionGate,
+    /// Floating-gate functional pass gate with behavioural device state.
+    Fgmos(Fgmos),
+}
+
+impl DeviceKind {
+    /// Physical transistors in this device.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            DeviceKind::NmosPass | DeviceKind::PmosPass => 1,
+            DeviceKind::TransmissionGate => 2,
+            DeviceKind::Fgmos(d) => d.transistor_count(),
+        }
+    }
+
+    /// Control kind this device's gate expects.
+    #[must_use]
+    pub fn expected_control(&self) -> ControlKind {
+        match self {
+            DeviceKind::Fgmos(_) => ControlKind::Mv,
+            _ => ControlKind::Binary,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct DeviceInst {
+    pub kind: DeviceKind,
+    pub a: NetId,
+    pub b: NetId,
+    pub gate: ControlId,
+    pub region: Option<RegionId>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ControlInfo {
+    pub name: String,
+    pub kind: ControlKind,
+}
+
+/// A structural pass-transistor netlist.
+///
+/// * **Nets** are channel-side nodes (sources/drains).
+/// * **Controls** are named gate-side inputs, bound at simulation time.
+/// * **Devices** connect two nets and watch one control.
+/// * **Regions** tag devices for hierarchical transistor accounting; SRAM
+///   configuration cells live *outside* the conduction path, so the netlist
+///   tracks them as per-region storage counts.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) nets: Vec<String>,
+    pub(crate) controls: Vec<ControlInfo>,
+    pub(crate) devices: Vec<DeviceInst>,
+    pub(crate) regions: Vec<String>,
+    /// (region, sram cell count) pairs for storage accounting.
+    pub(crate) sram_cells: Vec<(Option<RegionId>, usize)>,
+    /// (region, label, transistor count) for gate-side support logic that is
+    /// not in the conduction path (config MUX trees, decoders, inverters).
+    pub(crate) support: Vec<(Option<RegionId>, String, usize)>,
+}
+
+impl Netlist {
+    /// Empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a named net; returns its id.
+    pub fn add_net(&mut self, name: &str) -> NetId {
+        let id = NetId(u32::try_from(self.nets.len()).expect("net count fits u32"));
+        self.nets.push(name.to_string());
+        id
+    }
+
+    /// Adds a named control input.
+    pub fn add_control(&mut self, name: &str, kind: ControlKind) -> ControlId {
+        let id = ControlId(u32::try_from(self.controls.len()).expect("control count fits u32"));
+        self.controls.push(ControlInfo {
+            name: name.to_string(),
+            kind,
+        });
+        id
+    }
+
+    /// Declares a region for hierarchical accounting.
+    pub fn add_region(&mut self, name: &str) -> RegionId {
+        let id = RegionId(u32::try_from(self.regions.len()).expect("region count fits u32"));
+        self.regions.push(name.to_string());
+        id
+    }
+
+    /// Adds a device between nets `a` and `b`, gated by `gate`.
+    pub fn add_device(
+        &mut self,
+        kind: DeviceKind,
+        a: NetId,
+        b: NetId,
+        gate: ControlId,
+        region: Option<RegionId>,
+    ) -> Result<DeviceId, NetlistError> {
+        self.check_net(a)?;
+        self.check_net(b)?;
+        let info = self
+            .controls
+            .get(gate.index())
+            .ok_or(NetlistError::BadControl(gate.0))?;
+        if info.kind != kind.expected_control() {
+            return Err(NetlistError::ControlKindMismatch {
+                control: gate.0,
+                expected: match kind.expected_control() {
+                    ControlKind::Binary => "binary",
+                    ControlKind::Mv => "mv",
+                },
+            });
+        }
+        let id = DeviceId(u32::try_from(self.devices.len()).expect("device count fits u32"));
+        self.devices.push(DeviceInst {
+            kind,
+            a,
+            b,
+            gate,
+            region,
+        });
+        Ok(id)
+    }
+
+    /// Registers `count` 6T SRAM cells against a region (storage accounting
+    /// only; cells drive gates, they are not in the conduction path).
+    pub fn add_sram_cells(&mut self, region: Option<RegionId>, count: usize) {
+        self.sram_cells.push((region, count));
+    }
+
+    /// Registers gate-side support logic (config MUX tree, decoder, inverter)
+    /// that contributes `transistors` to the area but is not simulated in the
+    /// conduction path.
+    pub fn add_support(&mut self, region: Option<RegionId>, label: &str, transistors: usize) {
+        self.support.push((region, label.to_string(), transistors));
+    }
+
+    fn check_net(&self, n: NetId) -> Result<(), NetlistError> {
+        if n.index() < self.nets.len() {
+            Ok(())
+        } else {
+            Err(NetlistError::BadNet(n.0))
+        }
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of control inputs.
+    #[must_use]
+    pub fn control_count(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Net name.
+    pub fn net_name(&self, n: NetId) -> Result<&str, NetlistError> {
+        self.nets
+            .get(n.index())
+            .map(String::as_str)
+            .ok_or(NetlistError::BadNet(n.0))
+    }
+
+    /// Control name.
+    pub fn control_name(&self, c: ControlId) -> Result<&str, NetlistError> {
+        self.controls
+            .get(c.index())
+            .map(|i| i.name.as_str())
+            .ok_or(NetlistError::BadControl(c.0))
+    }
+
+    /// Control kind.
+    pub fn control_kind(&self, c: ControlId) -> Result<ControlKind, NetlistError> {
+        self.controls
+            .get(c.index())
+            .map(|i| i.kind)
+            .ok_or(NetlistError::BadControl(c.0))
+    }
+
+    /// Finds a net by name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Finds a control by name.
+    #[must_use]
+    pub fn find_control(&self, name: &str) -> Option<ControlId> {
+        self.controls
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ControlId(i as u32))
+    }
+
+    /// Mutable access to an FGMOS device (for programming).
+    pub fn fgmos_mut(&mut self, d: DeviceId) -> Result<&mut Fgmos, NetlistError> {
+        match self
+            .devices
+            .get_mut(d.index())
+            .ok_or(NetlistError::BadDevice(d.0))?
+        {
+            DeviceInst {
+                kind: DeviceKind::Fgmos(f),
+                ..
+            } => Ok(f),
+            _ => Err(NetlistError::BadDevice(d.0)),
+        }
+    }
+
+    /// Shared access to an FGMOS device.
+    pub fn fgmos(&self, d: DeviceId) -> Result<&Fgmos, NetlistError> {
+        match self
+            .devices
+            .get(d.index())
+            .ok_or(NetlistError::BadDevice(d.0))?
+        {
+            DeviceInst {
+                kind: DeviceKind::Fgmos(f),
+                ..
+            } => Ok(f),
+            _ => Err(NetlistError::BadDevice(d.0)),
+        }
+    }
+
+    /// Convenience: adds an FGMOS programmed (ideally) to literal bound `t`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_programmed_fgmos(
+        &mut self,
+        mode: FgmosMode,
+        t: Level,
+        radix: Radix,
+        params: &TechParams,
+        a: NetId,
+        b: NetId,
+        gate: ControlId,
+        region: Option<RegionId>,
+    ) -> Result<DeviceId, NetlistError> {
+        let mut f = Fgmos::new(mode);
+        f.program_ideal(t, radix, params)
+            .map_err(|_| NetlistError::BadControl(gate.0))?;
+        self.add_device(DeviceKind::Fgmos(f), a, b, gate, region)
+    }
+
+    /// Total transistors: conduction-path devices, 6T per SRAM cell, and
+    /// registered support logic.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        let path: usize = self.devices.iter().map(|d| d.kind.transistor_count()).sum();
+        let sram: usize = self.sram_cells.iter().map(|(_, n)| n * 6).sum();
+        let support: usize = self.support.iter().map(|(_, _, n)| n).sum();
+        path + sram + support
+    }
+
+    /// Transistors attributed to one region (devices + SRAM + support).
+    #[must_use]
+    pub fn region_transistor_count(&self, region: RegionId) -> usize {
+        let path: usize = self
+            .devices
+            .iter()
+            .filter(|d| d.region == Some(region))
+            .map(|d| d.kind.transistor_count())
+            .sum();
+        let sram: usize = self
+            .sram_cells
+            .iter()
+            .filter(|(r, _)| *r == Some(region))
+            .map(|(_, n)| n * 6)
+            .sum();
+        let support: usize = self
+            .support
+            .iter()
+            .filter(|(r, _, _)| *r == Some(region))
+            .map(|(_, _, n)| n)
+            .sum();
+        path + sram + support
+    }
+
+    /// Total support transistors registered.
+    #[must_use]
+    pub fn support_transistor_count(&self) -> usize {
+        self.support.iter().map(|(_, _, n)| n).sum()
+    }
+
+    /// Per-kind device census `(nmos, pmos, tgate, fgmos)`.
+    #[must_use]
+    pub fn device_census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for d in &self.devices {
+            match d.kind {
+                DeviceKind::NmosPass => c.0 += 1,
+                DeviceKind::PmosPass => c.1 += 1,
+                DeviceKind::TransmissionGate => c.2 += 1,
+                DeviceKind::Fgmos(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Total SRAM cells registered.
+    #[must_use]
+    pub fn sram_cell_count(&self) -> usize {
+        self.sram_cells.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Iterates `(device id, net a, net b, gate)` tuples.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, NetId, NetId, ControlId)> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d.a, d.b, d.gate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn build_small_netlist() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("in");
+        let b = nl.add_net("out");
+        let g = nl.add_control("en", ControlKind::Binary);
+        let d = nl.add_device(DeviceKind::NmosPass, a, b, g, None).unwrap();
+        assert_eq!(nl.net_count(), 2);
+        assert_eq!(nl.device_count(), 1);
+        assert_eq!(nl.transistor_count(), 1);
+        assert_eq!(d.index(), 0);
+        assert_eq!(nl.net_name(a).unwrap(), "in");
+        assert_eq!(nl.control_name(g).unwrap(), "en");
+        assert_eq!(nl.find_control("en"), Some(g));
+        assert_eq!(nl.find_control("nope"), None);
+    }
+
+    #[test]
+    fn control_kind_checked() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let mv = nl.add_control("rail", ControlKind::Mv);
+        // a plain pass transistor cannot be gated by an MV rail
+        let err = nl
+            .add_device(DeviceKind::NmosPass, a, b, mv, None)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::ControlKindMismatch { .. }));
+        // and an FGMOS cannot be gated by a binary wire
+        let bw = nl.add_control("bin", ControlKind::Binary);
+        let err = nl
+            .add_device(DeviceKind::Fgmos(Fgmos::new(FgmosMode::UpLiteral)), a, b, bw, None)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::ControlKindMismatch { .. }));
+    }
+
+    #[test]
+    fn transistor_accounting_with_regions_and_sram() {
+        let mut nl = Netlist::new();
+        let r1 = nl.add_region("switch0");
+        let r2 = nl.add_region("switch1");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let g = nl.add_control("en", ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, a, b, g, Some(r1)).unwrap();
+        nl.add_device(DeviceKind::TransmissionGate, a, b, g, Some(r2))
+            .unwrap();
+        nl.add_sram_cells(Some(r1), 4);
+        assert_eq!(nl.transistor_count(), 1 + 2 + 24);
+        assert_eq!(nl.region_transistor_count(r1), 1 + 24);
+        assert_eq!(nl.region_transistor_count(r2), 2);
+        assert_eq!(nl.sram_cell_count(), 4);
+    }
+
+    #[test]
+    fn programmed_fgmos_helper() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let rail = nl.add_control("vs", ControlKind::Mv);
+        let d = nl
+            .add_programmed_fgmos(
+                FgmosMode::UpLiteral,
+                Level::new(2),
+                Radix::FIVE,
+                &p(),
+                a,
+                b,
+                rail,
+                None,
+            )
+            .unwrap();
+        let f = nl.fgmos(d).unwrap();
+        assert_eq!(f.programmed_bound(), Some(Level::new(2)));
+        assert_eq!(nl.device_census(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn bad_references_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let g = nl.add_control("en", ControlKind::Binary);
+        let bogus = NetId(99);
+        assert_eq!(
+            nl.add_device(DeviceKind::NmosPass, a, bogus, g, None),
+            Err(NetlistError::BadNet(99))
+        );
+        assert!(nl.fgmos(DeviceId(0)).is_err());
+    }
+}

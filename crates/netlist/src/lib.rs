@@ -1,0 +1,84 @@
+//! # mcfpga-netlist — structural netlists and a switch-level simulator
+//!
+//! The paper's circuits (Figs. 2, 5, 6, 8, 9, 10, 11) are pass-transistor
+//! networks: configuration logic drives transistor *gates*, and the routed
+//! data signal flows through the *channels* of whatever devices conduct.
+//! This crate provides:
+//!
+//! * [`graph::Netlist`] — nets, devices (pass transistors, transmission
+//!   gates, FGMOS functional pass gates), named control inputs (binary wires
+//!   and MV rails), and hierarchical region tags for per-block transistor
+//!   accounting.
+//! * [`simulate::SwitchSim`] — switch-level evaluation: bind control values,
+//!   determine the ON set, union-find the conducting components, propagate
+//!   driven logic values, and report connectivity, floating nets and
+//!   contention.
+//! * [`validate`] — structural checks (undriven gates, dangling nets,
+//!   exclusive-ON assertions over device groups).
+//! * [`event`] — a small time-stepped engine that replays a schedule of
+//!   control changes and records waveforms (used for the Fig. 7
+//!   reproduction and context-switch latency measurements).
+//!
+//! The simulator is deliberately *strength-free* (no charge sharing): the
+//! architecture under study never relies on ratioed or dynamic behaviour,
+//! so conduction is a clean equivalence relation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod graph;
+pub mod render;
+pub mod simulate;
+pub mod union_find;
+pub mod validate;
+
+pub use graph::{ControlId, ControlKind, DeviceId, DeviceKind, NetId, Netlist, RegionId};
+pub use simulate::{Contention, SimReport, SwitchSim};
+pub use union_find::UnionFind;
+
+/// Errors from netlist construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// Referenced a net that does not exist.
+    BadNet(u32),
+    /// Referenced a device that does not exist.
+    BadDevice(u32),
+    /// Referenced a control input that does not exist.
+    BadControl(u32),
+    /// A control was bound with the wrong kind of value (binary vs MV).
+    ControlKindMismatch {
+        /// The control's index.
+        control: u32,
+        /// What the netlist expected.
+        expected: &'static str,
+    },
+    /// Simulation ran with at least one unbound control input.
+    UnboundControl {
+        /// Name of the unbound control.
+        name: String,
+    },
+    /// An FGMOS device was evaluated before being programmed.
+    UnprogrammedDevice(u32),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::BadNet(i) => write!(f, "unknown net id {i}"),
+            NetlistError::BadDevice(i) => write!(f, "unknown device id {i}"),
+            NetlistError::BadControl(i) => write!(f, "unknown control id {i}"),
+            NetlistError::ControlKindMismatch { control, expected } => {
+                write!(f, "control {control} expected a {expected} value")
+            }
+            NetlistError::UnboundControl { name } => {
+                write!(f, "control '{name}' unbound at simulation time")
+            }
+            NetlistError::UnprogrammedDevice(i) => {
+                write!(f, "FGMOS device {i} evaluated before programming")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

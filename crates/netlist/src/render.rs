@@ -1,0 +1,132 @@
+//! Human-readable netlist dumps: a SPICE-flavoured device listing plus
+//! per-region transistor accounting. Used by examples, docs and debugging
+//! sessions; stable enough to assert against in tests.
+
+use crate::graph::{DeviceKind, Netlist};
+
+/// Renders the device listing, one line per device:
+/// `D<i> <kind> <netA> <netB> gate=<control> [region]`.
+#[must_use]
+pub fn render_devices(nl: &Netlist) -> String {
+    let mut out = String::new();
+    for (i, dev) in nl.devices.iter().enumerate() {
+        let kind = match &dev.kind {
+            DeviceKind::NmosPass => "nmos ".to_string(),
+            DeviceKind::PmosPass => "pmos ".to_string(),
+            DeviceKind::TransmissionGate => "tgate".to_string(),
+            DeviceKind::Fgmos(f) => match f.threshold_volts() {
+                Some(v) => format!("fgmos(vth={v:.2}V)"),
+                None => "fgmos(unprogrammed)".to_string(),
+            },
+        };
+        let region = dev
+            .region
+            .map(|r| format!(" [{}]", nl.regions[r.index()]))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "D{i} {kind} {} {} gate={}{}\n",
+            nl.nets[dev.a.index()],
+            nl.nets[dev.b.index()],
+            nl.controls[dev.gate.index()].name,
+            region,
+        ));
+    }
+    out
+}
+
+/// Renders a summary: net/control/device counts, census by kind, SRAM and
+/// support transistors, and per-region transistor totals.
+#[must_use]
+pub fn render_summary(nl: &Netlist) -> String {
+    let (n, p, t, f) = nl.device_census();
+    let mut out = format!(
+        "nets: {}  controls: {}  devices: {}\n\
+         census: {n} nmos, {p} pmos, {t} tgate, {f} fgmos\n\
+         sram cells: {} ({} T)  support: {} T\n\
+         total transistors: {}\n",
+        nl.net_count(),
+        nl.control_count(),
+        nl.device_count(),
+        nl.sram_cell_count(),
+        nl.sram_cell_count() * 6,
+        nl.support_transistor_count(),
+        nl.transistor_count(),
+    );
+    for (i, name) in nl.regions.iter().enumerate() {
+        let r = crate::graph::RegionId(i as u32);
+        out.push_str(&format!(
+            "region '{}': {} T\n",
+            name,
+            nl.region_transistor_count(r)
+        ));
+    }
+    out
+}
+
+impl crate::graph::RegionId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ControlKind;
+    use mcfpga_device::{Fgmos, FgmosMode, TechParams};
+    use mcfpga_mvl::{Level, Radix};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let r = nl.add_region("demo");
+        let a = nl.add_net("in");
+        let b = nl.add_net("out");
+        let en = nl.add_control("en", ControlKind::Binary);
+        let rail = nl.add_control("vs", ControlKind::Mv);
+        nl.add_device(DeviceKind::NmosPass, a, b, en, Some(r)).unwrap();
+        let mut f = Fgmos::new(FgmosMode::UpLiteral);
+        f.program_ideal(Level::new(2), Radix::FIVE, &TechParams::default())
+            .unwrap();
+        nl.add_device(DeviceKind::Fgmos(f), a, b, rail, Some(r)).unwrap();
+        nl.add_sram_cells(Some(r), 2);
+        nl.add_support(Some(r), "mux", 6);
+        nl
+    }
+
+    #[test]
+    fn device_listing_shape() {
+        let s = render_devices(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("D0 nmos  in out gate=en [demo]"));
+        assert!(lines[1].contains("fgmos(vth=1.50V)"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = render_summary(&sample());
+        assert!(s.contains("devices: 2"));
+        assert!(s.contains("sram cells: 2 (12 T)"));
+        assert!(s.contains("support: 6 T"));
+        // 1 nmos + 1 fgmos + 12 sram + 6 support = 20
+        assert!(s.contains("total transistors: 20"));
+        assert!(s.contains("region 'demo': 20 T"));
+    }
+
+    #[test]
+    fn unprogrammed_fgmos_rendered() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let rail = nl.add_control("vs", ControlKind::Mv);
+        nl.add_device(
+            DeviceKind::Fgmos(Fgmos::new(FgmosMode::DownLiteral)),
+            a,
+            b,
+            rail,
+            None,
+        )
+        .unwrap();
+        assert!(render_devices(&nl).contains("unprogrammed"));
+    }
+}

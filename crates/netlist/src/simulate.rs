@@ -1,0 +1,403 @@
+//! Switch-level simulation.
+//!
+//! Binding control values makes each device ON or OFF; the conducting
+//! devices induce an equivalence relation over nets (computed by
+//! union-find). Driven nets then propagate their values across components;
+//! a component with two different drivers is in **contention**, one with no
+//! driver is **floating**.
+
+use crate::graph::{ControlId, ControlKind, DeviceId, DeviceKind, NetId, Netlist};
+use crate::union_find::UnionFind;
+use crate::NetlistError;
+use mcfpga_device::TechParams;
+use mcfpga_mvl::Level;
+
+/// A contention record: two drivers disagree within one component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contention {
+    /// A driven net in the component.
+    pub net_a: NetId,
+    /// Another driven net in the same component with the opposite value.
+    pub net_b: NetId,
+}
+
+/// Result of one switch-level evaluation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Devices that conducted.
+    pub on_devices: Vec<DeviceId>,
+    /// Contentions discovered (empty for a well-formed configuration).
+    pub contentions: Vec<Contention>,
+}
+
+/// Switch-level simulator over a [`Netlist`].
+///
+/// The simulator borrows the netlist immutably; control bindings and driver
+/// values live in the simulator so one netlist can be evaluated under many
+/// scenarios cheaply.
+#[derive(Debug, Clone)]
+pub struct SwitchSim<'n> {
+    netlist: &'n Netlist,
+    params: TechParams,
+    bin: Vec<Option<bool>>,
+    mv: Vec<Option<Level>>,
+    drivers: Vec<Option<bool>>,
+    uf: Option<UnionFind>,
+    on: Vec<DeviceId>,
+}
+
+impl<'n> SwitchSim<'n> {
+    /// Creates a simulator with all controls unbound and no drivers.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist, params: TechParams) -> Self {
+        SwitchSim {
+            netlist,
+            params,
+            bin: vec![None; netlist.control_count()],
+            mv: vec![None; netlist.control_count()],
+            drivers: vec![None; netlist.net_count()],
+            uf: None,
+            on: Vec::new(),
+        }
+    }
+
+    /// Binds a binary control.
+    pub fn bind_bin(&mut self, c: ControlId, v: bool) -> Result<(), NetlistError> {
+        match self.netlist.control_kind(c)? {
+            ControlKind::Binary => {
+                self.bin[c.index()] = Some(v);
+                self.uf = None;
+                Ok(())
+            }
+            ControlKind::Mv => Err(NetlistError::ControlKindMismatch {
+                control: c.index() as u32,
+                expected: "binary",
+            }),
+        }
+    }
+
+    /// Binds an MV control rail.
+    pub fn bind_mv(&mut self, c: ControlId, v: Level) -> Result<(), NetlistError> {
+        match self.netlist.control_kind(c)? {
+            ControlKind::Mv => {
+                self.mv[c.index()] = Some(v);
+                self.uf = None;
+                Ok(())
+            }
+            ControlKind::Binary => Err(NetlistError::ControlKindMismatch {
+                control: c.index() as u32,
+                expected: "mv",
+            }),
+        }
+    }
+
+    /// Binds a control by name (binary).
+    pub fn bind_bin_named(&mut self, name: &str, v: bool) -> Result<(), NetlistError> {
+        let c = self
+            .netlist
+            .find_control(name)
+            .ok_or_else(|| NetlistError::UnboundControl {
+                name: name.to_string(),
+            })?;
+        self.bind_bin(c, v)
+    }
+
+    /// Binds a control by name (MV).
+    pub fn bind_mv_named(&mut self, name: &str, v: Level) -> Result<(), NetlistError> {
+        let c = self
+            .netlist
+            .find_control(name)
+            .ok_or_else(|| NetlistError::UnboundControl {
+                name: name.to_string(),
+            })?;
+        self.bind_mv(c, v)
+    }
+
+    /// Drives a net with a logic value (e.g. the routed signal source).
+    pub fn drive(&mut self, n: NetId, v: bool) {
+        self.drivers[n.index()] = Some(v);
+    }
+
+    /// Removes a driver.
+    pub fn undrive(&mut self, n: NetId) {
+        self.drivers[n.index()] = None;
+    }
+
+    /// Evaluates conduction for the current bindings.
+    ///
+    /// Errors if any control watched by a device is unbound, or if an FGMOS
+    /// is unprogrammed.
+    pub fn evaluate(&mut self) -> Result<SimReport, NetlistError> {
+        let mut uf = UnionFind::new(self.netlist.net_count());
+        let mut on = Vec::new();
+        for (i, dev) in self.netlist.devices.iter().enumerate() {
+            let gid = dev.gate.index();
+            let conducting = match &dev.kind {
+                DeviceKind::NmosPass => self.need_bin(gid)?,
+                DeviceKind::PmosPass => !self.need_bin(gid)?,
+                DeviceKind::TransmissionGate => self.need_bin(gid)?,
+                DeviceKind::Fgmos(f) => {
+                    let level = self.need_mv(gid)?;
+                    f.conducts(level, &self.params)
+                        .map_err(|_| NetlistError::UnprogrammedDevice(i as u32))?
+                }
+            };
+            if conducting {
+                uf.union(dev.a.index(), dev.b.index());
+                on.push(DeviceId(i as u32));
+            }
+        }
+        // contention scan: for every pair of drivers in one component with
+        // different values, report once per (first, offending) pair.
+        let mut contentions = Vec::new();
+        let mut seen: Vec<Option<(usize, bool)>> = vec![None; self.netlist.net_count()];
+        for (ni, drv) in self.drivers.iter().enumerate() {
+            if let Some(v) = drv {
+                let root = uf.find(ni);
+                match seen[root] {
+                    None => seen[root] = Some((ni, *v)),
+                    Some((first, fv)) => {
+                        if fv != *v {
+                            contentions.push(Contention {
+                                net_a: NetId(first as u32),
+                                net_b: NetId(ni as u32),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.on = on.clone();
+        self.uf = Some(uf);
+        Ok(SimReport {
+            on_devices: on,
+            contentions,
+        })
+    }
+
+    fn need_bin(&self, gid: usize) -> Result<bool, NetlistError> {
+        self.bin[gid].ok_or_else(|| NetlistError::UnboundControl {
+            name: self.netlist.controls[gid].name.clone(),
+        })
+    }
+
+    fn need_mv(&self, gid: usize) -> Result<Level, NetlistError> {
+        self.mv[gid].ok_or_else(|| NetlistError::UnboundControl {
+            name: self.netlist.controls[gid].name.clone(),
+        })
+    }
+
+    /// Are two nets connected under the most recent [`SwitchSim::evaluate`]?
+    ///
+    /// # Panics
+    /// Panics if called before `evaluate`.
+    pub fn connected(&mut self, a: NetId, b: NetId) -> bool {
+        self.uf
+            .as_mut()
+            .expect("evaluate() before connected()")
+            .connected(a.index(), b.index())
+    }
+
+    /// The logic value observable at `n`: the value of any driver in its
+    /// component (`None` = floating). Contention reporting is in the
+    /// [`SimReport`]; here the first driver wins, mirroring a fight where
+    /// the stronger/first driver dominates.
+    pub fn read(&mut self, n: NetId) -> Option<bool> {
+        let uf = self.uf.as_mut().expect("evaluate() before read()");
+        let root = uf.find(n.index());
+        for (ni, drv) in self.drivers.iter().enumerate() {
+            if drv.is_some() && uf.find(ni) == root {
+                return *drv;
+            }
+        }
+        None
+    }
+
+    /// Devices that conducted in the last evaluation.
+    #[must_use]
+    pub fn on_devices(&self) -> &[DeviceId] {
+        &self.on
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ControlKind;
+    use mcfpga_device::{Fgmos, FgmosMode};
+    use mcfpga_mvl::Radix;
+
+    fn params() -> TechParams {
+        TechParams::default()
+    }
+
+    /// in —[nmos en]— out
+    fn single_switch() -> (Netlist, NetId, NetId, ControlId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("in");
+        let b = nl.add_net("out");
+        let en = nl.add_control("en", ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, a, b, en, None).unwrap();
+        (nl, a, b, en)
+    }
+
+    #[test]
+    fn pass_transistor_connects_when_enabled() {
+        let (nl, a, b, en) = single_switch();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_bin(en, true).unwrap();
+        sim.drive(a, true);
+        let rep = sim.evaluate().unwrap();
+        assert_eq!(rep.on_devices.len(), 1);
+        assert!(sim.connected(a, b));
+        assert_eq!(sim.read(b), Some(true));
+    }
+
+    #[test]
+    fn pass_transistor_isolates_when_disabled() {
+        let (nl, a, b, en) = single_switch();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_bin(en, false).unwrap();
+        sim.drive(a, true);
+        sim.evaluate().unwrap();
+        assert!(!sim.connected(a, b));
+        assert_eq!(sim.read(b), None, "output floats when isolated");
+    }
+
+    #[test]
+    fn unbound_control_is_an_error() {
+        let (nl, _, _, _) = single_switch();
+        let mut sim = SwitchSim::new(&nl, params());
+        let err = sim.evaluate().unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundControl { .. }));
+    }
+
+    #[test]
+    fn fgmos_series_chain_is_wired_and() {
+        // window literal = up(t1) in series with down(t2)
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let m = nl.add_net("m");
+        let b = nl.add_net("b");
+        let rail = nl.add_control("vs", ControlKind::Mv);
+        let p = params();
+        nl.add_programmed_fgmos(
+            FgmosMode::UpLiteral,
+            Level::new(2),
+            Radix::FIVE,
+            &p,
+            a,
+            m,
+            rail,
+            None,
+        )
+        .unwrap();
+        nl.add_programmed_fgmos(
+            FgmosMode::DownLiteral,
+            Level::new(3),
+            Radix::FIVE,
+            &p,
+            m,
+            b,
+            rail,
+            None,
+        )
+        .unwrap();
+        let mut sim = SwitchSim::new(&nl, p);
+        for v in 0..5u8 {
+            sim.bind_mv(rail, Level::new(v)).unwrap();
+            sim.evaluate().unwrap();
+            let want = (2..=3).contains(&v); // window [2,3]
+            assert_eq!(sim.connected(a, b), want, "level {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_branches_are_wired_or() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let e1 = nl.add_control("e1", ControlKind::Binary);
+        let e2 = nl.add_control("e2", ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, a, b, e1, None).unwrap();
+        nl.add_device(DeviceKind::NmosPass, a, b, e2, None).unwrap();
+        let mut sim = SwitchSim::new(&nl, params());
+        for (v1, v2) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.bind_bin(e1, v1).unwrap();
+            sim.bind_bin(e2, v2).unwrap();
+            sim.evaluate().unwrap();
+            assert_eq!(sim.connected(a, b), v1 || v2);
+        }
+    }
+
+    #[test]
+    fn contention_detected() {
+        let (nl, a, b, en) = single_switch();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_bin(en, true).unwrap();
+        sim.drive(a, true);
+        sim.drive(b, false);
+        let rep = sim.evaluate().unwrap();
+        assert_eq!(rep.contentions.len(), 1);
+        // and with the switch open, no contention
+        sim.bind_bin(en, false).unwrap();
+        let rep = sim.evaluate().unwrap();
+        assert!(rep.contentions.is_empty());
+    }
+
+    #[test]
+    fn pmos_inverts_enable_sense() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let en = nl.add_control("en", ControlKind::Binary);
+        nl.add_device(DeviceKind::PmosPass, a, b, en, None).unwrap();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_bin(en, false).unwrap();
+        sim.evaluate().unwrap();
+        assert!(sim.connected(a, b));
+        sim.bind_bin(en, true).unwrap();
+        sim.evaluate().unwrap();
+        assert!(!sim.connected(a, b));
+    }
+
+    #[test]
+    fn unprogrammed_fgmos_is_an_error() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let rail = nl.add_control("vs", ControlKind::Mv);
+        nl.add_device(
+            DeviceKind::Fgmos(Fgmos::new(FgmosMode::UpLiteral)),
+            a,
+            b,
+            rail,
+            None,
+        )
+        .unwrap();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_mv(rail, Level::new(1)).unwrap();
+        assert!(matches!(
+            sim.evaluate(),
+            Err(NetlistError::UnprogrammedDevice(0))
+        ));
+    }
+
+    #[test]
+    fn read_through_transitive_path() {
+        // a -[e]- m -[e]- b : value propagates across two hops
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let m = nl.add_net("m");
+        let b = nl.add_net("b");
+        let e = nl.add_control("e", ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, a, m, e, None).unwrap();
+        nl.add_device(DeviceKind::TransmissionGate, m, b, e, None)
+            .unwrap();
+        let mut sim = SwitchSim::new(&nl, params());
+        sim.bind_bin(e, true).unwrap();
+        sim.drive(a, false);
+        sim.evaluate().unwrap();
+        assert_eq!(sim.read(b), Some(false));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the switch-level simulator: conduction must be a
+//! proper equivalence relation, and series/parallel compositions must follow
+//! AND/OR semantics for arbitrary chains.
+
+use mcfpga_device::TechParams;
+use mcfpga_netlist::{ControlKind, DeviceKind, Netlist, SwitchSim};
+use proptest::prelude::*;
+
+/// Builds a chain of `n` pass transistors with independent controls between
+/// net 0 and net n.
+fn chain(n: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut prev = nl.add_net("n0");
+    for i in 0..n {
+        let next = nl.add_net(&format!("n{}", i + 1));
+        let e = nl.add_control(&format!("e{i}"), ControlKind::Binary);
+        nl.add_device(DeviceKind::NmosPass, prev, next, e, None)
+            .unwrap();
+        prev = next;
+    }
+    nl
+}
+
+proptest! {
+    /// A series chain conducts end-to-end iff every gate is high (wired-AND).
+    #[test]
+    fn series_chain_is_and(gates in prop::collection::vec(any::<bool>(), 1..12)) {
+        let nl = chain(gates.len());
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        for (i, g) in gates.iter().enumerate() {
+            sim.bind_bin_named(&format!("e{i}"), *g).unwrap();
+        }
+        sim.evaluate().unwrap();
+        let a = nl.find_net("n0").unwrap();
+        let b = nl.find_net(&format!("n{}", gates.len())).unwrap();
+        prop_assert_eq!(sim.connected(a, b), gates.iter().all(|g| *g));
+    }
+
+    /// Parallel branches conduct iff any gate is high (wired-OR).
+    #[test]
+    fn parallel_branches_are_or(gates in prop::collection::vec(any::<bool>(), 1..12)) {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        for (i, _) in gates.iter().enumerate() {
+            let e = nl.add_control(&format!("e{i}"), ControlKind::Binary);
+            nl.add_device(DeviceKind::NmosPass, a, b, e, None).unwrap();
+        }
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        for (i, g) in gates.iter().enumerate() {
+            sim.bind_bin_named(&format!("e{i}"), *g).unwrap();
+        }
+        sim.evaluate().unwrap();
+        prop_assert_eq!(sim.connected(a, b), gates.iter().any(|g| *g));
+    }
+
+    /// Connectivity is reflexive, symmetric and transitive under any gate
+    /// assignment of a random ladder network.
+    #[test]
+    fn connectivity_is_equivalence(
+        gates in prop::collection::vec(any::<bool>(), 3..10),
+    ) {
+        let nl = chain(gates.len());
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        for (i, g) in gates.iter().enumerate() {
+            sim.bind_bin_named(&format!("e{i}"), *g).unwrap();
+        }
+        sim.evaluate().unwrap();
+        let nets: Vec<_> = (0..=gates.len())
+            .map(|i| nl.find_net(&format!("n{i}")).unwrap())
+            .collect();
+        for &x in &nets {
+            prop_assert!(sim.connected(x, x));
+            for &y in &nets {
+                prop_assert_eq!(sim.connected(x, y), sim.connected(y, x));
+                for &z in &nets {
+                    if sim.connected(x, y) && sim.connected(y, z) {
+                        prop_assert!(sim.connected(x, z));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A driven value is observable exactly on the driver's component.
+    #[test]
+    fn value_propagates_with_connectivity(
+        gates in prop::collection::vec(any::<bool>(), 1..10),
+        v in any::<bool>(),
+    ) {
+        let nl = chain(gates.len());
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        for (i, g) in gates.iter().enumerate() {
+            sim.bind_bin_named(&format!("e{i}"), *g).unwrap();
+        }
+        let a = nl.find_net("n0").unwrap();
+        sim.drive(a, v);
+        sim.evaluate().unwrap();
+        for i in 0..=gates.len() {
+            let n = nl.find_net(&format!("n{i}")).unwrap();
+            let want = if sim.connected(a, n) { Some(v) } else { None };
+            prop_assert_eq!(sim.read(n), want, "net n{}", i);
+        }
+    }
+
+    /// Contention appears exactly when two opposite drivers join one
+    /// component.
+    #[test]
+    fn contention_iff_joined_opposite_drivers(
+        gates in prop::collection::vec(any::<bool>(), 1..10),
+        va in any::<bool>(),
+        vb in any::<bool>(),
+    ) {
+        let nl = chain(gates.len());
+        let mut sim = SwitchSim::new(&nl, TechParams::default());
+        for (i, g) in gates.iter().enumerate() {
+            sim.bind_bin_named(&format!("e{i}"), *g).unwrap();
+        }
+        let a = nl.find_net("n0").unwrap();
+        let b = nl.find_net(&format!("n{}", gates.len())).unwrap();
+        sim.drive(a, va);
+        sim.drive(b, vb);
+        let rep = sim.evaluate().unwrap();
+        let joined = gates.iter().all(|g| *g);
+        prop_assert_eq!(!rep.contentions.is_empty(), joined && va != vb);
+    }
+}

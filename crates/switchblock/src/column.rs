@@ -1,0 +1,196 @@
+//! Netlist-level verification of a shared-select column (Fig. 11).
+//!
+//! Builds one crossbar column as silicon: `K` hybrid MC-switches between
+//! their row wires and the shared column wire, all watching the **same**
+//! per-column broadcast lines (the column's shared select network outputs).
+//! After designated-row remapping only one switch in the column is ever
+//! programmed ON; the others are parked. The switch-level simulator then
+//! confirms that, in every context, the column wire connects to exactly the
+//! designated row (or floats).
+
+use crate::SbError;
+use mcfpga_core::{HybridMcSwitch, McSwitch};
+use mcfpga_css::HybridCssGen;
+use mcfpga_device::{Fgmos, FgmosMode, TechParams};
+use mcfpga_mvl::CtxSet;
+use mcfpga_netlist::{ControlKind, DeviceKind, NetId, Netlist, SwitchSim};
+
+/// A column model: `K` rows, one of them designated, sharing CSS lines.
+#[derive(Debug)]
+pub struct SharedColumn {
+    contexts: usize,
+    rows: usize,
+    designated: usize,
+    netlist: Netlist,
+    row_nets: Vec<NetId>,
+    col_net: NetId,
+}
+
+impl SharedColumn {
+    /// Builds the column. `on_set` is the designated switch's function; all
+    /// other rows are parked.
+    pub fn build(
+        rows: usize,
+        designated: usize,
+        on_set: &CtxSet,
+    ) -> Result<Self, SbError> {
+        if rows == 0 || designated >= rows {
+            return Err(SbError::BadDimensions { rows, cols: 1 });
+        }
+        let contexts = on_set.contexts();
+        let mut model = HybridMcSwitch::new(contexts)?;
+        model.configure(on_set)?;
+        let gen = HybridCssGen::new(contexts).map_err(mcfpga_core::CoreError::Css)?;
+        let params = TechParams::default();
+
+        // The designated switch's own netlist tells us which lines it needs;
+        // the column replicates its control names as the shared lines.
+        let designated_nl = model.build_netlist()?;
+
+        let mut nl = Netlist::new();
+        let col_net = nl.add_net("col");
+        let mut row_nets = Vec::with_capacity(rows);
+        // shared lines: every line any hybrid switch might watch
+        for line in gen.lines() {
+            let name = line.name(gen.blocks());
+            nl.add_control(&name, ControlKind::Mv);
+        }
+        for row in 0..rows {
+            let rn = nl.add_net(&format!("row{row}"));
+            row_nets.push(rn);
+            if row == designated {
+                // replicate the configured switch's devices between rn and col
+                clone_switch_devices(&designated_nl, &mut nl, rn, col_net)?;
+            } else {
+                // parked switch: C/2 parked FGMOS on arbitrary shared lines
+                for unit in 0..contexts / 2 {
+                    let mut d = Fgmos::new(FgmosMode::UpLiteral);
+                    d.park(gen.radix(), &params);
+                    let ctrl = mcfpga_netlist::ControlId::from_index(unit % nl.control_count());
+                    nl.add_device(DeviceKind::Fgmos(d), rn, col_net, ctrl, None)
+                        .map_err(mcfpga_core::CoreError::Netlist)?;
+                }
+            }
+        }
+        Ok(SharedColumn {
+            contexts,
+            rows,
+            designated,
+            netlist: nl,
+            row_nets,
+            col_net,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The underlying netlist (for counting and inspection).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Simulates every context; returns, per context, which row (if any) the
+    /// column wire connects to. Errors on multi-row connection.
+    pub fn simulate(&self) -> Result<Vec<Option<usize>>, SbError> {
+        let gen = HybridCssGen::new(self.contexts).map_err(mcfpga_core::CoreError::Css)?;
+        let mut sim = SwitchSim::new(&self.netlist, TechParams::default());
+        let mut result = Vec::with_capacity(self.contexts);
+        for ctx in 0..self.contexts {
+            for line in gen.lines() {
+                let name = line.name(gen.blocks());
+                sim.bind_mv_named(&name, gen.line_value_at(line, ctx).unwrap())
+                    .map_err(mcfpga_core::CoreError::Netlist)?;
+            }
+            sim.evaluate().map_err(mcfpga_core::CoreError::Netlist)?;
+            let mut connected_row = None;
+            for (row, &rn) in self.row_nets.iter().enumerate() {
+                if sim.connected(rn, self.col_net) {
+                    if connected_row.is_some() {
+                        return Err(SbError::RowConflict { ctx, row });
+                    }
+                    connected_row = Some(row);
+                }
+            }
+            result.push(connected_row);
+        }
+        Ok(result)
+    }
+
+    /// The designated row.
+    #[must_use]
+    pub fn designated(&self) -> usize {
+        self.designated
+    }
+}
+
+/// Copies the FGMOS devices of a single-switch netlist into `dst` between
+/// `a` and `b`, mapping control names across.
+fn clone_switch_devices(
+    src: &Netlist,
+    dst: &mut Netlist,
+    a: NetId,
+    b: NetId,
+) -> Result<(), SbError> {
+    for (d, _, _, gate) in src.devices() {
+        let fg = src.fgmos(d).map_err(mcfpga_core::CoreError::Netlist)?;
+        let name = src
+            .control_name(gate)
+            .map_err(mcfpga_core::CoreError::Netlist)?;
+        let ctrl = dst
+            .find_control(name)
+            .unwrap_or_else(|| dst.add_control(name, ControlKind::Mv));
+        dst.add_device(DeviceKind::Fgmos(fg.clone()), a, b, ctrl, None)
+            .map_err(mcfpga_core::CoreError::Netlist)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designated_row_connects_exactly_when_configured() {
+        let on = CtxSet::from_ctxs(4, [0, 3]).unwrap();
+        let col = SharedColumn::build(3, 1, &on).unwrap();
+        let sim = col.simulate().unwrap();
+        assert_eq!(sim, vec![Some(1), None, None, Some(1)]);
+    }
+
+    #[test]
+    fn parked_rows_never_connect() {
+        let on = CtxSet::full(4).unwrap();
+        let col = SharedColumn::build(5, 4, &on).unwrap();
+        let sim = col.simulate().unwrap();
+        assert!(sim.iter().all(|r| *r == Some(4)));
+    }
+
+    #[test]
+    fn empty_function_floats() {
+        let on = CtxSet::empty(4).unwrap();
+        let col = SharedColumn::build(4, 0, &on).unwrap();
+        assert!(col.simulate().unwrap().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn eight_context_column() {
+        let on = CtxSet::from_ctxs(8, [1, 4, 6]).unwrap();
+        let col = SharedColumn::build(3, 2, &on).unwrap();
+        let sim = col.simulate().unwrap();
+        for (ctx, r) in sim.iter().enumerate() {
+            assert_eq!(*r, if on.get(ctx) { Some(2) } else { None }, "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn bad_dimensions() {
+        let on = CtxSet::empty(4).unwrap();
+        assert!(SharedColumn::build(0, 0, &on).is_err());
+        assert!(SharedColumn::build(3, 3, &on).is_err());
+    }
+}

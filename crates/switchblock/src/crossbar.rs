@@ -1,0 +1,292 @@
+//! The configurable multi-context switch block.
+
+use crate::routing::RouteSet;
+use crate::SbError;
+use mcfpga_core::{AnySwitch, ArchKind, HybridMcSwitch, McSwitch};
+use mcfpga_mvl::CtxSet;
+
+/// A `rows × cols` crossbar of multi-context switches of one architecture.
+#[derive(Debug, Clone)]
+pub struct SwitchBlock {
+    arch: ArchKind,
+    rows: usize,
+    cols: usize,
+    contexts: usize,
+    /// Row-major: `switches[row * cols + col]`.
+    switches: Vec<AnySwitch>,
+    routes: Option<RouteSet>,
+}
+
+impl SwitchBlock {
+    /// Builds an unconfigured switch block.
+    pub fn new(
+        arch: ArchKind,
+        rows: usize,
+        cols: usize,
+        contexts: usize,
+    ) -> Result<Self, SbError> {
+        if rows == 0 || cols == 0 || rows > 1024 || cols > 1024 {
+            return Err(SbError::BadDimensions { rows, cols });
+        }
+        let mut switches = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            switches.push(AnySwitch::build(arch, contexts)?);
+        }
+        Ok(SwitchBlock {
+            arch,
+            rows,
+            cols,
+            contexts,
+            switches,
+            routes: None,
+        })
+    }
+
+    /// Architecture of the cross-points.
+    #[must_use]
+    pub fn arch(&self) -> ArchKind {
+        self.arch
+    }
+
+    /// Rows (input wires).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (output wires).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Contexts.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// The currently loaded routes, if configured.
+    #[must_use]
+    pub fn routes(&self) -> Option<&RouteSet> {
+        self.routes.as_ref()
+    }
+
+    /// Programs every cross-point from a route set.
+    pub fn configure(&mut self, routes: &RouteSet) -> Result<(), SbError> {
+        if routes.contexts() != self.contexts {
+            return Err(SbError::ContextMismatch {
+                routes: routes.contexts(),
+                block: self.contexts,
+            });
+        }
+        if routes.rows() != self.rows || routes.cols() != self.cols {
+            return Err(SbError::BadDimensions {
+                rows: routes.rows(),
+                cols: routes.cols(),
+            });
+        }
+        routes.validate()?;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let mut on_set = CtxSet::empty(self.contexts)
+                    .map_err(|_| SbError::ContextMismatch {
+                        routes: routes.contexts(),
+                        block: self.contexts,
+                    })?;
+                for ctx in 0..self.contexts {
+                    if routes.is_on(ctx, row, col) {
+                        on_set.insert(ctx).expect("ctx in domain");
+                    }
+                }
+                self.switches[row * self.cols + col].configure(&on_set)?;
+            }
+        }
+        self.routes = Some(routes.clone());
+        Ok(())
+    }
+
+    /// Programs the block from raw per-context column→row assignments,
+    /// enforcing only **column uniqueness** (one driver per output wire).
+    ///
+    /// Fabric routing legitimately fans one row out to several columns; the
+    /// strict partial-permutation form ([`SwitchBlock::configure`]) is the
+    /// paper's Fig. 11 setting, needed for the designated-row sharing
+    /// optimisation, not for electrical correctness.
+    pub fn configure_assignments(
+        &mut self,
+        assign: &[Vec<Option<usize>>],
+    ) -> Result<(), SbError> {
+        if assign.len() != self.contexts {
+            return Err(SbError::ContextMismatch {
+                routes: assign.len(),
+                block: self.contexts,
+            });
+        }
+        for (ctx, per_col) in assign.iter().enumerate() {
+            if per_col.len() != self.cols {
+                return Err(SbError::RouteOutOfRange {
+                    ctx,
+                    col: per_col.len(),
+                });
+            }
+            if let Some(&Some(row)) = per_col.iter().find(|r| matches!(r, Some(r) if *r >= self.rows))
+            {
+                return Err(SbError::RowConflict { ctx, row });
+            }
+        }
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let mut on_set =
+                    CtxSet::empty(self.contexts).map_err(|_| SbError::ContextMismatch {
+                        routes: assign.len(),
+                        block: self.contexts,
+                    })?;
+                for (ctx, per_col) in assign.iter().enumerate() {
+                    if per_col[col] == Some(row) {
+                        on_set.insert(ctx).expect("ctx in domain");
+                    }
+                }
+                self.switches[row * self.cols + col].configure(&on_set)?;
+            }
+        }
+        self.routes = None;
+        Ok(())
+    }
+
+    /// Does cross-point `(row, col)` conduct in `ctx`? (asks the switch,
+    /// not the route table — this is the configured silicon speaking).
+    pub fn is_on(&self, ctx: usize, row: usize, col: usize) -> Result<bool, SbError> {
+        Ok(self.switches[row * self.cols + col].is_on(ctx)?)
+    }
+
+    /// Verifies that the configured cross-points realise exactly the loaded
+    /// routes, and that the per-context partial-permutation invariant holds
+    /// in silicon (≤ 1 ON per row and per column).
+    #[allow(clippy::needless_range_loop)] // row/col indices address two structures
+    pub fn verify_against_routes(&self) -> Result<(), SbError> {
+        let routes = self.routes.as_ref().ok_or(SbError::ContextMismatch {
+            routes: 0,
+            block: self.contexts,
+        })?;
+        for ctx in 0..self.contexts {
+            let mut col_on = vec![0usize; self.cols];
+            let mut row_on = vec![0usize; self.rows];
+            for row in 0..self.rows {
+                for col in 0..self.cols {
+                    let on = self.is_on(ctx, row, col)?;
+                    assert_eq!(
+                        on,
+                        routes.is_on(ctx, row, col),
+                        "mismatch at ctx {ctx} ({row},{col})"
+                    );
+                    if on {
+                        col_on[col] += 1;
+                        row_on[row] += 1;
+                    }
+                }
+            }
+            if let Some(row) = row_on.iter().position(|&n| n > 1) {
+                return Err(SbError::RowConflict { ctx, row });
+            }
+            if col_on.iter().any(|&n| n > 1) {
+                return Err(SbError::RowConflict { ctx, row: usize::MAX });
+            }
+        }
+        Ok(())
+    }
+
+    /// Physical transistor count of the whole block, including the
+    /// column-shared select networks for the hybrid architecture (Table 2
+    /// accounting — see [`crate::count::sb_transistors`]).
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        let per_switch: usize = self.switches.iter().map(McSwitch::transistor_count).sum();
+        match self.arch {
+            ArchKind::Hybrid => {
+                per_switch + self.cols * HybridMcSwitch::select_transistors_for(self.contexts)
+            }
+            _ => per_switch,
+        }
+    }
+
+    /// Follows a signal: the set of columns driven by `row` in `ctx`.
+    pub fn columns_driven_by(&self, ctx: usize, row: usize) -> Result<Vec<usize>, SbError> {
+        let mut cols = Vec::new();
+        for col in 0..self.cols {
+            if self.is_on(ctx, row, col)? {
+                cols.push(col);
+            }
+        }
+        Ok(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts_all_architectures() {
+        // 10×10, 4 contexts — the paper's Table 2.
+        let expect = [
+            (ArchKind::Sram, 3100),
+            (ArchKind::MvFgfp, 400),
+            (ArchKind::Hybrid, 240),
+        ];
+        for (arch, count) in expect {
+            let sb = SwitchBlock::new(arch, 10, 10, 4).unwrap();
+            assert_eq!(sb.transistor_count(), count, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn configure_and_verify_hybrid_3x3() {
+        // Fig. 11's "for simplicity, 3 columns and 3 rows".
+        let mut sb = SwitchBlock::new(ArchKind::Hybrid, 3, 3, 4).unwrap();
+        let routes = RouteSet::random_permutations(3, 4, 11).unwrap();
+        sb.configure(&routes).unwrap();
+        sb.verify_against_routes().unwrap();
+    }
+
+    #[test]
+    fn configure_and_verify_all_archs_10x10() {
+        let routes = RouteSet::random_permutations(10, 4, 23).unwrap();
+        for arch in ArchKind::all() {
+            let mut sb = SwitchBlock::new(arch, 10, 10, 4).unwrap();
+            sb.configure(&routes).unwrap();
+            sb.verify_against_routes().unwrap();
+        }
+    }
+
+    #[test]
+    fn partial_routes_leave_crosspoints_off() {
+        let mut sb = SwitchBlock::new(ArchKind::Hybrid, 4, 4, 4).unwrap();
+        let mut routes = RouteSet::empty(4, 4, 4).unwrap();
+        routes.connect(0, 1, 2).unwrap();
+        sb.configure(&routes).unwrap();
+        assert!(sb.is_on(0, 1, 2).unwrap());
+        assert!(!sb.is_on(0, 0, 0).unwrap());
+        assert!(!sb.is_on(1, 1, 2).unwrap());
+        assert_eq!(sb.columns_driven_by(0, 1).unwrap(), vec![2]);
+        assert!(sb.columns_driven_by(1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn context_mismatch_rejected() {
+        let mut sb = SwitchBlock::new(ArchKind::Hybrid, 3, 3, 4).unwrap();
+        let routes = RouteSet::random_permutations(3, 8, 1).unwrap();
+        assert!(matches!(
+            sb.configure(&routes),
+            Err(SbError::ContextMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rectangular_blocks_supported() {
+        let mut sb = SwitchBlock::new(ArchKind::Hybrid, 6, 3, 4).unwrap();
+        let routes = RouteSet::random_partial(6, 3, 4, 0.8, 5).unwrap();
+        sb.configure(&routes).unwrap();
+        sb.verify_against_routes().unwrap();
+    }
+}

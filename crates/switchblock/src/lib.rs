@@ -1,0 +1,104 @@
+//! # mcfpga-switchblock — the multi-context switch block (paper Fig. 11)
+//!
+//! A switch block (SB) is a crossbar: `rows × cols` cross-points, each a
+//! multi-context switch. Per context, a valid route is a **partial
+//! permutation** — at most one ON cross-point per row and per column.
+//!
+//! The paper's observation: because of that constraint, "we can map the
+//! possibly-ON cross-point switch on a column to the same MC-switch on the
+//! column for any context. As a result, N independent control signals are
+//! sufficient for an N×N MC-SB." Concretely, a crossbar has full input
+//! flexibility, so the router may re-assign each net's *row* so that every
+//! column uses one **designated row** across all contexts; the column's
+//! line-select network (`C` transistors for `C` contexts) is then shared by
+//! the whole column. That is the Table 2 accounting:
+//!
+//! ```text
+//! SRAM:     K² · (8C − 1)             (10×10, C=4 → 3100)
+//! MV-FGFP:  K² · (3C/2 − 2)           (10×10, C=4 →  400)
+//! proposed: K² · C/2  +  K · C        (10×10, C=4 →  240)
+//! ```
+//!
+//! Modules: [`routing`] (partial permutations, validation, generators),
+//! [`crossbar`] (the configurable SB itself), [`mapping`] (the
+//! designated-row remapping theorem as an algorithm, plus conflict
+//! analysis when rows are fixed), [`column`] (netlist-level shared-column
+//! verification), [`count`] (Table 2 closed forms).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod column;
+pub mod count;
+pub mod crossbar;
+pub mod mapping;
+pub mod routing;
+pub mod signal_assignment;
+
+pub use count::sb_transistors;
+pub use crossbar::SwitchBlock;
+pub use mapping::{column_row_usage, remap_to_designated_rows, RemapOutcome};
+pub use routing::RouteSet;
+
+/// Errors from switch-block construction and routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SbError {
+    /// Dimension was zero or absurdly large.
+    BadDimensions {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+    },
+    /// Route referenced an out-of-range row/column/context.
+    RouteOutOfRange {
+        /// Context of the offending entry.
+        ctx: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// Two columns claimed the same row in one context.
+    RowConflict {
+        /// Context where the conflict occurs.
+        ctx: usize,
+        /// The row claimed twice.
+        row: usize,
+    },
+    /// Route set's context count does not match the switch block.
+    ContextMismatch {
+        /// Contexts in the route set.
+        routes: usize,
+        /// Contexts in the switch block.
+        block: usize,
+    },
+    /// Underlying switch error.
+    Core(mcfpga_core::CoreError),
+}
+
+impl From<mcfpga_core::CoreError> for SbError {
+    fn from(e: mcfpga_core::CoreError) -> Self {
+        SbError::Core(e)
+    }
+}
+
+impl std::fmt::Display for SbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbError::BadDimensions { rows, cols } => {
+                write!(f, "bad switch block dimensions {rows}×{cols}")
+            }
+            SbError::RouteOutOfRange { ctx, col } => {
+                write!(f, "route out of range at ctx {ctx}, col {col}")
+            }
+            SbError::RowConflict { ctx, row } => {
+                write!(f, "row {row} claimed twice in ctx {ctx}")
+            }
+            SbError::ContextMismatch { routes, block } => {
+                write!(f, "route contexts {routes} != block contexts {block}")
+            }
+            SbError::Core(e) => write!(f, "switch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SbError {}

@@ -1,0 +1,262 @@
+//! The designated-row remapping theorem (paper §3, Fig. 11).
+//!
+//! "We can map the possibly-ON cross-point switch on a column to the same
+//! MC-switch on the column for any context."
+//!
+//! A crossbar has full input flexibility: which *row* a net enters on is a
+//! free choice compensated upstream. So for each column pick one
+//! **designated row** (an injective map `col → row`; the diagonal for a
+//! square block) and re-route every context's use of that column through it.
+//! After remapping:
+//!
+//! * each column has exactly **one** possibly-ON cross-point across all
+//!   contexts → its line-select network can be a single shared instance
+//!   (`C` transistors per column, the `K·C` term of Table 2);
+//! * the per-context input permutation `π_ctx : old row → designated row`
+//!   is returned so the upstream stage can compensate.
+//!
+//! When rows are physically fixed (no upstream freedom), sharing is only
+//! possible for columns that already use a single row; [`column_row_usage`]
+//! reports per-column row sets, and [`select_networks_needed`] computes how
+//! many select-network instances a fixed-row column requires (one per
+//! distinct row — the fallback ablation measured in the benches).
+
+use crate::routing::RouteSet;
+use crate::SbError;
+
+/// Result of remapping a route set to designated rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapOutcome {
+    /// The remapped routes (column `c` always driven from `designated[c]`).
+    pub routes: RouteSet,
+    /// `designated[col]` = the single row that may drive `col`.
+    pub designated: Vec<usize>,
+    /// Per context: `input_perm[ctx][old_row] = Some(new_row)` for every row
+    /// that was re-assigned (identity entries omitted as `None`).
+    pub input_perm: Vec<Vec<Option<usize>>>,
+}
+
+/// Remaps routes so every column uses a single designated row.
+///
+/// Requires `rows ≥ cols` (each column needs its own row). For a square
+/// block the designated map is the diagonal `col → col`.
+#[allow(clippy::needless_range_loop)] // ctx/col index three parallel structures
+pub fn remap_to_designated_rows(routes: &RouteSet) -> Result<RemapOutcome, SbError> {
+    let (rows, cols, contexts) = (routes.rows(), routes.cols(), routes.contexts());
+    if rows < cols {
+        return Err(SbError::BadDimensions { rows, cols });
+    }
+    routes.validate()?;
+    let designated: Vec<usize> = (0..cols).collect();
+    let mut new_routes = RouteSet::empty(rows, cols, contexts)?;
+    let mut input_perm = vec![vec![None; rows]; contexts];
+    for ctx in 0..contexts {
+        for col in 0..cols {
+            if let Some(old_row) = routes.route(ctx, col) {
+                let new_row = designated[col];
+                new_routes.connect(ctx, new_row, col)?;
+                input_perm[ctx][old_row] = Some(new_row);
+            }
+        }
+    }
+    Ok(RemapOutcome {
+        routes: new_routes,
+        designated,
+        input_perm,
+    })
+}
+
+/// The dual remap: every **row** keeps a single designated **column**.
+///
+/// Needs output-side flexibility (the upstream/downstream network absorbs a
+/// per-context *output* permutation) and `cols ≥ rows`. Together with
+/// [`remap_to_designated_rows`] this gives the full symmetry of the paper's
+/// "a single cross-point switch on each column and row is ON at most".
+#[allow(clippy::needless_range_loop)] // ctx/col index three parallel structures
+pub fn remap_to_designated_cols(routes: &RouteSet) -> Result<RemapOutcome, SbError> {
+    let (rows, cols, contexts) = (routes.rows(), routes.cols(), routes.contexts());
+    if cols < rows {
+        return Err(SbError::BadDimensions { rows, cols });
+    }
+    routes.validate()?;
+    let designated: Vec<usize> = (0..rows).collect(); // row r → column r
+    let mut new_routes = RouteSet::empty(rows, cols, contexts)?;
+    let mut output_perm = vec![vec![None; cols]; contexts];
+    for ctx in 0..contexts {
+        for col in 0..cols {
+            if let Some(row) = routes.route(ctx, col) {
+                let new_col = designated[row];
+                new_routes.connect(ctx, row, new_col)?;
+                output_perm[ctx][col] = Some(new_col);
+            }
+        }
+    }
+    Ok(RemapOutcome {
+        routes: new_routes,
+        designated,
+        input_perm: output_perm,
+    })
+}
+
+/// Per-row sets of columns used across all contexts (sorted, deduplicated)
+/// — the dual of [`column_row_usage`].
+#[must_use]
+pub fn row_col_usage(routes: &RouteSet) -> Vec<Vec<usize>> {
+    let mut usage: Vec<Vec<usize>> = vec![Vec::new(); routes.rows()];
+    for ctx in 0..routes.contexts() {
+        for col in 0..routes.cols() {
+            if let Some(row) = routes.route(ctx, col) {
+                if !usage[row].contains(&col) {
+                    usage[row].push(col);
+                }
+            }
+        }
+    }
+    for slot in &mut usage {
+        slot.sort_unstable();
+    }
+    usage
+}
+
+/// Per-column sets of rows used across all contexts (sorted, deduplicated).
+#[must_use]
+pub fn column_row_usage(routes: &RouteSet) -> Vec<Vec<usize>> {
+    let mut usage: Vec<Vec<usize>> = vec![Vec::new(); routes.cols()];
+    for ctx in 0..routes.contexts() {
+        for (col, slot) in usage.iter_mut().enumerate() {
+            if let Some(row) = routes.route(ctx, col) {
+                if !slot.contains(&row) {
+                    slot.push(row);
+                }
+            }
+        }
+    }
+    for slot in &mut usage {
+        slot.sort_unstable();
+    }
+    usage
+}
+
+/// With physically fixed rows, the number of select-network instances each
+/// column needs equals the number of distinct rows it uses (min 1 — the
+/// network exists even if idle). Returns `(per_column, total)`.
+#[must_use]
+pub fn select_networks_needed(routes: &RouteSet) -> (Vec<usize>, usize) {
+    let per: Vec<usize> = column_row_usage(routes)
+        .iter()
+        .map(|rows| rows.len().max(1))
+        .collect();
+    let total = per.iter().sum();
+    (per, total)
+}
+
+/// Checks that a remap outcome preserves *connectivity semantics*: in every
+/// context, column `c` is routed after the remap iff it was before. (Which
+/// row feeds it is exactly the freedom the theorem exploits.)
+#[must_use]
+pub fn remap_preserves_column_connectivity(before: &RouteSet, out: &RemapOutcome) -> bool {
+    if before.contexts() != out.routes.contexts() || before.cols() != out.routes.cols() {
+        return false;
+    }
+    for ctx in 0..before.contexts() {
+        for col in 0..before.cols() {
+            let was = before.route(ctx, col).is_some();
+            let now = out.routes.route(ctx, col);
+            if was != now.is_some() {
+                return false;
+            }
+            if let Some(r) = now {
+                if r != out.designated[col] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remap_gives_single_row_per_column() {
+        let routes = RouteSet::random_permutations(10, 4, 99).unwrap();
+        let out = remap_to_designated_rows(&routes).unwrap();
+        out.routes.validate().unwrap();
+        let usage = column_row_usage(&out.routes);
+        for (col, rows) in usage.iter().enumerate() {
+            assert!(rows.len() <= 1, "col {col} uses rows {rows:?}");
+            if let Some(&r) = rows.first() {
+                assert_eq!(r, out.designated[col]);
+            }
+        }
+        assert!(remap_preserves_column_connectivity(&routes, &out));
+    }
+
+    #[test]
+    fn remap_partial_routes() {
+        let routes = RouteSet::random_partial(8, 8, 4, 0.6, 5).unwrap();
+        let out = remap_to_designated_rows(&routes).unwrap();
+        assert!(remap_preserves_column_connectivity(&routes, &out));
+        // select networks after remap: exactly one per column
+        let (_, total) = select_networks_needed(&out.routes);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn fixed_rows_need_more_select_networks() {
+        // random permutations across 4 contexts touch ~4 rows per column
+        let routes = RouteSet::random_permutations(10, 4, 7).unwrap();
+        let (_, total_fixed) = select_networks_needed(&routes);
+        let out = remap_to_designated_rows(&routes).unwrap();
+        let (_, total_mapped) = select_networks_needed(&out.routes);
+        assert!(total_fixed > total_mapped);
+        assert_eq!(total_mapped, 10, "N networks for an N×N SB — the claim");
+    }
+
+    #[test]
+    fn input_perm_recorded() {
+        let mut routes = RouteSet::empty(3, 3, 1).unwrap();
+        routes.connect(0, 2, 0).unwrap(); // col 0 from row 2
+        let out = remap_to_designated_rows(&routes).unwrap();
+        assert_eq!(out.input_perm[0][2], Some(0), "row 2 now enters as row 0");
+        assert_eq!(out.routes.route(0, 0), Some(0));
+    }
+
+    #[test]
+    fn wide_blocks_rejected() {
+        let routes = RouteSet::empty(3, 5, 2).unwrap();
+        assert!(remap_to_designated_rows(&routes).is_err());
+    }
+
+    #[test]
+    fn dual_remap_gives_single_column_per_row() {
+        let routes = RouteSet::random_permutations(8, 4, 55).unwrap();
+        let out = remap_to_designated_cols(&routes).unwrap();
+        out.routes.validate().unwrap();
+        for (row, cols) in row_col_usage(&out.routes).iter().enumerate() {
+            assert!(cols.len() <= 1, "row {row} drives columns {cols:?}");
+            if let Some(&c) = cols.first() {
+                assert_eq!(c, out.designated[row]);
+            }
+        }
+        // per-context routed row set preserved (rows keep their nets)
+        for ctx in 0..4 {
+            let before: Vec<Option<usize>> =
+                (0..8).map(|r| (0..8).find(|&c| routes.is_on(ctx, r, c))).collect();
+            let after: Vec<Option<usize>> = (0..8)
+                .map(|r| (0..8).find(|&c| out.routes.is_on(ctx, r, c)))
+                .collect();
+            for r in 0..8 {
+                assert_eq!(before[r].is_some(), after[r].is_some(), "ctx {ctx} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_remap_rejects_tall_blocks() {
+        let routes = RouteSet::empty(5, 3, 2).unwrap();
+        assert!(remap_to_designated_cols(&routes).is_err());
+    }
+}

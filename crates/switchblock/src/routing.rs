@@ -1,0 +1,253 @@
+//! Per-context crossbar routes as partial permutations.
+//!
+//! The route of one context maps each **column** (output wire) to at most
+//! one **row** (input wire); validity additionally demands no row is claimed
+//! by two columns — "For a context, a single cross-point switch on each
+//! column and row is ON at most" (§3).
+
+use crate::SbError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Routes for every context of a switch block.
+///
+/// `assign[ctx][col] = Some(row)` means column `col` is driven from row
+/// `row` in context `ctx`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSet {
+    rows: usize,
+    cols: usize,
+    assign: Vec<Vec<Option<usize>>>,
+}
+
+impl RouteSet {
+    /// Creates an empty route set (`contexts × cols`, nothing routed).
+    pub fn empty(rows: usize, cols: usize, contexts: usize) -> Result<Self, SbError> {
+        if rows == 0 || cols == 0 || rows > 1024 || cols > 1024 {
+            return Err(SbError::BadDimensions { rows, cols });
+        }
+        Ok(RouteSet {
+            rows,
+            cols,
+            assign: vec![vec![None; cols]; contexts],
+        })
+    }
+
+    /// Builds a route set from explicit per-context assignments, validating
+    /// the partial-permutation property.
+    pub fn from_assignments(
+        rows: usize,
+        cols: usize,
+        assign: Vec<Vec<Option<usize>>>,
+    ) -> Result<Self, SbError> {
+        let mut rs = Self::empty(rows, cols, assign.len())?;
+        for (ctx, per_col) in assign.iter().enumerate() {
+            if per_col.len() != cols {
+                return Err(SbError::RouteOutOfRange {
+                    ctx,
+                    col: per_col.len(),
+                });
+            }
+            for (col, &row) in per_col.iter().enumerate() {
+                if let Some(r) = row {
+                    rs.connect(ctx, r, col)?;
+                }
+            }
+        }
+        Ok(rs)
+    }
+
+    /// Number of rows (input wires).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (output wires).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of contexts.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Routes column `col` from row `row` in context `ctx`.
+    pub fn connect(&mut self, ctx: usize, row: usize, col: usize) -> Result<(), SbError> {
+        if ctx >= self.contexts() || col >= self.cols || row >= self.rows {
+            return Err(SbError::RouteOutOfRange { ctx, col });
+        }
+        // row uniqueness within the context
+        for (c, &r) in self.assign[ctx].iter().enumerate() {
+            if c != col && r == Some(row) {
+                return Err(SbError::RowConflict { ctx, row });
+            }
+        }
+        self.assign[ctx][col] = Some(row);
+        Ok(())
+    }
+
+    /// Clears a column's route in one context.
+    pub fn disconnect(&mut self, ctx: usize, col: usize) -> Result<(), SbError> {
+        if ctx >= self.contexts() || col >= self.cols {
+            return Err(SbError::RouteOutOfRange { ctx, col });
+        }
+        self.assign[ctx][col] = None;
+        Ok(())
+    }
+
+    /// The row driving `col` in `ctx`, if any.
+    #[must_use]
+    pub fn route(&self, ctx: usize, col: usize) -> Option<usize> {
+        self.assign[ctx][col]
+    }
+
+    /// Is cross-point `(row, col)` ON in `ctx`?
+    #[must_use]
+    pub fn is_on(&self, ctx: usize, row: usize, col: usize) -> bool {
+        self.assign[ctx][col] == Some(row)
+    }
+
+    /// Total routed (ctx, col) pairs.
+    #[must_use]
+    pub fn routed_count(&self) -> usize {
+        self.assign
+            .iter()
+            .map(|per_col| per_col.iter().filter(|r| r.is_some()).count())
+            .sum()
+    }
+
+    /// Validates the partial-permutation property for every context.
+    pub fn validate(&self) -> Result<(), SbError> {
+        for (ctx, per_col) in self.assign.iter().enumerate() {
+            let mut used = vec![false; self.rows];
+            for &r in per_col {
+                if let Some(r) = r {
+                    if r >= self.rows {
+                        return Err(SbError::RouteOutOfRange { ctx, col: 0 });
+                    }
+                    if used[r] {
+                        return Err(SbError::RowConflict { ctx, row: r });
+                    }
+                    used[r] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Random full permutations per context (seeded) — a worst-case-density
+    /// workload for a square crossbar.
+    pub fn random_permutations(
+        n: usize,
+        contexts: usize,
+        seed: u64,
+    ) -> Result<Self, SbError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rs = Self::empty(n, n, contexts)?;
+        for ctx in 0..contexts {
+            let mut rows: Vec<usize> = (0..n).collect();
+            rows.shuffle(&mut rng);
+            for (col, &row) in rows.iter().enumerate() {
+                rs.assign[ctx][col] = Some(row);
+            }
+        }
+        Ok(rs)
+    }
+
+    /// Random partial permutations with the given column fill probability.
+    pub fn random_partial(
+        rows: usize,
+        cols: usize,
+        contexts: usize,
+        fill: f64,
+        seed: u64,
+    ) -> Result<Self, SbError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rs = Self::empty(rows, cols, contexts)?;
+        for ctx in 0..contexts {
+            let mut avail: Vec<usize> = (0..rows).collect();
+            avail.shuffle(&mut rng);
+            for col in 0..cols {
+                if avail.is_empty() {
+                    break;
+                }
+                if rng.random_range(0.0..1.0) < fill {
+                    rs.assign[ctx][col] = avail.pop();
+                }
+            }
+        }
+        Ok(rs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_and_validate() {
+        let mut rs = RouteSet::empty(3, 3, 2).unwrap();
+        rs.connect(0, 0, 1).unwrap();
+        rs.connect(0, 1, 2).unwrap();
+        rs.connect(1, 2, 0).unwrap();
+        assert!(rs.validate().is_ok());
+        assert_eq!(rs.route(0, 1), Some(0));
+        assert!(rs.is_on(0, 0, 1));
+        assert!(!rs.is_on(0, 1, 1));
+        assert_eq!(rs.routed_count(), 3);
+    }
+
+    #[test]
+    fn row_conflict_rejected() {
+        let mut rs = RouteSet::empty(3, 3, 1).unwrap();
+        rs.connect(0, 2, 0).unwrap();
+        assert_eq!(
+            rs.connect(0, 2, 1),
+            Err(SbError::RowConflict { ctx: 0, row: 2 })
+        );
+    }
+
+    #[test]
+    fn reassigning_a_column_is_allowed() {
+        let mut rs = RouteSet::empty(3, 3, 1).unwrap();
+        rs.connect(0, 0, 0).unwrap();
+        rs.connect(0, 1, 0).unwrap(); // same column, new row
+        assert_eq!(rs.route(0, 0), Some(1));
+        rs.disconnect(0, 0).unwrap();
+        assert_eq!(rs.route(0, 0), None);
+    }
+
+    #[test]
+    fn random_permutations_are_valid_and_full() {
+        let rs = RouteSet::random_permutations(10, 4, 7).unwrap();
+        rs.validate().unwrap();
+        assert_eq!(rs.routed_count(), 40);
+        assert_eq!(rs, RouteSet::random_permutations(10, 4, 7).unwrap());
+    }
+
+    #[test]
+    fn random_partial_is_valid() {
+        let rs = RouteSet::random_partial(8, 12, 4, 0.5, 3).unwrap();
+        rs.validate().unwrap();
+        assert!(rs.routed_count() <= 8 * 4);
+    }
+
+    #[test]
+    fn from_assignments_validates() {
+        let ok = RouteSet::from_assignments(2, 2, vec![vec![Some(0), Some(1)]]);
+        assert!(ok.is_ok());
+        let bad = RouteSet::from_assignments(2, 2, vec![vec![Some(0), Some(0)]]);
+        assert!(matches!(bad, Err(SbError::RowConflict { .. })));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(RouteSet::empty(0, 3, 1).is_err());
+        assert!(RouteSet::empty(3, 0, 1).is_err());
+    }
+}

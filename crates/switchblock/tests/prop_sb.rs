@@ -1,0 +1,89 @@
+//! Property tests for switch blocks and the sharing theorems.
+
+use mcfpga_core::ArchKind;
+use mcfpga_switchblock::mapping::{remap_to_designated_cols, row_col_usage, select_networks_needed};
+use mcfpga_switchblock::{
+    column_row_usage, remap_to_designated_rows, sb_transistors, RouteSet, SwitchBlock,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any valid partial route set configures and verifies on every
+    /// architecture.
+    #[test]
+    fn any_valid_routes_configure(
+        seed in any::<u64>(),
+        fill in 0.0f64..1.0,
+        arch_idx in 0usize..3,
+    ) {
+        let routes = RouteSet::random_partial(5, 5, 4, fill, seed).unwrap();
+        let arch = ArchKind::all()[arch_idx];
+        let mut sb = SwitchBlock::new(arch, 5, 5, 4).unwrap();
+        sb.configure(&routes).unwrap();
+        sb.verify_against_routes().unwrap();
+    }
+
+    /// Row remap then column remap (on a square block) leaves exactly one
+    /// possibly-ON cross-point per row AND per column — the diagonal.
+    #[test]
+    fn double_remap_reaches_diagonal(seed in any::<u64>(), n in 2usize..12) {
+        let routes = RouteSet::random_permutations(n, 4, seed).unwrap();
+        let rows_done = remap_to_designated_rows(&routes).unwrap();
+        let both = remap_to_designated_cols(&rows_done.routes).unwrap();
+        both.routes.validate().unwrap();
+        for (col, rows) in column_row_usage(&both.routes).iter().enumerate() {
+            prop_assert!(rows.len() <= 1);
+            if let Some(&r) = rows.first() {
+                prop_assert_eq!(r, col, "diagonal");
+            }
+        }
+        for (row, cols) in row_col_usage(&both.routes).iter().enumerate() {
+            prop_assert!(cols.len() <= 1);
+            if let Some(&c) = cols.first() {
+                prop_assert_eq!(c, row, "diagonal");
+            }
+        }
+    }
+
+    /// Remapping never increases the select-network requirement.
+    #[test]
+    fn remap_never_hurts(seed in any::<u64>(), fill in 0.1f64..1.0) {
+        let routes = RouteSet::random_partial(8, 8, 4, fill, seed).unwrap();
+        let (_, before) = select_networks_needed(&routes);
+        let out = remap_to_designated_rows(&routes).unwrap();
+        let (_, after) = select_networks_needed(&out.routes);
+        prop_assert!(after <= before);
+        prop_assert_eq!(after, 8);
+    }
+
+    /// Table-2 closed forms dominate correctly: hybrid < MV < SRAM for all
+    /// k ≥ 3 and supported context counts.
+    #[test]
+    fn count_ordering(k in 3usize..64, c_idx in 0usize..5) {
+        let c = [4usize, 8, 16, 32, 64][c_idx];
+        let s = sb_transistors(ArchKind::Sram, k, c);
+        let m = sb_transistors(ArchKind::MvFgfp, k, c);
+        let h = sb_transistors(ArchKind::Hybrid, k, c);
+        prop_assert!(h < m, "k={} c={}", k, c);
+        prop_assert!(m < s, "k={} c={}", k, c);
+    }
+
+    /// The silicon never conducts a cross-point the route table does not
+    /// claim (no phantom connections) — checked by exhaustive readback.
+    #[test]
+    fn no_phantom_crosspoints(seed in any::<u64>()) {
+        let routes = RouteSet::random_partial(4, 4, 4, 0.7, seed).unwrap();
+        let mut sb = SwitchBlock::new(ArchKind::Hybrid, 4, 4, 4).unwrap();
+        sb.configure(&routes).unwrap();
+        for ctx in 0..4 {
+            for row in 0..4 {
+                for col in 0..4 {
+                    prop_assert_eq!(
+                        sb.is_on(ctx, row, col).unwrap(),
+                        routes.is_on(ctx, row, col)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the paper's story in sixty lines.
+//!
+//! Build all three multi-context switch architectures, program them with the
+//! Fig. 3 example function (conduct in contexts 1 and 3), sweep the context
+//! switching signal, and compare transistor budgets.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mcfpga::prelude::*;
+
+fn main() {
+    // The switch function F of the paper's Fig. 3: ON for CSS ∈ {1, 3}.
+    let f = CtxSet::from_ctxs(4, [1, 3]).expect("4-context function");
+    println!("function F = {f}  (ON-set over 4 contexts)\n");
+
+    // Its window decomposition — what the MV-FGFP switch must realise.
+    let windows = decompose_windows(&f);
+    println!(
+        "window decomposition: {}",
+        windows
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" OR ")
+    );
+    println!();
+
+    // All three architectures, configured identically.
+    let mut switches: Vec<AnySwitch> = ArchKind::all()
+        .into_iter()
+        .map(|arch| AnySwitch::build(arch, 4).expect("4-context switch"))
+        .collect();
+    for sw in &mut switches {
+        sw.configure(&f).expect("configure");
+    }
+
+    // Sweep the broadcast context and watch each switch respond.
+    println!("ctx | {:>10} | {:>10} | {:>10}", "SRAM", "MV-FGFP", "hybrid");
+    for ctx in 0..4 {
+        let states: Vec<&str> = switches
+            .iter()
+            .map(|sw| if sw.is_on(ctx).expect("query") { "ON" } else { "off" })
+            .collect();
+        println!(
+            "{ctx:>3} | {:>10} | {:>10} | {:>10}",
+            states[0], states[1], states[2]
+        );
+    }
+    println!();
+
+    // The headline numbers (Table 1).
+    println!("transistors per switch (Table 1):");
+    for sw in &switches {
+        println!("  {:<28} {:>3}", sw.arch().label(), sw.transistor_count());
+    }
+    println!();
+
+    // The hybrid switch is exclusively ON: at most one FGMOS conducts, ever.
+    let mut hybrid = HybridMcSwitch::new(4).expect("hybrid");
+    hybrid.configure(&f).expect("configure");
+    for ctx in 0..4 {
+        println!(
+            "ctx {ctx}: hybrid has {} FGMOS conducting",
+            hybrid.on_fgmos_count(ctx).expect("count")
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Fig. 7: the four hybrid MV/B-CSS waveforms over
+//! a round-robin context sweep, as ASCII level plots and as CSV.
+//!
+//! ```text
+//! cargo run --example waveforms            # 4 contexts, one sweep
+//! cargo run --example waveforms -- 8 3     # 8 contexts, 3 sweeps
+//! ```
+
+use mcfpga::css::waveform::{render_fig7, to_csv, trace_hybrid};
+use mcfpga::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let contexts: usize = args
+        .next()
+        .map(|s| s.parse().expect("contexts"))
+        .unwrap_or(4);
+    let cycles: usize = args.next().map(|s| s.parse().expect("cycles")).unwrap_or(1);
+
+    let gen = HybridCssGen::new(contexts).expect("generator");
+    let sched = Schedule::round_robin(contexts, cycles).expect("schedule");
+
+    println!("{}", render_fig7(&gen, &sched).expect("render"));
+
+    let waves = trace_hybrid(&gen, &sched).expect("trace");
+    println!("--- CSV ---\n{}", to_csv(&sched, &waves));
+
+    println!("--- per-line toggle counts over the schedule ---");
+    for w in &waves {
+        println!("{:>12}: {:>3} toggles, peak level {}", w.name, w.toggle_count(), w.peak());
+    }
+}

@@ -1,0 +1,64 @@
+//! # mcfpga — a multi-context FPGA architecture workbench
+//!
+//! A from-scratch reproduction of *"Architecture of a Multi-Context FPGA
+//! Using a Hybrid Multiple-Valued/Binary Context Switching Signal"*
+//! (Nakatani, Hariyama, Kameyama — IPDPS Reconfigurable Architectures
+//! Workshop, 2006), grown into a workbench a downstream user can build on:
+//!
+//! * [`mvl`] — multiple-valued logic: rail levels, threshold literals,
+//!   window decomposition (Figs. 3–4);
+//! * [`device`] — behavioural FGMOS / SRAM / pass-gate models with
+//!   program-verify, endurance and retention;
+//! * [`netlist`] — structural netlists + a switch-level simulator;
+//! * [`css`] — binary, multiple-valued and hybrid MV/B context-switching
+//!   signal generators (Figs. 7–8);
+//! * [`core`] — the three MC-switch architectures (Figs. 2, 5–6, 9–10) and
+//!   their equivalence/redundancy/timing analyses;
+//! * [`switchblock`] — crossbar switch blocks and the column-sharing
+//!   theorem (Fig. 11, Table 2);
+//! * [`fabric`] — an island-style multi-context FPGA with placement,
+//!   routing, temporal partitioning, bitstreams and functional simulation
+//!   (Fig. 1);
+//! * [`cost`] — transistor/area/power models and report rendering
+//!   (Tables 1–2 and the scaling sweeps).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcfpga::prelude::*;
+//!
+//! // The paper's Fig. 3 function: conduct in contexts 1 and 3 only.
+//! let f = CtxSet::from_ctxs(4, [1, 3]).unwrap();
+//!
+//! // The proposed switch: two FGMOSs, exclusively ON.
+//! let mut sw = HybridMcSwitch::new(4).unwrap();
+//! sw.configure(&f).unwrap();
+//! assert!(!sw.is_on(0).unwrap());
+//! assert!(sw.is_on(1).unwrap());
+//! assert_eq!(sw.transistor_count(), 2); // Table 1's headline
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mcfpga_core as core;
+pub use mcfpga_cost as cost;
+pub use mcfpga_css as css;
+pub use mcfpga_device as device;
+pub use mcfpga_fabric as fabric;
+pub use mcfpga_mvl as mvl;
+pub use mcfpga_netlist as netlist;
+pub use mcfpga_switchblock as switchblock;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use mcfpga_core::{
+        AnySwitch, ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, SramMcSwitch,
+    };
+    pub use mcfpga_css::{BinaryCss, HybridCssGen, MvCss, Schedule};
+    pub use mcfpga_device::{Fgmos, FgmosMode, Programmer, TechParams};
+    pub use mcfpga_fabric::{Fabric, FabricParams, LogicNetlist, MultiContextLut, TileCoord};
+    pub use mcfpga_mvl::{decompose_windows, CtxSet, Level, Radix, WindowLiteral};
+    pub use mcfpga_netlist::{Netlist, SwitchSim};
+    pub use mcfpga_switchblock::{remap_to_designated_rows, RouteSet, SwitchBlock};
+}

@@ -1,0 +1,105 @@
+//! Integration: the three MC-switch architectures are functionally
+//! interchangeable — behaviourally (model level) and electrically (netlist
+//! switch-level simulation).
+
+use mcfpga::core::equivalence::{build_all, check_config, check_exhaustive};
+use mcfpga::core::{ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch};
+use mcfpga::css::HybridCssGen;
+use mcfpga::prelude::*;
+
+#[test]
+fn exhaustive_equivalence_4_8_contexts() {
+    assert_eq!(check_exhaustive(4).unwrap(), 16);
+    assert_eq!(check_exhaustive(8).unwrap(), 256);
+}
+
+#[test]
+fn exhaustive_equivalence_16_contexts() {
+    assert_eq!(check_exhaustive(16).unwrap(), 65_536);
+}
+
+#[test]
+fn sampled_equivalence_64_contexts() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    // SRAM needs power-of-two contexts; 64 works for all three.
+    let mut switches = build_all(64).unwrap();
+    for _ in 0..200 {
+        let mask: u64 = rng.random_range(0..u64::MAX);
+        let s = CtxSet::from_mask(64, mask).unwrap();
+        let mismatches = check_config(&mut switches, &s).unwrap();
+        assert!(mismatches.is_empty(), "disagreement on {s}");
+    }
+}
+
+#[test]
+fn hybrid_netlist_equals_model_for_every_4ctx_config() {
+    // electrical-level cross-check: the structural netlist simulated at
+    // switch level reproduces the behavioural model for all 16 functions.
+    let params = TechParams::default();
+    let gen = HybridCssGen::new(4).unwrap();
+    let mut sw = HybridMcSwitch::new(4).unwrap();
+    for s in CtxSet::enumerate_all(4).unwrap() {
+        sw.configure(&s).unwrap();
+        let nl = sw.build_netlist().unwrap();
+        let mut sim = SwitchSim::new(&nl, params.clone());
+        let a = nl.find_net("in").unwrap();
+        let b = nl.find_net("out").unwrap();
+        for ctx in 0..4 {
+            for line in gen.lines() {
+                let name = line.name(gen.blocks());
+                if nl.find_control(&name).is_some() {
+                    sim.bind_mv_named(&name, gen.line_value_at(line, ctx).unwrap())
+                        .unwrap();
+                }
+            }
+            sim.evaluate().unwrap();
+            assert_eq!(sim.connected(a, b), s.get(ctx), "config {s} ctx {ctx}");
+        }
+    }
+}
+
+#[test]
+fn mv_netlist_equals_model_for_every_4ctx_config() {
+    let params = TechParams::default();
+    let mut sw = MvFgfpMcSwitch::new(4).unwrap();
+    for s in CtxSet::enumerate_all(4).unwrap() {
+        sw.configure(&s).unwrap();
+        let nl = sw.build_netlist().unwrap();
+        let mut sim = SwitchSim::new(&nl, params.clone());
+        let a = nl.find_net("in").unwrap();
+        let b = nl.find_net("out").unwrap();
+        for ctx in 0..4 {
+            sim.bind_mv_named("MvRail", Level::new(ctx as u8)).unwrap();
+            sim.evaluate().unwrap();
+            assert_eq!(sim.connected(a, b), s.get(ctx), "config {s} ctx {ctx}");
+        }
+    }
+}
+
+#[test]
+fn switch_blocks_of_all_archs_route_identically() {
+    let routes = RouteSet::random_permutations(6, 4, 5).unwrap();
+    let mut blocks: Vec<SwitchBlock> = ArchKind::all()
+        .into_iter()
+        .map(|arch| SwitchBlock::new(arch, 6, 6, 4).unwrap())
+        .collect();
+    for sb in &mut blocks {
+        sb.configure(&routes).unwrap();
+    }
+    for ctx in 0..4 {
+        for row in 0..6 {
+            for col in 0..6 {
+                let states: Vec<bool> = blocks
+                    .iter()
+                    .map(|sb| sb.is_on(ctx, row, col).unwrap())
+                    .collect();
+                assert!(
+                    states.iter().all(|&s| s == states[0]),
+                    "ctx {ctx} ({row},{col}): {states:?}"
+                );
+            }
+        }
+    }
+}

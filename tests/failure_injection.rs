@@ -1,0 +1,118 @@
+//! Integration: failure injection — the model must *detect* broken silicon,
+//! not silently route around it.
+
+use mcfpga::core::{HybridMcSwitch, McSwitch, SramMcSwitch};
+use mcfpga::css::HybridCssGen;
+use mcfpga::netlist::validate::check_exclusive_on;
+use mcfpga::prelude::*;
+
+#[test]
+fn retention_drift_past_margin_breaks_the_literal_detectably() {
+    let params = TechParams::default();
+    let mut prog = Programmer::new(5, params.clone());
+    let mut dev = Fgmos::new(FgmosMode::UpLiteral);
+    prog.program_literal(&mut dev, Level::new(3), Radix::FIVE).unwrap();
+    // healthy
+    assert!(!dev.conducts(Level::new(2), &params).unwrap());
+    assert!(dev.conducts(Level::new(3), &params).unwrap());
+    // margin shrinks monotonically under drift
+    let m0 = dev.drift_margin_volts(Radix::FIVE, &params).unwrap();
+    dev.drift_threshold(-0.2);
+    let m1 = dev.drift_margin_volts(Radix::FIVE, &params).unwrap();
+    assert!(m1 < m0);
+    // drive it past the margin: level 2 now (wrongly) conducts
+    dev.drift_threshold(-0.5);
+    assert!(dev.conducts(Level::new(2), &params).unwrap());
+}
+
+#[test]
+fn drifted_switch_violates_exclusivity_and_is_caught() {
+    // Build a hybrid switch netlist, then sabotage one FGMOS threshold so
+    // both polarities conduct simultaneously — the exclusive-ON checker
+    // must see it.
+    let params = TechParams::default();
+    let gen = HybridCssGen::new(4).unwrap();
+    let mut sw = HybridMcSwitch::new(4).unwrap();
+    sw.configure(&CtxSet::full(4).unwrap()).unwrap();
+    let mut nl = sw.build_netlist().unwrap();
+    // sabotage: pull every FGMOS threshold to conduct at any live level
+    let ids: Vec<_> = nl.devices().map(|(d, _, _, _)| d).collect();
+    for d in ids {
+        nl.fgmos_mut(d).unwrap().drift_threshold(-5.0);
+    }
+    let mut sim = SwitchSim::new(&nl, params);
+    for line in gen.lines() {
+        let name = line.name(gen.blocks());
+        if nl.find_control(&name).is_some() {
+            sim.bind_mv_named(&name, gen.line_value_at(line, 0).unwrap()).unwrap();
+        }
+    }
+    let group: Vec<_> = nl.devices().map(|(d, _, _, _)| d).collect();
+    let on = check_exclusive_on(&mut sim, &group).unwrap();
+    assert!(on.len() > 1, "sabotaged switch must show the violation");
+}
+
+#[test]
+fn sram_power_loss_erases_configuration_fgfp_does_not() {
+    let mut sram = SramMcSwitch::new(4).unwrap();
+    sram.configure(&CtxSet::full(4).unwrap()).unwrap();
+    assert!(sram.is_on(0).unwrap());
+    sram.power_cycle();
+    assert!(sram.is_on(0).is_err(), "configuration gone");
+
+    // hybrid switch state is floating-gate charge: no power-cycle concept
+    // in the model, and its netlist carries zero SRAM cells.
+    let mut hy = HybridMcSwitch::new(4).unwrap();
+    hy.configure(&CtxSet::full(4).unwrap()).unwrap();
+    let nl = hy.build_netlist().unwrap();
+    assert_eq!(nl.sram_cell_count(), 0);
+}
+
+#[test]
+fn router_contention_is_impossible_but_drivers_colliding_is_detected() {
+    // Drive both ends of a closed switch with conflicting values: the
+    // switch-level simulator must flag contention.
+    let params = TechParams::default();
+    let mut sw = HybridMcSwitch::new(4).unwrap();
+    sw.configure(&CtxSet::full(4).unwrap()).unwrap();
+    let nl = sw.build_netlist().unwrap();
+    let gen = HybridCssGen::new(4).unwrap();
+    let mut sim = SwitchSim::new(&nl, params);
+    for line in gen.lines() {
+        let name = line.name(gen.blocks());
+        if nl.find_control(&name).is_some() {
+            sim.bind_mv_named(&name, gen.line_value_at(line, 1).unwrap()).unwrap();
+        }
+    }
+    let a = nl.find_net("in").unwrap();
+    let b = nl.find_net("out").unwrap();
+    sim.drive(a, true);
+    sim.drive(b, false);
+    let rep = sim.evaluate().unwrap();
+    assert_eq!(rep.contentions.len(), 1);
+}
+
+#[test]
+fn bad_routes_rejected_before_touching_silicon() {
+    let mut rs = RouteSet::empty(3, 3, 2).unwrap();
+    rs.connect(0, 1, 0).unwrap();
+    // same row twice in one context → rejected at the routing layer
+    assert!(rs.connect(0, 1, 2).is_err());
+    // domain mismatch → rejected at the block layer
+    let mut sb = SwitchBlock::new(ArchKind::Hybrid, 3, 3, 4).unwrap();
+    assert!(sb.configure(&rs).is_err());
+}
+
+#[test]
+fn programming_with_tiny_endurance_budget_fails_cleanly() {
+    let params = TechParams {
+        endurance_pulses: 1,
+        ..TechParams::default()
+    };
+    let mut prog = Programmer::new(3, params);
+    let mut dev = Fgmos::new(FgmosMode::DownLiteral);
+    let err = prog.program_literal(&mut dev, Level::new(1), Radix::FIVE);
+    assert!(err.is_err());
+}
+
+use mcfpga::core::ArchKind;

@@ -1,0 +1,55 @@
+//! Integration: the `repro` report is deterministic and carries the paper's
+//! numbers — a snapshot-style guard so documentation and code cannot drift
+//! apart silently.
+
+#[test]
+fn full_report_is_deterministic() {
+    let a = mcfpga_bench::full_report();
+    let b = mcfpga_bench::full_report();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn report_carries_every_headline_number() {
+    let r = mcfpga_bench::full_report();
+    for needle in [
+        // Table 1
+        "| SRAM-based one | 31 | 31 | 100% |",
+        "| Only MV-FGFP-based one [2] | 4 | 4 | 13% |",
+        "| Proposed one | 2 | 2 | 6% |",
+        // Table 2
+        "| SRAM-based one | 3100 | 3100 | 100% |",
+        "| Proposed one | 240 | 240 | 8% |",
+        // Fig. 3 decomposition
+        "window [1,1]",
+        "window [3,3]",
+        // Fig. 7 line names
+        "S0·Vs",
+        "¬S0·¬Vs",
+        // Fig. 9/10 scaling
+        "64 contexts: 32 FGMOS, 0 MUXes",
+        // Fig. 11 claim
+        "(= N, the paper's claim)",
+        // scaling CSV rows
+        "4,31,4,2",
+        "64,511,94,32",
+        "10,3100,400,240",
+        // redundancy + equivalence
+        "max 1 (exclusive-ON)",
+        "256 configurations checked exhaustively",
+    ] {
+        assert!(r.contains(needle), "report missing: {needle}");
+    }
+}
+
+#[test]
+fn experiment_list_covers_all_artifacts() {
+    for id in [
+        "table1", "table2", "fig3", "fig7", "fig11", "scaling", "redundancy", "power",
+    ] {
+        assert!(
+            mcfpga_bench::EXPERIMENTS.contains(&id),
+            "missing experiment id {id}"
+        );
+    }
+}
