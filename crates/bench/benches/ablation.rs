@@ -8,9 +8,9 @@
 //!   (non-volatile, expensive writes) configuration storage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_core::ArchKind;
 use mcfpga_core::{McSwitch, MvFgfpMcSwitch};
 use mcfpga_cost::energy::{breakeven_rewrites, total_config_energy_j};
-use mcfpga_core::ArchKind;
 use mcfpga_device::TechParams;
 use mcfpga_mvl::CtxSet;
 use std::hint::black_box;
@@ -49,9 +49,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    black_box(mcfpga_bench::parallel_exhaustive_equivalence(16, threads))
-                });
+                b.iter(|| black_box(mcfpga_bench::parallel_exhaustive_equivalence(16, threads)));
             },
         );
     }

@@ -57,14 +57,17 @@ fn bench(c: &mut Criterion) {
                     let mut sim = SwitchSim::new(&nl, TechParams::default());
                     let mut on = 0usize;
                     for ctx in 0..contexts {
-                        sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8)).unwrap();
+                        sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8))
+                            .unwrap();
                         let blocks = contexts / 4;
                         let mut bit = 0;
                         let mut blk = ctx / 4;
                         let mut lv = blocks;
                         while lv > 1 {
-                            sim.bind_bin_named(&format!("S{}", bit + 2), blk & 1 == 1).unwrap();
-                            sim.bind_bin_named(&format!("nS{}", bit + 2), blk & 1 == 0).unwrap();
+                            sim.bind_bin_named(&format!("S{}", bit + 2), blk & 1 == 1)
+                                .unwrap();
+                            sim.bind_bin_named(&format!("nS{}", bit + 2), blk & 1 == 0)
+                                .unwrap();
                             blk >>= 1;
                             bit += 1;
                             lv /= 2;

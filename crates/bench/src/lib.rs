@@ -25,8 +25,23 @@ use mcfpga_switchblock::{
 
 /// Experiment identifiers, mirroring DESIGN.md's index.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "scaling", "redundancy", "power", "latency",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "scaling",
+    "redundancy",
+    "power",
+    "latency",
 ];
 
 /// Table 1 — MC-switch transistor counts (paper: 31 / 4 / 2 at C=4).
@@ -156,9 +171,7 @@ pub fn fig5_fig6_report() -> String {
             sw.branches_used(),
         ));
     }
-    out.push_str(
-        "- equivalence: all 2^C configurations agree with SRAM and hybrid (see tests)\n",
-    );
+    out.push_str("- equivalence: all 2^C configurations agree with SRAM and hybrid (see tests)\n");
     out
 }
 
@@ -274,9 +287,7 @@ pub fn power_report() -> String {
             sb_static_w(arch, 10, 4, &p),
         ));
     }
-    out.push_str(
-        "- (paper §4: FGFPs need \"no supply voltage ... to keep the storage\")\n",
-    );
+    out.push_str("- (paper §4: FGFPs need \"no supply voltage ... to keep the storage\")\n");
     out
 }
 
@@ -325,7 +336,7 @@ pub fn full_report() -> String {
 }
 
 /// Parallel exhaustive equivalence sweep: splits the `2^contexts`
-/// configuration space across `threads` workers (crossbeam scoped threads),
+/// configuration space across `threads` workers (std scoped threads),
 /// each building its own three switches. Returns total configurations
 /// checked; panics on any disagreement.
 ///
@@ -338,10 +349,10 @@ pub fn parallel_exhaustive_equivalence(contexts: usize, threads: usize) -> usize
     let total: u64 = 1u64 << contexts;
     let chunk = total.div_ceil(threads as u64);
     let counter = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let counter = &counter;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut switches =
                     equivalence::build_all(contexts).expect("buildable architectures");
                 let lo = t as u64 * chunk;
@@ -357,8 +368,7 @@ pub fn parallel_exhaustive_equivalence(contexts: usize, threads: usize) -> usize
                 counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     counter.load(std::sync::atomic::Ordering::Relaxed)
 }
 

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the bitstream codec uses: [`BytesMut`] as an
+//! append-only builder with big-endian `put_*` writers (via [`BufMut`]),
+//! frozen into [`Bytes`], a cheaply sliceable read cursor with big-endian
+//! `get_*` readers (via [`Buf`]). Backed by `Arc<[u8]>` so `slice` and
+//! `copy_to_bytes` stay zero-copy like the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read access to a byte cursor (big-endian, panicking on underflow —
+/// callers bounds-check with [`Buf::remaining`] first, as real `bytes` does).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` raw bytes, advancing the cursor.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1).as_slice()[0]
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.copy_to_bytes(2).as_slice().try_into().unwrap())
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_to_bytes(4).as_slice().try_into().unwrap())
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_bytes(8).as_slice().try_into().unwrap())
+    }
+}
+
+/// Write access to a growable byte buffer (big-endian).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply cloneable and sliceable byte buffer with a read
+/// cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The unread bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Unread length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the buffer exhausted?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-range of the unread bytes.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the unread bytes into a fresh vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = self.slice(0..n);
+        self.start += n;
+        out
+    }
+}
+
+/// A growable byte builder.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Has anything been written?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_slice(b"hello");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 5);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.copy_to_bytes(5).as_slice(), b"hello");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_is_independent() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mut s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(b.len(), 5, "parent cursor untouched");
+    }
+}

@@ -1,0 +1,594 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, [`arbitrary::any`],
+//! `prop::collection::vec`, `prop::bits::*::masked`, `prop::sample::select`,
+//! tuple strategies and [`ProptestConfig`]. Cases are generated from a
+//! deterministic per-test seed (FNV hash of the test name) so failures
+//! reproduce; there is **no shrinking** — a failing case reports the
+//! assertion message as-is.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Generator seeded from a test's name (stable across runs).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Access the inner rand generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; it does not count as a run.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating random values (no shrinking).
+    pub trait Strategy {
+        /// Type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains a dependent strategy off each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngExt;
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+)
+                ;
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical full-domain strategy for a type.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Accepted size arguments for [`vec`]: a fixed length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing vectors of `element` draws.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::RngExt;
+            let n = rng.rng().random_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bits {
+    //! Bit-pattern strategies (`prop::bits::u64::masked`).
+
+    macro_rules! bits_mod {
+        ($mod_name:ident, $t:ty) => {
+            /// Strategies over one unsigned width.
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::TestRng;
+
+                /// Strategy producing values whose set bits are within `mask`.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Masked($t);
+
+                impl Strategy for Masked {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t & self.0
+                    }
+                }
+
+                /// Uniform values restricted to the set bits of `mask`.
+                #[must_use]
+                pub fn masked(mask: $t) -> Masked {
+                    Masked(mask)
+                }
+            }
+        };
+    }
+
+    bits_mod!(u8, u8);
+    bits_mod!(u16, u16);
+    bits_mod!(u32, u32);
+    bits_mod!(u64, u64);
+}
+
+pub mod sample {
+    //! Sampling strategies (`prop::sample::select`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::RngExt;
+            assert!(!self.0.is_empty(), "select from empty list");
+            self.0[rng.rng().random_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Uniform draw from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Namespace mirror of proptest's `prop::` path (as re-exported by its
+/// prelude): `prop::collection`, `prop::bits`, `prop::sample`.
+pub mod prop {
+    pub use crate::bits;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The usual single import for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Filters out the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({})",
+                l, r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case_runner {
+    ($cfg:expr, $name:ident, |$rng:ident| $gen_and_run:block) => {
+        let config: $crate::ProptestConfig = $cfg;
+        let mut $rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+        let mut accepted: u32 = 0;
+        let mut attempts: u32 = 0;
+        let max_attempts = config.cases.saturating_mul(40).max(40);
+        while accepted < config.cases && attempts < max_attempts {
+            attempts += 1;
+            let outcome: ::core::result::Result<(), $crate::TestCaseError> = $gen_and_run;
+            match outcome {
+                ::core::result::Result::Ok(()) => accepted += 1,
+                ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed for `{}` (case {} of {}): {}",
+                        stringify!($name),
+                        accepted + 1,
+                        config.cases,
+                        msg
+                    );
+                }
+            }
+        }
+        // mirror real proptest: a test whose every case was filtered out
+        // proved nothing and must not pass vacuously
+        assert!(
+            accepted > 0,
+            "proptest `{}` rejected all {} generated cases (prop_assume too strict?)",
+            stringify!($name),
+            attempts
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($($cfg:tt)*)) => {};
+    (@cfg($($cfg:tt)*)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case_runner!($($cfg)*, $name, |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_fns!{ @cfg($($cfg)*) $($rest)* }
+    };
+}
+
+/// Declares deterministic random-case tests.
+///
+/// Supports the standard proptest surface this workspace uses: an optional
+/// leading `#![proptest_config(expr)]`, then `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg(::core::default::Default::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_any(x in 3usize..17, v in any::<u64>(), b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            let _ = (v, b);
+        }
+
+        #[test]
+        fn vec_and_map(
+            xs in prop::collection::vec(any::<bool>(), 1..10),
+            y in (0u64..4).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert!(y % 2 == 0 && y < 8);
+        }
+
+        #[test]
+        fn masked_and_select(
+            m in prop::bits::u64::masked(0xF0),
+            s in prop::sample::select(vec![1usize, 2, 4]),
+        ) {
+            prop_assert_eq!(m & !0xF0, 0);
+            prop_assert!(s == 1 || s == 2 || s == 4);
+        }
+
+        #[test]
+        fn flat_map_dependent(
+            (n, k) in (1usize..10).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn assume_filters(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

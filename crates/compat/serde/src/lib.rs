@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates a handful of types with
+//! `#[derive(Serialize, Deserialize)]` but never serialises them through a
+//! serde data format (the bitstream module has its own byte format). With no
+//! crates.io access, this crate supplies marker traits and
+//! [`serde_derive`]'s trivial derives so those annotations compile. Swap the
+//! path dependency for the real `serde` when the environment has network
+//! access — no source changes needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serialisable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserialisable under real serde.
+pub trait Deserialize {}

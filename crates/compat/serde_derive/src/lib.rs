@@ -1,0 +1,52 @@
+//! Trivial `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Each derive emits an empty marker-trait impl for the annotated type. Only
+//! non-generic structs and enums are supported — exactly what this workspace
+//! derives on. Written against `proc_macro` alone so no crates.io
+//! dependencies (`syn`/`quote`) are needed.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum` keyword.
+///
+/// Outer attributes and doc comments arrive as `#[...]` token groups, so a
+/// top-level scan for the keyword ident cannot be fooled by their contents.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref kw) = tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "offline serde derive does not support generic types"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("offline serde derive: no struct/enum keyword in input");
+}
+
+/// Derives the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(&input))
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Deserialize for {} {{}}", type_name(&input))
+        .parse()
+        .expect("generated impl parses")
+}

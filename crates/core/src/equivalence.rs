@@ -47,12 +47,7 @@ pub fn check_config(
         let expected = on_set.get(ctx);
         let observed: Vec<(&'static str, bool)> = switches
             .iter()
-            .map(|sw| {
-                (
-                    sw.arch().label(),
-                    sw.is_on(ctx).expect("configured switch"),
-                )
-            })
+            .map(|sw| (sw.arch().label(), sw.is_on(ctx).expect("configured switch")))
             .collect();
         if observed.iter().any(|(_, on)| *on != expected) {
             mismatches.push(Mismatch {

@@ -196,7 +196,10 @@ impl HybridMcSwitch {
     /// ([`crate::programmed`]) and by hardware back-ends.
     #[must_use]
     pub fn unit_plan(&self) -> Vec<(LineId, Option<Level>)> {
-        self.units.iter().map(|u| (u.line(), u.threshold())).collect()
+        self.units
+            .iter()
+            .map(|u| (u.line(), u.threshold()))
+            .collect()
     }
 }
 
@@ -359,7 +362,8 @@ mod tests {
     fn unit_program_derivation() {
         let mut sw = HybridMcSwitch::new(4).unwrap();
         // F = {1,3}: S0=1 unit must be Both; S0=0 unit Off.
-        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap())
+            .unwrap();
         assert_eq!(
             sw.unit_programs(),
             vec![UnitProgram::Both, UnitProgram::Off]

@@ -30,8 +30,8 @@ pub mod timing;
 pub mod traits;
 
 pub use hybrid_switch::HybridMcSwitch;
-pub use programmed::ProgrammedHybrid;
 pub use mv_switch::MvFgfpMcSwitch;
+pub use programmed::ProgrammedHybrid;
 pub use sram_switch::SramMcSwitch;
 pub use traits::{AnySwitch, ArchKind, McSwitch};
 

@@ -177,20 +177,15 @@ impl McSwitch for MvFgfpMcSwitch {
         for (b, slot) in self.blocks.iter_mut().enumerate() {
             // Restrict the ON-set to this block's four contexts, relabelled
             // 0..3 on the local rail.
-            let local = CtxSet::from_ctxs(
-                BLOCK,
-                (0..BLOCK).filter(|i| on_set.get(b * BLOCK + i)),
-            )
-            .expect("local domain is 4");
+            let local = CtxSet::from_ctxs(BLOCK, (0..BLOCK).filter(|i| on_set.get(b * BLOCK + i)))
+                .expect("local domain is 4");
             let windows = decompose_windows(&local);
             debug_assert!(windows.len() <= BRANCHES, "4-ctx block needs ≤2 windows");
             let mut lits = [WindowLiteral::never(); BRANCHES];
             for (i, w) in windows.iter().enumerate() {
-                lits[i] = WindowLiteral::new(
-                    Level::new(w.lo_ctx as u8),
-                    Level::new(w.hi_ctx as u8),
-                )
-                .expect("lo <= hi");
+                lits[i] =
+                    WindowLiteral::new(Level::new(w.lo_ctx as u8), Level::new(w.hi_ctx as u8))
+                        .expect("lo <= hi");
             }
             if self.duplicate_unused && !windows.is_empty() {
                 let first = lits[0];
@@ -363,7 +358,8 @@ mod tests {
     #[test]
     fn fig3_example_programs_two_windows() {
         let mut sw = MvFgfpMcSwitch::new(4).unwrap();
-        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap())
+            .unwrap();
         let [w1, w2] = sw.block_windows(0);
         assert_eq!(w1.bounds(), Some((Level::new(1), Level::new(1))));
         assert_eq!(w2.bounds(), Some((Level::new(3), Level::new(3))));
@@ -407,7 +403,8 @@ mod tests {
         // F = {1,3}: at ctx 3, branch [1,1]'s up-literal (≥1) is ON although
         // the branch does not conduct — a redundantly-ON transistor.
         let mut sw = MvFgfpMcSwitch::new(4).unwrap();
-        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap())
+            .unwrap();
         let on = sw.on_fgmos_count(3).unwrap();
         assert_eq!(on, 3, "2 conducting + 1 redundant");
     }
@@ -428,14 +425,17 @@ mod tests {
             // behavioural equivalence through the switch-level simulator
             let mut sim = SwitchSim::new(&nl, params.clone());
             for ctx in 0..contexts {
-                sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8)).unwrap();
+                sim.bind_mv_named("MvRail", Level::new((ctx % 4) as u8))
+                    .unwrap();
                 let blocks = contexts / 4;
                 let mut bit = 0;
                 let mut b = ctx / 4;
                 let mut levels = blocks;
                 while levels > 1 {
-                    sim.bind_bin_named(&format!("S{}", bit + 2), b & 1 == 1).unwrap();
-                    sim.bind_bin_named(&format!("nS{}", bit + 2), b & 1 == 0).unwrap();
+                    sim.bind_bin_named(&format!("S{}", bit + 2), b & 1 == 1)
+                        .unwrap();
+                    sim.bind_bin_named(&format!("nS{}", bit + 2), b & 1 == 0)
+                        .unwrap();
                     b >>= 1;
                     bit += 1;
                     levels /= 2;

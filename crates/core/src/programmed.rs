@@ -107,7 +107,13 @@ impl ProgrammedHybrid {
             let ctrl = nl
                 .find_control(&name)
                 .unwrap_or_else(|| nl.add_control(&name, ControlKind::Mv));
-            nl.add_device(DeviceKind::Fgmos(dev.clone()), input, out, ctrl, Some(region))?;
+            nl.add_device(
+                DeviceKind::Fgmos(dev.clone()),
+                input,
+                out,
+                ctrl,
+                Some(region),
+            )?;
         }
         Ok(nl)
     }
@@ -147,7 +153,8 @@ mod tests {
         let b = CtxSet::from_ctxs(4, [2, 3]).unwrap();
         let mut last = 0;
         for i in 0..10 {
-            sw.configure(if i % 2 == 0 { &a } else { &b }, &mut prog).unwrap();
+            sw.configure(if i % 2 == 0 { &a } else { &b }, &mut prog)
+                .unwrap();
             let now = sw.total_pulses();
             assert!(now > last, "pulses must accumulate");
             last = now;

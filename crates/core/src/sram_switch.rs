@@ -200,7 +200,8 @@ mod tests {
     #[test]
     fn netlist_count_matches_closed_form() {
         let mut sw = SramMcSwitch::new(4).unwrap();
-        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap())
+            .unwrap();
         let nl = sw.build_netlist().unwrap();
         assert_eq!(nl.transistor_count(), 31);
         assert_eq!(nl.sram_cell_count(), 4);

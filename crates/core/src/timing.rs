@@ -48,7 +48,11 @@ pub fn switch_latency_ps(arch: ArchKind, contexts: usize, p: &TimingParams) -> f
     match arch {
         ArchKind::Sram => p.rail_settle_bin_ps + log2(contexts) * p.mux_stage_ps,
         ArchKind::MvFgfp => {
-            let mux_depth = if contexts > 4 { log2(contexts / 4) } else { 0.0 };
+            let mux_depth = if contexts > 4 {
+                log2(contexts / 4)
+            } else {
+                0.0
+            };
             p.rail_settle_mv_ps + p.fgmos_response_ps + mux_depth * p.mux_stage_ps
         }
         ArchKind::Hybrid => p.rail_settle_mv_ps + p.fgmos_response_ps,

@@ -1,7 +1,9 @@
 //! Property tests for the MC-switch architectures.
 
 use mcfpga_core::equivalence::{build_all, check_config};
-use mcfpga_core::{ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, ProgrammedHybrid, SramMcSwitch};
+use mcfpga_core::{
+    ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, ProgrammedHybrid, SramMcSwitch,
+};
 use mcfpga_device::{Programmer, TechParams};
 use mcfpga_mvl::CtxSet;
 use proptest::prelude::*;

@@ -13,12 +13,8 @@ use mcfpga_device::TechParams;
 pub fn switch_static_w(arch: ArchKind, contexts: usize, p: &TechParams) -> f64 {
     match arch {
         ArchKind::Sram => contexts as f64 * p.sram_leak_w,
-        ArchKind::MvFgfp => {
-            MvFgfpMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w
-        }
-        ArchKind::Hybrid => {
-            HybridMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w
-        }
+        ArchKind::MvFgfp => MvFgfpMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w,
+        ArchKind::Hybrid => HybridMcSwitch::transistor_count_for(contexts) as f64 * p.fgmos_leak_w,
     }
 }
 

@@ -211,12 +211,7 @@ mod tests {
         let gen = HybridCssGen::new(4).unwrap();
         let lines = gen.lines();
         // rows: S0·Vs, S0·¬Vs, ¬S0·Vs, ¬S0·¬Vs; columns: ctx 0..3
-        let expected: [[u8; 4]; 4] = [
-            [0, 2, 0, 4],
-            [0, 3, 0, 1],
-            [1, 0, 3, 0],
-            [4, 0, 2, 0],
-        ];
+        let expected: [[u8; 4]; 4] = [[0, 2, 0, 4], [0, 3, 0, 1], [1, 0, 3, 0], [4, 0, 2, 0]];
         for (li, line) in lines.iter().enumerate() {
             for ctx in 0..4 {
                 assert_eq!(

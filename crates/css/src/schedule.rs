@@ -69,10 +69,7 @@ impl Schedule {
             return Err(CssError::BadContextCount(0));
         }
         if let Some(&bad) = seq.iter().find(|&&c| c >= contexts) {
-            return Err(CssError::ContextOutOfRange {
-                ctx: bad,
-                contexts,
-            });
+            return Err(CssError::ContextOutOfRange { ctx: bad, contexts });
         }
         Ok(Schedule { contexts, seq })
     }

@@ -34,10 +34,7 @@ impl Waveform {
 }
 
 /// Samples every broadcast line of `gen` over `schedule`.
-pub fn trace_hybrid(
-    gen: &HybridCssGen,
-    schedule: &Schedule,
-) -> Result<Vec<Waveform>, CssError> {
+pub fn trace_hybrid(gen: &HybridCssGen, schedule: &Schedule) -> Result<Vec<Waveform>, CssError> {
     let blocks = gen.blocks();
     let mut out: Vec<Waveform> = gen
         .lines()

@@ -189,7 +189,10 @@ mod tests {
     #[test]
     fn unprogrammed_device_errors() {
         let d = Fgmos::new(FgmosMode::UpLiteral);
-        assert_eq!(d.conducts(Level::new(2), &p()), Err(DeviceError::Unprogrammed));
+        assert_eq!(
+            d.conducts(Level::new(2), &p()),
+            Err(DeviceError::Unprogrammed)
+        );
         assert_eq!(d.threshold_volts(), None);
     }
 
@@ -227,7 +230,11 @@ mod tests {
             for v in 0..5u8 {
                 let l = Level::new(v);
                 assert_eq!(up.conducts(l, &p()).unwrap(), ul.eval(l), "up t={t} v={v}");
-                assert_eq!(down.conducts(l, &p()).unwrap(), dl.eval(l), "down t={t} v={v}");
+                assert_eq!(
+                    down.conducts(l, &p()).unwrap(),
+                    dl.eval(l),
+                    "down t={t} v={v}"
+                );
             }
         }
     }

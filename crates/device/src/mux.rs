@@ -73,10 +73,7 @@ impl TreeMux {
         let mut bit = 0;
         while layer.len() > 1 {
             let pick = (select >> bit) & 1;
-            layer = layer
-                .chunks_exact(2)
-                .map(|pair| pair[pick])
-                .collect();
+            layer = layer.chunks_exact(2).map(|pair| pair[pick]).collect();
             bit += 1;
         }
         Ok(layer[0])

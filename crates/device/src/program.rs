@@ -74,7 +74,11 @@ impl Programmer {
     }
 
     /// Parks the device (never conducts).
-    pub fn park(&mut self, device: &mut Fgmos, radix: Radix) -> Result<ProgramOutcome, DeviceError> {
+    pub fn park(
+        &mut self,
+        device: &mut Fgmos,
+        radix: Radix,
+    ) -> Result<ProgramOutcome, DeviceError> {
         let target_v = match device.mode() {
             FgmosMode::UpLiteral => self.params.park_high_volts(radix),
             FgmosMode::DownLiteral => self.params.park_low_volts(),

@@ -205,10 +205,7 @@ impl Fabric {
     /// All tile coordinates, row-major.
     pub fn tiles(&self) -> impl Iterator<Item = TileCoord> + '_ {
         let w = self.params.width;
-        (0..w * self.params.height).map(move |i| TileCoord {
-            x: i % w,
-            y: i / w,
-        })
+        (0..w * self.params.height).map(move |i| TileCoord { x: i % w, y: i / w })
     }
 
     /// The neighbour of `t` in `dir`, if on the grid.
@@ -324,8 +321,7 @@ impl Fabric {
         let source_idx = match source {
             Some(s) => Some(
                 self.source_index(t, s)
-                    .ok_or(FabricError::BadTile { x: t.x, y: t.y })?
-                    as u16,
+                    .ok_or(FabricError::BadTile { x: t.x, y: t.y })? as u16,
             ),
             None => None,
         };
@@ -345,8 +341,7 @@ impl Fabric {
             .sink_index(t, sink)
             .ok_or(FabricError::BadTile { x: t.x, y: t.y })?;
         let i = self.tile_index(t)?;
-        Ok(self.tiles[i].sb[ctx][sink_idx]
-            .map(|si| self.sources(t)[si as usize]))
+        Ok(self.tiles[i].sb[ctx][sink_idx].map(|si| self.sources(t)[si as usize]))
     }
 
     /// Binds an external input port to a named signal in one context.
@@ -361,7 +356,8 @@ impl Fabric {
         if port >= self.params.io_in {
             return Err(FabricError::BadParams(format!("io_in port {port}")));
         }
-        self.input_binds.retain(|(t2, p, c, _)| !(*t2 == t && *p == port && *c == ctx));
+        self.input_binds
+            .retain(|(t2, p, c, _)| !(*t2 == t && *p == port && *c == ctx));
         self.input_binds.push((t, port, ctx, name.to_string()));
         Ok(())
     }
@@ -378,7 +374,8 @@ impl Fabric {
         if port >= self.params.io_out {
             return Err(FabricError::BadParams(format!("io_out port {port}")));
         }
-        self.output_binds.retain(|(t2, p, c, _)| !(*t2 == t && *p == port && *c == ctx));
+        self.output_binds
+            .retain(|(t2, p, c, _)| !(*t2 == t && *p == port && *c == ctx));
         self.output_binds.push((t, port, ctx, name.to_string()));
         Ok(())
     }
@@ -496,7 +493,10 @@ mod tests {
         let mut f = small();
         let t = TileCoord { x: 1, y: 0 };
         let sink = Sink::LutIn(2);
-        let src = Source::WireFrom { dir: Dir::West, w: 1 };
+        let src = Source::WireFrom {
+            dir: Dir::West,
+            w: 1,
+        };
         f.set_route(t, 3, sink, Some(src)).unwrap();
         assert_eq!(f.route_of(t, 3, sink).unwrap(), Some(src));
         assert_eq!(f.route_of(t, 2, sink).unwrap(), None);
@@ -521,8 +521,10 @@ mod tests {
     fn clear_context_only_touches_one_plane() {
         let mut f = small();
         let t = TileCoord { x: 0, y: 0 };
-        f.set_route(t, 0, Sink::LutIn(0), Some(Source::LutOut)).unwrap();
-        f.set_route(t, 1, Sink::LutIn(0), Some(Source::LutOut)).unwrap();
+        f.set_route(t, 0, Sink::LutIn(0), Some(Source::LutOut))
+            .unwrap();
+        f.set_route(t, 1, Sink::LutIn(0), Some(Source::LutOut))
+            .unwrap();
         f.clear_context(0).unwrap();
         assert_eq!(f.route_of(t, 0, Sink::LutIn(0)).unwrap(), None);
         assert_eq!(

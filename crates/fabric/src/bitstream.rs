@@ -62,17 +62,18 @@ pub fn pack(fabric: &Fabric) -> Bytes {
         }
     }
     // io bindings
-    let put_binds = |b: &mut BytesMut, binds: &[(crate::array::TileCoord, usize, usize, String)]| {
-        b.put_u32(binds.len() as u32);
-        for (t, port, ctx, name) in binds {
-            b.put_u16(t.x as u16);
-            b.put_u16(t.y as u16);
-            b.put_u8(*port as u8);
-            b.put_u16(*ctx as u16);
-            b.put_u16(name.len() as u16);
-            b.put_slice(name.as_bytes());
-        }
-    };
+    let put_binds =
+        |b: &mut BytesMut, binds: &[(crate::array::TileCoord, usize, usize, String)]| {
+            b.put_u32(binds.len() as u32);
+            for (t, port, ctx, name) in binds {
+                b.put_u16(t.x as u16);
+                b.put_u16(t.y as u16);
+                b.put_u8(*port as u8);
+                b.put_u16(*ctx as u16);
+                b.put_u16(name.len() as u16);
+                b.put_slice(name.as_bytes());
+            }
+        };
     put_binds(&mut b, fabric.input_binds());
     put_binds(&mut b, fabric.output_binds());
     b.freeze()

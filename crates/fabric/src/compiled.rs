@@ -1,0 +1,819 @@
+//! Compile-once / evaluate-many fabric engine.
+//!
+//! The reference simulator ([`crate::sim::evaluate_fixpoint`]) re-discovers
+//! the routed structure of a context on every call: it sweeps every tile,
+//! hashes `(TileCoord, Dir, usize)` keys, and repeats until a fixpoint —
+//! fine for one vector, hopeless for workload-scale simulation. This module
+//! does the discovery **once**:
+//!
+//! 1. **Flatten** — every routing resource (channel wire, LUT output,
+//!    IO port) gets a dense `u32` id in one arena ([`ResourceLayout`]), so
+//!    evaluation indexes flat arrays instead of hash maps.
+//! 2. **Levelize** — each context's configured switch-block routes and LUT
+//!    pins become a list of [`Op`]s, topologically sorted at compile time.
+//!    An acyclic plane evaluates in a single pass; a genuinely cyclic
+//!    configuration falls back to a bounded monotone sweep over the same op
+//!    list (identical semantics to the reference simulator).
+//! 3. **Bit-parallelize** — values are `u64` lanes: one evaluation pass
+//!    pushes **64 input vectors** through the fabric, with LUTs evaluated by
+//!    lane-wise mux reduction of their truth tables.
+//!
+//! [`crate::sim::evaluate`] wraps a 1-lane call for API compatibility;
+//! batch users call [`CompiledFabric::eval_batch`] directly, and
+//! [`crate::context::run_schedule`] drives whole context schedules through
+//! the per-context compiled planes.
+
+use crate::array::{Dir, Fabric, FabricParams, Sink, Source, TileCoord};
+use crate::lut::MultiContextLut;
+use crate::FabricError;
+
+/// Number of input vectors evaluated per bit-parallel pass.
+pub const LANES: usize = 64;
+
+/// Packs per-lane booleans into one lane word: bit `l` of the result is
+/// `bit(l)`. This is the canonical lane packing of the engine — the inverse
+/// of reading `(word >> l) & 1` — shared by tests, examples and benches so
+/// lane semantics live in exactly one place.
+#[must_use]
+pub fn pack_lanes(mut bit: impl FnMut(usize) -> bool) -> u64 {
+    (0..LANES).fold(0u64, |acc, l| acc | (u64::from(bit(l)) << l))
+}
+
+/// Dense id of one routing resource in the arena.
+pub type ResourceId = u32;
+
+/// Maps `(tile, resource)` coordinates onto the dense arena.
+///
+/// Per tile the arena holds, in order: `4 × channel_width` outgoing wires
+/// (all four directions are allocated even on edges — dead slots cost one
+/// unused array cell each and keep the addressing branch-free), the LUT
+/// output, `io_in` input ports and `io_out` output ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLayout {
+    width: usize,
+    height: usize,
+    channel_width: usize,
+    io_in: usize,
+    io_out: usize,
+    per_tile: usize,
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::North => 0,
+        Dir::East => 1,
+        Dir::South => 2,
+        Dir::West => 3,
+    }
+}
+
+impl ResourceLayout {
+    fn new(p: &FabricParams) -> Self {
+        ResourceLayout {
+            width: p.width,
+            height: p.height,
+            channel_width: p.channel_width,
+            io_in: p.io_in,
+            io_out: p.io_out,
+            per_tile: 4 * p.channel_width + 1 + p.io_in + p.io_out,
+        }
+    }
+
+    fn tile_base(&self, t: TileCoord) -> usize {
+        (t.y * self.width + t.x) * self.per_tile
+    }
+
+    /// Id of the outgoing wire `(t, dir, w)`.
+    #[must_use]
+    pub fn wire(&self, t: TileCoord, dir: Dir, w: usize) -> ResourceId {
+        (self.tile_base(t) + dir_index(dir) * self.channel_width + w) as ResourceId
+    }
+
+    /// Id of the LUT output of `t`.
+    #[must_use]
+    pub fn lut_out(&self, t: TileCoord) -> ResourceId {
+        (self.tile_base(t) + 4 * self.channel_width) as ResourceId
+    }
+
+    /// Id of external input port `p` of `t`.
+    #[must_use]
+    pub fn io_in(&self, t: TileCoord, p: usize) -> ResourceId {
+        (self.tile_base(t) + 4 * self.channel_width + 1 + p) as ResourceId
+    }
+
+    /// Id of external output port `p` of `t`.
+    #[must_use]
+    pub fn io_out(&self, t: TileCoord, p: usize) -> ResourceId {
+        (self.tile_base(t) + 4 * self.channel_width + 1 + self.io_in + p) as ResourceId
+    }
+
+    /// Total arena size.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.width * self.height * self.per_tile
+    }
+}
+
+/// One evaluation step of a compiled plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Drive `dst` from `src` (a configured switch-block cross-point
+    /// feeding a channel wire or IO output).
+    Copy {
+        /// Source resource.
+        src: ResourceId,
+        /// Destination resource.
+        dst: ResourceId,
+    },
+    /// Evaluate one tile's LUT plane into its output resource.
+    Lut {
+        /// Per-pin source resources; `None` = pin unconfigured (reads 0).
+        pins: [Option<ResourceId>; MultiContextLut::MAX_K],
+        /// Number of LUT inputs (`k` of the fabric).
+        k: u8,
+        /// Truth table of this context's plane.
+        table: u64,
+        /// The LUT-output resource.
+        dst: ResourceId,
+    },
+}
+
+impl Op {
+    fn dst(&self) -> ResourceId {
+        match *self {
+            Op::Copy { dst, .. } | Op::Lut { dst, .. } => dst,
+        }
+    }
+
+    fn for_each_src(&self, mut f: impl FnMut(ResourceId)) {
+        match self {
+            Op::Copy { src, .. } => f(*src),
+            Op::Lut { pins, k, .. } => {
+                for pin in pins.iter().take(*k as usize).flatten() {
+                    f(*pin);
+                }
+            }
+        }
+    }
+}
+
+/// One context's compiled configuration plane.
+#[derive(Debug, Clone)]
+pub struct CompiledPlane {
+    /// Ops in topological order (acyclic planes) or deterministic tile
+    /// order (cyclic fallback).
+    ops: Vec<Op>,
+    /// True when the configured routing contains a combinational cycle and
+    /// evaluation must sweep to a fixpoint instead of a single pass.
+    cyclic: bool,
+    /// Depth of the levelized DAG (longest op chain; 0 for empty planes
+    /// and for cyclic fallbacks).
+    levels: usize,
+    /// `(io_in resource, signal name)` for this context's bound inputs.
+    inputs: Vec<(ResourceId, String)>,
+    /// `(io_out resource, signal name)` for this context's bound outputs.
+    outputs: Vec<(ResourceId, String)>,
+}
+
+impl CompiledPlane {
+    /// Compiled ops, in evaluation order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Does this plane need the cyclic fallback sweep?
+    #[must_use]
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// Longest producer→consumer chain after levelization.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Input bindings `(resource, name)`.
+    #[must_use]
+    pub fn input_binds(&self) -> &[(ResourceId, String)] {
+        &self.inputs
+    }
+
+    /// Output bindings `(resource, name)`.
+    #[must_use]
+    pub fn output_binds(&self) -> &[(ResourceId, String)] {
+        &self.outputs
+    }
+}
+
+/// Dense lane values of every resource after one batch evaluation.
+///
+/// Bit `l` of a resource's `u64` is its boolean value in lane (input
+/// vector) `l`. Known-ness is per-resource, not per-lane: whether a
+/// resource resolves depends only on the configuration and which inputs
+/// are driven, never on input values.
+#[derive(Debug, Clone)]
+pub struct CompiledState {
+    layout: ResourceLayout,
+    values: Vec<u64>,
+    known: Vec<bool>,
+}
+
+impl CompiledState {
+    fn read(&self, id: ResourceId) -> Option<u64> {
+        self.known[id as usize].then(|| self.values[id as usize])
+    }
+
+    /// Marks every resource unknown again. Stale values behind a cleared
+    /// `known` flag are unobservable (every read is gated on it), so only
+    /// the flag array needs zeroing.
+    fn reset(&mut self) {
+        self.known.fill(false);
+    }
+
+    /// Lanes on output wire `(tile, dir, w)`, if resolved.
+    #[must_use]
+    pub fn wire(&self, tile: TileCoord, dir: Dir, w: usize) -> Option<u64> {
+        self.read(self.layout.wire(tile, dir, w))
+    }
+
+    /// LUT output lanes of `tile`, if resolved.
+    #[must_use]
+    pub fn lut_out(&self, tile: TileCoord) -> Option<u64> {
+        self.read(self.layout.lut_out(tile))
+    }
+
+    /// External output port lanes, if resolved.
+    #[must_use]
+    pub fn io_out(&self, tile: TileCoord, port: usize) -> Option<u64> {
+        self.read(self.layout.io_out(tile, port))
+    }
+}
+
+/// Lane-wise LUT evaluation: mux-reduce the truth table over the pin lanes.
+///
+/// `acc` starts as the 2^k truth-table rows broadcast to all lanes; each
+/// pin folds the table in half, selecting between the pin=0 and pin=1
+/// halves per lane. `2^k − 1` select steps evaluate all 64 lanes at once.
+#[inline]
+fn lut_lanes(table: u64, pins: &[u64]) -> u64 {
+    let mut acc = [0u64; 1 << MultiContextLut::MAX_K];
+    let rows = 1usize << pins.len();
+    for (r, slot) in acc.iter_mut().enumerate().take(rows) {
+        *slot = if (table >> r) & 1 == 1 { !0u64 } else { 0 };
+    }
+    let mut len = rows;
+    for &p in pins {
+        len /= 2;
+        for j in 0..len {
+            acc[j] = (acc[2 * j] & !p) | (acc[2 * j + 1] & p);
+        }
+    }
+    acc[0]
+}
+
+/// A fabric flattened, levelized and ready for bit-parallel evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledFabric {
+    params: FabricParams,
+    layout: ResourceLayout,
+    planes: Vec<CompiledPlane>,
+    /// `Some(ctx)` when only one context was compiled
+    /// ([`Self::compile_context`]); other contexts then refuse to evaluate
+    /// instead of silently returning empty results.
+    only_ctx: Option<usize>,
+}
+
+impl CompiledFabric {
+    /// Compiles every context plane of `fabric`.
+    pub fn compile(fabric: &Fabric) -> Result<Self, FabricError> {
+        let params = *fabric.params();
+        let layout = ResourceLayout::new(&params);
+        let mut planes = Vec::with_capacity(params.contexts);
+        for ctx in 0..params.contexts {
+            planes.push(Self::compile_plane(fabric, &layout, ctx)?);
+        }
+        Ok(CompiledFabric {
+            params,
+            layout,
+            planes,
+            only_ctx: None,
+        })
+    }
+
+    /// Compiles only the plane of `ctx`, leaving the other contexts empty.
+    ///
+    /// Single-context callers (like the 1-lane [`crate::sim::evaluate`]
+    /// wrapper) skip the O(contexts) compile cost of the unused planes.
+    /// Accessing any context other than `ctx` on the result errors with
+    /// [`FabricError::ContextNotCompiled`].
+    pub fn compile_context(fabric: &Fabric, ctx: usize) -> Result<Self, FabricError> {
+        let params = *fabric.params();
+        if ctx >= params.contexts {
+            return Err(FabricError::ContextOutOfRange {
+                ctx,
+                contexts: params.contexts,
+            });
+        }
+        let layout = ResourceLayout::new(&params);
+        let empty = CompiledPlane {
+            ops: Vec::new(),
+            cyclic: false,
+            levels: 0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        };
+        let mut planes = vec![empty; params.contexts];
+        planes[ctx] = Self::compile_plane(fabric, &layout, ctx)?;
+        Ok(CompiledFabric {
+            params,
+            layout,
+            planes,
+            only_ctx: Some(ctx),
+        })
+    }
+
+    fn resolve_source(
+        fabric: &Fabric,
+        layout: &ResourceLayout,
+        t: TileCoord,
+        src: Source,
+    ) -> Option<ResourceId> {
+        match src {
+            Source::WireFrom { dir, w } => {
+                // the neighbour's wire pointing back toward `t`
+                let n = fabric.neighbor(t, dir)?;
+                Some(layout.wire(n, dir.opposite(), w))
+            }
+            Source::LutOut => Some(layout.lut_out(t)),
+            Source::IoIn(p) => Some(layout.io_in(t, p)),
+        }
+    }
+
+    fn compile_plane(
+        fabric: &Fabric,
+        layout: &ResourceLayout,
+        ctx: usize,
+    ) -> Result<CompiledPlane, FabricError> {
+        let params = fabric.params();
+        let mut ops: Vec<Op> = Vec::new();
+        for t in fabric.tiles() {
+            let tc = fabric.tile(t)?;
+            let sources = fabric.sources(t);
+            let mut pins = [None; MultiContextLut::MAX_K];
+            let mut any_pin = false;
+            for (sink_idx, sink) in fabric.sinks(t).into_iter().enumerate() {
+                let Some(src_idx) = tc.sb[ctx][sink_idx] else {
+                    continue;
+                };
+                let src = Self::resolve_source(fabric, layout, t, sources[src_idx as usize])
+                    .ok_or(FabricError::BadTile { x: t.x, y: t.y })?;
+                match sink {
+                    Sink::WireTo { dir, w } => ops.push(Op::Copy {
+                        src,
+                        dst: layout.wire(t, dir, w),
+                    }),
+                    Sink::IoOut(port) => ops.push(Op::Copy {
+                        src,
+                        dst: layout.io_out(t, port),
+                    }),
+                    Sink::LutIn(pin) => {
+                        pins[pin] = Some(src);
+                        any_pin = true;
+                    }
+                }
+            }
+            if any_pin {
+                ops.push(Op::Lut {
+                    pins,
+                    k: params.lut_k as u8,
+                    table: tc.lut.table(ctx)?,
+                    dst: layout.lut_out(t),
+                });
+            }
+        }
+
+        let (ops, cyclic, levels) = Self::levelize(ops, layout.total());
+
+        let inputs = fabric
+            .input_binds()
+            .iter()
+            .filter(|(_, _, c, _)| *c == ctx)
+            .map(|(t, p, _, name)| (layout.io_in(*t, *p), name.clone()))
+            .collect();
+        let outputs = fabric
+            .output_binds()
+            .iter()
+            .filter(|(_, _, c, _)| *c == ctx)
+            .map(|(t, p, _, name)| (layout.io_out(*t, *p), name.clone()))
+            .collect();
+
+        Ok(CompiledPlane {
+            ops,
+            cyclic,
+            levels,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Kahn topological sort of `ops` by data dependency. Returns the
+    /// sorted ops, whether a cycle forced the fallback order, and the DAG
+    /// depth. Every resource has at most one producer op (each sink stores
+    /// one source per context), so the dependency graph is exactly
+    /// producer→consumer between ops.
+    fn levelize(ops: Vec<Op>, total_resources: usize) -> (Vec<Op>, bool, usize) {
+        let mut producer: Vec<Option<usize>> = vec![None; total_resources];
+        for (i, op) in ops.iter().enumerate() {
+            producer[op.dst() as usize] = Some(i);
+        }
+        let mut indegree = vec![0usize; ops.len()];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+        for (i, op) in ops.iter().enumerate() {
+            op.for_each_src(|src| {
+                if let Some(p) = producer[src as usize] {
+                    consumers[p].push(i);
+                    indegree[i] += 1;
+                }
+            });
+        }
+        let mut queue: Vec<usize> = (0..ops.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut level = vec![0usize; ops.len()];
+        let mut order = Vec::with_capacity(ops.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            order.push(i);
+            for &c in &consumers[i] {
+                indegree[c] -= 1;
+                level[c] = level[c].max(level[i] + 1);
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() == ops.len() {
+            let depth = order.iter().map(|&i| level[i] + 1).max().unwrap_or(0);
+            let sorted = order.iter().map(|&i| ops[i].clone()).collect();
+            (sorted, false, depth)
+        } else {
+            // genuine combinational cycle: keep deterministic tile order and
+            // let evaluation sweep to the monotone fixpoint
+            (ops, true, 0)
+        }
+    }
+
+    /// Fabric parameters the compilation captured.
+    #[must_use]
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// The resource arena layout.
+    #[must_use]
+    pub fn layout(&self) -> &ResourceLayout {
+        &self.layout
+    }
+
+    /// The compiled plane of `ctx`.
+    pub fn plane(&self, ctx: usize) -> Result<&CompiledPlane, FabricError> {
+        if let Some(compiled) = self.only_ctx {
+            if ctx != compiled {
+                return Err(FabricError::ContextNotCompiled { ctx, compiled });
+            }
+        }
+        self.planes.get(ctx).ok_or(FabricError::ContextOutOfRange {
+            ctx,
+            contexts: self.params.contexts,
+        })
+    }
+
+    /// Evaluates context `ctx` on up to [`LANES`] input vectors at once.
+    ///
+    /// Bit `l` of each input's `u64` is that signal's value in vector `l`;
+    /// outputs use the same lane packing. Unknown-propagation semantics are
+    /// identical to [`crate::sim::evaluate_fixpoint`]: every bound input of
+    /// the context must be supplied, and every bound output must resolve.
+    pub fn eval_batch(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, u64)],
+    ) -> Result<(Vec<(String, u64)>, CompiledState), FabricError> {
+        let mut st = self.new_state();
+        let outs = self.eval_batch_into(ctx, inputs, &mut st)?;
+        Ok((outs, st))
+    }
+
+    /// A scratch state sized for this fabric, reusable across
+    /// [`Self::eval_batch_into`] calls.
+    #[must_use]
+    pub fn new_state(&self) -> CompiledState {
+        CompiledState {
+            layout: self.layout,
+            values: vec![0u64; self.layout.total()],
+            known: vec![false; self.layout.total()],
+        }
+    }
+
+    /// [`Self::eval_batch`] writing into a caller-owned scratch state —
+    /// hot loops (schedule replay, staged execution) evaluate many batches
+    /// without re-allocating the arena each step.
+    pub fn eval_batch_into(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, u64)],
+        st: &mut CompiledState,
+    ) -> Result<Vec<(String, u64)>, FabricError> {
+        let plane = self.plane(ctx)?;
+        if st.layout != self.layout {
+            // scratch from a differently-shaped fabric: rebuild rather than
+            // silently reading through the wrong resource layout
+            *st = self.new_state();
+        } else {
+            st.reset();
+        }
+        for (id, name) in &plane.inputs {
+            let v = inputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| FabricError::Unresolved(format!("input '{name}' not driven")))?;
+            st.values[*id as usize] = v;
+            st.known[*id as usize] = true;
+        }
+
+        if plane.cyclic {
+            // monotone sweep: each productive pass resolves ≥1 resource, so
+            // ops.len() + 1 passes reach the fixpoint
+            for _ in 0..=plane.ops.len() {
+                let mut changed = false;
+                for op in &plane.ops {
+                    changed |= Self::run_op(op, st);
+                }
+                if !changed {
+                    break;
+                }
+            }
+        } else {
+            for op in &plane.ops {
+                Self::run_op(op, st);
+            }
+        }
+
+        let mut outs = Vec::with_capacity(plane.outputs.len());
+        for (id, name) in &plane.outputs {
+            let v = st
+                .read(*id)
+                .ok_or_else(|| FabricError::Unresolved(format!("output '{name}' unresolved")))?;
+            outs.push((name.clone(), v));
+        }
+        Ok(outs)
+    }
+
+    /// Runs one op; returns true when `dst` transitioned unknown→known.
+    #[inline]
+    fn run_op(op: &Op, st: &mut CompiledState) -> bool {
+        match op {
+            Op::Copy { src, dst } => {
+                if st.known[*dst as usize] || !st.known[*src as usize] {
+                    return false;
+                }
+                st.values[*dst as usize] = st.values[*src as usize];
+                st.known[*dst as usize] = true;
+                true
+            }
+            Op::Lut {
+                pins,
+                k,
+                table,
+                dst,
+            } => {
+                if st.known[*dst as usize] {
+                    return false;
+                }
+                let mut lanes = [0u64; MultiContextLut::MAX_K];
+                for (i, pin) in pins.iter().take(*k as usize).enumerate() {
+                    match pin {
+                        Some(src) => {
+                            if !st.known[*src as usize] {
+                                return false;
+                            }
+                            lanes[i] = st.values[*src as usize];
+                        }
+                        None => lanes[i] = 0,
+                    }
+                }
+                st.values[*dst as usize] = lut_lanes(*table, &lanes[..*k as usize]);
+                st.known[*dst as usize] = true;
+                true
+            }
+        }
+    }
+
+    /// Evaluates `ctx` on a batch and returns outputs sorted by name.
+    pub fn eval_batch_sorted(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, u64)],
+    ) -> Result<Vec<(String, u64)>, FabricError> {
+        let (mut o, _) = self.eval_batch(ctx, inputs)?;
+        o.sort();
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::FabricParams;
+    use crate::netlist_ir::generators;
+    use crate::route::implement_netlist;
+    use crate::sim::evaluate_fixpoint;
+
+    #[test]
+    fn lut_lanes_matches_scalar_eval() {
+        for table in [0b0110u64, 0b1000, 0b1110, 0xDEAD] {
+            for v in 0..16u64 {
+                let pins = [
+                    if v & 1 == 1 { !0u64 } else { 0 },
+                    if v & 2 == 2 { !0u64 } else { 0 },
+                    if v & 4 == 4 { !0u64 } else { 0 },
+                    if v & 8 == 8 { !0u64 } else { 0 },
+                ];
+                let want = if (table >> v) & 1 == 1 { !0u64 } else { 0 };
+                assert_eq!(lut_lanes(table, &pins), want, "table={table:#x} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_lanes_mixes_lanes_independently() {
+        // lane l carries input vector l: pins[i] bit l = bit i of l
+        let pins: Vec<u64> = (0..4)
+            .map(|i| pack_lanes(|lane| lane < 16 && (lane >> i) & 1 == 1))
+            .collect();
+        let table = 0x8F31u64;
+        let out = lut_lanes(table, &pins);
+        for lane in 0..16 {
+            assert_eq!((out >> lane) & 1, (table >> lane) & 1, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_batch_matches_reference() {
+        let nl = generators::parity_tree(4).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 1, 5).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        assert!(!compiled.plane(1).unwrap().is_cyclic());
+        assert!(compiled.plane(1).unwrap().levels() > 1);
+
+        // all 16 input vectors in one 64-lane batch, lanes 16.. replicate 0
+        let ins: Vec<(String, u64)> = (0..4)
+            .map(|i| (format!("x{i}"), pack_lanes(|v| v < 16 && (v >> i) & 1 == 1)))
+            .collect();
+        let ins_ref: Vec<(&str, u64)> = ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let outs = compiled.eval_batch_sorted(1, &ins_ref).unwrap();
+        assert_eq!(outs.len(), 1);
+        for v in 0..16u64 {
+            let scalar_ins: Vec<(String, bool)> = (0..4)
+                .map(|i| (format!("x{i}"), (v >> i) & 1 == 1))
+                .collect();
+            let scalar_ref: Vec<(&str, bool)> =
+                scalar_ins.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+            let (golden, _) = evaluate_fixpoint(&f, 1, &scalar_ref).unwrap();
+            assert_eq!((outs[0].1 >> v) & 1 == 1, golden[0].1, "vector {v}");
+        }
+    }
+
+    #[test]
+    fn missing_input_reports_unresolved() {
+        let nl = generators::wire_lanes(1).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 0, 1).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        assert!(matches!(
+            compiled.eval_batch(0, &[]),
+            Err(FabricError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_config_falls_back_and_agrees_with_reference() {
+        // hand-build a routing loop: two tiles driving each other's wires,
+        // plus an independent straight-through lane feeding an output
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        let a = TileCoord { x: 0, y: 0 };
+        let b = TileCoord { x: 1, y: 0 };
+        // cycle: a's east wire <- b's west wire <- a's east wire
+        f.set_route(
+            a,
+            0,
+            Sink::WireTo {
+                dir: Dir::East,
+                w: 0,
+            },
+            Some(Source::WireFrom {
+                dir: Dir::East,
+                w: 0,
+            }),
+        )
+        .unwrap();
+        f.set_route(
+            b,
+            0,
+            Sink::WireTo {
+                dir: Dir::West,
+                w: 0,
+            },
+            Some(Source::WireFrom {
+                dir: Dir::West,
+                w: 0,
+            }),
+        )
+        .unwrap();
+        // independent resolvable path: io_in(a,0) -> io_out(a,0)
+        f.set_route(a, 0, Sink::IoOut(0), Some(Source::IoIn(0)))
+            .unwrap();
+        f.bind_input(a, 0, 0, "x").unwrap();
+        f.bind_output(a, 0, 0, "y").unwrap();
+
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        assert!(compiled.plane(0).unwrap().is_cyclic());
+        let outs = compiled.eval_batch_sorted(0, &[("x", 0b10u64)]).unwrap();
+        assert_eq!(outs, vec![("y".to_string(), 0b10u64)]);
+        // the looped wires stay unknown, exactly like the reference
+        let (_, st) = compiled.eval_batch(0, &[("x", 1)]).unwrap();
+        assert_eq!(st.wire(a, Dir::East, 0), None);
+        let (gold, gst) = evaluate_fixpoint(&f, 0, &[("x", true)]).unwrap();
+        assert_eq!(gold, vec![("y".to_string(), true)]);
+        assert_eq!(gst.wire(a, Dir::East, 0), None);
+    }
+
+    #[test]
+    fn contexts_compile_independently() {
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        let p = generators::parity_tree(3).unwrap();
+        let w = generators::wire_lanes(1).unwrap();
+        implement_netlist(&mut f, &p, 0, 2).unwrap();
+        implement_netlist(&mut f, &w, 1, 3).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        assert!(!compiled.plane(0).unwrap().ops().is_empty());
+        assert!(!compiled.plane(1).unwrap().ops().is_empty());
+        assert!(compiled.plane(2).unwrap().ops().is_empty());
+        let out1 = compiled.eval_batch_sorted(1, &[("in0", !0u64)]).unwrap();
+        assert_eq!(out1, vec![("out0".to_string(), !0u64)]);
+    }
+
+    #[test]
+    fn partial_compile_refuses_other_contexts() {
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        let p = generators::parity_tree(3).unwrap();
+        let w = generators::wire_lanes(1).unwrap();
+        implement_netlist(&mut f, &p, 0, 2).unwrap();
+        implement_netlist(&mut f, &w, 1, 3).unwrap();
+        let partial = CompiledFabric::compile_context(&f, 0).unwrap();
+        let ins: Vec<(&str, u64)> = vec![("x0", !0), ("x1", 0), ("x2", !0)];
+        assert!(partial.eval_batch(0, &ins).is_ok());
+        // ctx 1 has a real design, but this compilation never saw it —
+        // error out rather than hand back empty outputs
+        assert_eq!(
+            partial.eval_batch(1, &[("in0", 1)]).unwrap_err(),
+            FabricError::ContextNotCompiled {
+                ctx: 1,
+                compiled: 0
+            }
+        );
+    }
+
+    #[test]
+    fn layout_ids_are_disjoint_and_dense() {
+        let p = FabricParams::default();
+        let layout = ResourceLayout::new(&p);
+        let mut seen = vec![false; layout.total()];
+        let mut mark = |id: ResourceId| {
+            assert!(!seen[id as usize], "duplicate id {id}");
+            seen[id as usize] = true;
+        };
+        for y in 0..p.height {
+            for x in 0..p.width {
+                let t = TileCoord { x, y };
+                for dir in Dir::ALL {
+                    for w in 0..p.channel_width {
+                        mark(layout.wire(t, dir, w));
+                    }
+                }
+                mark(layout.lut_out(t));
+                for i in 0..p.io_in {
+                    mark(layout.io_in(t, i));
+                }
+                for o in 0..p.io_out {
+                    mark(layout.io_out(t, o));
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b), "arena has holes");
+    }
+}

@@ -1,9 +1,14 @@
 //! Context sequencing and switching-energy accounting.
 //!
-//! Wraps a [`mcfpga_css::Schedule`] around a fabric: every step switches the
-//! broadcast CSS and charges the energy model — binary word toggles for the
-//! SRAM architecture, hybrid line toggles for the proposed one.
+//! A [`ContextSequencer`] owns the CSS generator state for one fabric
+//! architecture — built once, replayed many times — and charges the energy
+//! model per step: binary word toggles for the SRAM architecture, hybrid
+//! line toggles for the proposed one. [`run_schedule`] drives a whole
+//! schedule through a [`CompiledFabric`], swapping the per-context compiled
+//! plane at every CSS switch while keeping the energy accounting identical
+//! to the plain replay.
 
+use crate::compiled::CompiledFabric;
 use crate::FabricError;
 use mcfpga_core::ArchKind;
 use mcfpga_css::{BinaryCss, HybridCssGen, Schedule};
@@ -22,58 +27,196 @@ pub struct SequenceStats {
     pub dynamic_energy_j: f64,
 }
 
+impl SequenceStats {
+    fn zero() -> Self {
+        SequenceStats {
+            steps: 0,
+            switches: 0,
+            wire_toggles: 0,
+            dynamic_energy_j: 0.0,
+        }
+    }
+}
+
+/// CSS generator state for one architecture, reusable across replays.
+///
+/// The original `replay_schedule` rebuilt `BinaryCss`/`HybridCssGen` from
+/// scratch on every call; a sequencer is built once and [`reset`] between
+/// replays, so repeated schedule replays pay no setup cost.
+///
+/// [`reset`]: ContextSequencer::reset
+#[derive(Debug, Clone)]
+pub struct ContextSequencer {
+    arch: ArchKind,
+    contexts: usize,
+    css: CssState,
+    cur: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CssState {
+    Binary(BinaryCss),
+    Hybrid(HybridCssGen),
+}
+
+impl ContextSequencer {
+    /// Builds the CSS machinery for `arch` over `contexts` contexts.
+    pub fn new(arch: ArchKind, contexts: usize) -> Result<Self, FabricError> {
+        let css = match arch {
+            ArchKind::Sram => CssState::Binary(
+                BinaryCss::new(contexts.next_power_of_two().max(2))
+                    .map_err(mcfpga_core::CoreError::Css)?,
+            ),
+            ArchKind::MvFgfp | ArchKind::Hybrid => {
+                CssState::Hybrid(HybridCssGen::new(contexts).map_err(mcfpga_core::CoreError::Css)?)
+            }
+        };
+        Ok(ContextSequencer {
+            arch,
+            contexts,
+            css,
+            cur: 0,
+        })
+    }
+
+    /// The architecture this sequencer models.
+    #[must_use]
+    pub fn arch(&self) -> ArchKind {
+        self.arch
+    }
+
+    /// Number of contexts in the domain.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// The currently broadcast context.
+    #[must_use]
+    pub fn current(&self) -> usize {
+        self.cur
+    }
+
+    /// Returns the sequencer to context 0 without charging toggles, so the
+    /// next replay starts from the same state a fresh sequencer would.
+    pub fn reset(&mut self) -> Result<(), FabricError> {
+        if let CssState::Binary(css) = &mut self.css {
+            css.switch_to(0).map_err(mcfpga_core::CoreError::Css)?;
+        }
+        self.cur = 0;
+        Ok(())
+    }
+
+    /// One accounted schedule step: switches to `ctx` and charges `stats`.
+    /// SRAM counts a switch when any word bit toggles; the hybrid families
+    /// count context changes — preserved from the original replay.
+    fn charge_step(&mut self, ctx: usize, stats: &mut SequenceStats) -> Result<(), FabricError> {
+        let changed = ctx != self.cur;
+        let t = self.step_to(ctx)?;
+        stats.steps += 1;
+        let switched = match self.arch {
+            ArchKind::Sram => t > 0,
+            ArchKind::MvFgfp | ArchKind::Hybrid => changed,
+        };
+        if switched {
+            stats.switches += 1;
+        }
+        stats.wire_toggles += t;
+        Ok(())
+    }
+
+    /// Switches the broadcast to `ctx`, returning the broadcast-wire
+    /// toggles that cost.
+    pub fn step_to(&mut self, ctx: usize) -> Result<usize, FabricError> {
+        let toggles = match &mut self.css {
+            CssState::Binary(css) => {
+                let t = css.hamming_to(ctx);
+                css.switch_to(ctx).map_err(mcfpga_core::CoreError::Css)?;
+                t
+            }
+            CssState::Hybrid(gen) => gen
+                .toggles_between(self.cur, ctx)
+                .map_err(mcfpga_core::CoreError::Css)?,
+        };
+        self.cur = ctx;
+        Ok(toggles)
+    }
+
+    /// Replays `schedule` from a reset state, counting broadcast toggles.
+    /// (The fabric's switches respond combinationally; what costs energy at
+    /// switch time is the broadcast network.)
+    pub fn replay(
+        &mut self,
+        schedule: &Schedule,
+        params: &TechParams,
+    ) -> Result<SequenceStats, FabricError> {
+        self.reset()?;
+        let mut stats = SequenceStats::zero();
+        for ctx in schedule.iter() {
+            self.charge_step(ctx, &mut stats)?;
+        }
+        stats.dynamic_energy_j = stats.wire_toggles as f64 * params.css_toggle_energy_j;
+        Ok(stats)
+    }
+}
+
 /// Replays `schedule` against the CSS machinery of `arch`, counting
-/// broadcast toggles. (The fabric's switches respond combinationally; what
-/// costs energy at switch time is the broadcast network.)
+/// broadcast toggles. Convenience wrapper building a throwaway
+/// [`ContextSequencer`]; replay-heavy callers should build the sequencer
+/// once and call [`ContextSequencer::replay`] directly.
 pub fn replay_schedule(
     arch: ArchKind,
     contexts: usize,
     schedule: &Schedule,
     params: &TechParams,
 ) -> Result<SequenceStats, FabricError> {
-    let mut stats = SequenceStats {
-        steps: 0,
-        switches: 0,
-        wire_toggles: 0,
-        dynamic_energy_j: 0.0,
-    };
-    match arch {
-        ArchKind::Sram => {
-            let mut css = BinaryCss::new(contexts.next_power_of_two().max(2))
-                .map_err(mcfpga_core::CoreError::Css)?;
-            for ctx in schedule.iter() {
-                stats.steps += 1;
-                let t = css.hamming_to(ctx);
-                if t > 0 {
-                    stats.switches += 1;
-                }
-                stats.wire_toggles += t;
-                css.switch_to(ctx).map_err(mcfpga_core::CoreError::Css)?;
-            }
-        }
-        ArchKind::MvFgfp | ArchKind::Hybrid => {
-            let gen = HybridCssGen::new(contexts).map_err(mcfpga_core::CoreError::Css)?;
-            let mut cur = 0usize;
-            for ctx in schedule.iter() {
-                stats.steps += 1;
-                let t = gen
-                    .toggles_between(cur, ctx)
-                    .map_err(mcfpga_core::CoreError::Css)?;
-                if ctx != cur {
-                    stats.switches += 1;
-                }
-                stats.wire_toggles += t;
-                cur = ctx;
-            }
-        }
+    ContextSequencer::new(arch, contexts)?.replay(schedule, params)
+}
+
+/// Outcome of driving a schedule through a compiled fabric.
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// Energy/switch accounting, identical to [`replay_schedule`].
+    pub stats: SequenceStats,
+    /// Per step: the context executed and its named output lanes
+    /// (64 input vectors wide, bit `l` = vector `l`).
+    pub steps: Vec<(usize, Vec<(String, u64)>)>,
+}
+
+/// Replays `schedule` by actually executing each scheduled context on
+/// `compiled` with the given 64-lane input batch, while `seq` charges the
+/// broadcast-network energy of every switch.
+///
+/// `inputs` is the union of all contexts' bound input signals; each plane
+/// picks the names it binds. The sequencer is reset first, so repeated
+/// runs of the same schedule are reproducible.
+pub fn run_schedule(
+    compiled: &CompiledFabric,
+    seq: &mut ContextSequencer,
+    schedule: &Schedule,
+    inputs: &[(&str, u64)],
+    params: &TechParams,
+) -> Result<ScheduleRun, FabricError> {
+    seq.reset()?;
+    let mut stats = SequenceStats::zero();
+    let mut steps = Vec::with_capacity(schedule.len());
+    let mut scratch = compiled.new_state();
+    for ctx in schedule.iter() {
+        seq.charge_step(ctx, &mut stats)?;
+        // the CSS has swapped the active plane; execute it bit-parallel
+        let outs = compiled.eval_batch_into(ctx, inputs, &mut scratch)?;
+        steps.push((ctx, outs));
     }
     stats.dynamic_energy_j = stats.wire_toggles as f64 * params.css_toggle_energy_j;
-    Ok(stats)
+    Ok(ScheduleRun { stats, steps })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::array::{Fabric, FabricParams};
+    use crate::netlist_ir::generators;
+    use crate::route::implement_netlist;
 
     #[test]
     fn round_robin_toggle_counts() {
@@ -110,5 +253,54 @@ mod tests {
             let r = replay_schedule(arch, 4, &random, &p).unwrap();
             assert!(b.wire_toggles < r.wire_toggles, "{arch:?}");
         }
+    }
+
+    #[test]
+    fn cached_sequencer_matches_fresh_replays() {
+        let p = TechParams::default();
+        let scheds = [
+            Schedule::round_robin(4, 8).unwrap(),
+            Schedule::random(4, 64, 3).unwrap(),
+            Schedule::bursty(4, 64, 8, 9).unwrap(),
+        ];
+        for arch in ArchKind::all() {
+            let mut seq = ContextSequencer::new(arch, 4).unwrap();
+            for sched in &scheds {
+                let cached = seq.replay(sched, &p).unwrap();
+                let fresh = replay_schedule(arch, 4, sched, &p).unwrap();
+                assert_eq!(cached, fresh, "{arch:?}");
+                // replaying again from the cached sequencer is idempotent
+                assert_eq!(seq.replay(sched, &p).unwrap(), fresh, "{arch:?} repeat");
+            }
+        }
+    }
+
+    #[test]
+    fn run_schedule_executes_every_context() {
+        // parity in ctx 0, wire lane in ctx 1
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &generators::parity_tree(3).unwrap(), 0, 2).unwrap();
+        implement_netlist(&mut f, &generators::wire_lanes(1).unwrap(), 1, 3).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+        let sched = Schedule::explicit(4, vec![0, 1, 0, 1]).unwrap();
+        let p = TechParams::default();
+        // lanes: x0 = 0b01, x1 = 0b11, x2 = 0; in0 = 0b10
+        let inputs = [("x0", 0b01u64), ("x1", 0b11), ("x2", 0), ("in0", 0b10)];
+        let run = run_schedule(&compiled, &mut seq, &sched, &inputs, &p).unwrap();
+        assert_eq!(run.steps.len(), 4);
+        assert_eq!(run.stats.steps, 4);
+        assert_eq!(run.stats.switches, 3, "0→1, 1→0, 0→1");
+        // ctx 0: parity(x0,x1,x2): lane0 = parity(1,1,0)=0, lane1 = parity(0,1,0)=1
+        let (ctx0, outs0) = &run.steps[0];
+        assert_eq!(*ctx0, 0);
+        assert_eq!(outs0[0].1 & 0b11, 0b10);
+        // ctx 1: wire lane passes in0 through
+        let (ctx1, outs1) = &run.steps[1];
+        assert_eq!(*ctx1, 1);
+        assert_eq!(outs1[0].1, 0b10);
+        // energy accounting matches the plain replay exactly
+        let plain = replay_schedule(ArchKind::Hybrid, 4, &sched, &p).unwrap();
+        assert_eq!(run.stats, plain);
     }
 }

@@ -17,9 +17,19 @@
 //! 3. [`place`] — simulated-annealing placement of each stage's LUTs.
 //! 4. [`route`] — per-context maze routing through the crossbar SBs.
 //! 5. [`bitstream`] — serialisable configuration for all planes.
-//! 6. [`sim`] — functional simulation of the configured fabric;
-//!    [`context`] sequences contexts and accounts switching energy.
-//! 7. [`power`] — fabric-level area/static-power roll-up per architecture.
+//! 6. [`compiled`] — **compile → levelize → bit-parallel**: the production
+//!    simulation engine. [`compiled::CompiledFabric::compile`] flattens
+//!    every routing resource into a dense `u32` arena, turns each context's
+//!    routed configuration into a topologically levelized op list (with a
+//!    bounded-sweep fallback for genuinely cyclic configs), and evaluates
+//!    **64 input vectors per pass** in `u64` bit lanes.
+//! 7. [`sim`] — the one-vector API ([`sim::evaluate`], a thin 1-lane
+//!    wrapper over the compiled engine) and the reference fixpoint sweep
+//!    ([`sim::evaluate_fixpoint`]) the engine is verified against;
+//!    [`context`] sequences contexts through compiled planes and accounts
+//!    switching energy.
+//! 8. [`power`] — fabric-level area/static-power roll-up per architecture;
+//!    [`stats`] reports occupancy and compiled-plane shape.
 //!
 //! The fabric's switch blocks allow **fanout** (one row driving several
 //! columns); the strict partial-permutation discipline of Fig. 11 is kept in
@@ -30,6 +40,7 @@
 
 pub mod array;
 pub mod bitstream;
+pub mod compiled;
 pub mod context;
 pub mod lut;
 pub mod netlist_ir;
@@ -41,6 +52,8 @@ pub mod stats;
 pub mod temporal;
 
 pub use array::{Fabric, FabricParams, TileCoord};
+pub use compiled::CompiledFabric;
+pub use context::{run_schedule, ContextSequencer};
 pub use lut::MultiContextLut;
 pub use netlist_ir::{LogicNetlist, NodeId};
 pub use route::RoutedDesign;
@@ -79,6 +92,14 @@ pub enum FabricError {
     /// Simulation could not resolve all values (combinational loop or
     /// undriven input).
     Unresolved(String),
+    /// Evaluated a context the [`CompiledFabric`] was not compiled for
+    /// (it was built with [`CompiledFabric::compile_context`]).
+    ContextNotCompiled {
+        /// Context requested for evaluation.
+        ctx: usize,
+        /// The single context that was compiled.
+        compiled: usize,
+    },
     /// Bitstream parse error.
     BadBitstream(String),
     /// Underlying switch error.
@@ -105,6 +126,9 @@ impl std::fmt::Display for FabricError {
                 write!(f, "routing failed for {net} in ctx {ctx}")
             }
             FabricError::Unresolved(s) => write!(f, "simulation unresolved: {s}"),
+            FabricError::ContextNotCompiled { ctx, compiled } => {
+                write!(f, "context {ctx} not compiled (only context {compiled} is)")
+            }
             FabricError::BadBitstream(s) => write!(f, "bad bitstream: {s}"),
             FabricError::Core(e) => write!(f, "switch: {e}"),
         }

@@ -104,7 +104,11 @@ pub mod tables {
     #[must_use]
     pub fn or(k: usize) -> u64 {
         let rows = 1usize << k;
-        let full = if rows == 64 { u64::MAX } else { (1u64 << rows) - 1 };
+        let full = if rows == 64 {
+            u64::MAX
+        } else {
+            (1u64 << rows) - 1
+        };
         full & !1
     }
 

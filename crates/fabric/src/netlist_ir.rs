@@ -140,10 +140,7 @@ impl LogicNetlist {
     }
 
     /// Reference evaluation: input name → value. Returns output name → value.
-    pub fn eval(
-        &self,
-        inputs: &[(&str, bool)],
-    ) -> Result<Vec<(String, bool)>, FabricError> {
+    pub fn eval(&self, inputs: &[(&str, bool)]) -> Result<Vec<(String, bool)>, FabricError> {
         let mut values: Vec<Option<bool>> = vec![None; self.nodes.len()];
         for (i, n) in self.nodes.iter().enumerate() {
             match n {
@@ -209,16 +206,8 @@ pub mod generators {
         let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("b{i}"))).collect();
         let mut carry = nl.add_input("cin");
         for i in 0..width {
-            let sum = nl.add_lut(
-                &format!("sum{i}"),
-                &[a[i], b[i], carry],
-                tables::xor(3),
-            )?;
-            let cout = nl.add_lut(
-                &format!("carry{i}"),
-                &[a[i], b[i], carry],
-                tables::maj3(3),
-            )?;
+            let sum = nl.add_lut(&format!("sum{i}"), &[a[i], b[i], carry], tables::xor(3))?;
+            let cout = nl.add_lut(&format!("carry{i}"), &[a[i], b[i], carry], tables::maj3(3))?;
             nl.add_output(&format!("s{i}"), sum)?;
             carry = cout;
         }
@@ -229,8 +218,7 @@ pub mod generators {
     /// Parity (XOR reduction) tree over `width` inputs `x0..`.
     pub fn parity_tree(width: usize) -> Result<LogicNetlist, FabricError> {
         let mut nl = LogicNetlist::new();
-        let mut layer: Vec<NodeId> =
-            (0..width).map(|i| nl.add_input(&format!("x{i}"))).collect();
+        let mut layer: Vec<NodeId> = (0..width).map(|i| nl.add_input(&format!("x{i}"))).collect();
         let mut stage = 0;
         while layer.len() > 1 {
             let mut next = Vec::new();
@@ -431,10 +419,7 @@ mod tests {
     #[test]
     fn missing_input_is_unresolved() {
         let nl = wire_lanes(1).unwrap();
-        assert!(matches!(
-            nl.eval(&[]),
-            Err(FabricError::Unresolved(_))
-        ));
+        assert!(matches!(nl.eval(&[]), Err(FabricError::Unresolved(_))));
     }
 
     #[test]

@@ -35,8 +35,11 @@ pub fn place_luts(
         })
         .collect();
     tiles.shuffle(&mut rng);
-    let mut pos: HashMap<NodeId, TileCoord> =
-        luts.iter().zip(tiles.iter()).map(|(n, t)| (*n, *t)).collect();
+    let mut pos: HashMap<NodeId, TileCoord> = luts
+        .iter()
+        .zip(tiles.iter())
+        .map(|(n, t)| (*n, *t))
+        .collect();
 
     if luts.len() <= 1 {
         return Ok(pos);
@@ -137,7 +140,7 @@ mod tests {
     }
 
     #[test]
-    fn annealing_beats_random_on_chains(){
+    fn annealing_beats_random_on_chains() {
         // long carry chain: SA should pull connected LUTs together
         let nl = generators::ripple_adder(6).unwrap();
         let p = params(6, 6);
@@ -170,6 +173,9 @@ mod tests {
     fn deterministic_per_seed() {
         let nl = generators::parity_tree(8).unwrap();
         let p = params(4, 4);
-        assert_eq!(place_luts(&nl, &p, 9).unwrap(), place_luts(&nl, &p, 9).unwrap());
+        assert_eq!(
+            place_luts(&nl, &p, 9).unwrap(),
+            place_luts(&nl, &p, 9).unwrap()
+        );
     }
 }

@@ -123,11 +123,7 @@ impl Router {
             };
             for sink in fabric.sinks(site) {
                 let cand = match sink {
-                    Sink::WireTo { dir, w } => RRNode::Wire {
-                        tile: site,
-                        dir,
-                        w,
-                    },
+                    Sink::WireTo { dir, w } => RRNode::Wire { tile: site, dir, w },
                     Sink::LutIn(pin) => RRNode::LutIn { tile: site, pin },
                     Sink::IoOut(port) => RRNode::IoOut { tile: site, port },
                 };
@@ -444,7 +440,15 @@ mod tests {
         assert_eq!(hops, 2);
         // config written: wire East of a driven by LutOut
         assert_eq!(
-            f.route_of(a, 0, Sink::WireTo { dir: Dir::East, w: 0 }).unwrap(),
+            f.route_of(
+                a,
+                0,
+                Sink::WireTo {
+                    dir: Dir::East,
+                    w: 0
+                }
+            )
+            .unwrap(),
             Some(Source::LutOut)
         );
     }

@@ -1,13 +1,25 @@
 //! Functional simulation of a configured fabric.
 //!
-//! Monotone fixpoint propagation: wires, LUT outputs and IO ports start
-//! unknown; each sweep copies values across configured switch-block routes
-//! and evaluates LUTs whose context plane is active. Values only move from
-//! unknown to known, so the sweep terminates; anything still unknown that a
-//! primary output depends on is reported as unresolved (combinational loop
-//! or undriven input).
+//! Two engines share identical unknown-propagation semantics:
+//!
+//! * [`evaluate_fixpoint`] — the **reference** monotone fixpoint sweep:
+//!   wires, LUT outputs and IO ports start unknown; each sweep copies
+//!   values across configured switch-block routes and evaluates LUTs whose
+//!   context plane is active. Values only move from unknown to known, so
+//!   the sweep terminates; anything still unknown that a primary output
+//!   depends on is reported as unresolved (combinational loop or undriven
+//!   input). Simple, obviously correct, and slow — it re-scans every tile
+//!   per sweep per vector through `HashMap` keys.
+//! * [`crate::compiled::CompiledFabric`] — the production engine: compile
+//!   once into dense levelized ops, then evaluate 64 input vectors per
+//!   bit-parallel pass.
+//!
+//! [`evaluate`] keeps the original one-vector API as a thin wrapper over a
+//! 1-lane compiled call; the equivalence of both engines is enforced
+//! bit-for-bit by `tests/prop_compiled.rs`.
 
 use crate::array::{Dir, Fabric, Sink, Source, TileCoord};
+use crate::compiled::CompiledFabric;
 use crate::FabricError;
 use std::collections::HashMap;
 
@@ -41,8 +53,52 @@ impl FabricState {
 
 /// Evaluates context `ctx` of `fabric` with named input signals.
 ///
-/// Returns `(named outputs, full state)`.
+/// Returns `(named outputs, full state)`. This compiles the fabric and
+/// runs a single bit-parallel lane — correct but paying compile cost per
+/// call. Callers evaluating many vectors or replaying schedules should
+/// compile once with [`CompiledFabric::compile`] and use
+/// [`CompiledFabric::eval_batch`].
 pub fn evaluate(
+    fabric: &Fabric,
+    ctx: usize,
+    inputs: &[(&str, bool)],
+) -> Result<(Vec<(String, bool)>, FabricState), FabricError> {
+    let compiled = CompiledFabric::compile_context(fabric, ctx)?;
+    let lane_inputs: Vec<(&str, u64)> = inputs
+        .iter()
+        .map(|(n, v)| (*n, if *v { 1u64 } else { 0 }))
+        .collect();
+    let (outs, cst) = compiled.eval_batch(ctx, &lane_inputs)?;
+    let outs = outs.into_iter().map(|(n, v)| (n, v & 1 == 1)).collect();
+
+    // lower lane 0 of the dense state into the sparse map form
+    let params = fabric.params();
+    let mut st = FabricState::default();
+    for t in fabric.tiles() {
+        for dir in Dir::ALL {
+            for w in 0..params.channel_width {
+                if let Some(v) = cst.wire(t, dir, w) {
+                    st.wire.insert((t, dir, w), v & 1 == 1);
+                }
+            }
+        }
+        if let Some(v) = cst.lut_out(t) {
+            st.lut_out.insert(t, v & 1 == 1);
+        }
+        for port in 0..params.io_out {
+            if let Some(v) = cst.io_out(t, port) {
+                st.io_out.insert((t, port), v & 1 == 1);
+            }
+        }
+    }
+    Ok((outs, st))
+}
+
+/// Reference implementation: monotone fixpoint sweep over the raw fabric.
+///
+/// Kept as the executable specification the compiled engine is tested
+/// against, and as the baseline the benchmarks measure speedup over.
+pub fn evaluate_fixpoint(
     fabric: &Fabric,
     ctx: usize,
     inputs: &[(&str, bool)],
@@ -155,14 +211,22 @@ pub fn evaluate(
 }
 
 /// Convenience: evaluate and return outputs sorted by name.
+///
+/// Unlike [`evaluate`], this never materialises a [`FabricState`] — the
+/// caller only wants outputs, so the dense arena is not lowered into the
+/// sparse map form.
 pub fn evaluate_sorted(
     fabric: &Fabric,
     ctx: usize,
     inputs: &[(&str, bool)],
 ) -> Result<Vec<(String, bool)>, FabricError> {
-    let (mut o, _) = evaluate(fabric, ctx, inputs)?;
-    o.sort();
-    Ok(o)
+    let compiled = CompiledFabric::compile_context(fabric, ctx)?;
+    let lane_inputs: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (*n, u64::from(*v))).collect();
+    Ok(compiled
+        .eval_batch_sorted(ctx, &lane_inputs)?
+        .into_iter()
+        .map(|(n, v)| (n, v & 1 == 1))
+        .collect())
 }
 
 #[cfg(test)]
@@ -212,11 +276,13 @@ mod tests {
         implement_netlist(&mut f, &nl, 0, 9).unwrap();
         for a in 0..4u32 {
             for b in 0..4u32 {
-                let ins = [("a0".to_string(), a & 1 == 1),
+                let ins = [
+                    ("a0".to_string(), a & 1 == 1),
                     ("a1".to_string(), a & 2 == 2),
                     ("b0".to_string(), b & 1 == 1),
                     ("b1".to_string(), b & 2 == 2),
-                    ("cin".to_string(), false)];
+                    ("cin".to_string(), false),
+                ];
                 let ins_ref: Vec<(&str, bool)> =
                     ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
                 let golden = nl.eval(&ins_ref).unwrap();
@@ -237,12 +303,7 @@ mod tests {
         let w = generators::wire_lanes(1).unwrap();
         implement_netlist(&mut f, &p, 0, 2).unwrap();
         implement_netlist(&mut f, &w, 1, 3).unwrap();
-        let out0 = evaluate_sorted(
-            &f,
-            0,
-            &[("x0", true), ("x1", true), ("x2", false)],
-        )
-        .unwrap();
+        let out0 = evaluate_sorted(&f, 0, &[("x0", true), ("x1", true), ("x2", false)]).unwrap();
         assert!(!out0[0].1, "parity of 2 ones");
         let out1 = evaluate_sorted(&f, 1, &[("in0", true)]).unwrap();
         assert_eq!(out1, vec![("out0".to_string(), true)]);
@@ -257,5 +318,45 @@ mod tests {
             evaluate_sorted(&f, 0, &[]),
             Err(FabricError::Unresolved(_))
         ));
+    }
+
+    #[test]
+    fn wrapper_and_fixpoint_agree_including_state() {
+        let nl = generators::ripple_adder(2).unwrap();
+        let mut f = Fabric::new(FabricParams {
+            width: 4,
+            height: 4,
+            channel_width: 3,
+            ..FabricParams::default()
+        })
+        .unwrap();
+        implement_netlist(&mut f, &nl, 2, 11).unwrap();
+        let ins = [
+            ("a0", true),
+            ("a1", false),
+            ("b0", true),
+            ("b1", true),
+            ("cin", false),
+        ];
+        let (mut o1, s1) = evaluate(&f, 2, &ins).unwrap();
+        let (mut o2, s2) = evaluate_fixpoint(&f, 2, &ins).unwrap();
+        o1.sort();
+        o2.sort();
+        assert_eq!(o1, o2);
+        for t in f.tiles() {
+            assert_eq!(s1.lut_out(t), s2.lut_out(t), "lut_out {t}");
+            for dir in Dir::ALL {
+                for w in 0..f.params().channel_width {
+                    assert_eq!(
+                        s1.wire(t, dir, w),
+                        s2.wire(t, dir, w),
+                        "wire {t} {dir:?} {w}"
+                    );
+                }
+            }
+            for p in 0..f.params().io_out {
+                assert_eq!(s1.io_out(t, p), s2.io_out(t, p), "io_out {t} {p}");
+            }
+        }
     }
 }

@@ -1,8 +1,10 @@
 //! Fabric utilization statistics: how much of each configuration plane a
 //! mapped design actually occupies — the quantity the MC-FPGA trades area
-//! for.
+//! for — plus the shape of each plane after compilation (op counts,
+//! levelized depth, cyclic fallbacks).
 
 use crate::array::{Fabric, Sink};
+use crate::compiled::{CompiledFabric, Op};
 use crate::FabricError;
 
 /// Per-context occupancy of fabric resources.
@@ -84,6 +86,60 @@ pub fn render_stats(stats: &[ContextStats]) -> String {
     s
 }
 
+/// Shape of one compiled context plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPlaneStats {
+    /// Context measured.
+    pub ctx: usize,
+    /// Route (switch-block) ops.
+    pub copy_ops: usize,
+    /// LUT evaluation ops.
+    pub lut_ops: usize,
+    /// Depth of the levelized DAG (longest producer→consumer chain).
+    pub levels: usize,
+    /// True when evaluation uses the bounded-sweep fallback.
+    pub cyclic: bool,
+}
+
+/// Shape of every plane of a compiled fabric.
+pub fn compiled_stats(compiled: &CompiledFabric) -> Result<Vec<CompiledPlaneStats>, FabricError> {
+    (0..compiled.params().contexts)
+        .map(|ctx| {
+            let plane = compiled.plane(ctx)?;
+            let (mut copy_ops, mut lut_ops) = (0usize, 0usize);
+            for op in plane.ops() {
+                match op {
+                    Op::Copy { .. } => copy_ops += 1,
+                    Op::Lut { .. } => lut_ops += 1,
+                }
+            }
+            Ok(CompiledPlaneStats {
+                ctx,
+                copy_ops,
+                lut_ops,
+                levels: plane.levels(),
+                cyclic: plane.is_cyclic(),
+            })
+        })
+        .collect()
+}
+
+/// Renders the compiled-plane table.
+pub fn render_compiled_stats(stats: &[CompiledPlaneStats]) -> String {
+    let mut s = String::from("ctx | route ops | lut ops | levels | engine\n");
+    for st in stats {
+        s.push_str(&format!(
+            "{:>3} | {:>9} | {:>7} | {:>6} | {}\n",
+            st.ctx,
+            st.copy_ops,
+            st.lut_ops,
+            st.levels,
+            if st.cyclic { "sweep" } else { "levelized" }
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +181,25 @@ mod tests {
     fn out_of_range_ctx_rejected() {
         let f = Fabric::new(FabricParams::default()).unwrap();
         assert!(context_stats(&f, 4).is_err());
+    }
+
+    #[test]
+    fn compiled_stats_track_mapped_contexts() {
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &generators::parity_tree(4).unwrap(), 1, 9).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        let stats = compiled_stats(&compiled).unwrap();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].copy_ops + stats[0].lut_ops, 0);
+        assert_eq!(stats[1].lut_ops, 3, "three XOR LUTs");
+        assert!(stats[1].copy_ops > 0);
+        assert!(stats[1].levels >= 2, "tree has at least two logic levels");
+        assert!(!stats[1].cyclic);
+        // occupancy view agrees: configured crosspoints = copy ops + pins
+        let occ = context_stats(&f, 1).unwrap();
+        assert!(occ.crosspoints_used >= stats[1].copy_ops + stats[1].lut_ops);
+        let render = render_compiled_stats(&stats);
+        assert_eq!(render.lines().count(), 5);
+        assert!(render.contains("levelized"));
     }
 }

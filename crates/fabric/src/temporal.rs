@@ -9,10 +9,10 @@
 //! every context.
 
 use crate::array::Fabric;
+use crate::compiled::CompiledFabric;
 use crate::lut::tables;
 use crate::netlist_ir::{LogicNetlist, Node, NodeId};
 use crate::route::{implement_netlist, RoutedDesign};
-use crate::sim::evaluate;
 use crate::FabricError;
 use std::collections::HashMap;
 
@@ -28,7 +28,10 @@ pub struct TemporalPartition {
 }
 
 /// Partitions `netlist` into at most `contexts` stages by logic level.
-pub fn partition(netlist: &LogicNetlist, contexts: usize) -> Result<TemporalPartition, FabricError> {
+pub fn partition(
+    netlist: &LogicNetlist,
+    contexts: usize,
+) -> Result<TemporalPartition, FabricError> {
     if contexts == 0 {
         return Err(FabricError::BadParams("contexts=0".into()));
     }
@@ -133,30 +136,57 @@ pub fn implement(
         if sub.lut_count() == 0 && sub.outputs().is_empty() {
             continue;
         }
-        designs.push(implement_netlist(fabric, sub, s, seed.wrapping_add(s as u64))?);
+        designs.push(implement_netlist(
+            fabric,
+            sub,
+            s,
+            seed.wrapping_add(s as u64),
+        )?);
     }
     Ok(designs)
 }
 
 /// Executes one "user cycle": runs every stage in order, moving register
 /// values through the context register file. Returns the primary outputs.
+///
+/// The fabric is compiled once and each stage runs through its compiled
+/// plane; repeated cycles amortize better via [`execute_compiled`].
 pub fn execute(
     fabric: &Fabric,
     part: &TemporalPartition,
     inputs: &[(&str, bool)],
 ) -> Result<Vec<(String, bool)>, FabricError> {
-    let mut regs: HashMap<String, bool> = HashMap::new();
-    let mut primary: HashMap<String, bool> = HashMap::new();
+    let compiled = CompiledFabric::compile(fabric)?;
+    let lanes: Vec<(String, u64)> = inputs
+        .iter()
+        .map(|(n, v)| ((*n).to_string(), u64::from(*v)))
+        .collect();
+    let lane_refs: Vec<(&str, u64)> = lanes.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let outs = execute_compiled(&compiled, part, &lane_refs)?;
+    Ok(outs.into_iter().map(|(n, v)| (n, v & 1 == 1)).collect())
+}
+
+/// [`execute`] on an already-compiled fabric, 64 input vectors at a time:
+/// bit `l` of each input's `u64` is its value in user cycle `l`, and the
+/// returned outputs use the same lane packing.
+pub fn execute_compiled(
+    compiled: &CompiledFabric,
+    part: &TemporalPartition,
+    inputs: &[(&str, u64)],
+) -> Result<Vec<(String, u64)>, FabricError> {
+    let mut regs: HashMap<String, u64> = HashMap::new();
+    let mut primary: HashMap<String, u64> = HashMap::new();
+    let mut scratch = compiled.new_state();
     for (s, sub) in part.stages.iter().enumerate() {
         if sub.lut_count() == 0 && sub.outputs().is_empty() {
             continue;
         }
         // stage inputs: primary inputs + register reads
-        let mut stage_inputs: Vec<(&str, bool)> = inputs.to_vec();
+        let mut stage_inputs: Vec<(&str, u64)> = inputs.to_vec();
         for (name, v) in &regs {
             stage_inputs.push((name.as_str(), *v));
         }
-        let (outs, _) = evaluate(fabric, s, &stage_inputs)?;
+        let outs = compiled.eval_batch_into(s, &stage_inputs, &mut scratch)?;
         for (name, v) in outs {
             if name.starts_with("reg:") {
                 regs.insert(name, v);
@@ -168,12 +198,7 @@ pub fn execute(
     Ok(part
         .output_names
         .iter()
-        .map(|n| {
-            (
-                n.clone(),
-                primary.get(n).copied().unwrap_or_default(),
-            )
-        })
+        .map(|n| (n.clone(), primary.get(n).copied().unwrap_or_default()))
         .collect())
 }
 
@@ -213,13 +238,15 @@ mod tests {
         implement(&mut fabric, &part, 17).unwrap();
         for a in 0..8u32 {
             for b in 0..8u32 {
-                let ins = [("a0".to_string(), a & 1 == 1),
+                let ins = [
+                    ("a0".to_string(), a & 1 == 1),
                     ("a1".to_string(), a & 2 == 2),
                     ("a2".to_string(), a & 4 == 4),
                     ("b0".to_string(), b & 1 == 1),
                     ("b1".to_string(), b & 2 == 2),
                     ("b2".to_string(), b & 4 == 4),
-                    ("cin".to_string(), false)];
+                    ("cin".to_string(), false),
+                ];
                 let ins_ref: Vec<(&str, bool)> =
                     ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
                 let out = execute(&fabric, &part, &ins_ref).unwrap();

@@ -16,7 +16,9 @@ use rand::{RngExt, SeedableRng};
 fn random_dag(seed: u64, inputs: usize, luts: usize) -> LogicNetlist {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nl = LogicNetlist::new();
-    let mut pool: Vec<NodeId> = (0..inputs).map(|i| nl.add_input(&format!("i{i}"))).collect();
+    let mut pool: Vec<NodeId> = (0..inputs)
+        .map(|i| nl.add_input(&format!("i{i}")))
+        .collect();
     for j in 0..luts {
         let f = 1 + rng.random_range(0..3usize.min(pool.len()));
         let mut fanin = Vec::with_capacity(f);

@@ -90,10 +90,7 @@ mod tests {
                     assert_eq!(mv_and(a, mv_and(b, c)), mv_and(mv_and(a, b), c));
                     assert_eq!(mv_or(a, mv_or(b, c)), mv_or(mv_or(a, b), c));
                     // distributivity (min/max lattice is distributive)
-                    assert_eq!(
-                        mv_and(a, mv_or(b, c)),
-                        mv_or(mv_and(a, b), mv_and(a, c))
-                    );
+                    assert_eq!(mv_and(a, mv_or(b, c)), mv_or(mv_and(a, b), mv_and(a, c)));
                 }
             }
         }

@@ -266,7 +266,10 @@ mod tests {
         assert!(s.insert(3).is_ok());
         assert_eq!(
             s.contains(9),
-            Err(MvlError::ContextOutOfRange { ctx: 9, contexts: 4 })
+            Err(MvlError::ContextOutOfRange {
+                ctx: 9,
+                contexts: 4
+            })
         );
     }
 

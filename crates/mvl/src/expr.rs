@@ -232,10 +232,7 @@ mod tests {
             env.set_mv("Vs", Level::encode_ctx(ctx))
                 .set_bin("S0", ctx & 1 == 1)
                 .set_bin("nS0", ctx & 1 == 0);
-            let nonzero: Vec<bool> = spec
-                .iter()
-                .map(|e| !e.eval(&env, R).is_off())
-                .collect();
+            let nonzero: Vec<bool> = spec.iter().map(|e| !e.eval(&env, R).is_off()).collect();
             // exactly two of four are live (the matching-polarity pair)
             assert_eq!(nonzero.iter().filter(|&&b| b).count(), 2, "ctx {ctx}");
         }

@@ -205,10 +205,7 @@ mod tests {
     fn on_levels_and_width() {
         let w = WindowLiteral::new(Level::new(2), Level::new(3)).unwrap();
         assert_eq!(w.width(), 2);
-        assert_eq!(
-            w.on_levels(5),
-            vec![Level::new(2), Level::new(3)]
-        );
+        assert_eq!(w.on_levels(5), vec![Level::new(2), Level::new(3)]);
         assert_eq!(w.to_string(), "W[2,3]");
     }
 

@@ -55,12 +55,20 @@ pub fn render_rows(input_label: &str, output_label: &str, rows: &[Row]) -> Strin
 #[must_use]
 pub fn render_fig3(f: &CtxSet) -> String {
     let mut out = String::new();
-    out.push_str(&format!("F = {f}  (ON-set over {} contexts)\n", f.contexts()));
+    out.push_str(&format!(
+        "F = {f}  (ON-set over {} contexts)\n",
+        f.contexts()
+    ));
     out.push_str(&render_rows("CSS", "F", &tabulate_function(f)));
     out.push('\n');
     let windows = decompose_windows(f);
     for (i, w) in windows.iter().enumerate() {
-        out.push_str(&format!("\nF_WL{} = window {} (levels {})\n", i + 1, w, w.to_literal()));
+        out.push_str(&format!(
+            "\nF_WL{} = window {} (levels {})\n",
+            i + 1,
+            w,
+            w.to_literal()
+        ));
         out.push_str(&render_rows(
             "CSS",
             &format!("WL{}", i + 1),

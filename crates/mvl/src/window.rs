@@ -176,8 +176,14 @@ mod tests {
         assert_eq!(
             ws,
             vec![
-                Window { lo_ctx: 1, hi_ctx: 1 },
-                Window { lo_ctx: 3, hi_ctx: 3 }
+                Window {
+                    lo_ctx: 1,
+                    hi_ctx: 1
+                },
+                Window {
+                    lo_ctx: 3,
+                    hi_ctx: 3
+                }
             ]
         );
         assert!(is_canonical_decomposition(&f, &ws));
@@ -189,7 +195,13 @@ mod tests {
         assert!(decompose_windows(&e).is_empty());
         let f = CtxSet::full(4).unwrap();
         let ws = decompose_windows(&f);
-        assert_eq!(ws, vec![Window { lo_ctx: 0, hi_ctx: 3 }]);
+        assert_eq!(
+            ws,
+            vec![Window {
+                lo_ctx: 0,
+                hi_ctx: 3
+            }]
+        );
     }
 
     #[test]
@@ -242,15 +254,24 @@ mod tests {
         // wrong cover
         assert!(!is_canonical_decomposition(
             &f,
-            &[Window { lo_ctx: 1, hi_ctx: 3 }]
+            &[Window {
+                lo_ctx: 1,
+                hi_ctx: 3
+            }]
         ));
         // adjacent windows that should have been merged
         let g = set(4, &[1, 2]);
         assert!(!is_canonical_decomposition(
             &g,
             &[
-                Window { lo_ctx: 1, hi_ctx: 1 },
-                Window { lo_ctx: 2, hi_ctx: 2 }
+                Window {
+                    lo_ctx: 1,
+                    hi_ctx: 1
+                },
+                Window {
+                    lo_ctx: 2,
+                    hi_ctx: 2
+                }
             ]
         ));
     }

@@ -118,14 +118,7 @@ mod tests {
                 events: vec![ControlEvent::Bin(en, v)],
             })
             .collect();
-        let traces = replay(
-            &nl,
-            TechParams::default(),
-            &[],
-            &steps,
-            &[(a, b)],
-        )
-        .unwrap();
+        let traces = replay(&nl, TechParams::default(), &[], &steps, &[(a, b)]).unwrap();
         assert_eq!(traces[0].connected, vec![true, false, true, true]);
     }
 
@@ -153,7 +146,8 @@ mod tests {
         let en = nl.add_control("en", ControlKind::Binary);
         let en2 = nl.add_control("en2", ControlKind::Binary);
         nl.add_device(DeviceKind::NmosPass, a, b, en, None).unwrap();
-        nl.add_device(DeviceKind::NmosPass, a, b, en2, None).unwrap();
+        nl.add_device(DeviceKind::NmosPass, a, b, en2, None)
+            .unwrap();
         // en2 held low for the whole replay via initial bindings
         let steps: Vec<Step> = [false, true]
             .iter()

@@ -436,7 +436,13 @@ mod tests {
         // and an FGMOS cannot be gated by a binary wire
         let bw = nl.add_control("bin", ControlKind::Binary);
         let err = nl
-            .add_device(DeviceKind::Fgmos(Fgmos::new(FgmosMode::UpLiteral)), a, b, bw, None)
+            .add_device(
+                DeviceKind::Fgmos(Fgmos::new(FgmosMode::UpLiteral)),
+                a,
+                b,
+                bw,
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, NetlistError::ControlKindMismatch { .. }));
     }
@@ -449,7 +455,8 @@ mod tests {
         let a = nl.add_net("a");
         let b = nl.add_net("b");
         let g = nl.add_control("en", ControlKind::Binary);
-        nl.add_device(DeviceKind::NmosPass, a, b, g, Some(r1)).unwrap();
+        nl.add_device(DeviceKind::NmosPass, a, b, g, Some(r1))
+            .unwrap();
         nl.add_device(DeviceKind::TransmissionGate, a, b, g, Some(r2))
             .unwrap();
         nl.add_sram_cells(Some(r1), 4);

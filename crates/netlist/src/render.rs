@@ -83,11 +83,13 @@ mod tests {
         let b = nl.add_net("out");
         let en = nl.add_control("en", ControlKind::Binary);
         let rail = nl.add_control("vs", ControlKind::Mv);
-        nl.add_device(DeviceKind::NmosPass, a, b, en, Some(r)).unwrap();
+        nl.add_device(DeviceKind::NmosPass, a, b, en, Some(r))
+            .unwrap();
         let mut f = Fgmos::new(FgmosMode::UpLiteral);
         f.program_ideal(Level::new(2), Radix::FIVE, &TechParams::default())
             .unwrap();
-        nl.add_device(DeviceKind::Fgmos(f), a, b, rail, Some(r)).unwrap();
+        nl.add_device(DeviceKind::Fgmos(f), a, b, rail, Some(r))
+            .unwrap();
         nl.add_sram_cells(Some(r), 2);
         nl.add_support(Some(r), "mux", 6);
         nl

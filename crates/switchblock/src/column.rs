@@ -29,11 +29,7 @@ pub struct SharedColumn {
 impl SharedColumn {
     /// Builds the column. `on_set` is the designated switch's function; all
     /// other rows are parked.
-    pub fn build(
-        rows: usize,
-        designated: usize,
-        on_set: &CtxSet,
-    ) -> Result<Self, SbError> {
+    pub fn build(rows: usize, designated: usize, on_set: &CtxSet) -> Result<Self, SbError> {
         if rows == 0 || designated >= rows {
             return Err(SbError::BadDimensions { rows, cols: 1 });
         }

@@ -19,12 +19,7 @@ pub struct SwitchBlock {
 
 impl SwitchBlock {
     /// Builds an unconfigured switch block.
-    pub fn new(
-        arch: ArchKind,
-        rows: usize,
-        cols: usize,
-        contexts: usize,
-    ) -> Result<Self, SbError> {
+    pub fn new(arch: ArchKind, rows: usize, cols: usize, contexts: usize) -> Result<Self, SbError> {
         if rows == 0 || cols == 0 || rows > 1024 || cols > 1024 {
             return Err(SbError::BadDimensions { rows, cols });
         }
@@ -89,8 +84,8 @@ impl SwitchBlock {
         routes.validate()?;
         for row in 0..self.rows {
             for col in 0..self.cols {
-                let mut on_set = CtxSet::empty(self.contexts)
-                    .map_err(|_| SbError::ContextMismatch {
+                let mut on_set =
+                    CtxSet::empty(self.contexts).map_err(|_| SbError::ContextMismatch {
                         routes: routes.contexts(),
                         block: self.contexts,
                     })?;
@@ -113,10 +108,7 @@ impl SwitchBlock {
     /// strict partial-permutation form ([`SwitchBlock::configure`]) is the
     /// paper's Fig. 11 setting, needed for the designated-row sharing
     /// optimisation, not for electrical correctness.
-    pub fn configure_assignments(
-        &mut self,
-        assign: &[Vec<Option<usize>>],
-    ) -> Result<(), SbError> {
+    pub fn configure_assignments(&mut self, assign: &[Vec<Option<usize>>]) -> Result<(), SbError> {
         if assign.len() != self.contexts {
             return Err(SbError::ContextMismatch {
                 routes: assign.len(),
@@ -130,7 +122,9 @@ impl SwitchBlock {
                     col: per_col.len(),
                 });
             }
-            if let Some(&Some(row)) = per_col.iter().find(|r| matches!(r, Some(r) if *r >= self.rows))
+            if let Some(&Some(row)) = per_col
+                .iter()
+                .find(|r| matches!(r, Some(r) if *r >= self.rows))
             {
                 return Err(SbError::RowConflict { ctx, row });
             }
@@ -190,7 +184,10 @@ impl SwitchBlock {
                 return Err(SbError::RowConflict { ctx, row });
             }
             if col_on.iter().any(|&n| n > 1) {
-                return Err(SbError::RowConflict { ctx, row: usize::MAX });
+                return Err(SbError::RowConflict {
+                    ctx,
+                    row: usize::MAX,
+                });
             }
         }
         Ok(())

@@ -243,8 +243,9 @@ mod tests {
         }
         // per-context routed row set preserved (rows keep their nets)
         for ctx in 0..4 {
-            let before: Vec<Option<usize>> =
-                (0..8).map(|r| (0..8).find(|&c| routes.is_on(ctx, r, c))).collect();
+            let before: Vec<Option<usize>> = (0..8)
+                .map(|r| (0..8).find(|&c| routes.is_on(ctx, r, c)))
+                .collect();
             let after: Vec<Option<usize>> = (0..8)
                 .map(|r| (0..8).find(|&c| out.routes.is_on(ctx, r, c)))
                 .collect();

@@ -142,11 +142,7 @@ impl RouteSet {
 
     /// Random full permutations per context (seeded) — a worst-case-density
     /// workload for a square crossbar.
-    pub fn random_permutations(
-        n: usize,
-        contexts: usize,
-        seed: u64,
-    ) -> Result<Self, SbError> {
+    pub fn random_permutations(n: usize, contexts: usize, seed: u64) -> Result<Self, SbError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rs = Self::empty(n, n, contexts)?;
         for ctx in 0..contexts {

@@ -1,7 +1,9 @@
 //! Property tests for switch blocks and the sharing theorems.
 
 use mcfpga_core::ArchKind;
-use mcfpga_switchblock::mapping::{remap_to_designated_cols, row_col_usage, select_networks_needed};
+use mcfpga_switchblock::mapping::{
+    remap_to_designated_cols, row_col_usage, select_networks_needed,
+};
 use mcfpga_switchblock::{
     column_row_usage, remap_to_designated_rows, sb_transistors, RouteSet, SwitchBlock,
 };

@@ -7,17 +7,20 @@
 //! Context 2: 4-bit equality comparator (tag match)
 //! Context 3: 4-input popcount (counting)
 //!
-//! The example cycles the broadcast context and feeds the same input pad
-//! values to whichever tenant is live, then prints per-context utilization
-//! and the area/power bill per switch architecture.
+//! The fabric is **compiled once** into dense per-context planes, then a
+//! CSS-driven schedule cycles the tenants while each query runs 64 input
+//! vectors per bit-parallel pass. Per-context utilization, compiled-plane
+//! shape and the area/power bill per switch architecture follow.
 //!
 //! ```text
 //! cargo run --example multi_tenant_fabric
 //! ```
 
+use mcfpga::core::ArchKind;
+use mcfpga::fabric::compiled::{pack_lanes, CompiledFabric, LANES};
+use mcfpga::fabric::context::{run_schedule, ContextSequencer};
 use mcfpga::fabric::netlist_ir::generators;
 use mcfpga::fabric::route::implement_netlist;
-use mcfpga::fabric::sim::evaluate_sorted;
 use mcfpga::fabric::{power, stats};
 use mcfpga::prelude::*;
 
@@ -38,8 +41,7 @@ fn main() {
         ("popcount", generators::popcount4().expect("popcount")),
     ];
     for (ctx, (name, nl)) in tenants.iter().enumerate() {
-        let d = implement_netlist(&mut fabric, nl, ctx, 0x5EED + ctx as u64)
-            .expect("map tenant");
+        let d = implement_netlist(&mut fabric, nl, ctx, 0x5EED + ctx as u64).expect("map tenant");
         println!(
             "ctx {ctx}: tenant '{name}' — {} LUTs, wirelength {} hops",
             nl.lut_count(),
@@ -47,69 +49,125 @@ fn main() {
         );
     }
 
-    // One broadcast context switch per tenant query.
+    // Compile once: every context plane flattened and levelized.
+    let compiled = CompiledFabric::compile(&fabric).expect("compile");
+
+    // Single queries through the batch engine (lane 0 carries the vector).
     println!("\ncycling contexts over shared input pads:");
-    let out = evaluate_sorted(
-        &fabric,
-        0,
-        &[("x0", true), ("x1", true), ("x2", false), ("x3", true)],
-    )
-    .expect("parity");
-    println!("  ctx 0 parity(1101)   → {}", out[0].1);
 
-    let out = evaluate_sorted(
-        &fabric,
-        1,
-        &[
-            ("d0", false),
-            ("d1", false),
-            ("d2", true),
-            ("d3", false),
-            ("sel0", false),
-            ("sel1", true),
-        ],
-    )
-    .expect("mux");
-    println!("  ctx 1 mux(sel=2)     → {}", out[0].1);
+    let out = compiled
+        .eval_batch_sorted(
+            0,
+            &[
+                ("x0", u64::from(true)),
+                ("x1", u64::from(true)),
+                ("x2", u64::from(false)),
+                ("x3", u64::from(true)),
+            ],
+        )
+        .expect("parity");
+    println!("  ctx 0 parity(1101)   → {}", out[0].1 & 1 == 1);
 
-    let out = evaluate_sorted(
-        &fabric,
-        2,
-        &[
-            ("a0", true),
-            ("a1", false),
-            ("a2", true),
-            ("a3", false),
-            ("b0", true),
-            ("b1", false),
-            ("b2", true),
-            ("b3", false),
-        ],
-    )
-    .expect("compare");
-    println!("  ctx 2 eq(0b0101, 0b0101) → {}", out[0].1);
+    let out = compiled
+        .eval_batch_sorted(
+            1,
+            &[
+                ("d0", u64::from(false)),
+                ("d1", u64::from(false)),
+                ("d2", u64::from(true)),
+                ("d3", u64::from(false)),
+                ("sel0", u64::from(false)),
+                ("sel1", u64::from(true)),
+            ],
+        )
+        .expect("mux");
+    println!("  ctx 1 mux(sel=2)     → {}", out[0].1 & 1 == 1);
 
-    let out = evaluate_sorted(
-        &fabric,
-        3,
-        &[("x0", true), ("x1", true), ("x2", true), ("x3", false)],
-    )
-    .expect("popcount");
-    let count = out
-        .iter()
-        .fold(0u32, |acc, (n, v)| {
-            if *v {
-                acc | 1 << n.strip_prefix('c').unwrap().parse::<u32>().unwrap()
-            } else {
-                acc
-            }
-        });
+    let out = compiled
+        .eval_batch_sorted(
+            2,
+            &[
+                ("a0", u64::from(true)),
+                ("a1", u64::from(false)),
+                ("a2", u64::from(true)),
+                ("a3", u64::from(false)),
+                ("b0", u64::from(true)),
+                ("b1", u64::from(false)),
+                ("b2", u64::from(true)),
+                ("b3", u64::from(false)),
+            ],
+        )
+        .expect("compare");
+    println!("  ctx 2 eq(0b0101, 0b0101) → {}", out[0].1 & 1 == 1);
+
+    let out = compiled
+        .eval_batch_sorted(
+            3,
+            &[
+                ("x0", u64::from(true)),
+                ("x1", u64::from(true)),
+                ("x2", u64::from(true)),
+                ("x3", u64::from(false)),
+            ],
+        )
+        .expect("popcount");
+    let count = out.iter().fold(0u32, |acc, (n, v)| {
+        if *v & 1 == 1 {
+            acc | 1 << n.strip_prefix('c').unwrap().parse::<u32>().unwrap()
+        } else {
+            acc
+        }
+    });
     println!("  ctx 3 popcount(1110) → {count}");
 
-    // Utilization per plane.
+    // Batch mode: all 16 parity input vectors in one bit-parallel pass.
+    let lanes: Vec<(String, u64)> = (0..4)
+        .map(|i| (format!("x{i}"), pack_lanes(|v| v < 16 && (v >> i) & 1 == 1)))
+        .collect();
+    let ins: Vec<(&str, u64)> = lanes.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let batch = compiled.eval_batch_sorted(0, &ins).expect("batch parity");
+    println!(
+        "\nbatch query: parity of all 16 vectors in one {LANES}-lane pass → {:#06x}",
+        batch[0].1 & 0xFFFF
+    );
+
+    // A CSS-driven schedule sweeping the tenants, energy accounted.
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).expect("sequencer");
+    let sched = Schedule::round_robin(4, 2).expect("schedule");
+    let union: Vec<(&str, u64)> = vec![
+        ("x0", !0),
+        ("x1", 0),
+        ("x2", !0),
+        ("x3", 0),
+        ("d0", 0),
+        ("d1", !0),
+        ("d2", 0),
+        ("d3", 0),
+        ("sel0", !0),
+        ("sel1", 0),
+        ("a0", !0),
+        ("a1", 0),
+        ("a2", !0),
+        ("a3", 0),
+        ("b0", !0),
+        ("b1", 0),
+        ("b2", !0),
+        ("b3", 0),
+    ];
+    let run = run_schedule(&compiled, &mut seq, &sched, &union, &TechParams::default())
+        .expect("schedule run");
+    println!(
+        "schedule run: {} steps, {} switches, {} broadcast toggles, {:.3e} J",
+        run.stats.steps, run.stats.switches, run.stats.wire_toggles, run.stats.dynamic_energy_j
+    );
+
+    // Utilization and compiled shape per plane.
     println!("\nutilization per configuration plane:");
     let st = stats::all_context_stats(&fabric).expect("stats");
     print!("{}", stats::render_stats(&st));
+    println!("\ncompiled planes:");
+    let cs = stats::compiled_stats(&compiled).expect("compiled stats");
+    print!("{}", stats::render_compiled_stats(&cs));
 
     // What this residency costs in routing silicon, per architecture.
     println!("\nrouting silicon for this 5×5 fabric:");

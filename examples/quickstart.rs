@@ -37,11 +37,20 @@ fn main() {
     }
 
     // Sweep the broadcast context and watch each switch respond.
-    println!("ctx | {:>10} | {:>10} | {:>10}", "SRAM", "MV-FGFP", "hybrid");
+    println!(
+        "ctx | {:>10} | {:>10} | {:>10}",
+        "SRAM", "MV-FGFP", "hybrid"
+    );
     for ctx in 0..4 {
         let states: Vec<&str> = switches
             .iter()
-            .map(|sw| if sw.is_on(ctx).expect("query") { "ON" } else { "off" })
+            .map(|sw| {
+                if sw.is_on(ctx).expect("query") {
+                    "ON"
+                } else {
+                    "off"
+                }
+            })
             .collect();
         println!(
             "{ctx:>3} | {:>10} | {:>10} | {:>10}",

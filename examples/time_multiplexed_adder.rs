@@ -11,8 +11,9 @@
 //! cargo run --example time_multiplexed_adder
 //! ```
 
+use mcfpga::fabric::compiled::{pack_lanes, CompiledFabric, LANES};
 use mcfpga::fabric::netlist_ir::generators;
-use mcfpga::fabric::temporal::{execute, implement, partition};
+use mcfpga::fabric::temporal::{execute, execute_compiled, implement, partition};
 use mcfpga::fabric::{bitstream, context};
 use mcfpga::prelude::*;
 
@@ -48,23 +49,38 @@ fn main() {
     .expect("fabric");
     let designs = implement(&mut fabric, &part, 2024).expect("map all stages");
     let wl: usize = designs.iter().map(|d| d.wirelength).sum();
-    println!("\nmapped {} stages, total wirelength {wl} hops", designs.len());
+    println!(
+        "\nmapped {} stages, total wirelength {wl} hops",
+        designs.len()
+    );
 
-    // Exhaustive check against the golden model.
+    // Exhaustive check against the golden model: compile once, then run
+    // all 256 (a, b) pairs as four 64-lane batches — lane l of batch k is
+    // the pair with index 64k + l (a = low nibble, b = high nibble).
+    let compiled = CompiledFabric::compile(&fabric).expect("compile");
     let mut checked = 0;
-    for a in 0..(1u32 << WIDTH) {
-        for b in 0..(1u32 << WIDTH) {
-            let mut ins: Vec<(String, bool)> = Vec::new();
-            for i in 0..WIDTH {
-                ins.push((format!("a{i}"), (a >> i) & 1 == 1));
-                ins.push((format!("b{i}"), (b >> i) & 1 == 1));
-            }
-            ins.push(("cin".into(), false));
-            let ins_ref: Vec<(&str, bool)> = ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-            let out = execute(&fabric, &part, &ins_ref).expect("execute");
+    for batch in 0..4u64 {
+        let mut ins: Vec<(String, u64)> = Vec::new();
+        for i in 0..WIDTH {
+            let idx = |lane: usize| batch * LANES as u64 + lane as u64;
+            ins.push((
+                format!("a{i}"),
+                pack_lanes(|lane| ((idx(lane) & 0xF) >> i) & 1 == 1),
+            ));
+            ins.push((
+                format!("b{i}"),
+                pack_lanes(|lane| ((idx(lane) >> 4) >> i) & 1 == 1),
+            ));
+        }
+        ins.push(("cin".into(), 0));
+        let ins_ref: Vec<(&str, u64)> = ins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let out = execute_compiled(&compiled, &part, &ins_ref).expect("execute");
+        for lane in 0..LANES as u64 {
+            let idx = batch * LANES as u64 + lane;
+            let (a, b) = ((idx & 0xF) as u32, (idx >> 4) as u32);
             let mut got = 0u32;
             for (name, v) in &out {
-                if !*v {
+                if (v >> lane) & 1 == 0 {
                     continue;
                 }
                 if let Some(i) = name.strip_prefix('s') {
@@ -77,27 +93,55 @@ fn main() {
             checked += 1;
         }
     }
-    println!("exhaustively verified {checked} input pairs against the golden model");
+    println!(
+        "exhaustively verified {checked} input pairs against the golden model \
+         (4 bit-parallel batches)"
+    );
 
     // Bitstream round-trip.
     let bits = bitstream::pack(&fabric);
-    println!("\nbitstream: {} bytes for all 4 configuration planes", bits.len());
+    println!(
+        "\nbitstream: {} bytes for all 4 configuration planes",
+        bits.len()
+    );
     let restored = bitstream::unpack(bits).expect("unpack");
-    let out = execute(&restored, &part, &[("a0", true), ("a1", false), ("a2", false), ("a3", false), ("b0", true), ("b1", false), ("b2", false), ("b3", false), ("cin", false)])
-        .expect("execute restored");
+    let out = execute(
+        &restored,
+        &part,
+        &[
+            ("a0", true),
+            ("a1", false),
+            ("a2", false),
+            ("a3", false),
+            ("b0", true),
+            ("b1", false),
+            ("b2", false),
+            ("b3", false),
+            ("cin", false),
+        ],
+    )
+    .expect("execute restored");
     println!("restored fabric computes 1+1: {out:?}");
 
-    // Context-switch energy for one user cycle per architecture.
-    let sched = Schedule::round_robin(4, 1).expect("schedule");
+    // Context-switch energy per architecture: build each CSS generator
+    // once, then replay any number of user cycles through it for free.
     let p = TechParams::default();
-    println!("\ncontext-switch cost of one user cycle:");
+    println!("\ncontext-switch cost of one user cycle (and 1000 cycles):");
     for arch in ArchKind::all() {
-        let stats = context::replay_schedule(arch, 4, &sched, &p).expect("replay");
+        let mut seq = context::ContextSequencer::new(arch, 4).expect("sequencer");
+        let one = seq
+            .replay(&Schedule::round_robin(4, 1).expect("schedule"), &p)
+            .expect("replay");
+        let thousand = seq
+            .replay(&Schedule::round_robin(4, 1000).expect("schedule"), &p)
+            .expect("replay");
         println!(
-            "  {:<28} {:>3} wire toggles, {:.2e} J",
+            "  {:<28} {:>3} wire toggles, {:.2e} J  ({:>5} toggles, {:.2e} J over 1000)",
             arch.label(),
-            stats.wire_toggles,
-            stats.dynamic_energy_j
+            one.wire_toggles,
+            one.dynamic_energy_j,
+            thousand.wire_toggles,
+            thousand.dynamic_energy_j
         );
     }
 }

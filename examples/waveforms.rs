@@ -27,6 +27,11 @@ fn main() {
 
     println!("--- per-line toggle counts over the schedule ---");
     for w in &waves {
-        println!("{:>12}: {:>3} toggles, peak level {}", w.name, w.toggle_count(), w.peak());
+        println!(
+            "{:>12}: {:>3} toggles, peak level {}",
+            w.name,
+            w.toggle_count(),
+            w.peak()
+        );
     }
 }

@@ -103,7 +103,14 @@ fn deep_circuit_across_eight_contexts() {
     .unwrap();
     implement(&mut f, &part, 11).unwrap();
     // sampled check against the golden model
-    for (a, b) in [(0u32, 0u32), (1, 1), (37, 91), (255, 255), (128, 127), (200, 56)] {
+    for (a, b) in [
+        (0u32, 0u32),
+        (1, 1),
+        (37, 91),
+        (255, 255),
+        (128, 127),
+        (200, 56),
+    ] {
         let mut ins: Vec<(String, bool)> = Vec::new();
         for i in 0..8 {
             ins.push((format!("a{i}"), (a >> i) & 1 == 1));

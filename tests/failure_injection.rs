@@ -11,7 +11,8 @@ fn retention_drift_past_margin_breaks_the_literal_detectably() {
     let params = TechParams::default();
     let mut prog = Programmer::new(5, params.clone());
     let mut dev = Fgmos::new(FgmosMode::UpLiteral);
-    prog.program_literal(&mut dev, Level::new(3), Radix::FIVE).unwrap();
+    prog.program_literal(&mut dev, Level::new(3), Radix::FIVE)
+        .unwrap();
     // healthy
     assert!(!dev.conducts(Level::new(2), &params).unwrap());
     assert!(dev.conducts(Level::new(3), &params).unwrap());
@@ -44,7 +45,8 @@ fn drifted_switch_violates_exclusivity_and_is_caught() {
     for line in gen.lines() {
         let name = line.name(gen.blocks());
         if nl.find_control(&name).is_some() {
-            sim.bind_mv_named(&name, gen.line_value_at(line, 0).unwrap()).unwrap();
+            sim.bind_mv_named(&name, gen.line_value_at(line, 0).unwrap())
+                .unwrap();
         }
     }
     let group: Vec<_> = nl.devices().map(|(d, _, _, _)| d).collect();
@@ -81,7 +83,8 @@ fn router_contention_is_impossible_but_drivers_colliding_is_detected() {
     for line in gen.lines() {
         let name = line.name(gen.blocks());
         if nl.find_control(&name).is_some() {
-            sim.bind_mv_named(&name, gen.line_value_at(line, 1).unwrap()).unwrap();
+            sim.bind_mv_named(&name, gen.line_value_at(line, 1).unwrap())
+                .unwrap();
         }
     }
     let a = nl.find_net("in").unwrap();

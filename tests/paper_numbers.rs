@@ -49,9 +49,14 @@ fn instances_match_closed_forms() {
     for arch in ArchKind::all() {
         let mut sw = AnySwitch::build(arch, 4).unwrap();
         assert_eq!(sw.transistor_count(), switch_transistors(arch, 4));
-        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap()).unwrap();
+        sw.configure(&CtxSet::from_ctxs(4, [1, 3]).unwrap())
+            .unwrap();
         let nl = sw.build_netlist().unwrap();
-        assert_eq!(nl.transistor_count(), switch_transistors(arch, 4), "{arch:?}");
+        assert_eq!(
+            nl.transistor_count(),
+            switch_transistors(arch, 4),
+            "{arch:?}"
+        );
     }
 }
 

@@ -45,7 +45,14 @@ fn report_carries_every_headline_number() {
 #[test]
 fn experiment_list_covers_all_artifacts() {
     for id in [
-        "table1", "table2", "fig3", "fig7", "fig11", "scaling", "redundancy", "power",
+        "table1",
+        "table2",
+        "fig3",
+        "fig7",
+        "fig11",
+        "scaling",
+        "redundancy",
+        "power",
     ] {
         assert!(
             mcfpga_bench::EXPERIMENTS.contains(&id),
