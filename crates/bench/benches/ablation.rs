@@ -1,6 +1,6 @@
 //! Ablation benches: the design choices DESIGN.md calls out, measured.
 //!
-//! * duplicate-unused vs parked branches in the MV switch (ref [3]'s
+//! * duplicate-unused vs parked branches in the MV switch (ref \[3\]'s
 //!   redundant-ON behaviour) — same function, different ON-transistor
 //!   activity;
 //! * serial vs parallel exhaustive equivalence sweeps;

@@ -1,0 +1,209 @@
+//! X5 — multi-tenant service throughput: batched vs unbatched.
+//!
+//! Four tenants share one 8×8, 4-context fabric through the
+//! `mcfpga-service` runtime. The **batched** path lets the service coalesce
+//! single-vector requests into full 64-lane passes per context; the
+//! **unbatched** baseline drains after every submit, so each request pays a
+//! whole context switch and fabric pass for one lane of work. The bench
+//! prints the measured per-request speedup and asserts the acceptance
+//! threshold of ≥8× (the lane math promises ~64× before overheads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::{ShardedService, TenantId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Requests per tenant per measured round: three full 64-lane batches.
+const REQUESTS_PER_TENANT: usize = 192;
+
+fn tenant_designs() -> Vec<(&'static str, LogicNetlist)> {
+    // workload-scale designs: enough LUTs and routed hops per plane that a
+    // fabric pass does real work (an unbatched service pays one whole pass
+    // per request; the batched one amortizes it over 64 lanes)
+    // wide equality comparators: long routed reduction chains give each
+    // plane many ops per request while keeping requests small (one output,
+    // moderate inputs), so per-pass work dominates per-request overhead
+    vec![
+        ("cmp16", generators::equality_comparator(16).unwrap()),
+        ("cmp15", generators::equality_comparator(15).unwrap()),
+        ("cmp14", generators::equality_comparator(14).unwrap()),
+        ("cmp13", generators::equality_comparator(13).unwrap()),
+    ]
+}
+
+fn build_service() -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
+    let mut svc = ShardedService::new(
+        1,
+        FabricParams {
+            width: 8,
+            height: 8,
+            channel_width: 6,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+    )
+    .expect("service");
+    let tenants = tenant_designs()
+        .iter()
+        .map(|(name, nl)| {
+            let id = svc.admit(name, nl).expect("admit");
+            let names = nl
+                .input_ids()
+                .into_iter()
+                .map(|n| match nl.node(n) {
+                    Node::Input { name } => name.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            (id, names)
+        })
+        .collect();
+    (svc, tenants)
+}
+
+/// The request stream: tenants interleaved, vectors random but seeded.
+fn request_stream(tenants: &[(TenantId, Vec<String>)]) -> Vec<(TenantId, Vec<(String, bool)>)> {
+    let mut rng = StdRng::seed_from_u64(0x7E47);
+    let mut stream = Vec::new();
+    for _ in 0..REQUESTS_PER_TENANT {
+        for (id, names) in tenants {
+            let vector = names
+                .iter()
+                .map(|n| (n.clone(), rng.random_range(0..2u32) == 1))
+                .collect();
+            stream.push((*id, vector));
+        }
+    }
+    stream
+}
+
+/// Borrowed view of the stream, built once outside any timed window —
+/// marshalling request structs is the client's cost, not the service's.
+fn as_refs(stream: &[(TenantId, Vec<(String, bool)>)]) -> Vec<(TenantId, Vec<(&str, bool)>)> {
+    stream
+        .iter()
+        .map(|(t, v)| (*t, v.iter().map(|(n, b)| (n.as_str(), *b)).collect()))
+        .collect()
+}
+
+/// Serves the whole stream; `drain_every_submit` is the unbatched baseline.
+fn serve(
+    svc: &mut ShardedService,
+    stream: &[(TenantId, Vec<(&str, bool)>)],
+    drain_every_submit: bool,
+) -> usize {
+    let mut responses = 0;
+    for (tenant, refs) in stream {
+        svc.submit(*tenant, refs).expect("submit");
+        if drain_every_submit {
+            responses += svc.drain().expect("drain").len();
+        }
+    }
+    responses + svc.drain().expect("final drain").len()
+}
+
+/// Acceptance measurement: amortized per-request service time, both modes.
+fn measure_speedup() -> f64 {
+    let (_, tenants) = build_service();
+    let stream = request_stream(&tenants);
+    let stream = as_refs(&stream);
+    let min_elapsed = std::time::Duration::from_millis(50);
+
+    let time_mode = |unbatched: bool| {
+        // admission (routing + compilation) happens once, outside the
+        // timed window — the measurement is pure request service time
+        let (mut svc, fresh_tenants) = build_service();
+        // tenant ids are issued in admission order, so the stream's ids
+        // are valid for every freshly built service
+        assert_eq!(fresh_tenants.len(), tenants.len());
+        // the *minimum* round time is the noise-robust estimator: scheduler
+        // preemption and cache pollution only ever add time, so the fastest
+        // round is the closest to the true service cost
+        let mut best = f64::INFINITY;
+        let t = Instant::now();
+        while t.elapsed() < min_elapsed {
+            let round = Instant::now();
+            let served = serve(&mut svc, &stream, unbatched);
+            best = best.min(round.elapsed().as_secs_f64());
+            assert_eq!(served, stream.len(), "every request answered");
+            black_box(served);
+        }
+        best / stream.len() as f64
+    };
+
+    let unbatched_per_req = time_mode(true);
+    let batched_per_req = time_mode(false);
+    let speedup = unbatched_per_req / batched_per_req;
+    println!(
+        "service throughput (8x8, 4 contexts, 4 tenants, {} requests, per-request amortized):\n  \
+         unbatched (drain per submit): {:.2} µs/req\n  \
+         batched (64-lane coalescing): {:.3} µs/req\n  \
+         speedup: {speedup:.1}x (acceptance: >=8x)",
+        stream.len(),
+        unbatched_per_req * 1e6,
+        batched_per_req * 1e6,
+    );
+    speedup
+}
+
+fn bench(c: &mut Criterion) {
+    // correctness cross-check before timing: batched and unbatched modes
+    // must produce identical responses for the same stream
+    {
+        let (mut batched, tenants) = build_service();
+        let (mut unbatched, _) = build_service();
+        let stream = request_stream(&tenants);
+        let stream = as_refs(&stream);
+        let collect = |svc: &mut ShardedService, per_submit: bool| {
+            let mut out = Vec::new();
+            for (tenant, refs) in &stream {
+                svc.submit(*tenant, refs).expect("submit");
+                if per_submit {
+                    out.extend(svc.drain().expect("drain"));
+                }
+            }
+            out.extend(svc.drain().expect("drain"));
+            out.sort_by_key(|r| r.request);
+            out
+        };
+        let b = collect(&mut batched, false);
+        let u = collect(&mut unbatched, true);
+        assert_eq!(b, u, "batched responses must equal unbatched responses");
+    }
+
+    let speedup = measure_speedup();
+    assert!(
+        speedup >= 8.0,
+        "batched service only {speedup:.1}x faster than single-vector-per-request"
+    );
+
+    c.bench_function("service/batched_768req_4tenants", |b| {
+        let (mut svc, tenants) = build_service();
+        let stream = request_stream(&tenants);
+        let stream = as_refs(&stream);
+        b.iter(|| black_box(serve(&mut svc, &stream, false)));
+    });
+
+    c.bench_function("service/unbatched_768req_4tenants", |b| {
+        let (mut svc, tenants) = build_service();
+        let stream = request_stream(&tenants);
+        let stream = as_refs(&stream);
+        b.iter(|| black_box(serve(&mut svc, &stream, true)));
+    });
+
+    c.bench_function("service/admit_4tenants_8x8", |b| {
+        b.iter(|| black_box(build_service().1.len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

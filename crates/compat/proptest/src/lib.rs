@@ -265,7 +265,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Accepted size arguments for [`vec`]: a fixed length or a range.
+    /// Accepted size arguments for [`fn@vec`]: a fixed length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -1,4 +1,4 @@
-//! The pure multiple-valued FGFP MC-switch of ref [3] (paper Figs. 5–6).
+//! The pure multiple-valued FGFP MC-switch of ref \[3\] (paper Figs. 5–6).
 //!
 //! For 4 contexts (Fig. 5): the switch function is decomposed into at most
 //! two window literals (Fig. 3); each window is a **series pair** of FGMOSs
@@ -35,7 +35,7 @@ pub struct MvFgfpMcSwitch {
     params: TechParams,
     /// Ablation knob: when set, unused branches are programmed as
     /// *duplicates* of the first window instead of parked — the behaviour
-    /// ref [3] describes with "several pass transistors become ON
+    /// ref \[3\] describes with "several pass transistors become ON
     /// redundantly for some configuration patterns". Function-preserving
     /// (wired-OR is idempotent) but doubles the ON-transistor count for
     /// single-window configurations.
@@ -57,7 +57,7 @@ impl MvFgfpMcSwitch {
         })
     }
 
-    /// Enables/disables the ref-[3] duplicate-unused-branch ablation; takes
+    /// Enables/disables the ref-\[3\] duplicate-unused-branch ablation; takes
     /// effect at the next [`McSwitch::configure`].
     pub fn set_duplicate_unused(&mut self, on: bool) {
         self.duplicate_unused = on;
@@ -113,7 +113,7 @@ impl MvFgfpMcSwitch {
 
     /// How many individual FGMOSs are ON (conducting as devices) in context
     /// `ctx`, whether or not they contribute a source-drain path. The
-    /// redundancy of ref [3]: "several pass transistors become ON
+    /// redundancy of ref \[3\]: "several pass transistors become ON
     /// redundantly for some configuration patterns".
     pub fn on_fgmos_count(&self, ctx: usize) -> Result<usize, CoreError> {
         self.check_ctx(ctx)?;

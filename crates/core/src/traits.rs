@@ -9,7 +9,7 @@ use mcfpga_netlist::Netlist;
 pub enum ArchKind {
     /// Conventional SRAM-based switch (Fig. 2).
     Sram,
-    /// Pure multiple-valued FGFP switch of ref [3] (Figs. 5–6).
+    /// Pure multiple-valued FGFP switch of ref \[3\] (Figs. 5–6).
     MvFgfp,
     /// Proposed hybrid MV/B switch (Figs. 9–10).
     Hybrid,

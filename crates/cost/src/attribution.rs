@@ -1,0 +1,164 @@
+//! Per-tenant cost attribution for shared-fabric execution.
+//!
+//! A multi-tenant batch service runs many tenants' requests through one
+//! fabric; this module turns each tenant's raw usage counters (passes,
+//! vectors, CSS broadcast toggles) into a bill with physical units, so the
+//! shared fabric's energy is attributed to the tenant whose context switch
+//! caused it rather than smeared across everyone.
+//!
+//! ```
+//! use mcfpga_cost::attribution::{bill, TenantUsage};
+//! use mcfpga_device::TechParams;
+//!
+//! let usage = TenantUsage { requests: 130, passes: 3, css_toggles: 5 };
+//! let b = bill(&usage, &TechParams::default());
+//! assert!(b.dynamic_energy_j > 0.0);
+//! assert!((b.vectors_per_pass - 130.0 / 3.0).abs() < 1e-12);
+//! ```
+
+use mcfpga_device::TechParams;
+
+/// Raw usage counters accumulated for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Single-vector requests the tenant submitted.
+    pub requests: usize,
+    /// Bit-parallel fabric passes executed on the tenant's context.
+    pub passes: usize,
+    /// CSS broadcast-wire toggles spent switching *into* the tenant's
+    /// context (the switch is charged to the tenant being switched to).
+    pub css_toggles: usize,
+}
+
+impl TenantUsage {
+    /// Accumulates another usage record into this one.
+    pub fn absorb(&mut self, other: &TenantUsage) {
+        self.requests += other.requests;
+        self.passes += other.passes;
+        self.css_toggles += other.css_toggles;
+    }
+}
+
+/// One tenant's usage translated into physical units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantBill {
+    /// Dynamic CSS broadcast energy attributed to the tenant (joules).
+    pub dynamic_energy_j: f64,
+    /// Mean request vectors served per fabric pass — the batching
+    /// efficiency (64 is a perfectly full u64-lane pass, 1 is unbatched).
+    pub vectors_per_pass: f64,
+}
+
+/// Bills `usage` under the technology parameters `p`.
+#[must_use]
+pub fn bill(usage: &TenantUsage, p: &TechParams) -> TenantBill {
+    TenantBill {
+        dynamic_energy_j: usage.css_toggles as f64 * p.css_toggle_energy_j,
+        vectors_per_pass: if usage.passes == 0 {
+            0.0
+        } else {
+            usage.requests as f64 / usage.passes as f64
+        },
+    }
+}
+
+/// Renders a per-tenant billing table (markdown) from `(name, usage)` rows.
+#[must_use]
+pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, u)| {
+            let b = bill(u, p);
+            vec![
+                name.clone(),
+                u.requests.to_string(),
+                u.passes.to_string(),
+                format!("{:.1}", b.vectors_per_pass),
+                u.css_toggles.to_string(),
+                format!("{:.3e}", b.dynamic_energy_j),
+            ]
+        })
+        .collect();
+    crate::report::render_markdown_table(
+        &[
+            "tenant",
+            "requests",
+            "passes",
+            "vec/pass",
+            "css toggles",
+            "energy (J)",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billing_is_linear_in_toggles() {
+        let p = TechParams::default();
+        let a = bill(
+            &TenantUsage {
+                requests: 64,
+                passes: 1,
+                css_toggles: 2,
+            },
+            &p,
+        );
+        let b = bill(
+            &TenantUsage {
+                requests: 64,
+                passes: 1,
+                css_toggles: 4,
+            },
+            &p,
+        );
+        assert!((b.dynamic_energy_j - 2.0 * a.dynamic_energy_j).abs() < 1e-24);
+        assert_eq!(a.vectors_per_pass, 64.0);
+    }
+
+    #[test]
+    fn idle_tenant_bills_zero() {
+        let b = bill(&TenantUsage::default(), &TechParams::default());
+        assert_eq!(b.dynamic_energy_j, 0.0);
+        assert_eq!(b.vectors_per_pass, 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut u = TenantUsage {
+            requests: 1,
+            passes: 1,
+            css_toggles: 1,
+        };
+        u.absorb(&TenantUsage {
+            requests: 63,
+            passes: 0,
+            css_toggles: 3,
+        });
+        assert_eq!(u.requests, 64);
+        assert_eq!(u.passes, 1);
+        assert_eq!(u.css_toggles, 4);
+    }
+
+    #[test]
+    fn billing_table_renders_all_tenants() {
+        let rows = vec![
+            (
+                "parity".to_string(),
+                TenantUsage {
+                    requests: 128,
+                    passes: 2,
+                    css_toggles: 3,
+                },
+            ),
+            ("idle".to_string(), TenantUsage::default()),
+        ];
+        let table = render_billing(&rows, &TechParams::default());
+        assert!(table.contains("parity"));
+        assert!(table.contains("idle"));
+        assert!(table.contains("64.0"));
+    }
+}

@@ -9,6 +9,8 @@
 //!   FGFP storage, the paper's §4 claim);
 //! * [`sweep`] — context-count and switch-block-size sweeps (the scaling
 //!   story behind "high scalability");
+//! * [`attribution`] — per-tenant billing of shared-fabric usage (CSS
+//!   energy and batching efficiency), used by `mcfpga-service`;
 //! * [`report`] — markdown/CSV renderers used by the `repro` binary and
 //!   `EXPERIMENTS.md`.
 
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod area;
+pub mod attribution;
 pub mod energy;
 pub mod power;
 pub mod report;

@@ -15,7 +15,7 @@
 //! plus per block: one binary inverter for `¬S0` (2 T) and one MV inverter
 //! producing `¬Vs = 5 − Vs` (modelled at 6 T — a source-coupled pair with a
 //! level-shifting load, consistent with the multiple-valued current-mode
-//! circuits of ref [2]). These constants are *model assumptions* (the paper
+//! circuits of ref \[2\]). These constants are *model assumptions* (the paper
 //! does not give a transistor-level figure for its generator); the
 //! amortisation conclusion is insensitive to them — see
 //! [`GeneratorCost::overhead_per_switch`].

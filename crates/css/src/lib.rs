@@ -6,7 +6,7 @@
 //!
 //! * [`binary::BinaryCss`] — the conventional binary context word
 //!   `S_{k-1} … S_1 S_0` (drives the SRAM-based MC-switch of Fig. 2).
-//! * [`mv::MvCss`] — the pure multiple-valued CSS of ref [3]: the context id
+//! * [`mv::MvCss`] — the pure multiple-valued CSS of ref \[3\]: the context id
 //!   within a 4-context block is broadcast as one of four rail levels, and
 //!   block-select bits stay binary (they drive the Fig. 6 doubling MUX).
 //! * [`hybrid::HybridCssGen`] — **the paper's contribution**: the hybrid

@@ -1,4 +1,4 @@
-//! Pure multiple-valued CSS (ref [3] of the paper).
+//! Pure multiple-valued CSS (ref \[3\] of the paper).
 //!
 //! Within a 4-context block, the context id is broadcast directly as one of
 //! four rail levels `{0,1,2,3}` — window literals over this rail select

@@ -1,4 +1,20 @@
 //! Context schedules: the sequences of contexts a fabric switches through.
+//!
+//! A [`Schedule`] is a finite sequence of context ids over a fixed context
+//! domain. Constructors cover the workload shapes the energy experiments
+//! compare — round-robin time multiplexing, uniform random traffic, bursty
+//! phase-local traffic — plus [`Schedule::active_sweep`], which visits only
+//! the contexts a batch service currently has work for.
+//!
+//! ```
+//! use mcfpga_css::Schedule;
+//!
+//! // A 4-context domain where only contexts 2 and 0 have pending work:
+//! // one sweep visits each exactly once, in ascending order.
+//! let sweep = Schedule::active_sweep(4, &[2, 0, 2]).unwrap();
+//! assert_eq!(sweep.as_slice(), &[0, 2]);
+//! assert_eq!(sweep.switch_count(), 1);
+//! ```
 
 use crate::CssError;
 use rand::rngs::StdRng;
@@ -60,6 +76,27 @@ impl Schedule {
             }
             cur = rng.random_range(0..contexts);
         }
+        Ok(Schedule { contexts, seq })
+    }
+
+    /// One sweep over the *active* subset of a context domain: each context
+    /// in `active` is visited exactly once, in ascending order (duplicates
+    /// collapse). This is the schedule a batch-execution service replays
+    /// when only some contexts have pending work — idle contexts are never
+    /// switched in, so they cost no broadcast toggles.
+    ///
+    /// An empty `active` set yields an empty schedule; a context outside
+    /// the domain is rejected.
+    pub fn active_sweep(contexts: usize, active: &[usize]) -> Result<Self, CssError> {
+        if contexts == 0 {
+            return Err(CssError::BadContextCount(0));
+        }
+        if let Some(&bad) = active.iter().find(|&&c| c >= contexts) {
+            return Err(CssError::ContextOutOfRange { ctx: bad, contexts });
+        }
+        let mut seq: Vec<usize> = active.to_vec();
+        seq.sort_unstable();
+        seq.dedup();
         Ok(Schedule { contexts, seq })
     }
 
@@ -145,6 +182,21 @@ mod tests {
         assert!(matches!(
             Schedule::explicit(4, vec![0, 4]),
             Err(CssError::ContextOutOfRange { ctx: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn active_sweep_sorts_and_dedups() {
+        let s = Schedule::active_sweep(8, &[5, 1, 5, 3, 1]).unwrap();
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert!(Schedule::active_sweep(8, &[]).unwrap().is_empty());
+        assert!(matches!(
+            Schedule::active_sweep(4, &[0, 4]),
+            Err(CssError::ContextOutOfRange { ctx: 4, .. })
+        ));
+        assert!(matches!(
+            Schedule::active_sweep(0, &[]),
+            Err(CssError::BadContextCount(0))
         ));
     }
 

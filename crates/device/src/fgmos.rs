@@ -3,13 +3,13 @@
 //! One FGMOS merges *storage* (charge trapped on the floating gate sets an
 //! effective threshold voltage) and *switching* (the channel passes the
 //! routed signal when the control-gate voltage is on the conducting side of
-//! that threshold). Ref [2] of the paper shows a single FGFP realises an
+//! that threshold). Ref \[2\] of the paper shows a single FGFP realises an
 //! up-literal or a down-literal over a multiple-valued control signal; two in
 //! series realise a window literal by wired-AND.
 //!
 //! Model: the stored state is the effective threshold `vth_v` (volts). An
 //! up-mode device conducts iff `Vg ≥ vth_v`; a down-mode device (depletion /
-//! complementary arrangement per ref [2]) conducts iff `Vg ≤ vth_v`. The
+//! complementary arrangement per ref \[2\]) conducts iff `Vg ≤ vth_v`. The
 //! quantised programming API sites thresholds half a level step away from the
 //! nearest code so that retention drift must exceed the margin before
 //! behaviour changes.

@@ -444,6 +444,79 @@ impl Fabric {
     pub fn lut_config_bits(&self) -> usize {
         self.tiles.len() * self.params.contexts * (1 << self.params.lut_k)
     }
+
+    /// Content digest of one context's configuration plane: geometry, the
+    /// context id, every tile's LUT table and switch-block row for `ctx`,
+    /// and the context's IO bindings (FNV-1a, 64-bit).
+    ///
+    /// Two fabrics with equal digests for a context produce identical
+    /// compiled planes ([`crate::compiled::CompiledFabric::compile_context`]
+    /// reads exactly the hashed state), so the digest is a sound cache key
+    /// for compiled-plane reuse: re-admitting an identical bitstream into a
+    /// same-shaped fabric never needs a recompile.
+    pub fn context_digest(&self, ctx: usize) -> Result<u64, FabricError> {
+        if ctx >= self.params.contexts {
+            return Err(FabricError::ContextOutOfRange {
+                ctx,
+                contexts: self.params.contexts,
+            });
+        }
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut put = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        put(&[match self.params.arch {
+            ArchKind::Sram => 0u8,
+            ArchKind::MvFgfp => 1,
+            ArchKind::Hybrid => 2,
+        }]);
+        for v in [
+            self.params.width,
+            self.params.height,
+            self.params.channel_width,
+            self.params.lut_k,
+            self.params.contexts,
+            self.params.io_in,
+            self.params.io_out,
+            ctx,
+        ] {
+            put(&(v as u64).to_le_bytes());
+        }
+        for tc in &self.tiles {
+            put(&tc.lut.table(ctx)?.to_le_bytes());
+            for slot in &tc.sb[ctx] {
+                match slot {
+                    Some(s) => put(&(u32::from(*s) + 1).to_le_bytes()),
+                    None => put(&0u32.to_le_bytes()),
+                }
+            }
+        }
+        // each bind list is prefixed with a distinct tag and its length so
+        // moving a bind between the input and output lists (or across the
+        // list boundary) can never produce a colliding digest
+        let mut put_binds = |tag: u8, binds: &[(TileCoord, usize, usize, String)]| {
+            put(&[tag]);
+            let count = binds.iter().filter(|(_, _, c, _)| *c == ctx).count();
+            put(&(count as u64).to_le_bytes());
+            for (t, port, c, name) in binds {
+                if *c != ctx {
+                    continue;
+                }
+                put(&(t.x as u64).to_le_bytes());
+                put(&(t.y as u64).to_le_bytes());
+                put(&(*port as u64).to_le_bytes());
+                put(&(name.len() as u64).to_le_bytes());
+                put(name.as_bytes());
+            }
+        };
+        put_binds(0x49, &self.input_binds); // 'I'
+        put_binds(0x4F, &self.output_binds); // 'O'
+        Ok(h)
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,32 @@
 //! [`crate::sim::evaluate`] wraps a 1-lane call for API compatibility;
 //! batch users call [`CompiledFabric::eval_batch`] directly, and
 //! [`crate::context::run_schedule`] drives whole context schedules through
-//! the per-context compiled planes.
+//! the per-context compiled planes. Independent single-vector requests are
+//! coalesced into one pass with [`LaneBatch`].
+//!
+//! ```
+//! use mcfpga_fabric::compiled::{pack_lanes, CompiledFabric};
+//! use mcfpga_fabric::netlist_ir::generators;
+//! use mcfpga_fabric::route::implement_netlist;
+//! use mcfpga_fabric::{Fabric, FabricParams};
+//!
+//! // Route a 3-input parity tree into context 0 and compile it once.
+//! let mut fabric = Fabric::new(FabricParams::default())?;
+//! implement_netlist(&mut fabric, &generators::parity_tree(3)?, 0, 7)?;
+//! let compiled = CompiledFabric::compile(&fabric)?;
+//!
+//! // Evaluate all 8 input vectors in a single bit-parallel pass:
+//! // lane `v` of input `xi` carries bit `i` of vector `v`.
+//! let inputs: Vec<(String, u64)> = (0..3)
+//!     .map(|i| (format!("x{i}"), pack_lanes(|v| v < 8 && (v >> i) & 1 == 1)))
+//!     .collect();
+//! let refs: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+//! let outs = compiled.eval_batch_sorted(0, &refs)?;
+//! for v in 0..8u32 {
+//!     assert_eq!((outs[0].1 >> v) & 1 == 1, v.count_ones() % 2 == 1);
+//! }
+//! # Ok::<(), mcfpga_fabric::FabricError>(())
+//! ```
 
 use crate::array::{Dir, Fabric, FabricParams, Sink, Source, TileCoord};
 use crate::lut::MultiContextLut;
@@ -41,6 +66,228 @@ pub fn pack_lanes(mut bit: impl FnMut(usize) -> bool) -> u64 {
 
 /// Dense id of one routing resource in the arena.
 pub type ResourceId = u32;
+
+/// Coalesces up to [`LANES`] independent single-vector requests into the
+/// lane words one [`CompiledFabric::eval_batch`] pass consumes.
+///
+/// Each pushed request occupies one lane; the batch keeps the union of all
+/// named inputs, with bit `l` of a name's word holding request `l`'s value
+/// (a request that omits a name contributes 0 in its lane). After the pass,
+/// [`LaneBatch::extract_lane`] demuxes one request's outputs back out.
+///
+/// ```
+/// use mcfpga_fabric::compiled::{LaneBatch, LANES};
+///
+/// let mut batch = LaneBatch::new();
+/// let lane_a = batch.push(&[("x", true), ("y", false)]).unwrap();
+/// let lane_b = batch.push(&[("x", false), ("y", true)]).unwrap();
+/// assert_eq!((lane_a, lane_b), (0, 1));
+/// assert_eq!(batch.len(), 2);
+/// assert!(!batch.is_full());
+///
+/// let inputs = batch.lane_inputs();
+/// let x = inputs.iter().find(|(n, _)| *n == "x").unwrap().1;
+/// assert_eq!(x & 0b11, 0b01); // lane 0 true, lane 1 false
+///
+/// // outputs of an eval pass demux the same way
+/// let outs = vec![("z".to_string(), 0b10u64)];
+/// assert_eq!(LaneBatch::extract_lane(&outs, lane_b), vec![("z".to_string(), true)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LaneBatch {
+    lanes: usize,
+    inputs: Vec<(String, u64)>,
+    /// Resolved input indices of the request being pushed; reused across
+    /// [`LaneBatch::push_covering`] calls so the hot path allocates nothing.
+    idx_scratch: Vec<u32>,
+}
+
+/// Why [`LaneBatch::push_covering`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRefusal {
+    /// All [`LANES`] lanes are occupied.
+    Full,
+    /// The request did not drive the canonical input at this index (see
+    /// [`LaneBatch::ensure_name`]); [`LaneBatch::input_name`] maps it back
+    /// to the signal name. The batch is unchanged.
+    MissingInput(usize),
+}
+
+impl LaneBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneBatch::default()
+    }
+
+    /// Number of occupied lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes
+    }
+
+    /// Is the batch empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Are all [`LANES`] lanes occupied?
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.lanes == LANES
+    }
+
+    /// Adds one single-vector request, returning the lane it occupies, or
+    /// `None` when the batch is already full.
+    pub fn push(&mut self, request: &[(&str, bool)]) -> Option<usize> {
+        self.push_covering(request, 0).ok()
+    }
+
+    /// [`push`](Self::push) that additionally verifies the request drives
+    /// every one of the batch's first `required` input names (the canonical
+    /// prefix an executor seeds with [`ensure_name`](Self::ensure_name)) —
+    /// in the *same* single name-resolution scan, so the coverage check
+    /// costs no extra string comparisons. On refusal the batch's lane
+    /// contents are unchanged.
+    ///
+    /// This is the check a batch executor needs: evaluation consumes the
+    /// *union* of all lanes' names, so a lane that omitted a name another
+    /// lane drives would otherwise silently read 0.
+    ///
+    /// Requests from one submitter present names in a stable order, so the
+    /// positional probe hits on every push after the first and the linear
+    /// rescan is cold.
+    pub fn push_covering(
+        &mut self,
+        request: &[(&str, bool)],
+        required: usize,
+    ) -> Result<usize, PushRefusal> {
+        if self.is_full() {
+            return Err(PushRefusal::Full);
+        }
+        // pass 1: resolve names to indices (the only string comparisons),
+        // accumulating coverage of the canonical prefix as a bitmask
+        let mut idx_scratch = std::mem::take(&mut self.idx_scratch);
+        idx_scratch.clear();
+        let mut covered = 0u64;
+        for (i, (name, _)) in request.iter().enumerate() {
+            let idx = match self.inputs.get(i) {
+                Some((n, _)) if n == name => i,
+                _ => match self.inputs.iter().position(|(n, _)| n == name) {
+                    Some(j) => j,
+                    None => {
+                        // appending with a zero word is harmless even if the
+                        // coverage check below refuses the request
+                        self.inputs.push(((*name).to_string(), 0));
+                        self.inputs.len() - 1
+                    }
+                },
+            };
+            if idx < required.min(64) {
+                covered |= 1 << idx;
+            }
+            idx_scratch.push(idx as u32);
+        }
+        let refusal = self.first_uncovered(required, covered, request);
+        if let Some(missing) = refusal {
+            self.idx_scratch = idx_scratch;
+            return Err(PushRefusal::MissingInput(missing));
+        }
+        // pass 2: commit the lane by index — no further name lookups
+        let lane = self.lanes;
+        for (&idx, (_, value)) in idx_scratch.iter().zip(request) {
+            self.inputs[idx as usize].1 |= u64::from(*value) << lane;
+        }
+        self.lanes += 1;
+        self.idx_scratch = idx_scratch;
+        Ok(lane)
+    }
+
+    /// First canonical-prefix index the request left undriven, if any.
+    /// Prefix indices past 64 exceed the coverage bitmask and fall back to
+    /// a name search (bound-input counts that large do not occur on real
+    /// geometries).
+    fn first_uncovered(
+        &self,
+        required: usize,
+        covered: u64,
+        request: &[(&str, bool)],
+    ) -> Option<usize> {
+        let in_mask = required.min(64);
+        let need = if in_mask == 64 {
+            u64::MAX
+        } else {
+            (1u64 << in_mask) - 1
+        };
+        if covered & need != need {
+            return Some((!covered & need).trailing_zeros() as usize);
+        }
+        for idx in 64..required {
+            let name = &self.inputs[idx].0;
+            if !request.iter().any(|(n, _)| n == name) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Appends `name` to the input union with an all-zero word when absent.
+    /// Executors call this at admission, in bound-input order, to seed the
+    /// canonical prefix [`push_covering`](Self::push_covering) checks
+    /// coverage against.
+    pub fn ensure_name(&mut self, name: &str) {
+        if !self.inputs.iter().any(|(n, _)| n == name) {
+            self.inputs.push((name.to_string(), 0));
+        }
+    }
+
+    /// The input name at union index `idx`, if any.
+    #[must_use]
+    pub fn input_name(&self, idx: usize) -> Option<&str> {
+        self.inputs.get(idx).map(|(n, _)| n.as_str())
+    }
+
+    /// Number of distinct input names in the union.
+    #[must_use]
+    pub fn name_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Drops union names past the first `keep` from an **empty** batch —
+    /// executors trim request-added names (unbound extras) back to the
+    /// canonical prefix when recycling, so the union cannot grow without
+    /// bound across a service's lifetime. No-op on a non-empty batch
+    /// (trimming would drop live lane values).
+    pub fn truncate_names(&mut self, keep: usize) {
+        if self.is_empty() {
+            self.inputs.truncate(keep);
+        }
+    }
+
+    /// The union lane words, ready for [`CompiledFabric::eval_batch`].
+    #[must_use]
+    pub fn lane_inputs(&self) -> Vec<(&str, u64)> {
+        self.inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect()
+    }
+
+    /// Empties the batch for reuse, keeping the input-name capacity.
+    pub fn clear(&mut self) {
+        self.lanes = 0;
+        for (_, w) in &mut self.inputs {
+            *w = 0;
+        }
+    }
+
+    /// Demuxes one lane of a pass's outputs back to scalar booleans.
+    #[must_use]
+    pub fn extract_lane(outputs: &[(String, u64)], lane: usize) -> Vec<(String, bool)> {
+        outputs
+            .iter()
+            .map(|(n, v)| (n.clone(), (v >> lane) & 1 == 1))
+            .collect()
+    }
+}
 
 /// Maps `(tile, resource)` coordinates onto the dense arena.
 ///
@@ -786,6 +1033,141 @@ mod tests {
                 compiled: 0
             }
         );
+    }
+
+    #[test]
+    fn lane_batch_coalesces_and_demuxes() {
+        let mut batch = LaneBatch::new();
+        assert!(batch.is_empty());
+        for i in 0..LANES {
+            let lane = batch.push(&[("a", i % 2 == 0), ("b", i % 3 == 0)]).unwrap();
+            assert_eq!(lane, i);
+        }
+        assert!(batch.is_full());
+        assert_eq!(batch.push(&[("a", true)]), None, "65th request refused");
+        let ins = batch.lane_inputs();
+        let a = ins.iter().find(|(n, _)| *n == "a").unwrap().1;
+        let b = ins.iter().find(|(n, _)| *n == "b").unwrap().1;
+        assert_eq!(a, pack_lanes(|l| l % 2 == 0));
+        assert_eq!(b, pack_lanes(|l| l % 3 == 0));
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(batch.lane_inputs().iter().all(|(_, w)| *w == 0));
+    }
+
+    #[test]
+    fn push_covering_checks_the_canonical_prefix() {
+        let mut b = LaneBatch::new();
+        b.ensure_name("a");
+        b.ensure_name("b");
+        b.ensure_name("a"); // idempotent
+                            // full coverage in any order; extra names are fine
+        assert_eq!(
+            b.push_covering(&[("b", true), ("a", false), ("zz", true)], 2),
+            Ok(0)
+        );
+        // missing "b": refused, lane contents unchanged
+        assert_eq!(
+            b.push_covering(&[("a", true)], 2),
+            Err(PushRefusal::MissingInput(1))
+        );
+        assert_eq!(b.input_name(1), Some("b"));
+        assert_eq!(b.len(), 1);
+        let ins = b.lane_inputs();
+        assert_eq!(ins.iter().find(|(n, _)| *n == "a").unwrap().1, 0);
+        assert_eq!(ins.iter().find(|(n, _)| *n == "b").unwrap().1, 1);
+        // required = 0 behaves like a plain push
+        assert_eq!(b.push_covering(&[], 0), Ok(1));
+        // a full batch refuses regardless
+        while !b.is_full() {
+            b.push(&[("a", true)]).unwrap();
+        }
+        assert_eq!(
+            b.push_covering(&[("a", true), ("b", true)], 2),
+            Err(PushRefusal::Full)
+        );
+    }
+
+    #[test]
+    fn lane_batch_drives_compiled_eval() {
+        let nl = generators::parity_tree(3).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 0, 5).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        let mut batch = LaneBatch::new();
+        let requests = [
+            (true, false, true),
+            (false, false, false),
+            (true, true, true),
+        ];
+        for (x0, x1, x2) in requests {
+            batch.push(&[("x0", x0), ("x1", x1), ("x2", x2)]).unwrap();
+        }
+        let (outs, _) = compiled.eval_batch(0, &batch.lane_inputs()).unwrap();
+        for (lane, (x0, x1, x2)) in requests.into_iter().enumerate() {
+            let scalar = LaneBatch::extract_lane(&outs, lane);
+            let want = x0 ^ x1 ^ x2;
+            assert_eq!(scalar[0].1, want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn context_digest_tracks_configuration() {
+        let nl = generators::parity_tree(3).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 0, 5).unwrap();
+        let d0 = f.context_digest(0).unwrap();
+        // deterministic and per-context
+        assert_eq!(d0, f.context_digest(0).unwrap());
+        assert_ne!(d0, f.context_digest(1).unwrap());
+        // identical flow into an identical fabric reproduces the digest
+        let mut g = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut g, &nl, 0, 5).unwrap();
+        assert_eq!(d0, g.context_digest(0).unwrap());
+        // any configuration change moves it
+        let mut h = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut h, &nl, 0, 6).unwrap();
+        let moved = h.context_digest(0).unwrap();
+        let empty = Fabric::new(FabricParams::default())
+            .unwrap()
+            .context_digest(0)
+            .unwrap();
+        assert_ne!(d0, empty);
+        // seeds 5 and 6 place differently on the default 4×4 grid
+        assert_ne!(d0, moved);
+        assert!(f.context_digest(99).is_err());
+    }
+
+    #[test]
+    fn context_digest_covers_the_architecture() {
+        // CompiledFabric captures params().arch, so two configurations that
+        // differ only in switch architecture must not share a digest
+        use mcfpga_core::ArchKind;
+        let sram = Fabric::new(FabricParams {
+            arch: ArchKind::Sram,
+            ..FabricParams::default()
+        })
+        .unwrap();
+        let hybrid = Fabric::new(FabricParams::default()).unwrap();
+        assert_ne!(
+            sram.context_digest(0).unwrap(),
+            hybrid.context_digest(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn context_digest_separates_input_and_output_binds() {
+        // same tile config, same concatenated bind records — but "b" is an
+        // input in one fabric and an output in the other; the digests must
+        // differ (domain tags + lengths prevent the collision)
+        let t = TileCoord { x: 0, y: 0 };
+        let mut a = Fabric::new(FabricParams::default()).unwrap();
+        a.bind_input(t, 0, 0, "a").unwrap();
+        a.bind_input(t, 1, 0, "b").unwrap();
+        let mut b = Fabric::new(FabricParams::default()).unwrap();
+        b.bind_input(t, 0, 0, "a").unwrap();
+        b.bind_output(t, 1, 0, "b").unwrap();
+        assert_ne!(a.context_digest(0).unwrap(), b.context_digest(0).unwrap());
     }
 
     #[test]

@@ -7,6 +7,29 @@
 //! schedule through a [`CompiledFabric`], swapping the per-context compiled
 //! plane at every CSS switch while keeping the energy accounting identical
 //! to the plain replay.
+//!
+//! ```
+//! use mcfpga_core::ArchKind;
+//! use mcfpga_css::Schedule;
+//! use mcfpga_device::TechParams;
+//! use mcfpga_fabric::compiled::CompiledFabric;
+//! use mcfpga_fabric::context::{run_schedule, ContextSequencer};
+//! use mcfpga_fabric::netlist_ir::generators;
+//! use mcfpga_fabric::route::implement_netlist;
+//! use mcfpga_fabric::{Fabric, FabricParams};
+//!
+//! // A wire in context 0; replay an explicit 0,0,0 schedule through it.
+//! let mut fabric = Fabric::new(FabricParams::default())?;
+//! implement_netlist(&mut fabric, &generators::wire_lanes(1)?, 0, 1)?;
+//! let compiled = CompiledFabric::compile(&fabric)?;
+//! let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4)?;
+//! let schedule = Schedule::explicit(4, vec![0, 0, 0]).map_err(mcfpga_core::CoreError::Css)?;
+//! let run = run_schedule(&compiled, &mut seq, &schedule, &[("in0", 0b101)], &TechParams::default())?;
+//! assert_eq!(run.stats.steps, 3);
+//! assert_eq!(run.stats.switches, 0); // never leaves context 0
+//! assert_eq!(run.steps[0].1[0].1, 0b101); // lanes pass straight through
+//! # Ok::<(), mcfpga_fabric::FabricError>(())
+//! ```
 
 use crate::compiled::CompiledFabric;
 use crate::FabricError;

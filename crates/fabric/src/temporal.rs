@@ -1,6 +1,6 @@
 //! Temporal partitioning — time-multiplexed execution of a large circuit
 //! across contexts (the Trimberger-style use case the paper's introduction
-//! assumes, ref [1]).
+//! assumes, ref \[1\]).
 //!
 //! The LUT DAG is cut into `C` stages by logic level; stage `s` is mapped
 //! into context `s`. Values crossing a cut are written to a **context

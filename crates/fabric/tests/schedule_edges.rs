@@ -1,0 +1,97 @@
+//! Edge cases of schedule-driven execution: empty schedules, single-context
+//! schedules, and schedules that reference a context a partial compilation
+//! never saw (which must error, not panic).
+
+use mcfpga_core::ArchKind;
+use mcfpga_css::Schedule;
+use mcfpga_device::TechParams;
+use mcfpga_fabric::compiled::CompiledFabric;
+use mcfpga_fabric::context::{run_schedule, ContextSequencer};
+use mcfpga_fabric::netlist_ir::generators;
+use mcfpga_fabric::route::implement_netlist;
+use mcfpga_fabric::{Fabric, FabricError, FabricParams};
+
+fn two_context_fabric() -> Fabric {
+    let mut f = Fabric::new(FabricParams::default()).unwrap();
+    implement_netlist(&mut f, &generators::parity_tree(3).unwrap(), 0, 2).unwrap();
+    implement_netlist(&mut f, &generators::wire_lanes(1).unwrap(), 1, 3).unwrap();
+    f
+}
+
+const UNION: &[(&str, u64)] = &[("x0", 0b01), ("x1", 0b11), ("x2", 0), ("in0", 0b10)];
+
+#[test]
+fn empty_schedule_runs_zero_steps() {
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    let sched = Schedule::explicit(4, vec![]).unwrap();
+    for arch in ArchKind::all() {
+        let mut seq = ContextSequencer::new(arch, 4).unwrap();
+        let run = run_schedule(&compiled, &mut seq, &sched, UNION, &TechParams::default()).unwrap();
+        assert!(run.steps.is_empty(), "{arch:?}");
+        assert_eq!(run.stats.steps, 0);
+        assert_eq!(run.stats.switches, 0);
+        assert_eq!(run.stats.wire_toggles, 0);
+        assert_eq!(run.stats.dynamic_energy_j, 0.0);
+    }
+}
+
+#[test]
+fn single_context_schedule_never_switches() {
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    let sched = Schedule::explicit(4, vec![1; 5]).unwrap();
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let run = run_schedule(&compiled, &mut seq, &sched, UNION, &TechParams::default()).unwrap();
+    assert_eq!(run.steps.len(), 5);
+    // one switch to reach context 1, then it dwells
+    assert_eq!(run.stats.switches, 1);
+    for (ctx, outs) in &run.steps {
+        assert_eq!(*ctx, 1);
+        assert_eq!(outs[0].1, 0b10, "wire lane passes in0 through every step");
+    }
+}
+
+#[test]
+fn schedule_into_uncompiled_context_errors_not_panics() {
+    let fabric = two_context_fabric();
+    // only context 0 compiled; the schedule also visits context 1
+    let partial = CompiledFabric::compile_context(&fabric, 0).unwrap();
+    let sched = Schedule::explicit(4, vec![0, 1]).unwrap();
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let err = run_schedule(&partial, &mut seq, &sched, UNION, &TechParams::default()).unwrap_err();
+    assert_eq!(
+        err,
+        FabricError::ContextNotCompiled {
+            ctx: 1,
+            compiled: 0
+        }
+    );
+}
+
+#[test]
+fn schedule_beyond_fabric_contexts_errors_not_panics() {
+    // the schedule's domain (8 contexts) is wider than the fabric's (4):
+    // stepping to context 5 must surface ContextOutOfRange
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    let sched = Schedule::explicit(8, vec![0, 5]).unwrap();
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 8).unwrap();
+    let err = run_schedule(&compiled, &mut seq, &sched, UNION, &TechParams::default()).unwrap_err();
+    assert_eq!(
+        err,
+        FabricError::ContextOutOfRange {
+            ctx: 5,
+            contexts: 4
+        }
+    );
+}
+
+#[test]
+fn active_sweep_drives_only_pending_contexts() {
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    // only context 1 has pending work; context 0 is never switched in
+    let sched = Schedule::active_sweep(4, &[1, 1, 1]).unwrap();
+    assert_eq!(sched.as_slice(), &[1]);
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let run = run_schedule(&compiled, &mut seq, &sched, UNION, &TechParams::default()).unwrap();
+    assert_eq!(run.steps.len(), 1);
+    assert_eq!(run.steps[0].0, 1);
+}

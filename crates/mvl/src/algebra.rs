@@ -1,6 +1,6 @@
 //! The (min, max, ¬) algebra on MV levels, plus threshold operators.
 //!
-//! The multiple-valued logic-in-memory style of ref [2] evaluates
+//! The multiple-valued logic-in-memory style of ref \[2\] evaluates
 //! conjunctions as series conduction (wired-AND → `min`) and disjunctions as
 //! parallel conduction (wired-OR → `max`). This module provides free-function
 //! forms of the lattice operations, n-ary folds, and the threshold operator

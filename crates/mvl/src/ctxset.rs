@@ -206,7 +206,7 @@ impl CtxSet {
     ///
     /// This is exactly the number of window literals the Fig. 3 decomposition
     /// produces, and therefore the number of parallel FGMOS branches the pure
-    /// MV switch of ref [3] needs for this function.
+    /// MV switch of ref \[3\] needs for this function.
     #[must_use]
     pub fn run_count(&self) -> usize {
         let mut runs = 0;

@@ -14,7 +14,7 @@
 //!   functions and their conjunction, the window.
 //! * [`CtxSet`] — an ON-set of contexts (the function `F` of Fig. 3 is
 //!   exactly "the set of contexts in which a switch conducts").
-//! * [`decompose_windows`](window::decompose_windows) — the Fig. 3
+//! * [`decompose_windows`] — the Fig. 3
 //!   construction: any switch function is the OR of maximal window literals,
 //!   and for `C` contexts at most `⌈C/2⌉` windows are ever needed.
 //! * [`expr::MvExpr`] — a small MV expression AST (min/max/inversion/

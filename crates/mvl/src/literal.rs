@@ -9,7 +9,7 @@
 //!
 //! Each up- or down-literal is realisable by a *single* floating-gate MOS
 //! functional pass gate whose threshold is programmed by charge injection
-//! (ref [2] of the paper); a window literal therefore costs two
+//! (ref \[2\] of the paper); a window literal therefore costs two
 //! series-connected FGMOSs (wired-AND).
 
 use crate::level::Level;

@@ -6,7 +6,7 @@
 //! contexts; for `C` contexts at most `⌈C/2⌉` windows are ever needed
 //! (alternating ON/OFF is the worst case).
 //!
-//! The pure MV-FGFP switch of ref [3] provisions that worst case in silicon
+//! The pure MV-FGFP switch of ref \[3\] provisions that worst case in silicon
 //! — `⌈C/2⌉` parallel branches of two series FGMOSs each — which is exactly
 //! the redundancy the paper's hybrid MV/B signal removes.
 
@@ -113,7 +113,7 @@ pub fn decompose_windows(on_set: &CtxSet) -> Vec<Window> {
 /// Upper bound on windows needed for any function over `contexts` contexts:
 /// `⌈contexts / 2⌉`.
 ///
-/// This is the branch count the pure MV-FGFP switch must provision (ref [3]);
+/// This is the branch count the pure MV-FGFP switch must provision (ref \[3\]);
 /// for 4 contexts it is 2 branches × 2 series FGMOSs = 4 transistors, which
 /// is the "4" row of Table 1.
 #[must_use]

@@ -1,0 +1,279 @@
+//! Request coalescing: many tenants' single-vector requests become few
+//! full-lane fabric passes.
+//!
+//! Each `(shard, context)` slot accumulates its own
+//! [`LaneBatch`]; a request occupies
+//! one of the 64 `u64` bit lanes. The queue only *holds* work — execution
+//! (and therefore flushing policy) belongs to
+//! [`crate::service::ShardedService`], which flushes a slot when its lanes
+//! fill or when the caller drains.
+
+use crate::registry::{Placement, TenantId};
+use mcfpga_fabric::compiled::{LaneBatch, PushRefusal};
+use std::sync::Arc;
+
+/// Opaque handle of one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// One completed request: the tenant's outputs for its input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request this answers.
+    pub request: RequestId,
+    /// The tenant that submitted it.
+    pub tenant: TenantId,
+    /// Named output values, demuxed from the request's lane. Names are
+    /// `Arc<str>` shared across the up-to-64 responses of one pass, so
+    /// demuxing a full batch performs no per-response string allocation.
+    pub outputs: Vec<(Arc<str>, bool)>,
+}
+
+/// Work pending on one `(shard, context)` slot.
+#[derive(Debug, Clone, Default)]
+struct PendingSlot {
+    batch: LaneBatch,
+    tickets: Vec<(RequestId, TenantId)>,
+    /// Length of the canonical (seeded, deduplicated) input-name prefix —
+    /// what [`BatchQueue::enqueue`] requires every request to cover.
+    seeded: usize,
+}
+
+/// Per-slot accumulation of single-vector requests into lane batches.
+#[derive(Debug, Clone)]
+pub struct BatchQueue {
+    slots: Vec<Vec<PendingSlot>>,
+    next_request: u64,
+}
+
+/// A slot's pending work, handed out by [`BatchQueue::take`].
+#[derive(Debug, Clone)]
+pub struct TakenBatch {
+    /// The coalesced lane batch (non-empty).
+    pub batch: LaneBatch,
+    /// Per-lane `(request, tenant)` tickets, in lane order.
+    pub tickets: Vec<(RequestId, TenantId)>,
+}
+
+impl BatchQueue {
+    /// An empty queue over `shards × contexts` slots.
+    #[must_use]
+    pub fn new(shards: usize, contexts: usize) -> Self {
+        BatchQueue {
+            slots: vec![vec![PendingSlot::default(); contexts]; shards],
+            next_request: 0,
+        }
+    }
+
+    /// Seeds a slot's canonical input-name prefix (bound inputs, in bind
+    /// order; duplicates collapse) so [`enqueue`](Self::enqueue) can verify
+    /// coverage of every bound input within its single name-resolution
+    /// scan. Call at admission and again after a [`take`](Self::take) that
+    /// is not [`recycle`](Self::recycle)d (a fresh slot starts unseeded).
+    pub fn seed<'a>(&mut self, shard: usize, ctx: usize, names: impl Iterator<Item = &'a str>) {
+        let slot = &mut self.slots[shard][ctx];
+        for name in names {
+            slot.batch.ensure_name(name);
+        }
+        slot.seeded = slot.batch.name_count();
+    }
+
+    /// Enqueues one single-vector request on its tenant's slot, verifying
+    /// it drives the slot's whole canonical prefix (see
+    /// [`seed`](Self::seed)). Returns the issued request id and whether the
+    /// slot's 64 lanes are now full (the caller should flush it before the
+    /// next enqueue). [`PushRefusal::Full`] means the slot already holds a
+    /// full, unflushed batch (a previous flush failed and left its requests
+    /// queued); [`PushRefusal::MissingInput`] leaves the slot unchanged.
+    pub fn enqueue(
+        &mut self,
+        placement: Placement,
+        tenant: TenantId,
+        inputs: &[(&str, bool)],
+    ) -> Result<(RequestId, bool), PushRefusal> {
+        let slot = &mut self.slots[placement.shard][placement.ctx];
+        let lane = slot.batch.push_covering(inputs, slot.seeded)?;
+        debug_assert_eq!(lane, slot.tickets.len());
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        slot.tickets.push((id, tenant));
+        Ok((id, slot.batch.is_full()))
+    }
+
+    /// The input name at `idx` of a slot's union (for refusal reporting).
+    #[must_use]
+    pub fn input_name(&self, shard: usize, ctx: usize, idx: usize) -> Option<&str> {
+        self.slots[shard][ctx].batch.input_name(idx)
+    }
+
+    /// Context slots of `shard` that currently hold pending work, ascending.
+    #[must_use]
+    pub fn pending(&self, shard: usize) -> Vec<usize> {
+        self.slots[shard]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.batch.is_empty())
+            .map(|(ctx, _)| ctx)
+            .collect()
+    }
+
+    /// Total requests pending across every slot.
+    #[must_use]
+    pub fn pending_total(&self) -> usize {
+        self.slots.iter().flatten().map(|s| s.tickets.len()).sum()
+    }
+
+    /// Borrows a slot's pending lane batch without removing it, or `None`
+    /// when empty. Lets the executor evaluate first and [`take`](Self::take)
+    /// only on success, so a failed pass leaves the requests queued instead
+    /// of dropping them.
+    #[must_use]
+    pub fn slot(&self, shard: usize, ctx: usize) -> Option<&LaneBatch> {
+        let slot = &self.slots[shard][ctx];
+        (!slot.batch.is_empty()).then_some(&slot.batch)
+    }
+
+    /// Removes and returns a slot's pending work, or `None` when empty.
+    /// The slot's canonical-prefix length survives the take, but the fresh
+    /// batch holds no names until [`recycle`](Self::recycle) or
+    /// [`seed`](Self::seed) restores them.
+    pub fn take(&mut self, shard: usize, ctx: usize) -> Option<TakenBatch> {
+        let slot = &mut self.slots[shard][ctx];
+        if slot.batch.is_empty() {
+            return None;
+        }
+        Some(TakenBatch {
+            batch: std::mem::take(&mut slot.batch),
+            tickets: std::mem::take(&mut slot.tickets),
+        })
+    }
+
+    /// Returns a consumed [`TakenBatch`]'s buffers to their slot for reuse
+    /// (cleared, keeping capacity), if the slot is still empty — the
+    /// allocation-recycling half of [`LaneBatch::clear`]. Union names the
+    /// flushed requests appended beyond the canonical prefix (unbound
+    /// extras) are dropped, so the name union stays bounded over the
+    /// service's lifetime.
+    pub fn recycle(&mut self, shard: usize, ctx: usize, taken: TakenBatch) {
+        let slot = &mut self.slots[shard][ctx];
+        if slot.batch.is_empty() && slot.tickets.is_empty() && slot.batch.name_count() == 0 {
+            let TakenBatch {
+                mut batch,
+                mut tickets,
+            } = taken;
+            batch.clear();
+            batch.truncate_names(slot.seeded);
+            tickets.clear();
+            slot.batch = batch;
+            slot.tickets = tickets;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_fabric::compiled::LANES;
+
+    fn place(shard: usize, ctx: usize) -> Placement {
+        Placement { shard, ctx }
+    }
+
+    fn tenant(reg: &mut crate::TenantRegistry, name: &str) -> TenantId {
+        let p = reg.reserve().unwrap();
+        reg.commit(name, p, 0)
+    }
+
+    #[test]
+    fn fills_a_slot_lane_by_lane() {
+        let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
+        let t = tenant(&mut reg, "a");
+        let mut q = BatchQueue::new(1, 4);
+        for i in 0..LANES {
+            let (_, full) = q.enqueue(place(0, 0), t, &[("x", i % 2 == 0)]).unwrap();
+            assert_eq!(full, i == LANES - 1, "lane {i}");
+        }
+        assert_eq!(q.pending_total(), LANES);
+        assert_eq!(q.pending(0), vec![0]);
+        // a full, unflushed slot refuses further enqueues instead of panicking
+        assert_eq!(
+            q.enqueue(place(0, 0), t, &[("x", true)]),
+            Err(PushRefusal::Full)
+        );
+        let taken = q.take(0, 0).unwrap();
+        assert_eq!(taken.tickets.len(), LANES);
+        assert!(taken.batch.is_full());
+        assert_eq!(q.pending_total(), 0);
+        assert!(q.take(0, 0).is_none());
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut reg = crate::TenantRegistry::new(2, 2).unwrap();
+        let a = tenant(&mut reg, "a"); // shard 0, ctx 0
+        let b = tenant(&mut reg, "b"); // shard 1, ctx 0
+        let mut q = BatchQueue::new(2, 2);
+        q.enqueue(place(0, 0), a, &[("x", true)]).unwrap();
+        q.enqueue(place(1, 0), b, &[("y", false)]).unwrap();
+        q.enqueue(place(1, 0), b, &[("y", true)]).unwrap();
+        assert_eq!(q.pending(0), vec![0]);
+        assert_eq!(q.pending(1), vec![0]);
+        assert_eq!(q.take(1, 0).unwrap().tickets.len(), 2);
+        assert_eq!(q.pending_total(), 1);
+    }
+
+    #[test]
+    fn seed_dedups_and_gates_enqueue() {
+        let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
+        let t = tenant(&mut reg, "a");
+        let mut q = BatchQueue::new(1, 4);
+        // duplicate bound names collapse: coverage needs 2 names, not 3
+        q.seed(0, 0, ["x", "x", "y"].into_iter());
+        assert_eq!(
+            q.enqueue(place(0, 0), t, &[("x", true)]),
+            Err(PushRefusal::MissingInput(1))
+        );
+        assert_eq!(q.input_name(0, 0, 1), Some("y"));
+        // any order, extras allowed
+        q.enqueue(place(0, 0), t, &[("y", true), ("x", false), ("zz", true)])
+            .unwrap();
+        assert_eq!(q.pending_total(), 1);
+    }
+
+    #[test]
+    fn recycle_trims_request_added_names() {
+        let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
+        let t = tenant(&mut reg, "a");
+        let mut q = BatchQueue::new(1, 4);
+        q.seed(0, 0, ["a"].into_iter());
+        q.enqueue(place(0, 0), t, &[("a", true), ("extra", true)])
+            .unwrap();
+        let taken = q.take(0, 0).unwrap();
+        q.recycle(0, 0, taken);
+        // the canonical prefix survives; the request's extra name is gone
+        assert_eq!(q.input_name(0, 0, 0), Some("a"));
+        assert_eq!(q.input_name(0, 0, 1), None);
+        // coverage still enforced after recycling
+        assert_eq!(
+            q.enqueue(place(0, 0), t, &[("other", true)]),
+            Err(PushRefusal::MissingInput(0))
+        );
+        q.enqueue(place(0, 0), t, &[("a", false)]).unwrap();
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_ordered() {
+        let mut reg = crate::TenantRegistry::new(1, 2).unwrap();
+        let t = tenant(&mut reg, "a");
+        let mut q = BatchQueue::new(1, 2);
+        let (r0, _) = q.enqueue(place(0, 0), t, &[]).unwrap();
+        let (r1, _) = q.enqueue(place(0, 1), t, &[]).unwrap();
+        assert!(r0 < r1);
+    }
+}

@@ -1,0 +1,149 @@
+//! # mcfpga-service — multi-tenant batched execution over the compiled fabric
+//!
+//! The paper's point is that **one fabric serves many logical circuits**,
+//! switching between them in a single cycle. The compiled engine
+//! (`mcfpga_fabric::compiled`) makes each context cheap to evaluate — 64
+//! input vectors per bit-parallel pass — and this crate exploits that to
+//! serve *concurrent workloads*: many tenants, each resident in one context
+//! slot, their single-vector requests coalesced into full 64-lane passes.
+//!
+//! Three layers:
+//!
+//! * [`registry::TenantRegistry`] — admits per-tenant programmed
+//!   configurations, mapping each tenant to a `(shard, context)` slot in
+//!   round-robin order. A [`registry::PlaneCache`] keyed by the fabric's
+//!   [`context_digest`](mcfpga_fabric::Fabric::context_digest) means
+//!   re-admitting an identical bitstream never recompiles.
+//! * [`batch::BatchQueue`] — coalesces single-vector requests from many
+//!   tenants into per-`(shard, context)` [`LaneBatch`]es, flushing a slot
+//!   the moment its 64 lanes fill (or on an explicit
+//!   [`ShardedService::drain`]), and demuxes each tenant's responses back
+//!   out of the lane words.
+//! * [`service::ShardedService`] — owns N independent fabric shards, drives
+//!   each shard's context sequence with the existing
+//!   [`ContextSequencer`](mcfpga_fabric::ContextSequencer) over an
+//!   [`active_sweep`](mcfpga_css::Schedule::active_sweep) schedule, and
+//!   attributes CSS broadcast energy and throughput per tenant via
+//!   [`mcfpga_cost::attribution`].
+//!
+//! [`LaneBatch`]: mcfpga_fabric::compiled::LaneBatch
+//!
+//! ```
+//! use mcfpga_device::TechParams;
+//! use mcfpga_fabric::netlist_ir::generators;
+//! use mcfpga_fabric::FabricParams;
+//! use mcfpga_service::ShardedService;
+//!
+//! let mut svc = ShardedService::new(1, FabricParams::default(), TechParams::default())?;
+//! let parity = svc.admit("parity", &generators::parity_tree(3)?)?;
+//!
+//! // Two independent single-vector requests share one fabric pass.
+//! svc.submit(parity, &[("x0", true), ("x1", true), ("x2", false)])?;
+//! svc.submit(parity, &[("x0", true), ("x1", false), ("x2", false)])?;
+//! let responses = svc.drain()?;
+//! assert_eq!(responses.len(), 2);
+//! assert!(!responses[0].outputs[0].1); // parity(1,1,0) = 0
+//! assert!(responses[1].outputs[0].1); // parity(1,0,0) = 1
+//! assert_eq!(svc.usage(parity)?.passes, 1, "both requests rode one pass");
+//! # Ok::<(), mcfpga_service::ServiceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod registry;
+pub mod service;
+
+pub use batch::{BatchQueue, RequestId, Response};
+pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
+pub use service::{ShardedService, SlotFault};
+
+use mcfpga_css::CssError;
+use mcfpga_fabric::FabricError;
+
+/// Errors from the multi-tenant execution service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Every `(shard, context)` slot already hosts a tenant.
+    CapacityExhausted {
+        /// Number of shards in the service.
+        shards: usize,
+        /// Context slots per shard.
+        contexts: usize,
+    },
+    /// Service configured with zero shards or a context-less fabric.
+    BadConfig(String),
+    /// Referenced a tenant id the registry never issued.
+    UnknownTenant(usize),
+    /// A request or execution touched a slot with no programmed plane.
+    SlotNotProgrammed {
+        /// Shard index.
+        shard: usize,
+        /// Context slot.
+        ctx: usize,
+    },
+    /// A submitted request did not drive one of its tenant's bound
+    /// inputs. Checked per request at submit time: batched evaluation sees
+    /// the union of all lanes' input names, so an unchecked omission would
+    /// silently read as 0 whenever a sibling request drives the name.
+    MissingInput {
+        /// The undriven input signal.
+        name: String,
+    },
+    /// A submit hit a slot whose 64 lanes are already full because an
+    /// earlier flush failed and left its batch queued. Recover with a
+    /// corrected [`ShardedService::drain`] or
+    /// [`ShardedService::discard_pending`].
+    SlotBacklogged {
+        /// Shard index.
+        shard: usize,
+        /// Context slot.
+        ctx: usize,
+    },
+    /// Underlying fabric error (routing, compilation, evaluation).
+    Fabric(FabricError),
+    /// Underlying CSS error (schedule construction, generator).
+    Css(CssError),
+}
+
+impl From<FabricError> for ServiceError {
+    fn from(e: FabricError) -> Self {
+        ServiceError::Fabric(e)
+    }
+}
+
+impl From<CssError> for ServiceError {
+    fn from(e: CssError) -> Self {
+        ServiceError::Css(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::CapacityExhausted { shards, contexts } => {
+                write!(f, "all {shards}×{contexts} tenant slots are occupied")
+            }
+            ServiceError::BadConfig(s) => write!(f, "bad service config: {s}"),
+            ServiceError::UnknownTenant(id) => write!(f, "unknown tenant id {id}"),
+            ServiceError::SlotNotProgrammed { shard, ctx } => {
+                write!(f, "slot (shard {shard}, ctx {ctx}) has no programmed plane")
+            }
+            ServiceError::MissingInput { name } => {
+                write!(f, "request does not drive bound input '{name}'")
+            }
+            ServiceError::SlotBacklogged { shard, ctx } => {
+                write!(
+                    f,
+                    "slot (shard {shard}, ctx {ctx}) holds a full unflushed batch; \
+                     drain or discard_pending first"
+                )
+            }
+            ServiceError::Fabric(e) => write!(f, "fabric: {e}"),
+            ServiceError::Css(e) => write!(f, "css: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

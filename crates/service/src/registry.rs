@@ -1,0 +1,261 @@
+//! Tenant admission: slot assignment and the compiled-plane cache.
+//!
+//! The registry is deliberately *pure bookkeeping* — it never touches a
+//! fabric. [`crate::service::ShardedService`] asks it to
+//! [`reserve`](TenantRegistry::reserve) a slot, performs the routing and
+//! compilation against the chosen shard, and only then
+//! [`commit`](TenantRegistry::commit)s the tenant, so a failed admission
+//! never burns a slot.
+
+use crate::ServiceError;
+use mcfpga_fabric::{CompiledFabric, FabricError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Opaque handle of an admitted tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// The dense index of this tenant (admission order, starting at 0).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Where a tenant lives: one context slot on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Shard index.
+    pub shard: usize,
+    /// Context slot within the shard.
+    pub ctx: usize,
+}
+
+/// One admitted tenant's record.
+#[derive(Debug, Clone)]
+pub struct TenantRecord {
+    /// Human-readable tenant name.
+    pub name: String,
+    /// The slot the tenant occupies.
+    pub placement: Placement,
+    /// Configuration digest of the tenant's routed context plane.
+    pub digest: u64,
+}
+
+/// Maps tenants to `(shard, context)` slots, round-robin across shards.
+///
+/// Successive admissions land on successive shards (tenant 0 → shard 0,
+/// tenant 1 → shard 1, …), each taking the lowest free context slot of its
+/// shard, so load spreads across shards before contexts fill up. When the
+/// preferred shard is full the next shard with a free slot is used.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    shards: usize,
+    contexts: usize,
+    records: Vec<TenantRecord>,
+    slots: Vec<Vec<Option<TenantId>>>,
+    cursor: usize,
+}
+
+impl TenantRegistry {
+    /// A registry for `shards` shards of `contexts` context slots each.
+    pub fn new(shards: usize, contexts: usize) -> Result<Self, ServiceError> {
+        if shards == 0 || contexts == 0 {
+            return Err(ServiceError::BadConfig(format!(
+                "{shards} shards × {contexts} contexts"
+            )));
+        }
+        Ok(TenantRegistry {
+            shards,
+            contexts,
+            records: Vec::new(),
+            slots: vec![vec![None; contexts]; shards],
+            cursor: 0,
+        })
+    }
+
+    /// The slot the *next* admission will occupy, without claiming it.
+    pub fn reserve(&self) -> Result<Placement, ServiceError> {
+        for probe in 0..self.shards {
+            let shard = (self.cursor + probe) % self.shards;
+            if let Some(ctx) = self.slots[shard].iter().position(Option::is_none) {
+                return Ok(Placement { shard, ctx });
+            }
+        }
+        Err(ServiceError::CapacityExhausted {
+            shards: self.shards,
+            contexts: self.contexts,
+        })
+    }
+
+    /// Claims the reserved slot for a routed, compiled tenant.
+    pub fn commit(&mut self, name: &str, placement: Placement, digest: u64) -> TenantId {
+        let id = TenantId(self.records.len());
+        self.records.push(TenantRecord {
+            name: name.to_string(),
+            placement,
+            digest,
+        });
+        self.slots[placement.shard][placement.ctx] = Some(id);
+        self.cursor = (placement.shard + 1) % self.shards;
+        id
+    }
+
+    /// The record of an admitted tenant.
+    pub fn tenant(&self, id: TenantId) -> Result<&TenantRecord, ServiceError> {
+        self.records
+            .get(id.0)
+            .ok_or(ServiceError::UnknownTenant(id.0))
+    }
+
+    /// The tenant occupying a slot, if any.
+    #[must_use]
+    pub fn occupant(&self, shard: usize, ctx: usize) -> Option<TenantId> {
+        *self.slots.get(shard)?.get(ctx)?
+    }
+
+    /// Number of admitted tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the registry empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total slot capacity (`shards × contexts`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards * self.contexts
+    }
+
+    /// All admitted tenants in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (TenantId(i), r))
+    }
+}
+
+/// Digest-keyed cache of compiled context planes.
+///
+/// The key is [`mcfpga_fabric::Fabric::context_digest`], which covers
+/// exactly the state [`CompiledFabric::compile_context`] reads (geometry,
+/// the context's LUT tables, switch-block rows and IO bindings) — so a hit
+/// is always safe to reuse, across shards and across re-admissions of the
+/// same bitstream.
+#[derive(Debug, Clone, Default)]
+pub struct PlaneCache {
+    planes: HashMap<u64, Arc<CompiledFabric>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PlaneCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlaneCache::default()
+    }
+
+    /// Returns the cached plane for `digest`, or compiles and caches it.
+    pub fn get_or_compile(
+        &mut self,
+        digest: u64,
+        compile: impl FnOnce() -> Result<CompiledFabric, FabricError>,
+    ) -> Result<Arc<CompiledFabric>, ServiceError> {
+        if let Some(plane) = self.planes.get(&digest) {
+            self.hits += 1;
+            return Ok(Arc::clone(plane));
+        }
+        let plane = Arc::new(compile()?);
+        self.misses += 1;
+        self.planes.insert(digest, Arc::clone(&plane));
+        Ok(plane)
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses (= compilations performed).
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct planes cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.planes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_across_shards_first() {
+        let mut reg = TenantRegistry::new(2, 2).unwrap();
+        let mut placements = Vec::new();
+        for i in 0..4 {
+            let p = reg.reserve().unwrap();
+            reg.commit(&format!("t{i}"), p, i as u64);
+            placements.push((p.shard, p.ctx));
+        }
+        assert_eq!(placements, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+        assert!(matches!(
+            reg.reserve(),
+            Err(ServiceError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn reserve_without_commit_burns_nothing() {
+        let reg = TenantRegistry::new(2, 4).unwrap();
+        assert_eq!(reg.reserve().unwrap(), reg.reserve().unwrap());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn occupant_and_lookup() {
+        let mut reg = TenantRegistry::new(1, 4).unwrap();
+        let p = reg.reserve().unwrap();
+        let id = reg.commit("alpha", p, 42);
+        assert_eq!(reg.occupant(0, 0), Some(id));
+        assert_eq!(reg.occupant(0, 1), None);
+        assert_eq!(reg.tenant(id).unwrap().name, "alpha");
+        assert_eq!(reg.tenant(id).unwrap().digest, 42);
+        assert!(matches!(
+            reg.tenant(TenantId(9)),
+            Err(ServiceError::UnknownTenant(9))
+        ));
+    }
+
+    #[test]
+    fn zero_sized_registry_rejected() {
+        assert!(TenantRegistry::new(0, 4).is_err());
+        assert!(TenantRegistry::new(4, 0).is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! The sharded multi-tenant execution service.
+//!
+//! A [`ShardedService`] owns `N` independent fabric shards (same geometry,
+//! same architecture). Tenants are admitted round-robin across shards into
+//! per-shard context slots; their single-vector requests coalesce in a
+//! [`crate::BatchQueue`] and execute as 64-lane bit-parallel passes. Each
+//! shard has its own [`ContextSequencer`], so the CSS broadcast energy of
+//! every context switch is charged — and attributed to the tenant being
+//! switched in — exactly as in plain schedule replay.
+
+use crate::batch::{BatchQueue, RequestId, Response};
+use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
+use crate::ServiceError;
+use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
+use mcfpga_css::Schedule;
+use mcfpga_device::TechParams;
+use mcfpga_fabric::compiled::{CompiledState, PushRefusal};
+use mcfpga_fabric::context::ContextSequencer;
+use mcfpga_fabric::route::implement_netlist_robust;
+use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist};
+use std::sync::Arc;
+
+/// Routing seed per context slot: admission is deterministic per slot, so
+/// identical netlists admitted into same-index slots route identically and
+/// share one cached compiled plane.
+const SLOT_SEED: u64 = 0x5EED_0000;
+
+/// Routing retry budget per admission.
+const ROUTE_ATTEMPTS: usize = 16;
+
+/// One independent fabric shard.
+#[derive(Debug, Clone)]
+struct Shard {
+    fabric: Fabric,
+    /// Per-context compiled plane (shared through the digest cache).
+    planes: Vec<Option<Arc<CompiledFabric>>>,
+    seq: ContextSequencer,
+    /// Reusable evaluation scratch (all planes share one layout).
+    scratch: Option<CompiledState>,
+}
+
+/// One slot's failed execution pass, recorded during a flush.
+///
+/// The slot's requests remain queued when this is raised; see
+/// [`ShardedService::take_faults`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotFault {
+    /// The tenant whose batch failed.
+    pub tenant: TenantId,
+    /// Shard of the failing slot.
+    pub shard: usize,
+    /// Context of the failing slot.
+    pub ctx: usize,
+    /// What went wrong (typically an undriven bound input).
+    pub error: ServiceError,
+}
+
+/// A multi-tenant batched execution runtime over `N` fabric shards.
+///
+/// See the [crate docs](crate) for the end-to-end picture and a runnable
+/// example.
+#[derive(Debug, Clone)]
+pub struct ShardedService {
+    params: FabricParams,
+    tech: TechParams,
+    registry: TenantRegistry,
+    cache: PlaneCache,
+    queue: BatchQueue,
+    shards: Vec<Shard>,
+    usage: Vec<TenantUsage>,
+    ready: Vec<Response>,
+    faults: Vec<SlotFault>,
+}
+
+impl ShardedService {
+    /// A service of `shards` fabrics, each shaped by `params`, with energy
+    /// accounted under `tech`. Capacity is `shards × params.contexts`
+    /// tenants.
+    pub fn new(
+        shards: usize,
+        params: FabricParams,
+        tech: TechParams,
+    ) -> Result<Self, ServiceError> {
+        let registry = TenantRegistry::new(shards, params.contexts)?;
+        let mut built = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            built.push(Shard {
+                fabric: Fabric::new(params)?,
+                planes: vec![None; params.contexts],
+                seq: ContextSequencer::new(params.arch, params.contexts)?,
+                scratch: None,
+            });
+        }
+        Ok(ShardedService {
+            params,
+            tech,
+            registry,
+            cache: PlaneCache::new(),
+            queue: BatchQueue::new(shards, params.contexts),
+            shards: built,
+            usage: Vec::new(),
+            ready: Vec::new(),
+            faults: Vec::new(),
+        })
+    }
+
+    /// Admits a tenant: routes `netlist` into the next round-robin
+    /// `(shard, context)` slot, then reuses a cached compiled plane when
+    /// the routed configuration's digest has been seen before (re-admitting
+    /// an identical bitstream never recompiles).
+    pub fn admit(&mut self, name: &str, netlist: &LogicNetlist) -> Result<TenantId, ServiceError> {
+        let placement = self.registry.reserve()?;
+        let shard = &mut self.shards[placement.shard];
+        let routed = implement_netlist_robust(
+            &mut shard.fabric,
+            netlist,
+            placement.ctx,
+            SLOT_SEED + placement.ctx as u64,
+            ROUTE_ATTEMPTS,
+        );
+        if let Err(e) = routed {
+            // leave the slot exactly as reserved: free and unconfigured
+            shard.fabric.clear_context(placement.ctx)?;
+            return Err(e.into());
+        }
+        let digest = shard.fabric.context_digest(placement.ctx)?;
+        let plane = self.cache.get_or_compile(digest, || {
+            CompiledFabric::compile_context(&shard.fabric, placement.ctx)
+        })?;
+        shard.planes[placement.ctx] = Some(plane);
+        let id = self.registry.commit(name, placement, digest);
+        self.usage.push(TenantUsage::default());
+        self.seed_slot(placement)?;
+        Ok(id)
+    }
+
+    /// Seeds the slot's canonical input-name prefix from its plane's bound
+    /// inputs, so submit-time coverage checking is a bitmask instead of a
+    /// second name scan.
+    fn seed_slot(&mut self, placement: Placement) -> Result<(), ServiceError> {
+        let plane = self.shards[placement.shard].planes[placement.ctx]
+            .as_ref()
+            .ok_or(ServiceError::SlotNotProgrammed {
+                shard: placement.shard,
+                ctx: placement.ctx,
+            })?;
+        let binds = plane.plane(placement.ctx)?.input_binds();
+        self.queue.seed(
+            placement.shard,
+            placement.ctx,
+            binds.iter().map(|(_, n)| n.as_str()),
+        );
+        Ok(())
+    }
+
+    /// Submits one single-vector request for `tenant`. The request parks in
+    /// its slot's lane batch; when the 64th lane fills, the slot executes
+    /// immediately and its responses become available on the next
+    /// [`drain`](Self::drain).
+    ///
+    /// Every input the tenant's plane binds must be driven —
+    /// [`ServiceError::MissingInput`] otherwise. The check happens at
+    /// submit, per request, because a batched pass evaluates the union of
+    /// its lanes' input names: without it, a request omitting an input a
+    /// sibling request supplies would silently compute with that input
+    /// as 0. Extra names the plane does not bind are ignored. (The check
+    /// rides the enqueue's own name-resolution scan — see
+    /// [`LaneBatch::push_covering`](mcfpga_fabric::compiled::LaneBatch::push_covering)
+    /// — so it costs no extra string comparisons.)
+    ///
+    /// If the lane-full auto-flush's pass fails, the request (and the rest
+    /// of its batch) stays queued and a [`SlotFault`] is recorded; recover
+    /// with a corrected retry of [`drain`](Self::drain) or
+    /// [`discard_pending`](Self::discard_pending).
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        inputs: &[(&str, bool)],
+    ) -> Result<RequestId, ServiceError> {
+        let placement = self.registry.tenant(tenant)?.placement;
+        let (id, full) = match self.queue.enqueue(placement, tenant, inputs) {
+            Ok(ok) => ok,
+            Err(PushRefusal::Full) => {
+                return Err(ServiceError::SlotBacklogged {
+                    shard: placement.shard,
+                    ctx: placement.ctx,
+                })
+            }
+            Err(PushRefusal::MissingInput(idx)) => {
+                let name = self
+                    .queue
+                    .input_name(placement.shard, placement.ctx, idx)
+                    .unwrap_or("?")
+                    .to_string();
+                return Err(ServiceError::MissingInput { name });
+            }
+        };
+        self.usage[tenant.index()].requests += 1;
+        if full {
+            self.run_shard(placement.shard, &[placement.ctx])?;
+        }
+        Ok(id)
+    }
+
+    /// Discards `tenant`'s queued, not-yet-executed requests, returning how
+    /// many were dropped. The escape hatch for a poisoned batch (one whose
+    /// flush keeps faulting); discarded requests never receive responses
+    /// and are removed from the tenant's usage counters, so
+    /// `vectors_per_pass` keeps reflecting requests actually served.
+    pub fn discard_pending(&mut self, tenant: TenantId) -> Result<usize, ServiceError> {
+        let placement = self.registry.tenant(tenant)?.placement;
+        let dropped = self
+            .queue
+            .take(placement.shard, placement.ctx)
+            .map_or(0, |t| t.tickets.len());
+        self.usage[tenant.index()].requests -= dropped;
+        // the fresh slot lost its canonical prefix; re-seed it
+        self.seed_slot(placement)?;
+        Ok(dropped)
+    }
+
+    /// Flushes every slot with pending work — each shard sweeps only its
+    /// *active* contexts ([`Schedule::active_sweep`]), so idle tenants cost
+    /// no broadcast toggles — and returns all completed responses,
+    /// including those from earlier lane-full auto-flushes.
+    ///
+    /// A slot whose pass fails (e.g. a request omitted one of its tenant's
+    /// bound inputs) never blocks the others: its requests stay queued, a
+    /// [`SlotFault`] is recorded (see [`take_faults`](Self::take_faults)),
+    /// and the sweep continues — one tenant's malformed request cannot
+    /// withhold other tenants' responses.
+    pub fn drain(&mut self) -> Result<Vec<Response>, ServiceError> {
+        for shard in 0..self.shards.len() {
+            let active = self.queue.pending(shard);
+            if !active.is_empty() {
+                self.run_shard(shard, &active)?;
+            }
+        }
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Removes and returns the per-slot execution faults recorded since the
+    /// last call, oldest first. Each faulted slot's requests are still
+    /// queued: fix and [`drain`](Self::drain) again, or
+    /// [`discard_pending`](Self::discard_pending) the poisoned batch.
+    pub fn take_faults(&mut self) -> Vec<SlotFault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Executes the pending batches of `active` contexts on one shard, in
+    /// CSS schedule order, charging switch energy to the tenant switched in.
+    ///
+    /// A slot's batch is removed from the queue only *after* its pass
+    /// succeeds — a failed pass records a [`SlotFault`], keeps its requests
+    /// queued, and moves on to the next context, so no issued [`RequestId`]
+    /// is ever silently dropped and no slot blocks its neighbours. The
+    /// `Err` branch is reserved for structural failures (a broken schedule
+    /// domain or registry/plane invariant).
+    fn run_shard(&mut self, shard_idx: usize, active: &[usize]) -> Result<(), ServiceError> {
+        let schedule = Schedule::active_sweep(self.params.contexts, active)?;
+        for ctx in schedule.iter() {
+            let Some(batch) = self.queue.slot(shard_idx, ctx) else {
+                continue;
+            };
+            let tenant =
+                self.registry
+                    .occupant(shard_idx, ctx)
+                    .ok_or(ServiceError::SlotNotProgrammed {
+                        shard: shard_idx,
+                        ctx,
+                    })?;
+            let shard = &mut self.shards[shard_idx];
+            let plane = shard.planes[ctx]
+                .clone()
+                .ok_or(ServiceError::SlotNotProgrammed {
+                    shard: shard_idx,
+                    ctx,
+                })?;
+            // the CSS broadcast swaps the active plane; its toggles are
+            // charged at switch time — the broadcast network spent that
+            // energy whether or not the pass below resolves
+            let toggles = shard.seq.step_to(ctx)?;
+            self.usage[tenant.index()].css_toggles += toggles;
+            let scratch = shard.scratch.get_or_insert_with(|| plane.new_state());
+            let outs = match plane.eval_batch_into(ctx, &batch.lane_inputs(), scratch) {
+                Ok(outs) => outs,
+                Err(e) => {
+                    self.faults.push(SlotFault {
+                        tenant,
+                        shard: shard_idx,
+                        ctx,
+                        error: e.into(),
+                    });
+                    continue;
+                }
+            };
+            let taken = self
+                .queue
+                .take(shard_idx, ctx)
+                .expect("slot was non-empty and the pass just succeeded");
+            self.usage[tenant.index()].passes += 1;
+            // one Arc per output name, shared by all the pass's responses —
+            // demuxing a full 64-lane batch allocates no strings
+            let names: Vec<Arc<str>> = outs.iter().map(|(n, _)| Arc::from(n.as_str())).collect();
+            for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
+                self.ready.push(Response {
+                    request: *request,
+                    tenant: *owner,
+                    outputs: names
+                        .iter()
+                        .zip(&outs)
+                        .map(|(n, (_, word))| (Arc::clone(n), (word >> lane) & 1 == 1))
+                        .collect(),
+                });
+            }
+            // hand the emptied buffers back to the slot (cleared, capacity
+            // kept) so steady-state flushes re-allocate nothing
+            self.queue.recycle(shard_idx, ctx, taken);
+        }
+        Ok(())
+    }
+
+    /// Raw usage counters of one tenant.
+    pub fn usage(&self, tenant: TenantId) -> Result<TenantUsage, ServiceError> {
+        self.registry.tenant(tenant)?; // validates the id
+        Ok(self.usage[tenant.index()])
+    }
+
+    /// One tenant's usage billed in physical units.
+    pub fn bill(&self, tenant: TenantId) -> Result<TenantBill, ServiceError> {
+        Ok(bill(&self.usage(tenant)?, &self.tech))
+    }
+
+    /// Markdown billing table over every admitted tenant.
+    #[must_use]
+    pub fn billing_report(&self) -> String {
+        let rows: Vec<(String, TenantUsage)> = self
+            .registry
+            .iter()
+            .map(|(id, rec)| (rec.name.clone(), self.usage[id.index()]))
+            .collect();
+        render_billing(&rows, &self.tech)
+    }
+
+    /// The tenant registry (placements, digests, occupancy).
+    #[must_use]
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// The compiled-plane cache (hit/miss counters).
+    #[must_use]
+    pub fn cache(&self) -> &PlaneCache {
+        &self.cache
+    }
+
+    /// Requests parked in lane batches, not yet executed.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.queue.pending_total()
+    }
+
+    /// Number of fabric shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared fabric geometry of every shard.
+    #[must_use]
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_fabric::netlist_ir::generators;
+    use mcfpga_fabric::TileCoord;
+
+    /// Submit-time validation makes undriven-input passes unreachable
+    /// through the public API, so the fault path is exercised by swapping a
+    /// tenant's compiled plane for one whose bound output can never
+    /// resolve — the runtime-failure class [`SlotFault`] exists for.
+    #[test]
+    fn faulted_slot_keeps_requests_and_spares_other_tenants() {
+        let params = FabricParams::default();
+        let mut svc = ShardedService::new(1, params, TechParams::default()).unwrap();
+        let wire = generators::wire_lanes(1).unwrap();
+        let bad = svc.admit("bad", &wire).unwrap(); // ctx 0
+        let good = svc.admit("good", &wire).unwrap(); // ctx 1
+
+        // sabotage: a plane with an output bound but never driven
+        let mut broken = Fabric::new(params).unwrap();
+        broken
+            .bind_output(TileCoord { x: 0, y: 0 }, 0, 0, "y")
+            .unwrap();
+        svc.shards[0].planes[0] = Some(Arc::new(
+            CompiledFabric::compile_context(&broken, 0).unwrap(),
+        ));
+
+        // the broken plane binds no inputs, so any request passes validation
+        svc.submit(bad, &[("in0", true)]).unwrap();
+        let ok_req = svc.submit(good, &[("in0", true)]).unwrap();
+
+        // the healthy tenant is served; the faulted batch stays queued
+        let responses = svc.drain().unwrap();
+        assert_eq!(responses.len(), 1, "bad slot must not block the good one");
+        assert_eq!(responses[0].request, ok_req);
+        let faults = svc.take_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].tenant, bad);
+        assert_eq!((faults[0].shard, faults[0].ctx), (0, 0));
+        assert!(matches!(faults[0].error, ServiceError::Fabric(_)));
+        assert_eq!(svc.pending_requests(), 1, "failed pass drops no requests");
+        assert_eq!(svc.usage(bad).unwrap().passes, 0, "no successful pass");
+
+        // the switch *into* the failing context is still charged: the CSS
+        // broadcast spent that energy whether or not the pass resolved
+        let toggles_before = svc.usage(bad).unwrap().css_toggles;
+        assert!(svc.drain().unwrap().is_empty());
+        assert_eq!(svc.take_faults().len(), 1);
+        assert!(
+            svc.usage(bad).unwrap().css_toggles > toggles_before,
+            "sequencer sat on ctx 1, so re-entering ctx 0 toggles lines"
+        );
+
+        // explicit recovery
+        assert_eq!(svc.discard_pending(bad).unwrap(), 1);
+        assert_eq!(svc.pending_requests(), 0);
+        assert!(svc.drain().unwrap().is_empty());
+        assert!(svc.take_faults().is_empty());
+    }
+}

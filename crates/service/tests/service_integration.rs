@@ -1,0 +1,287 @@
+//! End-to-end tests of the multi-tenant batched execution service:
+//! correctness against the netlist reference evaluator, lane-full
+//! auto-flush, plane-cache behaviour, capacity limits and per-tenant
+//! energy attribution.
+
+use mcfpga_device::TechParams;
+use mcfpga_fabric::compiled::LANES;
+use mcfpga_fabric::netlist_ir::{generators, LogicNetlist};
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::{ServiceError, ShardedService};
+
+fn service(shards: usize) -> ShardedService {
+    ShardedService::new(
+        shards,
+        FabricParams {
+            width: 5,
+            height: 5,
+            channel_width: 3,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+    )
+    .expect("service")
+}
+
+/// Input names of a netlist, in declaration order.
+fn input_names(nl: &LogicNetlist) -> Vec<String> {
+    nl.input_ids()
+        .into_iter()
+        .map(|id| match nl.node(id) {
+            mcfpga_fabric::netlist_ir::Node::Input { name } => name.clone(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+#[test]
+fn batched_responses_match_reference_eval() {
+    let mut svc = service(2);
+    let designs = [
+        ("parity", generators::parity_tree(4).unwrap()),
+        ("compare", generators::equality_comparator(3).unwrap()),
+        ("popcount", generators::popcount4().unwrap()),
+    ];
+    let tenants: Vec<_> = designs
+        .iter()
+        .map(|(name, nl)| svc.admit(name, nl).unwrap())
+        .collect();
+
+    // 17 requests per tenant (odd count: no tenant fills a full batch)
+    let mut expected = Vec::new();
+    for ((_, nl), &tenant) in designs.iter().zip(&tenants) {
+        let names = input_names(nl);
+        for k in 0..17u64 {
+            let scalar: Vec<(String, bool)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), (k >> (i % 6)) & 1 == 1))
+                .collect();
+            let refs: Vec<(&str, bool)> = scalar.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let mut want = nl.eval(&refs).unwrap();
+            want.sort();
+            let id = svc.submit(tenant, &refs).unwrap();
+            expected.push((id, tenant, want));
+        }
+    }
+    assert_eq!(svc.pending_requests(), 3 * 17);
+
+    let responses = svc.drain().unwrap();
+    assert_eq!(responses.len(), 3 * 17);
+    assert_eq!(svc.pending_requests(), 0);
+    for (id, tenant, want) in expected {
+        let resp = responses.iter().find(|r| r.request == id).unwrap();
+        assert_eq!(resp.tenant, tenant);
+        let mut got: Vec<(String, bool)> = resp
+            .outputs
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect();
+        got.sort();
+        assert_eq!(got, want, "request {id}");
+    }
+
+    // each tenant's 17 requests rode exactly one bit-parallel pass
+    for &t in &tenants {
+        let u = svc.usage(t).unwrap();
+        assert_eq!(u.requests, 17);
+        assert_eq!(u.passes, 1);
+    }
+}
+
+#[test]
+fn lane_full_slot_flushes_without_drain() {
+    let mut svc = service(1);
+    let nl = generators::parity_tree(3).unwrap();
+    let tenant = svc.admit("parity", &nl).unwrap();
+    for k in 0..LANES as u64 {
+        svc.submit(
+            tenant,
+            &[("x0", k & 1 == 1), ("x1", k & 2 == 2), ("x2", k & 4 == 4)],
+        )
+        .unwrap();
+    }
+    // the 64th submit triggered the pass; nothing is parked any more
+    assert_eq!(svc.pending_requests(), 0);
+    assert_eq!(svc.usage(tenant).unwrap().passes, 1);
+    let responses = svc.drain().unwrap();
+    assert_eq!(responses.len(), LANES);
+    for (lane, resp) in responses.iter().enumerate() {
+        let k = lane as u64;
+        let want = ((k & 7).count_ones() % 2) == 1;
+        assert_eq!(resp.outputs[0].1, want, "lane {lane}");
+    }
+    // a perfectly full pass: 64 vectors per pass on the bill
+    assert_eq!(svc.bill(tenant).unwrap().vectors_per_pass, 64.0);
+}
+
+#[test]
+fn identical_readmission_hits_the_plane_cache() {
+    let mut svc = service(2);
+    let nl = generators::parity_tree(4).unwrap();
+    // tenant 0 → shard 0 ctx 0; tenant 1 → shard 1 ctx 0: same slot index,
+    // same deterministic routing seed, identical netlist ⇒ identical digest
+    let a = svc.admit("a", &nl).unwrap();
+    assert_eq!((svc.cache().hits(), svc.cache().misses()), (0, 1));
+    let b = svc.admit("b", &nl).unwrap();
+    assert_eq!(
+        (svc.cache().hits(), svc.cache().misses()),
+        (1, 1),
+        "re-admitting an identical configuration must not recompile"
+    );
+    assert_eq!(
+        svc.registry().tenant(a).unwrap().digest,
+        svc.registry().tenant(b).unwrap().digest
+    );
+    // a different design on the next slot compiles fresh
+    svc.admit("c", &generators::popcount4().unwrap()).unwrap();
+    assert_eq!(svc.cache().misses(), 2);
+
+    // both cached-plane tenants still answer correctly and independently
+    svc.submit(
+        a,
+        &[("x0", true), ("x1", false), ("x2", false), ("x3", false)],
+    )
+    .unwrap();
+    svc.submit(
+        b,
+        &[("x0", true), ("x1", true), ("x2", false), ("x3", false)],
+    )
+    .unwrap();
+    let responses = svc.drain().unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(responses.iter().any(|r| r.tenant == a && r.outputs[0].1));
+    assert!(responses.iter().any(|r| r.tenant == b && !r.outputs[0].1));
+}
+
+#[test]
+fn capacity_exhausted_is_reported() {
+    let mut svc = service(1); // 1 shard × 4 contexts
+    let nl = generators::wire_lanes(1).unwrap();
+    for i in 0..4 {
+        svc.admit(&format!("t{i}"), &nl).unwrap();
+    }
+    assert!(matches!(
+        svc.admit("overflow", &nl),
+        Err(ServiceError::CapacityExhausted {
+            shards: 1,
+            contexts: 4
+        })
+    ));
+}
+
+#[test]
+fn unknown_tenant_is_rejected() {
+    let mut svc = service(1);
+    let id = svc.admit("a", &generators::wire_lanes(1).unwrap()).unwrap();
+    let mut other = service(1);
+    other
+        .admit("x", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    other
+        .admit("y", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    let foreign = other
+        .admit("z", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    // `foreign` indexes tenant 2, which `svc` never issued
+    assert!(matches!(
+        svc.submit(foreign, &[]),
+        Err(ServiceError::UnknownTenant(2))
+    ));
+    assert!(svc.usage(id).is_ok());
+}
+
+#[test]
+fn request_missing_a_bound_input_is_rejected_at_submit() {
+    let mut svc = service(1);
+    let nl = generators::parity_tree(3).unwrap();
+    let t = svc.admit("parity", &nl).unwrap();
+    // a sibling request drives all inputs; without submit-time validation
+    // the short request below would silently evaluate with x2 = 0
+    svc.submit(t, &[("x0", false), ("x1", false), ("x2", true)])
+        .unwrap();
+    let err = svc.submit(t, &[("x0", true), ("x1", false)]).unwrap_err();
+    assert!(matches!(err, ServiceError::MissingInput { ref name } if name == "x2"));
+    assert_eq!(svc.pending_requests(), 1, "rejected request never queued");
+    assert_eq!(svc.usage(t).unwrap().requests, 1);
+    // extra names the plane does not bind are harmless
+    svc.submit(
+        t,
+        &[("x0", true), ("x1", false), ("x2", false), ("zz", true)],
+    )
+    .unwrap();
+    let responses = svc.drain().unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(responses[0].outputs[0].1, "parity(0,0,1) = 1");
+    assert!(responses[1].outputs[0].1, "parity(1,0,0) = 1");
+    assert!(svc.take_faults().is_empty());
+}
+
+#[test]
+fn duplicate_bound_input_names_still_submit() {
+    // two primary inputs sharing one name produce two identically-named
+    // bind entries; coverage must require the *distinct* name once, not
+    // reject every request for the tenant
+    let mut nl = LogicNetlist::new();
+    let a = nl.add_input("x");
+    let b = nl.add_input("x");
+    let o = nl.add_lut("or", &[a, b], 0b1110).unwrap();
+    nl.add_output("y", o).unwrap();
+    let mut svc = service(1);
+    let t = svc.admit("dup", &nl).unwrap();
+    svc.submit(t, &[("x", true)]).unwrap();
+    svc.submit(t, &[("x", false)]).unwrap();
+    let responses = svc.drain().unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(responses[0].outputs[0].1, "x|x with x=1");
+    assert!(!responses[1].outputs[0].1, "x|x with x=0");
+}
+
+#[test]
+fn discard_pending_removes_requests_from_the_bill() {
+    let mut svc = service(1);
+    let nl = generators::wire_lanes(1).unwrap();
+    let t = svc.admit("wire", &nl).unwrap();
+    svc.submit(t, &[("in0", true)]).unwrap();
+    svc.submit(t, &[("in0", false)]).unwrap();
+    assert_eq!(svc.discard_pending(t).unwrap(), 2);
+    assert_eq!(svc.usage(t).unwrap().requests, 0, "discarded != served");
+    // two served requests in one pass: vectors_per_pass stays physical
+    svc.submit(t, &[("in0", true)]).unwrap();
+    svc.submit(t, &[("in0", true)]).unwrap();
+    assert_eq!(svc.drain().unwrap().len(), 2);
+    assert_eq!(svc.bill(t).unwrap().vectors_per_pass, 2.0);
+}
+
+#[test]
+fn css_energy_is_attributed_to_the_switched_in_tenant() {
+    let mut svc = service(1);
+    let nl = generators::wire_lanes(1).unwrap();
+    let t0 = svc.admit("busy", &nl).unwrap(); // ctx 0
+    let t1 = svc.admit("other", &nl).unwrap(); // ctx 1
+    let t2 = svc.admit("idle", &nl).unwrap(); // ctx 2
+
+    // ping-pong between t0 and t1; t2 never submits
+    for _ in 0..3 {
+        svc.submit(t0, &[("in0", true)]).unwrap();
+        svc.submit(t1, &[("in0", false)]).unwrap();
+        svc.drain().unwrap();
+    }
+    let u0 = svc.usage(t0).unwrap();
+    let u1 = svc.usage(t1).unwrap();
+    let u2 = svc.usage(t2).unwrap();
+    assert_eq!((u0.passes, u1.passes, u2.passes), (3, 3, 0));
+    // every sweep switches 1→0 then 0→1 (first sweep starts on 0: free)
+    assert!(u1.css_toggles > 0, "t1 pays for being switched in");
+    assert!(
+        u1.css_toggles >= u0.css_toggles,
+        "t0 starts as the resident"
+    );
+    assert_eq!(u2.css_toggles, 0, "idle tenant is never switched in");
+    assert_eq!(svc.bill(t2).unwrap().dynamic_energy_j, 0.0);
+    let report = svc.billing_report();
+    for name in ["busy", "other", "idle"] {
+        assert!(report.contains(name), "billing table lists {name}");
+    }
+}

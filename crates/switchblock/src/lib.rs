@@ -22,7 +22,7 @@
 //! Modules: [`routing`] (partial permutations, validation, generators),
 //! [`crossbar`] (the configurable SB itself), [`mapping`] (the
 //! designated-row remapping theorem as an algorithm, plus conflict
-//! analysis when rows are fixed), [`column`] (netlist-level shared-column
+//! analysis when rows are fixed), [`mod@column`] (netlist-level shared-column
 //! verification), [`count`] (Table 2 closed forms).
 
 #![warn(missing_docs)]

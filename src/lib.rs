@@ -20,7 +20,13 @@
 //!   routing, temporal partitioning, bitstreams and functional simulation
 //!   (Fig. 1);
 //! * [`cost`] — transistor/area/power models and report rendering
-//!   (Tables 1–2 and the scaling sweeps).
+//!   (Tables 1–2 and the scaling sweeps);
+//! * [`service`] — a multi-tenant batched execution runtime: tenants admit
+//!   designs into context slots across fabric shards, and their
+//!   single-vector requests coalesce into 64-lane bit-parallel passes.
+//!
+//! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
+//! `docs/GLOSSARY.md` for the paper's vocabulary as used in the code.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +54,7 @@ pub use mcfpga_device as device;
 pub use mcfpga_fabric as fabric;
 pub use mcfpga_mvl as mvl;
 pub use mcfpga_netlist as netlist;
+pub use mcfpga_service as service;
 pub use mcfpga_switchblock as switchblock;
 
 /// The most commonly used items in one import.
@@ -60,5 +67,6 @@ pub mod prelude {
     pub use mcfpga_fabric::{Fabric, FabricParams, LogicNetlist, MultiContextLut, TileCoord};
     pub use mcfpga_mvl::{decompose_windows, CtxSet, Level, Radix, WindowLiteral};
     pub use mcfpga_netlist::{Netlist, SwitchSim};
+    pub use mcfpga_service::{ShardedService, TenantId};
     pub use mcfpga_switchblock::{remap_to_designated_rows, RouteSet, SwitchBlock};
 }
