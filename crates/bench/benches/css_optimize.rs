@@ -1,0 +1,130 @@
+//! X6 — CSS sweep-order optimization: modeled toggles of naive (ascending
+//! round-robin) sweeps vs optimizer-ordered sweeps, per CSS family and
+//! context count, plus the optimizer's own latency (exact Held–Karp regime
+//! vs greedy nearest-neighbour regime).
+//!
+//! Acceptance (asserted, runs in CI): on the paper's 4-context hybrid
+//! reference the optimized full sweep spends **strictly fewer** toggles
+//! than round-robin order, and on randomized active sweeps the optimizer
+//! is never worse for either CSS family.
+//!
+//! Set `MCFPGA_BENCH_SMOKE=1` to run only the acceptance comparisons and
+//! skip wall-clock sampling — the mode CI uses on every push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_css::optimize::{optimize_sweep, CostMatrix};
+use mcfpga_css::Schedule;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn smoke() -> bool {
+    std::env::var_os("MCFPGA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Steady-state cost of repeated full sweeps: each sweep starts from the
+/// context the previous one ended on.
+fn steady_sweep_cost(matrix: &CostMatrix, order: &[usize], rounds: usize) -> usize {
+    let mut cur = 0usize;
+    let mut total = 0usize;
+    for _ in 0..rounds {
+        total += matrix.path_cost(Some(cur), order).unwrap();
+        cur = *order.last().unwrap();
+    }
+    total
+}
+
+/// Steady-state cost when every round is re-planned by the optimizer from
+/// wherever the broadcast sits.
+fn steady_optimized_cost(matrix: &CostMatrix, contexts: usize, rounds: usize) -> usize {
+    let sweep = Schedule::active_sweep(contexts, &(0..contexts).collect::<Vec<_>>()).unwrap();
+    let mut cur = 0usize;
+    let mut total = 0usize;
+    for _ in 0..rounds {
+        let opt = optimize_sweep(&sweep, matrix, Some(cur)).unwrap();
+        total += opt.optimized_cost;
+        cur = *opt.schedule.as_slice().last().unwrap();
+    }
+    total
+}
+
+/// The acceptance comparison: full-domain sweeps, both CSS families.
+fn acceptance() {
+    const ROUNDS: usize = 64;
+    println!("sweep-order optimization, {ROUNDS} steady-state full sweeps:");
+    println!("  contexts  family  round-robin  optimized  saved");
+    for &contexts in &[4usize, 8, 16] {
+        for family in ["hybrid", "binary"] {
+            let matrix = match family {
+                "hybrid" => CostMatrix::hybrid(contexts).unwrap(),
+                _ => CostMatrix::binary(contexts).unwrap(),
+            };
+            let ascending: Vec<usize> = (0..contexts).collect();
+            let naive = steady_sweep_cost(&matrix, &ascending, ROUNDS);
+            let optimized = steady_optimized_cost(&matrix, contexts, ROUNDS);
+            assert!(
+                optimized <= naive,
+                "{contexts}-ctx {family}: optimizer must never be worse"
+            );
+            println!(
+                "  {contexts:>8}  {family:<6}  {naive:>11}  {optimized:>9}  {:>4.1}%",
+                100.0 * (naive - optimized) as f64 / naive as f64
+            );
+        }
+    }
+
+    // the paper's reference configuration: 4 hybrid contexts — strictly
+    // fewer toggles than round-robin order (the ISSUE's CI gate)
+    let matrix = CostMatrix::hybrid(4).unwrap();
+    let naive = steady_sweep_cost(&matrix, &[0, 1, 2, 3], ROUNDS);
+    let optimized = steady_optimized_cost(&matrix, 4, ROUNDS);
+    assert!(
+        optimized < naive,
+        "4-context hybrid reference: optimized sweeps must be strictly \
+         cheaper than round-robin ({optimized} vs {naive})"
+    );
+
+    // randomized partial sweeps: never worse, both families, many starts
+    let mut rng = StdRng::seed_from_u64(0x0B71_0B71);
+    for _ in 0..200 {
+        let contexts = 4 * (1 + rng.random_range(0..4usize));
+        let len = 1 + rng.random_range(0..contexts);
+        let active: Vec<usize> = (0..len).map(|_| rng.random_range(0..contexts)).collect();
+        let start = rng.random_range(0..contexts);
+        let sweep = Schedule::active_sweep(contexts, &active).unwrap();
+        for matrix in [
+            CostMatrix::hybrid(contexts).unwrap(),
+            CostMatrix::binary(contexts).unwrap(),
+        ] {
+            let opt = optimize_sweep(&sweep, &matrix, Some(start)).unwrap();
+            assert!(opt.optimized_cost <= opt.naive_cost);
+        }
+    }
+    println!("  randomized partial sweeps: optimizer never worse (200 cases)");
+}
+
+fn bench(c: &mut Criterion) {
+    acceptance();
+    if smoke() {
+        println!("MCFPGA_BENCH_SMOKE set: skipping wall-clock sampling");
+        return;
+    }
+
+    let mut g = c.benchmark_group("css_optimize");
+    for &contexts in &[4usize, 8, 16, 32] {
+        let matrix = CostMatrix::hybrid(contexts).unwrap();
+        let sweep = Schedule::active_sweep(contexts, &(0..contexts).collect::<Vec<_>>()).unwrap();
+        let regime = if contexts <= 8 { "exact" } else { "greedy" };
+        g.bench_function(BenchmarkId::new(regime, contexts), |b| {
+            b.iter(|| black_box(optimize_sweep(&sweep, &matrix, Some(0)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mcfpga_device::TechParams;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
-use mcfpga_service::{ShardedService, TenantId};
+use mcfpga_service::{OptimizeMode, PlacementPolicy, ShardedService, TenantId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -20,6 +20,11 @@ use std::time::Instant;
 
 /// Requests per tenant per measured round: three full 64-lane batches.
 const REQUESTS_PER_TENANT: usize = 192;
+
+/// Drain rounds in the sparse-traffic energy comparison: each round
+/// submits one request per tenant and drains, so every round is a full
+/// 4-context sweep whose *order* the optimizer may choose.
+const SPARSE_ROUNDS: usize = 48;
 
 fn tenant_designs() -> Vec<(&'static str, LogicNetlist)> {
     // workload-scale designs: enough LUTs and routed hops per plane that a
@@ -37,7 +42,11 @@ fn tenant_designs() -> Vec<(&'static str, LogicNetlist)> {
 }
 
 fn build_service() -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
-    let mut svc = ShardedService::new(
+    build_service_mode(OptimizeMode::Optimized)
+}
+
+fn build_service_mode(mode: OptimizeMode) -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
+    let mut svc = ShardedService::with_policies(
         1,
         FabricParams {
             width: 8,
@@ -46,6 +55,8 @@ fn build_service() -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
             ..FabricParams::default()
         },
         TechParams::default(),
+        mode,
+        PlacementPolicy::RoundRobin,
     )
     .expect("service");
     let tenants = tenant_designs()
@@ -151,7 +162,72 @@ fn measure_speedup() -> f64 {
     speedup
 }
 
+/// Sparse-traffic energy gate: one request per tenant per drain, so every
+/// drain is a full 4-context sweep. The optimized sweep order must produce
+/// byte-identical responses and **strictly fewer** modeled CSS toggles
+/// than the naive (round-robin-order) sweep on the 8×8/4-context
+/// reference fabric.
+fn energy_comparison() {
+    let run = |mode: OptimizeMode| {
+        let (mut svc, tenants) = build_service_mode(mode);
+        let mut rng = StdRng::seed_from_u64(0x0E17_0E17);
+        let mut responses = Vec::new();
+        for _ in 0..SPARSE_ROUNDS {
+            for (id, names) in &tenants {
+                let vector: Vec<(String, bool)> = names
+                    .iter()
+                    .map(|n| (n.clone(), rng.random_range(0..2u32) == 1))
+                    .collect();
+                let refs: Vec<(&str, bool)> =
+                    vector.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                svc.submit(*id, &refs).expect("submit");
+            }
+            responses.extend(svc.drain().expect("drain"));
+        }
+        responses.sort_by_key(|r| r.request);
+        let (mut toggles, mut baseline, mut energy) = (0usize, 0usize, 0.0f64);
+        for (id, _) in &tenants {
+            let u = svc.usage(*id).expect("usage");
+            toggles += u.css_toggles;
+            baseline += u.css_toggles_baseline;
+            energy += svc.bill(*id).expect("bill").dynamic_energy_j;
+        }
+        (responses, toggles, baseline, energy)
+    };
+
+    let (naive_resp, naive_toggles, naive_baseline, naive_energy) = run(OptimizeMode::Naive);
+    let (opt_resp, opt_toggles, opt_baseline, opt_energy) = run(OptimizeMode::Optimized);
+
+    assert_eq!(
+        naive_resp, opt_resp,
+        "optimized sweeps must be output-equivalent to naive sweeps"
+    );
+    assert_eq!(
+        naive_toggles, naive_baseline,
+        "naive mode bills its own order as the baseline"
+    );
+    assert!(
+        opt_toggles < naive_toggles,
+        "optimized sweeps must spend strictly fewer CSS toggles \
+         ({opt_toggles} vs {naive_toggles})"
+    );
+    assert!(
+        opt_toggles < opt_baseline,
+        "the optimized run's own baseline accounting must show savings"
+    );
+    println!(
+        "sweep energy (8x8, 4 contexts, 4 tenants, {SPARSE_ROUNDS} sparse sweeps):\n  \
+         naive order:     {naive_toggles} toggles, {naive_energy:.3e} J\n  \
+         optimized order: {opt_toggles} toggles, {opt_energy:.3e} J\n  \
+         saved: {:.1}% of broadcast switching energy (responses identical)",
+        100.0 * (naive_toggles - opt_toggles) as f64 / naive_toggles as f64,
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    // energy gate: optimized sweep order strictly beats naive, outputs equal
+    energy_comparison();
+
     // correctness cross-check before timing: batched and unbatched modes
     // must produce identical responses for the same stream
     {

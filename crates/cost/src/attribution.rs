@@ -6,13 +6,26 @@
 //! shared fabric's energy is attributed to the tenant whose context switch
 //! caused it rather than smeared across everyone.
 //!
+//! Alongside the toggles actually charged, each tenant carries the
+//! *baseline* toggles the naive ascending sweep order would have charged
+//! for the same switches — the counterfactual the schedule optimizer
+//! (`mcfpga_css::optimize`) is billed against. The difference surfaces on
+//! the bill as `css_energy_saved_j`, so a tenant can see what the
+//! optimizer's reordering was worth to them specifically.
+//!
 //! ```
 //! use mcfpga_cost::attribution::{bill, TenantUsage};
 //! use mcfpga_device::TechParams;
 //!
-//! let usage = TenantUsage { requests: 130, passes: 3, css_toggles: 5 };
+//! let usage = TenantUsage {
+//!     requests: 130,
+//!     passes: 3,
+//!     css_toggles: 5,
+//!     css_toggles_baseline: 8, // the naive order would have cost 8
+//! };
 //! let b = bill(&usage, &TechParams::default());
 //! assert!(b.dynamic_energy_j > 0.0);
+//! assert!(b.css_energy_saved_j > 0.0, "the optimizer saved 3 toggles");
 //! assert!((b.vectors_per_pass - 130.0 / 3.0).abs() < 1e-12);
 //! ```
 
@@ -28,6 +41,14 @@ pub struct TenantUsage {
     /// CSS broadcast-wire toggles spent switching *into* the tenant's
     /// context (the switch is charged to the tenant being switched to).
     pub css_toggles: usize,
+    /// Toggles the *naive* (ascending) sweep order would have spent
+    /// switching into the tenant's context — the counterfactual baseline
+    /// the schedule optimizer is measured against. Equals
+    /// [`css_toggles`](Self::css_toggles) when optimization is off. A
+    /// single tenant's baseline may be *below* its actual charge (the
+    /// optimizer minimizes the whole sweep, not each hop), but summed over
+    /// a sweep's tenants the baseline is never less than the charge.
+    pub css_toggles_baseline: usize,
 }
 
 impl TenantUsage {
@@ -36,6 +57,7 @@ impl TenantUsage {
         self.requests += other.requests;
         self.passes += other.passes;
         self.css_toggles += other.css_toggles;
+        self.css_toggles_baseline += other.css_toggles_baseline;
     }
 }
 
@@ -44,6 +66,11 @@ impl TenantUsage {
 pub struct TenantBill {
     /// Dynamic CSS broadcast energy attributed to the tenant (joules).
     pub dynamic_energy_j: f64,
+    /// Broadcast energy the sweep optimizer saved this tenant versus the
+    /// naive ascending order (joules). Negative when the optimizer routed
+    /// *more* toggles through this tenant's switch-in (it minimizes the
+    /// sweep total, not each tenant); a service-wide sum is never negative.
+    pub css_energy_saved_j: f64,
     /// Mean request vectors served per fabric pass — the batching
     /// efficiency (64 is a perfectly full u64-lane pass, 1 is unbatched).
     pub vectors_per_pass: f64,
@@ -54,6 +81,8 @@ pub struct TenantBill {
 pub fn bill(usage: &TenantUsage, p: &TechParams) -> TenantBill {
     TenantBill {
         dynamic_energy_j: usage.css_toggles as f64 * p.css_toggle_energy_j,
+        css_energy_saved_j: (usage.css_toggles_baseline as f64 - usage.css_toggles as f64)
+            * p.css_toggle_energy_j,
         vectors_per_pass: if usage.passes == 0 {
             0.0
         } else {
@@ -76,6 +105,7 @@ pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String 
                 format!("{:.1}", b.vectors_per_pass),
                 u.css_toggles.to_string(),
                 format!("{:.3e}", b.dynamic_energy_j),
+                format!("{:.3e}", b.css_energy_saved_j),
             ]
         })
         .collect();
@@ -87,6 +117,7 @@ pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String 
             "vec/pass",
             "css toggles",
             "energy (J)",
+            "saved (J)",
         ],
         &body,
     )
@@ -104,6 +135,7 @@ mod tests {
                 requests: 64,
                 passes: 1,
                 css_toggles: 2,
+                css_toggles_baseline: 2,
             },
             &p,
         );
@@ -112,6 +144,7 @@ mod tests {
                 requests: 64,
                 passes: 1,
                 css_toggles: 4,
+                css_toggles_baseline: 4,
             },
             &p,
         );
@@ -123,7 +156,36 @@ mod tests {
     fn idle_tenant_bills_zero() {
         let b = bill(&TenantUsage::default(), &TechParams::default());
         assert_eq!(b.dynamic_energy_j, 0.0);
+        assert_eq!(b.css_energy_saved_j, 0.0);
         assert_eq!(b.vectors_per_pass, 0.0);
+    }
+
+    #[test]
+    fn saved_energy_is_signed() {
+        let p = TechParams::default();
+        let saved = bill(
+            &TenantUsage {
+                requests: 1,
+                passes: 1,
+                css_toggles: 2,
+                css_toggles_baseline: 4,
+            },
+            &p,
+        );
+        assert!(saved.css_energy_saved_j > 0.0);
+        // a tenant the optimizer charged *more* than the naive order sees
+        // a negative saving — honest per-tenant accounting
+        let charged = bill(
+            &TenantUsage {
+                requests: 1,
+                passes: 1,
+                css_toggles: 4,
+                css_toggles_baseline: 2,
+            },
+            &p,
+        );
+        assert!(charged.css_energy_saved_j < 0.0);
+        assert_eq!(saved.css_energy_saved_j, -charged.css_energy_saved_j);
     }
 
     #[test]
@@ -132,15 +194,18 @@ mod tests {
             requests: 1,
             passes: 1,
             css_toggles: 1,
+            css_toggles_baseline: 2,
         };
         u.absorb(&TenantUsage {
             requests: 63,
             passes: 0,
             css_toggles: 3,
+            css_toggles_baseline: 5,
         });
         assert_eq!(u.requests, 64);
         assert_eq!(u.passes, 1);
         assert_eq!(u.css_toggles, 4);
+        assert_eq!(u.css_toggles_baseline, 7);
     }
 
     #[test]
@@ -152,6 +217,7 @@ mod tests {
                     requests: 128,
                     passes: 2,
                     css_toggles: 3,
+                    css_toggles_baseline: 7,
                 },
             ),
             ("idle".to_string(), TenantUsage::default()),

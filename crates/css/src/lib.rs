@@ -19,10 +19,11 @@
 //!   so an 8-context fabric broadcasts 8 lines and the per-switch hardware
 //!   stays two FGMOSs per 4-context block with **no MUX**.
 //!
-//! Supporting modules: [`schedule`] (context sequences), [`waveform`]
-//! (sampled traces + ASCII/CSV rendering for the Fig. 7 reproduction) and
-//! [`generator`] (transistor-count model of the Fig. 8 generator and its
-//! amortisation across switches).
+//! Supporting modules: [`schedule`] (context sequences), [`optimize`]
+//! (sweep reordering against a pairwise transition-cost matrix — switching
+//! energy minimization), [`waveform`] (sampled traces + ASCII/CSV rendering
+//! for the Fig. 7 reproduction) and [`generator`] (transistor-count model
+//! of the Fig. 8 generator and its amortisation across switches).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@ pub mod gen_netlist;
 pub mod generator;
 pub mod hybrid;
 pub mod mv;
+pub mod optimize;
 pub mod schedule;
 pub mod waveform;
 
@@ -40,6 +42,7 @@ pub use gen_netlist::GeneratorNetlist;
 pub use generator::GeneratorCost;
 pub use hybrid::{HybridCssGen, LineId};
 pub use mv::MvCss;
+pub use optimize::{optimize_sweep, CostMatrix, OptimizeMode, OptimizedSweep};
 pub use schedule::Schedule;
 pub use waveform::Waveform;
 
@@ -63,6 +66,14 @@ pub enum CssError {
         /// Generator's block count.
         blocks: usize,
     },
+    /// A schedule and a transition-cost matrix cover different context
+    /// domains (see [`optimize::optimize_sweep`]).
+    DomainMismatch {
+        /// The schedule's context domain.
+        schedule: usize,
+        /// The matrix's context domain.
+        matrix: usize,
+    },
 }
 
 impl std::fmt::Display for CssError {
@@ -74,6 +85,12 @@ impl std::fmt::Display for CssError {
             CssError::BadContextCount(c) => write!(f, "unsupported context count {c}"),
             CssError::BadLine { block, blocks } => {
                 write!(f, "line block {block} out of range ({blocks} blocks)")
+            }
+            CssError::DomainMismatch { schedule, matrix } => {
+                write!(
+                    f,
+                    "schedule covers {schedule} contexts but the cost matrix covers {matrix}"
+                )
             }
         }
     }

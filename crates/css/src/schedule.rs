@@ -80,10 +80,19 @@ impl Schedule {
     }
 
     /// One sweep over the *active* subset of a context domain: each context
-    /// in `active` is visited exactly once, in ascending order (duplicates
-    /// collapse). This is the schedule a batch-execution service replays
-    /// when only some contexts have pending work — idle contexts are never
-    /// switched in, so they cost no broadcast toggles.
+    /// in `active` is visited exactly once, in ascending order. This is the
+    /// schedule a batch-execution service replays when only some contexts
+    /// have pending work — idle contexts are never switched in, so they
+    /// cost no broadcast toggles.
+    ///
+    /// **Duplicate context ids collapse** — they are deduplicated, not
+    /// rejected. A sweep visits each context at most once by definition; a
+    /// duplicate in `active` (e.g. several pending batches reporting the
+    /// same context) carries no extra information about *which* contexts
+    /// need switching in, so erroring would punish harmless callers. The
+    /// sweep optimizer ([`crate::optimize::optimize_sweep`]) makes the same
+    /// decision. Callers that genuinely need a context executed twice use
+    /// [`Schedule::explicit`], which preserves duplicates.
     ///
     /// An empty `active` set yields an empty schedule; a context outside
     /// the domain is rejected.

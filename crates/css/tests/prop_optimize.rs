@@ -1,0 +1,203 @@
+//! Properties of the sweep optimizer (`css::optimize`):
+//!
+//! 1. **Output equivalence** — on random routed fabrics, replaying the
+//!    optimized sweep produces bit-for-bit identical per-context outputs
+//!    to the naive order, across all 64 lanes.
+//! 2. **Energy monotonicity** — the optimized order's modeled toggles
+//!    never exceed the input order's, for both the hybrid and binary cost
+//!    models, from any starting context.
+//! 3. **Sweep structure** — the optimizer returns a permutation of the
+//!    input's distinct contexts, each visited exactly once (duplicates
+//!    collapse — the specified dedup decision).
+
+use mcfpga_core::ArchKind;
+use mcfpga_css::optimize::{optimize_sweep, CostMatrix};
+use mcfpga_css::Schedule;
+use mcfpga_device::TechParams;
+use mcfpga_fabric::compiled::CompiledFabric;
+use mcfpga_fabric::context::{run_schedule, ContextSequencer};
+use mcfpga_fabric::netlist_ir::{LogicNetlist, NodeId};
+use mcfpga_fabric::route::implement_netlist;
+use mcfpga_fabric::{Fabric, FabricParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Random LUT DAG (same shape as the engine-equivalence proptests):
+/// `inputs` primary inputs `i0..`, `luts` LUTs with 1–3 fanins, 2 outputs.
+fn random_dag(seed: u64, inputs: usize, luts: usize) -> LogicNetlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = LogicNetlist::new();
+    let mut pool: Vec<NodeId> = (0..inputs)
+        .map(|i| nl.add_input(&format!("i{i}")))
+        .collect();
+    for j in 0..luts {
+        let f = 1 + rng.random_range(0..3usize.min(pool.len()));
+        let mut fanin = Vec::with_capacity(f);
+        for _ in 0..f {
+            fanin.push(pool[rng.random_range(0..pool.len())]);
+        }
+        fanin.dedup();
+        let rows = 1u64 << fanin.len();
+        let table = rng.random_range(0..(1u64 << rows.min(63)));
+        let id = nl.add_lut(&format!("l{j}"), &fanin, table).unwrap();
+        pool.push(id);
+    }
+    nl.add_output("o1", pool[pool.len() - 1]).unwrap();
+    nl.add_output("o2", pool[pool.len() - 2]).unwrap();
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying the optimized order of a random active sweep through a
+    /// random multi-context fabric yields exactly the outputs of the naive
+    /// order, context by context, across all 64 lanes — and never costs
+    /// more broadcast toggles or energy.
+    #[test]
+    fn optimized_sweep_is_output_equivalent_and_never_costlier(
+        seed in 0u64..5000,
+        lane_seed in any::<u64>(),
+        active_mask in 1u8..16,
+    ) {
+        const INPUTS: usize = 4;
+        let mut f = Fabric::new(FabricParams {
+            width: 5,
+            height: 5,
+            channel_width: 4,
+            ..FabricParams::default()
+        }).unwrap();
+        let mut mapped = Vec::new();
+        for ctx in 0..4usize {
+            let nl = random_dag(seed.wrapping_add(1 + ctx as u64), INPUTS, 5 + ctx);
+            if implement_netlist(&mut f, &nl, ctx, seed ^ ctx as u64).is_ok() {
+                mapped.push(ctx);
+            } else {
+                f.clear_context(ctx).unwrap();
+            }
+        }
+        // the active subset: mapped contexts selected by the mask bits
+        let active: Vec<usize> = mapped
+            .iter()
+            .copied()
+            .filter(|&c| active_mask & (1 << c) != 0)
+            .collect();
+        prop_assume!(!active.is_empty());
+
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        let naive = Schedule::active_sweep(4, &active).unwrap();
+        // run_schedule resets the sequencer to context 0 first, so the
+        // optimizer is anchored there too
+        let matrix = CostMatrix::hybrid(4).unwrap();
+        let opt = optimize_sweep(&naive, &matrix, Some(0)).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(lane_seed);
+        let lanes: Vec<u64> = (0..INPUTS).map(|_| rng.random_range(0..u64::MAX)).collect();
+        let names: Vec<String> = (0..INPUTS).map(|i| format!("i{i}")).collect();
+        let inputs: Vec<(&str, u64)> = names
+            .iter()
+            .zip(&lanes)
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+
+        let p = TechParams::default();
+        let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+        let naive_run = run_schedule(&compiled, &mut seq, &naive, &inputs, &p).unwrap();
+        let opt_run = run_schedule(&compiled, &mut seq, &opt.schedule, &inputs, &p).unwrap();
+
+        // each context appears exactly once per sweep: compare by context
+        let by_ctx = |run: &mcfpga_fabric::context::ScheduleRun| -> BTreeMap<usize, Vec<(String, u64)>> {
+            run.steps.iter().cloned().collect()
+        };
+        let want = by_ctx(&naive_run);
+        let got = by_ctx(&opt_run);
+        prop_assert_eq!(want.len(), got.len(), "same contexts visited");
+        for (ctx, outs) in &want {
+            // bit-for-bit: every named output word equal on all 64 lanes
+            prop_assert_eq!(outs, &got[ctx], "ctx {} outputs diverge", ctx);
+        }
+
+        // modeled energy never worse, and the run agrees with the model
+        prop_assert!(opt_run.stats.wire_toggles <= naive_run.stats.wire_toggles);
+        prop_assert!(opt_run.stats.dynamic_energy_j <= naive_run.stats.dynamic_energy_j);
+        prop_assert_eq!(opt_run.stats.wire_toggles, opt.optimized_cost);
+        prop_assert_eq!(naive_run.stats.wire_toggles, opt.naive_cost);
+    }
+
+    /// Hybrid cost model: for any context count, active subset and start,
+    /// the optimizer's order is a one-visit permutation of the distinct
+    /// input contexts, its reported cost is the true path cost, and it
+    /// never exceeds the input order's cost.
+    #[test]
+    fn hybrid_energy_never_worse(
+        blocks in 1usize..6,
+        raw in prop::collection::vec(any::<usize>(), 1..20),
+        start_raw in any::<usize>(),
+    ) {
+        let contexts = blocks * 4;
+        let active: Vec<usize> = raw.iter().map(|r| r % contexts).collect();
+        let start = start_raw % contexts;
+        let matrix = CostMatrix::hybrid(contexts).unwrap();
+        let input = Schedule::active_sweep(contexts, &active).unwrap();
+        let opt = optimize_sweep(&input, &matrix, Some(start)).unwrap();
+
+        let input_cost = matrix.path_cost(Some(start), input.as_slice()).unwrap();
+        prop_assert_eq!(opt.naive_cost, input_cost);
+        prop_assert!(opt.optimized_cost <= opt.naive_cost);
+        prop_assert_eq!(
+            matrix.path_cost(Some(start), opt.schedule.as_slice()).unwrap(),
+            opt.optimized_cost
+        );
+
+        let mut want: Vec<usize> = active.clone();
+        want.sort_unstable();
+        want.dedup();
+        let mut got: Vec<usize> = opt.schedule.as_slice().to_vec();
+        got.sort_unstable();
+        prop_assert_eq!(got, want, "one visit per distinct context");
+    }
+
+    /// The same monotonicity holds under the binary (Hamming) cost model —
+    /// the optimizer is CSS-family agnostic.
+    #[test]
+    fn binary_energy_never_worse(
+        bits in 2u32..6,
+        raw in prop::collection::vec(any::<usize>(), 1..20),
+        start_raw in any::<usize>(),
+    ) {
+        let contexts = 1usize << bits;
+        let active: Vec<usize> = raw.iter().map(|r| r % contexts).collect();
+        let start = start_raw % contexts;
+        let matrix = CostMatrix::binary(contexts).unwrap();
+        let input = Schedule::active_sweep(contexts, &active).unwrap();
+        let opt = optimize_sweep(&input, &matrix, Some(start)).unwrap();
+        prop_assert!(opt.optimized_cost <= opt.naive_cost);
+        prop_assert_eq!(
+            matrix.path_cost(Some(start), opt.schedule.as_slice()).unwrap(),
+            opt.optimized_cost
+        );
+    }
+
+    /// Duplicates in the input collapse: optimizing a duplicated sweep is
+    /// identical to optimizing its deduplicated form.
+    #[test]
+    fn duplicates_collapse(
+        raw in prop::collection::vec(0usize..8, 1..24),
+        start in 0usize..8,
+    ) {
+        let matrix = CostMatrix::hybrid(8).unwrap();
+        let dup = Schedule::explicit(8, raw.clone()).unwrap();
+        let mut dedup_first: Vec<usize> = Vec::new();
+        for c in &raw {
+            if !dedup_first.contains(c) {
+                dedup_first.push(*c);
+            }
+        }
+        let dedup = Schedule::explicit(8, dedup_first).unwrap();
+        let a = optimize_sweep(&dup, &matrix, Some(start)).unwrap();
+        let b = optimize_sweep(&dedup, &matrix, Some(start)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -34,6 +34,7 @@
 use crate::compiled::CompiledFabric;
 use crate::FabricError;
 use mcfpga_core::ArchKind;
+use mcfpga_css::optimize::{optimize_sweep, CostMatrix, OptimizeMode};
 use mcfpga_css::{BinaryCss, HybridCssGen, Schedule};
 use mcfpga_device::TechParams;
 
@@ -118,6 +119,60 @@ impl ContextSequencer {
     #[must_use]
     pub fn current(&self) -> usize {
         self.cur
+    }
+
+    /// The pairwise context-transition cost matrix of this sequencer's CSS
+    /// — exactly the toggles [`step_to`](Self::step_to) charges per switch
+    /// (binary-word Hamming distance for the SRAM architecture, hybrid
+    /// broadcast-line toggles for the MV families). This is the matrix the
+    /// sweep optimizer ([`mcfpga_css::optimize`]) minimizes against.
+    #[must_use]
+    pub fn cost_matrix(&self) -> CostMatrix {
+        match &self.css {
+            CssState::Binary(_) => {
+                CostMatrix::from_fn(self.contexts, |a, b| (a ^ b).count_ones() as usize)
+            }
+            CssState::Hybrid(gen) => CostMatrix::from_fn(self.contexts, |a, b| {
+                gen.toggles_between(a, b)
+                    .expect("domain enumerated from the sequencer")
+            }),
+        }
+        .expect("sequencer context count validated at construction")
+    }
+
+    /// Orders `sweep` for execution from the sequencer's *current* context:
+    /// a no-op under [`OptimizeMode::Naive`], a minimum-toggle reordering
+    /// (via [`optimize_sweep`] over [`cost_matrix`](Self::cost_matrix))
+    /// under [`OptimizeMode::Optimized`]. The plan is advisory — replaying
+    /// either order produces identical per-context outputs; the optimized
+    /// one never costs more broadcast toggles.
+    ///
+    /// Builds a fresh cost matrix per call; replay-heavy callers should
+    /// compute [`cost_matrix`](Self::cost_matrix) once and use
+    /// [`plan_sweep_with`](Self::plan_sweep_with).
+    pub fn plan_sweep(
+        &self,
+        sweep: &Schedule,
+        mode: OptimizeMode,
+    ) -> Result<Schedule, FabricError> {
+        self.plan_sweep_with(sweep, mode, &self.cost_matrix())
+    }
+
+    /// [`plan_sweep`](Self::plan_sweep) against a caller-cached cost
+    /// matrix — the hot-path form: the matrix never changes for a given
+    /// sequencer, so a service flushing many sweeps computes it once.
+    pub fn plan_sweep_with(
+        &self,
+        sweep: &Schedule,
+        mode: OptimizeMode,
+        matrix: &CostMatrix,
+    ) -> Result<Schedule, FabricError> {
+        match mode {
+            OptimizeMode::Naive => Ok(sweep.clone()),
+            OptimizeMode::Optimized => Ok(optimize_sweep(sweep, matrix, Some(self.cur))
+                .map_err(mcfpga_core::CoreError::Css)?
+                .schedule),
+        }
     }
 
     /// Returns the sequencer to context 0 without charging toggles, so the
@@ -325,5 +380,65 @@ mod tests {
         // energy accounting matches the plain replay exactly
         let plain = replay_schedule(ArchKind::Hybrid, 4, &sched, &p).unwrap();
         assert_eq!(run.stats, plain);
+    }
+
+    /// The cost matrix must model exactly what `step_to` charges — for
+    /// every architecture and every ordered context pair.
+    #[test]
+    fn cost_matrix_matches_step_to_charges() {
+        for arch in ArchKind::all() {
+            let mut seq = ContextSequencer::new(arch, 8).unwrap();
+            let m = seq.cost_matrix();
+            for a in 0..8 {
+                for b in 0..8 {
+                    seq.reset().unwrap();
+                    seq.step_to(a).unwrap();
+                    let charged = seq.step_to(b).unwrap();
+                    assert_eq!(m.cost(a, b).unwrap(), charged, "{arch:?} {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_sweep_replays_cheaper_never_worse() {
+        let p = TechParams::default();
+        for arch in ArchKind::all() {
+            let mut seq = ContextSequencer::new(arch, 8).unwrap();
+            let naive = Schedule::active_sweep(8, &(0..8).collect::<Vec<_>>()).unwrap();
+            // Naive mode is the identity
+            assert_eq!(seq.plan_sweep(&naive, OptimizeMode::Naive).unwrap(), naive);
+            let planned = seq.plan_sweep(&naive, OptimizeMode::Optimized).unwrap();
+            let cost_naive = seq.replay(&naive, &p).unwrap().wire_toggles;
+            let cost_planned = seq.replay(&planned, &p).unwrap().wire_toggles;
+            assert!(cost_planned <= cost_naive, "{arch:?}");
+            let mut visited = planned.as_slice().to_vec();
+            visited.sort_unstable();
+            assert_eq!(visited, (0..8).collect::<Vec<_>>(), "{arch:?}");
+        }
+        // the hybrid full sweep is the paper's headline case: strictly cheaper
+        let seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+        let naive = Schedule::active_sweep(4, &[0, 1, 2, 3]).unwrap();
+        let planned = seq.plan_sweep(&naive, OptimizeMode::Optimized).unwrap();
+        let m = seq.cost_matrix();
+        assert!(
+            m.path_cost(Some(0), planned.as_slice()).unwrap()
+                < m.path_cost(Some(0), naive.as_slice()).unwrap()
+        );
+    }
+
+    /// Plans account for where the broadcast currently sits: after stepping
+    /// to the last context, the next sweep is planned from *there*.
+    #[test]
+    fn plan_sweep_starts_from_current_context() {
+        let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+        seq.step_to(3).unwrap();
+        let sweep = Schedule::active_sweep(4, &[0, 1, 2, 3]).unwrap();
+        let planned = seq.plan_sweep(&sweep, OptimizeMode::Optimized).unwrap();
+        let m = seq.cost_matrix();
+        // from ctx 3 the optimal tour re-enters 3 first (free), e.g.
+        // 3→1→0→2 = 0+2+4+2 = 8; the plan must cost exactly that
+        assert_eq!(m.path_cost(Some(3), planned.as_slice()).unwrap(), 8);
+        assert_eq!(planned.as_slice()[0], 3, "current context rides free");
     }
 }

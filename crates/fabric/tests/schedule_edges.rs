@@ -3,6 +3,7 @@
 //! never saw (which must error, not panic).
 
 use mcfpga_core::ArchKind;
+use mcfpga_css::optimize::{optimize_sweep, CostMatrix, OptimizeMode};
 use mcfpga_css::Schedule;
 use mcfpga_device::TechParams;
 use mcfpga_fabric::compiled::CompiledFabric;
@@ -82,6 +83,68 @@ fn schedule_beyond_fabric_contexts_errors_not_panics() {
             contexts: 4
         }
     );
+}
+
+/// Duplicate context ids handed to a sweep are *specified* to collapse —
+/// the dedup-not-error decision (documented on `Schedule::active_sweep`
+/// and `css::optimize`). A sweep visits each context at most once, so the
+/// replay executes one step per distinct context, not per duplicate.
+#[test]
+fn duplicate_context_ids_in_a_sweep_collapse() {
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    // context 1 reported pending three times, context 0 twice
+    let sched = Schedule::active_sweep(4, &[1, 1, 0, 1, 0]).unwrap();
+    assert_eq!(sched.as_slice(), &[0, 1], "duplicates dedup, not error");
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let run = run_schedule(&compiled, &mut seq, &sched, UNION, &TechParams::default()).unwrap();
+    assert_eq!(run.steps.len(), 2, "one execution per distinct context");
+    assert_eq!(run.stats.switches, 1, "stay on 0, one switch to 1");
+}
+
+/// The optimizer makes the same dedup decision, so replaying its plan of
+/// a duplicated sweep equals replaying the deduplicated naive order —
+/// same outputs, never more toggles.
+#[test]
+fn optimizer_collapses_duplicates_and_replays_equivalently() {
+    let compiled = CompiledFabric::compile(&two_context_fabric()).unwrap();
+    let matrix = CostMatrix::hybrid(4).unwrap();
+    let dup = Schedule::explicit(4, vec![1, 0, 1, 0, 1]).unwrap();
+    let opt = optimize_sweep(&dup, &matrix, Some(0)).unwrap();
+    let mut visited = opt.schedule.as_slice().to_vec();
+    visited.sort_unstable();
+    assert_eq!(visited, vec![0, 1], "each context exactly once");
+
+    let p = TechParams::default();
+    let mut seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let naive = Schedule::active_sweep(4, &[1, 0, 1, 0, 1]).unwrap();
+    let naive_run = run_schedule(&compiled, &mut seq, &naive, UNION, &p).unwrap();
+    let opt_run = run_schedule(&compiled, &mut seq, &opt.schedule, UNION, &p).unwrap();
+    assert!(opt_run.stats.wire_toggles <= naive_run.stats.wire_toggles);
+    for (ctx, outs) in &naive_run.steps {
+        let (_, opt_outs) = opt_run
+            .steps
+            .iter()
+            .find(|(c, _)| c == ctx)
+            .expect("optimized sweep visits the same contexts");
+        assert_eq!(outs, opt_outs, "ctx {ctx} outputs must be identical");
+    }
+    // replaying the *duplicated* schedule itself is still legal (explicit
+    // schedules preserve duplicates by design) and costs at least as much
+    let dup_run = run_schedule(&compiled, &mut seq, &dup, UNION, &p).unwrap();
+    assert_eq!(dup_run.steps.len(), 5);
+    assert!(dup_run.stats.wire_toggles >= opt_run.stats.wire_toggles);
+}
+
+/// `plan_sweep` accepts a duplicated sweep too: the plan it returns is
+/// deduplicated, so a service replaying the plan never double-executes.
+#[test]
+fn plan_sweep_dedups_duplicated_input() {
+    let seq = ContextSequencer::new(ArchKind::Hybrid, 4).unwrap();
+    let dup = Schedule::explicit(4, vec![3, 3, 2, 3, 2]).unwrap();
+    let plan = seq.plan_sweep(&dup, OptimizeMode::Optimized).unwrap();
+    let mut visited = plan.as_slice().to_vec();
+    visited.sort_unstable();
+    assert_eq!(visited, vec![2, 3]);
 }
 
 #[test]

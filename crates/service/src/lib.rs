@@ -22,9 +22,14 @@
 //! * [`service::ShardedService`] — owns N independent fabric shards, drives
 //!   each shard's context sequence with the existing
 //!   [`ContextSequencer`](mcfpga_fabric::ContextSequencer) over an
-//!   [`active_sweep`](mcfpga_css::Schedule::active_sweep) schedule, and
-//!   attributes CSS broadcast energy and throughput per tenant via
-//!   [`mcfpga_cost::attribution`].
+//!   [`active_sweep`](mcfpga_css::Schedule::active_sweep) schedule —
+//!   reordered for minimum broadcast toggles under
+//!   [`OptimizeMode::Optimized`] (the default; see
+//!   [`mcfpga_css::optimize`]) — and attributes CSS broadcast energy and
+//!   throughput per tenant via [`mcfpga_cost::attribution`], including
+//!   what the reordering saved versus the naive order. Admission slots are
+//!   chosen by a [`PlacementPolicy`]: round-robin, or energy-aware
+//!   marginal-sweep-cost placement with plane-cache affinity.
 //!
 //! [`LaneBatch`]: mcfpga_fabric::compiled::LaneBatch
 //!
@@ -52,12 +57,18 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod placement;
 pub mod registry;
 pub mod service;
 
 pub use batch::{BatchQueue, RequestId, Response};
+pub use placement::{netlist_fingerprint, PlacementPolicy};
 pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 pub use service::{ShardedService, SlotFault};
+
+// the sweep-ordering knob lives in `mcfpga_css::optimize`; re-exported here
+// because it is half of the service's policy surface
+pub use mcfpga_css::OptimizeMode;
 
 use mcfpga_css::CssError;
 use mcfpga_fabric::FabricError;

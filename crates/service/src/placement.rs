@@ -1,0 +1,201 @@
+//! Energy-aware tenant → `(shard, context)` slot placement.
+//!
+//! Round-robin admission spreads tenants across shards but is blind to
+//! *which context slot* it hands out — and on the hybrid CSS the slot
+//! choice decides what every future sweep costs: two tenants parked on
+//! contexts 0 and 1 force a polarity flip (4 line toggles) on every
+//! switch between them, while contexts 0 and 2 switch for 2.
+//!
+//! [`PlacementPolicy::EnergyAware`] scores each free slot by the
+//! **marginal sweep cost** it adds to its shard: the optimized cost of
+//! sweeping the shard's occupied contexts plus the candidate, minus the
+//! optimized cost without it (both from the sequencer's home context 0,
+//! using the same [`CostMatrix`] the executor charges by). Ties break
+//! toward plane-cache affinity — a context index where the same netlist
+//! was admitted before routes to an identical digest, so the compiled
+//! plane is reused instead of recompiled — then toward emptier shards,
+//! then the lowest slot.
+
+use crate::registry::{Placement, TenantRegistry};
+use crate::ServiceError;
+use mcfpga_css::optimize::{optimize_sweep, CostMatrix};
+use mcfpga_css::Schedule;
+use mcfpga_fabric::netlist_ir::Node;
+use mcfpga_fabric::LogicNetlist;
+
+/// How [`crate::ShardedService`] assigns admitted tenants to slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementPolicy {
+    /// Round-robin across shards, lowest free context slot per shard —
+    /// the original admission order. Predictable, energy-blind.
+    #[default]
+    RoundRobin,
+    /// Choose the free slot with the smallest marginal sweep cost for its
+    /// shard (see the [module docs](self)); prefer plane-cache affinity on
+    /// ties. Never changes *whether* a tenant is admitted, only *where*.
+    EnergyAware,
+}
+
+/// Optimized cost of sweeping `ctxs` from the sequencer's home context 0.
+fn sweep_cost(matrix: &CostMatrix, ctxs: &[usize]) -> Result<usize, ServiceError> {
+    if ctxs.is_empty() {
+        return Ok(0);
+    }
+    let sweep = Schedule::active_sweep(matrix.contexts(), ctxs)?;
+    Ok(optimize_sweep(&sweep, matrix, Some(0))?.optimized_cost)
+}
+
+/// Picks the free slot minimizing marginal sweep cost under `matrix`.
+///
+/// `affinity_ctx` is the context index the same netlist landed on at a
+/// previous admission (deterministic per-slot routing makes its digest —
+/// and therefore its compiled plane — reusable there); it only breaks ties
+/// between equally cheap slots, never overrides the energy ranking.
+pub(crate) fn choose_energy_aware(
+    registry: &TenantRegistry,
+    matrix: &CostMatrix,
+    affinity_ctx: Option<usize>,
+) -> Result<Placement, ServiceError> {
+    let free = registry.free_slots();
+    let mut best: Option<(usize, bool, usize, Placement)> = None;
+    for slot in free {
+        let occupied = registry.occupied_contexts(slot.shard);
+        let before = sweep_cost(matrix, &occupied)?;
+        let mut with = occupied;
+        with.push(slot.ctx);
+        let marginal = sweep_cost(matrix, &with)?.saturating_sub(before);
+        let affinity_miss = affinity_ctx != Some(slot.ctx);
+        let load = with.len() - 1;
+        // lexicographic: marginal cost, then affinity hit, then shard load,
+        // then shard-major slot order (free_slots() is already sorted)
+        let key = (marginal, affinity_miss, load, slot);
+        let better = match &best {
+            None => true,
+            Some((m, a, l, _)) => (marginal, affinity_miss, load) < (*m, *a, *l),
+        };
+        if better {
+            best = Some(key);
+        }
+    }
+    match best {
+        Some((_, _, _, slot)) => Ok(slot),
+        // no free slots: reserve() surfaces the canonical CapacityExhausted
+        None => registry.reserve(),
+    }
+}
+
+/// Structural fingerprint of a netlist (FNV-1a over nodes and outputs).
+///
+/// Two netlists with equal fingerprints route identically into the same
+/// context slot (admission routing is seeded per slot), producing equal
+/// [`mcfpga_fabric::Fabric::context_digest`]s — which is what makes the
+/// fingerprint a sound plane-cache *affinity* hint. It is only a hint:
+/// the digest itself, computed after routing, remains the cache key.
+#[must_use]
+pub fn netlist_fingerprint(nl: &LogicNetlist) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut put = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for node in nl.nodes() {
+        match node {
+            Node::Input { name } => {
+                put(&[0]);
+                put(name.as_bytes());
+            }
+            Node::Lut { name, fanin, table } => {
+                put(&[1]);
+                put(name.as_bytes());
+                for f in fanin {
+                    put(&f.0.to_le_bytes());
+                }
+                put(&table.to_le_bytes());
+            }
+        }
+    }
+    for (name, node) in nl.outputs() {
+        put(&[2]);
+        put(name.as_bytes());
+        put(&node.0.to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_fabric::netlist_ir::generators;
+
+    fn registry_with(shards: usize, contexts: usize, taken: &[(usize, usize)]) -> TenantRegistry {
+        let mut reg = TenantRegistry::new(shards, contexts).unwrap();
+        for &(shard, ctx) in taken {
+            reg.commit(&format!("t{shard}_{ctx}"), Placement { shard, ctx }, 0);
+        }
+        reg
+    }
+
+    #[test]
+    fn prefers_same_polarity_contexts() {
+        // one tenant on ctx 0: the next should land on ctx 2 (2 toggles),
+        // not ctx 1 (polarity flip, 4 toggles)
+        let reg = registry_with(1, 4, &[(0, 0)]);
+        let m = CostMatrix::hybrid(4).unwrap();
+        let slot = choose_energy_aware(&reg, &m, None).unwrap();
+        assert_eq!((slot.shard, slot.ctx), (0, 2));
+    }
+
+    #[test]
+    fn empty_shards_win_before_costlier_slots() {
+        // shard 0 holds ctx 0; shard 1 is empty — any slot there adds zero
+        // marginal cost, so the empty shard wins
+        let reg = registry_with(2, 4, &[(0, 0)]);
+        let m = CostMatrix::hybrid(4).unwrap();
+        let slot = choose_energy_aware(&reg, &m, None).unwrap();
+        assert_eq!(slot.shard, 1);
+    }
+
+    #[test]
+    fn affinity_breaks_ties_only() {
+        let m = CostMatrix::hybrid(8).unwrap();
+        // contexts 0 and 2 occupied: every remaining slot adds the same
+        // marginal cost (4 toggles) — a genuine tie the affinity hint may
+        // decide (ctx 6 would reuse a compiled plane)
+        let reg = registry_with(1, 8, &[(0, 0), (0, 2)]);
+        let slot = choose_energy_aware(&reg, &m, Some(6)).unwrap();
+        assert_eq!(slot.ctx, 6);
+        // without a hint the tie falls to the lowest slot
+        let slot = choose_energy_aware(&reg, &m, None).unwrap();
+        assert_eq!(slot.ctx, 1);
+        // but affinity never overrides the energy ranking: with only ctx 0
+        // occupied, ctx 1 costs 4 marginal while ctx 2 costs 2 — the hint
+        // pointing at ctx 1 loses
+        let reg = registry_with(1, 8, &[(0, 0)]);
+        let slot = choose_energy_aware(&reg, &m, Some(1)).unwrap();
+        assert_eq!(slot.ctx, 2);
+    }
+
+    #[test]
+    fn full_registry_reports_capacity() {
+        let reg = registry_with(1, 4, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let m = CostMatrix::hybrid(4).unwrap();
+        assert!(matches!(
+            choose_energy_aware(&reg, &m, None),
+            Err(ServiceError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_separate_structures() {
+        let a = generators::parity_tree(3).unwrap();
+        let b = generators::parity_tree(3).unwrap();
+        let c = generators::parity_tree(4).unwrap();
+        let d = generators::wire_lanes(1).unwrap();
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&b));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&c));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&d));
+    }
+}

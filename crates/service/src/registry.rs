@@ -122,6 +122,35 @@ impl TenantRegistry {
         *self.slots.get(shard)?.get(ctx)?
     }
 
+    /// Every currently free slot, shard-major then context-ascending —
+    /// the candidate set an energy-aware placement policy scores.
+    #[must_use]
+    pub fn free_slots(&self) -> Vec<Placement> {
+        self.slots
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, ctxs)| {
+                ctxs.iter()
+                    .enumerate()
+                    .filter(|(_, slot)| slot.is_none())
+                    .map(move |(ctx, _)| Placement { shard, ctx })
+            })
+            .collect()
+    }
+
+    /// Context slots of `shard` that currently host a tenant, ascending —
+    /// the set an energy-aware placement sweeps when every tenant is busy.
+    #[must_use]
+    pub fn occupied_contexts(&self, shard: usize) -> Vec<usize> {
+        self.slots.get(shard).map_or_else(Vec::new, |ctxs| {
+            ctxs.iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_some())
+                .map(|(ctx, _)| ctx)
+                .collect()
+        })
+    }
+
     /// Number of admitted tenants.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -9,15 +9,18 @@
 //! switched in — exactly as in plain schedule replay.
 
 use crate::batch::{BatchQueue, RequestId, Response};
+use crate::placement::{choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 use crate::ServiceError;
 use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
+use mcfpga_css::optimize::{CostMatrix, OptimizeMode};
 use mcfpga_css::Schedule;
 use mcfpga_device::TechParams;
 use mcfpga_fabric::compiled::{CompiledState, PushRefusal};
 use mcfpga_fabric::context::ContextSequencer;
 use mcfpga_fabric::route::implement_netlist_robust;
-use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist};
+use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, TileCoord};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Routing seed per context slot: admission is deterministic per slot, so
@@ -70,16 +73,46 @@ pub struct ShardedService {
     usage: Vec<TenantUsage>,
     ready: Vec<Response>,
     faults: Vec<SlotFault>,
+    /// Sweep-ordering policy (see [`mcfpga_css::optimize`]).
+    optimize: OptimizeMode,
+    /// Admission slot-assignment policy.
+    placement: PlacementPolicy,
+    /// The arch's pairwise transition-toggle matrix — shared by the sweep
+    /// optimizer, the baseline accounting and energy-aware placement.
+    matrix: CostMatrix,
+    /// Netlist fingerprint → context index of its first admission: the
+    /// plane-cache affinity hint energy-aware placement tie-breaks on.
+    affinity: HashMap<u64, usize>,
 }
 
 impl ShardedService {
     /// A service of `shards` fabrics, each shaped by `params`, with energy
     /// accounted under `tech`. Capacity is `shards × params.contexts`
-    /// tenants.
+    /// tenants. Sweeps are toggle-optimized ([`OptimizeMode::Optimized`] —
+    /// output-equivalent to the naive order, never more energy) and
+    /// admission is round-robin; see
+    /// [`with_policies`](Self::with_policies) for the full policy surface.
     pub fn new(
         shards: usize,
         params: FabricParams,
         tech: TechParams,
+    ) -> Result<Self, ServiceError> {
+        Self::with_policies(
+            shards,
+            params,
+            tech,
+            OptimizeMode::Optimized,
+            PlacementPolicy::RoundRobin,
+        )
+    }
+
+    /// A service with explicit sweep-ordering and placement policies.
+    pub fn with_policies(
+        shards: usize,
+        params: FabricParams,
+        tech: TechParams,
+        optimize: OptimizeMode,
+        placement: PlacementPolicy,
     ) -> Result<Self, ServiceError> {
         let registry = TenantRegistry::new(shards, params.contexts)?;
         let mut built = Vec::with_capacity(shards);
@@ -91,6 +124,7 @@ impl ShardedService {
                 scratch: None,
             });
         }
+        let matrix = built[0].seq.cost_matrix();
         Ok(ShardedService {
             params,
             tech,
@@ -101,15 +135,52 @@ impl ShardedService {
             usage: Vec::new(),
             ready: Vec::new(),
             faults: Vec::new(),
+            optimize,
+            placement,
+            matrix,
+            affinity: HashMap::new(),
         })
     }
 
-    /// Admits a tenant: routes `netlist` into the next round-robin
-    /// `(shard, context)` slot, then reuses a cached compiled plane when
-    /// the routed configuration's digest has been seen before (re-admitting
-    /// an identical bitstream never recompiles).
+    /// The active sweep-ordering policy.
+    #[must_use]
+    pub fn optimize_mode(&self) -> OptimizeMode {
+        self.optimize
+    }
+
+    /// Switches the sweep-ordering policy. Takes effect on the next flush;
+    /// already-queued requests are unaffected (any order is
+    /// output-equivalent).
+    pub fn set_optimize_mode(&mut self, mode: OptimizeMode) {
+        self.optimize = mode;
+    }
+
+    /// The active placement policy.
+    #[must_use]
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Switches the placement policy for *future* admissions; existing
+    /// tenants keep their slots.
+    pub fn set_placement_policy(&mut self, policy: PlacementPolicy) {
+        self.placement = policy;
+    }
+
+    /// Admits a tenant: assigns a `(shard, context)` slot under the active
+    /// [`PlacementPolicy`], routes `netlist` into it, then reuses a cached
+    /// compiled plane when the routed configuration's digest has been seen
+    /// before (re-admitting an identical bitstream never recompiles).
     pub fn admit(&mut self, name: &str, netlist: &LogicNetlist) -> Result<TenantId, ServiceError> {
-        let placement = self.registry.reserve()?;
+        let fingerprint = netlist_fingerprint(netlist);
+        let placement = match self.placement {
+            PlacementPolicy::RoundRobin => self.registry.reserve()?,
+            PlacementPolicy::EnergyAware => choose_energy_aware(
+                &self.registry,
+                &self.matrix,
+                self.affinity.get(&fingerprint).copied(),
+            )?,
+        };
         let shard = &mut self.shards[placement.shard];
         let routed = implement_netlist_robust(
             &mut shard.fabric,
@@ -129,6 +200,7 @@ impl ShardedService {
         })?;
         shard.planes[placement.ctx] = Some(plane);
         let id = self.registry.commit(name, placement, digest);
+        self.affinity.entry(fingerprint).or_insert(placement.ctx);
         self.usage.push(TenantUsage::default());
         self.seed_slot(placement)?;
         Ok(id)
@@ -247,8 +319,45 @@ impl ShardedService {
         std::mem::take(&mut self.faults)
     }
 
+    /// Chaos-testing hook: swaps `tenant`'s compiled plane for one whose
+    /// bound output can never resolve, so the slot's next pass fails and
+    /// surfaces as a [`SlotFault`] (requests stay queued, exactly as for a
+    /// real plane corruption). The tenant's routed fabric configuration is
+    /// untouched — [`repair_plane`](Self::repair_plane) restores service.
+    pub fn inject_plane_fault(&mut self, tenant: TenantId) -> Result<(), ServiceError> {
+        let placement = self.registry.tenant(tenant)?.placement;
+        let mut broken = Fabric::new(self.params)?;
+        broken.bind_output(TileCoord { x: 0, y: 0 }, 0, placement.ctx, "poisoned")?;
+        self.shards[placement.shard].planes[placement.ctx] = Some(Arc::new(
+            CompiledFabric::compile_context(&broken, placement.ctx)?,
+        ));
+        Ok(())
+    }
+
+    /// Restores `tenant`'s true compiled plane after
+    /// [`inject_plane_fault`](Self::inject_plane_fault) (or any plane
+    /// corruption), by digest: the admission-time digest recorded in the
+    /// registry finds the cached plane, recompiling from the tenant's
+    /// still-routed fabric configuration only on a cache miss. Queued
+    /// requests survive and serve normally on the next flush.
+    pub fn repair_plane(&mut self, tenant: TenantId) -> Result<(), ServiceError> {
+        let record = self.registry.tenant(tenant)?;
+        let placement = record.placement;
+        let digest = record.digest;
+        let shard = &self.shards[placement.shard];
+        let plane = self.cache.get_or_compile(digest, || {
+            CompiledFabric::compile_context(&shard.fabric, placement.ctx)
+        })?;
+        self.shards[placement.shard].planes[placement.ctx] = Some(plane);
+        Ok(())
+    }
+
     /// Executes the pending batches of `active` contexts on one shard, in
-    /// CSS schedule order, charging switch energy to the tenant switched in.
+    /// CSS schedule order — reordered for minimum broadcast toggles under
+    /// [`OptimizeMode::Optimized`] — charging switch energy to the tenant
+    /// switched in, alongside the *baseline* toggles the naive ascending
+    /// order would have charged (so each bill carries what the optimizer
+    /// saved; see [`mcfpga_cost::attribution`]).
     ///
     /// A slot's batch is removed from the queue only *after* its pass
     /// succeeds — a failed pass records a [`SlotFault`], keeps its requests
@@ -257,7 +366,21 @@ impl ShardedService {
     /// `Err` branch is reserved for structural failures (a broken schedule
     /// domain or registry/plane invariant).
     fn run_shard(&mut self, shard_idx: usize, active: &[usize]) -> Result<(), ServiceError> {
-        let schedule = Schedule::active_sweep(self.params.contexts, active)?;
+        let naive = Schedule::active_sweep(self.params.contexts, active)?;
+        // the counterfactual: per-context toggles of the naive ascending
+        // walk from the broadcast's current position (each active context
+        // appears exactly once in a sweep, so a map by context is sound)
+        let start = self.shards[shard_idx].seq.current();
+        let baseline: Vec<(usize, usize)> = naive
+            .as_slice()
+            .iter()
+            .copied()
+            .zip(self.matrix.step_costs(Some(start), naive.as_slice())?)
+            .collect();
+        let schedule =
+            self.shards[shard_idx]
+                .seq
+                .plan_sweep_with(&naive, self.optimize, &self.matrix)?;
         for ctx in schedule.iter() {
             let Some(batch) = self.queue.slot(shard_idx, ctx) else {
                 continue;
@@ -281,6 +404,10 @@ impl ShardedService {
             // energy whether or not the pass below resolves
             let toggles = shard.seq.step_to(ctx)?;
             self.usage[tenant.index()].css_toggles += toggles;
+            self.usage[tenant.index()].css_toggles_baseline += baseline
+                .iter()
+                .find(|(c, _)| *c == ctx)
+                .map_or(toggles, |(_, cost)| *cost);
             let scratch = shard.scratch.get_or_insert_with(|| plane.new_state());
             let outs = match plane.eval_batch_into(ctx, &batch.lane_inputs(), scratch) {
                 Ok(outs) => outs,

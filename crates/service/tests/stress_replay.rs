@@ -1,0 +1,267 @@
+//! Deterministic workload-replay stress test: hundreds of interleaved
+//! submit / drain / fault-inject / repair / discard cycles across many
+//! tenants on a sharded service, asserting **queue conservation** — every
+//! issued request is either answered exactly once or explicitly discarded,
+//! none invented, none lost — and that [`ShardedService::take_faults`]
+//! drains exactly once.
+//!
+//! The replay is seeded (`compat/rand` `StdRng`), so a failure reproduces
+//! bit-for-bit. Faults are injected with the service's chaos hooks
+//! ([`ShardedService::inject_plane_fault`] /
+//! [`ShardedService::repair_plane`]), the same failure class a corrupted
+//! compiled plane would produce in production.
+
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::{
+    OptimizeMode, PlacementPolicy, RequestId, ServiceError, ShardedService, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+const CYCLES: usize = 600;
+const SEED: u64 = 0xC0FF_EE00_5EED;
+
+fn input_names(nl: &LogicNetlist) -> Vec<String> {
+    nl.input_ids()
+        .into_iter()
+        .map(|id| match nl.node(id) {
+            Node::Input { name } => name.clone(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+struct Harness {
+    svc: ShardedService,
+    tenants: Vec<(TenantId, Vec<String>)>,
+    rng: StdRng,
+    /// Requests issued but not yet answered, per tenant.
+    pending: HashMap<TenantId, Vec<RequestId>>,
+    /// Every id ever issued (uniqueness check).
+    issued: HashSet<RequestId>,
+    answered: HashSet<RequestId>,
+    discarded: usize,
+    submitted: usize,
+    /// Tenants whose plane is currently poisoned.
+    poisoned: HashSet<TenantId>,
+    /// Tenants that were poisoned at any point since the last
+    /// `take_faults` — the only legitimate sources of fault records (a
+    /// repair does not erase a fault already recorded).
+    fault_candidates: HashSet<TenantId>,
+    faults_seen: usize,
+}
+
+impl Harness {
+    fn new(optimize: OptimizeMode, placement: PlacementPolicy) -> Self {
+        let mut svc = ShardedService::with_policies(
+            2,
+            FabricParams {
+                width: 5,
+                height: 5,
+                channel_width: 3,
+                ..FabricParams::default()
+            },
+            TechParams::default(),
+            optimize,
+            placement,
+        )
+        .expect("service");
+        let designs = [
+            ("wire", generators::wire_lanes(1).unwrap()),
+            ("parity3", generators::parity_tree(3).unwrap()),
+            ("parity4", generators::parity_tree(4).unwrap()),
+            ("cmp2", generators::equality_comparator(2).unwrap()),
+            ("pop4", generators::popcount4().unwrap()),
+            ("wire2", generators::wire_lanes(1).unwrap()),
+        ];
+        let tenants = designs
+            .iter()
+            .map(|(name, nl)| (svc.admit(name, nl).expect("admit"), input_names(nl)))
+            .collect();
+        Harness {
+            svc,
+            tenants,
+            rng: StdRng::seed_from_u64(SEED),
+            pending: HashMap::new(),
+            issued: HashSet::new(),
+            answered: HashSet::new(),
+            discarded: 0,
+            submitted: 0,
+            poisoned: HashSet::new(),
+            fault_candidates: HashSet::new(),
+            faults_seen: 0,
+        }
+    }
+
+    fn random_tenant(&mut self) -> (TenantId, Vec<String>) {
+        let i = self.rng.random_range(0..self.tenants.len());
+        self.tenants[i].clone()
+    }
+
+    fn submit_one(&mut self) {
+        let (tenant, names) = self.random_tenant();
+        let vector: Vec<(String, bool)> = names
+            .iter()
+            .map(|n| (n.clone(), self.rng.random_range(0..2u32) == 1))
+            .collect();
+        let refs: Vec<(&str, bool)> = vector.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        match self.svc.submit(tenant, &refs) {
+            Ok(id) => {
+                assert!(self.issued.insert(id), "request id {id} issued twice");
+                self.pending.entry(tenant).or_default().push(id);
+                self.submitted += 1;
+            }
+            Err(ServiceError::SlotBacklogged { .. }) => {
+                // only a poisoned slot can back up behind a full batch
+                assert!(
+                    self.poisoned.contains(&tenant),
+                    "healthy tenant {tenant} reported a backlogged slot"
+                );
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+
+    fn drain(&mut self) {
+        let responses = self.svc.drain().expect("drain");
+        for resp in responses {
+            assert!(
+                self.answered.insert(resp.request),
+                "request {} answered twice",
+                resp.request
+            );
+            let queue = self
+                .pending
+                .get_mut(&resp.tenant)
+                .expect("response for tenant with no pending requests");
+            let pos = queue
+                .iter()
+                .position(|&id| id == resp.request)
+                .expect("response for a request not pending");
+            queue.remove(pos);
+        }
+    }
+
+    fn inject(&mut self) {
+        let (tenant, _) = self.random_tenant();
+        self.svc.inject_plane_fault(tenant).expect("inject");
+        self.poisoned.insert(tenant);
+        self.fault_candidates.insert(tenant);
+    }
+
+    fn repair(&mut self) {
+        let (tenant, _) = self.random_tenant();
+        self.svc.repair_plane(tenant).expect("repair");
+        self.poisoned.remove(&tenant);
+    }
+
+    fn discard(&mut self) {
+        let (tenant, _) = self.random_tenant();
+        let queued = self.pending.remove(&tenant).unwrap_or_default();
+        let dropped = self.svc.discard_pending(tenant).expect("discard");
+        assert_eq!(
+            dropped,
+            queued.len(),
+            "discard count must equal the tenant's pending requests"
+        );
+        self.discarded += dropped;
+    }
+
+    fn take_faults_drains_once(&mut self) {
+        let faults = self.svc.take_faults();
+        self.faults_seen += faults.len();
+        for f in &faults {
+            // fault tenants must have been poisoned when their pass ran
+            assert!(
+                self.fault_candidates.contains(&f.tenant),
+                "fault on never-poisoned tenant {}",
+                f.tenant
+            );
+        }
+        assert!(
+            self.svc.take_faults().is_empty(),
+            "take_faults must drain exactly once"
+        );
+        // records are gone now; only still-poisoned tenants can fault again
+        self.fault_candidates = self.poisoned.clone();
+    }
+
+    fn settle(&mut self) {
+        // heal everything, flush everything: all still-pending requests
+        // must now be answered
+        let tenants: Vec<TenantId> = self.tenants.iter().map(|(t, _)| *t).collect();
+        for t in tenants {
+            self.svc.repair_plane(t).expect("final repair");
+        }
+        self.poisoned.clear();
+        self.drain();
+        self.take_faults_drains_once();
+        assert_eq!(self.svc.pending_requests(), 0, "queue fully drained");
+        assert!(
+            self.pending.values().all(Vec::is_empty),
+            "all tracked requests resolved"
+        );
+    }
+}
+
+fn run_replay(optimize: OptimizeMode, placement: PlacementPolicy) -> (usize, usize, usize) {
+    let mut h = Harness::new(optimize, placement);
+    for _ in 0..CYCLES {
+        match h.rng.random_range(0..100u32) {
+            0..=54 => h.submit_one(),
+            55..=74 => h.drain(),
+            75..=81 => h.inject(),
+            82..=88 => h.repair(),
+            89..=93 => h.discard(),
+            _ => h.take_faults_drains_once(),
+        }
+    }
+    h.settle();
+
+    // conservation: every issued request was answered xor discarded
+    assert_eq!(
+        h.answered.len() + h.discarded,
+        h.submitted,
+        "requests lost or invented"
+    );
+    assert_eq!(h.issued.len(), h.submitted);
+    assert!(
+        h.answered.iter().all(|id| h.issued.contains(id)),
+        "answered an id that was never issued"
+    );
+    (h.submitted, h.answered.len(), h.faults_seen)
+}
+
+#[test]
+fn replay_conserves_every_request_optimized() {
+    let (submitted, answered, faults) =
+        run_replay(OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
+    // the seeded replay must actually exercise the interesting paths
+    assert!(submitted > 200, "replay submitted only {submitted}");
+    assert!(answered > 0);
+    assert!(faults > 0, "replay never drove a pass through a fault");
+}
+
+#[test]
+fn replay_conserves_every_request_naive() {
+    let (submitted, ..) = run_replay(OptimizeMode::Naive, PlacementPolicy::RoundRobin);
+    assert!(submitted > 200);
+}
+
+#[test]
+fn replay_conserves_under_energy_aware_placement() {
+    let (submitted, ..) = run_replay(OptimizeMode::Optimized, PlacementPolicy::EnergyAware);
+    assert!(submitted > 200);
+}
+
+/// The replay is deterministic: two runs with the same seed agree on every
+/// counter — a failure elsewhere in this file reproduces exactly.
+#[test]
+fn replay_is_deterministic() {
+    let a = run_replay(OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
+    let b = run_replay(OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
+    assert_eq!(a, b);
+}

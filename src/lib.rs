@@ -11,7 +11,8 @@
 //!   program-verify, endurance and retention;
 //! * [`netlist`] — structural netlists + a switch-level simulator;
 //! * [`css`] — binary, multiple-valued and hybrid MV/B context-switching
-//!   signal generators (Figs. 7–8);
+//!   signal generators (Figs. 7–8), plus the sweep-order optimizer that
+//!   minimizes broadcast toggles against a transition-cost matrix;
 //! * [`core`] — the three MC-switch architectures (Figs. 2, 5–6, 9–10) and
 //!   their equivalence/redundancy/timing analyses;
 //! * [`switchblock`] — crossbar switch blocks and the column-sharing
@@ -22,8 +23,9 @@
 //! * [`cost`] — transistor/area/power models and report rendering
 //!   (Tables 1–2 and the scaling sweeps);
 //! * [`service`] — a multi-tenant batched execution runtime: tenants admit
-//!   designs into context slots across fabric shards, and their
-//!   single-vector requests coalesce into 64-lane bit-parallel passes.
+//!   designs into context slots across fabric shards (round-robin or
+//!   energy-aware placement), and their single-vector requests coalesce
+//!   into 64-lane bit-parallel passes swept in toggle-optimized order.
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
 //! `docs/GLOSSARY.md` for the paper's vocabulary as used in the code.
@@ -62,11 +64,13 @@ pub mod prelude {
     pub use mcfpga_core::{
         AnySwitch, ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, SramMcSwitch,
     };
-    pub use mcfpga_css::{BinaryCss, HybridCssGen, MvCss, Schedule};
+    pub use mcfpga_css::{
+        optimize_sweep, BinaryCss, CostMatrix, HybridCssGen, MvCss, OptimizeMode, Schedule,
+    };
     pub use mcfpga_device::{Fgmos, FgmosMode, Programmer, TechParams};
     pub use mcfpga_fabric::{Fabric, FabricParams, LogicNetlist, MultiContextLut, TileCoord};
     pub use mcfpga_mvl::{decompose_windows, CtxSet, Level, Radix, WindowLiteral};
     pub use mcfpga_netlist::{Netlist, SwitchSim};
-    pub use mcfpga_service::{ShardedService, TenantId};
+    pub use mcfpga_service::{PlacementPolicy, ShardedService, TenantId};
     pub use mcfpga_switchblock::{remap_to_designated_rows, RouteSet, SwitchBlock};
 }
