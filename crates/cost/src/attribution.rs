@@ -22,6 +22,7 @@
 //!     passes: 3,
 //!     css_toggles: 5,
 //!     css_toggles_baseline: 8, // the naive order would have cost 8
+//!     ..TenantUsage::default()
 //! };
 //! let b = bill(&usage, &TechParams::default());
 //! assert!(b.dynamic_energy_j > 0.0);
@@ -30,9 +31,10 @@
 //! ```
 
 use mcfpga_device::TechParams;
+use serde::{Deserialize, Serialize};
 
 /// Raw usage counters accumulated for one tenant.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantUsage {
     /// Single-vector requests the tenant submitted.
     pub requests: usize,
@@ -49,6 +51,20 @@ pub struct TenantUsage {
     /// optimizer minimizes the whole sweep, not each hop), but summed over
     /// a sweep's tenants the baseline is never less than the charge.
     pub css_toggles_baseline: usize,
+    /// Times the tenant was checkpointed and moved to another slot (live
+    /// migration, evacuation, or restore from a serialized checkpoint).
+    pub migrations: usize,
+    /// Checkpoint wire-format bytes moved on the tenant's behalf — the
+    /// network/DMA traffic a migration costs, summed over migrations.
+    pub migration_bytes: usize,
+    /// User cycles the tenant's requests sat unserviceable during
+    /// migrations: one context-switch boundary per move, plus one cycle of
+    /// added latency per pending request carried across.
+    pub migration_downtime_cycles: usize,
+    /// Extra CSS broadcast toggles migrations cost — the modeled
+    /// realignment of the *destination* shard's sweep when the tenant's
+    /// context joins it (the marginal sweep cost of the new slot).
+    pub migration_css_toggles: usize,
 }
 
 impl TenantUsage {
@@ -58,6 +74,10 @@ impl TenantUsage {
         self.passes += other.passes;
         self.css_toggles += other.css_toggles;
         self.css_toggles_baseline += other.css_toggles_baseline;
+        self.migrations += other.migrations;
+        self.migration_bytes += other.migration_bytes;
+        self.migration_downtime_cycles += other.migration_downtime_cycles;
+        self.migration_css_toggles += other.migration_css_toggles;
     }
 }
 
@@ -74,6 +94,11 @@ pub struct TenantBill {
     /// Mean request vectors served per fabric pass — the batching
     /// efficiency (64 is a perfectly full u64-lane pass, 1 is unbatched).
     pub vectors_per_pass: f64,
+    /// Broadcast energy the tenant's migrations cost on top of normal
+    /// serving (joules) — the destination-sweep realignment toggles of
+    /// [`TenantUsage::migration_css_toggles`], priced like any other
+    /// broadcast toggle.
+    pub migration_energy_j: f64,
 }
 
 /// Bills `usage` under the technology parameters `p`.
@@ -88,6 +113,7 @@ pub fn bill(usage: &TenantUsage, p: &TechParams) -> TenantBill {
         } else {
             usage.requests as f64 / usage.passes as f64
         },
+        migration_energy_j: usage.migration_css_toggles as f64 * p.css_toggle_energy_j,
     }
 }
 
@@ -106,6 +132,9 @@ pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String 
                 u.css_toggles.to_string(),
                 format!("{:.3e}", b.dynamic_energy_j),
                 format!("{:.3e}", b.css_energy_saved_j),
+                u.migrations.to_string(),
+                u.migration_bytes.to_string(),
+                format!("{:.3e}", b.migration_energy_j),
             ]
         })
         .collect();
@@ -118,6 +147,9 @@ pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String 
             "css toggles",
             "energy (J)",
             "saved (J)",
+            "migr",
+            "moved (B)",
+            "migr (J)",
         ],
         &body,
     )
@@ -136,6 +168,7 @@ mod tests {
                 passes: 1,
                 css_toggles: 2,
                 css_toggles_baseline: 2,
+                ..TenantUsage::default()
             },
             &p,
         );
@@ -145,6 +178,7 @@ mod tests {
                 passes: 1,
                 css_toggles: 4,
                 css_toggles_baseline: 4,
+                ..TenantUsage::default()
             },
             &p,
         );
@@ -169,6 +203,7 @@ mod tests {
                 passes: 1,
                 css_toggles: 2,
                 css_toggles_baseline: 4,
+                ..TenantUsage::default()
             },
             &p,
         );
@@ -181,6 +216,7 @@ mod tests {
                 passes: 1,
                 css_toggles: 4,
                 css_toggles_baseline: 2,
+                ..TenantUsage::default()
             },
             &p,
         );
@@ -195,17 +231,41 @@ mod tests {
             passes: 1,
             css_toggles: 1,
             css_toggles_baseline: 2,
+            ..TenantUsage::default()
         };
         u.absorb(&TenantUsage {
             requests: 63,
             passes: 0,
             css_toggles: 3,
             css_toggles_baseline: 5,
+            ..TenantUsage::default()
         });
         assert_eq!(u.requests, 64);
         assert_eq!(u.passes, 1);
         assert_eq!(u.css_toggles, 4);
         assert_eq!(u.css_toggles_baseline, 7);
+    }
+
+    #[test]
+    fn migration_overhead_bills_separately() {
+        let p = TechParams::default();
+        let u = TenantUsage {
+            requests: 64,
+            passes: 1,
+            css_toggles: 2,
+            css_toggles_baseline: 2,
+            migrations: 2,
+            migration_bytes: 300,
+            migration_downtime_cycles: 9,
+            migration_css_toggles: 4,
+        };
+        let b = bill(&u, &p);
+        assert_eq!(b.migration_energy_j, 4.0 * p.css_toggle_energy_j);
+        // migration toggles are extra, not folded into serving energy
+        assert_eq!(b.dynamic_energy_j, 2.0 * p.css_toggle_energy_j);
+        let table = render_billing(&[("mover".to_string(), u)], &p);
+        assert!(table.contains("migr"));
+        assert!(table.contains("300"));
     }
 
     #[test]
@@ -218,6 +278,7 @@ mod tests {
                     passes: 2,
                     css_toggles: 3,
                     css_toggles_baseline: 7,
+                    ..TenantUsage::default()
                 },
             ),
             ("idle".to_string(), TenantUsage::default()),

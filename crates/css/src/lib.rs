@@ -42,7 +42,7 @@ pub use gen_netlist::GeneratorNetlist;
 pub use generator::GeneratorCost;
 pub use hybrid::{HybridCssGen, LineId};
 pub use mv::MvCss;
-pub use optimize::{optimize_sweep, CostMatrix, OptimizeMode, OptimizedSweep};
+pub use optimize::{optimize_sweep, sweep_cost, CostMatrix, OptimizeMode, OptimizedSweep};
 pub use schedule::Schedule;
 pub use waveform::Waveform;
 

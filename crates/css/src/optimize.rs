@@ -247,6 +247,24 @@ pub fn optimize_sweep(
     })
 }
 
+/// Optimized cost of sweeping the context set `ctxs` from `start` — the
+/// toggles [`optimize_sweep`]'s order would spend visiting every listed
+/// context once. The shared scoring primitive of energy-aware *placement*
+/// (marginal cost of a slot joining its shard's sweep) and of *migration*
+/// billing (the broadcast realignment a restored tenant adds at its
+/// destination). An empty set costs nothing.
+pub fn sweep_cost(
+    matrix: &CostMatrix,
+    start: Option<usize>,
+    ctxs: &[usize],
+) -> Result<usize, CssError> {
+    if ctxs.is_empty() {
+        return Ok(0);
+    }
+    let sweep = Schedule::active_sweep(matrix.contexts(), ctxs)?;
+    Ok(optimize_sweep(&sweep, matrix, start)?.optimized_cost)
+}
+
 /// Held–Karp minimum-cost Hamiltonian path over `nodes` (`2 ≤ n ≤ 8`):
 /// `dp[mask][i]` = cheapest way to visit exactly the contexts in `mask`
 /// ending on `nodes[i]`.

@@ -232,6 +232,40 @@ impl LaneBatch {
         None
     }
 
+    /// Rebuilds a batch from its serialized parts: the occupied-lane count
+    /// and the union lane words, in union order — the inverse of reading
+    /// [`len`](Self::len) and [`lane_inputs`](Self::lane_inputs). The
+    /// checkpoint/restore path uses this to reinstall pending requests
+    /// exactly as they were queued (same names, same lane bits), so a
+    /// restored batch evaluates bit-for-bit like the original.
+    pub fn from_parts(lanes: usize, inputs: Vec<(String, u64)>) -> Result<Self, FabricError> {
+        if lanes > LANES {
+            return Err(FabricError::BadParams(format!(
+                "{lanes} lanes exceed the {LANES}-lane batch width"
+            )));
+        }
+        // bits above the occupied lanes must be clear: push_covering ORs
+        // new values in assuming them zero, so a stray high bit would leak
+        // into a later request's lane as a silently wrong input
+        let unoccupied = if lanes == LANES { 0 } else { !0u64 << lanes };
+        if let Some((name, _)) = inputs.iter().find(|(_, word)| word & unoccupied != 0) {
+            return Err(FabricError::BadParams(format!(
+                "input '{name}' has lane bits set beyond the {lanes} occupied lanes"
+            )));
+        }
+        Ok(LaneBatch {
+            lanes,
+            inputs,
+            idx_scratch: Vec::new(),
+        })
+    }
+
+    /// Union index of `name`, if present.
+    #[must_use]
+    pub fn name_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|(n, _)| n == name)
+    }
+
     /// Appends `name` to the input union with an all-zero word when absent.
     /// Executors call this at admission, in bound-input order, to seed the
     /// canonical prefix [`push_covering`](Self::push_covering) checks
@@ -718,6 +752,46 @@ impl CompiledFabric {
         &self.params
     }
 
+    /// The single context a partial compilation
+    /// ([`Self::compile_context`]) captured, or `None` for a full
+    /// [`Self::compile`].
+    #[must_use]
+    pub fn compiled_context(&self) -> Option<usize> {
+        self.only_ctx
+    }
+
+    /// Moves a partially-compiled plane to a different context slot.
+    ///
+    /// A [`CompiledPlane`] is context-independent once compiled — its ops
+    /// address arena resources and carry baked truth tables — so the same
+    /// plane evaluates bit-for-bit identically from any slot; only the CSS
+    /// broadcast *energy* of reaching the slot differs. Live migration uses
+    /// this to restore a tenant into whatever context index the destination
+    /// shard has free, without re-routing or recompiling.
+    ///
+    /// Only single-context compilations rebase (a full compile has one
+    /// plane per context and nothing to move); `dst` must be within the
+    /// captured geometry's context count.
+    pub fn rebase_context(&self, dst: usize) -> Result<CompiledFabric, FabricError> {
+        let Some(src) = self.only_ctx else {
+            return Err(FabricError::BadParams(
+                "rebase_context requires a single-context compilation".into(),
+            ));
+        };
+        if dst >= self.params.contexts {
+            return Err(FabricError::ContextOutOfRange {
+                ctx: dst,
+                contexts: self.params.contexts,
+            });
+        }
+        let mut rebased = self.clone();
+        if src != dst {
+            rebased.planes.swap(src, dst);
+        }
+        rebased.only_ctx = Some(dst);
+        Ok(rebased)
+    }
+
     /// The resource arena layout.
     #[must_use]
     pub fn layout(&self) -> &ResourceLayout {
@@ -1197,5 +1271,57 @@ mod tests {
             }
         }
         assert!(seen.into_iter().all(|b| b), "arena has holes");
+    }
+
+    #[test]
+    fn rebased_plane_evaluates_identically_from_any_slot() {
+        let nl = generators::parity_tree(3).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 1, 5).unwrap();
+        let compiled = CompiledFabric::compile_context(&f, 1).unwrap();
+        assert_eq!(compiled.compiled_context(), Some(1));
+        let ins: Vec<(&str, u64)> = vec![("x0", 0xF0F0), ("x1", 0xFF00), ("x2", 0xAAAA)];
+        let want = compiled.eval_batch_sorted(1, &ins).unwrap();
+        for dst in 0..4 {
+            let moved = compiled.rebase_context(dst).unwrap();
+            assert_eq!(moved.compiled_context(), Some(dst));
+            assert_eq!(
+                moved.eval_batch_sorted(dst, &ins).unwrap(),
+                want,
+                "dst {dst}"
+            );
+            if dst != 1 {
+                assert!(moved.eval_batch(1, &ins).is_err(), "old slot must refuse");
+            }
+        }
+        assert!(compiled.rebase_context(99).is_err());
+        assert!(CompiledFabric::compile(&f)
+            .unwrap()
+            .rebase_context(0)
+            .is_err());
+    }
+
+    #[test]
+    fn lane_batch_parts_round_trip() {
+        let mut batch = LaneBatch::new();
+        batch.ensure_name("a");
+        batch.push(&[("a", true), ("b", false)]).unwrap();
+        batch.push(&[("a", false), ("b", true)]).unwrap();
+        let lanes = batch.len();
+        let inputs: Vec<(String, u64)> = batch
+            .lane_inputs()
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        let rebuilt = LaneBatch::from_parts(lanes, inputs).unwrap();
+        assert_eq!(rebuilt.len(), batch.len());
+        assert_eq!(rebuilt.lane_inputs(), batch.lane_inputs());
+        assert_eq!(rebuilt.name_index("b"), Some(1));
+        assert_eq!(rebuilt.name_index("zz"), None);
+        assert!(LaneBatch::from_parts(LANES + 1, Vec::new()).is_err());
+        // stray bits beyond the occupied lanes would leak into the next
+        // pushed request's lane — refused
+        assert!(LaneBatch::from_parts(2, vec![("a".to_string(), 0b100)]).is_err());
+        assert!(LaneBatch::from_parts(LANES, vec![("a".to_string(), u64::MAX)]).is_ok());
     }
 }

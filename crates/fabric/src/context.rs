@@ -178,10 +178,26 @@ impl ContextSequencer {
     /// Returns the sequencer to context 0 without charging toggles, so the
     /// next replay starts from the same state a fresh sequencer would.
     pub fn reset(&mut self) -> Result<(), FabricError> {
-        if let CssState::Binary(css) = &mut self.css {
-            css.switch_to(0).map_err(mcfpga_core::CoreError::Css)?;
+        self.resume_at(0)
+    }
+
+    /// Parks the broadcast on `ctx` without charging toggles — the
+    /// restore half of sweep-position capture ([`current`](Self::current)
+    /// being the capture half). A checkpoint records where a shard's
+    /// broadcast sat at the context-switch boundary; rebuilding that shard
+    /// resumes the sequencer here so subsequent sweeps are planned and
+    /// charged from the same position, not from a fictitious context 0.
+    pub fn resume_at(&mut self, ctx: usize) -> Result<(), FabricError> {
+        if ctx >= self.contexts {
+            return Err(FabricError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts,
+            });
         }
-        self.cur = 0;
+        if let CssState::Binary(css) = &mut self.css {
+            css.switch_to(ctx).map_err(mcfpga_core::CoreError::Css)?;
+        }
+        self.cur = ctx;
         Ok(())
     }
 
@@ -380,6 +396,29 @@ mod tests {
         // energy accounting matches the plain replay exactly
         let plain = replay_schedule(ArchKind::Hybrid, 4, &sched, &p).unwrap();
         assert_eq!(run.stats, plain);
+    }
+
+    /// `resume_at` parks the broadcast without charging, and subsequent
+    /// steps charge exactly as if the sequencer had stepped there.
+    #[test]
+    fn resume_at_restores_position_without_charging() {
+        for arch in ArchKind::all() {
+            let mut walked = ContextSequencer::new(arch, 4).unwrap();
+            walked.step_to(3).unwrap();
+            let mut resumed = ContextSequencer::new(arch, 4).unwrap();
+            resumed.resume_at(3).unwrap();
+            assert_eq!(resumed.current(), 3, "{arch:?}");
+            for next in 0..4 {
+                let mut a = walked.clone();
+                let mut b = resumed.clone();
+                assert_eq!(
+                    a.step_to(next).unwrap(),
+                    b.step_to(next).unwrap(),
+                    "{arch:?}"
+                );
+            }
+            assert!(resumed.resume_at(4).is_err());
+        }
     }
 
     /// The cost matrix must model exactly what `step_to` charges — for

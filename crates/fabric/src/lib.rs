@@ -57,7 +57,7 @@ pub use context::{run_schedule, ContextSequencer};
 pub use lut::MultiContextLut;
 pub use netlist_ir::{LogicNetlist, NodeId};
 pub use route::RoutedDesign;
-pub use temporal::TemporalPartition;
+pub use temporal::{RegisterFile, TemporalPartition};
 
 /// Errors from fabric construction, mapping and simulation.
 #[derive(Debug, Clone, PartialEq)]

@@ -16,6 +16,75 @@ use crate::route::{implement_netlist, RoutedDesign};
 use crate::FabricError;
 use std::collections::HashMap;
 
+/// The context register file: values crossing a context-switch boundary,
+/// as named `reg:<node>` lane words (bit `l` = lane `l`'s value).
+///
+/// This is the *suspendable* state of a temporal execution — between two
+/// stages every live intermediate value sits in the register file, which is
+/// why a checkpoint taken at a context-switch boundary (and only there)
+/// captures a design's entire execution state. Entries keep insertion
+/// order, so serializations of the same execution are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegisterFile {
+    entries: Vec<(String, u64)>,
+}
+
+impl RegisterFile {
+    /// An empty register file.
+    #[must_use]
+    pub fn new() -> Self {
+        RegisterFile::default()
+    }
+
+    /// The lane word of `name`, if written.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Writes (or overwrites) one register.
+    pub fn set(&mut self, name: &str, lanes: u64) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = lanes,
+            None => self.entries.push((name.to_string(), lanes)),
+        }
+    }
+
+    /// All registers, in first-write order.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Number of registers written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Has nothing been written?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets every register.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl FromIterator<(String, u64)> for RegisterFile {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        RegisterFile {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
 /// A temporal partition of one netlist into stages.
 #[derive(Debug, Clone)]
 pub struct TemporalPartition {
@@ -174,25 +243,12 @@ pub fn execute_compiled(
     part: &TemporalPartition,
     inputs: &[(&str, u64)],
 ) -> Result<Vec<(String, u64)>, FabricError> {
-    let mut regs: HashMap<String, u64> = HashMap::new();
+    let mut regs = RegisterFile::new();
     let mut primary: HashMap<String, u64> = HashMap::new();
     let mut scratch = compiled.new_state();
-    for (s, sub) in part.stages.iter().enumerate() {
-        if sub.lut_count() == 0 && sub.outputs().is_empty() {
-            continue;
-        }
-        // stage inputs: primary inputs + register reads
-        let mut stage_inputs: Vec<(&str, u64)> = inputs.to_vec();
-        for (name, v) in &regs {
-            stage_inputs.push((name.as_str(), *v));
-        }
-        let outs = compiled.eval_batch_into(s, &stage_inputs, &mut scratch)?;
-        for (name, v) in outs {
-            if name.starts_with("reg:") {
-                regs.insert(name, v);
-            } else {
-                primary.insert(name, v);
-            }
+    for s in 0..part.stages.len() {
+        for (name, v) in execute_stage(compiled, part, s, inputs, &mut regs, &mut scratch)? {
+            primary.insert(name, v);
         }
     }
     Ok(part
@@ -200,6 +256,48 @@ pub fn execute_compiled(
         .iter()
         .map(|n| (n.clone(), primary.get(n).copied().unwrap_or_default()))
         .collect())
+}
+
+/// Executes exactly one stage of a user cycle: reads cross-boundary values
+/// from `regs`, evaluates context `stage`, writes the values the stage
+/// registers back into `regs`, and returns the stage's *primary* (non-
+/// register) outputs.
+///
+/// This is the suspend/resume primitive behind [`execute_compiled`]: after
+/// any stage — a context-switch boundary — the whole execution state is
+/// `regs`, so a caller can stop, serialize the [`RegisterFile`], and later
+/// resume the remaining stages (on this fabric or an identically-configured
+/// one) with bit-for-bit identical results.
+pub fn execute_stage(
+    compiled: &CompiledFabric,
+    part: &TemporalPartition,
+    stage: usize,
+    inputs: &[(&str, u64)],
+    regs: &mut RegisterFile,
+    scratch: &mut crate::compiled::CompiledState,
+) -> Result<Vec<(String, u64)>, FabricError> {
+    let sub = part
+        .stages
+        .get(stage)
+        .ok_or_else(|| FabricError::BadParams(format!("stage {stage} out of range")))?;
+    if sub.lut_count() == 0 && sub.outputs().is_empty() {
+        return Ok(Vec::new());
+    }
+    // stage inputs: primary inputs + register reads
+    let mut stage_inputs: Vec<(&str, u64)> = inputs.to_vec();
+    for (name, v) in regs.entries() {
+        stage_inputs.push((name.as_str(), *v));
+    }
+    let outs = compiled.eval_batch_into(stage, &stage_inputs, scratch)?;
+    let mut primary = Vec::new();
+    for (name, v) in outs {
+        if name.starts_with("reg:") {
+            regs.set(&name, v);
+        } else {
+            primary.push((name, v));
+        }
+    }
+    Ok(primary)
 }
 
 #[cfg(test)]
@@ -292,6 +390,82 @@ mod tests {
             })
             .sum();
         assert!(reg_outs > 0);
+    }
+
+    /// Suspending after any stage boundary, moving the register file, and
+    /// resuming the remaining stages reproduces the uninterrupted run
+    /// bit-for-bit — the checkpoint-at-context-switch-boundary invariant.
+    #[test]
+    fn stage_execution_suspends_and_resumes_exactly() {
+        let nl = generators::ripple_adder(3).unwrap();
+        let part = partition(&nl, 4).unwrap();
+        let mut fabric = Fabric::new(FabricParams {
+            width: 4,
+            height: 4,
+            channel_width: 3,
+            ..FabricParams::default()
+        })
+        .unwrap();
+        implement(&mut fabric, &part, 17).unwrap();
+        let compiled = CompiledFabric::compile(&fabric).unwrap();
+        let inputs: Vec<(&str, u64)> = vec![
+            ("a0", 0b1100),
+            ("a1", 0b1010),
+            ("a2", 0b0110),
+            ("b0", 0b0101),
+            ("b1", 0b0011),
+            ("b2", 0b1001),
+            ("cin", 0),
+        ];
+        let golden = execute_compiled(&compiled, &part, &inputs).unwrap();
+        for boundary in 0..part.stages.len() {
+            let mut regs = RegisterFile::new();
+            let mut scratch = compiled.new_state();
+            let mut primary: std::collections::HashMap<String, u64> =
+                std::collections::HashMap::new();
+            for s in 0..boundary {
+                for (n, v) in
+                    execute_stage(&compiled, &part, s, &inputs, &mut regs, &mut scratch).unwrap()
+                {
+                    primary.insert(n, v);
+                }
+            }
+            // suspend: round-trip the register file through its entries —
+            // exactly what a serialized checkpoint carries
+            let mut resumed: RegisterFile =
+                regs.entries().iter().cloned().collect::<RegisterFile>();
+            assert_eq!(resumed, regs);
+            let mut fresh = compiled.new_state();
+            for s in boundary..part.stages.len() {
+                for (n, v) in
+                    execute_stage(&compiled, &part, s, &inputs, &mut resumed, &mut fresh).unwrap()
+                {
+                    primary.insert(n, v);
+                }
+            }
+            for (name, want) in &golden {
+                assert_eq!(
+                    primary.get(name).copied().unwrap_or_default(),
+                    *want,
+                    "boundary {boundary} output {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn register_file_set_get_overwrite() {
+        let mut rf = RegisterFile::new();
+        assert!(rf.is_empty());
+        assert_eq!(rf.get("reg:1"), None);
+        rf.set("reg:1", 5);
+        rf.set("reg:2", 7);
+        rf.set("reg:1", 9);
+        assert_eq!(rf.len(), 2);
+        assert_eq!(rf.get("reg:1"), Some(9));
+        assert_eq!(rf.entries()[0].0, "reg:1", "insertion order kept");
+        rf.clear();
+        assert!(rf.is_empty());
     }
 
     #[test]

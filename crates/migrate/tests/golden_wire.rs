@@ -1,0 +1,110 @@
+//! Golden-file pin of checkpoint wire format v1.
+//!
+//! The hex blob below is the canonical encoding of a fixed checkpoint. If
+//! this test fails, the wire format changed: bump
+//! [`mcfpga_migrate::FORMAT_VERSION`], regenerate the blob, and keep the
+//! old-version rejection test honest — never silently re-pin.
+
+use mcfpga_cost::attribution::TenantUsage;
+use mcfpga_fabric::{FabricParams, RegisterFile};
+use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint, FORMAT_VERSION};
+
+/// Canonical v1 encoding of [`golden_checkpoint`].
+const GOLDEN_HEX: &str = "4d434b50000100000006676f6c64656e0123456789abcdef000000040000000\
+4000000020000000400000004000000020000000202000000010000000300000002000000020000000278300000000\
+0000000010000000278310000000000000002000000020000000000000028000000000000002900000001000000057\
+265673a3700000000deadbeef0000000000000082000000000000000300000000000000050000000000000008000000\
+0000000001000000000000000200000000000000030000000000000004";
+
+fn golden_checkpoint() -> TenantCheckpoint {
+    TenantCheckpoint {
+        name: "golden".into(),
+        digest: 0x0123_4567_89AB_CDEF,
+        params: FabricParams::default(),
+        ctx: 1,
+        css_position: 3,
+        pending: PendingBatch {
+            lanes: 2,
+            inputs: vec![("x0".into(), 0b01), ("x1".into(), 0b10)],
+            requests: vec![40, 41],
+        },
+        regs: [("reg:7".to_string(), 0xDEAD_BEEFu64)]
+            .into_iter()
+            .collect::<RegisterFile>(),
+        usage: TenantUsage {
+            requests: 130,
+            passes: 3,
+            css_toggles: 5,
+            css_toggles_baseline: 8,
+            migrations: 1,
+            migration_bytes: 2,
+            migration_downtime_cycles: 3,
+            migration_css_toggles: 4,
+        },
+    }
+}
+
+fn golden_bytes() -> Vec<u8> {
+    (0..GOLDEN_HEX.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&GOLDEN_HEX[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn v1_encoding_is_pinned() {
+    assert_eq!(
+        golden_checkpoint().to_bytes(),
+        golden_bytes(),
+        "wire format drifted from the v1 golden blob — bump FORMAT_VERSION"
+    );
+}
+
+#[test]
+fn v1_golden_blob_decodes_to_the_fixture() {
+    let decoded = TenantCheckpoint::from_bytes(&golden_bytes()).unwrap();
+    assert_eq!(decoded, golden_checkpoint());
+}
+
+/// A checkpoint stamped with a *future* format version fails loudly with
+/// the typed error, so an old build can never misread a new checkpoint.
+#[test]
+fn future_version_is_rejected_not_misread() {
+    let mut blob = golden_bytes();
+    for future in [FORMAT_VERSION + 1, FORMAT_VERSION + 7, u16::MAX] {
+        blob[4..6].copy_from_slice(&future.to_be_bytes());
+        assert_eq!(
+            TenantCheckpoint::from_bytes(&blob),
+            Err(MigrateError::VersionMismatch {
+                found: future,
+                supported: FORMAT_VERSION,
+            }),
+            "version {future}"
+        );
+    }
+    // version 0 (pre-release garbage) equally refuses
+    blob[4..6].copy_from_slice(&0u16.to_be_bytes());
+    assert!(matches!(
+        TenantCheckpoint::from_bytes(&blob),
+        Err(MigrateError::VersionMismatch { found: 0, .. })
+    ));
+}
+
+/// Every single-byte truncation of the golden blob is a typed failure —
+/// never a panic, never a partial decode.
+#[test]
+fn every_truncation_fails_typed() {
+    let blob = golden_bytes();
+    for cut in 0..blob.len() {
+        let err = TenantCheckpoint::from_bytes(&blob[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MigrateError::Truncated { .. }
+                    | MigrateError::BadMagic
+                    | MigrateError::VersionMismatch { .. }
+            ),
+            "cut at {cut}: {err}"
+        );
+    }
+}

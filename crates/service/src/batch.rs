@@ -16,6 +16,17 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(u64);
 
+impl RequestId {
+    /// The raw id, as recorded in checkpoint audit trails. There is no
+    /// inverse: ids enter the system only through the queue's own counter,
+    /// so a deserialized checkpoint can never mint an id that collides
+    /// with (or resurrects) one this service issued.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
 impl std::fmt::Display for RequestId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "req#{}", self.0)
@@ -78,10 +89,16 @@ impl BatchQueue {
     /// is not [`recycle`](Self::recycle)d (a fresh slot starts unseeded).
     pub fn seed<'a>(&mut self, shard: usize, ctx: usize, names: impl Iterator<Item = &'a str>) {
         let slot = &mut self.slots[shard][ctx];
+        let mut prefix = 0;
         for name in names {
             slot.batch.ensure_name(name);
+            let idx = slot
+                .batch
+                .name_index(name)
+                .expect("name was just ensured into the union");
+            prefix = prefix.max(idx + 1);
         }
-        slot.seeded = slot.batch.name_count();
+        slot.seeded = prefix;
     }
 
     /// Enqueues one single-vector request on its tenant's slot, verifying
@@ -137,6 +154,68 @@ impl BatchQueue {
     pub fn slot(&self, shard: usize, ctx: usize) -> Option<&LaneBatch> {
         let slot = &self.slots[shard][ctx];
         (!slot.batch.is_empty()).then_some(&slot.batch)
+    }
+
+    /// A slot's per-lane `(request, tenant)` tickets, lane order — what a
+    /// checkpoint records as its pending-request audit trail.
+    #[must_use]
+    pub fn tickets(&self, shard: usize, ctx: usize) -> &[(RequestId, TenantId)] {
+        &self.slots[shard][ctx].tickets
+    }
+
+    /// Moves a [`TakenBatch`] into an **empty** slot wholesale, tickets
+    /// and all — the live-migration path, which must preserve request ids
+    /// so every in-flight request is still answered exactly once. The
+    /// slot's canonical prefix is unchanged (the caller seeds it for the
+    /// destination plane first).
+    pub fn install(&mut self, shard: usize, ctx: usize, taken: TakenBatch) {
+        let slot = &mut self.slots[shard][ctx];
+        assert!(
+            slot.batch.is_empty() && slot.tickets.is_empty(),
+            "install target (shard {shard}, ctx {ctx}) already holds work"
+        );
+        slot.batch = taken.batch;
+        slot.tickets = taken.tickets;
+    }
+
+    /// Re-queues a deserialized pending batch into an **empty** slot,
+    /// issuing a *fresh* request id per occupied lane (returned in lane
+    /// order). Restored checkpoints never reuse their recorded ids: the
+    /// originals may have been answered or discarded since the checkpoint
+    /// was taken, and a resurrected id would break queue conservation.
+    pub fn restore(
+        &mut self,
+        shard: usize,
+        ctx: usize,
+        batch: LaneBatch,
+        tenant: TenantId,
+    ) -> Vec<RequestId> {
+        let slot = &mut self.slots[shard][ctx];
+        assert!(
+            slot.batch.is_empty() && slot.tickets.is_empty(),
+            "restore target (shard {shard}, ctx {ctx}) already holds work"
+        );
+        let lanes = batch.len();
+        slot.batch = batch;
+        let mut fresh = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let id = RequestId(self.next_request);
+            self.next_request += 1;
+            fresh.push(id);
+        }
+        self.slots[shard][ctx]
+            .tickets
+            .extend(fresh.iter().map(|&id| (id, tenant)));
+        fresh
+    }
+
+    /// Fully resets a slot — union names, tickets and canonical prefix all
+    /// drop. Called when a slot is *freed* (its tenant migrated away): a
+    /// recycled empty batch still carries the old tenant's union names,
+    /// and a future occupant seeding on top of them would compute a
+    /// canonical prefix longer than its own union, refusing every submit.
+    pub fn clear_slot(&mut self, shard: usize, ctx: usize) {
+        self.slots[shard][ctx] = PendingSlot::default();
     }
 
     /// Removes and returns a slot's pending work, or `None` when empty.

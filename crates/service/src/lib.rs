@@ -31,6 +31,15 @@
 //!   chosen by a [`PlacementPolicy`]: round-robin, or energy-aware
 //!   marginal-sweep-cost placement with plane-cache affinity.
 //!
+//! Tenants are **mobile**: `checkpoint_tenant` snapshots one at a
+//! context-switch boundary into a [`TenantCheckpoint`] (versioned wire
+//! format, see [`mcfpga_migrate`]), `restore_tenant` resumes it elsewhere
+//! bit-for-bit, `migrate_tenant` moves it live preserving request ids,
+//! and `evacuate_shard` clears a faulted/hot shard wholesale — with the
+//! overhead billed per tenant. Outputs a tenant names `reg:*` are stream
+//! registers: captured after each pass and re-driven (lane-aligned) on
+//! its next pass, so sequential designs work and their state migrates.
+//!
 //! [`LaneBatch`]: mcfpga_fabric::compiled::LaneBatch
 //!
 //! ```
@@ -69,6 +78,9 @@ pub use service::{ShardedService, SlotFault};
 // the sweep-ordering knob lives in `mcfpga_css::optimize`; re-exported here
 // because it is half of the service's policy surface
 pub use mcfpga_css::OptimizeMode;
+// the checkpoint model lives in `mcfpga_migrate`; re-exported because
+// checkpoint/restore/migrate/evacuate are service operations
+pub use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint, FORMAT_VERSION};
 
 use mcfpga_css::CssError;
 use mcfpga_fabric::FabricError;
@@ -112,6 +124,16 @@ pub enum ServiceError {
         /// Context slot.
         ctx: usize,
     },
+    /// Referenced a shard index the service does not have.
+    NoSuchShard {
+        /// The requested shard.
+        shard: usize,
+        /// Number of shards in the service.
+        shards: usize,
+    },
+    /// A checkpoint/restore/migration operation failed (version mismatch,
+    /// missing plane, no destination slot, …).
+    Migrate(MigrateError),
     /// Underlying fabric error (routing, compilation, evaluation).
     Fabric(FabricError),
     /// Underlying CSS error (schedule construction, generator).
@@ -127,6 +149,12 @@ impl From<FabricError> for ServiceError {
 impl From<CssError> for ServiceError {
     fn from(e: CssError) -> Self {
         ServiceError::Css(e)
+    }
+}
+
+impl From<MigrateError> for ServiceError {
+    fn from(e: MigrateError) -> Self {
+        ServiceError::Migrate(e)
     }
 }
 
@@ -151,6 +179,10 @@ impl std::fmt::Display for ServiceError {
                      drain or discard_pending first"
                 )
             }
+            ServiceError::NoSuchShard { shard, shards } => {
+                write!(f, "shard {shard} out of range (service has {shards})")
+            }
+            ServiceError::Migrate(e) => write!(f, "migration: {e}"),
             ServiceError::Fabric(e) => write!(f, "fabric: {e}"),
             ServiceError::Css(e) => write!(f, "css: {e}"),
         }

@@ -18,8 +18,7 @@
 
 use crate::registry::{Placement, TenantRegistry};
 use crate::ServiceError;
-use mcfpga_css::optimize::{optimize_sweep, CostMatrix};
-use mcfpga_css::Schedule;
+use mcfpga_css::optimize::{sweep_cost, CostMatrix};
 use mcfpga_fabric::netlist_ir::Node;
 use mcfpga_fabric::LogicNetlist;
 
@@ -36,15 +35,6 @@ pub enum PlacementPolicy {
     EnergyAware,
 }
 
-/// Optimized cost of sweeping `ctxs` from the sequencer's home context 0.
-fn sweep_cost(matrix: &CostMatrix, ctxs: &[usize]) -> Result<usize, ServiceError> {
-    if ctxs.is_empty() {
-        return Ok(0);
-    }
-    let sweep = Schedule::active_sweep(matrix.contexts(), ctxs)?;
-    Ok(optimize_sweep(&sweep, matrix, Some(0))?.optimized_cost)
-}
-
 /// Picks the free slot minimizing marginal sweep cost under `matrix`.
 ///
 /// `affinity_ctx` is the context index the same netlist landed on at a
@@ -56,14 +46,38 @@ pub(crate) fn choose_energy_aware(
     matrix: &CostMatrix,
     affinity_ctx: Option<usize>,
 ) -> Result<Placement, ServiceError> {
-    let free = registry.free_slots();
+    match best_slot(registry, matrix, affinity_ctx, |_| true)? {
+        Some(slot) => Ok(slot),
+        // no free slots: reserve() surfaces the canonical CapacityExhausted
+        None => registry.reserve(),
+    }
+}
+
+/// The energy-aware slot chooser, generalized over an eligibility filter:
+/// admission considers every free slot, a directed migration only the
+/// destination shard's, an evacuation every shard *except* the source.
+/// Scores each eligible free slot by the marginal optimized sweep cost it
+/// adds to its shard (from the shard's home context 0); ties break toward
+/// `affinity_ctx` — the slot index where the tenant's compiled plane works
+/// as-is (admission: same digest in the cache; migration: no rebase) —
+/// then toward emptier shards, then the lowest slot. `None` when no
+/// eligible slot is free.
+pub(crate) fn best_slot(
+    registry: &TenantRegistry,
+    matrix: &CostMatrix,
+    affinity_ctx: Option<usize>,
+    eligible: impl Fn(Placement) -> bool,
+) -> Result<Option<Placement>, ServiceError> {
     let mut best: Option<(usize, bool, usize, Placement)> = None;
-    for slot in free {
+    for slot in registry.free_slots() {
+        if !eligible(slot) {
+            continue;
+        }
         let occupied = registry.occupied_contexts(slot.shard);
-        let before = sweep_cost(matrix, &occupied)?;
+        let before = sweep_cost(matrix, Some(0), &occupied)?;
         let mut with = occupied;
         with.push(slot.ctx);
-        let marginal = sweep_cost(matrix, &with)?.saturating_sub(before);
+        let marginal = sweep_cost(matrix, Some(0), &with)?.saturating_sub(before);
         let affinity_miss = affinity_ctx != Some(slot.ctx);
         let load = with.len() - 1;
         // lexicographic: marginal cost, then affinity hit, then shard load,
@@ -77,11 +91,7 @@ pub(crate) fn choose_energy_aware(
             best = Some(key);
         }
     }
-    match best {
-        Some((_, _, _, slot)) => Ok(slot),
-        // no free slots: reserve() surfaces the canonical CapacityExhausted
-        None => registry.reserve(),
-    }
+    Ok(best.map(|(_, _, _, slot)| slot))
 }
 
 /// Structural fingerprint of a netlist (FNV-1a over nodes and outputs).
@@ -176,6 +186,22 @@ mod tests {
         let reg = registry_with(1, 8, &[(0, 0)]);
         let slot = choose_energy_aware(&reg, &m, Some(1)).unwrap();
         assert_eq!(slot.ctx, 2);
+    }
+
+    #[test]
+    fn best_slot_respects_eligibility_filter() {
+        let reg = registry_with(2, 4, &[(0, 0)]);
+        let m = CostMatrix::hybrid(4).unwrap();
+        // evacuation-style filter: shard 0 excluded → must land on shard 1
+        let slot = best_slot(&reg, &m, None, |p| p.shard != 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(slot.shard, 1);
+        // a filter admitting nothing yields None, not an error
+        assert_eq!(best_slot(&reg, &m, None, |_| false).unwrap(), None);
+        // and so does a genuinely full registry
+        let full = registry_with(1, 4, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(best_slot(&full, &m, None, |_| true).unwrap(), None);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct TenantRecord {
     pub placement: Placement,
     /// Configuration digest of the tenant's routed context plane.
     pub digest: u64,
+    /// Does the tenant's routed fabric configuration still live in its
+    /// placement shard? True from admission (the netlist was routed there);
+    /// false once the tenant migrates — from then on its compiled plane is
+    /// recoverable only through the digest-keyed plane cache, never by
+    /// recompiling from a fabric.
+    pub resident: bool,
 }
 
 /// Maps tenants to `(shard, context)` slots, round-robin across shards.
@@ -98,15 +104,59 @@ impl TenantRegistry {
 
     /// Claims the reserved slot for a routed, compiled tenant.
     pub fn commit(&mut self, name: &str, placement: Placement, digest: u64) -> TenantId {
+        self.commit_with_residency(name, placement, digest, true)
+    }
+
+    /// [`commit`](Self::commit) for a tenant restored from a checkpoint:
+    /// its compiled plane came from the cache, not from routing into this
+    /// shard's fabric, so the record starts non-resident.
+    pub fn commit_restored(&mut self, name: &str, placement: Placement, digest: u64) -> TenantId {
+        self.commit_with_residency(name, placement, digest, false)
+    }
+
+    fn commit_with_residency(
+        &mut self,
+        name: &str,
+        placement: Placement,
+        digest: u64,
+        resident: bool,
+    ) -> TenantId {
         let id = TenantId(self.records.len());
         self.records.push(TenantRecord {
             name: name.to_string(),
             placement,
             digest,
+            resident,
         });
         self.slots[placement.shard][placement.ctx] = Some(id);
         self.cursor = (placement.shard + 1) % self.shards;
         id
+    }
+
+    /// Moves an admitted tenant to a free slot (live migration). The old
+    /// slot frees, the record's placement updates, and the tenant stops
+    /// being fabric-resident (its routed configuration does not follow —
+    /// only the compiled plane does, through the cache).
+    pub fn relocate(&mut self, id: TenantId, to: Placement) -> Result<(), ServiceError> {
+        let from = self.tenant(id)?.placement;
+        if to.shard >= self.shards || to.ctx >= self.contexts {
+            return Err(ServiceError::BadConfig(format!(
+                "relocation target (shard {}, ctx {}) outside the {}×{} slot grid",
+                to.shard, to.ctx, self.shards, self.contexts
+            )));
+        }
+        if self.occupant(to.shard, to.ctx).is_some() {
+            return Err(ServiceError::BadConfig(format!(
+                "relocation target (shard {}, ctx {}) is occupied",
+                to.shard, to.ctx
+            )));
+        }
+        self.slots[from.shard][from.ctx] = None;
+        self.slots[to.shard][to.ctx] = Some(id);
+        let record = &mut self.records[id.0];
+        record.placement = to;
+        record.resident = false;
+        Ok(())
     }
 
     /// The record of an admitted tenant.
@@ -215,6 +265,18 @@ impl PlaneCache {
         Ok(plane)
     }
 
+    /// The cached plane for `digest`, if present, without compiling —
+    /// the restore path's lookup (a migration ships digests, not
+    /// bitstreams, so a miss here is [`ServiceError::Migrate`] with
+    /// `PlaneUnavailable`, never a recompile). Counts as a hit.
+    pub fn get(&mut self, digest: u64) -> Option<Arc<CompiledFabric>> {
+        let plane = self.planes.get(&digest).map(Arc::clone);
+        if plane.is_some() {
+            self.hits += 1;
+        }
+        plane
+    }
+
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> usize {
@@ -280,6 +342,27 @@ mod tests {
             reg.tenant(TenantId(9)),
             Err(ServiceError::UnknownTenant(9))
         ));
+    }
+
+    #[test]
+    fn relocate_moves_slot_and_clears_residency() {
+        let mut reg = TenantRegistry::new(2, 2).unwrap();
+        let p = reg.reserve().unwrap();
+        let id = reg.commit("mover", p, 7);
+        assert!(reg.tenant(id).unwrap().resident);
+        let to = Placement { shard: 1, ctx: 1 };
+        reg.relocate(id, to).unwrap();
+        assert_eq!(reg.occupant(0, 0), None, "old slot freed");
+        assert_eq!(reg.occupant(1, 1), Some(id));
+        let rec = reg.tenant(id).unwrap();
+        assert_eq!(rec.placement, to);
+        assert!(!rec.resident, "routed config did not follow the tenant");
+        assert_eq!(rec.digest, 7, "digest travels with the record");
+        // occupied and out-of-range targets refuse
+        let other = reg.commit("other", Placement { shard: 0, ctx: 0 }, 9);
+        assert!(reg.relocate(other, to).is_err());
+        assert!(reg.relocate(other, Placement { shard: 5, ctx: 0 }).is_err());
+        assert_eq!(reg.tenant(other).unwrap().placement.shard, 0, "unchanged");
     }
 
     #[test]

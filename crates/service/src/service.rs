@@ -9,19 +9,27 @@
 //! switched in — exactly as in plain schedule replay.
 
 use crate::batch::{BatchQueue, RequestId, Response};
-use crate::placement::{choose_energy_aware, netlist_fingerprint, PlacementPolicy};
+use crate::placement::{best_slot, choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 use crate::ServiceError;
 use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
-use mcfpga_css::optimize::{CostMatrix, OptimizeMode};
+use mcfpga_css::optimize::{sweep_cost, CostMatrix, OptimizeMode};
 use mcfpga_css::Schedule;
 use mcfpga_device::TechParams;
-use mcfpga_fabric::compiled::{CompiledState, PushRefusal};
+use mcfpga_fabric::compiled::{CompiledState, LaneBatch, PushRefusal};
 use mcfpga_fabric::context::ContextSequencer;
 use mcfpga_fabric::route::implement_netlist_robust;
-use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, TileCoord};
+use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, RegisterFile, TileCoord};
+use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Prefix of signal names that are *stream registers*: outputs so named
+/// are captured into the tenant's [`RegisterFile`] after each pass and
+/// re-driven as inputs on its next pass (lane-aligned), instead of being
+/// returned in responses. The same convention `fabric::temporal` uses for
+/// values crossing context-switch boundaries.
+const REG_PREFIX: &str = "reg:";
 
 /// Routing seed per context slot: admission is deterministic per slot, so
 /// identical netlists admitted into same-index slots route identically and
@@ -71,6 +79,9 @@ pub struct ShardedService {
     queue: BatchQueue,
     shards: Vec<Shard>,
     usage: Vec<TenantUsage>,
+    /// Per-tenant stream-register state (`reg:*` outputs fed back as
+    /// inputs pass-to-pass); indexed like `usage`.
+    regs: Vec<RegisterFile>,
     ready: Vec<Response>,
     faults: Vec<SlotFault>,
     /// Sweep-ordering policy (see [`mcfpga_css::optimize`]).
@@ -133,6 +144,7 @@ impl ShardedService {
             queue: BatchQueue::new(shards, params.contexts),
             shards: built,
             usage: Vec::new(),
+            regs: Vec::new(),
             ready: Vec::new(),
             faults: Vec::new(),
             optimize,
@@ -202,13 +214,16 @@ impl ShardedService {
         let id = self.registry.commit(name, placement, digest);
         self.affinity.entry(fingerprint).or_insert(placement.ctx);
         self.usage.push(TenantUsage::default());
+        self.regs.push(RegisterFile::new());
         self.seed_slot(placement)?;
         Ok(id)
     }
 
     /// Seeds the slot's canonical input-name prefix from its plane's bound
     /// inputs, so submit-time coverage checking is a bitmask instead of a
-    /// second name scan.
+    /// second name scan. Stream registers (`reg:*` bound inputs) are
+    /// excluded — requests never drive them; the executor feeds them from
+    /// the tenant's [`RegisterFile`] at pass time.
     fn seed_slot(&mut self, placement: Placement) -> Result<(), ServiceError> {
         let plane = self.shards[placement.shard].planes[placement.ctx]
             .as_ref()
@@ -220,7 +235,10 @@ impl ShardedService {
         self.queue.seed(
             placement.shard,
             placement.ctx,
-            binds.iter().map(|(_, n)| n.as_str()),
+            binds
+                .iter()
+                .map(|(_, n)| n.as_str())
+                .filter(|n| !n.starts_with(REG_PREFIX)),
         );
         Ok(())
     }
@@ -337,19 +355,333 @@ impl ShardedService {
     /// Restores `tenant`'s true compiled plane after
     /// [`inject_plane_fault`](Self::inject_plane_fault) (or any plane
     /// corruption), by digest: the admission-time digest recorded in the
-    /// registry finds the cached plane, recompiling from the tenant's
-    /// still-routed fabric configuration only on a cache miss. Queued
-    /// requests survive and serve normally on the next flush.
+    /// registry finds the cached plane — rebased to the tenant's current
+    /// slot if a migration moved it off its admission context — and a
+    /// cache miss recompiles from the tenant's still-routed fabric
+    /// configuration. A *migrated* tenant has no routed configuration to
+    /// recompile from (only the plane travelled), so for it a cache miss
+    /// is [`MigrateError::PlaneUnavailable`] rather than a silent compile
+    /// of an empty context. Queued requests survive and serve normally on
+    /// the next flush.
     pub fn repair_plane(&mut self, tenant: TenantId) -> Result<(), ServiceError> {
         let record = self.registry.tenant(tenant)?;
         let placement = record.placement;
         let digest = record.digest;
-        let shard = &self.shards[placement.shard];
-        let plane = self.cache.get_or_compile(digest, || {
-            CompiledFabric::compile_context(&shard.fabric, placement.ctx)
-        })?;
-        self.shards[placement.shard].planes[placement.ctx] = Some(plane);
+        let plane = if record.resident {
+            let shard = &self.shards[placement.shard];
+            self.cache.get_or_compile(digest, || {
+                CompiledFabric::compile_context(&shard.fabric, placement.ctx)
+            })?
+        } else {
+            self.cache
+                .get(digest)
+                .ok_or(MigrateError::PlaneUnavailable { digest })?
+        };
+        self.shards[placement.shard].planes[placement.ctx] =
+            Some(Self::plane_for_slot(plane, placement.ctx)?);
+        // re-establish the canonical submit-coverage prefix from the true
+        // plane: a migration or discard that happened *while* the slot held
+        // a corrupted plane seeded from that plane's (empty) binds, and
+        // without this the repaired tenant would accept under-driven
+        // requests and silently evaluate the omissions as 0
+        self.seed_slot(placement)?;
         Ok(())
+    }
+
+    /// `plane`, usable from context `ctx`: as-is when it was compiled
+    /// there, rebased otherwise (compiled planes are context-independent;
+    /// see [`CompiledFabric::rebase_context`]).
+    fn plane_for_slot(
+        plane: Arc<CompiledFabric>,
+        ctx: usize,
+    ) -> Result<Arc<CompiledFabric>, ServiceError> {
+        if plane.compiled_context() == Some(ctx) {
+            Ok(plane)
+        } else {
+            Ok(Arc::new(plane.rebase_context(ctx)?))
+        }
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<(), ServiceError> {
+        if shard >= self.shards.len() {
+            return Err(ServiceError::NoSuchShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Modeled broadcast toggles the destination shard's sweeps gain when
+    /// `ctx` joins its occupied set — the migration's realignment charge.
+    /// `vacating` is the slot the mover is leaving: for an intra-shard
+    /// move it sits on the destination shard but will not be occupied
+    /// after the move, so it is excluded from both sweeps.
+    fn join_cost(
+        &self,
+        dst_shard: usize,
+        ctx: usize,
+        vacating: Option<Placement>,
+    ) -> Result<usize, ServiceError> {
+        let mut occupied = self.registry.occupied_contexts(dst_shard);
+        occupied.retain(|&c| {
+            c != ctx
+                && vacating
+                    != Some(Placement {
+                        shard: dst_shard,
+                        ctx: c,
+                    })
+        });
+        let start = self.shards[dst_shard].seq.current();
+        let before = sweep_cost(&self.matrix, Some(start), &occupied)?;
+        occupied.push(ctx);
+        let after = sweep_cost(&self.matrix, Some(start), &occupied)?;
+        Ok(after.saturating_sub(before))
+    }
+
+    /// Snapshots `tenant` at the current context-switch boundary: the
+    /// plane-cache digest of its configuration, its stream-register file,
+    /// its queued-but-unexecuted requests (exact lane words), the source
+    /// shard's CSS sweep position and its usage counters — everything a
+    /// destination needs to resume it bit-for-bit (see
+    /// [`mcfpga_migrate`]). Non-destructive: the tenant keeps serving.
+    ///
+    /// The service API is synchronous, so every call site *is* a boundary:
+    /// no pass is ever mid-flight here. Requests that already executed are
+    /// not part of the checkpoint — their responses live in the source's
+    /// [`drain`](Self::drain) buffer; what moves is exactly the
+    /// not-yet-served work.
+    pub fn checkpoint_tenant(&self, tenant: TenantId) -> Result<TenantCheckpoint, ServiceError> {
+        let record = self.registry.tenant(tenant)?;
+        let placement = record.placement;
+        let pending = match self.queue.slot(placement.shard, placement.ctx) {
+            Some(batch) => PendingBatch {
+                lanes: batch.len(),
+                inputs: batch
+                    .lane_inputs()
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v))
+                    .collect(),
+                requests: self
+                    .queue
+                    .tickets(placement.shard, placement.ctx)
+                    .iter()
+                    .map(|(r, _)| r.value())
+                    .collect(),
+            },
+            None => PendingBatch::default(),
+        };
+        Ok(TenantCheckpoint {
+            name: record.name.clone(),
+            digest: record.digest,
+            params: self.params,
+            ctx: placement.ctx,
+            css_position: self.shards[placement.shard].seq.current(),
+            pending,
+            regs: self.regs[tenant.index()].clone(),
+            usage: self.usage[tenant.index()],
+        })
+    }
+
+    /// Admits a checkpointed tenant onto `dst_shard` as a **new** tenant:
+    /// the compiled plane is resolved from the plane cache by digest
+    /// (rebased if the free slot differs from the checkpoint's context),
+    /// the register file resumes where the last pass left it, and the
+    /// pending lane words re-enter the queue unchanged — so its responses
+    /// are bit-for-bit what the source would have produced. Returns the
+    /// new id and a *fresh* request id per restored pending lane (in lane
+    /// order): ids recorded in the checkpoint are never reissued, so a
+    /// stale checkpoint cannot resurrect requests answered or discarded
+    /// after it was taken.
+    ///
+    /// Fails with [`MigrateError::GeometryMismatch`] on a differently
+    /// shaped service, [`MigrateError::PlaneUnavailable`] when no plane
+    /// with the checkpoint's digest is cached (checkpoints ship digests,
+    /// not bitstreams), and [`MigrateError::NoFreeSlot`] when `dst_shard`
+    /// is full.
+    pub fn restore_tenant(
+        &mut self,
+        ckpt: &TenantCheckpoint,
+        dst_shard: usize,
+    ) -> Result<(TenantId, Vec<RequestId>), ServiceError> {
+        self.check_shard(dst_shard)?;
+        if ckpt.params != self.params {
+            return Err(MigrateError::GeometryMismatch {
+                expected: format!("{:?}", self.params),
+                found: format!("{:?}", ckpt.params),
+            }
+            .into());
+        }
+        let slot = best_slot(&self.registry, &self.matrix, Some(ckpt.ctx), |p| {
+            p.shard == dst_shard
+        })?
+        .ok_or(MigrateError::NoFreeSlot { shard: dst_shard })?;
+        let plane = self
+            .cache
+            .get(ckpt.digest)
+            .ok_or(MigrateError::PlaneUnavailable {
+                digest: ckpt.digest,
+            })?;
+        let plane = Self::plane_for_slot(plane, slot.ctx)?;
+        let batch = LaneBatch::from_parts(ckpt.pending.lanes, ckpt.pending.inputs.clone())?;
+        // an idle destination shard adopts the checkpointed CSS sweep
+        // position: its broadcast resumes where the source's sat at the
+        // boundary, so subsequent sweeps are planned and charged from the
+        // same state (a shard with resident tenants keeps its own position
+        // — realigning it would falsify *their* accounting)
+        if self.registry.occupied_contexts(dst_shard).is_empty() {
+            self.shards[dst_shard].seq.resume_at(ckpt.css_position)?;
+        }
+        let realign = self.join_cost(dst_shard, slot.ctx, None)?;
+
+        // all fallible steps done — commit the restore
+        let id = self.registry.commit_restored(&ckpt.name, slot, ckpt.digest);
+        let mut usage = ckpt.usage;
+        usage.migrations += 1;
+        usage.migration_bytes += ckpt.encoded_len();
+        usage.migration_downtime_cycles += 1 + ckpt.pending.lanes;
+        usage.migration_css_toggles += realign;
+        self.usage.push(usage);
+        self.regs.push(ckpt.regs.clone());
+        self.shards[dst_shard].planes[slot.ctx] = Some(plane);
+        self.seed_slot(slot)?;
+        // install the pending batch only when it holds work: a lane-less
+        // checkpoint carries no union names (its source slot read as
+        // empty), and overwriting the freshly seeded batch with it would
+        // erase the canonical prefix the coverage check depends on
+        let fresh = if ckpt.pending.lanes > 0 {
+            self.queue.restore(slot.shard, slot.ctx, batch, id)
+        } else {
+            Vec::new()
+        };
+        Ok((id, fresh))
+    }
+
+    /// Live-migrates `tenant` to a free slot on `dst_shard`, preserving
+    /// its request ids: the pending lane batch, register file, compiled
+    /// plane (rebased if the slot index changes) and recorded faults all
+    /// move, the source context is wiped, and the tenant resumes
+    /// bit-for-bit — every in-flight request is still answered exactly
+    /// once. The slot is chosen like an energy-aware admission (cheapest
+    /// marginal sweep cost, ties toward the same context index to avoid a
+    /// rebase). Migration overhead — checkpoint bytes, downtime cycles,
+    /// destination realignment toggles — is billed to the tenant (see
+    /// [`mcfpga_cost::attribution`]). `dst_shard` may be the tenant's own
+    /// shard (an intra-shard slot move).
+    pub fn migrate_tenant(
+        &mut self,
+        tenant: TenantId,
+        dst_shard: usize,
+    ) -> Result<Placement, ServiceError> {
+        self.check_shard(dst_shard)?;
+        let src = self.registry.tenant(tenant)?.placement;
+        let dst = best_slot(&self.registry, &self.matrix, Some(src.ctx), |p| {
+            p.shard == dst_shard
+        })?
+        .ok_or(MigrateError::NoFreeSlot { shard: dst_shard })?;
+        self.migrate_to_slot(tenant, dst)
+    }
+
+    /// The migration mechanics, to an exact free destination slot.
+    fn migrate_to_slot(
+        &mut self,
+        tenant: TenantId,
+        dst: Placement,
+    ) -> Result<Placement, ServiceError> {
+        let record = self.registry.tenant(tenant)?;
+        let src = record.placement;
+        let resident = record.resident;
+        // the checkpoint is what conceptually crosses the wire: its
+        // encoded size is the migration's bytes-moved bill
+        let ckpt = self.checkpoint_tenant(tenant)?;
+        let plane = self.shards[src.shard].planes[src.ctx].clone().ok_or(
+            ServiceError::SlotNotProgrammed {
+                shard: src.shard,
+                ctx: src.ctx,
+            },
+        )?;
+        // rebase before any mutation, so an error leaves the service intact
+        let plane = Self::plane_for_slot(plane, dst.ctx)?;
+        let realign = self.join_cost(dst.shard, dst.ctx, Some(src))?;
+        self.registry.relocate(tenant, dst)?;
+
+        // point of no return: move plane, queue contents and fabric state
+        self.shards[src.shard].planes[src.ctx] = None;
+        if resident {
+            self.shards[src.shard].fabric.clear_context(src.ctx)?;
+        }
+        let taken = self.queue.take(src.shard, src.ctx);
+        // the freed slot must not leak its union names or canonical prefix
+        // into whatever tenant occupies it next
+        self.queue.clear_slot(src.shard, src.ctx);
+        self.shards[dst.shard].planes[dst.ctx] = Some(plane);
+        self.seed_slot(dst)?;
+        if let Some(taken) = taken {
+            self.queue.install(dst.shard, dst.ctx, taken);
+        }
+        // recorded faults describe the tenant's slot; the slot moved
+        for fault in &mut self.faults {
+            if fault.tenant == tenant {
+                fault.shard = dst.shard;
+                fault.ctx = dst.ctx;
+            }
+        }
+        let usage = &mut self.usage[tenant.index()];
+        usage.migrations += 1;
+        usage.migration_bytes += ckpt.encoded_len();
+        usage.migration_downtime_cycles += 1 + ckpt.pending.lanes;
+        usage.migration_css_toggles += realign;
+        Ok(dst)
+    }
+
+    /// Migrates **every** tenant off `shard` — the fault-evacuation /
+    /// rebalancing primitive. Destinations are chosen per tenant by the
+    /// same energy-aware scoring as admission, restricted to the other
+    /// shards. All-or-nothing feasibility: if the rest of the pool cannot
+    /// absorb every resident tenant, nothing moves and
+    /// [`MigrateError::EvacuationBlocked`] reports the shortfall. Returns
+    /// `(tenant, new placement)` per move, in source context order.
+    pub fn evacuate_shard(
+        &mut self,
+        shard: usize,
+    ) -> Result<Vec<(TenantId, Placement)>, ServiceError> {
+        self.check_shard(shard)?;
+        let tenants: Vec<TenantId> = self
+            .registry
+            .occupied_contexts(shard)
+            .into_iter()
+            .filter_map(|ctx| self.registry.occupant(shard, ctx))
+            .collect();
+        let free_elsewhere = self
+            .registry
+            .free_slots()
+            .into_iter()
+            .filter(|p| p.shard != shard)
+            .count();
+        if free_elsewhere < tenants.len() {
+            return Err(MigrateError::EvacuationBlocked {
+                tenants: tenants.len(),
+                free_elsewhere,
+            }
+            .into());
+        }
+        let mut moved = Vec::with_capacity(tenants.len());
+        for tenant in tenants {
+            let src_ctx = self.registry.tenant(tenant)?.placement.ctx;
+            let dst = best_slot(&self.registry, &self.matrix, Some(src_ctx), |p| {
+                p.shard != shard
+            })?
+            .expect("feasibility prechecked: a free off-shard slot exists");
+            moved.push((tenant, self.migrate_to_slot(tenant, dst)?));
+        }
+        Ok(moved)
+    }
+
+    /// One tenant's stream-register file (`reg:*` state carried between
+    /// its passes). Empty for purely combinational tenants.
+    pub fn register_file(&self, tenant: TenantId) -> Result<&RegisterFile, ServiceError> {
+        self.registry.tenant(tenant)?; // validates the id
+        Ok(&self.regs[tenant.index()])
     }
 
     /// Executes the pending batches of `active` contexts on one shard, in
@@ -408,8 +740,22 @@ impl ShardedService {
                 .iter()
                 .find(|(c, _)| *c == ctx)
                 .map_or(toggles, |(_, cost)| *cost);
+            // stream registers: every bound `reg:*` input reads the
+            // tenant's word from its previous pass (0 before the first) —
+            // lane-aligned, so lane `l` of pass `p+1` consumes the state
+            // lane `l` of pass `p` produced. A request that drove the name
+            // explicitly wins (the batch entry resolves first), which is
+            // how a caller seeds stream state by hand.
+            let binds = plane.plane(ctx)?.input_binds();
+            let tenant_regs = &self.regs[tenant.index()];
+            let mut lane_inputs = batch.lane_inputs();
+            for (_, name) in binds {
+                if name.starts_with(REG_PREFIX) && !lane_inputs.iter().any(|(n, _)| n == name) {
+                    lane_inputs.push((name.as_str(), tenant_regs.get(name).unwrap_or(0)));
+                }
+            }
             let scratch = shard.scratch.get_or_insert_with(|| plane.new_state());
-            let outs = match plane.eval_batch_into(ctx, &batch.lane_inputs(), scratch) {
+            let outs = match plane.eval_batch_into(ctx, &lane_inputs, scratch) {
                 Ok(outs) => outs,
                 Err(e) => {
                     self.faults.push(SlotFault {
@@ -426,17 +772,26 @@ impl ShardedService {
                 .take(shard_idx, ctx)
                 .expect("slot was non-empty and the pass just succeeded");
             self.usage[tenant.index()].passes += 1;
-            // one Arc per output name, shared by all the pass's responses —
+            // `reg:*` outputs are state, not answers: harvest them into the
+            // register file; only the visible outputs demux into responses.
+            // One Arc per visible name, shared by all the pass's responses —
             // demuxing a full 64-lane batch allocates no strings
-            let names: Vec<Arc<str>> = outs.iter().map(|(n, _)| Arc::from(n.as_str())).collect();
+            let tenant_regs = &mut self.regs[tenant.index()];
+            let mut visible: Vec<(Arc<str>, u64)> = Vec::with_capacity(outs.len());
+            for (name, word) in &outs {
+                if name.starts_with(REG_PREFIX) {
+                    tenant_regs.set(name, *word);
+                } else {
+                    visible.push((Arc::from(name.as_str()), *word));
+                }
+            }
             for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
                 self.ready.push(Response {
                     request: *request,
                     tenant: *owner,
-                    outputs: names
+                    outputs: visible
                         .iter()
-                        .zip(&outs)
-                        .map(|(n, (_, word))| (Arc::clone(n), (word >> lane) & 1 == 1))
+                        .map(|(n, word)| (Arc::clone(n), (word >> lane) & 1 == 1))
                         .collect(),
                 });
             }

@@ -15,7 +15,7 @@ use mcfpga_device::TechParams;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
 use mcfpga_service::{
-    OptimizeMode, PlacementPolicy, RequestId, ServiceError, ShardedService, TenantId,
+    MigrateError, OptimizeMode, PlacementPolicy, RequestId, ServiceError, ShardedService, TenantId,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -52,12 +52,18 @@ struct Harness {
     /// repair does not erase a fault already recorded).
     fault_candidates: HashSet<TenantId>,
     faults_seen: usize,
+    /// Successful live migrations and evacuation moves performed.
+    migrations: usize,
 }
 
 impl Harness {
     fn new(optimize: OptimizeMode, placement: PlacementPolicy) -> Self {
+        Self::with_shards(2, optimize, placement)
+    }
+
+    fn with_shards(shards: usize, optimize: OptimizeMode, placement: PlacementPolicy) -> Self {
         let mut svc = ShardedService::with_policies(
-            2,
+            shards,
             FabricParams {
                 width: 5,
                 height: 5,
@@ -93,6 +99,7 @@ impl Harness {
             poisoned: HashSet::new(),
             fault_candidates: HashSet::new(),
             faults_seen: 0,
+            migrations: 0,
         }
     }
 
@@ -158,6 +165,47 @@ impl Harness {
         self.poisoned.remove(&tenant);
     }
 
+    /// Live-migrates a random tenant toward a random shard. A full
+    /// destination is a legitimate refusal; anything else is a bug. The
+    /// move must conserve the queue exactly (checked by the global
+    /// accounting: migrated requests keep their ids).
+    fn migrate(&mut self) {
+        let (tenant, _) = self.random_tenant();
+        let pending_before = self.svc.pending_requests();
+        let dst = self.rng.random_range(0..self.svc.shard_count() as u32) as usize;
+        match self.svc.migrate_tenant(tenant, dst) {
+            Ok(_) => {
+                self.migrations += 1;
+                assert_eq!(
+                    self.svc.pending_requests(),
+                    pending_before,
+                    "migration dropped or duplicated queued requests"
+                );
+            }
+            Err(ServiceError::Migrate(MigrateError::NoFreeSlot { .. })) => {}
+            Err(e) => panic!("unexpected migrate error: {e}"),
+        }
+    }
+
+    /// Evacuates a random shard wholesale; a pool too full to absorb the
+    /// tenants refuses atomically.
+    fn evacuate(&mut self) {
+        let shard = self.rng.random_range(0..self.svc.shard_count() as u32) as usize;
+        let pending_before = self.svc.pending_requests();
+        match self.svc.evacuate_shard(shard) {
+            Ok(moved) => {
+                self.migrations += moved.len();
+                assert!(
+                    self.svc.registry().occupied_contexts(shard).is_empty(),
+                    "evacuated shard must be empty"
+                );
+                assert_eq!(self.svc.pending_requests(), pending_before);
+            }
+            Err(ServiceError::Migrate(MigrateError::EvacuationBlocked { .. })) => {}
+            Err(e) => panic!("unexpected evacuate error: {e}"),
+        }
+    }
+
     fn discard(&mut self) {
         let (tenant, _) = self.random_tenant();
         let queued = self.pending.remove(&tenant).unwrap_or_default();
@@ -220,7 +268,35 @@ fn run_replay(optimize: OptimizeMode, placement: PlacementPolicy) -> (usize, usi
         }
     }
     h.settle();
+    conservation(&h)
+}
 
+/// The migration chaos replay: the same interleaving plus random live
+/// migrations and whole-shard evacuations (on a 3-shard pool so there is
+/// somewhere to go), still under injected faults — asserting queue
+/// conservation end to end: every pending request is answered exactly
+/// once, never dropped or duplicated by a migration.
+fn run_migration_replay() -> (usize, usize, usize, usize) {
+    let mut h = Harness::with_shards(3, OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
+    for _ in 0..CYCLES {
+        match h.rng.random_range(0..100u32) {
+            0..=49 => h.submit_one(),
+            50..=69 => h.drain(),
+            70..=75 => h.inject(),
+            76..=81 => h.repair(),
+            82..=85 => h.discard(),
+            86..=91 => h.migrate(),
+            92..=93 => h.evacuate(),
+            _ => h.take_faults_drains_once(),
+        }
+    }
+    h.settle();
+    let migrations = h.migrations;
+    let (submitted, answered, faults) = conservation(&h);
+    (submitted, answered, faults, migrations)
+}
+
+fn conservation(h: &Harness) -> (usize, usize, usize) {
     // conservation: every issued request was answered xor discarded
     assert_eq!(
         h.answered.len() + h.discarded,
@@ -233,6 +309,21 @@ fn run_replay(optimize: OptimizeMode, placement: PlacementPolicy) -> (usize, usi
         "answered an id that was never issued"
     );
     (h.submitted, h.answered.len(), h.faults_seen)
+}
+
+#[test]
+fn replay_conserves_every_request_under_migration_chaos() {
+    let (submitted, answered, faults, migrations) = run_migration_replay();
+    assert!(submitted > 200, "replay submitted only {submitted}");
+    assert!(answered > 0);
+    assert!(faults > 0, "replay never drove a pass through a fault");
+    assert!(migrations > 10, "replay performed only {migrations} moves");
+}
+
+/// The migration replay is deterministic too: a failure reproduces.
+#[test]
+fn migration_replay_is_deterministic() {
+    assert_eq!(run_migration_replay(), run_migration_replay());
 }
 
 #[test]

@@ -25,7 +25,11 @@
 //! * [`service`] — a multi-tenant batched execution runtime: tenants admit
 //!   designs into context slots across fabric shards (round-robin or
 //!   energy-aware placement), and their single-vector requests coalesce
-//!   into 64-lane bit-parallel passes swept in toggle-optimized order.
+//!   into 64-lane bit-parallel passes swept in toggle-optimized order;
+//! * [`migrate`] — checkpoint/restore and live tenant migration: a
+//!   versioned checkpoint wire format capturing a tenant at a
+//!   context-switch boundary, powering `migrate_tenant` / `evacuate_shard`
+//!   on the service.
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
 //! `docs/GLOSSARY.md` for the paper's vocabulary as used in the code.
@@ -54,6 +58,7 @@ pub use mcfpga_cost as cost;
 pub use mcfpga_css as css;
 pub use mcfpga_device as device;
 pub use mcfpga_fabric as fabric;
+pub use mcfpga_migrate as migrate;
 pub use mcfpga_mvl as mvl;
 pub use mcfpga_netlist as netlist;
 pub use mcfpga_service as service;
@@ -69,6 +74,7 @@ pub mod prelude {
     };
     pub use mcfpga_device::{Fgmos, FgmosMode, Programmer, TechParams};
     pub use mcfpga_fabric::{Fabric, FabricParams, LogicNetlist, MultiContextLut, TileCoord};
+    pub use mcfpga_migrate::{MigrateError, TenantCheckpoint, FORMAT_VERSION};
     pub use mcfpga_mvl::{decompose_windows, CtxSet, Level, Radix, WindowLiteral};
     pub use mcfpga_netlist::{Netlist, SwitchSim};
     pub use mcfpga_service::{PlacementPolicy, ShardedService, TenantId};
