@@ -12,15 +12,12 @@
 //! skip wall-clock sampling — the mode CI uses on every push.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcfpga_bench::{smoke, time_us, write_bench_json, BenchValue};
 use mcfpga_css::optimize::{optimize_sweep, CostMatrix};
 use mcfpga_css::Schedule;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
-
-fn smoke() -> bool {
-    std::env::var_os("MCFPGA_BENCH_SMOKE").is_some_and(|v| v != "0")
-}
 
 /// Steady-state cost of repeated full sweeps: each sweep starts from the
 /// context the previous one ended on.
@@ -48,9 +45,23 @@ fn steady_optimized_cost(matrix: &CostMatrix, contexts: usize, rounds: usize) ->
     total
 }
 
+/// Mean `optimize_sweep` latency over a fixed full-domain sweep, seconds.
+/// Cheap enough to run in smoke mode, so the JSON artifact always carries
+/// optimizer latencies alongside the toggle savings.
+fn optimizer_latency_us(contexts: usize) -> f64 {
+    let matrix = CostMatrix::hybrid(contexts).unwrap();
+    let sweep = Schedule::active_sweep(contexts, &(0..contexts).collect::<Vec<_>>()).unwrap();
+    time_us(200, || {
+        black_box(optimize_sweep(&sweep, &matrix, Some(0)).unwrap());
+    })
+}
+
 /// The acceptance comparison: full-domain sweeps, both CSS families.
-fn acceptance() {
+/// Returns the per-configuration savings table as
+/// `(contexts, family, naive, optimized)` rows for the JSON artifact.
+fn acceptance() -> Vec<(usize, &'static str, usize, usize)> {
     const ROUNDS: usize = 64;
+    let mut table = Vec::new();
     println!("sweep-order optimization, {ROUNDS} steady-state full sweeps:");
     println!("  contexts  family  round-robin  optimized  saved");
     for &contexts in &[4usize, 8, 16] {
@@ -62,6 +73,7 @@ fn acceptance() {
             let ascending: Vec<usize> = (0..contexts).collect();
             let naive = steady_sweep_cost(&matrix, &ascending, ROUNDS);
             let optimized = steady_optimized_cost(&matrix, contexts, ROUNDS);
+            table.push((contexts, family, naive, optimized));
             assert!(
                 optimized <= naive,
                 "{contexts}-ctx {family}: optimizer must never be worse"
@@ -101,10 +113,44 @@ fn acceptance() {
         }
     }
     println!("  randomized partial sweeps: optimizer never worse (200 cases)");
+    table
 }
 
 fn bench(c: &mut Criterion) {
-    acceptance();
+    let table = acceptance();
+
+    // machine-readable trajectory: savings per configuration + optimizer
+    // latency in both regimes (exact Held–Karp ≤8 contexts, greedy above)
+    let mut fields: Vec<(String, BenchValue)> = Vec::new();
+    for (contexts, family, naive, optimized) in &table {
+        fields.push((
+            format!("toggles_naive_{family}_{contexts}ctx"),
+            (*naive).into(),
+        ));
+        fields.push((
+            format!("toggles_optimized_{family}_{contexts}ctx"),
+            (*optimized).into(),
+        ));
+        fields.push((
+            format!("toggles_saved_pct_{family}_{contexts}ctx"),
+            (100.0 * (naive - optimized) as f64 / (*naive).max(1) as f64).into(),
+        ));
+    }
+    fields.push((
+        "optimize_latency_us_exact_4ctx".to_string(),
+        optimizer_latency_us(4).into(),
+    ));
+    fields.push((
+        "optimize_latency_us_exact_8ctx".to_string(),
+        optimizer_latency_us(8).into(),
+    ));
+    fields.push((
+        "optimize_latency_us_greedy_16ctx".to_string(),
+        optimizer_latency_us(16).into(),
+    ));
+    let json = write_bench_json("css_optimize", &fields).expect("write BENCH_css_optimize.json");
+    println!("wrote {}", json.display());
+
     if smoke() {
         println!("MCFPGA_BENCH_SMOKE set: skipping wall-clock sampling");
         return;

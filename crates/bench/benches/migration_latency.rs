@@ -12,6 +12,7 @@
 //! wall-clock sampling — the mode CI uses on every push.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_bench::{smoke, time_us, write_bench_json};
 use mcfpga_device::TechParams;
 use mcfpga_fabric::compiled::LANES;
 use mcfpga_fabric::netlist_ir::generators;
@@ -19,10 +20,6 @@ use mcfpga_fabric::FabricParams;
 use mcfpga_migrate::TenantCheckpoint;
 use mcfpga_service::{ShardedService, TenantId};
 use std::hint::black_box;
-
-fn smoke() -> bool {
-    std::env::var_os("MCFPGA_BENCH_SMOKE").is_some_and(|v| v != "0")
-}
 
 fn reference_params() -> FabricParams {
     FabricParams {
@@ -97,8 +94,48 @@ fn acceptance() {
     );
 }
 
+/// Timed latencies with a plain `Instant` loop (independent of the
+/// criterion harness, cheap enough for smoke mode) plus the checkpoint
+/// wire size — the machine-readable migration trajectory.
+fn write_artifact() {
+    const ITERS: usize = 200;
+    let (svc, mover, _, _) = build_pool(LANES - 1);
+    let ckpt = svc.checkpoint_tenant(mover).unwrap();
+    let wire = ckpt.to_bytes();
+
+    let encode_us = time_us(ITERS, || {
+        black_box(svc.checkpoint_tenant(mover).unwrap().to_bytes().len());
+    });
+    let decode_us = time_us(ITERS, || {
+        black_box(TenantCheckpoint::from_bytes(&wire).unwrap().pending.lanes);
+    });
+    let migrate_us = {
+        let (mut svc, mover, _, _) = build_pool(31);
+        let mut dst = 2usize;
+        time_us(ITERS, move || {
+            black_box(svc.migrate_tenant(mover, dst).unwrap().ctx);
+            dst = if dst == 2 { 1 } else { 2 };
+        })
+    };
+
+    let json = write_bench_json(
+        "migration_latency",
+        &[
+            ("checkpoint_wire_bytes", wire.len().into()),
+            ("checkpoint_pending_lanes", ckpt.pending.lanes.into()),
+            ("checkpoint_input_names", ckpt.pending.inputs.len().into()),
+            ("encode_latency_us", encode_us.into()),
+            ("decode_latency_us", decode_us.into()),
+            ("migrate_end_to_end_us", migrate_us.into()),
+        ],
+    )
+    .expect("write BENCH_migration_latency.json");
+    println!("wrote {}", json.display());
+}
+
 fn bench(c: &mut Criterion) {
     acceptance();
+    write_artifact();
     if smoke() {
         println!("MCFPGA_BENCH_SMOKE set: skipping wall-clock sampling");
         return;

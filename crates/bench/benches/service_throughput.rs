@@ -9,10 +9,11 @@
 //! threshold of ≥8× (the lane math promises ~64× before overheads).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_bench::{smoke, write_bench_json};
 use mcfpga_device::TechParams;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
-use mcfpga_service::{OptimizeMode, PlacementPolicy, ShardedService, TenantId};
+use mcfpga_service::{OptimizeMode, PlacementPolicy, Response, ShardedService, TenantId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -20,6 +21,14 @@ use std::time::Instant;
 
 /// Requests per tenant per measured round: three full 64-lane batches.
 const REQUESTS_PER_TENANT: usize = 192;
+
+/// Shards in the parallel-drain comparison (the ISSUE's reference scale).
+const PAR_SHARDS: usize = 8;
+
+/// Lanes queued per slot before each timed parallel drain — below 64 so
+/// nothing auto-flushes on the (sequential) submit path; the drain is
+/// where the fan-out happens and is what the gate times.
+const PAR_LANES: usize = 63;
 
 /// Drain rounds in the sparse-traffic energy comparison: each round
 /// submits one request per tenant and drains, so every round is a full
@@ -118,8 +127,132 @@ fn serve(
     responses + svc.drain().expect("final drain").len()
 }
 
-/// Acceptance measurement: amortized per-request service time, both modes.
-fn measure_speedup() -> f64 {
+/// An 8-shard, 4-context pool for the parallel-drain comparison: 32
+/// tenants, one design per context index so identical netlists land on
+/// the same slot index across shards and share one cached compiled plane.
+/// The fabric and comparators are a step larger than the batching bench's
+/// so each drain carries enough per-pass work to amortize the executor's
+/// thread-spawn cost on modest core counts.
+fn build_parallel_service() -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
+    let mut svc = ShardedService::with_policies(
+        PAR_SHARDS,
+        FabricParams {
+            width: 10,
+            height: 10,
+            channel_width: 6,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+        OptimizeMode::Optimized,
+        PlacementPolicy::RoundRobin,
+    )
+    .expect("service");
+    let designs = vec![
+        ("add12", generators::ripple_adder(12).unwrap()),
+        ("add11", generators::ripple_adder(11).unwrap()),
+        ("cmp24", generators::equality_comparator(24).unwrap()),
+        ("cmp22", generators::equality_comparator(22).unwrap()),
+    ];
+    let mut tenants = Vec::new();
+    // round-robin admission sweeps shards before contexts, so admitting
+    // shard-count tenants of one design fills one context row with it
+    for (name, nl) in &designs {
+        for shard in 0..PAR_SHARDS {
+            let id = svc.admit(&format!("{name}@{shard}"), nl).expect("admit");
+            let names = nl
+                .input_ids()
+                .into_iter()
+                .map(|n| match nl.node(n) {
+                    Node::Input { name } => name.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            tenants.push((id, names));
+        }
+    }
+    (svc, tenants)
+}
+
+/// Queues `PAR_LANES` seeded requests on every tenant (no slot reaches 64
+/// lanes, so nothing executes until the drain).
+fn fill_all_slots(
+    svc: &mut ShardedService,
+    tenants: &[(TenantId, Vec<String>)],
+    rng: &mut StdRng,
+) -> usize {
+    let mut queued = 0;
+    for _ in 0..PAR_LANES {
+        for (id, names) in tenants {
+            let vector: Vec<(String, bool)> = names
+                .iter()
+                .map(|n| (n.clone(), rng.random_range(0..2u32) == 1))
+                .collect();
+            let refs: Vec<(&str, bool)> = vector.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            svc.submit(*id, &refs).expect("submit");
+            queued += 1;
+        }
+    }
+    queued
+}
+
+/// The parallel-executor comparison on the 8-shard reference pool:
+/// cross-checks that sequential (1-thread) and parallel (N-thread) drains
+/// produce identical responses, then times the drain both ways and
+/// returns `(seq_us, par_us, speedup, threads, requests_per_drain)`.
+fn measure_parallel_drain() -> (f64, f64, f64, usize, usize) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = cores.clamp(2, PAR_SHARDS);
+
+    // admission (routing + compilation) happens once per width and stays
+    // outside every measured window; each run does a correctness pass
+    // first (identical seeded traffic), then the timing loop
+    let run_width = |width: usize| -> (Vec<Response>, f64) {
+        let (mut svc, tenants) = build_parallel_service();
+        svc.set_threads(width);
+        // correctness traffic: the drain fan-out must be invisible
+        let mut rng = StdRng::seed_from_u64(0x009A_11E1);
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            fill_all_slots(&mut svc, &tenants, &mut rng);
+            responses.extend(svc.drain().expect("drain"));
+        }
+        // wall-clock: fill untimed, time the drain, keep the minimum
+        let mut rng = StdRng::seed_from_u64(0x00D1_2A11);
+        let mut best = f64::INFINITY;
+        let budget = Instant::now();
+        while budget.elapsed() < std::time::Duration::from_millis(400) {
+            fill_all_slots(&mut svc, &tenants, &mut rng);
+            let t = Instant::now();
+            let served = svc.drain().expect("drain").len();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(served, PAR_LANES * PAR_SHARDS * 4);
+            black_box(served);
+        }
+        (responses, best)
+    };
+    let (seq_responses, seq) = run_width(1);
+    assert_eq!(
+        seq_responses.len(),
+        2 * PAR_LANES * PAR_SHARDS * 4,
+        "every queued request answered"
+    );
+    let (par_responses, par) = run_width(threads);
+    assert_eq!(
+        seq_responses, par_responses,
+        "parallel drain must be bit-for-bit identical to sequential"
+    );
+    (
+        seq * 1e6,
+        par * 1e6,
+        seq / par,
+        threads,
+        PAR_LANES * PAR_SHARDS * 4,
+    )
+}
+
+/// Acceptance measurement: amortized per-request service time, both
+/// modes; returns `(unbatched_us_per_req, batched_us_per_req, speedup)`.
+fn measure_speedup() -> (f64, f64, f64) {
     let (_, tenants) = build_service();
     let stream = request_stream(&tenants);
     let stream = as_refs(&stream);
@@ -159,15 +292,15 @@ fn measure_speedup() -> f64 {
         unbatched_per_req * 1e6,
         batched_per_req * 1e6,
     );
-    speedup
+    (unbatched_per_req * 1e6, batched_per_req * 1e6, speedup)
 }
 
 /// Sparse-traffic energy gate: one request per tenant per drain, so every
 /// drain is a full 4-context sweep. The optimized sweep order must produce
 /// byte-identical responses and **strictly fewer** modeled CSS toggles
 /// than the naive (round-robin-order) sweep on the 8×8/4-context
-/// reference fabric.
-fn energy_comparison() {
+/// reference fabric. Returns `(naive_toggles, optimized_toggles)`.
+fn energy_comparison() -> (usize, usize) {
     let run = |mode: OptimizeMode| {
         let (mut svc, tenants) = build_service_mode(mode);
         let mut rng = StdRng::seed_from_u64(0x0E17_0E17);
@@ -222,11 +355,12 @@ fn energy_comparison() {
          saved: {:.1}% of broadcast switching energy (responses identical)",
         100.0 * (naive_toggles - opt_toggles) as f64 / naive_toggles as f64,
     );
+    (naive_toggles, opt_toggles)
 }
 
 fn bench(c: &mut Criterion) {
     // energy gate: optimized sweep order strictly beats naive, outputs equal
-    energy_comparison();
+    let (naive_toggles, opt_toggles) = energy_comparison();
 
     // correctness cross-check before timing: batched and unbatched modes
     // must produce identical responses for the same stream
@@ -252,11 +386,67 @@ fn bench(c: &mut Criterion) {
         assert_eq!(b, u, "batched responses must equal unbatched responses");
     }
 
-    let speedup = measure_speedup();
+    let (unbatched_us, batched_us, speedup) = measure_speedup();
     assert!(
         speedup >= 8.0,
         "batched service only {speedup:.1}x faster than single-vector-per-request"
     );
+
+    // parallel-executor gate: an 8-shard drain fanned out across worker
+    // threads must be ≥2× the sequential (1-thread) drain — enforced when
+    // the machine has the cores to show it (≥4) and not in smoke mode;
+    // the bit-for-bit output equivalence check inside always runs
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let (par_seq_us, par_par_us, par_speedup, par_threads, par_requests) = measure_parallel_drain();
+    let gate_enforced = cores >= 4 && !smoke();
+    println!(
+        "parallel drain (10x10, {PAR_SHARDS} shards x 4 contexts, {par_requests} queued requests, \
+         {cores} cores):\n  \
+         sequential (1 thread):  {par_seq_us:.1} µs/drain\n  \
+         parallel ({par_threads} threads):   {par_par_us:.1} µs/drain\n  \
+         speedup: {par_speedup:.2}x (gate: >=2x, {})",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "skipped: needs >=4 cores and non-smoke mode"
+        }
+    );
+    if gate_enforced {
+        assert!(
+            par_speedup >= 2.0,
+            "parallel drain only {par_speedup:.2}x faster than sequential on {cores} cores"
+        );
+    }
+
+    let json = write_bench_json(
+        "service_throughput",
+        &[
+            ("unbatched_us_per_req", unbatched_us.into()),
+            ("batched_us_per_req", batched_us.into()),
+            ("batching_speedup", speedup.into()),
+            (
+                "throughput_req_per_s",
+                (1e6 / batched_us.max(f64::MIN_POSITIVE)).into(),
+            ),
+            ("sweep_toggles_naive", naive_toggles.into()),
+            ("sweep_toggles_optimized", opt_toggles.into()),
+            (
+                "sweep_toggles_saved_pct",
+                (100.0 * (naive_toggles.saturating_sub(opt_toggles)) as f64
+                    / naive_toggles.max(1) as f64)
+                    .into(),
+            ),
+            ("parallel_shards", PAR_SHARDS.into()),
+            ("parallel_threads", par_threads.into()),
+            ("parallel_cores_available", cores.into()),
+            ("parallel_seq_drain_us", par_seq_us.into()),
+            ("parallel_par_drain_us", par_par_us.into()),
+            ("parallel_speedup", par_speedup.into()),
+            ("parallel_gate_enforced", gate_enforced.into()),
+        ],
+    )
+    .expect("write BENCH_service_throughput.json");
+    println!("wrote {}", json.display());
 
     c.bench_function("service/batched_768req_4tenants", |b| {
         let (mut svc, tenants) = build_service();

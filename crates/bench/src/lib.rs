@@ -427,3 +427,118 @@ mod tests {
         assert!(t2.contains("| Proposed one | 240 | 240 |"));
     }
 }
+
+/// Is `MCFPGA_BENCH_SMOKE` set (to anything but `0`)? Benches use this
+/// to run acceptance checks + artifacts only and skip wall-clock
+/// sampling — the mode CI uses on every push.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var_os("MCFPGA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Mean wall-clock microseconds of `f` over `iters` calls — the plain
+/// `Instant` timing loop the JSON artifacts use (independent of the
+/// criterion harness, cheap enough for smoke mode).
+pub fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t = std::time::Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
+}
+
+/// One value in a machine-readable `BENCH_<name>.json` artifact.
+#[derive(Debug, Clone)]
+pub enum BenchValue {
+    /// A measurement (latency, speedup, percentage). Non-finite values
+    /// serialize as `null`.
+    Num(f64),
+    /// A count (requests, toggles, bytes).
+    Int(u64),
+    /// A flag (e.g. whether a gate was enforced on this machine).
+    Bool(bool),
+    /// A label (units, mode).
+    Str(String),
+}
+
+impl From<f64> for BenchValue {
+    fn from(v: f64) -> Self {
+        BenchValue::Num(v)
+    }
+}
+impl From<u64> for BenchValue {
+    fn from(v: u64) -> Self {
+        BenchValue::Int(v)
+    }
+}
+impl From<usize> for BenchValue {
+    fn from(v: usize) -> Self {
+        BenchValue::Int(v as u64)
+    }
+}
+impl From<bool> for BenchValue {
+    fn from(v: bool) -> Self {
+        BenchValue::Bool(v)
+    }
+}
+impl From<&str> for BenchValue {
+    fn from(v: &str) -> Self {
+        BenchValue::Str(v.to_string())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `fields` as a flat JSON object (insertion order preserved).
+/// Keys may be `&str` literals or owned `String`s.
+#[must_use]
+pub fn render_bench_json<K: AsRef<str>>(name: &str, fields: &[(K, BenchValue)]) -> String {
+    let mut body = String::new();
+    body.push_str(&format!("  \"bench\": \"{}\"", json_escape(name)));
+    for (key, value) in fields {
+        body.push_str(",\n");
+        body.push_str(&format!("  \"{}\": ", json_escape(key.as_ref())));
+        match value {
+            BenchValue::Num(v) if v.is_finite() => body.push_str(&format!("{v}")),
+            BenchValue::Num(_) => body.push_str("null"),
+            BenchValue::Int(v) => body.push_str(&format!("{v}")),
+            BenchValue::Bool(v) => body.push_str(&format!("{v}")),
+            BenchValue::Str(v) => body.push_str(&format!("\"{}\"", json_escape(v))),
+        }
+    }
+    format!("{{\n{body}\n}}\n")
+}
+
+/// Writes `BENCH_<name>.json` to the repository root so the perf
+/// trajectory of every gated benchmark is tracked in-tree. Returns the
+/// path written. Fields keep insertion order; values follow
+/// [`BenchValue`]'s JSON mapping.
+pub fn write_bench_json<K: AsRef<str>>(
+    name: &str,
+    fields: &[(K, BenchValue)],
+) -> std::io::Result<std::path::PathBuf> {
+    // CARGO_MANIFEST_DIR is crates/bench at compile time; the repo root
+    // is two levels up — stable regardless of the bench's working dir
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf();
+    let path = root.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, render_bench_json(name, fields))?;
+    Ok(path)
+}

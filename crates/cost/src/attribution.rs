@@ -81,6 +81,75 @@ impl TenantUsage {
     }
 }
 
+/// An insertion-ordered accumulator of per-key [`TenantUsage`] deltas —
+/// the mergeable unit a *parallel* executor needs.
+///
+/// Each shard engine charges the usage of one sweep into its own ledger
+/// (keys are tenant handles; the ledger is generic so this crate stays
+/// ignorant of the service's id type), and the coordinator merges the
+/// per-shard ledgers back in a fixed shard order. Because entries keep
+/// insertion order and [`merge`](Self::merge) appends other's keys after
+/// this ledger's, the merged entry order is a pure function of the merge
+/// order — never of thread scheduling — which is what makes parallel
+/// billing bit-for-bit identical to sequential billing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageLedger<K> {
+    entries: Vec<(K, TenantUsage)>,
+}
+
+impl<K> Default for UsageLedger<K> {
+    fn default() -> Self {
+        UsageLedger {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: PartialEq + Copy> UsageLedger<K> {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        UsageLedger::default()
+    }
+
+    /// The accumulator for `key`, created zeroed on first charge. Lookup is
+    /// a linear scan: a sweep touches at most one tenant per context, so
+    /// ledgers stay a handful of entries long.
+    pub fn charge(&mut self, key: K) -> &mut TenantUsage {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((key, TenantUsage::default()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// Absorbs every entry of `other` into this ledger, summing counters
+    /// for shared keys and appending new keys in `other`'s order.
+    pub fn merge(&mut self, other: &UsageLedger<K>) {
+        for (key, usage) in &other.entries {
+            self.charge(*key).absorb(usage);
+        }
+    }
+
+    /// The `(key, usage)` entries, insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[(K, TenantUsage)] {
+        &self.entries
+    }
+
+    /// Number of charged keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Has nothing been charged?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// One tenant's usage translated into physical units.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantBill {
@@ -244,6 +313,56 @@ mod tests {
         assert_eq!(u.passes, 1);
         assert_eq!(u.css_toggles, 4);
         assert_eq!(u.css_toggles_baseline, 7);
+    }
+
+    #[test]
+    fn ledger_charges_and_merges_in_insertion_order() {
+        let mut a: UsageLedger<u32> = UsageLedger::new();
+        a.charge(7).requests += 1;
+        a.charge(3).css_toggles += 2;
+        a.charge(7).passes += 1; // existing key accumulates, no new entry
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.entries()[0].0, 7, "first-charged key stays first");
+        assert_eq!(a.entries()[1].0, 3);
+
+        let mut b: UsageLedger<u32> = UsageLedger::new();
+        b.charge(3).css_toggles += 5;
+        b.charge(9).requests += 4;
+        a.merge(&b);
+        assert_eq!(
+            a.entries().iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![7, 3, 9],
+            "merge sums shared keys and appends new ones in other's order"
+        );
+        assert_eq!(a.entries()[1].1.css_toggles, 7);
+        assert_eq!(a.entries()[2].1.requests, 4);
+        assert!(!a.is_empty());
+        assert!(UsageLedger::<u32>::new().is_empty());
+    }
+
+    /// Merging per-shard ledgers in a fixed order equals charging the same
+    /// events into one ledger sequentially — the parallel executor's
+    /// billing-determinism invariant, in miniature.
+    #[test]
+    fn ledger_merge_equals_sequential_accumulation() {
+        let events: [(u32, usize); 5] = [(1, 2), (2, 3), (1, 1), (3, 4), (2, 2)];
+        let mut sequential: UsageLedger<u32> = UsageLedger::new();
+        for (k, t) in events {
+            sequential.charge(k).css_toggles += t;
+        }
+        // shard 0 saw events 0..2, shard 1 the rest
+        let mut shard0: UsageLedger<u32> = UsageLedger::new();
+        let mut shard1: UsageLedger<u32> = UsageLedger::new();
+        for (k, t) in &events[..2] {
+            shard0.charge(*k).css_toggles += t;
+        }
+        for (k, t) in &events[2..] {
+            shard1.charge(*k).css_toggles += t;
+        }
+        let mut merged: UsageLedger<u32> = UsageLedger::new();
+        merged.merge(&shard0);
+        merged.merge(&shard1);
+        assert_eq!(merged, sequential);
     }
 
     #[test]

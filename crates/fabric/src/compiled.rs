@@ -945,6 +945,19 @@ impl CompiledFabric {
     }
 }
 
+// The multi-tenant service fans per-shard sweeps out across worker
+// threads: compiled planes are shared `Arc<CompiledFabric>`s and lane
+// batches/scratch move with their engines. A future `Rc`, raw pointer or
+// interior-mutability regression in any of these must fail the build, not
+// wait for a review to notice.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledFabric>();
+    assert_send_sync::<CompiledPlane>();
+    assert_send_sync::<CompiledState>();
+    assert_send_sync::<LaneBatch>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -305,6 +305,12 @@ pub fn run_schedule(
     Ok(ScheduleRun { stats, steps })
 }
 
+// Each shard engine owns one sequencer and may run on any worker thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ContextSequencer>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

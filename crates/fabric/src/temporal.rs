@@ -300,6 +300,13 @@ pub fn execute_stage(
     Ok(primary)
 }
 
+// Register files travel with their tenants across the service's worker
+// threads (and across migrations); keep them structurally thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RegisterFile>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -263,6 +263,13 @@ impl TenantCheckpoint {
     }
 }
 
+// Checkpoints cross engine (and thread) boundaries by design.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TenantCheckpoint>();
+    assert_send_sync::<PendingBatch>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

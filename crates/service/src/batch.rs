@@ -1,14 +1,17 @@
 //! Request coalescing: many tenants' single-vector requests become few
 //! full-lane fabric passes.
 //!
-//! Each `(shard, context)` slot accumulates its own
-//! [`LaneBatch`]; a request occupies
-//! one of the 64 `u64` bit lanes. The queue only *holds* work — execution
-//! (and therefore flushing policy) belongs to
-//! [`crate::service::ShardedService`], which flushes a slot when its lanes
-//! fill or when the caller drains.
+//! Since the per-shard-engine decomposition, a [`BatchQueue`] is **one
+//! shard's** partition of the service's pending work: one
+//! [`LaneBatch`] per context slot, owned by that shard's
+//! [`crate::engine::ShardEngine`] so engines can flush concurrently
+//! without sharing queue state. Request ids, however, are service-global
+//! (responses are ordered and audited by id), so the queue never mints
+//! them itself — the coordinator owns the single [`RequestIdSource`] and
+//! lends it to whichever engine is enqueuing. The queue only *holds*
+//! work; execution (and therefore flushing policy) belongs to the engine.
 
-use crate::registry::{Placement, TenantId};
+use crate::registry::TenantId;
 use mcfpga_fabric::compiled::{LaneBatch, PushRefusal};
 use std::sync::Arc;
 
@@ -18,9 +21,9 @@ pub struct RequestId(u64);
 
 impl RequestId {
     /// The raw id, as recorded in checkpoint audit trails. There is no
-    /// inverse: ids enter the system only through the queue's own counter,
-    /// so a deserialized checkpoint can never mint an id that collides
-    /// with (or resurrects) one this service issued.
+    /// inverse: ids enter the system only through the service's single
+    /// [`RequestIdSource`], so a deserialized checkpoint can never mint an
+    /// id that collides with (or resurrects) one this service issued.
     #[must_use]
     pub fn value(self) -> u64 {
         self.0
@@ -30,6 +33,33 @@ impl RequestId {
 impl std::fmt::Display for RequestId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "req#{}", self.0)
+    }
+}
+
+/// The service-global request-id counter.
+///
+/// Exactly one exists per service, owned by the coordinator — engines
+/// borrow it at enqueue/restore time, which is what keeps ids globally
+/// unique and issued in submit order even though each engine owns its own
+/// queue partition. Ids are only minted *after* a push succeeds, so a
+/// refused request burns nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RequestIdSource {
+    next: u64,
+}
+
+impl RequestIdSource {
+    /// A source starting at id 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RequestIdSource::default()
+    }
+
+    /// Issues the next id.
+    pub fn mint(&mut self) -> RequestId {
+        let id = RequestId(self.next);
+        self.next += 1;
+        id
     }
 }
 
@@ -46,7 +76,7 @@ pub struct Response {
     pub outputs: Vec<(Arc<str>, bool)>,
 }
 
-/// Work pending on one `(shard, context)` slot.
+/// Work pending on one context slot.
 #[derive(Debug, Clone, Default)]
 struct PendingSlot {
     batch: LaneBatch,
@@ -56,11 +86,11 @@ struct PendingSlot {
     seeded: usize,
 }
 
-/// Per-slot accumulation of single-vector requests into lane batches.
+/// One shard's per-context accumulation of single-vector requests into
+/// lane batches.
 #[derive(Debug, Clone)]
 pub struct BatchQueue {
-    slots: Vec<Vec<PendingSlot>>,
-    next_request: u64,
+    slots: Vec<PendingSlot>,
 }
 
 /// A slot's pending work, handed out by [`BatchQueue::take`].
@@ -73,12 +103,11 @@ pub struct TakenBatch {
 }
 
 impl BatchQueue {
-    /// An empty queue over `shards × contexts` slots.
+    /// An empty queue over one shard's `contexts` slots.
     #[must_use]
-    pub fn new(shards: usize, contexts: usize) -> Self {
+    pub fn new(contexts: usize) -> Self {
         BatchQueue {
-            slots: vec![vec![PendingSlot::default(); contexts]; shards],
-            next_request: 0,
+            slots: vec![PendingSlot::default(); contexts],
         }
     }
 
@@ -87,8 +116,8 @@ impl BatchQueue {
     /// coverage of every bound input within its single name-resolution
     /// scan. Call at admission and again after a [`take`](Self::take) that
     /// is not [`recycle`](Self::recycle)d (a fresh slot starts unseeded).
-    pub fn seed<'a>(&mut self, shard: usize, ctx: usize, names: impl Iterator<Item = &'a str>) {
-        let slot = &mut self.slots[shard][ctx];
+    pub fn seed<'a>(&mut self, ctx: usize, names: impl Iterator<Item = &'a str>) {
+        let slot = &mut self.slots[ctx];
         let mut prefix = 0;
         for name in names {
             slot.batch.ensure_name(name);
@@ -103,36 +132,37 @@ impl BatchQueue {
 
     /// Enqueues one single-vector request on its tenant's slot, verifying
     /// it drives the slot's whole canonical prefix (see
-    /// [`seed`](Self::seed)). Returns the issued request id and whether the
-    /// slot's 64 lanes are now full (the caller should flush it before the
+    /// [`seed`](Self::seed)). Mints the request id from the coordinator's
+    /// `ids` source only on success, and returns it with whether the
+    /// slot's 64 lanes are now full (the caller should flush before the
     /// next enqueue). [`PushRefusal::Full`] means the slot already holds a
     /// full, unflushed batch (a previous flush failed and left its requests
     /// queued); [`PushRefusal::MissingInput`] leaves the slot unchanged.
     pub fn enqueue(
         &mut self,
-        placement: Placement,
+        ctx: usize,
         tenant: TenantId,
         inputs: &[(&str, bool)],
+        ids: &mut RequestIdSource,
     ) -> Result<(RequestId, bool), PushRefusal> {
-        let slot = &mut self.slots[placement.shard][placement.ctx];
+        let slot = &mut self.slots[ctx];
         let lane = slot.batch.push_covering(inputs, slot.seeded)?;
         debug_assert_eq!(lane, slot.tickets.len());
-        let id = RequestId(self.next_request);
-        self.next_request += 1;
+        let id = ids.mint();
         slot.tickets.push((id, tenant));
         Ok((id, slot.batch.is_full()))
     }
 
     /// The input name at `idx` of a slot's union (for refusal reporting).
     #[must_use]
-    pub fn input_name(&self, shard: usize, ctx: usize, idx: usize) -> Option<&str> {
-        self.slots[shard][ctx].batch.input_name(idx)
+    pub fn input_name(&self, ctx: usize, idx: usize) -> Option<&str> {
+        self.slots[ctx].batch.input_name(idx)
     }
 
-    /// Context slots of `shard` that currently hold pending work, ascending.
+    /// Context slots that currently hold pending work, ascending.
     #[must_use]
-    pub fn pending(&self, shard: usize) -> Vec<usize> {
-        self.slots[shard]
+    pub fn pending(&self) -> Vec<usize> {
+        self.slots
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.batch.is_empty())
@@ -140,10 +170,10 @@ impl BatchQueue {
             .collect()
     }
 
-    /// Total requests pending across every slot.
+    /// Total requests pending across this shard's slots.
     #[must_use]
     pub fn pending_total(&self) -> usize {
-        self.slots.iter().flatten().map(|s| s.tickets.len()).sum()
+        self.slots.iter().map(|s| s.tickets.len()).sum()
     }
 
     /// Borrows a slot's pending lane batch without removing it, or `None`
@@ -151,16 +181,16 @@ impl BatchQueue {
     /// only on success, so a failed pass leaves the requests queued instead
     /// of dropping them.
     #[must_use]
-    pub fn slot(&self, shard: usize, ctx: usize) -> Option<&LaneBatch> {
-        let slot = &self.slots[shard][ctx];
+    pub fn slot(&self, ctx: usize) -> Option<&LaneBatch> {
+        let slot = &self.slots[ctx];
         (!slot.batch.is_empty()).then_some(&slot.batch)
     }
 
     /// A slot's per-lane `(request, tenant)` tickets, lane order — what a
     /// checkpoint records as its pending-request audit trail.
     #[must_use]
-    pub fn tickets(&self, shard: usize, ctx: usize) -> &[(RequestId, TenantId)] {
-        &self.slots[shard][ctx].tickets
+    pub fn tickets(&self, ctx: usize) -> &[(RequestId, TenantId)] {
+        &self.slots[ctx].tickets
     }
 
     /// Moves a [`TakenBatch`] into an **empty** slot wholesale, tickets
@@ -168,44 +198,37 @@ impl BatchQueue {
     /// so every in-flight request is still answered exactly once. The
     /// slot's canonical prefix is unchanged (the caller seeds it for the
     /// destination plane first).
-    pub fn install(&mut self, shard: usize, ctx: usize, taken: TakenBatch) {
-        let slot = &mut self.slots[shard][ctx];
+    pub fn install(&mut self, ctx: usize, taken: TakenBatch) {
+        let slot = &mut self.slots[ctx];
         assert!(
             slot.batch.is_empty() && slot.tickets.is_empty(),
-            "install target (shard {shard}, ctx {ctx}) already holds work"
+            "install target (ctx {ctx}) already holds work"
         );
         slot.batch = taken.batch;
         slot.tickets = taken.tickets;
     }
 
     /// Re-queues a deserialized pending batch into an **empty** slot,
-    /// issuing a *fresh* request id per occupied lane (returned in lane
+    /// minting a *fresh* request id per occupied lane (returned in lane
     /// order). Restored checkpoints never reuse their recorded ids: the
     /// originals may have been answered or discarded since the checkpoint
     /// was taken, and a resurrected id would break queue conservation.
     pub fn restore(
         &mut self,
-        shard: usize,
         ctx: usize,
         batch: LaneBatch,
         tenant: TenantId,
+        ids: &mut RequestIdSource,
     ) -> Vec<RequestId> {
-        let slot = &mut self.slots[shard][ctx];
+        let slot = &mut self.slots[ctx];
         assert!(
             slot.batch.is_empty() && slot.tickets.is_empty(),
-            "restore target (shard {shard}, ctx {ctx}) already holds work"
+            "restore target (ctx {ctx}) already holds work"
         );
         let lanes = batch.len();
         slot.batch = batch;
-        let mut fresh = Vec::with_capacity(lanes);
-        for _ in 0..lanes {
-            let id = RequestId(self.next_request);
-            self.next_request += 1;
-            fresh.push(id);
-        }
-        self.slots[shard][ctx]
-            .tickets
-            .extend(fresh.iter().map(|&id| (id, tenant)));
+        let fresh: Vec<RequestId> = (0..lanes).map(|_| ids.mint()).collect();
+        slot.tickets.extend(fresh.iter().map(|&id| (id, tenant)));
         fresh
     }
 
@@ -214,16 +237,16 @@ impl BatchQueue {
     /// recycled empty batch still carries the old tenant's union names,
     /// and a future occupant seeding on top of them would compute a
     /// canonical prefix longer than its own union, refusing every submit.
-    pub fn clear_slot(&mut self, shard: usize, ctx: usize) {
-        self.slots[shard][ctx] = PendingSlot::default();
+    pub fn clear_slot(&mut self, ctx: usize) {
+        self.slots[ctx] = PendingSlot::default();
     }
 
     /// Removes and returns a slot's pending work, or `None` when empty.
     /// The slot's canonical-prefix length survives the take, but the fresh
     /// batch holds no names until [`recycle`](Self::recycle) or
     /// [`seed`](Self::seed) restores them.
-    pub fn take(&mut self, shard: usize, ctx: usize) -> Option<TakenBatch> {
-        let slot = &mut self.slots[shard][ctx];
+    pub fn take(&mut self, ctx: usize) -> Option<TakenBatch> {
+        let slot = &mut self.slots[ctx];
         if slot.batch.is_empty() {
             return None;
         }
@@ -239,8 +262,8 @@ impl BatchQueue {
     /// flushed requests appended beyond the canonical prefix (unbound
     /// extras) are dropped, so the name union stays bounded over the
     /// service's lifetime.
-    pub fn recycle(&mut self, shard: usize, ctx: usize, taken: TakenBatch) {
-        let slot = &mut self.slots[shard][ctx];
+    pub fn recycle(&mut self, ctx: usize, taken: TakenBatch) {
+        let slot = &mut self.slots[ctx];
         if slot.batch.is_empty() && slot.tickets.is_empty() && slot.batch.name_count() == 0 {
             let TakenBatch {
                 mut batch,
@@ -260,10 +283,6 @@ mod tests {
     use super::*;
     use mcfpga_fabric::compiled::LANES;
 
-    fn place(shard: usize, ctx: usize) -> Placement {
-        Placement { shard, ctx }
-    }
-
     fn tenant(reg: &mut crate::TenantRegistry, name: &str) -> TenantId {
         let p = reg.reserve().unwrap();
         reg.commit(name, p, 0)
@@ -273,23 +292,24 @@ mod tests {
     fn fills_a_slot_lane_by_lane() {
         let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
         let t = tenant(&mut reg, "a");
-        let mut q = BatchQueue::new(1, 4);
+        let mut q = BatchQueue::new(4);
+        let mut ids = RequestIdSource::new();
         for i in 0..LANES {
-            let (_, full) = q.enqueue(place(0, 0), t, &[("x", i % 2 == 0)]).unwrap();
+            let (_, full) = q.enqueue(0, t, &[("x", i % 2 == 0)], &mut ids).unwrap();
             assert_eq!(full, i == LANES - 1, "lane {i}");
         }
         assert_eq!(q.pending_total(), LANES);
-        assert_eq!(q.pending(0), vec![0]);
+        assert_eq!(q.pending(), vec![0]);
         // a full, unflushed slot refuses further enqueues instead of panicking
         assert_eq!(
-            q.enqueue(place(0, 0), t, &[("x", true)]),
+            q.enqueue(0, t, &[("x", true)], &mut ids),
             Err(PushRefusal::Full)
         );
-        let taken = q.take(0, 0).unwrap();
+        let taken = q.take(0).unwrap();
         assert_eq!(taken.tickets.len(), LANES);
         assert!(taken.batch.is_full());
         assert_eq!(q.pending_total(), 0);
-        assert!(q.take(0, 0).is_none());
+        assert!(q.take(0).is_none());
     }
 
     #[test]
@@ -297,30 +317,34 @@ mod tests {
         let mut reg = crate::TenantRegistry::new(2, 2).unwrap();
         let a = tenant(&mut reg, "a"); // shard 0, ctx 0
         let b = tenant(&mut reg, "b"); // shard 1, ctx 0
-        let mut q = BatchQueue::new(2, 2);
-        q.enqueue(place(0, 0), a, &[("x", true)]).unwrap();
-        q.enqueue(place(1, 0), b, &[("y", false)]).unwrap();
-        q.enqueue(place(1, 0), b, &[("y", true)]).unwrap();
-        assert_eq!(q.pending(0), vec![0]);
-        assert_eq!(q.pending(1), vec![0]);
-        assert_eq!(q.take(1, 0).unwrap().tickets.len(), 2);
-        assert_eq!(q.pending_total(), 1);
+        let mut ids = RequestIdSource::new();
+        // one queue per shard now; a shared id source keeps ids global
+        let mut q0 = BatchQueue::new(2);
+        let mut q1 = BatchQueue::new(2);
+        q0.enqueue(0, a, &[("x", true)], &mut ids).unwrap();
+        q1.enqueue(0, b, &[("y", false)], &mut ids).unwrap();
+        q1.enqueue(0, b, &[("y", true)], &mut ids).unwrap();
+        assert_eq!(q0.pending(), vec![0]);
+        assert_eq!(q1.pending(), vec![0]);
+        assert_eq!(q1.take(0).unwrap().tickets.len(), 2);
+        assert_eq!(q0.pending_total() + q1.pending_total(), 1);
     }
 
     #[test]
     fn seed_dedups_and_gates_enqueue() {
         let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
         let t = tenant(&mut reg, "a");
-        let mut q = BatchQueue::new(1, 4);
+        let mut q = BatchQueue::new(4);
+        let mut ids = RequestIdSource::new();
         // duplicate bound names collapse: coverage needs 2 names, not 3
-        q.seed(0, 0, ["x", "x", "y"].into_iter());
+        q.seed(0, ["x", "x", "y"].into_iter());
         assert_eq!(
-            q.enqueue(place(0, 0), t, &[("x", true)]),
+            q.enqueue(0, t, &[("x", true)], &mut ids),
             Err(PushRefusal::MissingInput(1))
         );
-        assert_eq!(q.input_name(0, 0, 1), Some("y"));
+        assert_eq!(q.input_name(0, 1), Some("y"));
         // any order, extras allowed
-        q.enqueue(place(0, 0), t, &[("y", true), ("x", false), ("zz", true)])
+        q.enqueue(0, t, &[("y", true), ("x", false), ("zz", true)], &mut ids)
             .unwrap();
         assert_eq!(q.pending_total(), 1);
     }
@@ -329,30 +353,37 @@ mod tests {
     fn recycle_trims_request_added_names() {
         let mut reg = crate::TenantRegistry::new(1, 4).unwrap();
         let t = tenant(&mut reg, "a");
-        let mut q = BatchQueue::new(1, 4);
-        q.seed(0, 0, ["a"].into_iter());
-        q.enqueue(place(0, 0), t, &[("a", true), ("extra", true)])
+        let mut q = BatchQueue::new(4);
+        let mut ids = RequestIdSource::new();
+        q.seed(0, ["a"].into_iter());
+        q.enqueue(0, t, &[("a", true), ("extra", true)], &mut ids)
             .unwrap();
-        let taken = q.take(0, 0).unwrap();
-        q.recycle(0, 0, taken);
+        let taken = q.take(0).unwrap();
+        q.recycle(0, taken);
         // the canonical prefix survives; the request's extra name is gone
-        assert_eq!(q.input_name(0, 0, 0), Some("a"));
-        assert_eq!(q.input_name(0, 0, 1), None);
+        assert_eq!(q.input_name(0, 0), Some("a"));
+        assert_eq!(q.input_name(0, 1), None);
         // coverage still enforced after recycling
         assert_eq!(
-            q.enqueue(place(0, 0), t, &[("other", true)]),
+            q.enqueue(0, t, &[("other", true)], &mut ids),
             Err(PushRefusal::MissingInput(0))
         );
-        q.enqueue(place(0, 0), t, &[("a", false)]).unwrap();
+        q.enqueue(0, t, &[("a", false)], &mut ids).unwrap();
     }
 
     #[test]
-    fn request_ids_are_unique_and_ordered() {
+    fn ids_stay_global_and_refusals_burn_nothing() {
         let mut reg = crate::TenantRegistry::new(1, 2).unwrap();
         let t = tenant(&mut reg, "a");
-        let mut q = BatchQueue::new(1, 2);
-        let (r0, _) = q.enqueue(place(0, 0), t, &[]).unwrap();
-        let (r1, _) = q.enqueue(place(0, 1), t, &[]).unwrap();
+        let mut ids = RequestIdSource::new();
+        let mut q = BatchQueue::new(2);
+        let (r0, _) = q.enqueue(0, t, &[], &mut ids).unwrap();
+        let (r1, _) = q.enqueue(1, t, &[], &mut ids).unwrap();
         assert!(r0 < r1);
+        // a refused push must not consume an id
+        q.seed(0, ["x"].into_iter());
+        assert!(q.enqueue(0, t, &[("nope", true)], &mut ids).is_err());
+        let (r2, _) = q.enqueue(1, t, &[], &mut ids).unwrap();
+        assert_eq!(r2.value(), r1.value() + 1, "refusal burned an id");
     }
 }

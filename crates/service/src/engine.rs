@@ -1,0 +1,527 @@
+//! The per-shard execution engine.
+//!
+//! A [`ShardEngine`] owns **everything one fabric shard needs to execute a
+//! sweep without touching another shard**: its routed [`Fabric`], the
+//! per-context compiled planes (Arc-shared through the coordinator's plane
+//! cache — installing a plane clones a pointer, never a plane), its own
+//! [`ContextSequencer`] (CSS broadcast position is per-shard physical
+//! state), its partition of the service's batch queue, a reusable
+//! evaluation scratch, and the usage counters + stream-register files of
+//! the tenants placed on it.
+//!
+//! Shards are data-independent by construction — the paper's multi-context
+//! fabric exists precisely so configuration planes progress without
+//! interfering — so engines can run their sweeps concurrently. What keeps
+//! parallel execution *observably identical* to sequential execution is
+//! the split of [`run_sweep`](ShardEngine::run_sweep)'s effects:
+//!
+//! * engine-local state (sequencer position, queue slots, registers,
+//!   scratch) mutates in place — no other engine can see it;
+//! * externally visible outputs (responses, faults, usage deltas) are
+//!   **returned** as a [`SweepOutcome`] and merged by the coordinator in
+//!   shard-then-lane order, never in thread-completion order.
+//!
+//! Tenant mobility across engines is an explicit two-step handoff —
+//! `expel` on the source, then `adopt` on the destination (both
+//! crate-internal; the coordinator's migration ops drive them) — so
+//! ownership of a
+//! tenant's plane, queued lanes, registers and usage moves atomically from
+//! one engine to another (the coordinator sequences the two calls; they
+//! work unchanged when source and destination are the same engine).
+
+use crate::batch::{BatchQueue, RequestId, RequestIdSource, Response, TakenBatch};
+use crate::registry::TenantId;
+use crate::service::SlotFault;
+use crate::ServiceError;
+use mcfpga_cost::attribution::{TenantUsage, UsageLedger};
+use mcfpga_css::optimize::{CostMatrix, OptimizeMode};
+use mcfpga_css::Schedule;
+use mcfpga_fabric::compiled::{CompiledState, LaneBatch, PushRefusal};
+use mcfpga_fabric::context::ContextSequencer;
+use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, RegisterFile};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Prefix of signal names that are *stream registers*: outputs so named
+/// are captured into the tenant's [`RegisterFile`] after each pass and
+/// re-driven as inputs on its next pass (lane-aligned), instead of being
+/// returned in responses. The same convention `fabric::temporal` uses for
+/// values crossing context-switch boundaries.
+pub(crate) const REG_PREFIX: &str = "reg:";
+
+/// Per-tenant state an engine keeps for each tenant placed on it: the
+/// usage counters billing reads and the stream-register file carried
+/// between the tenant's passes. Moves wholesale in a migration handoff.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TenantState {
+    /// Accumulated usage counters (requests, passes, toggles, migrations).
+    pub usage: TenantUsage,
+    /// `reg:*` stream state (lane words from the tenant's previous pass).
+    pub regs: RegisterFile,
+}
+
+/// Everything a tenant hands from one engine to another in a migration:
+/// produced by [`ShardEngine::expel`], consumed by
+/// [`ShardEngine::adopt`].
+#[derive(Debug)]
+pub(crate) struct TenantHandoff {
+    /// Usage + registers, moved (the source engine forgets the tenant).
+    pub state: TenantState,
+    /// The tenant's queued-but-unexecuted requests, original ids intact.
+    pub batch: Option<TakenBatch>,
+}
+
+/// The externally visible outputs of one engine sweep, returned to the
+/// coordinator for the deterministic shard-then-lane merge. Everything in
+/// here is ordered by the engine's own sequential sweep (slot execution
+/// order, then lane order within a slot) — concatenating outcomes in
+/// shard order therefore reproduces the sequential service's output
+/// exactly, regardless of which worker thread ran which engine.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Completed responses, slot-then-lane order.
+    pub responses: Vec<Response>,
+    /// Failed passes (requests stay queued), slot order.
+    pub faults: Vec<SlotFault>,
+    /// Usage charged during the sweep, keyed by tenant, charge order. The
+    /// coordinator absorbs this back into the owning engine's tenant
+    /// states after the merge — billing is part of the merged output, not
+    /// a side effect racing inside the sweep.
+    pub usage: UsageLedger<TenantId>,
+    /// A structural failure that stopped the sweep early (a broken
+    /// schedule domain or plane invariant — never a mere failed pass,
+    /// which is a [`SlotFault`]). Carried *alongside* the outputs of the
+    /// slots that completed first, so the coordinator can merge those
+    /// before propagating the error; dropping them would lose consumed
+    /// requests.
+    pub error: Option<ServiceError>,
+}
+
+/// One independent fabric shard's execution engine. See the
+/// [module docs](self) for the ownership map.
+#[derive(Debug, Clone)]
+pub struct ShardEngine {
+    /// This engine's shard index (stamped into fault records).
+    shard: usize,
+    fabric: Fabric,
+    /// Per-context compiled plane (Arc-shared through the digest cache).
+    planes: Vec<Option<Arc<CompiledFabric>>>,
+    seq: ContextSequencer,
+    /// Reusable evaluation scratch (all planes share one layout).
+    scratch: Option<CompiledState>,
+    /// This shard's partition of the service's pending work.
+    queue: BatchQueue,
+    /// Usage + stream registers of tenants placed on this shard.
+    tenants: HashMap<TenantId, TenantState>,
+}
+
+impl ShardEngine {
+    /// A fresh engine for shard `shard` with geometry `params`.
+    pub fn new(shard: usize, params: FabricParams) -> Result<Self, ServiceError> {
+        Ok(ShardEngine {
+            shard,
+            fabric: Fabric::new(params)?,
+            planes: vec![None; params.contexts],
+            seq: ContextSequencer::new(params.arch, params.contexts)?,
+            scratch: None,
+            queue: BatchQueue::new(params.contexts),
+            tenants: HashMap::new(),
+        })
+    }
+
+    /// This engine's shard index.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The routed fabric, for admission-time routing and digests.
+    pub(crate) fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The routed fabric, read-only.
+    pub(crate) fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Installs (or replaces) the compiled plane of context `ctx` — an
+    /// `Arc` clone of a cache entry, never a deep copy.
+    pub(crate) fn install_plane(&mut self, ctx: usize, plane: Arc<CompiledFabric>) {
+        self.planes[ctx] = Some(plane);
+    }
+
+    /// The compiled plane of context `ctx`, if programmed.
+    pub(crate) fn plane(&self, ctx: usize) -> Option<Arc<CompiledFabric>> {
+        self.planes[ctx].clone()
+    }
+
+    /// Where this shard's CSS broadcast currently sits.
+    #[must_use]
+    pub fn css_position(&self) -> usize {
+        self.seq.current()
+    }
+
+    /// Parks the CSS broadcast on `ctx` without charging toggles (restore
+    /// path; see [`ContextSequencer::resume_at`]).
+    pub(crate) fn resume_css_at(&mut self, ctx: usize) -> Result<(), ServiceError> {
+        self.seq.resume_at(ctx)?;
+        Ok(())
+    }
+
+    /// The engine's sequencer, read-only (cost-matrix construction).
+    pub(crate) fn sequencer(&self) -> &ContextSequencer {
+        &self.seq
+    }
+
+    /// Registers a tenant placed on this shard, with zeroed state.
+    pub(crate) fn add_tenant(&mut self, tenant: TenantId) {
+        self.tenants.insert(tenant, TenantState::default());
+    }
+
+    /// Registers a tenant arriving with pre-existing state (restore path).
+    pub(crate) fn add_tenant_with(&mut self, tenant: TenantId, state: TenantState) {
+        self.tenants.insert(tenant, state);
+    }
+
+    /// One placed tenant's state, read-only.
+    pub(crate) fn tenant_state(&self, tenant: TenantId) -> Result<&TenantState, ServiceError> {
+        self.tenants
+            .get(&tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant.index()))
+    }
+
+    /// One placed tenant's state, mutable (usage charging at the
+    /// coordinator's side of a migration).
+    pub(crate) fn tenant_state_mut(
+        &mut self,
+        tenant: TenantId,
+    ) -> Result<&mut TenantState, ServiceError> {
+        self.tenants
+            .get_mut(&tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant.index()))
+    }
+
+    /// Seeds the slot's canonical input-name prefix from its plane's bound
+    /// inputs, so submit-time coverage checking is a bitmask instead of a
+    /// second name scan. Stream registers (`reg:*` bound inputs) are
+    /// excluded — requests never drive them; the sweep feeds them from the
+    /// tenant's [`RegisterFile`] at pass time.
+    pub(crate) fn seed_slot(&mut self, ctx: usize) -> Result<(), ServiceError> {
+        let plane = self.planes[ctx]
+            .as_ref()
+            .ok_or(ServiceError::SlotNotProgrammed {
+                shard: self.shard,
+                ctx,
+            })?;
+        let binds = plane.plane(ctx)?.input_binds();
+        self.queue.seed(
+            ctx,
+            binds
+                .iter()
+                .map(|(_, n)| n.as_str())
+                .filter(|n| !n.starts_with(REG_PREFIX)),
+        );
+        Ok(())
+    }
+
+    /// Enqueues one request on `ctx`'s lane batch, charging the tenant's
+    /// request counter. Returns the minted id and whether the slot's 64
+    /// lanes are now full (the coordinator should flush this engine).
+    pub(crate) fn submit(
+        &mut self,
+        ctx: usize,
+        tenant: TenantId,
+        inputs: &[(&str, bool)],
+        ids: &mut RequestIdSource,
+    ) -> Result<(RequestId, bool), ServiceError> {
+        let (id, full) = match self.queue.enqueue(ctx, tenant, inputs, ids) {
+            Ok(ok) => ok,
+            Err(PushRefusal::Full) => {
+                return Err(ServiceError::SlotBacklogged {
+                    shard: self.shard,
+                    ctx,
+                })
+            }
+            Err(PushRefusal::MissingInput(idx)) => {
+                let name = self.queue.input_name(ctx, idx).unwrap_or("?").to_string();
+                return Err(ServiceError::MissingInput { name });
+            }
+        };
+        self.tenant_state_mut(tenant)?.usage.requests += 1;
+        Ok((id, full))
+    }
+
+    /// Discards `ctx`'s queued, not-yet-executed requests (un-counting
+    /// them from `tenant`'s usage), re-seeds the slot's canonical prefix,
+    /// and returns how many were dropped.
+    pub(crate) fn discard_pending(
+        &mut self,
+        ctx: usize,
+        tenant: TenantId,
+    ) -> Result<usize, ServiceError> {
+        let dropped = self.queue.take(ctx).map_or(0, |t| t.tickets.len());
+        self.tenant_state_mut(tenant)?.usage.requests -= dropped;
+        self.seed_slot(ctx)?;
+        Ok(dropped)
+    }
+
+    /// Context slots with pending work, ascending.
+    #[must_use]
+    pub fn pending(&self) -> Vec<usize> {
+        self.queue.pending()
+    }
+
+    /// Requests parked on this shard, not yet executed.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.queue.pending_total()
+    }
+
+    /// A slot's pending lane batch, if non-empty (checkpoint capture).
+    pub(crate) fn pending_batch(&self, ctx: usize) -> Option<&LaneBatch> {
+        self.queue.slot(ctx)
+    }
+
+    /// A slot's `(request, tenant)` tickets, lane order.
+    pub(crate) fn tickets(&self, ctx: usize) -> &[(RequestId, TenantId)] {
+        self.queue.tickets(ctx)
+    }
+
+    /// Re-queues a restored pending batch into the (empty) slot `ctx`,
+    /// minting fresh ids. See [`BatchQueue::restore`].
+    pub(crate) fn restore_batch(
+        &mut self,
+        ctx: usize,
+        batch: LaneBatch,
+        tenant: TenantId,
+        ids: &mut RequestIdSource,
+    ) -> Vec<RequestId> {
+        self.queue.restore(ctx, batch, tenant, ids)
+    }
+
+    /// The source half of a migration handoff: surrenders `tenant`'s
+    /// per-tenant state and queued lanes, wipes its slot (plane pointer,
+    /// queue names, and — for a fabric-resident tenant — the routed
+    /// context itself), and forgets the tenant. The caller has already
+    /// cloned the plane `Arc` and completed every fallible pre-check, so
+    /// this only performs the destructive move.
+    pub(crate) fn expel(
+        &mut self,
+        tenant: TenantId,
+        ctx: usize,
+        resident: bool,
+    ) -> Result<TenantHandoff, ServiceError> {
+        let state = self
+            .tenants
+            .remove(&tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant.index()))?;
+        self.planes[ctx] = None;
+        if resident {
+            self.fabric.clear_context(ctx)?;
+        }
+        let batch = self.queue.take(ctx);
+        // the freed slot must not leak its union names or canonical prefix
+        // into whatever tenant occupies it next
+        self.queue.clear_slot(ctx);
+        Ok(TenantHandoff { state, batch })
+    }
+
+    /// The destination half of a migration handoff: installs the plane
+    /// (already rebased for `ctx` by the coordinator), adopts the tenant's
+    /// state, seeds the slot from the plane's binds, and re-queues the
+    /// moved lanes with their original ids.
+    pub(crate) fn adopt(
+        &mut self,
+        tenant: TenantId,
+        ctx: usize,
+        plane: Arc<CompiledFabric>,
+        handoff: TenantHandoff,
+    ) -> Result<(), ServiceError> {
+        self.planes[ctx] = Some(plane);
+        self.tenants.insert(tenant, handoff.state);
+        self.seed_slot(ctx)?;
+        if let Some(batch) = handoff.batch {
+            self.queue.install(ctx, batch);
+        }
+        Ok(())
+    }
+
+    /// Absorbs a sweep's usage ledger into the engine's tenant states —
+    /// the coordinator calls this during the merge, in shard order.
+    pub(crate) fn absorb_usage(&mut self, ledger: &UsageLedger<TenantId>) {
+        for (tenant, delta) in ledger.entries() {
+            if let Some(state) = self.tenants.get_mut(tenant) {
+                state.usage.absorb(delta);
+            }
+        }
+    }
+
+    /// Executes the pending batches of this shard's `active` slots — each
+    /// `(context, occupant)` precomputed by the coordinator — in CSS
+    /// schedule order, reordered for minimum broadcast toggles under
+    /// [`OptimizeMode::Optimized`]. Engine-local state (sequencer, queue,
+    /// registers, scratch) mutates in place; everything externally visible
+    /// is returned in the [`SweepOutcome`] for the coordinator's
+    /// deterministic merge. CSS switch energy is charged to the tenant
+    /// switched in, alongside the *baseline* toggles the naive ascending
+    /// order would have charged (so each bill carries what the optimizer
+    /// saved; see [`mcfpga_cost::attribution`]).
+    ///
+    /// A slot's batch is removed from the queue only *after* its pass
+    /// succeeds — a failed pass records a [`SlotFault`], keeps its requests
+    /// queued, and moves on to the next context, so no issued [`RequestId`]
+    /// is ever silently dropped and no slot blocks its neighbours.
+    ///
+    /// Never returns `Err`: a *structural* failure (a broken schedule
+    /// domain or plane invariant) stops the sweep but is carried in
+    /// [`SweepOutcome::error`] **alongside everything already executed** —
+    /// slots completed before the failure consumed their batches, so
+    /// discarding their responses would break queue conservation.
+    pub fn run_sweep(
+        &mut self,
+        active: &[(usize, TenantId)],
+        optimize: OptimizeMode,
+        matrix: &CostMatrix,
+    ) -> SweepOutcome {
+        let mut out = SweepOutcome::default();
+        if let Err(e) = self.sweep_into(active, optimize, matrix, &mut out) {
+            out.error = Some(e);
+        }
+        out
+    }
+
+    /// [`run_sweep`](Self::run_sweep)'s body, writing incrementally into
+    /// `out` so an early return loses nothing already executed.
+    fn sweep_into(
+        &mut self,
+        active: &[(usize, TenantId)],
+        optimize: OptimizeMode,
+        matrix: &CostMatrix,
+        out: &mut SweepOutcome,
+    ) -> Result<(), ServiceError> {
+        if active.is_empty() {
+            return Ok(());
+        }
+        let contexts = self.seq.contexts();
+        let active_ctxs: Vec<usize> = active.iter().map(|(ctx, _)| *ctx).collect();
+        let naive = Schedule::active_sweep(contexts, &active_ctxs)?;
+        // the counterfactual: per-context toggles of the naive ascending
+        // walk from the broadcast's current position (each active context
+        // appears exactly once in a sweep, so a map by context is sound)
+        let start = self.seq.current();
+        let baseline: Vec<(usize, usize)> = naive
+            .as_slice()
+            .iter()
+            .copied()
+            .zip(matrix.step_costs(Some(start), naive.as_slice())?)
+            .collect();
+        let schedule = self.seq.plan_sweep_with(&naive, optimize, matrix)?;
+        for ctx in schedule.iter() {
+            let Some(batch) = self.queue.slot(ctx) else {
+                continue;
+            };
+            let tenant = active
+                .iter()
+                .find(|(c, _)| *c == ctx)
+                .map(|(_, t)| *t)
+                .ok_or(ServiceError::SlotNotProgrammed {
+                    shard: self.shard,
+                    ctx,
+                })?;
+            let plane = self.planes[ctx]
+                .clone()
+                .ok_or(ServiceError::SlotNotProgrammed {
+                    shard: self.shard,
+                    ctx,
+                })?;
+            // the CSS broadcast swaps the active plane; its toggles are
+            // charged at switch time — the broadcast network spent that
+            // energy whether or not the pass below resolves
+            let toggles = self.seq.step_to(ctx)?;
+            let charge = out.usage.charge(tenant);
+            charge.css_toggles += toggles;
+            charge.css_toggles_baseline += baseline
+                .iter()
+                .find(|(c, _)| *c == ctx)
+                .map_or(toggles, |(_, cost)| *cost);
+            // stream registers: every bound `reg:*` input reads the
+            // tenant's word from its previous pass (0 before the first) —
+            // lane-aligned, so lane `l` of pass `p+1` consumes the state
+            // lane `l` of pass `p` produced. A request that drove the name
+            // explicitly wins (the batch entry resolves first), which is
+            // how a caller seeds stream state by hand.
+            let binds = plane.plane(ctx)?.input_binds();
+            let tenant_regs = &self.tenant_state(tenant)?.regs;
+            let mut lane_inputs = batch.lane_inputs();
+            for (_, name) in binds {
+                if name.starts_with(REG_PREFIX) && !lane_inputs.iter().any(|(n, _)| n == name) {
+                    lane_inputs.push((name.as_str(), tenant_regs.get(name).unwrap_or(0)));
+                }
+            }
+            let scratch = self.scratch.get_or_insert_with(|| plane.new_state());
+            let outs = match plane.eval_batch_into(ctx, &lane_inputs, scratch) {
+                Ok(outs) => outs,
+                Err(e) => {
+                    out.faults.push(SlotFault {
+                        tenant,
+                        shard: self.shard,
+                        ctx,
+                        error: e.into(),
+                    });
+                    continue;
+                }
+            };
+            // resolve the register file before consuming the batch: from
+            // here to the demux below nothing may fail, or taken requests
+            // would vanish unanswered (existence was already checked by
+            // the read above, so this cannot practically fail)
+            let tenant_regs = &mut self
+                .tenants
+                .get_mut(&tenant)
+                .ok_or(ServiceError::UnknownTenant(tenant.index()))?
+                .regs;
+            let taken = self
+                .queue
+                .take(ctx)
+                .expect("slot was non-empty and the pass just succeeded");
+            out.usage.charge(tenant).passes += 1;
+            // `reg:*` outputs are state, not answers: harvest them into the
+            // register file; only the visible outputs demux into responses.
+            // One Arc per visible name, shared by all the pass's responses —
+            // demuxing a full 64-lane batch allocates no strings
+            let mut visible: Vec<(Arc<str>, u64)> = Vec::with_capacity(outs.len());
+            for (name, word) in &outs {
+                if name.starts_with(REG_PREFIX) {
+                    tenant_regs.set(name, *word);
+                } else {
+                    visible.push((Arc::from(name.as_str()), *word));
+                }
+            }
+            for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
+                out.responses.push(Response {
+                    request: *request,
+                    tenant: *owner,
+                    outputs: visible
+                        .iter()
+                        .map(|(n, word)| (Arc::clone(n), (word >> lane) & 1 == 1))
+                        .collect(),
+                });
+            }
+            // hand the emptied buffers back to the slot (cleared, capacity
+            // kept) so steady-state flushes re-allocate nothing
+            self.queue.recycle(ctx, taken);
+        }
+        Ok(())
+    }
+}
+
+// A future `Rc`, raw pointer or other non-thread-safe field anywhere in
+// the engine's ownership tree must fail the *build*, not a code review:
+// the parallel executor moves `&mut ShardEngine` across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardEngine>();
+    assert_send_sync::<SweepOutcome>();
+    assert_send_sync::<ServiceError>();
+};

@@ -7,29 +7,41 @@
 //! serve *concurrent workloads*: many tenants, each resident in one context
 //! slot, their single-vector requests coalesced into full 64-lane passes.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`registry::TenantRegistry`] — admits per-tenant programmed
 //!   configurations, mapping each tenant to a `(shard, context)` slot in
 //!   round-robin order. A [`registry::PlaneCache`] keyed by the fabric's
 //!   [`context_digest`](mcfpga_fabric::Fabric::context_digest) means
-//!   re-admitting an identical bitstream never recompiles.
-//! * [`batch::BatchQueue`] — coalesces single-vector requests from many
-//!   tenants into per-`(shard, context)` [`LaneBatch`]es, flushing a slot
-//!   the moment its 64 lanes fill (or on an explicit
-//!   [`ShardedService::drain`]), and demuxes each tenant's responses back
-//!   out of the lane words.
-//! * [`service::ShardedService`] — owns N independent fabric shards, drives
-//!   each shard's context sequence with the existing
-//!   [`ContextSequencer`](mcfpga_fabric::ContextSequencer) over an
-//!   [`active_sweep`](mcfpga_css::Schedule::active_sweep) schedule —
-//!   reordered for minimum broadcast toggles under
-//!   [`OptimizeMode::Optimized`] (the default; see
-//!   [`mcfpga_css::optimize`]) — and attributes CSS broadcast energy and
-//!   throughput per tenant via [`mcfpga_cost::attribution`], including
-//!   what the reordering saved versus the naive order. Admission slots are
-//!   chosen by a [`PlacementPolicy`]: round-robin, or energy-aware
-//!   marginal-sweep-cost placement with plane-cache affinity.
+//!   re-admitting an identical bitstream never recompiles, and compiled
+//!   planes are `Arc`-shared — installing one in an engine slot clones a
+//!   pointer, never a plane.
+//! * [`batch::BatchQueue`] — **one shard's** partition of the pending
+//!   work: per-context [`LaneBatch`]es coalescing single-vector requests,
+//!   flushed the moment 64 lanes fill (or on an explicit
+//!   [`ShardedService::drain`]), with each tenant's responses demuxed back
+//!   out of the lane words. Request ids stay service-global through the
+//!   coordinator's single [`batch::RequestIdSource`].
+//! * [`engine::ShardEngine`] — one shard's complete execution state:
+//!   compiled planes, its own
+//!   [`ContextSequencer`](mcfpga_fabric::ContextSequencer), queue
+//!   partition, and the usage + stream registers of its tenants. Engines
+//!   share no execution state, so sweeps of different shards run
+//!   concurrently.
+//! * [`service::ShardedService`] — the thin coordinator: registry, plane
+//!   cache, policies, and the [`executor::ParallelExecutor`] that fans
+//!   [`drain`](ShardedService::drain) out across engines and merges each
+//!   [`engine::SweepOutcome`] back in **shard-then-lane order**, making
+//!   output bit-for-bit identical at any thread count (`MCFPGA_THREADS`,
+//!   or [`ShardedService::set_threads`]). Sweeps are reordered for
+//!   minimum broadcast toggles under [`OptimizeMode::Optimized`] (the
+//!   default; see [`mcfpga_css::optimize`]) and CSS broadcast energy is
+//!   attributed per tenant via [`mcfpga_cost::attribution`] (mergeable
+//!   [`UsageLedger`](mcfpga_cost::attribution::UsageLedger) deltas),
+//!   including what the reordering saved versus the naive order.
+//!   Admission slots are chosen by a [`PlacementPolicy`]: round-robin, or
+//!   energy-aware marginal-sweep-cost placement with plane-cache
+//!   affinity.
 //!
 //! Tenants are **mobile**: `checkpoint_tenant` snapshots one at a
 //! context-switch boundary into a [`TenantCheckpoint`] (versioned wire
@@ -66,11 +78,15 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod engine;
+pub mod executor;
 pub mod placement;
 pub mod registry;
 pub mod service;
 
-pub use batch::{BatchQueue, RequestId, Response};
+pub use batch::{BatchQueue, RequestId, RequestIdSource, Response};
+pub use engine::{ShardEngine, SweepOutcome};
+pub use executor::ParallelExecutor;
 pub use placement::{netlist_fingerprint, PlacementPolicy};
 pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 pub use service::{ShardedService, SlotFault};

@@ -1,35 +1,40 @@
-//! The sharded multi-tenant execution service.
+//! The sharded multi-tenant execution service — a thin coordinator over
+//! per-shard engines.
 //!
-//! A [`ShardedService`] owns `N` independent fabric shards (same geometry,
-//! same architecture). Tenants are admitted round-robin across shards into
-//! per-shard context slots; their single-vector requests coalesce in a
-//! [`crate::BatchQueue`] and execute as 64-lane bit-parallel passes. Each
-//! shard has its own [`ContextSequencer`], so the CSS broadcast energy of
-//! every context switch is charged — and attributed to the tenant being
-//! switched in — exactly as in plain schedule replay.
+//! A [`ShardedService`] owns `N` independent [`ShardEngine`]s (same
+//! geometry, same architecture) plus exactly the cross-shard state no
+//! engine can own alone: the [`TenantRegistry`] (who lives where), the
+//! digest-keyed [`PlaneCache`] (compiled planes are `Arc`-shared across
+//! shards and re-admissions), the global [`RequestIdSource`], the
+//! placement/sweep-order policies, and the merged response/fault streams.
+//! Everything execution-local — compiled planes, CSS sequencer, queue
+//! partition, tenant usage and stream registers — lives in the engine of
+//! the shard hosting the tenant (see [`crate::engine`]).
+//!
+//! [`drain`](ShardedService::drain) fans the per-shard sweeps out across a
+//! [`ParallelExecutor`] and merges each engine's [`SweepOutcome`] back in
+//! **shard-then-lane order** — so responses, faults and billing are
+//! bit-for-bit identical to sequential execution at any thread count; the
+//! thread count is a pure throughput knob ([`set_threads`], or the
+//! `MCFPGA_THREADS` environment variable at construction).
+//!
+//! [`set_threads`]: ShardedService::set_threads
 
-use crate::batch::{BatchQueue, RequestId, Response};
+use crate::batch::{RequestId, RequestIdSource, Response};
+use crate::engine::{ShardEngine, SweepOutcome, TenantState};
+use crate::executor::ParallelExecutor;
 use crate::placement::{best_slot, choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 use crate::ServiceError;
 use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
 use mcfpga_css::optimize::{sweep_cost, CostMatrix, OptimizeMode};
-use mcfpga_css::Schedule;
 use mcfpga_device::TechParams;
-use mcfpga_fabric::compiled::{CompiledState, LaneBatch, PushRefusal};
-use mcfpga_fabric::context::ContextSequencer;
+use mcfpga_fabric::compiled::LaneBatch;
 use mcfpga_fabric::route::implement_netlist_robust;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, RegisterFile, TileCoord};
 use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint};
 use std::collections::HashMap;
 use std::sync::Arc;
-
-/// Prefix of signal names that are *stream registers*: outputs so named
-/// are captured into the tenant's [`RegisterFile`] after each pass and
-/// re-driven as inputs on its next pass (lane-aligned), instead of being
-/// returned in responses. The same convention `fabric::temporal` uses for
-/// values crossing context-switch boundaries.
-const REG_PREFIX: &str = "reg:";
 
 /// Routing seed per context slot: admission is deterministic per slot, so
 /// identical netlists admitted into same-index slots route identically and
@@ -38,17 +43,6 @@ const SLOT_SEED: u64 = 0x5EED_0000;
 
 /// Routing retry budget per admission.
 const ROUTE_ATTEMPTS: usize = 16;
-
-/// One independent fabric shard.
-#[derive(Debug, Clone)]
-struct Shard {
-    fabric: Fabric,
-    /// Per-context compiled plane (shared through the digest cache).
-    planes: Vec<Option<Arc<CompiledFabric>>>,
-    seq: ContextSequencer,
-    /// Reusable evaluation scratch (all planes share one layout).
-    scratch: Option<CompiledState>,
-}
 
 /// One slot's failed execution pass, recorded during a flush.
 ///
@@ -76,13 +70,13 @@ pub struct ShardedService {
     tech: TechParams,
     registry: TenantRegistry,
     cache: PlaneCache,
-    queue: BatchQueue,
-    shards: Vec<Shard>,
-    usage: Vec<TenantUsage>,
-    /// Per-tenant stream-register state (`reg:*` outputs fed back as
-    /// inputs pass-to-pass); indexed like `usage`.
-    regs: Vec<RegisterFile>,
+    engines: Vec<ShardEngine>,
+    executor: ParallelExecutor,
+    /// The single service-global request-id counter (engines borrow it).
+    ids: RequestIdSource,
+    /// Merged responses, shard-then-lane order per flush.
     ready: Vec<Response>,
+    /// Merged fault records, shard order per flush, oldest first.
     faults: Vec<SlotFault>,
     /// Sweep-ordering policy (see [`mcfpga_css::optimize`]).
     optimize: OptimizeMode,
@@ -117,7 +111,10 @@ impl ShardedService {
         )
     }
 
-    /// A service with explicit sweep-ordering and placement policies.
+    /// A service with explicit sweep-ordering and placement policies. The
+    /// executor width comes from `MCFPGA_THREADS` (falling back to the
+    /// machine's available parallelism); it never changes results, only
+    /// wall-clock — see [`set_threads`](Self::set_threads).
     pub fn with_policies(
         shards: usize,
         params: FabricParams,
@@ -126,25 +123,19 @@ impl ShardedService {
         placement: PlacementPolicy,
     ) -> Result<Self, ServiceError> {
         let registry = TenantRegistry::new(shards, params.contexts)?;
-        let mut built = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            built.push(Shard {
-                fabric: Fabric::new(params)?,
-                planes: vec![None; params.contexts],
-                seq: ContextSequencer::new(params.arch, params.contexts)?,
-                scratch: None,
-            });
+        let mut engines = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            engines.push(ShardEngine::new(shard, params)?);
         }
-        let matrix = built[0].seq.cost_matrix();
+        let matrix = engines[0].sequencer().cost_matrix();
         Ok(ShardedService {
             params,
             tech,
             registry,
             cache: PlaneCache::new(),
-            queue: BatchQueue::new(shards, params.contexts),
-            shards: built,
-            usage: Vec::new(),
-            regs: Vec::new(),
+            engines,
+            executor: ParallelExecutor::from_env(),
+            ids: RequestIdSource::new(),
             ready: Vec::new(),
             faults: Vec::new(),
             optimize,
@@ -179,6 +170,20 @@ impl ShardedService {
         self.placement = policy;
     }
 
+    /// Worker threads the next [`drain`](Self::drain) fans out across.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Sets the drain fan-out width. **Never changes output**: responses,
+    /// faults and billing are merged in shard-then-lane order whatever the
+    /// width — `set_threads(1)` *is* the sequential execution, not an
+    /// approximation of it.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.executor = ParallelExecutor::new(threads);
+    }
+
     /// Admits a tenant: assigns a `(shard, context)` slot under the active
     /// [`PlacementPolicy`], routes `netlist` into it, then reuses a cached
     /// compiled plane when the routed configuration's digest has been seen
@@ -193,9 +198,9 @@ impl ShardedService {
                 self.affinity.get(&fingerprint).copied(),
             )?,
         };
-        let shard = &mut self.shards[placement.shard];
+        let engine = &mut self.engines[placement.shard];
         let routed = implement_netlist_robust(
-            &mut shard.fabric,
+            engine.fabric_mut(),
             netlist,
             placement.ctx,
             SLOT_SEED + placement.ctx as u64,
@@ -203,50 +208,27 @@ impl ShardedService {
         );
         if let Err(e) = routed {
             // leave the slot exactly as reserved: free and unconfigured
-            shard.fabric.clear_context(placement.ctx)?;
+            engine.fabric_mut().clear_context(placement.ctx)?;
             return Err(e.into());
         }
-        let digest = shard.fabric.context_digest(placement.ctx)?;
+        let digest = engine.fabric().context_digest(placement.ctx)?;
         let plane = self.cache.get_or_compile(digest, || {
-            CompiledFabric::compile_context(&shard.fabric, placement.ctx)
+            CompiledFabric::compile_context(engine.fabric(), placement.ctx)
         })?;
-        shard.planes[placement.ctx] = Some(plane);
+        engine.install_plane(placement.ctx, plane);
         let id = self.registry.commit(name, placement, digest);
         self.affinity.entry(fingerprint).or_insert(placement.ctx);
-        self.usage.push(TenantUsage::default());
-        self.regs.push(RegisterFile::new());
-        self.seed_slot(placement)?;
+        let engine = &mut self.engines[placement.shard];
+        engine.add_tenant(id);
+        engine.seed_slot(placement.ctx)?;
         Ok(id)
-    }
-
-    /// Seeds the slot's canonical input-name prefix from its plane's bound
-    /// inputs, so submit-time coverage checking is a bitmask instead of a
-    /// second name scan. Stream registers (`reg:*` bound inputs) are
-    /// excluded — requests never drive them; the executor feeds them from
-    /// the tenant's [`RegisterFile`] at pass time.
-    fn seed_slot(&mut self, placement: Placement) -> Result<(), ServiceError> {
-        let plane = self.shards[placement.shard].planes[placement.ctx]
-            .as_ref()
-            .ok_or(ServiceError::SlotNotProgrammed {
-                shard: placement.shard,
-                ctx: placement.ctx,
-            })?;
-        let binds = plane.plane(placement.ctx)?.input_binds();
-        self.queue.seed(
-            placement.shard,
-            placement.ctx,
-            binds
-                .iter()
-                .map(|(_, n)| n.as_str())
-                .filter(|n| !n.starts_with(REG_PREFIX)),
-        );
-        Ok(())
     }
 
     /// Submits one single-vector request for `tenant`. The request parks in
     /// its slot's lane batch; when the 64th lane fills, the slot executes
-    /// immediately and its responses become available on the next
-    /// [`drain`](Self::drain).
+    /// immediately (on the caller's thread — a lane-full flush concerns one
+    /// shard, so there is nothing to fan out) and its responses become
+    /// available on the next [`drain`](Self::drain).
     ///
     /// Every input the tenant's plane binds must be driven —
     /// [`ServiceError::MissingInput`] otherwise. The check happens at
@@ -268,26 +250,10 @@ impl ShardedService {
         inputs: &[(&str, bool)],
     ) -> Result<RequestId, ServiceError> {
         let placement = self.registry.tenant(tenant)?.placement;
-        let (id, full) = match self.queue.enqueue(placement, tenant, inputs) {
-            Ok(ok) => ok,
-            Err(PushRefusal::Full) => {
-                return Err(ServiceError::SlotBacklogged {
-                    shard: placement.shard,
-                    ctx: placement.ctx,
-                })
-            }
-            Err(PushRefusal::MissingInput(idx)) => {
-                let name = self
-                    .queue
-                    .input_name(placement.shard, placement.ctx, idx)
-                    .unwrap_or("?")
-                    .to_string();
-                return Err(ServiceError::MissingInput { name });
-            }
-        };
-        self.usage[tenant.index()].requests += 1;
+        let (id, full) =
+            self.engines[placement.shard].submit(placement.ctx, tenant, inputs, &mut self.ids)?;
         if full {
-            self.run_shard(placement.shard, &[placement.ctx])?;
+            self.run_engine(placement.shard, &[(placement.ctx, tenant)])?;
         }
         Ok(id)
     }
@@ -299,20 +265,17 @@ impl ShardedService {
     /// `vectors_per_pass` keeps reflecting requests actually served.
     pub fn discard_pending(&mut self, tenant: TenantId) -> Result<usize, ServiceError> {
         let placement = self.registry.tenant(tenant)?.placement;
-        let dropped = self
-            .queue
-            .take(placement.shard, placement.ctx)
-            .map_or(0, |t| t.tickets.len());
-        self.usage[tenant.index()].requests -= dropped;
-        // the fresh slot lost its canonical prefix; re-seed it
-        self.seed_slot(placement)?;
-        Ok(dropped)
+        self.engines[placement.shard].discard_pending(placement.ctx, tenant)
     }
 
-    /// Flushes every slot with pending work — each shard sweeps only its
-    /// *active* contexts ([`Schedule::active_sweep`]), so idle tenants cost
-    /// no broadcast toggles — and returns all completed responses,
-    /// including those from earlier lane-full auto-flushes.
+    /// Flushes every slot with pending work and returns all completed
+    /// responses, including those from earlier lane-full auto-flushes.
+    /// Each shard sweeps only its *active* contexts
+    /// ([`mcfpga_css::Schedule::active_sweep`]), so idle tenants cost no
+    /// broadcast toggles — and the per-shard sweeps run **concurrently**
+    /// on the [`ParallelExecutor`], since shards share no execution state.
+    /// Each engine's [`SweepOutcome`] is merged back in shard-then-lane
+    /// order, making the result independent of the thread count.
     ///
     /// A slot whose pass fails (e.g. a request omitted one of its tenant's
     /// bound inputs) never blocks the others: its requests stay queued, a
@@ -320,13 +283,82 @@ impl ShardedService {
     /// and the sweep continues — one tenant's malformed request cannot
     /// withhold other tenants' responses.
     pub fn drain(&mut self) -> Result<Vec<Response>, ServiceError> {
-        for shard in 0..self.shards.len() {
-            let active = self.queue.pending(shard);
-            if !active.is_empty() {
-                self.run_shard(shard, &active)?;
+        let work: Result<Vec<Vec<(usize, TenantId)>>, ServiceError> = (0..self.engines.len())
+            .map(|s| self.active_slots(s))
+            .collect();
+        let work = work?;
+        let busy: Vec<usize> = (0..work.len()).filter(|&s| !work[s].is_empty()).collect();
+        match busy.as_slice() {
+            [] => {}
+            // one busy shard: run it inline — spawning workers for idle
+            // engines would buy nothing on a mostly-idle drain
+            [shard] => self.run_engine(*shard, &work[*shard])?,
+            _ => {
+                let optimize = self.optimize;
+                let matrix = &self.matrix;
+                let work = &work;
+                let outcomes = self.executor.run(&mut self.engines, |shard, engine| {
+                    engine.run_sweep(&work[shard], optimize, matrix)
+                });
+                self.merge_outcomes(outcomes)?;
             }
         }
         Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// The `(context, occupant)` slots of `shard` holding pending work —
+    /// the coordinator resolves occupancy *before* the fan-out so engines
+    /// never touch the registry concurrently.
+    fn active_slots(&self, shard: usize) -> Result<Vec<(usize, TenantId)>, ServiceError> {
+        self.engines[shard]
+            .pending()
+            .into_iter()
+            .map(|ctx| {
+                self.registry
+                    .occupant(shard, ctx)
+                    .map(|t| (ctx, t))
+                    .ok_or(ServiceError::SlotNotProgrammed { shard, ctx })
+            })
+            .collect()
+    }
+
+    /// Runs one engine's sweep inline (the lane-full auto-flush path) and
+    /// merges its outcome immediately.
+    fn run_engine(
+        &mut self,
+        shard: usize,
+        active: &[(usize, TenantId)],
+    ) -> Result<(), ServiceError> {
+        let outcome = self.engines[shard].run_sweep(active, self.optimize, &self.matrix);
+        self.merge_outcome(shard, outcome).map_or(Ok(()), Err)
+    }
+
+    /// The deterministic merge: applies per-shard outcomes **in shard
+    /// order** — responses and faults concatenate (each already in
+    /// slot-then-lane order from the engine's sequential sweep), usage
+    /// deltas are absorbed into the owning engine's tenant states. Thread
+    /// completion order never reaches this point: the executor returns
+    /// outcomes in engine order. A structural engine failure never drops
+    /// executed work: every outcome's outputs merge — including the
+    /// failing engine's pre-failure slots, whose requests were already
+    /// consumed — and the first error in shard order is returned.
+    fn merge_outcomes(&mut self, outcomes: Vec<SweepOutcome>) -> Result<(), ServiceError> {
+        let mut first_err = None;
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            let err = self.merge_outcome(shard, outcome);
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Merges one outcome, handing back its structural error (if any).
+    fn merge_outcome(&mut self, shard: usize, outcome: SweepOutcome) -> Option<ServiceError> {
+        self.engines[shard].absorb_usage(&outcome.usage);
+        self.ready.extend(outcome.responses);
+        self.faults.extend(outcome.faults);
+        outcome.error
     }
 
     /// Removes and returns the per-slot execution faults recorded since the
@@ -346,9 +378,10 @@ impl ShardedService {
         let placement = self.registry.tenant(tenant)?.placement;
         let mut broken = Fabric::new(self.params)?;
         broken.bind_output(TileCoord { x: 0, y: 0 }, 0, placement.ctx, "poisoned")?;
-        self.shards[placement.shard].planes[placement.ctx] = Some(Arc::new(
-            CompiledFabric::compile_context(&broken, placement.ctx)?,
-        ));
+        self.engines[placement.shard].install_plane(
+            placement.ctx,
+            Arc::new(CompiledFabric::compile_context(&broken, placement.ctx)?),
+        );
         Ok(())
     }
 
@@ -368,23 +401,23 @@ impl ShardedService {
         let placement = record.placement;
         let digest = record.digest;
         let plane = if record.resident {
-            let shard = &self.shards[placement.shard];
+            let engine = &self.engines[placement.shard];
             self.cache.get_or_compile(digest, || {
-                CompiledFabric::compile_context(&shard.fabric, placement.ctx)
+                CompiledFabric::compile_context(engine.fabric(), placement.ctx)
             })?
         } else {
             self.cache
                 .get(digest)
                 .ok_or(MigrateError::PlaneUnavailable { digest })?
         };
-        self.shards[placement.shard].planes[placement.ctx] =
-            Some(Self::plane_for_slot(plane, placement.ctx)?);
+        let engine = &mut self.engines[placement.shard];
+        engine.install_plane(placement.ctx, Self::plane_for_slot(plane, placement.ctx)?);
         // re-establish the canonical submit-coverage prefix from the true
         // plane: a migration or discard that happened *while* the slot held
         // a corrupted plane seeded from that plane's (empty) binds, and
         // without this the repaired tenant would accept under-driven
         // requests and silently evaluate the omissions as 0
-        self.seed_slot(placement)?;
+        engine.seed_slot(placement.ctx)?;
         Ok(())
     }
 
@@ -403,10 +436,10 @@ impl ShardedService {
     }
 
     fn check_shard(&self, shard: usize) -> Result<(), ServiceError> {
-        if shard >= self.shards.len() {
+        if shard >= self.engines.len() {
             return Err(ServiceError::NoSuchShard {
                 shard,
-                shards: self.shards.len(),
+                shards: self.engines.len(),
             });
         }
         Ok(())
@@ -432,7 +465,7 @@ impl ShardedService {
                         ctx: c,
                     })
         });
-        let start = self.shards[dst_shard].seq.current();
+        let start = self.engines[dst_shard].css_position();
         let before = sweep_cost(&self.matrix, Some(start), &occupied)?;
         occupied.push(ctx);
         let after = sweep_cost(&self.matrix, Some(start), &occupied)?;
@@ -442,19 +475,22 @@ impl ShardedService {
     /// Snapshots `tenant` at the current context-switch boundary: the
     /// plane-cache digest of its configuration, its stream-register file,
     /// its queued-but-unexecuted requests (exact lane words), the source
-    /// shard's CSS sweep position and its usage counters — everything a
+    /// engine's CSS sweep position and its usage counters — everything a
     /// destination needs to resume it bit-for-bit (see
     /// [`mcfpga_migrate`]). Non-destructive: the tenant keeps serving.
     ///
     /// The service API is synchronous, so every call site *is* a boundary:
-    /// no pass is ever mid-flight here. Requests that already executed are
-    /// not part of the checkpoint — their responses live in the source's
+    /// no pass is ever mid-flight here (the parallel executor only runs
+    /// inside [`drain`](Self::drain), which has returned by the time any
+    /// checkpoint can be taken). Requests that already executed are not
+    /// part of the checkpoint — their responses live in the source's
     /// [`drain`](Self::drain) buffer; what moves is exactly the
     /// not-yet-served work.
     pub fn checkpoint_tenant(&self, tenant: TenantId) -> Result<TenantCheckpoint, ServiceError> {
         let record = self.registry.tenant(tenant)?;
         let placement = record.placement;
-        let pending = match self.queue.slot(placement.shard, placement.ctx) {
+        let engine = &self.engines[placement.shard];
+        let pending = match engine.pending_batch(placement.ctx) {
             Some(batch) => PendingBatch {
                 lanes: batch.len(),
                 inputs: batch
@@ -462,24 +498,24 @@ impl ShardedService {
                     .into_iter()
                     .map(|(n, v)| (n.to_string(), v))
                     .collect(),
-                requests: self
-                    .queue
-                    .tickets(placement.shard, placement.ctx)
+                requests: engine
+                    .tickets(placement.ctx)
                     .iter()
                     .map(|(r, _)| r.value())
                     .collect(),
             },
             None => PendingBatch::default(),
         };
+        let state = engine.tenant_state(tenant)?;
         Ok(TenantCheckpoint {
             name: record.name.clone(),
             digest: record.digest,
             params: self.params,
             ctx: placement.ctx,
-            css_position: self.shards[placement.shard].seq.current(),
+            css_position: engine.css_position(),
             pending,
-            regs: self.regs[tenant.index()].clone(),
-            usage: self.usage[tenant.index()],
+            regs: state.regs.clone(),
+            usage: state.usage,
         })
     }
 
@@ -530,7 +566,7 @@ impl ShardedService {
         // same state (a shard with resident tenants keeps its own position
         // — realigning it would falsify *their* accounting)
         if self.registry.occupied_contexts(dst_shard).is_empty() {
-            self.shards[dst_shard].seq.resume_at(ckpt.css_position)?;
+            self.engines[dst_shard].resume_css_at(ckpt.css_position)?;
         }
         let realign = self.join_cost(dst_shard, slot.ctx, None)?;
 
@@ -541,16 +577,22 @@ impl ShardedService {
         usage.migration_bytes += ckpt.encoded_len();
         usage.migration_downtime_cycles += 1 + ckpt.pending.lanes;
         usage.migration_css_toggles += realign;
-        self.usage.push(usage);
-        self.regs.push(ckpt.regs.clone());
-        self.shards[dst_shard].planes[slot.ctx] = Some(plane);
-        self.seed_slot(slot)?;
+        let engine = &mut self.engines[dst_shard];
+        engine.add_tenant_with(
+            id,
+            TenantState {
+                usage,
+                regs: ckpt.regs.clone(),
+            },
+        );
+        engine.install_plane(slot.ctx, plane);
+        engine.seed_slot(slot.ctx)?;
         // install the pending batch only when it holds work: a lane-less
         // checkpoint carries no union names (its source slot read as
         // empty), and overwriting the freshly seeded batch with it would
         // erase the canonical prefix the coverage check depends on
         let fresh = if ckpt.pending.lanes > 0 {
-            self.queue.restore(slot.shard, slot.ctx, batch, id)
+            self.engines[dst_shard].restore_batch(slot.ctx, batch, id, &mut self.ids)
         } else {
             Vec::new()
         };
@@ -582,7 +624,13 @@ impl ShardedService {
         self.migrate_to_slot(tenant, dst)
     }
 
-    /// The migration mechanics, to an exact free destination slot.
+    /// The migration mechanics, to an exact free destination slot: an
+    /// explicit engine-to-engine handoff — `expel` on the source engine
+    /// surrenders the tenant's state, plane slot and queued lanes;
+    /// `adopt` on the destination installs them.
+    /// The two calls are sequenced by the coordinator (never concurrent
+    /// with a drain), and work unchanged when source and destination are
+    /// the same engine (an intra-shard slot move).
     fn migrate_to_slot(
         &mut self,
         tenant: TenantId,
@@ -594,31 +642,21 @@ impl ShardedService {
         // the checkpoint is what conceptually crosses the wire: its
         // encoded size is the migration's bytes-moved bill
         let ckpt = self.checkpoint_tenant(tenant)?;
-        let plane = self.shards[src.shard].planes[src.ctx].clone().ok_or(
-            ServiceError::SlotNotProgrammed {
-                shard: src.shard,
-                ctx: src.ctx,
-            },
-        )?;
+        let plane =
+            self.engines[src.shard]
+                .plane(src.ctx)
+                .ok_or(ServiceError::SlotNotProgrammed {
+                    shard: src.shard,
+                    ctx: src.ctx,
+                })?;
         // rebase before any mutation, so an error leaves the service intact
         let plane = Self::plane_for_slot(plane, dst.ctx)?;
         let realign = self.join_cost(dst.shard, dst.ctx, Some(src))?;
         self.registry.relocate(tenant, dst)?;
 
-        // point of no return: move plane, queue contents and fabric state
-        self.shards[src.shard].planes[src.ctx] = None;
-        if resident {
-            self.shards[src.shard].fabric.clear_context(src.ctx)?;
-        }
-        let taken = self.queue.take(src.shard, src.ctx);
-        // the freed slot must not leak its union names or canonical prefix
-        // into whatever tenant occupies it next
-        self.queue.clear_slot(src.shard, src.ctx);
-        self.shards[dst.shard].planes[dst.ctx] = Some(plane);
-        self.seed_slot(dst)?;
-        if let Some(taken) = taken {
-            self.queue.install(dst.shard, dst.ctx, taken);
-        }
+        // point of no return: the cross-engine handoff
+        let handoff = self.engines[src.shard].expel(tenant, src.ctx, resident)?;
+        self.engines[dst.shard].adopt(tenant, dst.ctx, plane, handoff)?;
         // recorded faults describe the tenant's slot; the slot moved
         for fault in &mut self.faults {
             if fault.tenant == tenant {
@@ -626,7 +664,7 @@ impl ShardedService {
                 fault.ctx = dst.ctx;
             }
         }
-        let usage = &mut self.usage[tenant.index()];
+        let usage = &mut self.engines[dst.shard].tenant_state_mut(tenant)?.usage;
         usage.migrations += 1;
         usage.migration_bytes += ckpt.encoded_len();
         usage.migration_downtime_cycles += 1 + ckpt.pending.lanes;
@@ -680,132 +718,14 @@ impl ShardedService {
     /// One tenant's stream-register file (`reg:*` state carried between
     /// its passes). Empty for purely combinational tenants.
     pub fn register_file(&self, tenant: TenantId) -> Result<&RegisterFile, ServiceError> {
-        self.registry.tenant(tenant)?; // validates the id
-        Ok(&self.regs[tenant.index()])
+        let placement = self.registry.tenant(tenant)?.placement;
+        Ok(&self.engines[placement.shard].tenant_state(tenant)?.regs)
     }
 
-    /// Executes the pending batches of `active` contexts on one shard, in
-    /// CSS schedule order — reordered for minimum broadcast toggles under
-    /// [`OptimizeMode::Optimized`] — charging switch energy to the tenant
-    /// switched in, alongside the *baseline* toggles the naive ascending
-    /// order would have charged (so each bill carries what the optimizer
-    /// saved; see [`mcfpga_cost::attribution`]).
-    ///
-    /// A slot's batch is removed from the queue only *after* its pass
-    /// succeeds — a failed pass records a [`SlotFault`], keeps its requests
-    /// queued, and moves on to the next context, so no issued [`RequestId`]
-    /// is ever silently dropped and no slot blocks its neighbours. The
-    /// `Err` branch is reserved for structural failures (a broken schedule
-    /// domain or registry/plane invariant).
-    fn run_shard(&mut self, shard_idx: usize, active: &[usize]) -> Result<(), ServiceError> {
-        let naive = Schedule::active_sweep(self.params.contexts, active)?;
-        // the counterfactual: per-context toggles of the naive ascending
-        // walk from the broadcast's current position (each active context
-        // appears exactly once in a sweep, so a map by context is sound)
-        let start = self.shards[shard_idx].seq.current();
-        let baseline: Vec<(usize, usize)> = naive
-            .as_slice()
-            .iter()
-            .copied()
-            .zip(self.matrix.step_costs(Some(start), naive.as_slice())?)
-            .collect();
-        let schedule =
-            self.shards[shard_idx]
-                .seq
-                .plan_sweep_with(&naive, self.optimize, &self.matrix)?;
-        for ctx in schedule.iter() {
-            let Some(batch) = self.queue.slot(shard_idx, ctx) else {
-                continue;
-            };
-            let tenant =
-                self.registry
-                    .occupant(shard_idx, ctx)
-                    .ok_or(ServiceError::SlotNotProgrammed {
-                        shard: shard_idx,
-                        ctx,
-                    })?;
-            let shard = &mut self.shards[shard_idx];
-            let plane = shard.planes[ctx]
-                .clone()
-                .ok_or(ServiceError::SlotNotProgrammed {
-                    shard: shard_idx,
-                    ctx,
-                })?;
-            // the CSS broadcast swaps the active plane; its toggles are
-            // charged at switch time — the broadcast network spent that
-            // energy whether or not the pass below resolves
-            let toggles = shard.seq.step_to(ctx)?;
-            self.usage[tenant.index()].css_toggles += toggles;
-            self.usage[tenant.index()].css_toggles_baseline += baseline
-                .iter()
-                .find(|(c, _)| *c == ctx)
-                .map_or(toggles, |(_, cost)| *cost);
-            // stream registers: every bound `reg:*` input reads the
-            // tenant's word from its previous pass (0 before the first) —
-            // lane-aligned, so lane `l` of pass `p+1` consumes the state
-            // lane `l` of pass `p` produced. A request that drove the name
-            // explicitly wins (the batch entry resolves first), which is
-            // how a caller seeds stream state by hand.
-            let binds = plane.plane(ctx)?.input_binds();
-            let tenant_regs = &self.regs[tenant.index()];
-            let mut lane_inputs = batch.lane_inputs();
-            for (_, name) in binds {
-                if name.starts_with(REG_PREFIX) && !lane_inputs.iter().any(|(n, _)| n == name) {
-                    lane_inputs.push((name.as_str(), tenant_regs.get(name).unwrap_or(0)));
-                }
-            }
-            let scratch = shard.scratch.get_or_insert_with(|| plane.new_state());
-            let outs = match plane.eval_batch_into(ctx, &lane_inputs, scratch) {
-                Ok(outs) => outs,
-                Err(e) => {
-                    self.faults.push(SlotFault {
-                        tenant,
-                        shard: shard_idx,
-                        ctx,
-                        error: e.into(),
-                    });
-                    continue;
-                }
-            };
-            let taken = self
-                .queue
-                .take(shard_idx, ctx)
-                .expect("slot was non-empty and the pass just succeeded");
-            self.usage[tenant.index()].passes += 1;
-            // `reg:*` outputs are state, not answers: harvest them into the
-            // register file; only the visible outputs demux into responses.
-            // One Arc per visible name, shared by all the pass's responses —
-            // demuxing a full 64-lane batch allocates no strings
-            let tenant_regs = &mut self.regs[tenant.index()];
-            let mut visible: Vec<(Arc<str>, u64)> = Vec::with_capacity(outs.len());
-            for (name, word) in &outs {
-                if name.starts_with(REG_PREFIX) {
-                    tenant_regs.set(name, *word);
-                } else {
-                    visible.push((Arc::from(name.as_str()), *word));
-                }
-            }
-            for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
-                self.ready.push(Response {
-                    request: *request,
-                    tenant: *owner,
-                    outputs: visible
-                        .iter()
-                        .map(|(n, word)| (Arc::clone(n), (word >> lane) & 1 == 1))
-                        .collect(),
-                });
-            }
-            // hand the emptied buffers back to the slot (cleared, capacity
-            // kept) so steady-state flushes re-allocate nothing
-            self.queue.recycle(shard_idx, ctx, taken);
-        }
-        Ok(())
-    }
-
-    /// Raw usage counters of one tenant.
+    /// Raw usage counters of one tenant (owned by its shard's engine).
     pub fn usage(&self, tenant: TenantId) -> Result<TenantUsage, ServiceError> {
-        self.registry.tenant(tenant)?; // validates the id
-        Ok(self.usage[tenant.index()])
+        let placement = self.registry.tenant(tenant)?.placement;
+        Ok(self.engines[placement.shard].tenant_state(tenant)?.usage)
     }
 
     /// One tenant's usage billed in physical units.
@@ -813,13 +733,25 @@ impl ShardedService {
         Ok(bill(&self.usage(tenant)?, &self.tech))
     }
 
-    /// Markdown billing table over every admitted tenant.
+    /// Markdown billing table over every admitted tenant, admission order.
     #[must_use]
     pub fn billing_report(&self) -> String {
         let rows: Vec<(String, TenantUsage)> = self
             .registry
             .iter()
-            .map(|(id, rec)| (rec.name.clone(), self.usage[id.index()]))
+            .map(|(id, rec)| {
+                // every registered tenant has state in its placement
+                // engine (admission/restore add it, migration hands it
+                // off); a miss is a registry/engine desync — fail loudly
+                // in tests instead of rendering a plausible zero row
+                let state = self.engines[rec.placement.shard].tenant_state(id);
+                debug_assert!(
+                    state.is_ok(),
+                    "tenant {id} registered on shard {} but unknown to its engine",
+                    rec.placement.shard
+                );
+                (rec.name.clone(), state.map(|s| s.usage).unwrap_or_default())
+            })
             .collect();
         render_billing(&rows, &self.tech)
     }
@@ -830,22 +762,31 @@ impl ShardedService {
         &self.registry
     }
 
-    /// The compiled-plane cache (hit/miss counters).
+    /// The compiled-plane cache (hit/miss counters). Planes are
+    /// `Arc`-shared: every engine slot and every re-admission of the same
+    /// digest points at one compiled plane.
     #[must_use]
     pub fn cache(&self) -> &PlaneCache {
         &self.cache
     }
 
+    /// The per-shard engines, read-only (diagnostics; shard index ==
+    /// slice index).
+    #[must_use]
+    pub fn engines(&self) -> &[ShardEngine] {
+        &self.engines
+    }
+
     /// Requests parked in lane batches, not yet executed.
     #[must_use]
     pub fn pending_requests(&self) -> usize {
-        self.queue.pending_total()
+        self.engines.iter().map(ShardEngine::pending_requests).sum()
     }
 
     /// Number of fabric shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.engines.len()
     }
 
     /// The shared fabric geometry of every shard.
@@ -859,7 +800,6 @@ impl ShardedService {
 mod tests {
     use super::*;
     use mcfpga_fabric::netlist_ir::generators;
-    use mcfpga_fabric::TileCoord;
 
     /// Submit-time validation makes undriven-input passes unreachable
     /// through the public API, so the fault path is exercised by swapping a
@@ -874,13 +814,7 @@ mod tests {
         let good = svc.admit("good", &wire).unwrap(); // ctx 1
 
         // sabotage: a plane with an output bound but never driven
-        let mut broken = Fabric::new(params).unwrap();
-        broken
-            .bind_output(TileCoord { x: 0, y: 0 }, 0, 0, "y")
-            .unwrap();
-        svc.shards[0].planes[0] = Some(Arc::new(
-            CompiledFabric::compile_context(&broken, 0).unwrap(),
-        ));
+        svc.inject_plane_fault(bad).unwrap();
 
         // the broken plane binds no inputs, so any request passes validation
         svc.submit(bad, &[("in0", true)]).unwrap();
@@ -913,5 +847,43 @@ mod tests {
         assert_eq!(svc.pending_requests(), 0);
         assert!(svc.drain().unwrap().is_empty());
         assert!(svc.take_faults().is_empty());
+    }
+
+    /// The same seeded traffic must produce identical responses, faults
+    /// and billing at every executor width — the merge-order invariant,
+    /// exercised at the unit level (the stress replay covers it at scale).
+    #[test]
+    fn drain_output_is_independent_of_thread_count() {
+        let run = |threads: usize| {
+            let params = FabricParams::default();
+            let mut svc = ShardedService::new(4, params, TechParams::default()).unwrap();
+            svc.set_threads(threads);
+            assert_eq!(svc.threads(), threads.max(1));
+            let parity = generators::parity_tree(3).unwrap();
+            let wire = generators::wire_lanes(1).unwrap();
+            let tenants: Vec<TenantId> = (0..8)
+                .map(|i| {
+                    let nl = if i % 2 == 0 { &parity } else { &wire };
+                    svc.admit(&format!("t{i}"), nl).unwrap()
+                })
+                .collect();
+            let mut responses = Vec::new();
+            for round in 0..5 {
+                for (i, t) in tenants.iter().enumerate() {
+                    let v = (round + i) % 2 == 0;
+                    if i % 2 == 0 {
+                        svc.submit(*t, &[("x0", v), ("x1", !v), ("x2", v)]).unwrap();
+                    } else {
+                        svc.submit(*t, &[("in0", v)]).unwrap();
+                    }
+                }
+                responses.extend(svc.drain().unwrap());
+            }
+            (responses, svc.billing_report())
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
     }
 }

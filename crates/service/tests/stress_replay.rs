@@ -34,6 +34,12 @@ fn input_names(nl: &LogicNetlist) -> Vec<String> {
         .collect()
 }
 
+/// One fully materialized response: `(request, tenant, demuxed outputs)`.
+type LoggedResponse = (RequestId, TenantId, Vec<(String, bool)>);
+
+/// One stringified fault record: `(tenant, shard, ctx, error)`.
+type LoggedFault = (TenantId, usize, usize, String);
+
 struct Harness {
     svc: ShardedService,
     tenants: Vec<(TenantId, Vec<String>)>,
@@ -53,6 +59,21 @@ struct Harness {
     fault_candidates: HashSet<TenantId>,
     faults_seen: usize,
     /// Successful live migrations and evacuation moves performed.
+    migrations: usize,
+    /// Every response in arrival order, fully materialized — the
+    /// bit-for-bit artifact the parallel-determinism replay compares.
+    resp_log: Vec<LoggedResponse>,
+    /// Every fault record in arrival order (error stringified).
+    fault_log: Vec<LoggedFault>,
+}
+
+/// Everything externally observable about one replay run. Two runs that
+/// differ only in executor width must produce equal artifacts.
+#[derive(Debug, PartialEq)]
+struct ReplayArtifacts {
+    responses: Vec<LoggedResponse>,
+    faults: Vec<LoggedFault>,
+    billing: String,
     migrations: usize,
 }
 
@@ -100,6 +121,8 @@ impl Harness {
             fault_candidates: HashSet::new(),
             faults_seen: 0,
             migrations: 0,
+            resp_log: Vec::new(),
+            fault_log: Vec::new(),
         }
     }
 
@@ -135,6 +158,14 @@ impl Harness {
     fn drain(&mut self) {
         let responses = self.svc.drain().expect("drain");
         for resp in responses {
+            self.resp_log.push((
+                resp.request,
+                resp.tenant,
+                resp.outputs
+                    .iter()
+                    .map(|(n, v)| (n.to_string(), *v))
+                    .collect(),
+            ));
             assert!(
                 self.answered.insert(resp.request),
                 "request {} answered twice",
@@ -222,6 +253,10 @@ impl Harness {
         let faults = self.svc.take_faults();
         self.faults_seen += faults.len();
         for f in &faults {
+            self.fault_log
+                .push((f.tenant, f.shard, f.ctx, f.error.to_string()));
+        }
+        for f in &faults {
             // fault tenants must have been poisoned when their pass ran
             assert!(
                 self.fault_candidates.contains(&f.tenant),
@@ -271,7 +306,24 @@ fn run_replay(optimize: OptimizeMode, placement: PlacementPolicy) -> (usize, usi
     conservation(&h)
 }
 
-/// The migration chaos replay: the same interleaving plus random live
+/// One cycle of the migration-chaos interleaving: the plain chaos mix
+/// plus random live migrations and whole-shard evacuations. Shared by
+/// the conservation replay and the parallel-determinism replay so the
+/// two gates always exercise the *same* workload distribution.
+fn migration_chaos_cycle(h: &mut Harness) {
+    match h.rng.random_range(0..100u32) {
+        0..=49 => h.submit_one(),
+        50..=69 => h.drain(),
+        70..=75 => h.inject(),
+        76..=81 => h.repair(),
+        82..=85 => h.discard(),
+        86..=91 => h.migrate(),
+        92..=93 => h.evacuate(),
+        _ => h.take_faults_drains_once(),
+    }
+}
+
+/// The migration chaos replay: the plain interleaving plus random live
 /// migrations and whole-shard evacuations (on a 3-shard pool so there is
 /// somewhere to go), still under injected faults — asserting queue
 /// conservation end to end: every pending request is answered exactly
@@ -279,16 +331,7 @@ fn run_replay(optimize: OptimizeMode, placement: PlacementPolicy) -> (usize, usi
 fn run_migration_replay() -> (usize, usize, usize, usize) {
     let mut h = Harness::with_shards(3, OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
     for _ in 0..CYCLES {
-        match h.rng.random_range(0..100u32) {
-            0..=49 => h.submit_one(),
-            50..=69 => h.drain(),
-            70..=75 => h.inject(),
-            76..=81 => h.repair(),
-            82..=85 => h.discard(),
-            86..=91 => h.migrate(),
-            92..=93 => h.evacuate(),
-            _ => h.take_faults_drains_once(),
-        }
+        migration_chaos_cycle(&mut h);
     }
     h.settle();
     let migrations = h.migrations;
@@ -309,6 +352,63 @@ fn conservation(h: &Harness) -> (usize, usize, usize) {
         "answered an id that was never issued"
     );
     (h.submitted, h.answered.len(), h.faults_seen)
+}
+
+/// The migration chaos replay at an explicit executor width, returning
+/// the **full** observable artifact set: every response's demuxed output
+/// bits in arrival order, every fault record, the final billing table,
+/// and the move count.
+fn run_artifact_replay(threads: usize) -> ReplayArtifacts {
+    let mut h = Harness::with_shards(3, OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
+    h.svc.set_threads(threads);
+    assert_eq!(h.svc.threads(), threads);
+    for _ in 0..CYCLES {
+        migration_chaos_cycle(&mut h);
+    }
+    h.settle();
+    conservation(&h);
+    ReplayArtifacts {
+        responses: h.resp_log,
+        faults: h.fault_log,
+        billing: h.svc.billing_report(),
+        migrations: h.migrations,
+    }
+}
+
+/// The headline determinism gate of the parallel-executor refactor: the
+/// seeded 600-cycle chaos run (submit / drain / inject / repair /
+/// migrate / evacuate / discard) must produce **identical responses,
+/// faults and billing tables** at every executor width. Thread count 1
+/// *is* the sequential execution path (the executor spawns nothing at
+/// width 1), so this also pins the parallel paths to the sequential
+/// baseline — bit-for-bit, including response arrival order and every
+/// demuxed output bit.
+#[test]
+fn parallel_replay_is_bitwise_identical_at_threads_1_2_4_8() {
+    let baseline = run_artifact_replay(1);
+    assert!(
+        baseline.responses.len() > 100,
+        "replay answered only {} requests",
+        baseline.responses.len()
+    );
+    assert!(!baseline.faults.is_empty(), "replay never faulted");
+    assert!(baseline.migrations > 10, "replay barely migrated");
+    for threads in [2usize, 4, 8] {
+        let run = run_artifact_replay(threads);
+        assert_eq!(
+            run.responses, baseline.responses,
+            "responses diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.faults, baseline.faults,
+            "fault log diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.billing, baseline.billing,
+            "billing table diverged at {threads} threads"
+        );
+        assert_eq!(run.migrations, baseline.migrations);
+    }
 }
 
 #[test]
