@@ -11,6 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcfpga_bench::{smoke, write_bench_json};
 use mcfpga_device::TechParams;
+use mcfpga_fabric::compiled::MAX_LANES;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
 use mcfpga_service::{OptimizeMode, PlacementPolicy, Response, ShardedService, TenantId};
@@ -195,26 +196,45 @@ fn fill_all_slots(
     queued
 }
 
+/// What one width's run of the parallel-drain comparison observed.
+struct DrainRun {
+    responses: Vec<Response>,
+    /// Fastest steady-state drain, seconds.
+    best: f64,
+    /// The very first drain at this width, seconds — the only one that
+    /// pays the worker-pool spawn.
+    first: f64,
+    stats: mcfpga_service::ExecutorStats,
+}
+
 /// The parallel-executor comparison on the 8-shard reference pool:
 /// cross-checks that sequential (1-thread) and parallel (N-thread) drains
-/// produce identical responses, then times the drain both ways and
-/// returns `(seq_us, par_us, speedup, threads, requests_per_drain)`.
-fn measure_parallel_drain() -> (f64, f64, f64, usize, usize) {
+/// produce identical responses, times the drain both ways (separating the
+/// spawn-paying first drain from steady-state pool reuse), and returns
+/// `(seq, par, threads, requests_per_drain)`.
+fn measure_parallel_drain() -> (DrainRun, DrainRun, usize, usize) {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let threads = cores.clamp(2, PAR_SHARDS);
 
     // admission (routing + compilation) happens once per width and stays
     // outside every measured window; each run does a correctness pass
     // first (identical seeded traffic), then the timing loop
-    let run_width = |width: usize| -> (Vec<Response>, f64) {
+    let run_width = |width: usize| -> DrainRun {
         let (mut svc, tenants) = build_parallel_service();
         svc.set_threads(width);
-        // correctness traffic: the drain fan-out must be invisible
+        // correctness traffic: the drain fan-out must be invisible. The
+        // first drain is timed separately — it is the one that spawns
+        // the persistent workers; every later drain reuses them.
         let mut rng = StdRng::seed_from_u64(0x009A_11E1);
         let mut responses = Vec::new();
-        for _ in 0..2 {
+        let mut first = 0.0;
+        for round in 0..2 {
             fill_all_slots(&mut svc, &tenants, &mut rng);
+            let t = Instant::now();
             responses.extend(svc.drain().expect("drain"));
+            if round == 0 {
+                first = t.elapsed().as_secs_f64();
+            }
         }
         // wall-clock: fill untimed, time the drain, keep the minimum
         let mut rng = StdRng::seed_from_u64(0x00D1_2A11);
@@ -228,26 +248,41 @@ fn measure_parallel_drain() -> (f64, f64, f64, usize, usize) {
             assert_eq!(served, PAR_LANES * PAR_SHARDS * 4);
             black_box(served);
         }
-        (responses, best)
+        DrainRun {
+            responses,
+            best,
+            first,
+            stats: svc.executor_stats(),
+        }
     };
-    let (seq_responses, seq) = run_width(1);
+    let seq = run_width(1);
     assert_eq!(
-        seq_responses.len(),
+        seq.responses.len(),
         2 * PAR_LANES * PAR_SHARDS * 4,
         "every queued request answered"
     );
-    let (par_responses, par) = run_width(threads);
     assert_eq!(
-        seq_responses, par_responses,
+        seq.stats.spawn_events, 0,
+        "a 1-thread executor must never spawn workers"
+    );
+    let par = run_width(threads);
+    assert_eq!(
+        seq.responses, par.responses,
         "parallel drain must be bit-for-bit identical to sequential"
     );
-    (
-        seq * 1e6,
-        par * 1e6,
-        seq / par,
-        threads,
-        PAR_LANES * PAR_SHARDS * 4,
-    )
+    // the tentpole's reuse gate: many drains, exactly one pool spawn —
+    // after the first drain warms the pool, drains spawn zero threads
+    assert_eq!(
+        par.stats.spawn_events, 1,
+        "steady-state drains must reuse the persistent pool, not respawn it"
+    );
+    assert_eq!(par.stats.workers_spawned, threads as u64);
+    let executed: u64 = par.stats.per_worker_executed.iter().sum();
+    assert_eq!(
+        executed, par.stats.tasks_total,
+        "every per-context task accounted to exactly one worker"
+    );
+    (seq, par, threads, PAR_LANES * PAR_SHARDS * 4)
 }
 
 /// Acceptance measurement: amortized per-request service time, both
@@ -397,14 +432,23 @@ fn bench(c: &mut Criterion) {
     // the machine has the cores to show it (≥4) and not in smoke mode;
     // the bit-for-bit output equivalence check inside always runs
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let (par_seq_us, par_par_us, par_speedup, par_threads, par_requests) = measure_parallel_drain();
+    let (par_seq, par_par, par_threads, par_requests) = measure_parallel_drain();
+    let (par_seq_us, par_par_us) = (par_seq.best * 1e6, par_par.best * 1e6);
+    let par_speedup = par_seq.best / par_par.best;
+    let pool_first_us = par_par.first * 1e6;
+    let histogram = format!("{:?}", par_par.stats.per_worker_executed);
     let gate_enforced = cores >= 4 && !smoke();
     println!(
         "parallel drain (10x10, {PAR_SHARDS} shards x 4 contexts, {par_requests} queued requests, \
          {cores} cores):\n  \
          sequential (1 thread):  {par_seq_us:.1} µs/drain\n  \
-         parallel ({par_threads} threads):   {par_par_us:.1} µs/drain\n  \
+         parallel ({par_threads} threads):   {par_par_us:.1} µs/drain \
+         (first drain incl. pool spawn: {pool_first_us:.1} µs; \
+         {} spawn event over {} tasks, {} stolen, per-worker {histogram})\n  \
          speedup: {par_speedup:.2}x (gate: >=2x, {})",
+        par_par.stats.spawn_events,
+        par_par.stats.tasks_total,
+        par_par.stats.tasks_stolen,
         if gate_enforced {
             "enforced"
         } else {
@@ -443,6 +487,13 @@ fn bench(c: &mut Criterion) {
             ("parallel_par_drain_us", par_par_us.into()),
             ("parallel_speedup", par_speedup.into()),
             ("parallel_gate_enforced", gate_enforced.into()),
+            ("parallel_tasks_total", par_par.stats.tasks_total.into()),
+            ("parallel_tasks_stolen", par_par.stats.tasks_stolen.into()),
+            ("per_worker_task_histogram", histogram.as_str().into()),
+            ("lane_width", MAX_LANES.into()),
+            ("pool_spawn_events", par_par.stats.spawn_events.into()),
+            ("pool_first_drain_us", pool_first_us.into()),
+            ("pool_steady_drain_us", par_par_us.into()),
         ],
     )
     .expect("write BENCH_service_throughput.json");

@@ -14,9 +14,13 @@
 //!    An acyclic plane evaluates in a single pass; a genuinely cyclic
 //!    configuration falls back to a bounded monotone sweep over the same op
 //!    list (identical semantics to the reference simulator).
-//! 3. **Bit-parallelize** — values are `u64` lanes: one evaluation pass
-//!    pushes **64 input vectors** through the fabric, with LUTs evaluated by
-//!    lane-wise mux reduction of their truth tables.
+//! 3. **Bit-parallelize** — values are [`LaneChunk`]s of [`LANE_WORDS`]
+//!    contiguous `u64` lane words: one evaluation pass pushes up to
+//!    **[`MAX_LANES`] input vectors** through the fabric, with LUTs
+//!    evaluated by lane-wise mux reduction of their truth tables. Sparse
+//!    batches evaluate only the occupied words
+//!    ([`LaneBatch::words`]), so a ≤64-lane pass costs what the old
+//!    single-word engine did.
 //!
 //! [`crate::sim::evaluate`] wraps a 1-lane call for API compatibility;
 //! batch users call [`CompiledFabric::eval_batch`] directly, and
@@ -52,8 +56,46 @@ use crate::array::{Dir, Fabric, FabricParams, Sink, Source, TileCoord};
 use crate::lut::MultiContextLut;
 use crate::FabricError;
 
-/// Number of input vectors evaluated per bit-parallel pass.
+/// Lanes per `u64` word — the legacy single-word batch width, kept as the
+/// default [`LaneBatch::new`] width so single-word callers are unaffected.
 pub const LANES: usize = 64;
+
+/// `u64` words per [`LaneChunk`].
+pub const LANE_WORDS: usize = 4;
+
+/// Widest supported batch: [`LANE_WORDS`] × 64 lanes per evaluation pass.
+pub const MAX_LANES: usize = LANE_WORDS * 64;
+
+/// The chunked lane value of one signal: [`LANE_WORDS`] contiguous `u64`
+/// words, lane `l` living at bit `l % 64` of word `l / 64`. Word 0 alone is
+/// the legacy 64-lane representation, which is why every single-word API
+/// reads/writes `chunk[0]` and zeroes the rest.
+pub type LaneChunk = [u64; LANE_WORDS];
+
+/// Reads lane `l` of a chunk — the canonical inverse of [`pack_chunk`].
+#[must_use]
+pub fn chunk_bit(chunk: &LaneChunk, lane: usize) -> bool {
+    (chunk[lane / 64] >> (lane % 64)) & 1 == 1
+}
+
+/// Packs per-lane booleans into a chunk: lane `l` of the result is
+/// `bit(l)`, for all [`MAX_LANES`] lanes.
+#[must_use]
+pub fn pack_chunk(mut bit: impl FnMut(usize) -> bool) -> LaneChunk {
+    let mut chunk = [0u64; LANE_WORDS];
+    for l in 0..MAX_LANES {
+        chunk[l / 64] |= u64::from(bit(l)) << (l % 64);
+    }
+    chunk
+}
+
+/// Widens a legacy single lane word to a chunk (word 0 = `word`).
+#[must_use]
+pub fn chunk_of_word(word: u64) -> LaneChunk {
+    let mut chunk = [0u64; LANE_WORDS];
+    chunk[0] = word;
+    chunk
+}
 
 /// Packs per-lane booleans into one lane word: bit `l` of the result is
 /// `bit(l)`. This is the canonical lane packing of the engine — the inverse
@@ -67,13 +109,16 @@ pub fn pack_lanes(mut bit: impl FnMut(usize) -> bool) -> u64 {
 /// Dense id of one routing resource in the arena.
 pub type ResourceId = u32;
 
-/// Coalesces up to [`LANES`] independent single-vector requests into the
-/// lane words one [`CompiledFabric::eval_batch`] pass consumes.
+/// Coalesces independent single-vector requests into the lane chunks one
+/// [`CompiledFabric::eval_chunks`] pass consumes.
 ///
 /// Each pushed request occupies one lane; the batch keeps the union of all
-/// named inputs, with bit `l` of a name's word holding request `l`'s value
-/// (a request that omits a name contributes 0 in its lane). After the pass,
-/// [`LaneBatch::extract_lane`] demuxes one request's outputs back out.
+/// named inputs, with lane `l` of a name's [`LaneChunk`] holding request
+/// `l`'s value (a request that omits a name contributes 0 in its lane).
+/// After the pass, [`LaneBatch::extract_lane`] demuxes one request's
+/// outputs back out. The capacity is the batch's **width**: [`LANES`] (one
+/// word) for [`LaneBatch::new`], up to [`MAX_LANES`] via
+/// [`LaneBatch::with_width`].
 ///
 /// ```
 /// use mcfpga_fabric::compiled::{LaneBatch, LANES};
@@ -87,25 +132,32 @@ pub type ResourceId = u32;
 ///
 /// let inputs = batch.lane_inputs();
 /// let x = inputs.iter().find(|(n, _)| *n == "x").unwrap().1;
-/// assert_eq!(x & 0b11, 0b01); // lane 0 true, lane 1 false
+/// assert_eq!(x[0] & 0b11, 0b01); // lane 0 true, lane 1 false
 ///
 /// // outputs of an eval pass demux the same way
-/// let outs = vec![("z".to_string(), 0b10u64)];
+/// let outs = vec![("z".to_string(), [0b10u64, 0, 0, 0])];
 /// assert_eq!(LaneBatch::extract_lane(&outs, lane_b), vec![("z".to_string(), true)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LaneBatch {
+    width: usize,
     lanes: usize,
-    inputs: Vec<(String, u64)>,
+    inputs: Vec<(String, LaneChunk)>,
     /// Resolved input indices of the request being pushed; reused across
     /// [`LaneBatch::push_covering`] calls so the hot path allocates nothing.
     idx_scratch: Vec<u32>,
 }
 
+impl Default for LaneBatch {
+    fn default() -> Self {
+        LaneBatch::new()
+    }
+}
+
 /// Why [`LaneBatch::push_covering`] refused a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushRefusal {
-    /// All [`LANES`] lanes are occupied.
+    /// All of the batch's [`LaneBatch::width`] lanes are occupied.
     Full,
     /// The request did not drive the canonical input at this index (see
     /// [`LaneBatch::ensure_name`]); [`LaneBatch::input_name`] maps it back
@@ -114,10 +166,39 @@ pub enum PushRefusal {
 }
 
 impl LaneBatch {
-    /// An empty batch.
+    /// An empty batch at the legacy single-word width ([`LANES`]).
     #[must_use]
     pub fn new() -> Self {
-        LaneBatch::default()
+        LaneBatch::with_width(LANES).expect("LANES is a valid width")
+    }
+
+    /// An empty batch holding up to `width` lanes, `1..=MAX_LANES`.
+    pub fn with_width(width: usize) -> Result<Self, FabricError> {
+        if width == 0 || width > MAX_LANES {
+            return Err(FabricError::BadParams(format!(
+                "batch width {width} outside 1..={MAX_LANES}"
+            )));
+        }
+        Ok(LaneBatch {
+            width,
+            lanes: 0,
+            inputs: Vec::new(),
+            idx_scratch: Vec::new(),
+        })
+    }
+
+    /// Lane capacity of this batch.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of `u64` words an evaluation pass must process to cover the
+    /// occupied lanes — the sparse-traffic optimization: a ≤64-lane batch
+    /// evaluates one word no matter how wide the batch is.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.lanes.div_ceil(64).max(1)
     }
 
     /// Number of occupied lanes.
@@ -132,10 +213,10 @@ impl LaneBatch {
         self.lanes == 0
     }
 
-    /// Are all [`LANES`] lanes occupied?
+    /// Are all [`width`](Self::width) lanes occupied?
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.lanes == LANES
+        self.lanes == self.width
     }
 
     /// Adds one single-vector request, returning the lane it occupies, or
@@ -177,9 +258,9 @@ impl LaneBatch {
                 _ => match self.inputs.iter().position(|(n, _)| n == name) {
                     Some(j) => j,
                     None => {
-                        // appending with a zero word is harmless even if the
+                        // appending with a zero chunk is harmless even if the
                         // coverage check below refuses the request
-                        self.inputs.push(((*name).to_string(), 0));
+                        self.inputs.push(((*name).to_string(), [0u64; LANE_WORDS]));
                         self.inputs.len() - 1
                     }
                 },
@@ -197,7 +278,7 @@ impl LaneBatch {
         // pass 2: commit the lane by index — no further name lookups
         let lane = self.lanes;
         for (&idx, (_, value)) in idx_scratch.iter().zip(request) {
-            self.inputs[idx as usize].1 |= u64::from(*value) << lane;
+            self.inputs[idx as usize].1[lane / 64] |= u64::from(*value) << (lane % 64);
         }
         self.lanes += 1;
         self.idx_scratch = idx_scratch;
@@ -232,32 +313,45 @@ impl LaneBatch {
         None
     }
 
-    /// Rebuilds a batch from its serialized parts: the occupied-lane count
-    /// and the union lane words, in union order — the inverse of reading
-    /// [`len`](Self::len) and [`lane_inputs`](Self::lane_inputs). The
-    /// checkpoint/restore path uses this to reinstall pending requests
-    /// exactly as they were queued (same names, same lane bits), so a
-    /// restored batch evaluates bit-for-bit like the original.
-    pub fn from_parts(lanes: usize, inputs: Vec<(String, u64)>) -> Result<Self, FabricError> {
-        if lanes > LANES {
+    /// Rebuilds a batch from its serialized parts: the target width, the
+    /// occupied-lane count and the union lane chunks, in union order — the
+    /// inverse of reading [`len`](Self::len) and
+    /// [`lane_inputs`](Self::lane_inputs). The checkpoint/restore path uses
+    /// this to reinstall pending requests exactly as they were queued (same
+    /// names, same lane bits), so a restored batch evaluates bit-for-bit
+    /// like the original.
+    pub fn from_parts(
+        width: usize,
+        lanes: usize,
+        inputs: Vec<(String, LaneChunk)>,
+    ) -> Result<Self, FabricError> {
+        let mut batch = LaneBatch::with_width(width)?;
+        if lanes > width {
             return Err(FabricError::BadParams(format!(
-                "{lanes} lanes exceed the {LANES}-lane batch width"
+                "{lanes} lanes exceed the {width}-lane batch width"
             )));
         }
         // bits above the occupied lanes must be clear: push_covering ORs
         // new values in assuming them zero, so a stray high bit would leak
         // into a later request's lane as a silently wrong input
-        let unoccupied = if lanes == LANES { 0 } else { !0u64 << lanes };
-        if let Some((name, _)) = inputs.iter().find(|(_, word)| word & unoccupied != 0) {
-            return Err(FabricError::BadParams(format!(
-                "input '{name}' has lane bits set beyond the {lanes} occupied lanes"
-            )));
+        for (name, chunk) in &inputs {
+            for (w, word) in chunk.iter().enumerate() {
+                let occupied_here = lanes.saturating_sub(w * 64).min(64);
+                let unoccupied = if occupied_here == 64 {
+                    0
+                } else {
+                    !0u64 << occupied_here
+                };
+                if word & unoccupied != 0 {
+                    return Err(FabricError::BadParams(format!(
+                        "input '{name}' has lane bits set beyond the {lanes} occupied lanes"
+                    )));
+                }
+            }
         }
-        Ok(LaneBatch {
-            lanes,
-            inputs,
-            idx_scratch: Vec::new(),
-        })
+        batch.lanes = lanes;
+        batch.inputs = inputs;
+        Ok(batch)
     }
 
     /// Union index of `name`, if present.
@@ -272,7 +366,7 @@ impl LaneBatch {
     /// coverage against.
     pub fn ensure_name(&mut self, name: &str) {
         if !self.inputs.iter().any(|(n, _)| n == name) {
-            self.inputs.push((name.to_string(), 0));
+            self.inputs.push((name.to_string(), [0u64; LANE_WORDS]));
         }
     }
 
@@ -299,26 +393,26 @@ impl LaneBatch {
         }
     }
 
-    /// The union lane words, ready for [`CompiledFabric::eval_batch`].
+    /// The union lane chunks, ready for [`CompiledFabric::eval_chunks`].
     #[must_use]
-    pub fn lane_inputs(&self) -> Vec<(&str, u64)> {
+    pub fn lane_inputs(&self) -> Vec<(&str, LaneChunk)> {
         self.inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect()
     }
 
     /// Empties the batch for reuse, keeping the input-name capacity.
     pub fn clear(&mut self) {
         self.lanes = 0;
-        for (_, w) in &mut self.inputs {
-            *w = 0;
+        for (_, chunk) in &mut self.inputs {
+            *chunk = [0u64; LANE_WORDS];
         }
     }
 
     /// Demuxes one lane of a pass's outputs back to scalar booleans.
     #[must_use]
-    pub fn extract_lane(outputs: &[(String, u64)], lane: usize) -> Vec<(String, bool)> {
+    pub fn extract_lane(outputs: &[(String, LaneChunk)], lane: usize) -> Vec<(String, bool)> {
         outputs
             .iter()
-            .map(|(n, v)| (n.clone(), (v >> lane) & 1 == 1))
+            .map(|(n, v)| (n.clone(), chunk_bit(v, lane)))
             .collect()
     }
 }
@@ -490,20 +584,26 @@ impl CompiledPlane {
 
 /// Dense lane values of every resource after one batch evaluation.
 ///
-/// Bit `l` of a resource's `u64` is its boolean value in lane (input
-/// vector) `l`. Known-ness is per-resource, not per-lane: whether a
-/// resource resolves depends only on the configuration and which inputs
-/// are driven, never on input values.
+/// Each resource holds a [`LaneChunk`]; lane `l` of the chunk is its
+/// boolean value in input vector `l`. Known-ness is per-resource, not
+/// per-lane: whether a resource resolves depends only on the configuration
+/// and which inputs are driven, never on input values. The single-word
+/// accessors ([`wire`](Self::wire), [`lut_out`](Self::lut_out),
+/// [`io_out`](Self::io_out)) read word 0 — the legacy 64-lane view.
 #[derive(Debug, Clone)]
 pub struct CompiledState {
     layout: ResourceLayout,
-    values: Vec<u64>,
+    values: Vec<LaneChunk>,
     known: Vec<bool>,
 }
 
 impl CompiledState {
-    fn read(&self, id: ResourceId) -> Option<u64> {
+    fn read_chunk(&self, id: ResourceId) -> Option<LaneChunk> {
         self.known[id as usize].then(|| self.values[id as usize])
+    }
+
+    fn read(&self, id: ResourceId) -> Option<u64> {
+        self.read_chunk(id).map(|c| c[0])
     }
 
     /// Marks every resource unknown again. Stale values behind a cleared
@@ -513,22 +613,28 @@ impl CompiledState {
         self.known.fill(false);
     }
 
-    /// Lanes on output wire `(tile, dir, w)`, if resolved.
+    /// Word-0 lanes on output wire `(tile, dir, w)`, if resolved.
     #[must_use]
     pub fn wire(&self, tile: TileCoord, dir: Dir, w: usize) -> Option<u64> {
         self.read(self.layout.wire(tile, dir, w))
     }
 
-    /// LUT output lanes of `tile`, if resolved.
+    /// Word-0 LUT output lanes of `tile`, if resolved.
     #[must_use]
     pub fn lut_out(&self, tile: TileCoord) -> Option<u64> {
         self.read(self.layout.lut_out(tile))
     }
 
-    /// External output port lanes, if resolved.
+    /// Word-0 external output port lanes, if resolved.
     #[must_use]
     pub fn io_out(&self, tile: TileCoord, port: usize) -> Option<u64> {
         self.read(self.layout.io_out(tile, port))
+    }
+
+    /// Full lane chunk of output wire `(tile, dir, w)`, if resolved.
+    #[must_use]
+    pub fn wire_chunk(&self, tile: TileCoord, dir: Dir, w: usize) -> Option<LaneChunk> {
+        self.read_chunk(self.layout.wire(tile, dir, w))
     }
 }
 
@@ -811,7 +917,9 @@ impl CompiledFabric {
         })
     }
 
-    /// Evaluates context `ctx` on up to [`LANES`] input vectors at once.
+    /// Evaluates context `ctx` on up to [`LANES`] input vectors at once —
+    /// the legacy single-word view: each input/output `u64` is word 0 of
+    /// the chunked datapath (see [`Self::eval_chunks`]).
     ///
     /// Bit `l` of each input's `u64` is that signal's value in vector `l`;
     /// outputs use the same lane packing. Unknown-propagation semantics are
@@ -828,12 +936,12 @@ impl CompiledFabric {
     }
 
     /// A scratch state sized for this fabric, reusable across
-    /// [`Self::eval_batch_into`] calls.
+    /// [`Self::eval_chunks_into`] calls.
     #[must_use]
     pub fn new_state(&self) -> CompiledState {
         CompiledState {
             layout: self.layout,
-            values: vec![0u64; self.layout.total()],
+            values: vec![[0u64; LANE_WORDS]; self.layout.total()],
             known: vec![false; self.layout.total()],
         }
     }
@@ -847,6 +955,44 @@ impl CompiledFabric {
         inputs: &[(&str, u64)],
         st: &mut CompiledState,
     ) -> Result<Vec<(String, u64)>, FabricError> {
+        let chunks: Vec<(&str, LaneChunk)> = inputs
+            .iter()
+            .map(|(n, v)| (*n, chunk_of_word(*v)))
+            .collect();
+        let outs = self.eval_chunks_into(ctx, &chunks, 1, st)?;
+        Ok(outs.into_iter().map(|(n, c)| (n, c[0])).collect())
+    }
+
+    /// Evaluates context `ctx` on up to [`MAX_LANES`] input vectors at
+    /// once: lane `l` of each input's [`LaneChunk`] is that signal's value
+    /// in vector `l`, outputs use the same packing.
+    ///
+    /// `words` is the number of 64-lane words actually occupied
+    /// ([`LaneBatch::words`], clamped to `1..=LANE_WORDS`): only those
+    /// words are computed and words past it come back zero, so sparse
+    /// batches pay exactly the old single-word cost. Lanes are fully
+    /// independent — evaluating a chunk is bit-for-bit identical to
+    /// [`LANE_WORDS`] separate [`Self::eval_batch`] passes, one per word.
+    pub fn eval_chunks(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, LaneChunk)],
+        words: usize,
+    ) -> Result<(Vec<(String, LaneChunk)>, CompiledState), FabricError> {
+        let mut st = self.new_state();
+        let outs = self.eval_chunks_into(ctx, inputs, words, &mut st)?;
+        Ok((outs, st))
+    }
+
+    /// [`Self::eval_chunks`] writing into a caller-owned scratch state.
+    pub fn eval_chunks_into(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, LaneChunk)],
+        words: usize,
+        st: &mut CompiledState,
+    ) -> Result<Vec<(String, LaneChunk)>, FabricError> {
+        let words = words.clamp(1, LANE_WORDS);
         let plane = self.plane(ctx)?;
         if st.layout != self.layout {
             // scratch from a differently-shaped fabric: rebuild rather than
@@ -856,11 +1002,18 @@ impl CompiledFabric {
             st.reset();
         }
         for (id, name) in &plane.inputs {
-            let v = inputs
+            let mut v = inputs
                 .iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| *v)
                 .ok_or_else(|| FabricError::Unresolved(format!("input '{name}' not driven")))?;
+            // lanes past the occupied words read as 0, keeping the
+            // invariant that every known chunk is zero beyond `words` —
+            // outputs (and harvested stream registers) then never carry
+            // stale or stray high-word bits
+            for word in v.iter_mut().skip(words) {
+                *word = 0;
+            }
             st.values[*id as usize] = v;
             st.known[*id as usize] = true;
         }
@@ -871,7 +1024,7 @@ impl CompiledFabric {
             for _ in 0..=plane.ops.len() {
                 let mut changed = false;
                 for op in &plane.ops {
-                    changed |= Self::run_op(op, st);
+                    changed |= Self::run_op(op, words, st);
                 }
                 if !changed {
                     break;
@@ -879,23 +1032,24 @@ impl CompiledFabric {
             }
         } else {
             for op in &plane.ops {
-                Self::run_op(op, st);
+                Self::run_op(op, words, st);
             }
         }
 
         let mut outs = Vec::with_capacity(plane.outputs.len());
         for (id, name) in &plane.outputs {
             let v = st
-                .read(*id)
+                .read_chunk(*id)
                 .ok_or_else(|| FabricError::Unresolved(format!("output '{name}' unresolved")))?;
             outs.push((name.clone(), v));
         }
         Ok(outs)
     }
 
-    /// Runs one op; returns true when `dst` transitioned unknown→known.
+    /// Runs one op on the first `words` lane words; returns true when
+    /// `dst` transitioned unknown→known.
     #[inline]
-    fn run_op(op: &Op, st: &mut CompiledState) -> bool {
+    fn run_op(op: &Op, words: usize, st: &mut CompiledState) -> bool {
         match op {
             Op::Copy { src, dst } => {
                 if st.known[*dst as usize] || !st.known[*src as usize] {
@@ -914,19 +1068,26 @@ impl CompiledFabric {
                 if st.known[*dst as usize] {
                     return false;
                 }
-                let mut lanes = [0u64; MultiContextLut::MAX_K];
+                let mut pin_ids = [None; MultiContextLut::MAX_K];
                 for (i, pin) in pins.iter().take(*k as usize).enumerate() {
-                    match pin {
-                        Some(src) => {
-                            if !st.known[*src as usize] {
-                                return false;
-                            }
-                            lanes[i] = st.values[*src as usize];
+                    if let Some(src) = pin {
+                        if !st.known[*src as usize] {
+                            return false;
                         }
-                        None => lanes[i] = 0,
+                        pin_ids[i] = Some(*src as usize);
                     }
                 }
-                st.values[*dst as usize] = lut_lanes(*table, &lanes[..*k as usize]);
+                let mut out = [0u64; LANE_WORDS];
+                for (w, slot) in out.iter_mut().enumerate().take(words) {
+                    let mut lanes = [0u64; MultiContextLut::MAX_K];
+                    for (i, id) in pin_ids.iter().take(*k as usize).enumerate() {
+                        if let Some(id) = id {
+                            lanes[i] = st.values[*id][w];
+                        }
+                    }
+                    *slot = lut_lanes(*table, &lanes[..*k as usize]);
+                }
+                st.values[*dst as usize] = out;
                 st.known[*dst as usize] = true;
                 true
             }
@@ -1135,11 +1296,42 @@ mod tests {
         let ins = batch.lane_inputs();
         let a = ins.iter().find(|(n, _)| *n == "a").unwrap().1;
         let b = ins.iter().find(|(n, _)| *n == "b").unwrap().1;
-        assert_eq!(a, pack_lanes(|l| l % 2 == 0));
-        assert_eq!(b, pack_lanes(|l| l % 3 == 0));
+        assert_eq!(a, chunk_of_word(pack_lanes(|l| l % 2 == 0)));
+        assert_eq!(b, chunk_of_word(pack_lanes(|l| l % 3 == 0)));
         batch.clear();
         assert!(batch.is_empty());
-        assert!(batch.lane_inputs().iter().all(|(_, w)| *w == 0));
+        assert!(batch
+            .lane_inputs()
+            .iter()
+            .all(|(_, w)| *w == [0u64; LANE_WORDS]));
+    }
+
+    #[test]
+    fn wide_batch_fills_past_64_lanes() {
+        let mut batch = LaneBatch::with_width(MAX_LANES).unwrap();
+        assert_eq!(batch.width(), MAX_LANES);
+        assert_eq!(batch.words(), 1, "empty batch still evaluates one word");
+        for i in 0..MAX_LANES {
+            let lane = batch.push(&[("a", i % 2 == 0)]).unwrap();
+            assert_eq!(lane, i);
+        }
+        assert!(batch.is_full());
+        assert_eq!(batch.words(), LANE_WORDS);
+        assert_eq!(batch.push(&[("a", true)]), None, "257th request refused");
+        let a = batch.lane_inputs()[0].1;
+        assert_eq!(a, pack_chunk(|l| l % 2 == 0));
+        // lane 100 lives in word 1 bit 36
+        assert!(chunk_bit(&a, 100));
+        assert!(!chunk_bit(&a, 101));
+        // widths outside 1..=MAX_LANES refuse
+        assert!(LaneBatch::with_width(0).is_err());
+        assert!(LaneBatch::with_width(MAX_LANES + 1).is_err());
+        // 65 occupied lanes need two words
+        let mut b = LaneBatch::with_width(MAX_LANES).unwrap();
+        for _ in 0..65 {
+            b.push(&[("x", true)]).unwrap();
+        }
+        assert_eq!(b.words(), 2);
     }
 
     #[test]
@@ -1161,8 +1353,14 @@ mod tests {
         assert_eq!(b.input_name(1), Some("b"));
         assert_eq!(b.len(), 1);
         let ins = b.lane_inputs();
-        assert_eq!(ins.iter().find(|(n, _)| *n == "a").unwrap().1, 0);
-        assert_eq!(ins.iter().find(|(n, _)| *n == "b").unwrap().1, 1);
+        assert_eq!(
+            ins.iter().find(|(n, _)| *n == "a").unwrap().1,
+            chunk_of_word(0)
+        );
+        assert_eq!(
+            ins.iter().find(|(n, _)| *n == "b").unwrap().1,
+            chunk_of_word(1)
+        );
         // required = 0 behaves like a plain push
         assert_eq!(b.push_covering(&[], 0), Ok(1));
         // a full batch refuses regardless
@@ -1190,11 +1388,48 @@ mod tests {
         for (x0, x1, x2) in requests {
             batch.push(&[("x0", x0), ("x1", x1), ("x2", x2)]).unwrap();
         }
-        let (outs, _) = compiled.eval_batch(0, &batch.lane_inputs()).unwrap();
+        let (outs, _) = compiled
+            .eval_chunks(0, &batch.lane_inputs(), batch.words())
+            .unwrap();
         for (lane, (x0, x1, x2)) in requests.into_iter().enumerate() {
             let scalar = LaneBatch::extract_lane(&outs, lane);
             let want = x0 ^ x1 ^ x2;
             assert_eq!(scalar[0].1, want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn chunked_eval_matches_independent_word_passes() {
+        // one 256-lane chunked pass must be bit-for-bit identical to four
+        // independent 64-lane single-word passes, one per word
+        let nl = generators::parity_tree(3).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 0, 5).unwrap();
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        let chunks: Vec<(String, LaneChunk)> = (0..3)
+            .map(|i| {
+                (
+                    format!("x{i}"),
+                    pack_chunk(|l| (l * 0x9E37 + i * 31) % (i + 2) == 0),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, LaneChunk)> = chunks.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+        let (wide, _) = compiled.eval_chunks(0, &refs, LANE_WORDS).unwrap();
+        for w in 0..LANE_WORDS {
+            let words: Vec<(&str, u64)> = chunks.iter().map(|(n, c)| (n.as_str(), c[w])).collect();
+            let (narrow, _) = compiled.eval_batch(0, &words).unwrap();
+            for ((wn, wc), (nn, nv)) in wide.iter().zip(&narrow) {
+                assert_eq!(wn, nn);
+                assert_eq!(wc[w], *nv, "word {w}");
+            }
+        }
+        // words < LANE_WORDS zeroes the unoccupied words, even when the
+        // input chunk carries stray bits there
+        let (sparse, _) = compiled.eval_chunks(0, &refs, 1).unwrap();
+        for ((_, c), (_, full)) in sparse.iter().zip(&wide) {
+            assert_eq!(c[0], full[0]);
+            assert_eq!(c[1..], [0u64; LANE_WORDS - 1]);
         }
     }
 
@@ -1321,20 +1556,44 @@ mod tests {
         batch.push(&[("a", true), ("b", false)]).unwrap();
         batch.push(&[("a", false), ("b", true)]).unwrap();
         let lanes = batch.len();
-        let inputs: Vec<(String, u64)> = batch
+        let inputs: Vec<(String, LaneChunk)> = batch
             .lane_inputs()
             .into_iter()
             .map(|(n, v)| (n.to_string(), v))
             .collect();
-        let rebuilt = LaneBatch::from_parts(lanes, inputs).unwrap();
+        let rebuilt = LaneBatch::from_parts(LANES, lanes, inputs).unwrap();
         assert_eq!(rebuilt.len(), batch.len());
+        assert_eq!(rebuilt.width(), LANES);
         assert_eq!(rebuilt.lane_inputs(), batch.lane_inputs());
         assert_eq!(rebuilt.name_index("b"), Some(1));
         assert_eq!(rebuilt.name_index("zz"), None);
-        assert!(LaneBatch::from_parts(LANES + 1, Vec::new()).is_err());
+        assert!(LaneBatch::from_parts(LANES, LANES + 1, Vec::new()).is_err());
+        assert!(LaneBatch::from_parts(MAX_LANES, LANES + 1, Vec::new()).is_ok());
         // stray bits beyond the occupied lanes would leak into the next
-        // pushed request's lane — refused
-        assert!(LaneBatch::from_parts(2, vec![("a".to_string(), 0b100)]).is_err());
-        assert!(LaneBatch::from_parts(LANES, vec![("a".to_string(), u64::MAX)]).is_ok());
+        // pushed request's lane — refused, in any word
+        assert!(
+            LaneBatch::from_parts(LANES, 2, vec![("a".to_string(), chunk_of_word(0b100))]).is_err()
+        );
+        assert!(
+            LaneBatch::from_parts(MAX_LANES, 66, vec![("a".to_string(), [0, 0b100, 0, 0])])
+                .is_err()
+        );
+        assert!(LaneBatch::from_parts(
+            LANES,
+            LANES,
+            vec![("a".to_string(), chunk_of_word(u64::MAX))]
+        )
+        .is_ok());
+        assert!(LaneBatch::from_parts(
+            MAX_LANES,
+            MAX_LANES,
+            vec![("a".to_string(), [u64::MAX; LANE_WORDS])]
+        )
+        .is_ok());
+        // occupied lanes within a wider word budget keep their bits
+        let wide =
+            LaneBatch::from_parts(MAX_LANES, 66, vec![("a".to_string(), [!0u64, 0b11, 0, 0])])
+                .unwrap();
+        assert_eq!(wide.words(), 2);
     }
 }

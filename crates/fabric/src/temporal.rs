@@ -9,7 +9,7 @@
 //! every context.
 
 use crate::array::Fabric;
-use crate::compiled::CompiledFabric;
+use crate::compiled::{chunk_of_word, CompiledFabric, LaneChunk};
 use crate::lut::tables;
 use crate::netlist_ir::{LogicNetlist, Node, NodeId};
 use crate::route::{implement_netlist, RoutedDesign};
@@ -17,16 +17,19 @@ use crate::FabricError;
 use std::collections::HashMap;
 
 /// The context register file: values crossing a context-switch boundary,
-/// as named `reg:<node>` lane words (bit `l` = lane `l`'s value).
+/// as named `reg:<node>` [`LaneChunk`]s (lane `l` of the chunk = lane `l`'s
+/// value).
 ///
 /// This is the *suspendable* state of a temporal execution — between two
 /// stages every live intermediate value sits in the register file, which is
 /// why a checkpoint taken at a context-switch boundary (and only there)
 /// captures a design's entire execution state. Entries keep insertion
 /// order, so serializations of the same execution are deterministic.
+/// Single-word callers use [`get`](Self::get)/[`set`](Self::set), which
+/// view word 0 of each chunk — the legacy 64-lane representation.
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RegisterFile {
-    entries: Vec<(String, u64)>,
+    entries: Vec<(String, LaneChunk)>,
 }
 
 impl RegisterFile {
@@ -36,17 +39,29 @@ impl RegisterFile {
         RegisterFile::default()
     }
 
-    /// The lane word of `name`, if written.
+    /// Word 0 of `name`'s chunk, if written.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<u64> {
+        self.get_chunk(name).map(|c| c[0])
+    }
+
+    /// The full lane chunk of `name`, if written.
+    #[must_use]
+    pub fn get_chunk(&self, name: &str) -> Option<LaneChunk> {
         self.entries
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
     }
 
-    /// Writes (or overwrites) one register.
+    /// Writes (or overwrites) one register from a single lane word (words
+    /// 1.. are zeroed).
     pub fn set(&mut self, name: &str, lanes: u64) {
+        self.set_chunk(name, chunk_of_word(lanes));
+    }
+
+    /// Writes (or overwrites) one register's full chunk.
+    pub fn set_chunk(&mut self, name: &str, lanes: LaneChunk) {
         match self.entries.iter_mut().find(|(n, _)| n == name) {
             Some((_, v)) => *v = lanes,
             None => self.entries.push((name.to_string(), lanes)),
@@ -55,7 +70,7 @@ impl RegisterFile {
 
     /// All registers, in first-write order.
     #[must_use]
-    pub fn entries(&self) -> &[(String, u64)] {
+    pub fn entries(&self) -> &[(String, LaneChunk)] {
         &self.entries
     }
 
@@ -79,6 +94,17 @@ impl RegisterFile {
 
 impl FromIterator<(String, u64)> for RegisterFile {
     fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        RegisterFile {
+            entries: iter
+                .into_iter()
+                .map(|(n, v)| (n, chunk_of_word(v)))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(String, LaneChunk)> for RegisterFile {
+    fn from_iter<I: IntoIterator<Item = (String, LaneChunk)>>(iter: I) -> Self {
         RegisterFile {
             entries: iter.into_iter().collect(),
         }
@@ -283,10 +309,11 @@ pub fn execute_stage(
     if sub.lut_count() == 0 && sub.outputs().is_empty() {
         return Ok(Vec::new());
     }
-    // stage inputs: primary inputs + register reads
+    // stage inputs: primary inputs + register reads (word 0 — temporal
+    // execution batches at most 64 user cycles per call)
     let mut stage_inputs: Vec<(&str, u64)> = inputs.to_vec();
     for (name, v) in regs.entries() {
-        stage_inputs.push((name.as_str(), *v));
+        stage_inputs.push((name.as_str(), v[0]));
     }
     let outs = compiled.eval_batch_into(stage, &stage_inputs, scratch)?;
     let mut primary = Vec::new();

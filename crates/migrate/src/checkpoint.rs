@@ -4,7 +4,7 @@ use crate::wire::{Reader, Writer};
 use crate::{MigrateError, FORMAT_VERSION};
 use mcfpga_core::ArchKind;
 use mcfpga_cost::attribution::TenantUsage;
-use mcfpga_fabric::compiled::LANES;
+use mcfpga_fabric::compiled::{LaneChunk, LANE_WORDS, MAX_LANES};
 use mcfpga_fabric::{FabricParams, RegisterFile};
 use serde::{Deserialize, Serialize};
 
@@ -12,9 +12,9 @@ use serde::{Deserialize, Serialize};
 pub const MAGIC: [u8; 4] = *b"MCKP";
 
 /// A tenant's submitted-but-unexecuted requests, exactly as they sit in
-/// the slot's lane batch: the union input names with their lane words
-/// (bit `l` = request `l`'s value) plus the original request ids, lane
-/// order. Restoring re-queues the words unchanged, so the batch evaluates
+/// the slot's lane batch: the union input names with their lane chunks
+/// (lane `l` = request `l`'s value) plus the original request ids, lane
+/// order. Restoring re-queues the chunks unchanged, so the batch evaluates
 /// bit-for-bit as it would have at the source; the ids are an audit trail
 /// (a restore issues *fresh* ids — see the service docs — so a stale
 /// checkpoint can never resurrect requests that were answered or
@@ -23,8 +23,8 @@ pub const MAGIC: [u8; 4] = *b"MCKP";
 pub struct PendingBatch {
     /// Occupied lanes (queued requests).
     pub lanes: usize,
-    /// Union input names and their lane words, union order.
-    pub inputs: Vec<(String, u64)>,
+    /// Union input names and their lane chunks, union order.
+    pub inputs: Vec<(String, LaneChunk)>,
     /// Source-side request ids, lane order (`lanes` entries).
     pub requests: Vec<u64>,
 }
@@ -107,18 +107,22 @@ impl TenantCheckpoint {
         w.u32(self.css_position as u32);
         w.u32(self.pending.lanes as u32);
         w.u32(self.pending.inputs.len() as u32);
-        for (name, word) in &self.pending.inputs {
+        for (name, chunk) in &self.pending.inputs {
             w.string(name);
-            w.u64(*word);
+            for word in chunk {
+                w.u64(*word);
+            }
         }
         w.u32(self.pending.requests.len() as u32);
         for id in &self.pending.requests {
             w.u64(*id);
         }
         w.u32(self.regs.len() as u32);
-        for (name, word) in self.regs.entries() {
+        for (name, chunk) in self.regs.entries() {
             w.string(name);
-            w.u64(*word);
+            for word in chunk {
+                w.u64(*word);
+            }
         }
         let u = &self.usage;
         for counter in [
@@ -146,11 +150,12 @@ impl TenantCheckpoint {
             .sum();
         // magic + version + digest + 7 dims + arch + (ctx, css position,
         // lane count, 3 record counts) + the 8-counter usage block,
-        // then the variable-length records
+        // then the variable-length records (each input/register carries
+        // LANE_WORDS lane words)
         let fixed = 4 + 2 + 8 + 7 * 4 + 1 + 6 * 4 + 8 * 8;
         fixed
             + strings
-            + 8 * (self.pending.inputs.len() + self.regs.len())
+            + 8 * LANE_WORDS * (self.pending.inputs.len() + self.regs.len())
             + 8 * self.pending.requests.len()
     }
 
@@ -194,26 +199,35 @@ impl TenantCheckpoint {
             )));
         }
         let lanes = r.u32()? as usize;
-        if lanes > LANES {
+        if lanes > MAX_LANES {
             return Err(MigrateError::Corrupt(format!(
-                "{lanes} pending lanes exceed the {LANES}-lane batch width"
+                "{lanes} pending lanes exceed the {MAX_LANES}-lane batch width"
             )));
         }
-        let n_inputs = r.count(4 + 8)?;
+        let n_inputs = r.count(4 + 8 * LANE_WORDS)?;
         // bits above the occupied lanes are unreachable from the encoder
         // (the queue keeps them zero) and would corrupt later-submitted
-        // requests after a restore, so they are structural corruption
-        let unoccupied = if lanes == LANES { 0 } else { !0u64 << lanes };
+        // requests after a restore, so they are structural corruption —
+        // checked word by word, since lanes span LANE_WORDS words
         let mut inputs = Vec::with_capacity(n_inputs);
         for _ in 0..n_inputs {
             let name = r.string()?;
-            let word = r.u64()?;
-            if word & unoccupied != 0 {
-                return Err(MigrateError::Corrupt(format!(
-                    "input '{name}' has lane bits set beyond the {lanes} pending lanes"
-                )));
+            let mut chunk = [0u64; LANE_WORDS];
+            for (w, word) in chunk.iter_mut().enumerate() {
+                *word = r.u64()?;
+                let occupied_here = lanes.saturating_sub(w * 64).min(64);
+                let unoccupied = if occupied_here == 64 {
+                    0
+                } else {
+                    !0u64 << occupied_here
+                };
+                if *word & unoccupied != 0 {
+                    return Err(MigrateError::Corrupt(format!(
+                        "input '{name}' has lane bits set beyond the {lanes} pending lanes"
+                    )));
+                }
             }
-            inputs.push((name, word));
+            inputs.push((name, chunk));
         }
         let n_requests = r.count(8)?;
         if n_requests != lanes {
@@ -225,12 +239,15 @@ impl TenantCheckpoint {
         for _ in 0..n_requests {
             requests.push(r.u64()?);
         }
-        let n_regs = r.count(4 + 8)?;
+        let n_regs = r.count(4 + 8 * LANE_WORDS)?;
         let mut regs = RegisterFile::new();
         for _ in 0..n_regs {
             let name = r.string()?;
-            let word = r.u64()?;
-            regs.set(&name, word);
+            let mut chunk = [0u64; LANE_WORDS];
+            for word in &mut chunk {
+                *word = r.u64()?;
+            }
+            regs.set_chunk(&name, chunk);
         }
         let mut counters = [0usize; 8];
         for c in &mut counters {
@@ -283,10 +300,12 @@ mod tests {
             css_position: 1,
             pending: PendingBatch {
                 lanes: 2,
-                inputs: vec![("x".into(), 0b01), ("y".into(), 0b10)],
+                inputs: vec![("x".into(), [0b01, 0, 0, 0]), ("y".into(), [0b10, 0, 0, 0])],
                 requests: vec![17, 18],
             },
-            regs: [("reg:3".to_string(), 0xFFu64)].into_iter().collect(),
+            regs: [("reg:3".to_string(), [0xFFu64, 0xA5, 0, 1])]
+                .into_iter()
+                .collect(),
             usage: TenantUsage {
                 requests: 9,
                 passes: 2,
@@ -351,8 +370,8 @@ mod tests {
     fn impossible_structures_are_corrupt() {
         // lane count beyond the batch width
         let mut ckpt = sample();
-        ckpt.pending.lanes = LANES + 1;
-        ckpt.pending.requests = vec![0; LANES + 1];
+        ckpt.pending.lanes = MAX_LANES + 1;
+        ckpt.pending.requests = vec![0; MAX_LANES + 1];
         assert!(matches!(
             TenantCheckpoint::from_bytes(&ckpt.to_bytes()),
             Err(MigrateError::Corrupt(_))
@@ -374,16 +393,35 @@ mod tests {
         // lane bits beyond the declared lane count (the queue can never
         // produce them; restored they would leak into later requests)
         let mut ckpt = sample();
-        ckpt.pending.inputs[0].1 = 0b101; // bit 2, but lanes == 2
+        ckpt.pending.inputs[0].1 = [0b101, 0, 0, 0]; // bit 2, but lanes == 2
         assert!(matches!(
             TenantCheckpoint::from_bytes(&ckpt.to_bytes()),
             Err(MigrateError::Corrupt(_))
         ));
-        // a full 64-lane batch may use every bit
+        // same, but the stray bit in a high word (lane 65 of a 2-lane batch)
         let mut ckpt = sample();
-        ckpt.pending.lanes = LANES;
-        ckpt.pending.requests = (0..LANES as u64).collect();
-        ckpt.pending.inputs[0].1 = u64::MAX;
+        ckpt.pending.inputs[0].1 = [0b01, 0b10, 0, 0];
+        assert!(matches!(
+            TenantCheckpoint::from_bytes(&ckpt.to_bytes()),
+            Err(MigrateError::Corrupt(_))
+        ));
+        // a full 256-lane batch may use every bit of every word
+        let mut ckpt = sample();
+        ckpt.pending.lanes = MAX_LANES;
+        ckpt.pending.requests = (0..MAX_LANES as u64).collect();
+        ckpt.pending.inputs[0].1 = [u64::MAX; LANE_WORDS];
         assert!(TenantCheckpoint::from_bytes(&ckpt.to_bytes()).is_ok());
+        // 65 occupied lanes: word-1 bit 0 legal, bit 1 corrupt
+        let mut ckpt = sample();
+        ckpt.pending.lanes = 65;
+        ckpt.pending.requests = (0..65).collect();
+        ckpt.pending.inputs[0].1 = [u64::MAX, 0b1, 0, 0];
+        ckpt.pending.inputs[1].1 = [0, 0, 0, 0];
+        assert!(TenantCheckpoint::from_bytes(&ckpt.to_bytes()).is_ok());
+        ckpt.pending.inputs[0].1 = [u64::MAX, 0b10, 0, 0];
+        assert!(matches!(
+            TenantCheckpoint::from_bytes(&ckpt.to_bytes()),
+            Err(MigrateError::Corrupt(_))
+        ));
     }
 }

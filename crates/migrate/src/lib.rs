@@ -70,8 +70,10 @@ pub use checkpoint::{PendingBatch, TenantCheckpoint};
 
 /// Version stamped into every serialized checkpoint. Bump on any layout
 /// change; decoders reject other versions with
-/// [`MigrateError::VersionMismatch`].
-pub const FORMAT_VERSION: u16 = 1;
+/// [`MigrateError::VersionMismatch`]. Version 2 widened every pending
+/// input and stream register from one lane word to a 4-word
+/// [`LaneChunk`](mcfpga_fabric::compiled::LaneChunk) (256 lanes).
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Errors from checkpoint serialization and migration.
 #[derive(Debug, Clone, PartialEq, Eq)]

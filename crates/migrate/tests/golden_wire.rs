@@ -1,4 +1,4 @@
-//! Golden-file pin of checkpoint wire format v1.
+//! Golden-file pin of checkpoint wire format v2.
 //!
 //! The hex blob below is the canonical encoding of a fixed checkpoint. If
 //! this test fails, the wire format changed: bump
@@ -6,15 +6,25 @@
 //! old-version rejection test honest — never silently re-pin.
 
 use mcfpga_cost::attribution::TenantUsage;
+use mcfpga_fabric::compiled::{LaneChunk, LANE_WORDS};
 use mcfpga_fabric::{FabricParams, RegisterFile};
 use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint, FORMAT_VERSION};
 
-/// Canonical v1 encoding of [`golden_checkpoint`].
-const GOLDEN_HEX: &str = "4d434b50000100000006676f6c64656e0123456789abcdef000000040000000\
-4000000020000000400000004000000020000000202000000010000000300000002000000020000000278300000000\
-0000000010000000278310000000000000002000000020000000000000028000000000000002900000001000000057\
-265673a3700000000deadbeef0000000000000082000000000000000300000000000000050000000000000008000000\
-0000000001000000000000000200000000000000030000000000000004";
+/// Canonical v2 encoding of [`golden_checkpoint`].
+const GOLDEN_HEX: &str = "4d434b50000200000006676f6c64656e0123456789abcdef00000004000000040000000200000004000000040000000\
+20000000202000000010000000300000002000000020000000278300000000000000001000000000000000000000000\
+00000000000000000000000000000002783100000000000000020000000000000000000000000000000000000000000\
+00000000000020000000000000028000000000000002900000001000000057265673a3700000000deadbeef00000000\
+00000000000000000000000000000000000000550000000000000082000000000000000300000000000000050000000\
+0000000080000000000000001000000000000000200000000000000030000000000000004";
+
+/// A chunk whose word 0 is `w` — how v1's single-word values appear after
+/// the v2 widening.
+fn chunk(w: u64) -> LaneChunk {
+    let mut c = [0u64; LANE_WORDS];
+    c[0] = w;
+    c
+}
 
 fn golden_checkpoint() -> TenantCheckpoint {
     TenantCheckpoint {
@@ -25,10 +35,12 @@ fn golden_checkpoint() -> TenantCheckpoint {
         css_position: 3,
         pending: PendingBatch {
             lanes: 2,
-            inputs: vec![("x0".into(), 0b01), ("x1".into(), 0b10)],
+            inputs: vec![("x0".into(), chunk(0b01)), ("x1".into(), chunk(0b10))],
             requests: vec![40, 41],
         },
-        regs: [("reg:7".to_string(), 0xDEAD_BEEFu64)]
+        // a nonzero upper word pins the full 4-word chunk encoding, not
+        // just the word-0 compatibility slice
+        regs: [("reg:7".to_string(), [0xDEAD_BEEF, 0, 0, 0x55] as LaneChunk)]
             .into_iter()
             .collect::<RegisterFile>(),
         usage: TenantUsage {
@@ -52,16 +64,16 @@ fn golden_bytes() -> Vec<u8> {
 }
 
 #[test]
-fn v1_encoding_is_pinned() {
+fn v2_encoding_is_pinned() {
     assert_eq!(
         golden_checkpoint().to_bytes(),
         golden_bytes(),
-        "wire format drifted from the v1 golden blob — bump FORMAT_VERSION"
+        "wire format drifted from the v2 golden blob — bump FORMAT_VERSION"
     );
 }
 
 #[test]
-fn v1_golden_blob_decodes_to_the_fixture() {
+fn v2_golden_blob_decodes_to_the_fixture() {
     let decoded = TenantCheckpoint::from_bytes(&golden_bytes()).unwrap();
     assert_eq!(decoded, golden_checkpoint());
 }

@@ -142,7 +142,10 @@ proptest! {
             svc.drain().unwrap();
         }
 
-        // 63 lanes pending at the boundary (the 64th would auto-flush)
+        // 63 lanes pending at the boundary — under the 256-lane default
+        // width nothing auto-flushes, and the count keeps every lane in
+        // chunk word 0, so the checkpoint also restores onto a 64-wide
+        // destination unchanged
         submit_identical(&mut svc, &[twin, source], &names, &mut rng, LANES - 1);
 
         // checkpoint → wire bytes → parse → restore on the fresh shard
@@ -159,8 +162,8 @@ proptest! {
             prop_assert!(slot.ctx != parsed.ctx, "filler must have forced a rebase");
         }
 
-        // the 64th request fills the restored slot's last lane, so the
-        // destination executes a genuinely full 64-lane pass
+        // a 64th request on top of the restored 63, so the destination's
+        // next pass carries a full chunk word of genuinely mixed lanes
         submit_identical(&mut svc, &[twin, source, restored], &names, &mut rng, 1);
 
         let all = svc.drain().unwrap();

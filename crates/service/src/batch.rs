@@ -12,7 +12,8 @@
 //! work; execution (and therefore flushing policy) belongs to the engine.
 
 use crate::registry::TenantId;
-use mcfpga_fabric::compiled::{LaneBatch, PushRefusal};
+use mcfpga_fabric::compiled::{LaneBatch, PushRefusal, LANES};
+use mcfpga_fabric::FabricError;
 use std::sync::Arc;
 
 /// Opaque handle of one submitted request.
@@ -77,7 +78,7 @@ pub struct Response {
 }
 
 /// Work pending on one context slot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct PendingSlot {
     batch: LaneBatch,
     tickets: Vec<(RequestId, TenantId)>,
@@ -86,11 +87,24 @@ struct PendingSlot {
     seeded: usize,
 }
 
+impl PendingSlot {
+    fn with_width(width: usize) -> Result<Self, FabricError> {
+        Ok(PendingSlot {
+            batch: LaneBatch::with_width(width)?,
+            tickets: Vec::new(),
+            seeded: 0,
+        })
+    }
+}
+
 /// One shard's per-context accumulation of single-vector requests into
-/// lane batches.
+/// lane batches. Every slot batches up to [`width`](Self::width) lanes —
+/// the queue remembers its width so freed and taken slots are rebuilt at
+/// the same capacity.
 #[derive(Debug, Clone)]
 pub struct BatchQueue {
     slots: Vec<PendingSlot>,
+    width: usize,
 }
 
 /// A slot's pending work, handed out by [`BatchQueue::take`].
@@ -103,12 +117,28 @@ pub struct TakenBatch {
 }
 
 impl BatchQueue {
-    /// An empty queue over one shard's `contexts` slots.
+    /// An empty queue over one shard's `contexts` slots at the legacy
+    /// width of [`LANES`] (64) lanes per slot.
     #[must_use]
     pub fn new(contexts: usize) -> Self {
-        BatchQueue {
-            slots: vec![PendingSlot::default(); contexts],
+        Self::with_width(contexts, LANES).expect("the 64-lane legacy width is always valid")
+    }
+
+    /// An empty queue whose every slot batches up to `width` lanes
+    /// (`1..=MAX_LANES`; see
+    /// [`mcfpga_fabric::compiled::MAX_LANES`]).
+    pub fn with_width(contexts: usize, width: usize) -> Result<Self, FabricError> {
+        let mut slots = Vec::with_capacity(contexts);
+        for _ in 0..contexts {
+            slots.push(PendingSlot::with_width(width)?);
         }
+        Ok(BatchQueue { slots, width })
+    }
+
+    /// Lanes per slot.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Seeds a slot's canonical input-name prefix (bound inputs, in bind
@@ -134,7 +164,8 @@ impl BatchQueue {
     /// it drives the slot's whole canonical prefix (see
     /// [`seed`](Self::seed)). Mints the request id from the coordinator's
     /// `ids` source only on success, and returns it with whether the
-    /// slot's 64 lanes are now full (the caller should flush before the
+    /// slot's [`width`](Self::width) lanes are now full (the caller should
+    /// flush before the
     /// next enqueue). [`PushRefusal::Full`] means the slot already holds a
     /// full, unflushed batch (a previous flush failed and left its requests
     /// queued); [`PushRefusal::MissingInput`] leaves the slot unchanged.
@@ -238,7 +269,8 @@ impl BatchQueue {
     /// and a future occupant seeding on top of them would compute a
     /// canonical prefix longer than its own union, refusing every submit.
     pub fn clear_slot(&mut self, ctx: usize) {
-        self.slots[ctx] = PendingSlot::default();
+        self.slots[ctx] =
+            PendingSlot::with_width(self.width).expect("width validated at construction");
     }
 
     /// Removes and returns a slot's pending work, or `None` when empty.
@@ -250,8 +282,12 @@ impl BatchQueue {
         if slot.batch.is_empty() {
             return None;
         }
+        // replace with a fresh batch at the queue's own width — a
+        // `mem::take` default would silently shrink the slot back to the
+        // legacy 64 lanes on any take that is not recycled
+        let fresh = LaneBatch::with_width(self.width).expect("width validated at construction");
         Some(TakenBatch {
-            batch: std::mem::take(&mut slot.batch),
+            batch: std::mem::replace(&mut slot.batch, fresh),
             tickets: std::mem::take(&mut slot.tickets),
         })
     }
@@ -369,6 +405,40 @@ mod tests {
             Err(PushRefusal::MissingInput(0))
         );
         q.enqueue(0, t, &[("a", false)], &mut ids).unwrap();
+    }
+
+    #[test]
+    fn wide_queue_fills_past_64_and_keeps_width_through_take_and_clear() {
+        use mcfpga_fabric::compiled::MAX_LANES;
+        let mut reg = crate::TenantRegistry::new(1, 2).unwrap();
+        let t = tenant(&mut reg, "a");
+        let mut q = BatchQueue::with_width(2, 128).unwrap();
+        assert_eq!(q.width(), 128);
+        let mut ids = RequestIdSource::new();
+        for i in 0..128 {
+            let (_, full) = q.enqueue(0, t, &[("x", i % 2 == 0)], &mut ids).unwrap();
+            assert_eq!(full, i == 127, "lane {i}");
+        }
+        assert_eq!(
+            q.enqueue(0, t, &[("x", true)], &mut ids),
+            Err(PushRefusal::Full)
+        );
+        // take hands out the 128-lane batch and leaves a 128-wide slot
+        let taken = q.take(0).unwrap();
+        assert_eq!(taken.batch.len(), 128);
+        for i in 0..65 {
+            q.enqueue(0, t, &[("x", true)], &mut ids)
+                .unwrap_or_else(|e| panic!("lane {i} after take refused: {e:?}"));
+        }
+        // clear_slot also rebuilds at the queue's width, not the default
+        q.clear_slot(1);
+        for _ in 0..65 {
+            q.enqueue(1, t, &[("y", false)], &mut ids).unwrap();
+        }
+        assert_eq!(q.pending_total(), 65 + 65);
+        // width bounds are validated
+        assert!(BatchQueue::with_width(1, 0).is_err());
+        assert!(BatchQueue::with_width(1, MAX_LANES + 1).is_err());
     }
 
     #[test]

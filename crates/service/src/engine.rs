@@ -5,21 +5,29 @@
 //! per-context compiled planes (Arc-shared through the coordinator's plane
 //! cache — installing a plane clones a pointer, never a plane), its own
 //! [`ContextSequencer`] (CSS broadcast position is per-shard physical
-//! state), its partition of the service's batch queue, a reusable
-//! evaluation scratch, and the usage counters + stream-register files of
-//! the tenants placed on it.
+//! state), its partition of the service's batch queue, and the usage
+//! counters + stream-register files of the tenants placed on it.
 //!
-//! Shards are data-independent by construction — the paper's multi-context
-//! fabric exists precisely so configuration planes progress without
-//! interfering — so engines can run their sweeps concurrently. What keeps
-//! parallel execution *observably identical* to sequential execution is
-//! the split of [`run_sweep`](ShardEngine::run_sweep)'s effects:
+//! A sweep is split into three phases so its only parallel part is pure:
 //!
-//! * engine-local state (sequencer position, queue slots, registers,
-//!   scratch) mutates in place — no other engine can see it;
-//! * externally visible outputs (responses, faults, usage deltas) are
-//!   **returned** as a [`SweepOutcome`] and merged by the coordinator in
-//!   shard-then-lane order, never in thread-completion order.
+//! 1. **Plan** (`plan_sweep`), sequential on
+//!    the coordinator: the CSS schedule is computed, the broadcast steps
+//!    through it (switch toggles are charged here — the broadcast spends
+//!    that energy whether or not the pass later resolves), and each active
+//!    slot becomes one owned `PlannedStep` carrying its compiled-plane
+//!    `Arc`, input lane chunks (queued requests plus the tenant's `reg:*`
+//!    stream state) and its `(shard, sweep-position)` merge key.
+//! 2. **Eval** (`eval_step`), the only concurrent phase: a pure
+//!    function from a `PlannedStep` to output lane chunks, safe to run on
+//!    any worker in any order — steps share nothing but immutable `Arc`s
+//!    and a per-thread scratch.
+//! 3. **Apply** (`apply_step`), sequential on
+//!    the coordinator **in merge-key order** (shard, then sweep
+//!    position): consumes the slot's batch on success, harvests `reg:*`
+//!    chunks, demuxes responses, records a [`crate::service::SlotFault`]
+//!    on failure (requests stay queued). Thread completion order never
+//!    reaches this phase, so output is bit-for-bit identical at every
+//!    worker count and lane width.
 //!
 //! Tenant mobility across engines is an explicit two-step handoff —
 //! `expel` on the source, then `adopt` on the destination (both
@@ -33,12 +41,15 @@ use crate::batch::{BatchQueue, RequestId, RequestIdSource, Response, TakenBatch}
 use crate::registry::TenantId;
 use crate::service::SlotFault;
 use crate::ServiceError;
-use mcfpga_cost::attribution::{TenantUsage, UsageLedger};
+use mcfpga_cost::attribution::TenantUsage;
 use mcfpga_css::optimize::{CostMatrix, OptimizeMode};
 use mcfpga_css::Schedule;
-use mcfpga_fabric::compiled::{CompiledState, LaneBatch, PushRefusal};
+use mcfpga_fabric::compiled::{
+    chunk_bit, CompiledState, LaneBatch, LaneChunk, PushRefusal, LANE_WORDS,
+};
 use mcfpga_fabric::context::ContextSequencer;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, RegisterFile};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -71,30 +82,61 @@ pub(crate) struct TenantHandoff {
     pub batch: Option<TakenBatch>,
 }
 
-/// The externally visible outputs of one engine sweep, returned to the
-/// coordinator for the deterministic shard-then-lane merge. Everything in
-/// here is ordered by the engine's own sequential sweep (slot execution
-/// order, then lane order within a slot) — concatenating outcomes in
-/// shard order therefore reproduces the sequential service's output
-/// exactly, regardless of which worker thread ran which engine.
-#[derive(Debug, Default)]
-pub struct SweepOutcome {
-    /// Completed responses, slot-then-lane order.
-    pub responses: Vec<Response>,
-    /// Failed passes (requests stay queued), slot order.
-    pub faults: Vec<SlotFault>,
-    /// Usage charged during the sweep, keyed by tenant, charge order. The
-    /// coordinator absorbs this back into the owning engine's tenant
-    /// states after the merge — billing is part of the merged output, not
-    /// a side effect racing inside the sweep.
-    pub usage: UsageLedger<TenantId>,
-    /// A structural failure that stopped the sweep early (a broken
-    /// schedule domain or plane invariant — never a mere failed pass,
-    /// which is a [`SlotFault`]). Carried *alongside* the outputs of the
-    /// slots that completed first, so the coordinator can merge those
-    /// before propagating the error; dropping them would lose consumed
-    /// requests.
-    pub error: Option<ServiceError>,
+/// One per-context sweep task, planned sequentially and evaluated (maybe
+/// concurrently, maybe stolen onto a different worker) by [`eval_step`].
+/// Owns everything its evaluation needs — plane `Arc`, input chunks,
+/// occupied word count — so the worker borrows nothing from the engine:
+/// the engine's queue still holds the slot's batch, which is consumed
+/// only at apply time on success, and the `(shard, pos)` pair is the
+/// deterministic merge key the coordinator orders applies by.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedStep {
+    /// Shard of the slot (first half of the merge key, and the pool
+    /// affinity hint).
+    pub shard: usize,
+    /// Position within the shard's planned sweep (second half of the
+    /// merge key).
+    pub pos: usize,
+    /// The context slot to evaluate.
+    pub ctx: usize,
+    /// The slot's occupant.
+    pub tenant: TenantId,
+    /// Occupied 64-lane words ([`LaneBatch::words`]) — sparse batches pay
+    /// for only the words they fill.
+    pub words: usize,
+    /// The slot's compiled plane (shared, immutable).
+    pub plane: Arc<CompiledFabric>,
+    /// Union input chunks: the queued requests' lane words plus the
+    /// tenant's `reg:*` stream state, captured at plan time.
+    pub lane_inputs: Vec<(String, LaneChunk)>,
+}
+
+thread_local! {
+    /// Per-thread evaluation scratch, reused across steps: pool workers
+    /// and the coordinator thread each keep one, so steady-state sweeps
+    /// re-allocate no arenas. `eval_chunks_into` rebuilds it when a
+    /// plane's resource layout differs from the scratch's.
+    static EVAL_SCRATCH: RefCell<Option<CompiledState>> = const { RefCell::new(None) };
+}
+
+/// Evaluates one planned step — the **pure** phase of a sweep, safe on
+/// any thread: reads only the step's own data (and a thread-local
+/// scratch), mutates no engine state. An `Err` here is the *pass*
+/// failing; [`ShardEngine::apply_step`] turns it into a
+/// [`SlotFault`] with the requests left queued.
+pub(crate) fn eval_step(step: &PlannedStep) -> Result<Vec<(String, LaneChunk)>, ServiceError> {
+    let inputs: Vec<(&str, LaneChunk)> = step
+        .lane_inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    EVAL_SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let scratch = slot.get_or_insert_with(|| step.plane.new_state());
+        step.plane
+            .eval_chunks_into(step.ctx, &inputs, step.words, scratch)
+            .map_err(ServiceError::from)
+    })
 }
 
 /// One independent fabric shard's execution engine. See the
@@ -107,8 +149,6 @@ pub struct ShardEngine {
     /// Per-context compiled plane (Arc-shared through the digest cache).
     planes: Vec<Option<Arc<CompiledFabric>>>,
     seq: ContextSequencer,
-    /// Reusable evaluation scratch (all planes share one layout).
-    scratch: Option<CompiledState>,
     /// This shard's partition of the service's pending work.
     queue: BatchQueue,
     /// Usage + stream registers of tenants placed on this shard.
@@ -116,17 +156,46 @@ pub struct ShardEngine {
 }
 
 impl ShardEngine {
-    /// A fresh engine for shard `shard` with geometry `params`.
-    pub fn new(shard: usize, params: FabricParams) -> Result<Self, ServiceError> {
+    /// A fresh engine for shard `shard` with geometry `params`, batching
+    /// up to `lane_width` requests per slot per pass.
+    pub fn new(
+        shard: usize,
+        params: FabricParams,
+        lane_width: usize,
+    ) -> Result<Self, ServiceError> {
         Ok(ShardEngine {
             shard,
             fabric: Fabric::new(params)?,
             planes: vec![None; params.contexts],
             seq: ContextSequencer::new(params.arch, params.contexts)?,
-            scratch: None,
-            queue: BatchQueue::new(params.contexts),
+            queue: BatchQueue::with_width(params.contexts, lane_width)?,
             tenants: HashMap::new(),
         })
+    }
+
+    /// Lanes coalesced per slot per pass.
+    #[must_use]
+    pub fn lane_width(&self) -> usize {
+        self.queue.width()
+    }
+
+    /// Rebuilds this engine's queue partition at `width` lanes per slot
+    /// and re-seeds every programmed slot's canonical prefix. The
+    /// coordinator guarantees no work is pending (it refuses the width
+    /// change otherwise — a rebuild would silently drop queued requests).
+    pub(crate) fn set_lane_width(&mut self, width: usize) -> Result<(), ServiceError> {
+        debug_assert_eq!(
+            self.queue.pending_total(),
+            0,
+            "lane-width change with requests pending"
+        );
+        self.queue = BatchQueue::with_width(self.planes.len(), width)?;
+        for ctx in 0..self.planes.len() {
+            if self.planes[ctx].is_some() {
+                self.seed_slot(ctx)?;
+            }
+        }
+        Ok(())
     }
 
     /// This engine's shard index.
@@ -226,7 +295,7 @@ impl ShardEngine {
     }
 
     /// Enqueues one request on `ctx`'s lane batch, charging the tenant's
-    /// request counter. Returns the minted id and whether the slot's 64
+    /// request counter. Returns the minted id and whether the slot's
     /// lanes are now full (the coordinator should flush this engine).
     pub(crate) fn submit(
         &mut self,
@@ -347,58 +416,43 @@ impl ShardEngine {
         Ok(())
     }
 
-    /// Absorbs a sweep's usage ledger into the engine's tenant states —
-    /// the coordinator calls this during the merge, in shard order.
-    pub(crate) fn absorb_usage(&mut self, ledger: &UsageLedger<TenantId>) {
-        for (tenant, delta) in ledger.entries() {
-            if let Some(state) = self.tenants.get_mut(tenant) {
-                state.usage.absorb(delta);
-            }
-        }
-    }
-
-    /// Executes the pending batches of this shard's `active` slots — each
+    /// Plans this shard's sweep over its `active` slots — each
     /// `(context, occupant)` precomputed by the coordinator — in CSS
     /// schedule order, reordered for minimum broadcast toggles under
-    /// [`OptimizeMode::Optimized`]. Engine-local state (sequencer, queue,
-    /// registers, scratch) mutates in place; everything externally visible
-    /// is returned in the [`SweepOutcome`] for the coordinator's
-    /// deterministic merge. CSS switch energy is charged to the tenant
-    /// switched in, alongside the *baseline* toggles the naive ascending
-    /// order would have charged (so each bill carries what the optimizer
-    /// saved; see [`mcfpga_cost::attribution`]).
+    /// [`OptimizeMode::Optimized`]. One [`PlannedStep`] is appended to
+    /// `steps` per active slot with queued work, carrying its
+    /// `(shard, pos)` merge key.
     ///
-    /// A slot's batch is removed from the queue only *after* its pass
-    /// succeeds — a failed pass records a [`SlotFault`], keeps its requests
-    /// queued, and moves on to the next context, so no issued [`RequestId`]
-    /// is ever silently dropped and no slot blocks its neighbours.
+    /// Planning **is** the sweep's switch sequence: the sequencer steps
+    /// through the schedule here, and CSS switch energy is charged to the
+    /// tenant switched in, alongside the *baseline* toggles the naive
+    /// ascending order would have charged (so each bill carries what the
+    /// optimizer saved; see [`mcfpga_cost::attribution`]). The broadcast
+    /// spends that energy whether or not the step's pass later resolves.
     ///
-    /// Never returns `Err`: a *structural* failure (a broken schedule
-    /// domain or plane invariant) stops the sweep but is carried in
-    /// [`SweepOutcome::error`] **alongside everything already executed** —
-    /// slots completed before the failure consumed their batches, so
-    /// discarding their responses would break queue conservation.
-    pub fn run_sweep(
+    /// A structural failure (a broken schedule domain or plane invariant
+    /// — never a mere failed pass, which surfaces at apply time as a
+    /// [`SlotFault`]) stops the planning and is returned **alongside**
+    /// the steps planned first: those steps still evaluate and apply, so
+    /// no already-scheduled switch loses its pass.
+    pub(crate) fn plan_sweep(
         &mut self,
         active: &[(usize, TenantId)],
         optimize: OptimizeMode,
         matrix: &CostMatrix,
-    ) -> SweepOutcome {
-        let mut out = SweepOutcome::default();
-        if let Err(e) = self.sweep_into(active, optimize, matrix, &mut out) {
-            out.error = Some(e);
-        }
-        out
+        steps: &mut Vec<PlannedStep>,
+    ) -> Option<ServiceError> {
+        self.plan_into(active, optimize, matrix, steps).err()
     }
 
-    /// [`run_sweep`](Self::run_sweep)'s body, writing incrementally into
-    /// `out` so an early return loses nothing already executed.
-    fn sweep_into(
+    /// [`plan_sweep`](Self::plan_sweep)'s body; an early `?` loses no
+    /// step already pushed.
+    fn plan_into(
         &mut self,
         active: &[(usize, TenantId)],
         optimize: OptimizeMode,
         matrix: &CostMatrix,
-        out: &mut SweepOutcome,
+        steps: &mut Vec<PlannedStep>,
     ) -> Result<(), ServiceError> {
         if active.is_empty() {
             return Ok(());
@@ -417,6 +471,7 @@ impl ShardEngine {
             .zip(matrix.step_costs(Some(start), naive.as_slice())?)
             .collect();
         let schedule = self.seq.plan_sweep_with(&naive, optimize, matrix)?;
+        let mut pos = 0;
         for ctx in schedule.iter() {
             let Some(batch) = self.queue.slot(ctx) else {
                 continue;
@@ -435,93 +490,126 @@ impl ShardEngine {
                     shard: self.shard,
                     ctx,
                 })?;
-            // the CSS broadcast swaps the active plane; its toggles are
-            // charged at switch time — the broadcast network spent that
-            // energy whether or not the pass below resolves
             let toggles = self.seq.step_to(ctx)?;
-            let charge = out.usage.charge(tenant);
-            charge.css_toggles += toggles;
-            charge.css_toggles_baseline += baseline
+            let toggles_baseline = baseline
                 .iter()
                 .find(|(c, _)| *c == ctx)
                 .map_or(toggles, |(_, cost)| *cost);
+            let usage = &mut self
+                .tenants
+                .get_mut(&tenant)
+                .ok_or(ServiceError::UnknownTenant(tenant.index()))?
+                .usage;
+            usage.css_toggles += toggles;
+            usage.css_toggles_baseline += toggles_baseline;
             // stream registers: every bound `reg:*` input reads the
-            // tenant's word from its previous pass (0 before the first) —
+            // tenant's chunk from its previous pass (0 before the first) —
             // lane-aligned, so lane `l` of pass `p+1` consumes the state
             // lane `l` of pass `p` produced. A request that drove the name
             // explicitly wins (the batch entry resolves first), which is
             // how a caller seeds stream state by hand.
             let binds = plane.plane(ctx)?.input_binds();
             let tenant_regs = &self.tenant_state(tenant)?.regs;
-            let mut lane_inputs = batch.lane_inputs();
+            let mut lane_inputs: Vec<(String, LaneChunk)> = batch
+                .lane_inputs()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
             for (_, name) in binds {
                 if name.starts_with(REG_PREFIX) && !lane_inputs.iter().any(|(n, _)| n == name) {
-                    lane_inputs.push((name.as_str(), tenant_regs.get(name).unwrap_or(0)));
+                    lane_inputs.push((
+                        name.clone(),
+                        tenant_regs.get_chunk(name).unwrap_or([0u64; LANE_WORDS]),
+                    ));
                 }
             }
-            let scratch = self.scratch.get_or_insert_with(|| plane.new_state());
-            let outs = match plane.eval_batch_into(ctx, &lane_inputs, scratch) {
-                Ok(outs) => outs,
-                Err(e) => {
-                    out.faults.push(SlotFault {
-                        tenant,
-                        shard: self.shard,
-                        ctx,
-                        error: e.into(),
-                    });
-                    continue;
-                }
-            };
-            // resolve the register file before consuming the batch: from
-            // here to the demux below nothing may fail, or taken requests
-            // would vanish unanswered (existence was already checked by
-            // the read above, so this cannot practically fail)
-            let tenant_regs = &mut self
-                .tenants
-                .get_mut(&tenant)
-                .ok_or(ServiceError::UnknownTenant(tenant.index()))?
-                .regs;
-            let taken = self
-                .queue
-                .take(ctx)
-                .expect("slot was non-empty and the pass just succeeded");
-            out.usage.charge(tenant).passes += 1;
-            // `reg:*` outputs are state, not answers: harvest them into the
-            // register file; only the visible outputs demux into responses.
-            // One Arc per visible name, shared by all the pass's responses —
-            // demuxing a full 64-lane batch allocates no strings
-            let mut visible: Vec<(Arc<str>, u64)> = Vec::with_capacity(outs.len());
-            for (name, word) in &outs {
-                if name.starts_with(REG_PREFIX) {
-                    tenant_regs.set(name, *word);
-                } else {
-                    visible.push((Arc::from(name.as_str()), *word));
-                }
-            }
-            for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
-                out.responses.push(Response {
-                    request: *request,
-                    tenant: *owner,
-                    outputs: visible
-                        .iter()
-                        .map(|(n, word)| (Arc::clone(n), (word >> lane) & 1 == 1))
-                        .collect(),
-                });
-            }
-            // hand the emptied buffers back to the slot (cleared, capacity
-            // kept) so steady-state flushes re-allocate nothing
-            self.queue.recycle(ctx, taken);
+            steps.push(PlannedStep {
+                shard: self.shard,
+                pos,
+                ctx,
+                tenant,
+                words: batch.words(),
+                plane,
+                lane_inputs,
+            });
+            pos += 1;
         }
+        Ok(())
+    }
+
+    /// Applies one evaluated step — the coordinator calls this
+    /// sequentially, in merge-key order. On a failed pass the slot's
+    /// requests stay queued and a [`SlotFault`] is recorded (the switch
+    /// into the context was already charged at plan time). On success the
+    /// slot's batch is consumed: `reg:*` output chunks are harvested into
+    /// the tenant's register file (state, not answers) and the visible
+    /// outputs demux into per-lane responses. An `Err` from *this*
+    /// function is structural (the planned tenant vanished mid-drain) and
+    /// practically unreachable — the coordinator sequences every mutation
+    /// between plan and apply.
+    pub(crate) fn apply_step(
+        &mut self,
+        step: &PlannedStep,
+        outs: Result<Vec<(String, LaneChunk)>, ServiceError>,
+        responses: &mut Vec<Response>,
+        faults: &mut Vec<SlotFault>,
+    ) -> Result<(), ServiceError> {
+        debug_assert_eq!(step.shard, self.shard, "step applied to the wrong engine");
+        let outs = match outs {
+            Ok(outs) => outs,
+            Err(error) => {
+                faults.push(SlotFault {
+                    tenant: step.tenant,
+                    shard: self.shard,
+                    ctx: step.ctx,
+                    error,
+                });
+                return Ok(());
+            }
+        };
+        let state = self
+            .tenants
+            .get_mut(&step.tenant)
+            .ok_or(ServiceError::UnknownTenant(step.tenant.index()))?;
+        let taken = self
+            .queue
+            .take(step.ctx)
+            .expect("planned slot was non-empty and its pass succeeded");
+        state.usage.passes += 1;
+        // One Arc per visible name, shared by all the pass's responses —
+        // demuxing a full batch allocates no strings
+        let mut visible: Vec<(Arc<str>, LaneChunk)> = Vec::with_capacity(outs.len());
+        for (name, chunk) in &outs {
+            if name.starts_with(REG_PREFIX) {
+                state.regs.set_chunk(name, *chunk);
+            } else {
+                visible.push((Arc::from(name.as_str()), *chunk));
+            }
+        }
+        for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
+            responses.push(Response {
+                request: *request,
+                tenant: *owner,
+                outputs: visible
+                    .iter()
+                    .map(|(n, chunk)| (Arc::clone(n), chunk_bit(chunk, lane)))
+                    .collect(),
+            });
+        }
+        // hand the emptied buffers back to the slot (cleared, capacity
+        // kept) so steady-state flushes re-allocate nothing
+        self.queue.recycle(step.ctx, taken);
         Ok(())
     }
 }
 
 // A future `Rc`, raw pointer or other non-thread-safe field anywhere in
-// the engine's ownership tree must fail the *build*, not a code review:
-// the parallel executor moves `&mut ShardEngine` across worker threads.
+// these ownership trees must fail the *build*, not a code review: the
+// worker pool moves owned `PlannedStep`s across threads, and engines are
+// carried inside `ShardedService` clones.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ShardEngine>();
-    assert_send_sync::<SweepOutcome>();
+    assert_send_sync::<PlannedStep>();
     assert_send_sync::<ServiceError>();
 };

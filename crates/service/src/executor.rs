@@ -1,117 +1,479 @@
-//! A deterministic scoped-thread fan-out over per-shard engines.
+//! A persistent, work-stealing worker pool for the service's parallel
+//! drain.
 //!
-//! [`ParallelExecutor::run`] applies one closure to every element of a
-//! mutable slice, using `std::thread::scope` workers — no external
-//! dependencies, no `unsafe`, no 'static bounds (the engines stay borrowed
-//! from the service). Each element is processed by **exactly one** worker
-//! and **sequentially within** that worker, and results come back in slice
-//! order regardless of which thread finished first — so the only
-//! nondeterminism threads could introduce (completion order) is erased
-//! before the caller sees anything. Running with 1 thread, N threads, or
-//! on a single-core machine produces byte-identical results.
+//! [`ParallelExecutor::run_owned`] fans a batch of owned tasks out across
+//! a pool of **persistent** worker threads — spawned lazily on the first
+//! parallel run, fed over in-memory injector queues, parked on a condvar
+//! between runs, and joined when the executor drops. A drain is therefore
+//! an *enqueue + collect*, never a spawn + join: steady-state flushes
+//! create no threads (the bench artifact's `pool_spawn_events` field pins
+//! this).
 //!
-//! The slice is partitioned into contiguous chunks, one per worker
-//! (`ceil(len / threads)` elements each). Static chunking keeps the design
-//! safe-Rust-only (work stealing over a `&mut` slice needs `unsafe` or a
-//! lock) and costs little here: the service's unit of work is a whole
-//! shard sweep, and shards carry statistically similar load.
+//! ## Work stealing
+//!
+//! Each worker owns one segment of the injector (`Mutex<VecDeque<Job>>`).
+//! A task is pushed to the segment `affinity % workers` — the service
+//! passes the task's shard index, so one shard's sweep steps land on one
+//! segment and run in cache-friendly order when load is even. A worker
+//! pops its own segment from the **front**; when that is empty it scans
+//! the other segments round-robin and **steals from the back** — so a
+//! skewed workload (one shard holding every tenant) spreads across all
+//! workers instead of serializing on one. Steals and per-worker execution
+//! counts are tallied ([`ParallelExecutor::stats`]) so tests and the
+//! bench artifact can assert the distribution rather than trusting it.
+//!
+//! ## Determinism
+//!
+//! Results come back **in task order** regardless of which worker ran what
+//! or in what order workers finished: every task is tagged with its index,
+//! the collector places results by index, and the caller sees a plain
+//! `Vec<R>` aligned with its input. Task execution itself must be
+//! independent (the service's per-context sweep steps are — each touches
+//! one slot's data, captured at plan time), and then the pool is
+//! invisible: 1 worker, N workers, stolen or not, the output is
+//! byte-identical.
+//!
+//! ## Panics
+//!
+//! A panicking task never hangs the collector: jobs run under
+//! `catch_unwind` and always report back. The pool collects **all** of a
+//! run's results first, then re-raises the first panic in task order —
+//! workers stay parked and reusable, and no sibling task's work is lost
+//! half-applied.
+//!
+//! ## Environment contract
+//!
+//! [`ParallelExecutor::from_env`] sizes the pool from [`THREADS_ENV`]
+//! (`MCFPGA_THREADS`), resolved **once per process** and cached:
+//!
+//! * set to a positive integer `n` — the pool gets `n` workers
+//!   ([`ThreadSource::Env`]);
+//! * unset — the machine's available parallelism
+//!   ([`ThreadSource::Machine`]);
+//! * set but empty, zero, negative or non-numeric — the value is **not**
+//!   silently swallowed: the fallback (machine parallelism) is used and
+//!   the rejected raw value is preserved in
+//!   [`ThreadSource::EnvInvalid`], surfaced through
+//!   [`ParallelExecutor::config`].
+//!
+//! The width is a pure throughput knob; it never changes results.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Environment variable overriding the worker-thread count
-/// (`MCFPGA_THREADS=1` forces the sequential path; unset or invalid
-/// values fall back to the machine's available parallelism).
+/// (`MCFPGA_THREADS=1` forces the inline path). See the
+/// [module docs](self) for the full contract; the resolution is cached
+/// process-wide on first use.
 pub const THREADS_ENV: &str = "MCFPGA_THREADS";
 
-/// A fixed-width scoped worker pool. Cheap to construct and `Copy` — the
-/// "pool" is a thread count; workers are scoped per fan-out, which is
-/// what lets them borrow the engines instead of requiring `'static` jobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Where an executor's width came from — the provenance half of
+/// [`ExecutorConfig`], so "why is the pool this wide?" is answerable from
+/// a running service instead of by re-deriving the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// Parsed from a valid [`THREADS_ENV`] value.
+    Env,
+    /// [`THREADS_ENV`] was set but not a positive integer; the machine's
+    /// available parallelism was used instead. The rejected raw value is
+    /// kept so the misconfiguration is diagnosable.
+    EnvInvalid {
+        /// The value that failed to parse.
+        raw: String,
+    },
+    /// [`THREADS_ENV`] unset; the machine's available parallelism.
+    Machine,
+    /// Explicitly requested ([`ParallelExecutor::new`] /
+    /// `ShardedService::set_threads`).
+    Explicit,
+}
+
+/// An executor's resolved width and its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads a parallel run fans out across (≥ 1).
+    pub threads: usize,
+    /// How `threads` was decided.
+    pub source: ThreadSource,
+}
+
+/// A snapshot of the pool's lifetime counters — the observability the
+/// work-distribution gate and the bench artifact assert against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Times a worker pool was spawned. Stays at 1 after warmup: the
+    /// whole point of the persistent pool is that drains reuse it.
+    pub spawn_events: u64,
+    /// Total worker threads ever spawned (`spawn_events × threads`).
+    pub workers_spawned: u64,
+    /// Tasks submitted through [`ParallelExecutor::run_owned`] (inline
+    /// and pooled).
+    pub tasks_total: u64,
+    /// Pooled tasks a worker took from a segment other than its own.
+    pub tasks_stolen: u64,
+    /// Pooled tasks executed per worker, worker index order. Empty until
+    /// the pool spawns.
+    pub per_worker_executed: Vec<u64>,
+}
+
+/// One unit of pooled work: consumes its payload, reports through its own
+/// channel. The `usize` argument is the executing worker's index.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// State the producer and every worker share under one mutex: the
+/// reservation counter and the shutdown flag. `queued` counts jobs pushed
+/// but not yet *claimed* — a worker decrements it (a reservation) before
+/// scanning the segments, so one notify never wakes two workers for one
+/// job and a job pushed between scan and park is never lost.
+struct PoolState {
+    queued: usize,
+    shutdown: bool,
+}
+
+/// Everything the workers share with the executor.
+struct PoolShared {
+    /// Injector segments, one per worker; `affinity % workers` selects
+    /// the push target.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    state: Mutex<PoolState>,
+    condvar: Condvar,
+    /// Jobs taken from a foreign segment.
+    stolen: AtomicU64,
+    /// Jobs executed, per worker.
+    executed: Vec<AtomicU64>,
+}
+
+/// The persistent worker threads plus their shared injector. Dropping the
+/// pool drains remaining jobs, then joins every worker.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            condvar: Condvar::new(),
+            stolen: AtomicU64::new(0),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mcfpga-worker-{w}"))
+                    .spawn(move || Self::worker_loop(w, &shared))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues one job on the segment `affinity % workers`. The push
+    /// happens *before* the reservation counter rises, so a worker
+    /// holding a reservation is guaranteed a job exists somewhere.
+    fn push(&self, affinity: usize, job: Job) {
+        let q = affinity % self.shared.queues.len();
+        self.shared.queues[q]
+            .lock()
+            .expect("injector segment poisoned")
+            .push_back(job);
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        st.queued += 1;
+        drop(st);
+        self.shared.condvar.notify_one();
+    }
+
+    fn worker_loop(w: usize, shared: &PoolShared) {
+        loop {
+            // park until a job is reserved for us (or shutdown, which
+            // yields only once every queued job has been claimed)
+            {
+                let mut st = shared.state.lock().expect("pool state poisoned");
+                loop {
+                    if st.queued > 0 {
+                        st.queued -= 1;
+                        break;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = shared.condvar.wait(st).expect("pool state poisoned");
+                }
+            }
+            // the reservation guarantees a job exists in *some* segment;
+            // scan until found (a concurrent push/claim can make a single
+            // scan miss, never starve — jobs only leave via reservations)
+            let n = shared.queues.len();
+            let (job, stolen) = 'find: loop {
+                if let Some(job) = shared.queues[w]
+                    .lock()
+                    .expect("injector segment poisoned")
+                    .pop_front()
+                {
+                    break 'find (job, false);
+                }
+                for off in 1..n {
+                    let q = (w + off) % n;
+                    if let Some(job) = shared.queues[q]
+                        .lock()
+                        .expect("injector segment poisoned")
+                        .pop_back()
+                    {
+                        break 'find (job, true);
+                    }
+                }
+                std::hint::spin_loop();
+            };
+            if stolen {
+                shared.stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.executed[w].fetch_add(1, Ordering::Relaxed);
+            job(w);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.condvar.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The service's parallel runtime: a resolved width plus a lazily spawned
+/// persistent [worker pool](self). See the [module docs](self).
 pub struct ParallelExecutor {
-    threads: usize,
+    config: ExecutorConfig,
+    pool: Option<WorkerPool>,
+    spawn_events: u64,
+    workers_spawned: u64,
+    tasks_total: u64,
+    /// Defense-in-depth against re-entrant dispatch. `run_owned` takes
+    /// `&mut self`, so re-entrancy is already rejected at compile time;
+    /// this catches a future refactor that weakens the receiver.
+    active: bool,
 }
 
 impl ParallelExecutor {
-    /// An executor of `threads` workers (clamped to at least 1).
+    /// An executor of `threads` workers (clamped to at least 1), source
+    /// [`ThreadSource::Explicit`]. No thread is spawned here — the pool
+    /// appears on the first run that can use it.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor {
+        Self::with_config(ExecutorConfig {
             threads: threads.max(1),
-        }
+            source: ThreadSource::Explicit,
+        })
     }
 
-    /// An executor sized from the environment: [`THREADS_ENV`] when set to
-    /// a positive integer, the machine's available parallelism otherwise.
+    /// An executor sized from the environment — see the
+    /// [module docs](self) for the `MCFPGA_THREADS` contract. The
+    /// variable is read and validated **once per process**; every later
+    /// call reuses the cached resolution (so a mid-run `set_var` cannot
+    /// make two services disagree about the machine's width).
     #[must_use]
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
-        ParallelExecutor::new(threads)
+        static RESOLVED: OnceLock<ExecutorConfig> = OnceLock::new();
+        let config = RESOLVED
+            .get_or_init(|| resolve(std::env::var(THREADS_ENV).ok().as_deref()))
+            .clone();
+        Self::with_config(config)
+    }
+
+    fn with_config(config: ExecutorConfig) -> Self {
+        ParallelExecutor {
+            config,
+            pool: None,
+            spawn_events: 0,
+            workers_spawned: 0,
+            tasks_total: 0,
+            active: false,
+        }
     }
 
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.threads
     }
 
-    /// Applies `f` to every element of `items`, fanning out across up to
-    /// [`threads`](Self::threads) scoped workers, and returns the results
-    /// **in slice order**. `f` receives the element's index alongside the
-    /// element. With one thread (or one element) no thread is spawned —
-    /// the sequential path *is* the parallel path at width 1, not a
-    /// separate code path to drift.
+    /// The resolved width and where it came from — including the rejected
+    /// raw value when `MCFPGA_THREADS` was set but invalid.
+    #[must_use]
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// A snapshot of the pool's lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecutorStats {
+        let (tasks_stolen, per_worker_executed) = match &self.pool {
+            Some(pool) => (
+                pool.shared.stolen.load(Ordering::Relaxed),
+                pool.shared
+                    .executed
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+            ),
+            None => (0, Vec::new()),
+        };
+        ExecutorStats {
+            spawn_events: self.spawn_events,
+            workers_spawned: self.workers_spawned,
+            tasks_total: self.tasks_total,
+            tasks_stolen,
+            per_worker_executed,
+        }
+    }
+
+    /// Runs every `(affinity, task)` through `f` and returns the results
+    /// **in task order**. With one configured worker or at most one task
+    /// the whole batch runs inline on the caller's thread — the inline
+    /// path and the pooled path execute the same `f` on the same data, so
+    /// width-1 *is* the sequential execution, not an approximation of it.
+    /// Otherwise tasks are enqueued on the persistent pool (spawned on
+    /// first use) keyed by `affinity`, workers steal across segments when
+    /// their own runs dry, and the call returns once every task has
+    /// reported.
     ///
     /// # Panics
-    /// Propagates a worker panic (the scope joins all workers first).
-    pub fn run<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    /// Re-raises the first panicking task (in task order) — but only
+    /// after **all** tasks of this run have finished, so no task is left
+    /// mid-flight and the pool stays reusable.
+    pub fn run_owned<T, R>(
+        &mut self,
+        tasks: Vec<(usize, T)>,
+        f: Arc<dyn Fn(T) -> R + Send + Sync>,
+    ) -> Vec<R>
     where
-        T: Send,
-        R: Send,
-        F: Fn(usize, &mut T) -> R + Sync,
+        T: Send + 'static,
+        R: Send + 'static,
     {
-        let n = items.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items
-                .iter_mut()
-                .enumerate()
-                .map(|(i, item)| f(i, item))
-                .collect();
+        assert!(!self.active, "re-entrant ParallelExecutor dispatch");
+        self.active = true;
+        self.tasks_total += tasks.len() as u64;
+        let out = if self.config.threads <= 1 || tasks.len() <= 1 {
+            tasks.into_iter().map(|(_, task)| f(task)).collect()
+        } else {
+            self.run_pooled(tasks, f)
+        };
+        self.active = false;
+        out
+    }
+
+    /// The pooled dispatch: enqueue every job, then collect exactly one
+    /// report per job. Each job catches its own panic and **always**
+    /// reports, so the collector cannot hang; panics re-raise only after
+    /// the full collection.
+    fn run_pooled<T, R>(
+        &mut self,
+        tasks: Vec<(usize, T)>,
+        f: Arc<dyn Fn(T) -> R + Send + Sync>,
+    ) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        if self.pool.is_none() {
+            self.spawn_events += 1;
+            self.workers_spawned += self.config.threads as u64;
+            self.pool = Some(WorkerPool::spawn(self.config.threads));
         }
-        let chunk = n.div_ceil(workers);
-        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = items
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(w, slice)| {
-                    let base = w * chunk;
-                    scope.spawn(move || {
-                        slice
-                            .iter_mut()
-                            .enumerate()
-                            .map(|(i, item)| (base + i, f(base + i, item)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                indexed.extend(handle.join().expect("executor worker panicked"));
+        let pool = self.pool.as_ref().expect("pool just ensured above");
+        let n = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        for (idx, (affinity, task)) in tasks.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            pool.push(
+                affinity,
+                Box::new(move |_worker| {
+                    let result = catch_unwind(AssertUnwindSafe(|| f(task)));
+                    // the receiver only disconnects if the collector
+                    // itself died; nothing useful to do with the error
+                    let _ = tx.send((idx, result));
+                }),
+            );
+        }
+        drop(tx);
+        let mut slots: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, result) = rx
+                .recv()
+                .expect("a pool job vanished without reporting (worker died?)");
+            debug_assert!(slots[idx].is_none(), "task {idx} reported twice");
+            slots[idx] = Some(result);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for slot in slots {
+            match slot.expect("every task reports exactly once") {
+                Ok(r) => out.push(r),
+                Err(panic) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(panic);
+                    }
+                }
             }
-        });
-        // chunks join in spawn order, so this is already sorted; keep the
-        // sort as a structural guarantee rather than an emergent one
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        }
+        if let Some(panic) = first_panic {
+            self.active = false;
+            resume_unwind(panic);
+        }
+        out
+    }
+
+    /// A weak handle on the pool's shared state, for lifecycle tests:
+    /// once the executor drops, a failed upgrade proves every worker
+    /// (each holding a strong count) has exited.
+    #[cfg(test)]
+    fn pool_probe(&self) -> Option<std::sync::Weak<PoolShared>> {
+        self.pool.as_ref().map(|p| Arc::downgrade(&p.shared))
+    }
+}
+
+/// Pure resolution of a raw `MCFPGA_THREADS` value — split from the env
+/// read so the contract is unit-testable without process-global state.
+fn resolve(raw: Option<&str>) -> ExecutorConfig {
+    let machine = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match raw {
+        None => ExecutorConfig {
+            threads: machine(),
+            source: ThreadSource::Machine,
+        },
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => ExecutorConfig {
+                threads: n,
+                source: ThreadSource::Env,
+            },
+            _ => ExecutorConfig {
+                threads: machine(),
+                source: ThreadSource::EnvInvalid {
+                    raw: raw.to_string(),
+                },
+            },
+        },
     }
 }
 
@@ -121,52 +483,235 @@ impl Default for ParallelExecutor {
     }
 }
 
+/// Cloning shares the *configuration*, never the pool: the clone starts
+/// with no workers and zeroed counters, and spawns its own pool on first
+/// parallel use. (A shared pool would entangle two services' collectors;
+/// `ShardedService`'s derived `Clone` relies on this isolation.)
+impl Clone for ParallelExecutor {
+    fn clone(&self) -> Self {
+        Self::with_config(self.config.clone())
+    }
+}
+
+impl std::fmt::Debug for ParallelExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExecutor")
+            .field("config", &self.config)
+            .field("pool_spawned", &self.pool.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// the executor moves across threads inside `ShardedService` clones and
+// test harnesses; a future non-Send field must fail the build
 const _: () = {
-    const fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<ParallelExecutor>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<ParallelExecutor>();
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn id_fn() -> Arc<dyn Fn(usize) -> usize + Send + Sync> {
+        Arc::new(|x| x)
+    }
 
     #[test]
-    fn results_come_back_in_slice_order_at_any_width() {
-        let baseline: Vec<usize> = (0..13).map(|i| i * 10).collect();
-        for threads in [1, 2, 3, 4, 8, 32] {
-            let exec = ParallelExecutor::new(threads);
-            let mut items: Vec<usize> = (0..13).collect();
-            let out = exec.run(&mut items, |i, item| {
-                *item += 1; // mutation visible to the caller afterwards
-                i * 10
-            });
-            assert_eq!(out, baseline, "threads={threads}");
-            assert_eq!(items, (1..14).collect::<Vec<_>>(), "threads={threads}");
+    fn results_come_back_in_task_order_at_any_width() {
+        for threads in [1, 2, 3, 4, 8] {
+            let mut exec = ParallelExecutor::new(threads);
+            let tasks: Vec<(usize, usize)> = (0..23).map(|i| (i % 3, i)).collect();
+            let out = exec.run_owned(tasks, Arc::new(|x: usize| x * 10));
+            assert_eq!(
+                out,
+                (0..23).map(|i| i * 10).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 
     #[test]
-    fn every_element_processed_exactly_once() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let calls = AtomicUsize::new(0);
-        let mut items = vec![0u8; 100];
-        let exec = ParallelExecutor::new(7);
-        exec.run(&mut items, |_, item| {
-            *item += 1;
-            calls.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    fn zero_threads_clamps_and_empty_input_is_fine() {
+        let mut exec = ParallelExecutor::new(0);
+        assert_eq!(exec.threads(), 1);
+        let out = exec.run_owned(Vec::new(), id_fn());
+        assert!(out.is_empty());
+    }
+
+    /// The deterministic steal gate: 4 tasks, all pushed to worker 0's
+    /// segment, each blocking on a 4-way barrier — the run can only
+    /// complete if 4 distinct workers each take exactly one task, which
+    /// forces workers 1–3 to steal. No timing assumptions: this holds on
+    /// a 1-core machine.
+    #[test]
+    fn skewed_affinity_forces_stealing() {
+        let mut exec = ParallelExecutor::new(4);
+        let barrier = Arc::new(Barrier::new(4));
+        let tasks: Vec<(usize, usize)> = (0..4).map(|i| (0, i)).collect();
+        let b = Arc::clone(&barrier);
+        let out = exec.run_owned(
+            tasks,
+            Arc::new(move |i: usize| {
+                b.wait();
+                i
+            }),
+        );
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        let stats = exec.stats();
+        assert_eq!(stats.tasks_total, 4);
+        assert_eq!(
+            stats.tasks_stolen, 3,
+            "3 of 4 same-segment tasks must be stolen"
+        );
+        assert_eq!(stats.per_worker_executed, vec![1, 1, 1, 1]);
+    }
+
+    /// The deterministic balance gate: 16 tasks on one segment, executed
+    /// in 4-way barrier waves — every wave occupies all 4 workers, so the
+    /// histogram must come out exactly even and 12 tasks stolen.
+    #[test]
+    fn barrier_waves_balance_a_fully_skewed_workload() {
+        let mut exec = ParallelExecutor::new(4);
+        let barrier = Arc::new(Barrier::new(4));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<(usize, usize)> = (0..16).map(|i| (0, i)).collect();
+        let (b, e) = (Arc::clone(&barrier), Arc::clone(&executed));
+        let out = exec.run_owned(
+            tasks,
+            Arc::new(move |i: usize| {
+                b.wait();
+                e.fetch_add(1, Ordering::Relaxed);
+                i
+            }),
+        );
+        assert_eq!(out, (0..16).collect::<Vec<_>>(), "exactly-once, in order");
+        assert_eq!(executed.load(Ordering::Relaxed), 16);
+        let stats = exec.stats();
+        assert_eq!(stats.per_worker_executed, vec![4, 4, 4, 4], "balanced");
+        assert_eq!(stats.tasks_stolen, 12);
+    }
+
+    /// Pool lifecycle: 1,000 runs spawn exactly one pool (no thread
+    /// leak — worker creation only ever happens inside a spawn event).
+    #[test]
+    fn a_thousand_runs_reuse_one_pool() {
+        let mut exec = ParallelExecutor::new(3);
+        for round in 0..1_000 {
+            let tasks: Vec<(usize, usize)> = (0..4).map(|i| (i, round + i)).collect();
+            let out = exec.run_owned(tasks, id_fn());
+            assert_eq!(out, (round..round + 4).collect::<Vec<_>>());
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.spawn_events, 1, "drains must reuse the pool");
+        assert_eq!(stats.workers_spawned, 3);
+        assert_eq!(stats.tasks_total, 4_000);
+        assert_eq!(stats.per_worker_executed.iter().sum::<u64>(), 4_000);
+    }
+
+    /// Dropping the executor joins every worker: the workers are the only
+    /// strong holders of the shared state once the pool struct drops, so
+    /// a dead weak handle proves they all exited.
+    #[test]
+    fn drop_joins_all_workers() {
+        let mut exec = ParallelExecutor::new(4);
+        let tasks: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+        exec.run_owned(tasks, id_fn());
+        let probe = exec.pool_probe().expect("pool spawned");
+        drop(exec);
         assert!(
-            items.iter().all(|&b| b == 1),
-            "an element ran twice or never"
+            probe.upgrade().is_none(),
+            "a worker outlived the executor drop"
         );
     }
 
+    /// A panicking task is re-raised — after the whole run finished, so
+    /// the pool survives and the next run works.
     #[test]
-    fn zero_threads_clamps_and_empty_slice_is_fine() {
-        let exec = ParallelExecutor::new(0);
-        assert_eq!(exec.threads(), 1);
-        let out: Vec<()> = ParallelExecutor::new(8).run(&mut Vec::<u8>::new(), |_, _| ());
-        assert!(out.is_empty());
+    fn task_panic_propagates_and_pool_survives() {
+        let mut exec = ParallelExecutor::new(2);
+        let tasks: Vec<(usize, usize)> = (0..4).map(|i| (i, i)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.run_owned(
+                tasks,
+                Arc::new(|i: usize| {
+                    assert!(i != 2, "task 2 dies");
+                    i
+                }),
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // the pool is still usable
+        let out = exec.run_owned((0..4).map(|i| (i, i)).collect(), id_fn());
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(exec.stats().spawn_events, 1, "no respawn after a panic");
+    }
+
+    #[test]
+    fn inline_path_runs_on_caller_thread_without_a_pool() {
+        let mut exec = ParallelExecutor::new(1);
+        let caller = std::thread::current().id();
+        let out = exec.run_owned(
+            (0..5).map(|i| (i, i)).collect(),
+            Arc::new(move |i: usize| {
+                assert_eq!(std::thread::current().id(), caller);
+                i
+            }),
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(exec.stats().spawn_events, 0, "width 1 never spawns");
+        // a single task also stays inline at any width
+        let mut wide = ParallelExecutor::new(8);
+        wide.run_owned(vec![(0, 7usize)], id_fn());
+        assert_eq!(wide.stats().spawn_events, 0);
+    }
+
+    #[test]
+    fn clone_shares_config_but_not_pool_or_stats() {
+        let mut exec = ParallelExecutor::new(2);
+        exec.run_owned((0..4).map(|i| (i, i)).collect(), id_fn());
+        assert_eq!(exec.stats().spawn_events, 1);
+        let clone = exec.clone();
+        assert_eq!(clone.config(), exec.config());
+        assert_eq!(clone.stats(), ExecutorStats::default());
+    }
+
+    #[test]
+    fn env_resolution_contract() {
+        let explicit = ParallelExecutor::new(5);
+        assert_eq!(
+            *explicit.config(),
+            ExecutorConfig {
+                threads: 5,
+                source: ThreadSource::Explicit
+            }
+        );
+        assert_eq!(
+            resolve(Some("8")),
+            ExecutorConfig {
+                threads: 8,
+                source: ThreadSource::Env
+            }
+        );
+        assert_eq!(
+            resolve(Some(" 16 ")).threads,
+            16,
+            "whitespace-tolerant parse"
+        );
+        assert_eq!(resolve(None).source, ThreadSource::Machine);
+        for bad in ["0", "-3", "lots", "", "4.5"] {
+            let cfg = resolve(Some(bad));
+            assert_eq!(
+                cfg.source,
+                ThreadSource::EnvInvalid {
+                    raw: bad.to_string()
+                },
+                "invalid value {bad:?} must be surfaced, not swallowed"
+            );
+            assert!(cfg.threads >= 1);
+        }
     }
 }

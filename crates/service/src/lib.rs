@@ -2,10 +2,11 @@
 //!
 //! The paper's point is that **one fabric serves many logical circuits**,
 //! switching between them in a single cycle. The compiled engine
-//! (`mcfpga_fabric::compiled`) makes each context cheap to evaluate — 64
-//! input vectors per bit-parallel pass — and this crate exploits that to
-//! serve *concurrent workloads*: many tenants, each resident in one context
-//! slot, their single-vector requests coalesced into full 64-lane passes.
+//! (`mcfpga_fabric::compiled`) makes each context cheap to evaluate — up
+//! to 256 input vectors per chunked bit-parallel pass — and this crate
+//! exploits that to serve *concurrent workloads*: many tenants, each
+//! resident in one context slot, their single-vector requests coalesced
+//! into wide multi-lane passes.
 //!
 //! Four layers:
 //!
@@ -18,9 +19,10 @@
 //!   pointer, never a plane.
 //! * [`batch::BatchQueue`] — **one shard's** partition of the pending
 //!   work: per-context [`LaneBatch`]es coalescing single-vector requests,
-//!   flushed the moment 64 lanes fill (or on an explicit
-//!   [`ShardedService::drain`]), with each tenant's responses demuxed back
-//!   out of the lane words. Request ids stay service-global through the
+//!   flushed the moment every configured lane fills (256 by default; see
+//!   [`ShardedService::set_lane_width`]) or on an explicit
+//!   [`ShardedService::drain`], with each tenant's responses demuxed back
+//!   out of the lane chunks. Request ids stay service-global through the
 //!   coordinator's single [`batch::RequestIdSource`].
 //! * [`engine::ShardEngine`] — one shard's complete execution state:
 //!   compiled planes, its own
@@ -29,15 +31,16 @@
 //!   share no execution state, so sweeps of different shards run
 //!   concurrently.
 //! * [`service::ShardedService`] — the thin coordinator: registry, plane
-//!   cache, policies, and the [`executor::ParallelExecutor`] that fans
-//!   [`drain`](ShardedService::drain) out across engines and merges each
-//!   [`engine::SweepOutcome`] back in **shard-then-lane order**, making
-//!   output bit-for-bit identical at any thread count (`MCFPGA_THREADS`,
-//!   or [`ShardedService::set_threads`]). Sweeps are reordered for
+//!   cache, policies, and the [`executor::ParallelExecutor`] whose
+//!   **persistent work-stealing worker pool** evaluates the per-context
+//!   steps that [`drain`](ShardedService::drain) plans. Every step carries
+//!   its `(shard, sweep-position)` merge key and results are applied in
+//!   that key order, making output bit-for-bit identical at any thread
+//!   count (`MCFPGA_THREADS`, or [`ShardedService::set_threads`]) and any
+//!   lane width. Sweeps are reordered for
 //!   minimum broadcast toggles under [`OptimizeMode::Optimized`] (the
 //!   default; see [`mcfpga_css::optimize`]) and CSS broadcast energy is
-//!   attributed per tenant via [`mcfpga_cost::attribution`] (mergeable
-//!   [`UsageLedger`](mcfpga_cost::attribution::UsageLedger) deltas),
+//!   attributed per tenant via [`mcfpga_cost::attribution`] at plan time,
 //!   including what the reordering saved versus the naive order.
 //!   Admission slots are chosen by a [`PlacementPolicy`]: round-robin, or
 //!   energy-aware marginal-sweep-cost placement with plane-cache
@@ -85,8 +88,8 @@ pub mod registry;
 pub mod service;
 
 pub use batch::{BatchQueue, RequestId, RequestIdSource, Response};
-pub use engine::{ShardEngine, SweepOutcome};
-pub use executor::ParallelExecutor;
+pub use engine::ShardEngine;
+pub use executor::{ExecutorConfig, ExecutorStats, ParallelExecutor, ThreadSource, THREADS_ENV};
 pub use placement::{netlist_fingerprint, PlacementPolicy};
 pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 pub use service::{ShardedService, SlotFault};
@@ -130,7 +133,7 @@ pub enum ServiceError {
         /// The undriven input signal.
         name: String,
     },
-    /// A submit hit a slot whose 64 lanes are already full because an
+    /// A submit hit a slot whose lanes are already full because an
     /// earlier flush failed and left its batch queued. Recover with a
     /// corrected [`ShardedService::drain`] or
     /// [`ShardedService::discard_pending`].

@@ -11,25 +11,32 @@
 //! partition, tenant usage and stream registers — lives in the engine of
 //! the shard hosting the tenant (see [`crate::engine`]).
 //!
-//! [`drain`](ShardedService::drain) fans the per-shard sweeps out across a
-//! [`ParallelExecutor`] and merges each engine's [`SweepOutcome`] back in
-//! **shard-then-lane order** — so responses, faults and billing are
-//! bit-for-bit identical to sequential execution at any thread count; the
-//! thread count is a pure throughput knob ([`set_threads`], or the
-//! `MCFPGA_THREADS` environment variable at construction).
+//! [`drain`](ShardedService::drain) plans every busy shard's sweep
+//! sequentially (one owned `PlannedStep` per active context), evaluates
+//! the steps on the [`ParallelExecutor`]'s persistent work-stealing pool
+//! (shard-affine injector segments, so a skewed placement spreads instead
+//! of serializing), and applies the results back **in merge-key order**
+//! (shard, then sweep position, then lane) — so responses, faults and
+//! billing are bit-for-bit identical to sequential execution at any
+//! thread count; the thread count is a pure throughput knob
+//! ([`set_threads`], or the `MCFPGA_THREADS` environment variable at
+//! construction — see [`crate::executor`] for the env contract). The
+//! lanes coalesced per pass are likewise a pure throughput knob
+//! ([`set_lane_width`], up to 256).
 //!
 //! [`set_threads`]: ShardedService::set_threads
+//! [`set_lane_width`]: ShardedService::set_lane_width
 
 use crate::batch::{RequestId, RequestIdSource, Response};
-use crate::engine::{ShardEngine, SweepOutcome, TenantState};
-use crate::executor::ParallelExecutor;
+use crate::engine::{eval_step, PlannedStep, ShardEngine, TenantState};
+use crate::executor::{ExecutorConfig, ExecutorStats, ParallelExecutor};
 use crate::placement::{best_slot, choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 use crate::ServiceError;
 use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
 use mcfpga_css::optimize::{sweep_cost, CostMatrix, OptimizeMode};
 use mcfpga_device::TechParams;
-use mcfpga_fabric::compiled::LaneBatch;
+use mcfpga_fabric::compiled::{LaneBatch, LaneChunk, MAX_LANES};
 use mcfpga_fabric::route::implement_netlist_robust;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, RegisterFile, TileCoord};
 use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint};
@@ -85,6 +92,9 @@ pub struct ShardedService {
     /// The arch's pairwise transition-toggle matrix — shared by the sweep
     /// optimizer, the baseline accounting and energy-aware placement.
     matrix: CostMatrix,
+    /// Lanes coalesced per slot per pass (every engine queue is built at
+    /// this width). Default [`MAX_LANES`].
+    lane_width: usize,
     /// Netlist fingerprint → context index of its first admission: the
     /// plane-cache affinity hint energy-aware placement tie-breaks on.
     affinity: HashMap<u64, usize>,
@@ -125,7 +135,7 @@ impl ShardedService {
         let registry = TenantRegistry::new(shards, params.contexts)?;
         let mut engines = Vec::with_capacity(shards);
         for shard in 0..shards {
-            engines.push(ShardEngine::new(shard, params)?);
+            engines.push(ShardEngine::new(shard, params, MAX_LANES)?);
         }
         let matrix = engines[0].sequencer().cost_matrix();
         Ok(ShardedService {
@@ -141,6 +151,7 @@ impl ShardedService {
             optimize,
             placement,
             matrix,
+            lane_width: MAX_LANES,
             affinity: HashMap::new(),
         })
     }
@@ -177,11 +188,61 @@ impl ShardedService {
     }
 
     /// Sets the drain fan-out width. **Never changes output**: responses,
-    /// faults and billing are merged in shard-then-lane order whatever the
+    /// faults and billing are applied in merge-key order whatever the
     /// width — `set_threads(1)` *is* the sequential execution, not an
-    /// approximation of it.
+    /// approximation of it. The previous executor's worker pool (if it
+    /// had spawned) is joined here; the new pool spawns lazily on the
+    /// next parallel drain.
     pub fn set_threads(&mut self, threads: usize) {
         self.executor = ParallelExecutor::new(threads);
+    }
+
+    /// The executor's resolved width and its provenance (env variable,
+    /// machine parallelism, or explicit) — including the rejected raw
+    /// value when `MCFPGA_THREADS` was set but invalid.
+    #[must_use]
+    pub fn executor_config(&self) -> &ExecutorConfig {
+        self.executor.config()
+    }
+
+    /// A snapshot of the worker pool's lifetime counters: spawn events
+    /// (stays at 1 after warmup — drains reuse the pool), tasks
+    /// dispatched, tasks stolen across injector segments, and the
+    /// per-worker execution histogram.
+    #[must_use]
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.executor.stats()
+    }
+
+    /// Lanes coalesced per slot per pass (the auto-flush threshold).
+    #[must_use]
+    pub fn lane_width(&self) -> usize {
+        self.lane_width
+    }
+
+    /// Sets how many requests one evaluation pass serves per slot
+    /// (`1..=MAX_LANES`). **Never changes output** — a narrower width
+    /// just flushes more often — but it may only change while no request
+    /// is pending: every engine's queue partition is rebuilt at the new
+    /// width (and every programmed slot re-seeded), which would silently
+    /// drop queued lanes. Drain or discard first.
+    pub fn set_lane_width(&mut self, width: usize) -> Result<(), ServiceError> {
+        if width == 0 || width > MAX_LANES {
+            return Err(ServiceError::BadConfig(format!(
+                "lane width {width} outside 1..={MAX_LANES}"
+            )));
+        }
+        if self.pending_requests() > 0 {
+            return Err(ServiceError::BadConfig(
+                "cannot change lane width while requests are pending; drain or discard first"
+                    .into(),
+            ));
+        }
+        for engine in &mut self.engines {
+            engine.set_lane_width(width)?;
+        }
+        self.lane_width = width;
+        Ok(())
     }
 
     /// Admits a tenant: assigns a `(shard, context)` slot under the active
@@ -224,10 +285,11 @@ impl ShardedService {
         Ok(id)
     }
 
-    /// Submits one single-vector request for `tenant`. The request parks in
-    /// its slot's lane batch; when the 64th lane fills, the slot executes
-    /// immediately (on the caller's thread — a lane-full flush concerns one
-    /// shard, so there is nothing to fan out) and its responses become
+    /// Submits one single-vector request for `tenant`. The request parks
+    /// in its slot's lane batch; when the last of the slot's
+    /// [`lane_width`](Self::lane_width) lanes fills, the slot executes
+    /// immediately (on the caller's thread — a lane-full flush concerns
+    /// one slot, so there is nothing to fan out) and its responses become
     /// available on the next [`drain`](Self::drain).
     ///
     /// Every input the tenant's plane binds must be driven —
@@ -272,10 +334,21 @@ impl ShardedService {
     /// responses, including those from earlier lane-full auto-flushes.
     /// Each shard sweeps only its *active* contexts
     /// ([`mcfpga_css::Schedule::active_sweep`]), so idle tenants cost no
-    /// broadcast toggles — and the per-shard sweeps run **concurrently**
-    /// on the [`ParallelExecutor`], since shards share no execution state.
-    /// Each engine's [`SweepOutcome`] is merged back in shard-then-lane
-    /// order, making the result independent of the thread count.
+    /// broadcast toggles. Three phases:
+    ///
+    /// 1. **Plan** (sequential): every busy shard's CSS schedule is
+    ///    stepped through and each active slot becomes one owned
+    ///    `PlannedStep` tagged with its `(shard, sweep-position)` merge
+    ///    key — switch toggles are charged here.
+    /// 2. **Eval** (parallel): the steps — per-*context* tasks, not
+    ///    per-shard chunks — go to the executor's persistent
+    ///    work-stealing pool, keyed by shard affinity; a shard holding
+    ///    every tenant still spreads across all workers. Evaluation is
+    ///    pure, so execution order is free.
+    /// 3. **Apply** (sequential, merge-key order): results are placed
+    ///    back by task index, so responses, faults and billing land in
+    ///    shard-then-sweep-position-then-lane order — bit-for-bit
+    ///    identical at any thread count and any lane width.
     ///
     /// A slot whose pass fails (e.g. a request omitted one of its tenant's
     /// bound inputs) never blocks the others: its requests stay queued, a
@@ -287,23 +360,74 @@ impl ShardedService {
             .map(|s| self.active_slots(s))
             .collect();
         let work = work?;
-        let busy: Vec<usize> = (0..work.len()).filter(|&s| !work[s].is_empty()).collect();
-        match busy.as_slice() {
-            [] => {}
-            // one busy shard: run it inline — spawning workers for idle
-            // engines would buy nothing on a mostly-idle drain
-            [shard] => self.run_engine(*shard, &work[*shard])?,
-            _ => {
-                let optimize = self.optimize;
-                let matrix = &self.matrix;
-                let work = &work;
-                let outcomes = self.executor.run(&mut self.engines, |shard, engine| {
-                    engine.run_sweep(&work[shard], optimize, matrix)
-                });
-                self.merge_outcomes(outcomes)?;
+        let mut steps = Vec::new();
+        let mut errors: Vec<Option<ServiceError>> = vec![None; self.engines.len()];
+        for (shard, active) in work.iter().enumerate() {
+            if !active.is_empty() {
+                errors[shard] =
+                    self.engines[shard].plan_sweep(active, self.optimize, &self.matrix, &mut steps);
             }
         }
+        self.eval_and_apply(steps, &mut errors);
+        // a structural engine failure never drops executed work: every
+        // planned step was still evaluated and applied above (consuming
+        // its requests), and the first error in shard order is returned —
+        // with the responses left buffered for the caller's retry
+        if let Some(e) = errors.into_iter().flatten().next() {
+            return Err(e);
+        }
         Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Evaluates `steps` — on the persistent pool when both the executor
+    /// width and the step count allow parallelism, inline otherwise (the
+    /// two paths run the same `eval_step` on the same data) — then
+    /// applies every result in task order, which **is** merge-key order:
+    /// steps were planned shard by shard, each shard in sweep order.
+    /// Apply errors are recorded per shard, never overwriting an earlier
+    /// (plan-phase) error.
+    fn eval_and_apply(&mut self, steps: Vec<PlannedStep>, errors: &mut [Option<ServiceError>]) {
+        if steps.is_empty() {
+            return;
+        }
+        type Evaluated = (PlannedStep, Result<Vec<(String, LaneChunk)>, ServiceError>);
+        let results: Vec<Evaluated> = if self.executor.threads() > 1 && steps.len() > 1 {
+            let tasks: Vec<(usize, PlannedStep)> =
+                steps.into_iter().map(|s| (s.shard, s)).collect();
+            self.executor.run_owned(
+                tasks,
+                Arc::new(|step: PlannedStep| {
+                    let outs = eval_step(&step);
+                    (step, outs)
+                }),
+            )
+        } else {
+            steps
+                .into_iter()
+                .map(|step| {
+                    let outs = eval_step(&step);
+                    (step, outs)
+                })
+                .collect()
+        };
+        let mut prev_key = None;
+        for (step, outs) in results {
+            let shard = step.shard;
+            let key = (shard, step.pos);
+            debug_assert!(
+                prev_key < Some(key),
+                "apply order violated the (shard, sweep-position) merge key: \
+                 {prev_key:?} then {key:?}"
+            );
+            prev_key = Some(key);
+            if let Err(e) =
+                self.engines[shard].apply_step(&step, outs, &mut self.ready, &mut self.faults)
+            {
+                if errors[shard].is_none() {
+                    errors[shard] = Some(e);
+                }
+            }
+        }
     }
 
     /// The `(context, occupant)` slots of `shard` holding pending work —
@@ -322,43 +446,29 @@ impl ShardedService {
             .collect()
     }
 
-    /// Runs one engine's sweep inline (the lane-full auto-flush path) and
-    /// merges its outcome immediately.
+    /// Runs one shard's sweep inline (the lane-full auto-flush path):
+    /// same plan → eval → apply pipeline as [`drain`](Self::drain), minus
+    /// the pool — a single slot just flushed, so fan-out buys nothing.
     fn run_engine(
         &mut self,
         shard: usize,
         active: &[(usize, TenantId)],
     ) -> Result<(), ServiceError> {
-        let outcome = self.engines[shard].run_sweep(active, self.optimize, &self.matrix);
-        self.merge_outcome(shard, outcome).map_or(Ok(()), Err)
-    }
-
-    /// The deterministic merge: applies per-shard outcomes **in shard
-    /// order** — responses and faults concatenate (each already in
-    /// slot-then-lane order from the engine's sequential sweep), usage
-    /// deltas are absorbed into the owning engine's tenant states. Thread
-    /// completion order never reaches this point: the executor returns
-    /// outcomes in engine order. A structural engine failure never drops
-    /// executed work: every outcome's outputs merge — including the
-    /// failing engine's pre-failure slots, whose requests were already
-    /// consumed — and the first error in shard order is returned.
-    fn merge_outcomes(&mut self, outcomes: Vec<SweepOutcome>) -> Result<(), ServiceError> {
-        let mut first_err = None;
-        for (shard, outcome) in outcomes.into_iter().enumerate() {
-            let err = self.merge_outcome(shard, outcome);
-            if first_err.is_none() {
-                first_err = err;
+        let mut steps = Vec::new();
+        let mut errors: Vec<Option<ServiceError>> = vec![None; self.engines.len()];
+        errors[shard] =
+            self.engines[shard].plan_sweep(active, self.optimize, &self.matrix, &mut steps);
+        for step in steps {
+            let outs = eval_step(&step);
+            if let Err(e) =
+                self.engines[shard].apply_step(&step, outs, &mut self.ready, &mut self.faults)
+            {
+                if errors[shard].is_none() {
+                    errors[shard] = Some(e);
+                }
             }
         }
-        first_err.map_or(Ok(()), Err)
-    }
-
-    /// Merges one outcome, handing back its structural error (if any).
-    fn merge_outcome(&mut self, shard: usize, outcome: SweepOutcome) -> Option<ServiceError> {
-        self.engines[shard].absorb_usage(&outcome.usage);
-        self.ready.extend(outcome.responses);
-        self.faults.extend(outcome.faults);
-        outcome.error
+        errors.into_iter().flatten().next().map_or(Ok(()), Err)
     }
 
     /// Removes and returns the per-slot execution faults recorded since the
@@ -559,7 +669,11 @@ impl ShardedService {
                 digest: ckpt.digest,
             })?;
         let plane = Self::plane_for_slot(plane, slot.ctx)?;
-        let batch = LaneBatch::from_parts(ckpt.pending.lanes, ckpt.pending.inputs.clone())?;
+        let batch = LaneBatch::from_parts(
+            self.lane_width,
+            ckpt.pending.lanes,
+            ckpt.pending.inputs.clone(),
+        )?;
         // an idle destination shard adopts the checkpointed CSS sweep
         // position: its broadcast resumes where the source's sat at the
         // boundary, so subsequent sweeps are planned and charged from the

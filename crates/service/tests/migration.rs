@@ -459,3 +459,67 @@ fn migration_destination_is_energy_scored() {
     let usage = svc.usage(mover).unwrap();
     assert_eq!(usage.migration_css_toggles, 2, "marginal join cost billed");
 }
+
+/// Checkpoints cross lane-width boundaries: a tenant checkpointed on the
+/// 256-wide default restores onto a 64-wide service bit-for-bit as long
+/// as its pending lanes fit, and a 64-wide checkpoint restores onto the
+/// wide default unchanged. A checkpoint whose pending lanes exceed the
+/// destination's width is a typed refusal, not silent truncation.
+#[test]
+fn checkpoints_roundtrip_across_lane_widths() {
+    let parity = generators::parity_tree(3).unwrap();
+
+    // wide source → narrow destination
+    let mut src = service(1);
+    assert_eq!(src.lane_width(), 256);
+    let t = src.admit("roamer", &parity).unwrap();
+    submit3(&mut src, t, 0b101);
+    let ckpt = TenantCheckpoint::from_bytes(&src.checkpoint_tenant(t).unwrap().to_bytes()).unwrap();
+    let mut narrow = service(2);
+    narrow.set_lane_width(64).unwrap();
+    narrow.admit("seeder", &parity).unwrap();
+    let (restored, fresh) = narrow.restore_tenant(&ckpt, 1).unwrap();
+    assert_eq!(fresh.len(), 1);
+    let out: Vec<_> = narrow
+        .drain()
+        .unwrap()
+        .into_iter()
+        .filter(|r| r.tenant == restored)
+        .collect();
+    assert_eq!(out.len(), 1);
+    assert!(!out[0].outputs[0].1, "parity(1,0,1) = 0");
+
+    // narrow source → wide destination
+    let mut nsrc = service(1);
+    nsrc.set_lane_width(64).unwrap();
+    let nt = nsrc.admit("roamer", &parity).unwrap();
+    submit3(&mut nsrc, nt, 0b110);
+    let nckpt = nsrc.checkpoint_tenant(nt).unwrap();
+    let mut wide = service(2);
+    wide.admit("seeder", &parity).unwrap();
+    let (wrestored, _) = wide.restore_tenant(&nckpt, 1).unwrap();
+    let wout: Vec<_> = wide
+        .drain()
+        .unwrap()
+        .into_iter()
+        .filter(|r| r.tenant == wrestored)
+        .collect();
+    assert_eq!(wout.len(), 1);
+    assert!(!wout[0].outputs[0].1, "parity(0,1,1) = 0");
+
+    // oversized pending batch cannot squeeze into a narrower slot
+    let mut fat = service(1);
+    let ft = fat.admit("fat", &parity).unwrap();
+    for v in 0..65u32 {
+        submit3(&mut fat, ft, v);
+    }
+    let fat_ckpt = fat.checkpoint_tenant(ft).unwrap();
+    assert_eq!(fat_ckpt.pending.lanes, 65);
+    let mut tight = service(2);
+    tight.set_lane_width(64).unwrap();
+    tight.admit("seeder", &parity).unwrap();
+    assert!(
+        tight.restore_tenant(&fat_ckpt, 1).is_err(),
+        "65 pending lanes must not restore into a 64-lane slot"
+    );
+}

@@ -92,6 +92,9 @@ fn batched_responses_match_reference_eval() {
 #[test]
 fn lane_full_slot_flushes_without_drain() {
     let mut svc = service(1);
+    // narrow the datapath to one chunk word so the auto-flush threshold
+    // is reachable with 64 submits
+    svc.set_lane_width(LANES).unwrap();
     let nl = generators::parity_tree(3).unwrap();
     let tenant = svc.admit("parity", &nl).unwrap();
     for k in 0..LANES as u64 {
@@ -416,4 +419,79 @@ fn css_energy_is_attributed_to_the_switched_in_tenant() {
     for name in ["busy", "other", "idle"] {
         assert!(report.contains(name), "billing table lists {name}");
     }
+}
+
+/// The chunked datapath's headline: 256 single-vector requests to one
+/// tenant ride **one** fabric pass at the default width, and the demuxed
+/// answers are bit-for-bit what four independent 64-lane passes produce.
+#[test]
+fn a_256_request_burst_is_one_pass_and_matches_four_narrow_passes() {
+    let nl = generators::parity_tree(3).unwrap();
+    let vector = |k: u64| [("x0", k & 1 == 1), ("x1", k & 2 == 2), ("x2", k & 4 == 4)];
+
+    let mut wide = service(1);
+    assert_eq!(wide.lane_width(), 256, "chunked width is the default");
+    let wt = wide.admit("parity", &nl).unwrap();
+    for k in 0..256u64 {
+        wide.submit(wt, &vector(k)).unwrap();
+    }
+    // lane 256 filled the slot: the chunked pass already ran
+    assert_eq!(wide.pending_requests(), 0);
+    assert_eq!(wide.usage(wt).unwrap().passes, 1);
+    let wide_out: Vec<Vec<(String, bool)>> = wide
+        .drain()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.outputs.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+        .collect();
+    assert_eq!(wide_out.len(), 256);
+
+    let mut narrow = service(1);
+    narrow.set_lane_width(LANES).unwrap();
+    let nt = narrow.admit("parity", &nl).unwrap();
+    for k in 0..256u64 {
+        narrow.submit(nt, &vector(k)).unwrap();
+    }
+    assert_eq!(narrow.usage(nt).unwrap().passes, 4, "four 64-lane flushes");
+    let narrow_out: Vec<Vec<(String, bool)>> = narrow
+        .drain()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.outputs.iter().map(|(n, v)| (n.to_string(), *v)).collect())
+        .collect();
+    assert_eq!(wide_out, narrow_out, "chunked pass diverged from 4×64");
+    assert_eq!(
+        wide.bill(wt).unwrap().vectors_per_pass,
+        256.0,
+        "a perfectly full chunked pass"
+    );
+}
+
+#[test]
+fn lane_width_rejects_bad_values_and_pending_work() {
+    let mut svc = service(1);
+    assert!(matches!(
+        svc.set_lane_width(0),
+        Err(ServiceError::BadConfig(_))
+    ));
+    assert!(matches!(
+        svc.set_lane_width(257),
+        Err(ServiceError::BadConfig(_))
+    ));
+    let nl = generators::wire_lanes(1).unwrap();
+    let t = svc.admit("w", &nl).unwrap();
+    svc.submit(t, &[("in0", true)]).unwrap();
+    // a queued request pins the width: resizing would orphan its lane
+    assert!(matches!(
+        svc.set_lane_width(LANES),
+        Err(ServiceError::BadConfig(_))
+    ));
+    svc.drain().unwrap();
+    svc.set_lane_width(LANES).unwrap();
+    assert_eq!(svc.lane_width(), LANES);
+    // the resized slot still answers
+    svc.submit(t, &[("in0", true)]).unwrap();
+    let out = svc.drain().unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(out[0].outputs[0].1);
 }

@@ -354,14 +354,16 @@ fn conservation(h: &Harness) -> (usize, usize, usize) {
     (h.submitted, h.answered.len(), h.faults_seen)
 }
 
-/// The migration chaos replay at an explicit executor width, returning
-/// the **full** observable artifact set: every response's demuxed output
-/// bits in arrival order, every fault record, the final billing table,
-/// and the move count.
-fn run_artifact_replay(threads: usize) -> ReplayArtifacts {
+/// The migration chaos replay at an explicit executor width and lane
+/// width, returning the **full** observable artifact set: every
+/// response's demuxed output bits in arrival order, every fault record,
+/// the final billing table, and the move count.
+fn run_artifact_replay(threads: usize, lane_width: usize) -> ReplayArtifacts {
     let mut h = Harness::with_shards(3, OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
     h.svc.set_threads(threads);
     assert_eq!(h.svc.threads(), threads);
+    h.svc.set_lane_width(lane_width).expect("lane width");
+    assert_eq!(h.svc.lane_width(), lane_width);
     for _ in 0..CYCLES {
         migration_chaos_cycle(&mut h);
     }
@@ -375,17 +377,19 @@ fn run_artifact_replay(threads: usize) -> ReplayArtifacts {
     }
 }
 
-/// The headline determinism gate of the parallel-executor refactor: the
-/// seeded 600-cycle chaos run (submit / drain / inject / repair /
-/// migrate / evacuate / discard) must produce **identical responses,
-/// faults and billing tables** at every executor width. Thread count 1
+/// The headline determinism gate of the worker-pool refactor: the seeded
+/// 600-cycle chaos run (submit / drain / inject / repair / migrate /
+/// evacuate / discard) must produce **identical responses, faults and
+/// billing tables** at every executor width × lane width. Thread count 1
 /// *is* the sequential execution path (the executor spawns nothing at
-/// width 1), so this also pins the parallel paths to the sequential
+/// width 1), so this also pins the pooled paths to the sequential
 /// baseline — bit-for-bit, including response arrival order and every
-/// demuxed output bit.
+/// demuxed output bit. Lane widths 64 and 256 agree because this
+/// workload never parks 64 lanes in one slot between drains, so the
+/// narrow width's earlier auto-flush threshold is never reached.
 #[test]
-fn parallel_replay_is_bitwise_identical_at_threads_1_2_4_8() {
-    let baseline = run_artifact_replay(1);
+fn parallel_replay_is_bitwise_identical_at_threads_1_to_16_lanes_64_and_256() {
+    let baseline = run_artifact_replay(1, 64);
     assert!(
         baseline.responses.len() > 100,
         "replay answered only {} requests",
@@ -393,19 +397,29 @@ fn parallel_replay_is_bitwise_identical_at_threads_1_2_4_8() {
     );
     assert!(!baseline.faults.is_empty(), "replay never faulted");
     assert!(baseline.migrations > 10, "replay barely migrated");
-    for threads in [2usize, 4, 8] {
-        let run = run_artifact_replay(threads);
+    for (threads, lanes) in [
+        (1usize, 256usize),
+        (2, 64),
+        (2, 256),
+        (4, 64),
+        (4, 256),
+        (8, 64),
+        (8, 256),
+        (16, 64),
+        (16, 256),
+    ] {
+        let run = run_artifact_replay(threads, lanes);
         assert_eq!(
             run.responses, baseline.responses,
-            "responses diverged at {threads} threads"
+            "responses diverged at {threads} threads × {lanes} lanes"
         );
         assert_eq!(
             run.faults, baseline.faults,
-            "fault log diverged at {threads} threads"
+            "fault log diverged at {threads} threads × {lanes} lanes"
         );
         assert_eq!(
             run.billing, baseline.billing,
-            "billing table diverged at {threads} threads"
+            "billing table diverged at {threads} threads × {lanes} lanes"
         );
         assert_eq!(run.migrations, baseline.migrations);
     }
