@@ -1,0 +1,367 @@
+//! QoS front-end latency under seeded open-loop load: per-class
+//! p50/p99/p999 flush-to-completion latency, admission/rejection counts,
+//! and the class-isolation gate, measured with the
+//! [`mcfpga_bench::loadgen`] traffic mixes over a [`FrontendDriver`].
+//!
+//! Acceptance (asserted, runs in CI):
+//!
+//! * under the adversarial-skew mix, the latency-sensitive p99 is
+//!   **strictly lower** than the throughput p99 — the whole point of the
+//!   QoS classes;
+//! * no admitted request is served past its deadline: every completion
+//!   with a deadline flushed at or before it (violations counted and
+//!   asserted zero; late requests must instead expire with the typed
+//!   event);
+//! * the full event log, service billing, and front-end billing are
+//!   bit-identical at 1, 8, and 16 executor threads;
+//! * the bursty mix exercises backpressure and the skew mix exercises
+//!   token-bucket rate rejections — both counters must be non-zero, or
+//!   the harness is no longer testing admission control.
+//!
+//! Set `MCFPGA_BENCH_SMOKE=1` to run only the acceptance checks and the
+//! `BENCH_frontend_latency.json` artifact, skipping wall-clock sampling —
+//! the mode CI uses on every push.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_bench::loadgen::{percentile, Arrival, LoadGen, TrafficMix};
+use mcfpga_bench::{smoke, write_bench_json, BenchValue};
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::frontend::{FrontendDriver, FrontendEvent, RateLimit, StreamPolicy, Ticket};
+use mcfpga_service::{ShardedService, TenantId};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+const SEED: u64 = 0x10AD_6E17;
+const CYCLES: u64 = 2000;
+
+fn input_names(nl: &LogicNetlist) -> Vec<String> {
+    nl.input_ids()
+        .into_iter()
+        .map(|id| match nl.node(id) {
+            Node::Input { name } => name.clone(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+/// Stream layout: two latency-sensitive trickle streams, one throughput
+/// trickle stream, and one throughput hot stream (index 3 — the skew
+/// mix's target), rate-limited so admission control has teeth.
+fn build(threads: usize) -> (FrontendDriver, Vec<(TenantId, Vec<String>, bool)>) {
+    let mut svc = ShardedService::new(
+        2,
+        FabricParams {
+            width: 5,
+            height: 5,
+            channel_width: 3,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+    )
+    .expect("service");
+    svc.set_threads(threads);
+    let mut fe = FrontendDriver::new(svc);
+    let designs = [
+        ("ls-parity", generators::parity_tree(3).unwrap()),
+        ("ls-cmp", generators::equality_comparator(2).unwrap()),
+        ("tp-pop", generators::popcount4().unwrap()),
+        ("tp-hot", generators::parity_tree(4).unwrap()),
+    ];
+    let policies = [
+        StreamPolicy::latency_sensitive(16, 12),
+        StreamPolicy::latency_sensitive(16, 12),
+        StreamPolicy::throughput(8),
+        StreamPolicy::throughput(16).with_rate(RateLimit::per_cycles(2, 1, 4)),
+    ];
+    let mut streams = Vec::new();
+    for ((name, nl), policy) in designs.iter().zip(policies) {
+        let tenant = fe.admit(name, nl).expect("admit");
+        fe.open_stream(tenant, policy).expect("open");
+        let latency_sensitive = name.starts_with("ls-");
+        streams.push((tenant, input_names(nl), latency_sensitive));
+    }
+    (fe, streams)
+}
+
+/// Everything one replay of a mix observes. `events` etc. are the
+/// bit-identity artifacts; the rest feeds the JSON.
+struct MixOutcome {
+    ls_latencies: Vec<u64>,
+    tp_latencies: Vec<u64>,
+    offered: usize,
+    admitted: usize,
+    rejected_backpressure: usize,
+    rejected_rate: usize,
+    completed: usize,
+    expired: usize,
+    failed: usize,
+    deadline_violations: u64,
+    events: Vec<String>,
+    billing: String,
+    frontend_billing: String,
+}
+
+/// Replays `mix` open-loop for [`CYCLES`] virtual cycles: offers land on
+/// their scheduled cycle whether or not the service kept up, one pump
+/// per cycle, then a forced flush of the tail.
+fn run_mix(mix: TrafficMix, threads: usize) -> MixOutcome {
+    let (mut fe, streams) = build(threads);
+    let mut generator = LoadGen::new(SEED, mix, streams.len());
+    // ticket → deadline the request was admitted under (None for
+    // throughput-class requests, which carry no implicit deadline)
+    let mut deadlines: HashMap<Ticket, Option<u64>> = HashMap::new();
+    let mut ls_latencies = Vec::new();
+    let mut tp_latencies = Vec::new();
+    let mut deadline_violations = 0u64;
+    let mut events = Vec::new();
+
+    let absorb = |batch: Vec<FrontendEvent>,
+                  events: &mut Vec<String>,
+                  ls: &mut Vec<u64>,
+                  tp: &mut Vec<u64>,
+                  violations: &mut u64,
+                  deadlines: &mut HashMap<Ticket, Option<u64>>| {
+        for event in batch {
+            events.push(format!("{event:?}"));
+            match &event {
+                FrontendEvent::Completed {
+                    ticket,
+                    latency,
+                    flushed,
+                    ..
+                } => match deadlines.remove(ticket).expect("completion has a ticket") {
+                    Some(deadline) if *flushed > deadline => *violations += 1,
+                    Some(_) => ls.push(*latency),
+                    None => tp.push(*latency),
+                },
+                FrontendEvent::Expired { ticket, .. } => {
+                    deadlines.remove(ticket);
+                }
+                FrontendEvent::Failed { ticket, .. } => {
+                    deadlines.remove(ticket);
+                }
+                FrontendEvent::PassThrough { .. } => {}
+            }
+        }
+    };
+
+    for _ in 0..CYCLES {
+        for Arrival { stream, entropy } in generator.tick() {
+            let (tenant, names, latency_sensitive) = &streams[stream];
+            let inputs: Vec<(&str, bool)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), entropy >> i & 1 == 1))
+                .collect();
+            if let Ok(ticket) = fe.offer(*tenant, &inputs, None) {
+                let budget = fe.stream_policy(*tenant).unwrap().deadline_budget;
+                debug_assert_eq!(budget.is_some(), *latency_sensitive);
+                deadlines.insert(ticket, budget.map(|b| fe.now() + b));
+            }
+        }
+        let batch = fe.pump().expect("pump");
+        absorb(
+            batch,
+            &mut events,
+            &mut ls_latencies,
+            &mut tp_latencies,
+            &mut deadline_violations,
+            &mut deadlines,
+        );
+        fe.advance(1);
+    }
+    let tail = fe.flush_all().expect("flush tail");
+    absorb(
+        tail,
+        &mut events,
+        &mut ls_latencies,
+        &mut tp_latencies,
+        &mut deadline_violations,
+        &mut deadlines,
+    );
+    assert_eq!(fe.queued_requests(), 0, "flush_all left the queues dirty");
+    assert_eq!(fe.inflight_requests(), 0, "the service still owes answers");
+
+    let mut offered = 0;
+    let mut admitted = 0;
+    let mut rejected_backpressure = 0;
+    let mut rejected_rate = 0;
+    let mut completed = 0;
+    let mut expired = 0;
+    let mut failed = 0;
+    for (tenant, _, _) in &streams {
+        let usage = fe.frontend_usage(*tenant).expect("usage");
+        offered += usage.offered;
+        admitted += usage.admitted;
+        rejected_backpressure += usage.rejected_backpressure;
+        rejected_rate += usage.rejected_rate;
+        completed += usage.completed;
+        expired += usage.expired;
+        failed += usage.failed;
+    }
+    MixOutcome {
+        ls_latencies,
+        tp_latencies,
+        offered,
+        admitted,
+        rejected_backpressure,
+        rejected_rate,
+        completed,
+        expired,
+        failed,
+        deadline_violations,
+        events,
+        billing: fe.service().billing_report(),
+        frontend_billing: fe.frontend_billing_report(),
+    }
+}
+
+const SKEW: TrafficMix = TrafficMix::AdversarialSkew {
+    hot: 3,
+    hot_per_cycle: 3,
+    num: 1,
+    den: 3,
+};
+const POISSON: TrafficMix = TrafficMix::Poisson { num: 1, den: 3 };
+const BURSTY: TrafficMix = TrafficMix::Bursty {
+    on: 4,
+    off: 12,
+    per_cycle: 3,
+};
+
+/// The asserted acceptance pass + the machine-readable artifact.
+fn acceptance_and_artifact() {
+    let skew = run_mix(SKEW, 1);
+    let poisson = run_mix(POISSON, 1);
+    let bursty = run_mix(BURSTY, 1);
+
+    // class isolation under skew: the latency-sensitive tail must beat
+    // the throughput tail strictly, with enough samples to mean it
+    assert!(skew.ls_latencies.len() >= 1000, "p999 needs ≥1000 samples");
+    assert!(skew.tp_latencies.len() >= 1000, "p999 needs ≥1000 samples");
+    let ls_p99 = percentile(&skew.ls_latencies, 99.0);
+    let tp_p99 = percentile(&skew.tp_latencies, 99.0);
+    assert!(
+        ls_p99 < tp_p99,
+        "latency-sensitive p99 ({ls_p99}) must beat throughput p99 ({tp_p99})"
+    );
+
+    // deadline discipline: served-late is a bug in every mix
+    for (name, mix) in [("skew", &skew), ("poisson", &poisson), ("bursty", &bursty)] {
+        assert_eq!(
+            mix.deadline_violations, 0,
+            "{name}: a request was served past its deadline"
+        );
+        assert_eq!(
+            mix.offered,
+            mix.admitted + mix.rejected_backpressure + mix.rejected_rate,
+            "{name}: admission arithmetic leaks"
+        );
+        assert_eq!(
+            mix.admitted,
+            mix.completed + mix.expired + mix.failed,
+            "{name}: an admitted request vanished"
+        );
+    }
+
+    // the harness must actually exercise admission control
+    assert!(
+        skew.rejected_rate > 0,
+        "the hot stream's token bucket never rejected — load too light"
+    );
+    assert!(
+        bursty.rejected_backpressure > 0,
+        "the bursty mix never hit a bounded queue — load too light"
+    );
+
+    // executor-width determinism: identical event log and billing at
+    // 1, 8 and 16 threads
+    let mut determinism = true;
+    for threads in [8usize, 16] {
+        let run = run_mix(SKEW, threads);
+        assert_eq!(
+            run.events, skew.events,
+            "event log diverged at {threads} threads"
+        );
+        assert_eq!(run.billing, skew.billing, "billing diverged at {threads}");
+        assert_eq!(
+            run.frontend_billing, skew.frontend_billing,
+            "front-end billing diverged at {threads}"
+        );
+        determinism &= run.events == skew.events && run.billing == skew.billing;
+    }
+
+    let mut fields: Vec<(String, BenchValue)> = vec![
+        ("cycles".into(), CYCLES.into()),
+        ("seed".into(), SEED.into()),
+        ("threads_checked".into(), "1,8,16".into()),
+        ("thread_determinism".into(), determinism.into()),
+        ("ls_p99_below_tp_p99".into(), (ls_p99 < tp_p99).into()),
+        (
+            "deadline_violations".into(),
+            skew.deadline_violations.into(),
+        ),
+    ];
+    for (name, mix) in [("skew", &skew), ("poisson", &poisson), ("bursty", &bursty)] {
+        for (class, samples) in [
+            ("latency_sensitive", &mix.ls_latencies),
+            ("throughput", &mix.tp_latencies),
+        ] {
+            for (tag, p) in [("p50", 50.0), ("p99", 99.0), ("p999", 99.9)] {
+                fields.push((
+                    format!("{name}_{class}_{tag}_cycles"),
+                    percentile(samples, p).into(),
+                ));
+            }
+        }
+        fields.push((format!("{name}_offered"), mix.offered.into()));
+        fields.push((format!("{name}_admitted"), mix.admitted.into()));
+        fields.push((
+            format!("{name}_rejected_backpressure"),
+            mix.rejected_backpressure.into(),
+        ));
+        fields.push((format!("{name}_rejected_rate"), mix.rejected_rate.into()));
+        fields.push((format!("{name}_completed"), mix.completed.into()));
+        fields.push((format!("{name}_expired"), mix.expired.into()));
+    }
+    let json = write_bench_json("frontend_latency", &fields).expect("write artifact");
+    println!("wrote {}", json.display());
+    println!(
+        "skew: ls p99 {ls_p99} < tp p99 {tp_p99}; {} rate-rejected, {} backpressured (bursty)",
+        skew.rejected_rate, bursty.rejected_backpressure
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    acceptance_and_artifact();
+    if smoke() {
+        println!("MCFPGA_BENCH_SMOKE set: skipping wall-clock sampling");
+        return;
+    }
+
+    let mut group = c.benchmark_group("frontend_latency");
+    group.sample_size(10);
+
+    group.bench_function("skew_2000_cycles_end_to_end", |b| {
+        b.iter(|| black_box(run_mix(SKEW, 1).completed));
+    });
+
+    group.bench_function("offer_admission_path", |b| {
+        let (mut fe, streams) = build(1);
+        let (tenant, names, _) = streams[0].clone();
+        let inputs: Vec<(&str, bool)> = names.iter().map(|n| (n.as_str(), true)).collect();
+        b.iter(|| {
+            let ticket = fe.offer(tenant, &inputs, None).expect("admitted");
+            // flush immediately so the bounded queue never rejects
+            let events = fe.flush_all().expect("flush");
+            black_box((ticket, events.len()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod loadgen;
+
 use mcfpga_core::equivalence;
 use mcfpga_core::redundancy;
 use mcfpga_core::timing::TimingParams;

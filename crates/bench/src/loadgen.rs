@@ -1,0 +1,257 @@
+//! # Seeded open-loop traffic generation for the QoS front-end
+//!
+//! An **open-loop** load generator decides arrival times *in advance of
+//! and independent of* the system's responses — requests keep arriving
+//! on schedule whether or not earlier ones have completed. That is the
+//! honest way to measure a service under load: a closed loop (issue →
+//! wait → issue) lets a slow system throttle its own offered load and
+//! hides queueing delay (coordinated omission). Here the schedule is a
+//! pure function of a seed, so a latency artifact reproduces bit-for-bit.
+//!
+//! Three mixes, all driven by the workspace's deterministic `StdRng`:
+//!
+//! * [`TrafficMix::Poisson`] — every stream sees an independent
+//!   Bernoulli arrival per cycle with probability `num/den`; in discrete
+//!   time that *is* the memoryless process (geometric inter-arrival
+//!   gaps), the standard Poisson approximation with no floating point.
+//! * [`TrafficMix::Bursty`] — a square wave: `per_cycle` arrivals every
+//!   cycle of an `on` window, silence for `off`, repeat. Stresses the
+//!   front-end's EWMA rate estimate across regime changes.
+//! * [`TrafficMix::AdversarialSkew`] — one designated hot stream fires
+//!   `hot_per_cycle` arrivals *every* cycle while the rest trickle at
+//!   Bernoulli `num/den`. The admission-control worst case: the hot
+//!   tenant saturates its bounded queue and must be rejected with
+//!   backpressure while the trickle streams keep their latency floor.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One scheduled request arrival: which stream it lands on and a word of
+/// seeded entropy for the harness to turn into input bits. The generator
+/// deliberately knows nothing about netlists — mapping entropy to named
+/// inputs is the caller's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Index of the destination stream, `0..streams`.
+    pub stream: usize,
+    /// 64 seeded bits; bit `i` conventionally drives input `i`.
+    pub entropy: u64,
+}
+
+/// The arrival-process shape. All parameters are integers so the
+/// schedule is exact and platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficMix {
+    /// Independent Bernoulli(`num`/`den`) arrival per stream per cycle —
+    /// the discrete-time Poisson process.
+    Poisson {
+        /// Arrival probability numerator.
+        num: u32,
+        /// Arrival probability denominator (> 0).
+        den: u32,
+    },
+    /// `per_cycle` arrivals on every stream during each `on`-cycle
+    /// window, none for `off` cycles, repeating.
+    Bursty {
+        /// Length of the firing window, in cycles (> 0).
+        on: u64,
+        /// Length of the silent window, in cycles.
+        off: u64,
+        /// Arrivals per stream per firing cycle.
+        per_cycle: u32,
+    },
+    /// Stream `hot` fires `hot_per_cycle` arrivals every cycle; all
+    /// other streams are Bernoulli(`num`/`den`).
+    AdversarialSkew {
+        /// Index of the saturating stream.
+        hot: usize,
+        /// Arrivals on the hot stream, every cycle.
+        hot_per_cycle: u32,
+        /// Trickle probability numerator for the other streams.
+        num: u32,
+        /// Trickle probability denominator (> 0).
+        den: u32,
+    },
+}
+
+/// Seeded open-loop arrival schedule over `streams` parallel streams.
+/// Each [`tick`](LoadGen::tick) returns the arrivals for one virtual
+/// cycle; two generators with equal seeds and mixes produce equal
+/// schedules forever.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    rng: StdRng,
+    mix: TrafficMix,
+    streams: usize,
+    cycle: u64,
+}
+
+impl LoadGen {
+    /// A generator for `streams` streams under `mix`, seeded with
+    /// `seed`. Panics on zero streams, a zero denominator, a zero `on`
+    /// window, or a hot index out of range — all schedule bugs, not
+    /// runtime conditions.
+    #[must_use]
+    pub fn new(seed: u64, mix: TrafficMix, streams: usize) -> Self {
+        assert!(streams > 0, "a schedule needs at least one stream");
+        match mix {
+            TrafficMix::Poisson { den, .. } => assert!(den > 0, "zero denominator"),
+            TrafficMix::Bursty { on, .. } => assert!(on > 0, "a burst needs a window"),
+            TrafficMix::AdversarialSkew { hot, den, .. } => {
+                assert!(den > 0, "zero denominator");
+                assert!(hot < streams, "hot stream {hot} out of range {streams}");
+            }
+        }
+        LoadGen {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            streams,
+            cycle: 0,
+        }
+    }
+
+    /// The virtual cycle the next [`tick`](Self::tick) will schedule.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances one virtual cycle and returns its arrivals, in stream
+    /// order (ties broken by draw order within a stream).
+    pub fn tick(&mut self) -> Vec<Arrival> {
+        let cycle = self.cycle;
+        self.cycle += 1;
+        let mut arrivals = Vec::new();
+        for stream in 0..self.streams {
+            let count = match self.mix {
+                TrafficMix::Poisson { num, den } => u32::from(self.rng.random_range(0..den) < num),
+                TrafficMix::Bursty { on, off, per_cycle } => {
+                    if cycle % (on + off) < on {
+                        per_cycle
+                    } else {
+                        0
+                    }
+                }
+                TrafficMix::AdversarialSkew {
+                    hot,
+                    hot_per_cycle,
+                    num,
+                    den,
+                } => {
+                    if stream == hot {
+                        hot_per_cycle
+                    } else {
+                        u32::from(self.rng.random_range(0..den) < num)
+                    }
+                }
+            };
+            for _ in 0..count {
+                let entropy = (u64::from(self.rng.random_range(0..u32::MAX)) << 32)
+                    | u64::from(self.rng.random_range(0..u32::MAX));
+                arrivals.push(Arrival { stream, entropy });
+            }
+        }
+        arrivals
+    }
+
+    /// Runs `cycles` ticks and returns the whole schedule as
+    /// `(cycle, arrival)` pairs — the form the latency harness replays.
+    pub fn schedule(&mut self, cycles: u64) -> Vec<(u64, Arrival)> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            let cycle = self.cycle;
+            for a in self.tick() {
+                out.push((cycle, a));
+            }
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample (`p` in
+/// `0.0..=100.0`). Returns 0 on an empty sample — the caller decides
+/// whether that is meaningful.
+#[must_use]
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_make_equal_schedules() {
+        let mix = TrafficMix::Poisson { num: 1, den: 3 };
+        let a = LoadGen::new(7, mix, 4).schedule(500);
+        let b = LoadGen::new(7, mix, 4).schedule(500);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            LoadGen::new(8, mix, 4).schedule(500),
+            "a different seed must move the schedule"
+        );
+    }
+
+    #[test]
+    fn poisson_rate_lands_near_num_over_den() {
+        let mut generator = LoadGen::new(42, TrafficMix::Poisson { num: 1, den: 4 }, 1);
+        let n = generator.schedule(8000).len() as f64;
+        let expect = 8000.0 / 4.0;
+        assert!(
+            (n - expect).abs() < expect * 0.15,
+            "observed {n} arrivals, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn bursty_is_silent_in_the_off_window() {
+        let mix = TrafficMix::Bursty {
+            on: 3,
+            off: 5,
+            per_cycle: 2,
+        };
+        let mut generator = LoadGen::new(1, mix, 2);
+        for cycle in 0..64u64 {
+            let arrivals = generator.tick();
+            if cycle % 8 < 3 {
+                assert_eq!(arrivals.len(), 4, "2 streams × 2 per cycle in the window");
+            } else {
+                assert!(arrivals.is_empty(), "cycle {cycle} should be silent");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_skew_saturates_exactly_the_hot_stream() {
+        let mix = TrafficMix::AdversarialSkew {
+            hot: 2,
+            hot_per_cycle: 3,
+            num: 1,
+            den: 8,
+        };
+        let schedule = LoadGen::new(5, mix, 4).schedule(400);
+        let hot = schedule.iter().filter(|(_, a)| a.stream == 2).count();
+        let cold = schedule.len() - hot;
+        assert_eq!(hot, 1200, "hot stream fires on schedule, every cycle");
+        assert!(
+            cold > 50 && cold < 400,
+            "3 trickle streams at 1/8 over 400 cycles ≈ 150, got {cold}"
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [5u64, 1, 4, 2, 3];
+        assert_eq!(percentile(&samples, 50.0), 3);
+        assert_eq!(percentile(&samples, 100.0), 5);
+        assert_eq!(percentile(&samples, 1.0), 1);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+}

@@ -224,6 +224,127 @@ pub fn render_billing(rows: &[(String, TenantUsage)], p: &TechParams) -> String 
     )
 }
 
+/// Raw QoS front-end admission counters for one tenant's request stream.
+///
+/// Deliberately a **separate** struct from [`TenantUsage`]: that one is
+/// serialized inside the versioned migration checkpoint wire format
+/// (golden-file pinned), so front-end accounting — which never migrates;
+/// streams live on the coordinator — gets its own ledger rather than a
+/// wire-format bump. Every counter is an *outcome* count, so for any
+/// stream `offered == admitted + rejected_backpressure + rejected_rate +
+/// rejected_deadline` and every admitted request eventually lands in
+/// exactly one of `completed`, `expired`, or `failed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendUsage {
+    /// Requests offered to the stream (admitted or not).
+    pub offered: usize,
+    /// Requests admitted into the bounded stream queue.
+    pub admitted: usize,
+    /// Offers refused because the bounded queue was full.
+    pub rejected_backpressure: usize,
+    /// Offers rejected by the token-bucket rate limit.
+    pub rejected_rate: usize,
+    /// Offers rejected as dead on arrival (deadline already passed).
+    pub rejected_deadline: usize,
+    /// Admitted requests served to completion.
+    pub completed: usize,
+    /// Admitted requests whose deadline passed while still queued in the
+    /// front-end — removed unserved with a typed event.
+    pub expired: usize,
+    /// Admitted requests the service refused at submit time.
+    pub failed: usize,
+    /// Whole rate-limit tokens spent on admissions.
+    pub rate_tokens_spent: usize,
+}
+
+impl FrontendUsage {
+    /// Accumulates another stream's counters into this one.
+    pub fn absorb(&mut self, other: &FrontendUsage) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.rejected_backpressure += other.rejected_backpressure;
+        self.rejected_rate += other.rejected_rate;
+        self.rejected_deadline += other.rejected_deadline;
+        self.completed += other.completed;
+        self.expired += other.expired;
+        self.failed += other.failed;
+        self.rate_tokens_spent += other.rate_tokens_spent;
+    }
+
+    /// Total offers rejected for any reason (backpressure, rate limit,
+    /// dead-on-arrival deadline).
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected_backpressure + self.rejected_rate + self.rejected_deadline
+    }
+
+    /// Admitted requests already resolved (completed, expired, or
+    /// failed); the remainder are still queued or in flight.
+    #[must_use]
+    pub fn resolved(&self) -> usize {
+        self.completed + self.expired + self.failed
+    }
+}
+
+/// One stream's admission counters summarized into service-quality rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendBill {
+    /// Fraction of offers admitted (1.0 for an uncontended stream).
+    pub admission_rate: f64,
+    /// Fraction of *admitted* requests served to completion — the
+    /// stream's goodput ratio (expiries and failures subtract from it).
+    pub goodput: f64,
+}
+
+/// Summarizes `usage` into admission/goodput rates.
+#[must_use]
+pub fn bill_frontend(usage: &FrontendUsage) -> FrontendBill {
+    FrontendBill {
+        admission_rate: if usage.offered == 0 {
+            1.0
+        } else {
+            usage.admitted as f64 / usage.offered as f64
+        },
+        goodput: if usage.resolved() == 0 {
+            1.0
+        } else {
+            usage.completed as f64 / usage.resolved() as f64
+        },
+    }
+}
+
+/// Renders a per-stream admission/QoS billing table (markdown) from
+/// `(name, usage)` rows.
+#[must_use]
+pub fn render_frontend_billing(rows: &[(String, FrontendUsage)]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, u)| {
+            let b = bill_frontend(u);
+            vec![
+                name.clone(),
+                u.offered.to_string(),
+                u.admitted.to_string(),
+                u.rejected_backpressure.to_string(),
+                u.rejected_rate.to_string(),
+                u.rejected_deadline.to_string(),
+                u.completed.to_string(),
+                u.expired.to_string(),
+                u.failed.to_string(),
+                format!("{:.3}", b.admission_rate),
+                format!("{:.3}", b.goodput),
+            ]
+        })
+        .collect();
+    crate::report::render_markdown_table(
+        &[
+            "stream", "offered", "admitted", "bp", "rate-rej", "ddl-rej", "done", "expired",
+            "failed", "adm rate", "goodput",
+        ],
+        &body,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +506,55 @@ mod tests {
         let table = render_billing(&[("mover".to_string(), u)], &p);
         assert!(table.contains("migr"));
         assert!(table.contains("300"));
+    }
+
+    #[test]
+    fn frontend_usage_invariants_and_rates() {
+        let mut u = FrontendUsage {
+            offered: 10,
+            admitted: 7,
+            rejected_backpressure: 1,
+            rejected_rate: 1,
+            rejected_deadline: 1,
+            completed: 5,
+            expired: 1,
+            failed: 1,
+            rate_tokens_spent: 7,
+        };
+        assert_eq!(u.offered, u.admitted + u.rejected());
+        assert_eq!(u.resolved(), 7);
+        let b = bill_frontend(&u);
+        assert!((b.admission_rate - 0.7).abs() < 1e-12);
+        assert!((b.goodput - 5.0 / 7.0).abs() < 1e-12);
+        u.absorb(&u.clone());
+        assert_eq!(u.offered, 20);
+        assert_eq!(u.completed, 10);
+        // empty stream reads as perfectly served, not as 0/0
+        let idle = bill_frontend(&FrontendUsage::default());
+        assert_eq!(idle.admission_rate, 1.0);
+        assert_eq!(idle.goodput, 1.0);
+    }
+
+    #[test]
+    fn frontend_billing_table_renders_all_streams() {
+        let rows = vec![
+            (
+                "video (latency-sensitive)".to_string(),
+                FrontendUsage {
+                    offered: 4,
+                    admitted: 3,
+                    rejected_backpressure: 1,
+                    completed: 3,
+                    ..FrontendUsage::default()
+                },
+            ),
+            ("batch (throughput)".to_string(), FrontendUsage::default()),
+        ];
+        let table = render_frontend_billing(&rows);
+        assert!(table.contains("video"));
+        assert!(table.contains("batch"));
+        assert!(table.contains("adm rate"));
+        assert!(table.contains("goodput"));
     }
 
     #[test]

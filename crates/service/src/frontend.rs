@@ -1,0 +1,893 @@
+//! The QoS streaming front-end: admission control, backpressure, and
+//! deadline-aware flush timing over a [`ShardedService`].
+//!
+//! Until now traffic entered the service through synchronous
+//! [`ShardedService::submit`] plus an explicit
+//! [`drain`](ShardedService::drain) — fine for tests, wrong for a runtime
+//! serving millions of users: a slow tenant's queue grows without bound, a
+//! latency-sensitive tenant waits behind a half-full lane batch, and
+//! nothing meters who may submit how fast. A [`FrontendDriver`] puts a
+//! per-tenant **request stream** in front of every slot:
+//!
+//! * **QoS classes** ([`QosClass`]). A [`LatencySensitive`] stream
+//!   triggers *early partial-chunk flushes*: [`pump`] predicts, from the
+//!   stream's observed arrival rate, whether waiting for more lanes would
+//!   carry the head request past its deadline, and if so flushes the
+//!   partial batch immediately through
+//!   [`ShardedService::flush_tenants`] — the partial-width entry point
+//!   into the existing parallel drain path. A [`Throughput`] stream waits
+//!   for a full batch (`min(lane width, queue capacity)` lanes) before
+//!   flushing, maximizing vectors per pass.
+//! * **Admission control**. Every stream's queue is *bounded*:
+//!   [`offer`] returns a typed [`FrontendError::Backpressure`] when the
+//!   queue is at capacity instead of growing it, and a typed
+//!   [`FrontendError::Rejected`] when a token-bucket rate limit
+//!   ([`RateLimit`]) is exhausted or the request arrives already past its
+//!   deadline. Rejections are never silent: every outcome is counted in
+//!   the stream's [`FrontendUsage`] and billed through
+//!   [`mcfpga_cost::attribution`].
+//! * **Deadlines**. An admitted request carries an absolute virtual-clock
+//!   deadline (explicit, or the stream's default budget). A request still
+//!   *queued in the front-end* when its deadline passes is removed on the
+//!   next [`pump`] and surfaced as a typed [`FrontendEvent::Expired`] —
+//!   so an admitted request is always flushed by its deadline or expired
+//!   with a typed error, never silently late. Once flushed into the
+//!   service, completion is guaranteed (the service conserves requests).
+//! * **Virtual clock**. The driver never reads wall time: the caller owns
+//!   time via [`advance`], so every test and bench is deterministic —
+//!   latency is measured in virtual-clock cycles and is bit-for-bit
+//!   reproducible at any executor thread count.
+//!
+//! The flow per request: `offer` (admit / backpressure / reject) → bounded
+//! stream queue → `pump` (expire, then flush-decision per stream) →
+//! [`ShardedService::submit`] + [`flush_tenants`] → [`FrontendEvent`]s.
+//!
+//! [`LatencySensitive`]: QosClass::LatencySensitive
+//! [`Throughput`]: QosClass::Throughput
+//! [`offer`]: FrontendDriver::offer
+//! [`pump`]: FrontendDriver::pump
+//! [`advance`]: FrontendDriver::advance
+//! [`flush_tenants`]: ShardedService::flush_tenants
+//!
+//! ```
+//! use mcfpga_device::TechParams;
+//! use mcfpga_fabric::netlist_ir::generators;
+//! use mcfpga_fabric::FabricParams;
+//! use mcfpga_service::frontend::{FrontendDriver, FrontendEvent, StreamPolicy};
+//! use mcfpga_service::ShardedService;
+//!
+//! let svc = ShardedService::new(1, FabricParams::default(), TechParams::default())?;
+//! let mut fe = FrontendDriver::new(svc);
+//! let t = fe.admit("wire", &generators::wire_lanes(1).unwrap())?;
+//! // a latency-sensitive stream: up to 8 queued, 4-cycle deadline budget
+//! fe.open_stream(t, StreamPolicy::latency_sensitive(8, 4))?;
+//! let ticket = fe.offer(t, &[("in0", true)], None)?;
+//! // the deadline (now + 4) is near and the arrival rate is unknown, so
+//! // the very next pump flushes the single-lane partial batch
+//! let events = fe.pump()?;
+//! match &events[0] {
+//!     FrontendEvent::Completed { ticket: tk, outputs, latency, .. } => {
+//!         assert_eq!(*tk, ticket);
+//!         assert_eq!(*latency, 0, "flushed on the same virtual cycle");
+//!         assert!(outputs[0].1);
+//!     }
+//!     other => panic!("expected completion, got {other:?}"),
+//! }
+//! # Ok::<(), mcfpga_service::frontend::FrontendError>(())
+//! ```
+
+use crate::batch::{RequestId, Response};
+use crate::registry::TenantId;
+use crate::service::{ShardedService, SlotFault};
+use crate::ServiceError;
+use mcfpga_cost::attribution::{render_frontend_billing, FrontendUsage};
+use mcfpga_fabric::LogicNetlist;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The service class of one tenant's request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Deadline-driven: [`FrontendDriver::pump`] flushes a *partial*
+    /// lane batch early whenever waiting for more arrivals is predicted
+    /// to carry the head request past its deadline.
+    LatencySensitive,
+    /// Efficiency-driven: flushes only when a full batch
+    /// (`min(lane width, queue capacity)` lanes) has accumulated, so
+    /// every pass serves as many vectors as possible.
+    Throughput,
+}
+
+impl std::fmt::Display for QosClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QosClass::LatencySensitive => write!(f, "latency-sensitive"),
+            QosClass::Throughput => write!(f, "throughput"),
+        }
+    }
+}
+
+/// A deterministic token-bucket rate limit, in integer virtual-clock
+/// arithmetic (no floats, so refill is bit-for-bit reproducible).
+///
+/// The bucket holds up to `burst` tokens and gains `refill_num` tokens
+/// every `refill_den` cycles (fractional rates are exact: tokens are
+/// stored scaled by `refill_den`). Each admitted request spends one
+/// token; an empty bucket rejects with
+/// [`RejectReason::RateLimited`] naming the cycles until a token exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity in whole tokens (the largest admissible burst).
+    pub burst: u64,
+    /// Tokens refilled per `refill_den` cycles.
+    pub refill_num: u64,
+    /// Refill period in cycles (must be non-zero).
+    pub refill_den: u64,
+}
+
+impl RateLimit {
+    /// `tokens` per `cycles` cycles, with a burst allowance of `burst`.
+    #[must_use]
+    pub fn per_cycles(tokens: u64, cycles: u64, burst: u64) -> Self {
+        RateLimit {
+            burst,
+            refill_num: tokens,
+            refill_den: cycles,
+        }
+    }
+}
+
+/// Everything that shapes one tenant's stream: class, queue bound,
+/// default deadline budget, and optional rate limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPolicy {
+    /// The stream's QoS class.
+    pub class: QosClass,
+    /// Maximum queued (admitted, not yet flushed) requests; an offer
+    /// beyond this is refused with [`FrontendError::Backpressure`].
+    pub capacity: usize,
+    /// Default *relative* deadline (cycles from arrival) applied when an
+    /// offer passes no explicit deadline. `None` means no deadline.
+    pub deadline_budget: Option<u64>,
+    /// Optional token-bucket admission rate limit.
+    pub rate: Option<RateLimit>,
+}
+
+impl StreamPolicy {
+    /// A latency-sensitive stream: bounded at `capacity`, every request
+    /// due `deadline_budget` cycles after it arrives.
+    #[must_use]
+    pub fn latency_sensitive(capacity: usize, deadline_budget: u64) -> Self {
+        StreamPolicy {
+            class: QosClass::LatencySensitive,
+            capacity,
+            deadline_budget: Some(deadline_budget),
+            rate: None,
+        }
+    }
+
+    /// A throughput stream: bounded at `capacity`, no deadlines — it
+    /// waits for full batches.
+    #[must_use]
+    pub fn throughput(capacity: usize) -> Self {
+        StreamPolicy {
+            class: QosClass::Throughput,
+            capacity,
+            deadline_budget: None,
+            rate: None,
+        }
+    }
+
+    /// The same policy with a token-bucket rate limit attached.
+    #[must_use]
+    pub fn with_rate(mut self, rate: RateLimit) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+}
+
+/// Opaque handle of one *admitted* front-end request. Minted by
+/// [`FrontendDriver::offer`] on success only (a refused offer burns
+/// nothing), resolved exactly once by a [`FrontendEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The raw ticket number (admission order, starting at 0).
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tkt#{}", self.0)
+    }
+}
+
+/// Why an offer was rejected outright (distinct from
+/// [`FrontendError::Backpressure`], which invites a retry once the queue
+/// drains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The stream's token bucket is empty. `retry_cycles` is how many
+    /// cycles until at least one token has refilled.
+    RateLimited {
+        /// Cycles until the bucket next holds a whole token.
+        retry_cycles: u64,
+    },
+    /// The request's deadline already passed when it was offered — it
+    /// could never be served in time, so admission refuses it instead of
+    /// queueing doomed work.
+    DeadlinePassed {
+        /// The dead-on-arrival deadline.
+        deadline: u64,
+        /// The virtual clock at the offer.
+        now: u64,
+    },
+}
+
+/// Errors from the front-end's admission and configuration surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// The tenant has no open stream.
+    NoStream(TenantId),
+    /// [`FrontendDriver::open_stream`] called twice for one tenant.
+    StreamExists(TenantId),
+    /// A stream policy that cannot work (zero capacity, zero-period
+    /// rate limit).
+    BadPolicy(String),
+    /// The stream's bounded queue is full. Not a failure of the request —
+    /// the producer should slow down and retry; nothing was enqueued.
+    Backpressure {
+        /// The saturated stream's tenant.
+        tenant: TenantId,
+        /// Requests currently queued (== capacity).
+        queued: usize,
+        /// The stream's configured bound.
+        capacity: usize,
+    },
+    /// The offer was rejected by admission control (rate limit or
+    /// dead-on-arrival deadline); see [`RejectReason`].
+    Rejected {
+        /// The rejecting stream's tenant.
+        tenant: TenantId,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Lane width (or another service knob) cannot change while requests
+    /// sit in front-end queues — flush or let them expire first.
+    QueuesNotEmpty {
+        /// Requests currently queued across all streams.
+        queued: usize,
+    },
+    /// An error from the underlying service.
+    Service(ServiceError),
+}
+
+impl From<ServiceError> for FrontendError {
+    fn from(e: ServiceError) -> Self {
+        FrontendError::Service(e)
+    }
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::NoStream(t) => write!(f, "tenant {t} has no open stream"),
+            FrontendError::StreamExists(t) => write!(f, "tenant {t} already has a stream"),
+            FrontendError::BadPolicy(s) => write!(f, "bad stream policy: {s}"),
+            FrontendError::Backpressure {
+                tenant,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "backpressure: {tenant}'s stream holds {queued}/{capacity} requests"
+            ),
+            FrontendError::Rejected { tenant, reason } => match reason {
+                RejectReason::RateLimited { retry_cycles } => write!(
+                    f,
+                    "rejected: {tenant} rate-limited, retry in {retry_cycles} cycles"
+                ),
+                RejectReason::DeadlinePassed { deadline, now } => write!(
+                    f,
+                    "rejected: deadline {deadline} already passed at cycle {now}"
+                ),
+            },
+            FrontendError::QueuesNotEmpty { queued } => {
+                write!(f, "{queued} requests still queued in front-end streams")
+            }
+            FrontendError::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// One resolved front-end request, returned by
+/// [`FrontendDriver::pump`] / [`flush_all`](FrontendDriver::flush_all).
+/// Every admitted [`Ticket`] produces exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendEvent {
+    /// The request was flushed and served.
+    Completed {
+        /// The admitted request's ticket.
+        ticket: Ticket,
+        /// The service-level request id it rode.
+        request: RequestId,
+        /// The serving tenant.
+        tenant: TenantId,
+        /// Named output values, demuxed from the request's lane.
+        outputs: Vec<(Arc<str>, bool)>,
+        /// Virtual cycles from arrival ([`FrontendDriver::offer`]) to
+        /// completion — the end-to-end QoS latency.
+        latency: u64,
+        /// The virtual cycle the request left the front-end queue for the
+        /// service. For a deadlined request this never exceeds the
+        /// deadline: a request that cannot flush in time expires instead.
+        flushed: u64,
+    },
+    /// The request's deadline passed while it was still queued in the
+    /// front-end — it was removed unserved. The typed late-error half of
+    /// the deadline contract.
+    Expired {
+        /// The expired request's ticket.
+        ticket: Ticket,
+        /// Its stream's tenant.
+        tenant: TenantId,
+        /// The missed deadline.
+        deadline: u64,
+        /// The virtual clock when expiry was detected.
+        now: u64,
+    },
+    /// The service refused the request at submit time (e.g. an input
+    /// vector not driving every bound input). The request is resolved —
+    /// it will not be retried.
+    Failed {
+        /// The failed request's ticket.
+        ticket: Ticket,
+        /// Its stream's tenant.
+        tenant: TenantId,
+        /// The service's refusal.
+        error: ServiceError,
+    },
+    /// A response for a request submitted *directly* on the inner
+    /// service (bypassing the front-end). Surfaced so mixed use never
+    /// drops a response; purely front-end workloads never see it.
+    PassThrough {
+        /// The unmatched service response.
+        response: Response,
+    },
+}
+
+/// One queued (admitted, not yet flushed) request.
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    ticket: Ticket,
+    inputs: Vec<(String, bool)>,
+    /// Absolute virtual-clock deadline, if any.
+    deadline: Option<u64>,
+    /// Virtual cycle the request was admitted.
+    arrived: u64,
+}
+
+/// One tenant's stream state.
+#[derive(Debug, Clone)]
+struct Stream {
+    tenant: TenantId,
+    policy: StreamPolicy,
+    queue: VecDeque<QueuedRequest>,
+    /// Token bucket level, scaled by `rate.refill_den` (integer-exact).
+    tokens_scaled: u64,
+    /// Clock of the last bucket refill.
+    refilled_at: u64,
+    /// EWMA of the inter-arrival gap, in Q8 fixed point (`gap << 8`).
+    /// Zero until two arrivals have been observed.
+    gap_ewma_q8: u64,
+    last_arrival: Option<u64>,
+    /// Requests flushed into the service, awaiting responses.
+    inflight: usize,
+    usage: FrontendUsage,
+}
+
+impl Stream {
+    fn new(tenant: TenantId, policy: StreamPolicy, now: u64) -> Self {
+        let tokens_scaled = policy
+            .rate
+            .map_or(0, |r| r.burst.saturating_mul(r.refill_den));
+        Stream {
+            tenant,
+            policy,
+            queue: VecDeque::new(),
+            tokens_scaled,
+            refilled_at: now,
+            gap_ewma_q8: 0,
+            last_arrival: None,
+            inflight: 0,
+            usage: FrontendUsage::default(),
+        }
+    }
+
+    /// Brings the token bucket up to `now` (integer-exact, saturating at
+    /// the burst capacity).
+    fn refill(&mut self, now: u64) {
+        if let Some(rate) = self.policy.rate {
+            let elapsed = now - self.refilled_at;
+            let cap = rate.burst.saturating_mul(rate.refill_den);
+            self.tokens_scaled = self
+                .tokens_scaled
+                .saturating_add(elapsed.saturating_mul(rate.refill_num))
+                .min(cap);
+            self.refilled_at = now;
+        }
+    }
+
+    /// How many lanes one flush of this stream targets.
+    fn batch_width(&self, lane_width: usize) -> usize {
+        lane_width.min(self.policy.capacity).max(1)
+    }
+
+    /// Predicted cycles until `missing` more requests arrive, from the
+    /// observed inter-arrival EWMA. Unknown rate (fewer than two
+    /// arrivals) predicts "forever", which makes deadline-holding streams
+    /// flush immediately rather than gamble.
+    fn predicted_fill_wait(&self, missing: u64) -> u64 {
+        if missing == 0 {
+            return 0;
+        }
+        if self.gap_ewma_q8 == 0 {
+            return u64::MAX / 2;
+        }
+        (self.gap_ewma_q8.saturating_mul(missing)) >> 8
+    }
+}
+
+/// Metadata of one request handed to the service, keyed by its
+/// [`RequestId`] until the response arrives.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    stream: usize,
+    ticket: Ticket,
+    arrived: u64,
+    flushed: u64,
+}
+
+/// The QoS streaming front-end over a [`ShardedService`]. See the
+/// [module docs](self) for the model and a runnable example.
+#[derive(Debug, Clone)]
+pub struct FrontendDriver {
+    svc: ShardedService,
+    /// Streams in registration order — every per-stream scan walks this
+    /// order, so front-end behavior is deterministic.
+    streams: Vec<Stream>,
+    /// Virtual clock, in cycles. Advanced only by the caller.
+    now: u64,
+    next_ticket: u64,
+    /// Requests flushed into the service, awaiting their responses.
+    inflight: HashMap<RequestId, Inflight>,
+}
+
+impl FrontendDriver {
+    /// Wraps `svc` in a front-end with an empty stream table and the
+    /// virtual clock at 0.
+    #[must_use]
+    pub fn new(svc: ShardedService) -> Self {
+        FrontendDriver {
+            svc,
+            streams: Vec::new(),
+            now: 0,
+            next_ticket: 0,
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// The wrapped service, read-only (billing, registry, diagnostics).
+    #[must_use]
+    pub fn service(&self) -> &ShardedService {
+        &self.svc
+    }
+
+    /// The wrapped service, mutable — for operations the front-end does
+    /// not mediate (admission, migration, evacuation, chaos hooks).
+    /// Submitting directly here bypasses admission control; such
+    /// requests' responses surface as [`FrontendEvent::PassThrough`].
+    pub fn service_mut(&mut self) -> &mut ShardedService {
+        &mut self.svc
+    }
+
+    /// Admits a tenant on the wrapped service (convenience passthrough;
+    /// the stream still needs [`open_stream`](Self::open_stream)).
+    pub fn admit(&mut self, name: &str, netlist: &LogicNetlist) -> Result<TenantId, FrontendError> {
+        Ok(self.svc.admit(name, netlist)?)
+    }
+
+    /// The virtual clock, in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the virtual clock. Time never advances on its own — the
+    /// caller owns it, which is what keeps every test wall-time-free.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now = self.now.saturating_add(cycles);
+    }
+
+    /// Opens `tenant`'s request stream under `policy`. One stream per
+    /// tenant; the policy is validated here so admission never has to.
+    pub fn open_stream(
+        &mut self,
+        tenant: TenantId,
+        policy: StreamPolicy,
+    ) -> Result<(), FrontendError> {
+        // surface unknown tenants now, not at first offer
+        self.svc.registry().tenant(tenant)?;
+        if self.stream_index(tenant).is_some() {
+            return Err(FrontendError::StreamExists(tenant));
+        }
+        if policy.capacity == 0 {
+            return Err(FrontendError::BadPolicy(
+                "stream capacity must be at least 1".into(),
+            ));
+        }
+        if let Some(rate) = policy.rate {
+            if rate.refill_den == 0 {
+                return Err(FrontendError::BadPolicy(
+                    "rate limit refill period must be non-zero".into(),
+                ));
+            }
+        }
+        self.streams.push(Stream::new(tenant, policy, self.now));
+        Ok(())
+    }
+
+    /// One tenant's stream policy, if a stream is open.
+    #[must_use]
+    pub fn stream_policy(&self, tenant: TenantId) -> Option<&StreamPolicy> {
+        self.stream_index(tenant).map(|i| &self.streams[i].policy)
+    }
+
+    /// Offers one single-vector request to `tenant`'s stream.
+    ///
+    /// Admission control runs in order: unknown stream →
+    /// dead-on-arrival deadline ([`FrontendError::Rejected`]) → bounded
+    /// queue ([`FrontendError::Backpressure`]) → token bucket
+    /// ([`FrontendError::Rejected`]; checked last so a backpressured
+    /// offer burns no token). On success the request is queued with its
+    /// absolute deadline — `deadline` verbatim, or `now +
+    /// deadline_budget` from the policy, or none — and a fresh
+    /// [`Ticket`] is returned. Every outcome increments the stream's
+    /// [`FrontendUsage`] counters.
+    pub fn offer(
+        &mut self,
+        tenant: TenantId,
+        inputs: &[(&str, bool)],
+        deadline: Option<u64>,
+    ) -> Result<Ticket, FrontendError> {
+        let now = self.now;
+        let idx = self
+            .stream_index(tenant)
+            .ok_or(FrontendError::NoStream(tenant))?;
+        let stream = &mut self.streams[idx];
+        stream.usage.offered += 1;
+        let deadline = deadline.or_else(|| {
+            stream
+                .policy
+                .deadline_budget
+                .map(|budget| now.saturating_add(budget))
+        });
+        if let Some(d) = deadline {
+            if d < now {
+                stream.usage.rejected_deadline += 1;
+                return Err(FrontendError::Rejected {
+                    tenant,
+                    reason: RejectReason::DeadlinePassed { deadline: d, now },
+                });
+            }
+        }
+        if stream.queue.len() >= stream.policy.capacity {
+            stream.usage.rejected_backpressure += 1;
+            return Err(FrontendError::Backpressure {
+                tenant,
+                queued: stream.queue.len(),
+                capacity: stream.policy.capacity,
+            });
+        }
+        if let Some(rate) = stream.policy.rate {
+            stream.refill(now);
+            if stream.tokens_scaled < rate.refill_den {
+                stream.usage.rejected_rate += 1;
+                let needed = rate.refill_den - stream.tokens_scaled;
+                let retry_cycles = if rate.refill_num == 0 {
+                    u64::MAX
+                } else {
+                    needed.div_ceil(rate.refill_num)
+                };
+                return Err(FrontendError::Rejected {
+                    tenant,
+                    reason: RejectReason::RateLimited { retry_cycles },
+                });
+            }
+            stream.tokens_scaled -= rate.refill_den;
+            stream.usage.rate_tokens_spent += 1;
+        }
+        // admitted: update the arrival-rate estimator (EWMA, α = 1/8)
+        if let Some(last) = stream.last_arrival {
+            let gap_q8 = (now - last) << 8;
+            stream.gap_ewma_q8 = if stream.gap_ewma_q8 == 0 {
+                gap_q8.max(1)
+            } else {
+                (stream.gap_ewma_q8 * 7 + gap_q8) / 8
+            };
+        }
+        stream.last_arrival = Some(now);
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        stream.queue.push_back(QueuedRequest {
+            ticket,
+            inputs: inputs.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+            deadline,
+            arrived: now,
+        });
+        stream.usage.admitted += 1;
+        Ok(ticket)
+    }
+
+    /// One driver iteration: expires overdue queued requests, decides
+    /// which streams to flush (class- and arrival-rate-aware), hands
+    /// their batches to the service, executes the touched slots through
+    /// the parallel drain path, and returns every resolved request as a
+    /// [`FrontendEvent`].
+    ///
+    /// Flush decision per stream, in registration order:
+    /// * any class flushes when a full batch has accumulated;
+    /// * a [`QosClass::LatencySensitive`] stream also flushes when the
+    ///   head request's deadline is due — `deadline ≤ now +
+    ///   predicted_fill_wait`, where the wait is estimated from the
+    ///   stream's inter-arrival EWMA (no estimate yet → flush now) — or
+    ///   when the head request carries no deadline at all;
+    /// * a stream with requests already in the service (a faulted slot
+    ///   keeps them queued there) is re-flushed every pump, so repaired
+    ///   tenants complete without new traffic.
+    ///
+    /// With nothing queued, nothing in flight and nothing due, a pump is
+    /// a pure no-op: no service call, no clock movement, no events.
+    pub fn pump(&mut self) -> Result<Vec<FrontendEvent>, FrontendError> {
+        self.pump_inner(false)
+    }
+
+    /// Flushes **everything** queued in every stream regardless of class
+    /// or deadline (after the same expiry pass as [`pump`](Self::pump)),
+    /// then drains the whole service. The end-of-run path: after it, no
+    /// request is left in a front-end queue, and every ticket whose slot
+    /// is healthy has resolved.
+    ///
+    /// A slot whose service-side batch is full (backlogged behind a
+    /// fault) needs one drain before its stream's remaining requests can
+    /// submit, so this iterates flush rounds until the queues are empty
+    /// — or a round makes no progress (a still-faulted slot: its
+    /// requests stay safely queued for after the repair).
+    pub fn flush_all(&mut self) -> Result<Vec<FrontendEvent>, FrontendError> {
+        let mut events = self.pump_inner(true)?;
+        loop {
+            let queued = self.queued_requests();
+            if queued == 0 {
+                break;
+            }
+            let round = self.pump_inner(true)?;
+            let stalled = self.queued_requests() == queued && round.is_empty();
+            events.extend(round);
+            if stalled {
+                break;
+            }
+        }
+        Ok(events)
+    }
+
+    fn pump_inner(&mut self, force: bool) -> Result<Vec<FrontendEvent>, FrontendError> {
+        let now = self.now;
+        let lane_width = self.svc.lane_width();
+        let mut events = Vec::new();
+        // 1. expiry: a queued request whose deadline has passed is
+        // removed with a typed event, never silently served late
+        for stream in &mut self.streams {
+            let mut i = 0;
+            while i < stream.queue.len() {
+                let overdue = stream.queue[i].deadline.is_some_and(|d| d < now);
+                if overdue {
+                    let req = stream.queue.remove(i).expect("index checked");
+                    stream.usage.expired += 1;
+                    events.push(FrontendEvent::Expired {
+                        ticket: req.ticket,
+                        tenant: stream.tenant,
+                        deadline: req.deadline.expect("overdue implies a deadline"),
+                        now,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // 2. flush decision + submission, stream registration order
+        for idx in 0..self.streams.len() {
+            let stream = &self.streams[idx];
+            let width = stream.batch_width(lane_width);
+            let full = stream.queue.len() >= width;
+            let due = force
+                || full
+                || match stream.policy.class {
+                    QosClass::Throughput => false,
+                    QosClass::LatencySensitive => stream.queue.front().is_some_and(|head| {
+                        head.deadline.is_none_or(|d| {
+                            let missing = (width - stream.queue.len()) as u64;
+                            d <= now.saturating_add(stream.predicted_fill_wait(missing))
+                        })
+                    }),
+                };
+            if !due {
+                continue;
+            }
+            // flow-control window: never hold more than one queue's worth
+            // of a stream's requests inside the service. A faulted slot
+            // stops resolving, so without this cap its service-side batch
+            // would grow until the lane budget itself refused
+            // (`SlotBacklogged`) — a limit that depends on the configured
+            // lane width. Capping at the stream's own capacity propagates
+            // the stall upstream as front-end backpressure instead,
+            // identically at every lane width.
+            let window = stream.policy.capacity.saturating_sub(stream.inflight);
+            // hand over at most one batch per pump (force hands over all)
+            let handover = if force {
+                self.streams[idx].queue.len().min(window)
+            } else {
+                width.min(self.streams[idx].queue.len()).min(window)
+            };
+            for _ in 0..handover {
+                let stream = &mut self.streams[idx];
+                let head = stream.queue.front().expect("handover bounded by len");
+                let refs: Vec<(&str, bool)> =
+                    head.inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                match self.svc.submit(stream.tenant, &refs) {
+                    Ok(request) => {
+                        let req = stream.queue.pop_front().expect("head existed");
+                        stream.inflight += 1;
+                        self.inflight.insert(
+                            request,
+                            Inflight {
+                                stream: idx,
+                                ticket: req.ticket,
+                                arrived: req.arrived,
+                                flushed: now,
+                            },
+                        );
+                    }
+                    // a poisoned slot's backlog clears after repair —
+                    // keep the rest queued and retry on a later pump
+                    Err(ServiceError::SlotBacklogged { .. }) => break,
+                    Err(error) => {
+                        let req = stream.queue.pop_front().expect("head existed");
+                        stream.usage.failed += 1;
+                        events.push(FrontendEvent::Failed {
+                            ticket: req.ticket,
+                            tenant: stream.tenant,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        // 3. execute: every stream with in-flight work is flushed — the
+        // just-submitted batches, plus faulted slots being retried
+        let flush_list: Vec<TenantId> = self
+            .streams
+            .iter()
+            .filter(|s| s.inflight > 0)
+            .map(|s| s.tenant)
+            .collect();
+        if flush_list.is_empty() && !(force && self.svc.pending_requests() > 0) {
+            return Ok(events);
+        }
+        let responses = if force {
+            self.svc.drain()?
+        } else {
+            self.svc.flush_tenants(&flush_list)?
+        };
+        for response in responses {
+            match self.inflight.remove(&response.request) {
+                Some(meta) => {
+                    let stream = &mut self.streams[meta.stream];
+                    stream.inflight -= 1;
+                    stream.usage.completed += 1;
+                    events.push(FrontendEvent::Completed {
+                        ticket: meta.ticket,
+                        request: response.request,
+                        tenant: response.tenant,
+                        outputs: response.outputs,
+                        latency: now - meta.arrived,
+                        flushed: meta.flushed,
+                    });
+                }
+                None => events.push(FrontendEvent::PassThrough { response }),
+            }
+        }
+        Ok(events)
+    }
+
+    /// Requests queued in front-end streams (admitted, not yet flushed).
+    #[must_use]
+    pub fn queued_requests(&self) -> usize {
+        self.streams.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Requests flushed into the service, awaiting responses.
+    #[must_use]
+    pub fn inflight_requests(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Sets the wrapped service's lane width. Refused while any stream
+    /// holds queued requests: a width change rebuilds the service's
+    /// queue partitions, and the front-end's flush decisions are sized
+    /// by the width, so changing it mid-stream would silently reshape
+    /// admitted work. (The service additionally refuses while *its own*
+    /// queues hold requests.)
+    pub fn set_lane_width(&mut self, width: usize) -> Result<(), FrontendError> {
+        let queued = self.queued_requests();
+        if queued > 0 {
+            return Err(FrontendError::QueuesNotEmpty { queued });
+        }
+        Ok(self.svc.set_lane_width(width)?)
+    }
+
+    /// Removes and returns the service's per-slot execution faults (see
+    /// [`ShardedService::take_faults`]). Faulted slots keep their
+    /// requests queued in the service; the front-end retries them on
+    /// every pump, so a [`ShardedService::repair_plane`] is all recovery
+    /// takes.
+    pub fn take_faults(&mut self) -> Vec<SlotFault> {
+        self.svc.take_faults()
+    }
+
+    /// One stream's admission counters.
+    pub fn frontend_usage(&self, tenant: TenantId) -> Result<FrontendUsage, FrontendError> {
+        self.stream_index(tenant)
+            .map(|i| self.streams[i].usage)
+            .ok_or(FrontendError::NoStream(tenant))
+    }
+
+    /// Markdown admission/QoS billing table over every open stream, in
+    /// registration order (see
+    /// [`mcfpga_cost::attribution::render_frontend_billing`]).
+    #[must_use]
+    pub fn frontend_billing_report(&self) -> String {
+        let rows: Vec<(String, FrontendUsage)> = self
+            .streams
+            .iter()
+            .map(|s| {
+                let name = self
+                    .svc
+                    .registry()
+                    .tenant(s.tenant)
+                    .map(|r| r.name.clone())
+                    .unwrap_or_else(|_| s.tenant.to_string());
+                (format!("{name} ({})", s.policy.class), s.usage)
+            })
+            .collect();
+        render_frontend_billing(&rows)
+    }
+
+    fn stream_index(&self, tenant: TenantId) -> Option<usize> {
+        self.streams.iter().position(|s| s.tenant == tenant)
+    }
+}
+
+// The front-end rides inside `ShardedService`-carrying types that cross
+// threads in benches; keep it structurally Send+Sync like the service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FrontendDriver>();
+    assert_send_sync::<FrontendEvent>();
+    assert_send_sync::<FrontendError>();
+};

@@ -8,7 +8,7 @@
 //! resident in one context slot, their single-vector requests coalesced
 //! into wide multi-lane passes.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! * [`registry::TenantRegistry`] — admits per-tenant programmed
 //!   configurations, mapping each tenant to a `(shard, context)` slot in
@@ -45,6 +45,14 @@
 //!   Admission slots are chosen by a [`PlacementPolicy`]: round-robin, or
 //!   energy-aware marginal-sweep-cost placement with plane-cache
 //!   affinity.
+//! * [`frontend::FrontendDriver`] — the QoS streaming front-end: bounded
+//!   per-tenant request streams with priority/deadline classes
+//!   ([`QosClass`]), typed backpressure and admission rejections,
+//!   token-bucket rate limits, and a virtual-clock pump that picks flush
+//!   timing from observed arrival rates — flushing latency-sensitive
+//!   partial batches early through
+//!   [`flush_tenants`](ShardedService::flush_tenants) while throughput
+//!   streams wait for lane-full.
 //!
 //! Tenants are **mobile**: `checkpoint_tenant` snapshots one at a
 //! context-switch boundary into a [`TenantCheckpoint`] (versioned wire
@@ -83,6 +91,7 @@
 pub mod batch;
 pub mod engine;
 pub mod executor;
+pub mod frontend;
 pub mod placement;
 pub mod registry;
 pub mod service;
@@ -90,6 +99,10 @@ pub mod service;
 pub use batch::{BatchQueue, RequestId, RequestIdSource, Response};
 pub use engine::ShardEngine;
 pub use executor::{ExecutorConfig, ExecutorStats, ParallelExecutor, ThreadSource, THREADS_ENV};
+pub use frontend::{
+    FrontendDriver, FrontendError, FrontendEvent, QosClass, RateLimit, RejectReason, StreamPolicy,
+    Ticket,
+};
 pub use placement::{netlist_fingerprint, PlacementPolicy};
 pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 pub use service::{ShardedService, SlotFault};

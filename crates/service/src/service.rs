@@ -359,7 +359,50 @@ impl ShardedService {
         let work: Result<Vec<Vec<(usize, TenantId)>>, ServiceError> = (0..self.engines.len())
             .map(|s| self.active_slots(s))
             .collect();
-        let work = work?;
+        self.drain_slots(work?)
+    }
+
+    /// Flushes **only** the listed tenants' slots (those with pending
+    /// work), leaving every other tenant's partial batch accumulating —
+    /// the partial-width flush entry point the QoS front-end
+    /// ([`crate::frontend`]) uses to serve a latency-sensitive tenant
+    /// before its deadline without forcing throughput tenants out of
+    /// their lane-filling wait. Same three-phase plan → pooled eval →
+    /// merge-key-ordered apply pipeline as [`drain`](Self::drain) (a
+    /// multi-slot flush still fans out across the executor's worker
+    /// pool), so the returned responses — including any buffered from
+    /// earlier lane-full auto-flushes — are bit-for-bit identical at any
+    /// thread count. Duplicate tenants in `tenants` flush once; tenants
+    /// with nothing queued cost nothing.
+    pub fn flush_tenants(&mut self, tenants: &[TenantId]) -> Result<Vec<Response>, ServiceError> {
+        let mut work: Vec<Vec<(usize, TenantId)>> = vec![Vec::new(); self.engines.len()];
+        for &tenant in tenants {
+            let placement = self.registry.tenant(tenant)?.placement;
+            if self.engines[placement.shard]
+                .pending()
+                .contains(&placement.ctx)
+                && !work[placement.shard]
+                    .iter()
+                    .any(|&(ctx, _)| ctx == placement.ctx)
+            {
+                work[placement.shard].push((placement.ctx, tenant));
+            }
+        }
+        for shard in &mut work {
+            // plan in ascending context order, exactly as drain() sees them
+            shard.sort_by_key(|&(ctx, _)| ctx);
+        }
+        self.drain_slots(work)
+    }
+
+    /// The shared body of [`drain`](Self::drain) and
+    /// [`flush_tenants`](Self::flush_tenants): plans each shard's sweep
+    /// over its `work` slots, evaluates on the pool, applies in merge-key
+    /// order, and hands back every buffered response.
+    fn drain_slots(
+        &mut self,
+        work: Vec<Vec<(usize, TenantId)>>,
+    ) -> Result<Vec<Response>, ServiceError> {
         let mut steps = Vec::new();
         let mut errors: Vec<Option<ServiceError>> = vec![None; self.engines.len()];
         for (shard, active) in work.iter().enumerate() {

@@ -1,0 +1,1146 @@
+//! End-to-end tests of the QoS streaming front-end
+//! (`mcfpga_service::frontend`): admission control ordering, typed
+//! backpressure and rejection errors, token-bucket rate limits,
+//! deadline-driven early partial flushes vs. lane-full throughput
+//! batching, expiry semantics, fault retry, pass-through responses,
+//! billing counters, and bit-for-bit determinism of the whole event
+//! stream across executor thread widths.
+//!
+//! Everything runs on the virtual clock — no test reads wall time.
+
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::generators;
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::frontend::{
+    FrontendDriver, FrontendError, FrontendEvent, QosClass, RateLimit, RejectReason, StreamPolicy,
+    Ticket,
+};
+use mcfpga_service::{ServiceError, ShardedService, TenantId};
+
+/// A small fabric so routing/compilation stays fast; identical to the
+/// one the integration and stress suites use.
+fn service(shards: usize) -> ShardedService {
+    ShardedService::new(
+        shards,
+        FabricParams {
+            width: 5,
+            height: 5,
+            channel_width: 3,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+    )
+    .expect("service")
+}
+
+/// A front-end over a fresh service with `shards` shards and lane width
+/// `lanes` (narrow lanes keep batch-fill tests short).
+fn frontend(shards: usize, lanes: usize) -> FrontendDriver {
+    let mut fe = FrontendDriver::new(service(shards));
+    fe.set_lane_width(lanes).expect("queues are empty");
+    fe
+}
+
+/// Admits a 1-lane wire design (input `in0`, output `out0`) — the
+/// simplest request payload: out0 == in0.
+fn admit_wire(fe: &mut FrontendDriver) -> TenantId {
+    fe.admit("wire", &generators::wire_lanes(1).unwrap())
+        .expect("admit")
+}
+
+/// Offers `in0 = value` on `tenant`, panicking on refusal.
+fn offer_ok(
+    fe: &mut FrontendDriver,
+    tenant: TenantId,
+    value: bool,
+    deadline: Option<u64>,
+) -> Ticket {
+    fe.offer(tenant, &[("in0", value)], deadline)
+        .expect("offer")
+}
+
+/// The completions in `events`, as `(ticket, out0, latency, flushed)`.
+fn completions(events: &[FrontendEvent]) -> Vec<(Ticket, bool, u64, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::Completed {
+                ticket,
+                outputs,
+                latency,
+                flushed,
+                ..
+            } => Some((*ticket, outputs[0].1, *latency, *flushed)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of a latency sample.
+fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+// ---------------------------------------------------------------------
+// stream lifecycle & policy validation
+// ---------------------------------------------------------------------
+
+#[test]
+fn open_stream_requires_known_tenant_and_refuses_double_open() {
+    // a tenant id from a *different* service's registry: structurally
+    // valid, never issued here (this registry is empty)
+    let ghost = {
+        let mut other = FrontendDriver::new(service(1));
+        admit_wire(&mut other)
+    };
+    let mut fe = frontend(1, 8);
+    match fe.open_stream(ghost, StreamPolicy::throughput(4)) {
+        Err(FrontendError::Service(ServiceError::UnknownTenant(id))) => {
+            assert_eq!(id, ghost.index());
+        }
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    // double-open is refused with a typed error
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(4)).unwrap();
+    assert_eq!(
+        fe.open_stream(t, StreamPolicy::throughput(4)),
+        Err(FrontendError::StreamExists(t))
+    );
+}
+
+#[test]
+fn open_stream_rejects_bad_policies() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    match fe.open_stream(t, StreamPolicy::throughput(0)) {
+        Err(FrontendError::BadPolicy(msg)) => assert!(msg.contains("capacity")),
+        other => panic!("expected BadPolicy, got {other:?}"),
+    }
+    match fe.open_stream(
+        t,
+        StreamPolicy::throughput(4).with_rate(RateLimit::per_cycles(1, 0, 1)),
+    ) {
+        Err(FrontendError::BadPolicy(msg)) => assert!(msg.contains("refill")),
+        other => panic!("expected BadPolicy, got {other:?}"),
+    }
+    // the failed opens left no stream behind
+    assert!(fe.stream_policy(t).is_none());
+    match fe.offer(t, &[("in0", true)], None) {
+        Err(FrontendError::NoStream(tenant)) => assert_eq!(tenant, t),
+        other => panic!("expected NoStream, got {other:?}"),
+    }
+}
+
+#[test]
+fn stream_policy_is_inspectable() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    let policy = StreamPolicy::latency_sensitive(16, 12).with_rate(RateLimit::per_cycles(2, 5, 3));
+    fe.open_stream(t, policy).unwrap();
+    let seen = fe.stream_policy(t).expect("open stream");
+    assert_eq!(seen.class, QosClass::LatencySensitive);
+    assert_eq!(seen.capacity, 16);
+    assert_eq!(seen.deadline_budget, Some(12));
+    assert_eq!(
+        seen.rate,
+        Some(RateLimit {
+            burst: 3,
+            refill_num: 2,
+            refill_den: 5
+        })
+    );
+    assert_eq!(format!("{}", seen.class), "latency-sensitive");
+    assert_eq!(format!("{}", QosClass::Throughput), "throughput");
+}
+
+// ---------------------------------------------------------------------
+// basic serving: latency-sensitive vs throughput flush timing
+// ---------------------------------------------------------------------
+
+#[test]
+fn latency_sensitive_single_request_flushes_on_first_pump() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 10))
+        .unwrap();
+    let ticket = offer_ok(&mut fe, t, true, None);
+    // no observed arrival rate yet → the driver cannot predict when more
+    // lanes would arrive, so it flushes the 1-lane partial immediately
+    let events = fe.pump().expect("pump");
+    let done = completions(&events);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, ticket);
+    assert!(done[0].1, "wire echoes in0 = true");
+    assert_eq!(done[0].2, 0, "served on the arrival cycle");
+    assert_eq!(done[0].3, 0, "flushed at virtual cycle 0");
+    assert_eq!(fe.queued_requests(), 0);
+    assert_eq!(fe.inflight_requests(), 0);
+}
+
+#[test]
+fn throughput_stream_waits_for_full_batch() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(16)).unwrap();
+    for i in 0..3 {
+        offer_ok(&mut fe, t, i % 2 == 0, None);
+        fe.advance(1);
+        let events = fe.pump().expect("pump");
+        assert!(
+            events.is_empty(),
+            "a {}/4-full throughput batch must keep accumulating",
+            i + 1
+        );
+    }
+    assert_eq!(fe.queued_requests(), 3);
+    // the 4th request fills the lane-width batch → one pass serves all 4
+    offer_ok(&mut fe, t, true, None);
+    let events = fe.pump().expect("pump");
+    let done = completions(&events);
+    assert_eq!(done.len(), 4);
+    assert_eq!(
+        fe.service().usage(t).unwrap().passes,
+        1,
+        "all four vectors rode one fabric pass"
+    );
+    // latencies reflect arrival cycles: 3, 2, 1, 0
+    assert_eq!(
+        done.iter().map(|c| c.2).collect::<Vec<_>>(),
+        vec![3, 2, 1, 0]
+    );
+}
+
+#[test]
+fn throughput_batch_is_capped_by_stream_capacity() {
+    // capacity 2 < lane width 8: the stream must flush at 2, not wait
+    // for an 8-lane fill it can never reach (livelock guard)
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(2)).unwrap();
+    offer_ok(&mut fe, t, true, None);
+    assert!(fe.pump().unwrap().is_empty(), "1/2: keeps accumulating");
+    offer_ok(&mut fe, t, false, None);
+    let done = completions(&fe.pump().unwrap());
+    assert_eq!(done.len(), 2, "flushes at min(lane width, capacity)");
+}
+
+#[test]
+fn latency_sensitive_flushes_partial_batch_before_deadline() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // budget 40 cycles; arrivals every 2 cycles teach the EWMA a gap of 2
+    fe.open_stream(t, StreamPolicy::latency_sensitive(64, 40))
+        .unwrap();
+    let mut tickets = Vec::new();
+    let mut completed = Vec::new();
+    for _ in 0..4 {
+        tickets.push(offer_ok(&mut fe, t, true, None));
+        completed.extend(completions(&fe.pump().unwrap()));
+        fe.advance(2);
+    }
+    // the first pump had no rate estimate and flushed immediately; from
+    // then on the predicted fill wait (≈ 2 cycles/lane × missing lanes)
+    // is far below the 40-cycle budget, so requests keep accumulating
+    assert_eq!(completed.len(), 1, "only the estimator-cold first request");
+    assert_eq!(fe.queued_requests(), 3);
+    // arrivals stop; pump every 2 cycles. Well before the head's
+    // deadline the predicted wait for 5 more lanes (≈10 cycles) can no
+    // longer fit, and the driver flushes the 3-lane partial batch.
+    let mut flush_now = None;
+    for _ in 0..40 {
+        fe.advance(2);
+        let events = fe.pump().unwrap();
+        for e in &events {
+            assert!(
+                matches!(e, FrontendEvent::Completed { .. }),
+                "no request may expire: {e:?}"
+            );
+        }
+        let done = completions(&events);
+        if !done.is_empty() {
+            assert_eq!(done.len(), 3, "the partial batch flushes whole");
+            for (_, _, _, flushed) in &done {
+                flush_now = Some(*flushed);
+            }
+            break;
+        }
+    }
+    let flushed = flush_now.expect("partial batch must flush before expiry");
+    // head arrived at cycle 2 with budget 40 → absolute deadline 42; an
+    // early *partial* flush lands at or before it, and strictly after
+    // the arrivals stopped (it waited at least one pump)
+    assert!(flushed <= 42, "flushed at {flushed}, deadline 42");
+    assert!(flushed > 8, "flush waited for possible arrivals");
+    assert_eq!(fe.queued_requests(), 0);
+}
+
+#[test]
+fn latency_sensitive_head_without_deadline_flushes_immediately() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // no default budget: requests carry no deadline at all
+    fe.open_stream(
+        t,
+        StreamPolicy {
+            class: QosClass::LatencySensitive,
+            capacity: 8,
+            deadline_budget: None,
+            rate: None,
+        },
+    )
+    .unwrap();
+    // teach the estimator a 1-cycle gap so "unknown rate" can't explain
+    // the flush — the deadline-free head itself must force it
+    offer_ok(&mut fe, t, true, None);
+    fe.pump().unwrap();
+    fe.advance(1);
+    offer_ok(&mut fe, t, true, None);
+    let done = completions(&fe.pump().unwrap());
+    assert_eq!(
+        done.len(),
+        1,
+        "a latency-sensitive request with no deadline never waits"
+    );
+}
+
+// ---------------------------------------------------------------------
+// admission control: ordering, backpressure, rejection
+// ---------------------------------------------------------------------
+
+#[test]
+fn backpressure_is_typed_and_recoverable() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(3)).unwrap();
+    for _ in 0..3 {
+        offer_ok(&mut fe, t, true, None);
+    }
+    match fe.offer(t, &[("in0", true)], None) {
+        Err(FrontendError::Backpressure {
+            tenant,
+            queued,
+            capacity,
+        }) => {
+            assert_eq!(tenant, t);
+            assert_eq!(queued, 3);
+            assert_eq!(capacity, 3);
+        }
+        other => panic!("expected Backpressure, got {other:?}"),
+    }
+    // nothing was enqueued by the refused offer
+    assert_eq!(fe.queued_requests(), 3);
+    // draining the queue re-opens admission
+    let done = completions(&fe.flush_all().unwrap());
+    assert_eq!(done.len(), 3);
+    offer_ok(&mut fe, t, true, None);
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.offered, 5);
+    assert_eq!(u.admitted, 4);
+    assert_eq!(u.rejected_backpressure, 1);
+}
+
+#[test]
+fn dead_on_arrival_deadline_rejects_with_typed_error() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 10))
+        .unwrap();
+    fe.advance(100);
+    match fe.offer(t, &[("in0", true)], Some(99)) {
+        Err(FrontendError::Rejected {
+            tenant,
+            reason: RejectReason::DeadlinePassed { deadline, now },
+        }) => {
+            assert_eq!(tenant, t);
+            assert_eq!(deadline, 99);
+            assert_eq!(now, 100);
+        }
+        other => panic!("expected DeadlinePassed, got {other:?}"),
+    }
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.rejected_deadline, 1);
+    assert_eq!(u.admitted, 0);
+    assert_eq!(fe.queued_requests(), 0);
+}
+
+#[test]
+fn token_bucket_rejects_and_names_the_retry_time() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // 1 token per 10 cycles, burst 1
+    fe.open_stream(
+        t,
+        StreamPolicy::throughput(8).with_rate(RateLimit::per_cycles(1, 10, 1)),
+    )
+    .unwrap();
+    offer_ok(&mut fe, t, true, None); // spends the burst token
+    match fe.offer(t, &[("in0", true)], None) {
+        Err(FrontendError::Rejected {
+            reason: RejectReason::RateLimited { retry_cycles },
+            ..
+        }) => assert_eq!(retry_cycles, 10, "a whole refill period away"),
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    fe.advance(10);
+    offer_ok(&mut fe, t, true, None); // exactly refilled
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.admitted, 2);
+    assert_eq!(u.rejected_rate, 1);
+    assert_eq!(u.rate_tokens_spent, 2);
+}
+
+#[test]
+fn fractional_refill_rates_are_integer_exact() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // 3 tokens per 10 cycles (0.3/cycle — inexpressible in integers per
+    // cycle, exact in the scaled bucket), burst 1
+    fe.open_stream(
+        t,
+        StreamPolicy::throughput(8).with_rate(RateLimit::per_cycles(3, 10, 1)),
+    )
+    .unwrap();
+    offer_ok(&mut fe, t, true, None);
+    match fe.offer(t, &[("in0", true)], None) {
+        Err(FrontendError::Rejected {
+            reason: RejectReason::RateLimited { retry_cycles },
+            ..
+        }) => assert_eq!(retry_cycles, 4, "ceil(10 scaled-deficit / 3 per cycle)"),
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    // 3 cycles × 3 = 9 scaled < 10: still one cycle short
+    fe.advance(3);
+    assert!(fe.offer(t, &[("in0", true)], None).is_err());
+    fe.advance(1); // 12 scaled, capped at burst 10 — a whole token
+    offer_ok(&mut fe, t, true, None);
+}
+
+#[test]
+fn backpressured_offer_burns_no_token() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // capacity 1 so the second offer backpressures; burst 2 tokens
+    fe.open_stream(
+        t,
+        StreamPolicy::throughput(1).with_rate(RateLimit::per_cycles(1, 1000, 2)),
+    )
+    .unwrap();
+    offer_ok(&mut fe, t, true, None);
+    assert!(matches!(
+        fe.offer(t, &[("in0", true)], None),
+        Err(FrontendError::Backpressure { .. })
+    ));
+    // the backpressure refusal must not have spent the second token:
+    // drain, then the next offer still finds it
+    fe.flush_all().unwrap();
+    offer_ok(&mut fe, t, true, None);
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.rate_tokens_spent, 2, "only admitted offers spend");
+    assert_eq!(u.rejected_backpressure, 1);
+    assert_eq!(u.rejected_rate, 0);
+}
+
+#[test]
+fn default_deadline_budget_applies_and_explicit_deadline_overrides() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 5))
+        .unwrap();
+    fe.advance(10);
+    // default budget: deadline = 10 + 5 = 15 → expires once now > 15
+    offer_ok(&mut fe, t, true, None);
+    // explicit deadline 30 overrides the budget
+    let explicit = offer_ok(&mut fe, t, false, Some(30));
+    // jump past the default deadline but not the explicit one, without
+    // pumping in between (so the first request is *still queued* when
+    // its deadline passes — the expiry path, not the flush path)
+    fe.advance(10); // now = 20
+    let events = fe.pump().unwrap();
+    let expired: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::Expired {
+                ticket,
+                deadline,
+                now,
+                ..
+            } => Some((*ticket, *deadline, *now)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(expired.len(), 1);
+    assert_eq!(expired[0].1, 15, "default budget deadline");
+    assert_eq!(expired[0].2, 20);
+    // the explicit-deadline request is *not* yet due (the learned
+    // arrival rate says more lanes could still fill in time)…
+    assert!(completions(&events).is_empty());
+    // …but once its own deadline arrives, it flushes exactly on it
+    fe.advance(10); // now = 30 == explicit deadline
+    let done = completions(&fe.pump().unwrap());
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, explicit);
+    assert_eq!(done[0].3, 30, "flushed precisely at its deadline");
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.expired, 1);
+    assert_eq!(u.completed, 1);
+}
+
+// ---------------------------------------------------------------------
+// expiry semantics
+// ---------------------------------------------------------------------
+
+#[test]
+fn queued_requests_expire_with_typed_event_not_silence() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    // throughput class: deadlines don't trigger flushes, so an unfilled
+    // batch is exactly where expiry must step in
+    fe.open_stream(t, StreamPolicy::throughput(8)).unwrap();
+    let ticket = fe.offer(t, &[("in0", true)], Some(5)).unwrap();
+    fe.advance(5);
+    assert!(
+        fe.pump().unwrap().is_empty(),
+        "deadline == now is not yet overdue, and throughput doesn't flush partials"
+    );
+    fe.advance(1);
+    let events = fe.pump().unwrap();
+    assert_eq!(
+        events,
+        vec![FrontendEvent::Expired {
+            ticket,
+            tenant: t,
+            deadline: 5,
+            now: 6,
+        }]
+    );
+    assert_eq!(fe.queued_requests(), 0);
+    assert_eq!(fe.frontend_usage(t).unwrap().expired, 1);
+    // the expired request never reached the service
+    assert_eq!(fe.service().usage(t).unwrap().requests, 0);
+}
+
+#[test]
+fn expiry_removes_overdue_requests_anywhere_in_the_queue() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(8)).unwrap();
+    // head has a far deadline, the middle one is overdue first
+    let keep0 = fe.offer(t, &[("in0", true)], Some(100)).unwrap();
+    let drop1 = fe.offer(t, &[("in0", false)], Some(3)).unwrap();
+    let keep2 = fe.offer(t, &[("in0", true)], Some(100)).unwrap();
+    fe.advance(4);
+    let events = fe.pump().unwrap();
+    assert_eq!(events.len(), 1);
+    assert!(
+        matches!(&events[0], FrontendEvent::Expired { ticket, .. } if *ticket == drop1),
+        "only the overdue middle request expires: {events:?}"
+    );
+    // the survivors flush (in order) and complete
+    let done = completions(&fe.flush_all().unwrap());
+    assert_eq!(
+        done.iter().map(|c| c.0).collect::<Vec<_>>(),
+        vec![keep0, keep2]
+    );
+}
+
+#[test]
+fn completed_deadlined_requests_always_flush_by_their_deadline() {
+    // the acceptance invariant: an admitted request either flushes at or
+    // before its deadline, or expires with a typed event — never a
+    // silent late completion. Stress it with a mixed scripted load.
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(32, 7))
+        .unwrap();
+    let mut events = Vec::new();
+    for step in 0u64..200 {
+        // irregular arrivals: bursts of 2 every 3 cycles, a lull every 13
+        if step % 3 == 0 && step % 13 != 0 {
+            for _ in 0..2 {
+                let _ = fe.offer(t, &[("in0", step % 2 == 0)], None);
+            }
+        }
+        events.extend(fe.pump().unwrap());
+        fe.advance(1);
+    }
+    events.extend(fe.flush_all().unwrap());
+    let mut completed = 0;
+    for e in &events {
+        match e {
+            FrontendEvent::Completed { latency, .. } => {
+                completed += 1;
+                // flush and completion share a pump, so the flush cycle
+                // is arrival + latency; with deadline = arrival + 7,
+                // flush-by-deadline is exactly latency <= 7
+                assert!(*latency <= 7, "completed past its deadline: {e:?}");
+            }
+            FrontendEvent::Expired { deadline, now, .. } => {
+                assert!(deadline < now, "expiry is strictly past-deadline");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert!(completed > 50, "the load actually served: {completed}");
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.resolved(), u.admitted, "every admitted request resolved");
+}
+
+// ---------------------------------------------------------------------
+// faults, retries, and pass-through
+// ---------------------------------------------------------------------
+
+#[test]
+fn faulted_slot_requests_complete_after_repair() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 50))
+        .unwrap();
+    let ticket = offer_ok(&mut fe, t, true, None);
+    fe.service_mut().inject_plane_fault(t).unwrap();
+    let events = fe.pump().unwrap();
+    assert!(
+        completions(&events).is_empty(),
+        "a faulted slot completes nothing: {events:?}"
+    );
+    let faults = fe.take_faults();
+    assert_eq!(faults.len(), 1, "the fault is surfaced, not swallowed");
+    // the request stays in the service's queue (in flight from the
+    // front-end's point of view), retried every pump until repair
+    assert_eq!(fe.inflight_requests(), 1);
+    fe.advance(1);
+    assert!(completions(&fe.pump().unwrap()).is_empty());
+    assert!(
+        !fe.take_faults().is_empty(),
+        "still faulted, still reported"
+    );
+    fe.service_mut().repair_plane(t).unwrap();
+    fe.advance(1);
+    let done = completions(&fe.pump().unwrap());
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, ticket);
+    assert!(done[0].1);
+    assert_eq!(fe.inflight_requests(), 0);
+    assert!(fe.take_faults().is_empty());
+}
+
+#[test]
+fn submit_refusal_surfaces_as_failed_event() {
+    // lane width 2: the two offers below fill the batch, so the pump
+    // flushes regardless of the learned arrival rate
+    let mut fe = frontend(1, 2);
+    // a 2-input design so an under-driven request is refusable
+    let t = fe
+        .admit("parity", &generators::parity_tree(2).unwrap())
+        .unwrap();
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 10))
+        .unwrap();
+    // x1 missing: admission doesn't inspect payloads (the service owns
+    // input binding), so this is admitted and fails at flush time
+    let ticket = fe.offer(t, &[("x0", true)], None).unwrap();
+    let good = fe.offer(t, &[("x0", true), ("x1", true)], None).unwrap();
+    let events = fe.pump().unwrap();
+    let failed: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::Failed { ticket, error, .. } => Some((*ticket, error.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].0, ticket);
+    assert!(matches!(
+        failed[0].1,
+        ServiceError::MissingInput { ref name } if name == "x1"
+    ));
+    // the well-formed request behind it still completed this pump
+    let done = completions(&events);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, good);
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.failed, 1);
+    assert_eq!(u.completed, 1);
+}
+
+#[test]
+fn direct_service_submissions_surface_as_pass_through() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 10))
+        .unwrap();
+    // one request through the front-end, one directly on the service
+    let ticket = offer_ok(&mut fe, t, true, None);
+    let direct = fe.service_mut().submit(t, &[("in0", false)]).unwrap();
+    let events = fe.pump().unwrap();
+    assert_eq!(events.len(), 2);
+    let done = completions(&events);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, ticket);
+    let pass: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::PassThrough { response } => Some(response),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pass.len(), 1);
+    assert_eq!(pass[0].request, direct);
+    assert!(!pass[0].outputs[0].1, "the direct request's own payload");
+}
+
+#[test]
+fn flush_all_drains_direct_submissions_without_any_stream() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    // no stream at all: the front-end is also usable as a plain driver
+    let direct = fe.service_mut().submit(t, &[("in0", true)]).unwrap();
+    let events = fe.flush_all().unwrap();
+    assert_eq!(events.len(), 1);
+    assert!(matches!(
+        &events[0],
+        FrontendEvent::PassThrough { response } if response.request == direct
+    ));
+}
+
+// ---------------------------------------------------------------------
+// pump/flush mechanics
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_pump_is_a_pure_no_op() {
+    let mut fe = frontend(2, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(8, 10))
+        .unwrap();
+    let passes_before = fe.service().usage(t).unwrap().passes;
+    let billing_before = fe.service().billing_report();
+    for _ in 0..5 {
+        assert!(fe.pump().unwrap().is_empty());
+        assert!(fe.flush_all().unwrap().is_empty());
+        fe.advance(3);
+    }
+    assert_eq!(fe.service().usage(t).unwrap().passes, passes_before);
+    assert_eq!(fe.service().billing_report(), billing_before);
+    assert_eq!(fe.queued_requests(), 0);
+    assert_eq!(fe.inflight_requests(), 0);
+}
+
+#[test]
+fn flush_all_serves_every_queued_request_regardless_of_class() {
+    let mut fe = frontend(1, 64);
+    let lat = fe
+        .admit("wire", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    let thr = fe
+        .admit("parity", &generators::parity_tree(2).unwrap())
+        .unwrap();
+    fe.open_stream(lat, StreamPolicy::latency_sensitive(8, 1000))
+        .unwrap();
+    fe.open_stream(thr, StreamPolicy::throughput(8)).unwrap();
+    // teach lat's estimator a slow rate so it would normally wait
+    for now in [0u64, 20] {
+        let _ = now;
+        offer_ok(&mut fe, lat, true, None);
+        fe.advance(20);
+    }
+    fe.offer(thr, &[("x0", true), ("x1", false)], None).unwrap();
+    fe.offer(thr, &[("x0", true), ("x1", true)], None).unwrap();
+    assert!(fe.queued_requests() > 0);
+    let events = fe.flush_all().unwrap();
+    assert_eq!(fe.queued_requests(), 0, "flush_all leaves nothing queued");
+    assert_eq!(fe.inflight_requests(), 0);
+    let done = completions(&events);
+    assert_eq!(done.len(), 4);
+    // responses carry correct per-tenant payloads: parity(1,0)=1, parity(1,1)=0
+    let parity_vals: Vec<bool> = events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::Completed {
+                tenant, outputs, ..
+            } if *tenant == thr => Some(outputs[0].1),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(parity_vals, vec![true, false]);
+}
+
+#[test]
+fn set_lane_width_refused_while_streams_hold_requests() {
+    let mut fe = frontend(1, 8);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::throughput(8)).unwrap();
+    offer_ok(&mut fe, t, true, None);
+    match fe.set_lane_width(16) {
+        Err(FrontendError::QueuesNotEmpty { queued }) => assert_eq!(queued, 1),
+        other => panic!("expected QueuesNotEmpty, got {other:?}"),
+    }
+    assert_eq!(fe.service().lane_width(), 8, "width unchanged on refusal");
+    fe.flush_all().unwrap();
+    fe.set_lane_width(16)
+        .expect("empty queues allow the change");
+    assert_eq!(fe.service().lane_width(), 16);
+}
+
+#[test]
+fn multi_shard_multi_tenant_interleave_demuxes_correctly() {
+    let mut fe = frontend(2, 4);
+    let wire = fe
+        .admit("wire", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    let parity = fe
+        .admit("parity", &generators::parity_tree(3).unwrap())
+        .unwrap();
+    let cmp = fe
+        .admit("cmp", &generators::equality_comparator(2).unwrap())
+        .unwrap();
+    fe.open_stream(wire, StreamPolicy::latency_sensitive(8, 100))
+        .unwrap();
+    fe.open_stream(parity, StreamPolicy::throughput(4)).unwrap();
+    fe.open_stream(cmp, StreamPolicy::latency_sensitive(8, 100))
+        .unwrap();
+    // interleave offers across tenants living on different shards
+    offer_ok(&mut fe, wire, true, None);
+    for k in 0..4u64 {
+        fe.offer(
+            parity,
+            &[("x0", k & 1 == 1), ("x1", k & 2 == 2), ("x2", false)],
+            None,
+        )
+        .unwrap();
+    }
+    fe.offer(
+        cmp,
+        &[("a0", true), ("a1", false), ("b0", true), ("b1", false)],
+        None,
+    )
+    .unwrap();
+    let events = fe.flush_all().unwrap();
+    let by_tenant = |t: TenantId| -> Vec<Vec<(String, bool)>> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                FrontendEvent::Completed {
+                    tenant, outputs, ..
+                } if *tenant == t => Some(
+                    outputs
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), *v))
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            })
+            .collect()
+    };
+    assert_eq!(by_tenant(wire), vec![vec![("out0".to_string(), true)]]);
+    // parity of (k&1, k&2, 0) for k = 0..4: 0, 1, 1, 0
+    let parity_out: Vec<bool> = by_tenant(parity).iter().map(|o| o[0].1).collect();
+    assert_eq!(parity_out, vec![false, true, true, false]);
+    assert_eq!(by_tenant(cmp), vec![vec![("eq".to_string(), true)]]);
+}
+
+// ---------------------------------------------------------------------
+// billing
+// ---------------------------------------------------------------------
+
+#[test]
+fn frontend_billing_report_renders_streams_and_counters() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(
+        t,
+        StreamPolicy::latency_sensitive(2, 50).with_rate(RateLimit::per_cycles(1, 2, 4)),
+    )
+    .unwrap();
+    // 2 admitted, 1 backpressured (queue of 2 full)
+    offer_ok(&mut fe, t, true, None);
+    offer_ok(&mut fe, t, false, None);
+    let _ = fe.offer(t, &[("in0", true)], None);
+    fe.flush_all().unwrap();
+    let report = fe.frontend_billing_report();
+    assert!(report.contains("wire"), "tenant name present:\n{report}");
+    assert!(report.contains("latency-sensitive"), "class:\n{report}");
+    assert!(report.contains("adm rate"), "rate columns:\n{report}");
+    assert!(report.contains("goodput"), "goodput column:\n{report}");
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.offered, 3);
+    assert_eq!(u.admitted, 2);
+    assert_eq!(u.completed, 2);
+    assert_eq!(u.rejected_backpressure, 1);
+    assert_eq!(u.rejected(), 1);
+    // service-side billing is untouched by front-end accounting
+    assert_eq!(fe.service().usage(t).unwrap().requests, 2);
+}
+
+#[test]
+fn frontend_usage_of_unknown_stream_is_typed() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    assert_eq!(fe.frontend_usage(t), Err(FrontendError::NoStream(t)));
+    // error display strings are stable and informative
+    assert!(FrontendError::NoStream(t)
+        .to_string()
+        .contains("no open stream"));
+    assert!(FrontendError::QueuesNotEmpty { queued: 3 }
+        .to_string()
+        .contains("3 requests"));
+    let bp = FrontendError::Backpressure {
+        tenant: t,
+        queued: 2,
+        capacity: 2,
+    };
+    assert!(bp.to_string().contains("2/2"));
+    // tickets number admissions from 0 and render as tkt#n
+    fe.open_stream(t, StreamPolicy::throughput(1)).unwrap();
+    let tk = fe.offer(t, &[("in0", true)], None).unwrap();
+    assert_eq!(tk.value(), 0);
+    assert_eq!(tk.to_string(), "tkt#0");
+}
+
+// ---------------------------------------------------------------------
+// QoS separation: latency-sensitive p99 beats throughput p99
+// ---------------------------------------------------------------------
+
+#[test]
+fn latency_sensitive_p99_beats_throughput_p99_under_skew() {
+    // a miniature of the bench harness's adversarial-skew gate: one
+    // latency-sensitive stream and one hot throughput stream share a
+    // shard; the LS class must see strictly lower tail latency.
+    let mut fe = frontend(1, 16);
+    let lat = fe
+        .admit("video", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    let thr = fe
+        .admit("batch", &generators::parity_tree(2).unwrap())
+        .unwrap();
+    fe.open_stream(lat, StreamPolicy::latency_sensitive(32, 24))
+        .unwrap();
+    fe.open_stream(thr, StreamPolicy::throughput(32)).unwrap();
+    let mut lat_samples = Vec::new();
+    let mut thr_samples = Vec::new();
+    let mut harvest = |events: &[FrontendEvent]| {
+        for e in events {
+            if let FrontendEvent::Completed {
+                tenant, latency, ..
+            } = e
+            {
+                if *tenant == lat {
+                    lat_samples.push(*latency);
+                } else {
+                    thr_samples.push(*latency);
+                }
+            }
+        }
+    };
+    for step in 0u64..600 {
+        if step % 3 == 0 {
+            let _ = fe.offer(lat, &[("in0", step % 2 == 0)], None);
+        }
+        // the hot tenant offers every cycle (adversarial skew)
+        let _ = fe.offer(thr, &[("x0", step % 2 == 0), ("x1", step % 4 < 2)], None);
+        let events = fe.pump().unwrap();
+        harvest(&events);
+        fe.advance(1);
+    }
+    let events = fe.flush_all().unwrap();
+    harvest(&events);
+    assert!(lat_samples.len() > 100, "LS load served");
+    assert!(thr_samples.len() > 300, "TP load served");
+    let lat_p99 = percentile(&mut lat_samples, 99.0);
+    let thr_p99 = percentile(&mut thr_samples, 99.0);
+    assert!(
+        lat_p99 < thr_p99,
+        "QoS separation: LS p99 {lat_p99} must beat TP p99 {thr_p99}"
+    );
+    // and LS never blew a deadline silently: nothing expired, so every
+    // latency is within the 24-cycle budget
+    assert!(
+        lat_samples.iter().all(|&l| l <= 24),
+        "every LS completion within budget"
+    );
+}
+
+// ---------------------------------------------------------------------
+// determinism: the whole event stream is identical at any thread width
+// ---------------------------------------------------------------------
+
+/// Runs a fixed mixed-class script at `threads` executor threads and
+/// returns the full observable state: every event (debug-formatted),
+/// both billing tables, and all faults.
+fn run_scripted(threads: usize) -> (Vec<String>, String, String, usize) {
+    let mut fe = frontend(2, 8);
+    fe.service_mut().set_threads(threads);
+    let wire = fe
+        .admit("wire", &generators::wire_lanes(1).unwrap())
+        .unwrap();
+    let parity = fe
+        .admit("parity", &generators::parity_tree(3).unwrap())
+        .unwrap();
+    let pop = fe.admit("pop", &generators::popcount4().unwrap()).unwrap();
+    fe.open_stream(wire, StreamPolicy::latency_sensitive(16, 6))
+        .unwrap();
+    fe.open_stream(parity, StreamPolicy::throughput(8)).unwrap();
+    fe.open_stream(
+        pop,
+        StreamPolicy::latency_sensitive(4, 9).with_rate(RateLimit::per_cycles(1, 2, 3)),
+    )
+    .unwrap();
+    let mut log = Vec::new();
+    let mut faults = 0;
+    for step in 0u64..120 {
+        if step % 2 == 0 {
+            match fe.offer(wire, &[("in0", step % 4 == 0)], None) {
+                Ok(tk) => log.push(format!("wire+{tk}")),
+                Err(e) => log.push(format!("wire!{e}")),
+            }
+        }
+        match fe.offer(
+            parity,
+            &[
+                ("x0", step & 1 == 1),
+                ("x1", step & 2 == 2),
+                ("x2", step & 4 == 4),
+            ],
+            None,
+        ) {
+            Ok(tk) => log.push(format!("par+{tk}")),
+            Err(e) => log.push(format!("par!{e}")),
+        }
+        if step % 3 == 0 {
+            match fe.offer(
+                pop,
+                &[
+                    ("x0", step & 1 == 1),
+                    ("x1", step & 2 == 2),
+                    ("x2", step & 8 == 8),
+                    ("x3", true),
+                ],
+                Some(fe.now() + (step % 5)),
+            ) {
+                Ok(tk) => log.push(format!("pop+{tk}")),
+                Err(e) => log.push(format!("pop!{e}")),
+            }
+        }
+        // mid-run chaos at fixed script points
+        // the parity batch (width 8, offers 1/cycle) flushes on steps
+        // 7, 15, …: fault through two flush attempts, repair after
+        if step == 40 {
+            fe.service_mut().inject_plane_fault(parity).unwrap();
+        }
+        if step == 56 {
+            fe.service_mut().repair_plane(parity).unwrap();
+        }
+        if step == 70 {
+            fe.service_mut().migrate_tenant(wire, 1).unwrap();
+        }
+        for e in fe.pump().unwrap() {
+            log.push(format!("{e:?}"));
+        }
+        faults += fe.take_faults().len();
+        fe.advance(1);
+    }
+    for e in fe.flush_all().unwrap() {
+        log.push(format!("{e:?}"));
+    }
+    (
+        log,
+        fe.service().billing_report(),
+        fe.frontend_billing_report(),
+        faults,
+    )
+}
+
+#[test]
+fn event_stream_and_billing_identical_across_thread_widths() {
+    let (log1, bill1, febill1, faults1) = run_scripted(1);
+    assert!(!log1.is_empty());
+    assert!(faults1 > 0, "the scripted fault produced slot faults");
+    for threads in [8, 16] {
+        let (log, bill, febill, faults) = run_scripted(threads);
+        assert_eq!(log, log1, "event stream differs at {threads} threads");
+        assert_eq!(bill, bill1, "billing differs at {threads} threads");
+        assert_eq!(
+            febill, febill1,
+            "frontend billing differs at {threads} threads"
+        );
+        assert_eq!(faults, faults1, "fault count differs at {threads} threads");
+    }
+}
+
+#[test]
+fn event_stream_identical_across_lane_widths_for_forced_flushes() {
+    // lane width changes flush *timing* for throughput streams, but a
+    // force-flushed (flush_all) script must produce identical responses
+    // at any width — the lane-width half of the determinism contract.
+    let run = |lanes: usize| -> Vec<String> {
+        let mut fe = frontend(1, lanes);
+        let t = fe
+            .admit("parity", &generators::parity_tree(3).unwrap())
+            .unwrap();
+        fe.open_stream(t, StreamPolicy::throughput(64)).unwrap();
+        for k in 0u64..40 {
+            fe.offer(
+                t,
+                &[("x0", k & 1 == 1), ("x1", k & 2 == 2), ("x2", k & 4 == 4)],
+                None,
+            )
+            .unwrap();
+        }
+        fe.flush_all()
+            .unwrap()
+            .iter()
+            .map(|e| match e {
+                FrontendEvent::Completed {
+                    ticket, outputs, ..
+                } => format!("{ticket}={}", outputs[0].1),
+                other => format!("{other:?}"),
+            })
+            .collect()
+    };
+    let at8 = run(8);
+    assert_eq!(at8.len(), 40);
+    assert_eq!(at8, run(64), "8-lane vs 64-lane responses");
+    assert_eq!(at8, run(256), "8-lane vs 256-lane responses");
+}
+
+// ---------------------------------------------------------------------
+// ticket conservation (small-scale; the property test generalizes it)
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_admitted_ticket_resolves_exactly_once() {
+    let mut fe = frontend(1, 4);
+    let t = admit_wire(&mut fe);
+    fe.open_stream(t, StreamPolicy::latency_sensitive(4, 3))
+        .unwrap();
+    let mut admitted = Vec::new();
+    for step in 0u64..60 {
+        // over-offer on purpose: capacity 4 forces backpressure
+        for _ in 0..2 {
+            if let Ok(tk) = fe.offer(t, &[("in0", step % 2 == 0)], None) {
+                admitted.push(tk);
+            }
+        }
+        // only pump every 5th cycle so some deadlines lapse in-queue
+        if step % 5 == 0 {
+            fe.pump().unwrap();
+        }
+        fe.advance(1);
+    }
+    let final_events = fe.flush_all().unwrap();
+    let _ = final_events;
+    let u = fe.frontend_usage(t).unwrap();
+    assert_eq!(u.admitted, admitted.len());
+    assert_eq!(
+        u.resolved(),
+        u.admitted,
+        "admitted = completed + expired + failed, none queued or in flight"
+    );
+    assert_eq!(fe.queued_requests(), 0);
+    assert_eq!(fe.inflight_requests(), 0);
+    assert!(u.expired > 0, "the sparse pumping let some expire");
+    assert!(u.completed > 0, "and the rest were served");
+    assert!(u.rejected_backpressure > 0, "over-offering backpressured");
+}

@@ -14,6 +14,7 @@
 use mcfpga_device::TechParams;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
+use mcfpga_service::frontend::{FrontendDriver, RateLimit, StreamPolicy};
 use mcfpga_service::{
     MigrateError, OptimizeMode, PlacementPolicy, RequestId, ServiceError, ShardedService, TenantId,
 };
@@ -469,4 +470,246 @@ fn replay_is_deterministic() {
     let a = run_replay(OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
     let b = run_replay(OptimizeMode::Optimized, PlacementPolicy::RoundRobin);
     assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------
+// QoS front-end chaos replay: open-loop arrivals through the streaming
+// front-end, with injects / repairs / migrations / evacuations landing
+// mid-stream, asserting the full event log is bit-identical at every
+// thread width × lane width.
+// ---------------------------------------------------------------------
+
+/// Everything externally observable about one front-end chaos run.
+#[derive(Debug, PartialEq)]
+struct FrontendReplayArtifacts {
+    /// Every front-end event, debug-formatted, in arrival order —
+    /// tickets, request ids, demuxed outputs, latencies, flush cycles,
+    /// expiries, and typed failures all participate in the comparison.
+    events: Vec<String>,
+    /// Every admission refusal, stringified, in offer order.
+    refusals: Vec<String>,
+    /// Every slot fault record, in arrival order.
+    faults: Vec<String>,
+    /// The service-side billing table.
+    billing: String,
+    /// The front-end admission/QoS billing table.
+    frontend_billing: String,
+    migrations: usize,
+}
+
+/// One seeded open-loop chaos run through the front-end at an explicit
+/// executor width and lane width.
+///
+/// Stream capacities stay well under the narrower lane width (64) so the
+/// effective batch width — `min(lane width, capacity)` — is identical at
+/// 64 and 256 lanes, which is what makes the *event timing* (not just
+/// the payloads) lane-width-independent. Arrival rates are low enough
+/// that a poisoned slot's service-side backlog stays under 64 requests,
+/// so neither width ever reaches its backlog threshold.
+fn run_frontend_chaos_replay(threads: usize, lane_width: usize) -> FrontendReplayArtifacts {
+    let mut svc = ShardedService::with_policies(
+        3,
+        FabricParams {
+            width: 5,
+            height: 5,
+            channel_width: 3,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+        OptimizeMode::Optimized,
+        PlacementPolicy::RoundRobin,
+    )
+    .expect("service");
+    svc.set_threads(threads);
+    svc.set_lane_width(lane_width).expect("lane width");
+    let mut fe = FrontendDriver::new(svc);
+    let designs = [
+        ("wire", generators::wire_lanes(1).unwrap()),
+        ("parity3", generators::parity_tree(3).unwrap()),
+        ("cmp2", generators::equality_comparator(2).unwrap()),
+        ("pop4", generators::popcount4().unwrap()),
+    ];
+    let tenants: Vec<(TenantId, Vec<String>)> = designs
+        .iter()
+        .map(|(name, nl)| (fe.admit(name, nl).expect("admit"), input_names(nl)))
+        .collect();
+    let policies = [
+        StreamPolicy::latency_sensitive(16, 10),
+        StreamPolicy::throughput(16),
+        // refill (1 per 6 cycles) below the ~1/3-per-cycle arrival rate:
+        // the token bucket must actually reject
+        StreamPolicy::latency_sensitive(8, 25).with_rate(RateLimit::per_cycles(1, 6, 2)),
+        // the hot tenant (below) hammers a 3-deep queue: backpressure
+        StreamPolicy::throughput(3),
+    ];
+    for (i, (t, _)) in tenants.iter().enumerate() {
+        fe.open_stream(*t, policies[i]).expect("open stream");
+    }
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xF0E1_D2C3);
+    let mut art = FrontendReplayArtifacts {
+        events: Vec::new(),
+        refusals: Vec::new(),
+        faults: Vec::new(),
+        billing: String::new(),
+        frontend_billing: String::new(),
+        migrations: 0,
+    };
+    let mut poisoned: HashSet<TenantId> = HashSet::new();
+    for _ in 0..CYCLES {
+        // open-loop arrivals: streams 0–2 get an offer with probability
+        // ~1/3 per cycle; stream 3 is the adversarially hot tenant with
+        // 1–2 offers *every* cycle — open-loop means nobody slows down
+        // for the service, which is exactly what backpressure is for
+        for (which, (tenant, names)) in tenants.iter().enumerate() {
+            let offers = if which == 3 {
+                1 + rng.random_range(0..2u32)
+            } else {
+                u32::from(rng.random_range(0..3u32) == 0)
+            };
+            for _ in 0..offers {
+                let scalar: Vec<(String, bool)> = names
+                    .iter()
+                    .map(|n| (n.clone(), rng.random_range(0..2u32) == 1))
+                    .collect();
+                let refs: Vec<(&str, bool)> =
+                    scalar.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                // occasional tight explicit deadlines on the *throughput*
+                // stream: it never early-flushes, so a deadline shorter
+                // than the batch-fill time must travel the expiry path
+                let deadline = if which == 1 && rng.random_range(0..4u32) == 0 {
+                    Some(fe.now() + rng.random_range(0..8u64))
+                } else {
+                    None
+                };
+                if let Err(e) = fe.offer(*tenant, &refs, deadline) {
+                    art.refusals.push(e.to_string());
+                }
+            }
+        }
+        // chaos hooks land directly on the wrapped service, mid-stream
+        match rng.random_range(0..100u32) {
+            0..=2 => {
+                let (t, _) = tenants[rng.random_range(0..tenants.len())].clone();
+                fe.service_mut().inject_plane_fault(t).expect("inject");
+                poisoned.insert(t);
+            }
+            3..=7 => {
+                let (t, _) = tenants[rng.random_range(0..tenants.len())].clone();
+                fe.service_mut().repair_plane(t).expect("repair");
+                poisoned.remove(&t);
+            }
+            8..=11 => {
+                let (t, _) = tenants[rng.random_range(0..tenants.len())].clone();
+                let dst = rng.random_range(0..fe.service().shard_count() as u32) as usize;
+                match fe.service_mut().migrate_tenant(t, dst) {
+                    Ok(_) => art.migrations += 1,
+                    Err(ServiceError::Migrate(MigrateError::NoFreeSlot { .. })) => {}
+                    Err(e) => panic!("unexpected migrate error: {e}"),
+                }
+            }
+            12..=13 => {
+                let shard = rng.random_range(0..fe.service().shard_count() as u32) as usize;
+                match fe.service_mut().evacuate_shard(shard) {
+                    Ok(moved) => art.migrations += moved.len(),
+                    Err(ServiceError::Migrate(MigrateError::EvacuationBlocked { .. })) => {}
+                    Err(e) => panic!("unexpected evacuate error: {e}"),
+                }
+            }
+            _ => {}
+        }
+        for e in fe.pump().expect("pump") {
+            art.events.push(format!("{e:?}"));
+        }
+        for f in fe.take_faults() {
+            art.faults.push(format!(
+                "{} ({}, {}): {}",
+                f.tenant, f.shard, f.ctx, f.error
+            ));
+        }
+        fe.advance(1);
+    }
+    // settle: heal every plane, flush every queue — nothing may linger
+    for (t, _) in &tenants {
+        fe.service_mut().repair_plane(*t).expect("final repair");
+    }
+    for e in fe.flush_all().expect("flush_all") {
+        art.events.push(format!("{e:?}"));
+    }
+    fe.take_faults();
+    assert_eq!(fe.queued_requests(), 0, "settled front-end queues");
+    assert_eq!(fe.inflight_requests(), 0, "settled in-flight set");
+    // per-stream conservation: every admitted request resolved
+    for (t, _) in &tenants {
+        let u = fe.frontend_usage(*t).expect("usage");
+        assert_eq!(
+            u.resolved(),
+            u.admitted,
+            "stream {t}: admitted {} but resolved {}",
+            u.admitted,
+            u.resolved()
+        );
+        assert_eq!(u.offered, u.admitted + u.rejected());
+    }
+    art.billing = fe.service().billing_report();
+    art.frontend_billing = fe.frontend_billing_report();
+    art
+}
+
+/// The QoS front-end under the full chaos mix is as deterministic as the
+/// raw service: the complete event log — completions with latencies and
+/// flush cycles, expiries, refusals, faults, both billing tables — is
+/// bit-identical at thread widths {1, 8, 16} × lane widths {64, 256}.
+#[test]
+fn frontend_chaos_replay_is_bitwise_identical_across_threads_and_lanes() {
+    let baseline = run_frontend_chaos_replay(1, 64);
+    assert!(
+        baseline.events.len() > 200,
+        "replay produced only {} events",
+        baseline.events.len()
+    );
+    assert!(!baseline.faults.is_empty(), "replay never faulted");
+    assert!(
+        !baseline.refusals.is_empty(),
+        "replay never exercised admission control"
+    );
+    assert!(baseline.migrations > 5, "replay barely migrated");
+    assert!(
+        baseline.events.iter().any(|e| e.starts_with("Expired")),
+        "replay never expired a deadline"
+    );
+    for (threads, lanes) in [(1usize, 256usize), (8, 64), (8, 256), (16, 64), (16, 256)] {
+        let run = run_frontend_chaos_replay(threads, lanes);
+        if run.events != baseline.events {
+            for (i, (a, b)) in baseline.events.iter().zip(run.events.iter()).enumerate() {
+                if a != b {
+                    eprintln!("first diff at event {i}:\n  base: {a}\n  run:  {b}");
+                    break;
+                }
+            }
+            eprintln!(
+                "lens: base {} run {}",
+                baseline.events.len(),
+                run.events.len()
+            );
+            panic!("event log diverged at {threads} threads x {lanes} lanes");
+        }
+        assert_eq!(
+            run.refusals, baseline.refusals,
+            "refusals diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.faults, baseline.faults,
+            "fault log diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.billing, baseline.billing,
+            "billing diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.frontend_billing, baseline.frontend_billing,
+            "frontend billing diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(run.migrations, baseline.migrations);
+    }
 }

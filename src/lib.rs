@@ -77,6 +77,9 @@ pub mod prelude {
     pub use mcfpga_migrate::{MigrateError, TenantCheckpoint, FORMAT_VERSION};
     pub use mcfpga_mvl::{decompose_windows, CtxSet, Level, Radix, WindowLiteral};
     pub use mcfpga_netlist::{Netlist, SwitchSim};
-    pub use mcfpga_service::{ParallelExecutor, PlacementPolicy, ShardedService, TenantId};
+    pub use mcfpga_service::{
+        FrontendDriver, ParallelExecutor, PlacementPolicy, QosClass, ShardedService, StreamPolicy,
+        TenantId,
+    };
     pub use mcfpga_switchblock::{remap_to_designated_rows, RouteSet, SwitchBlock};
 }
