@@ -525,10 +525,27 @@ pub fn render_bench_json<K: AsRef<str>>(name: &str, fields: &[(K, BenchValue)]) 
     format!("{{\n{body}\n}}\n")
 }
 
+/// The provenance every committed artifact must carry: how many CPU
+/// cores the writing machine had (`cpu_cores`) and whether its timing
+/// gates were actually enforced there (`gates_enforced` — false in
+/// [`smoke`] mode, where wall-clock assertions are skipped). Without
+/// these a committed number can't be judged: a latency measured on a
+/// 2-core CI box under smoke mode is not evidence of a regression.
+#[must_use]
+pub fn provenance_fields() -> Vec<(String, BenchValue)> {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    vec![
+        ("cpu_cores".to_string(), cores.into()),
+        ("gates_enforced".to_string(), (!smoke()).into()),
+    ]
+}
+
 /// Writes `BENCH_<name>.json` to the repository root so the perf
 /// trajectory of every gated benchmark is tracked in-tree. Returns the
 /// path written. Fields keep insertion order; values follow
-/// [`BenchValue`]'s JSON mapping.
+/// [`BenchValue`]'s JSON mapping. The [`provenance_fields`] are appended
+/// automatically (callers' own fields win on key collision — the
+/// appended ones are skipped).
 pub fn write_bench_json<K: AsRef<str>>(
     name: &str,
     fields: &[(K, BenchValue)],
@@ -541,6 +558,15 @@ pub fn write_bench_json<K: AsRef<str>>(
         .expect("crates/bench sits two levels below the repo root")
         .to_path_buf();
     let path = root.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, render_bench_json(name, fields))?;
+    let mut all: Vec<(String, BenchValue)> = fields
+        .iter()
+        .map(|(k, v)| (k.as_ref().to_string(), v.clone()))
+        .collect();
+    for (key, value) in provenance_fields() {
+        if !all.iter().any(|(k, _)| *k == key) {
+            all.push((key, value));
+        }
+    }
+    std::fs::write(&path, render_bench_json(name, &all))?;
     Ok(path)
 }

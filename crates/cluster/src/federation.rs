@@ -1,0 +1,849 @@
+//! The cluster façade: member nodes, the router, the deterministic
+//! node-then-shard-then-lane merge, live migration, and the virtual-clock
+//! rebalancer pump.
+
+use crate::rebalancer::{RebalanceAction, RebalancerPolicy};
+use crate::ClusterError;
+use mcfpga_cost::attribution::{render_billing, TenantUsage};
+use mcfpga_device::TechParams;
+use mcfpga_fabric::{FabricParams, LogicNetlist};
+use mcfpga_service::{
+    best_slot_scored, netlist_fingerprint, Response, ServiceError, ShardedService, TenantId,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cluster-global tenant handle, minted in admission order starting at 0.
+///
+/// Stable across live migration: the handle keeps working wherever the
+/// tenant currently runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterTenantId(pub(crate) usize);
+
+impl ClusterTenantId {
+    /// The dense index of this tenant (cluster admission order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClusterTenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cten#{}", self.0)
+    }
+}
+
+/// Cluster-global request handle, minted in submission order starting
+/// at 0. Survives migration: a request queued on the source node is
+/// answered under the same cluster id from the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterRequestId(pub(crate) u64);
+
+impl ClusterRequestId {
+    /// The raw sequence number (cluster submission order).
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClusterRequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "creq#{}", self.0)
+    }
+}
+
+/// One answered request, with node-local ids already translated to
+/// cluster ids — bit-identical for a given workload at any node count
+/// and any executor width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterResponse {
+    /// The cluster id the answered submission returned.
+    pub request: ClusterRequestId,
+    /// The tenant the request belonged to.
+    pub tenant: ClusterTenantId,
+    /// `(output name, value)` pairs, netlist output order.
+    pub outputs: Vec<(Arc<str>, bool)>,
+}
+
+/// One slot-execution fault, translated to cluster coordinates.
+///
+/// `shard` is the **global** shard index (node-major: node 0's shards
+/// first), so fault logs — like responses — compare bit-for-bit across
+/// different node counts holding the same global shard space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFault {
+    /// The tenant whose slot faulted.
+    pub tenant: ClusterTenantId,
+    /// Global shard index of the faulted slot.
+    pub shard: usize,
+    /// Context slot within the shard.
+    pub ctx: usize,
+    /// The underlying execution error.
+    pub error: ServiceError,
+}
+
+/// Lifecycle state of a member node, as seen by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeHealth {
+    /// Admitting and serving.
+    Healthy,
+    /// Serving but shedding load: no new admissions, rebalancer migrates
+    /// tenants away until queue depth recovers.
+    Hot,
+    /// Being emptied: no new admissions, existing tenants still serve
+    /// while they are migrated off.
+    Draining,
+    /// Empty and out of rotation (a completed drain).
+    Drained,
+    /// Exceeded the fault threshold: refuses submissions, rebalancer
+    /// evacuates its tenants; only [`Cluster::restart_node`] recovers it.
+    Faulted,
+}
+
+impl NodeHealth {
+    /// May the router place **new** tenants here?
+    #[must_use]
+    pub fn admits(self) -> bool {
+        matches!(self, NodeHealth::Healthy)
+    }
+
+    /// May resident tenants still accept submissions?
+    #[must_use]
+    pub fn serves(self) -> bool {
+        !matches!(self, NodeHealth::Faulted)
+    }
+}
+
+impl std::fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Hot => "hot",
+            NodeHealth::Draining => "draining",
+            NodeHealth::Drained => "drained",
+            NodeHealth::Faulted => "faulted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the cluster router picks a node (and slot) for a new tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouterPolicy {
+    /// One cursor over the **global shard space** (node-major), probed
+    /// exactly like a single `N·S`-shard service's round-robin registry —
+    /// the policy under which a cluster is bit-identical to fewer, larger
+    /// nodes.
+    #[default]
+    RoundRobin,
+    /// Every admitting node reports its best free slot's
+    /// [`SlotScore`](mcfpga_service::SlotScore); the smallest
+    /// `(marginal sweep cost, affinity miss, load)` key wins, node index
+    /// as the final tiebreak.
+    EnergyAware,
+}
+
+/// One member node: the service plus the router's view of it.
+struct Node {
+    svc: ShardedService,
+    health: NodeHealth,
+    /// First global shard index owned by this node (node-major blocks).
+    shard_base: usize,
+    shards: usize,
+    params: FabricParams,
+    tech: TechParams,
+    /// Cumulative slot faults observed since the last restart.
+    fault_tally: usize,
+}
+
+/// Everything the cluster must remember about an admitted tenant to
+/// route, re-route and — when the source node is gone — re-provision it.
+struct RouteEntry {
+    name: String,
+    /// The admission netlist, kept so a destination whose plane cache
+    /// misses the digest can recompile instead of dead-ending.
+    netlist: LogicNetlist,
+    /// Geometry of the node the tenant was *admitted* on — the geometry
+    /// its configuration digest was computed over.
+    admit_params: FabricParams,
+    node: usize,
+    local: TenantId,
+}
+
+/// A federation of [`ShardedService`] nodes behind one deterministic
+/// façade: router, merge, migration, rebalancing. See the
+/// [crate docs](crate) for the model.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    policy: RouterPolicy,
+    routes: Vec<RouteEntry>,
+    /// `(node, node-local tenant)` → cluster tenant.
+    tenant_map: HashMap<(usize, TenantId), ClusterTenantId>,
+    /// `(node, node-local raw request id)` → cluster request. Entries are
+    /// consumed when the response is merged and re-pointed when a
+    /// migration carries the pending request to another node.
+    request_map: HashMap<(usize, u64), ClusterRequestId>,
+    next_request: u64,
+    /// Round-robin cursor over the global shard space.
+    cursor: usize,
+    /// Netlist fingerprint → context index of a previous admission
+    /// (cross-node plane-affinity hint for energy-aware routing).
+    affinity: HashMap<u64, usize>,
+    /// Virtual clock, advanced by the caller; drives the rebalancer.
+    clock: u64,
+    last_check: u64,
+    rebalancer: Option<RebalancerPolicy>,
+    fault_log: Vec<ClusterFault>,
+    threads: Option<usize>,
+}
+
+impl Cluster {
+    /// Federates `nodes` (at least one) under the default
+    /// [`RouterPolicy::RoundRobin`]. Node order is load-bearing: it fixes
+    /// the global shard space (node 0's shards first) and therefore the
+    /// merge order of every response, fault and billing row.
+    pub fn new(nodes: Vec<ShardedService>) -> Result<Self, ClusterError> {
+        if nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let mut base = 0;
+        let nodes = nodes
+            .into_iter()
+            .map(|svc| {
+                let shards = svc.shard_count();
+                let node = Node {
+                    health: NodeHealth::Healthy,
+                    shard_base: base,
+                    shards,
+                    params: *svc.params(),
+                    tech: svc.tech().clone(),
+                    fault_tally: 0,
+                    svc,
+                };
+                base += shards;
+                node
+            })
+            .collect();
+        Ok(Cluster {
+            nodes,
+            policy: RouterPolicy::default(),
+            routes: Vec::new(),
+            tenant_map: HashMap::new(),
+            request_map: HashMap::new(),
+            next_request: 0,
+            cursor: 0,
+            affinity: HashMap::new(),
+            clock: 0,
+            last_check: 0,
+            rebalancer: None,
+            fault_log: Vec::new(),
+            threads: None,
+        })
+    }
+
+    /// Number of member nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total shards across all nodes — the size of the global shard space.
+    #[must_use]
+    pub fn total_shards(&self) -> usize {
+        self.nodes.last().map_or(0, |n| n.shard_base + n.shards)
+    }
+
+    /// Read-only view of one member node's service.
+    pub fn node(&self, node: usize) -> Result<&ShardedService, ClusterError> {
+        self.check_node(node)?;
+        Ok(&self.nodes[node].svc)
+    }
+
+    /// Current health of one member node.
+    pub fn node_health(&self, node: usize) -> Result<NodeHealth, ClusterError> {
+        self.check_node(node)?;
+        Ok(self.nodes[node].health)
+    }
+
+    /// Operator override of a node's health state (the rebalancer and
+    /// [`drain_node`](Self::drain_node)/[`restart_node`](Self::restart_node)
+    /// manage it autonomously otherwise).
+    pub fn set_node_health(&mut self, node: usize, health: NodeHealth) -> Result<(), ClusterError> {
+        self.check_node(node)?;
+        self.nodes[node].health = health;
+        Ok(())
+    }
+
+    /// The active router policy.
+    #[must_use]
+    pub fn router_policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Switches the router policy for subsequent admissions.
+    pub fn set_router_policy(&mut self, policy: RouterPolicy) {
+        self.policy = policy;
+    }
+
+    /// Sets every node's executor width (and re-applies it to nodes
+    /// rebuilt by [`restart_node`](Self::restart_node)). Output is
+    /// bit-identical at any width; this only trades wall-clock for cores.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads);
+        for node in &mut self.nodes {
+            node.svc.set_threads(threads);
+        }
+    }
+
+    /// Requests queued but unexecuted across all nodes.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.nodes.iter().map(|n| n.svc.pending_requests()).sum()
+    }
+
+    /// Cluster tenants currently resident on `node`, id order.
+    pub fn tenants_on(&self, node: usize) -> Result<Vec<ClusterTenantId>, ClusterError> {
+        self.check_node(node)?;
+        Ok(self
+            .routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.node == node)
+            .map(|(i, _)| ClusterTenantId(i))
+            .collect())
+    }
+
+    /// The node a tenant currently runs on.
+    pub fn tenant_node(&self, tenant: ClusterTenantId) -> Result<usize, ClusterError> {
+        Ok(self.route(tenant)?.node)
+    }
+
+    // ------------------------------------------------------------------
+    // Routing and admission
+    // ------------------------------------------------------------------
+
+    /// Admits `netlist` onto the cluster under the active
+    /// [`RouterPolicy`], returning a cluster-global tenant id. The chosen
+    /// node admits at the exact scored slot
+    /// ([`ShardedService::admit_placed`]), so the result is bit-for-bit
+    /// what that node's own policy admission would have produced.
+    pub fn admit(
+        &mut self,
+        name: &str,
+        netlist: &LogicNetlist,
+    ) -> Result<ClusterTenantId, ClusterError> {
+        let (node_idx, shard) = self.place(netlist)?;
+        let placement = self.nodes[node_idx].svc.registry().reserve_on(shard)?;
+        let local = self.nodes[node_idx]
+            .svc
+            .admit_placed(name, netlist, placement)?;
+        self.affinity
+            .insert(netlist_fingerprint(netlist), placement.ctx);
+        self.cursor = (self.nodes[node_idx].shard_base + placement.shard + 1) % self.total_shards();
+        let id = ClusterTenantId(self.routes.len());
+        self.routes.push(RouteEntry {
+            name: name.to_string(),
+            netlist: netlist.clone(),
+            admit_params: self.nodes[node_idx].params,
+            node: node_idx,
+            local,
+        });
+        self.tenant_map.insert((node_idx, local), id);
+        Ok(id)
+    }
+
+    /// Picks `(node, local shard)` for a new tenant under the active
+    /// policy, considering only nodes whose health
+    /// [`admits`](NodeHealth::admits).
+    fn place(&self, netlist: &LogicNetlist) -> Result<(usize, usize), ClusterError> {
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                let total = self.total_shards();
+                for probe in 0..total {
+                    let g = (self.cursor + probe) % total;
+                    let (node, shard) = self.node_of_global(g);
+                    if !self.nodes[node].health.admits() {
+                        continue;
+                    }
+                    if self.nodes[node].svc.registry().reserve_on(shard).is_ok() {
+                        return Ok((node, shard));
+                    }
+                }
+                Err(ClusterError::CapacityExhausted)
+            }
+            RouterPolicy::EnergyAware => {
+                let hint = self.affinity.get(&netlist_fingerprint(netlist)).copied();
+                let mut best: Option<((usize, bool, usize), usize, usize)> = None;
+                for (i, node) in self.nodes.iter().enumerate() {
+                    if !node.health.admits() {
+                        continue;
+                    }
+                    let score = best_slot_scored(
+                        node.svc.registry(),
+                        node.svc.cost_matrix(),
+                        hint,
+                        |_| true,
+                    )?;
+                    if let Some(score) = score {
+                        let key = score.key();
+                        let better = match &best {
+                            None => true,
+                            // strict <: equal keys fall to the lower node
+                            Some((bk, _, _)) => key < *bk,
+                        };
+                        if better {
+                            best = Some((key, i, score.slot.shard));
+                        }
+                    }
+                }
+                best.map(|(_, node, shard)| (node, shard))
+                    .ok_or(ClusterError::CapacityExhausted)
+            }
+        }
+    }
+
+    /// Maps a global shard index to `(node, node-local shard)`.
+    fn node_of_global(&self, g: usize) -> (usize, usize) {
+        debug_assert!(g < self.total_shards());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if g < node.shard_base + node.shards {
+                return (i, g - node.shard_base);
+            }
+        }
+        unreachable!("global shard {g} beyond the shard space")
+    }
+
+    // ------------------------------------------------------------------
+    // Submission, merge, faults, billing
+    // ------------------------------------------------------------------
+
+    /// Submits one input vector to `tenant`, wherever it currently runs,
+    /// returning a cluster-global request id. Refused with
+    /// [`ClusterError::NodeUnavailable`] when the tenant's node is
+    /// [`Faulted`](NodeHealth::Faulted).
+    pub fn submit(
+        &mut self,
+        tenant: ClusterTenantId,
+        inputs: &[(&str, bool)],
+    ) -> Result<ClusterRequestId, ClusterError> {
+        let (node, local) = {
+            let route = self.route(tenant)?;
+            (route.node, route.local)
+        };
+        if !self.nodes[node].health.serves() {
+            return Err(ClusterError::NodeUnavailable {
+                node,
+                health: self.nodes[node].health,
+            });
+        }
+        let rid = self.nodes[node].svc.submit(local, inputs)?;
+        let id = ClusterRequestId(self.next_request);
+        self.next_request += 1;
+        self.request_map.insert((node, rid.value()), id);
+        Ok(id)
+    }
+
+    /// Flushes every node and merges the answered requests in **node,
+    /// then shard, then lane order** — each node's own output is already
+    /// deterministic in (shard, sweep-position, lane), so iterating nodes
+    /// in index order makes the merged stream bit-identical at any node
+    /// count over the same global shard space.
+    pub fn drain(&mut self) -> Result<Vec<ClusterResponse>, ClusterError> {
+        let mut merged = Vec::new();
+        for node in 0..self.nodes.len() {
+            let responses = self.nodes[node].svc.drain()?;
+            for r in responses {
+                merged.push(self.map_response(node, r)?);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Flushes only the listed tenants' slots (grouped per node, node
+    /// order), merging like [`drain`](Self::drain).
+    pub fn flush_tenants(
+        &mut self,
+        tenants: &[ClusterTenantId],
+    ) -> Result<Vec<ClusterResponse>, ClusterError> {
+        let mut per_node: Vec<Vec<TenantId>> = vec![Vec::new(); self.nodes.len()];
+        for &t in tenants {
+            let route = self.route(t)?;
+            per_node[route.node].push(route.local);
+        }
+        let mut merged = Vec::new();
+        for (node, locals) in per_node.into_iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            let responses = self.nodes[node].svc.flush_tenants(&locals)?;
+            for r in responses {
+                merged.push(self.map_response(node, r)?);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Translates one node response to cluster ids, consuming the request
+    /// mapping (each admitted request is answered exactly once).
+    fn map_response(&mut self, node: usize, r: Response) -> Result<ClusterResponse, ClusterError> {
+        let request = self
+            .request_map
+            .remove(&(node, r.request.value()))
+            .ok_or_else(|| {
+                ClusterError::Service(ServiceError::BadConfig(format!(
+                    "node {node} answered {} which the cluster never submitted",
+                    r.request
+                )))
+            })?;
+        let tenant = *self
+            .tenant_map
+            .get(&(node, r.tenant))
+            .ok_or_else(|| ClusterError::UnknownTenant(r.tenant.index()))?;
+        Ok(ClusterResponse {
+            request,
+            tenant,
+            outputs: r.outputs,
+        })
+    }
+
+    /// Removes and returns every fault recorded since the last call,
+    /// merged in node order and translated to cluster coordinates
+    /// (tenant id, **global** shard index) — bit-identical at any node
+    /// count, like responses.
+    pub fn take_faults(&mut self) -> Vec<ClusterFault> {
+        self.collect_faults();
+        std::mem::take(&mut self.fault_log)
+    }
+
+    /// Drains every node's fault buffer into the cluster log, tallying
+    /// per-node counts for the rebalancer.
+    fn collect_faults(&mut self) {
+        for node in 0..self.nodes.len() {
+            let base = self.nodes[node].shard_base;
+            for f in self.nodes[node].svc.take_faults() {
+                self.nodes[node].fault_tally += 1;
+                if let Some(&tenant) = self.tenant_map.get(&(node, f.tenant)) {
+                    self.fault_log.push(ClusterFault {
+                        tenant,
+                        shard: base + f.shard,
+                        ctx: f.ctx,
+                        error: f.error,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Accumulated usage counters for one tenant (they follow the tenant
+    /// across migrations).
+    pub fn usage(&self, tenant: ClusterTenantId) -> Result<TenantUsage, ClusterError> {
+        let route = self.route(tenant)?;
+        Ok(self.nodes[route.node].svc.usage(route.local)?)
+    }
+
+    /// The cluster billing table: one row per tenant in **cluster
+    /// admission order**, rendered with node 0's technology parameters —
+    /// so the table, like responses and faults, is bit-identical at any
+    /// node count.
+    #[must_use]
+    pub fn billing_report(&self) -> String {
+        let rows: Vec<(String, TenantUsage)> = self
+            .routes
+            .iter()
+            .map(|r| {
+                // a route always points at a live tenant; default only
+                // guards the window inside a migration
+                let usage = self.nodes[r.node].svc.usage(r.local).unwrap_or_default();
+                (r.name.clone(), usage)
+            })
+            .collect();
+        render_billing(&rows, &self.nodes[0].tech)
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos hooks (cluster-id passthroughs)
+    // ------------------------------------------------------------------
+
+    /// Corrupts the tenant's installed plane (testing hook; see
+    /// [`ShardedService::inject_plane_fault`]).
+    pub fn inject_plane_fault(&mut self, tenant: ClusterTenantId) -> Result<(), ClusterError> {
+        let (node, local) = {
+            let r = self.route(tenant)?;
+            (r.node, r.local)
+        };
+        Ok(self.nodes[node].svc.inject_plane_fault(local)?)
+    }
+
+    /// Re-installs the tenant's true compiled plane from the owning
+    /// node's cache (see [`ShardedService::repair_plane`]).
+    pub fn repair_plane(&mut self, tenant: ClusterTenantId) -> Result<(), ClusterError> {
+        let (node, local) = {
+            let r = self.route(tenant)?;
+            (r.node, r.local)
+        };
+        Ok(self.nodes[node].svc.repair_plane(local)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Migration and node lifecycle
+    // ------------------------------------------------------------------
+
+    /// Live-migrates `tenant` to `dst_node`: checkpoint at the source,
+    /// make the compiled plane available at the destination (cache hit,
+    /// plane shipment from the source, or — when the source's cache is
+    /// gone — recompilation from the admission netlist), restore into the
+    /// destination's cheapest slot, re-point every pending request to its
+    /// original cluster id, then retire the source copy. A no-op when the
+    /// tenant already runs on `dst_node`.
+    ///
+    /// Works across heterogeneous geometries: a tenant admitted on an
+    /// 8×8 node restores onto a 10×10 node bit-for-bit (pad-and-remap).
+    pub fn migrate_tenant(
+        &mut self,
+        tenant: ClusterTenantId,
+        dst_node: usize,
+    ) -> Result<(), ClusterError> {
+        self.check_node(dst_node)?;
+        let (src_node, src_local) = {
+            let r = self.route(tenant)?;
+            (r.node, r.local)
+        };
+        if src_node == dst_node {
+            return Ok(());
+        }
+        let ckpt = self.nodes[src_node].svc.checkpoint_tenant(src_local)?;
+
+        // plane re-provisioning: ship it, or recompile it at the
+        // destination from the admission netlist — never dead-end on a
+        // cold cache
+        if !self.nodes[dst_node].svc.cache().contains(ckpt.digest) {
+            match self.nodes[src_node].svc.export_plane(ckpt.digest) {
+                Some(plane) => self.nodes[dst_node].svc.import_plane(ckpt.digest, plane),
+                None => {
+                    let (netlist, admit_params) = {
+                        let r = self.route(tenant)?;
+                        (r.netlist.clone(), r.admit_params)
+                    };
+                    self.nodes[dst_node].svc.provision_plane(
+                        ckpt.digest,
+                        &netlist,
+                        admit_params,
+                    )?;
+                }
+            }
+        }
+
+        let dst = &self.nodes[dst_node].svc;
+        let slot = best_slot_scored(dst.registry(), dst.cost_matrix(), Some(ckpt.ctx), |_| true)?
+            .ok_or(ClusterError::CapacityExhausted)?;
+        let (new_local, fresh) = self.nodes[dst_node]
+            .svc
+            .restore_tenant(&ckpt, slot.slot.shard)?;
+
+        // the checkpoint's pending requests (source-local ids, lane
+        // order) were re-queued under fresh destination-local ids (same
+        // order): re-point each one at its original cluster id
+        for (&old_raw, new_rid) in ckpt.pending.requests.iter().zip(&fresh) {
+            if let Some(cid) = self.request_map.remove(&(src_node, old_raw)) {
+                self.request_map.insert((dst_node, new_rid.value()), cid);
+            }
+        }
+
+        self.nodes[src_node].svc.retire_tenant(src_local)?;
+        self.tenant_map.remove(&(src_node, src_local));
+        self.tenant_map.insert((dst_node, new_local), tenant);
+        let route = &mut self.routes[tenant.0];
+        route.node = dst_node;
+        route.local = new_local;
+        Ok(())
+    }
+
+    /// Empties `node`: marks it [`Draining`](NodeHealth::Draining),
+    /// migrates every resident tenant to the least-loaded healthy node
+    /// (re-picked per tenant as capacity shifts), then marks it
+    /// [`Drained`](NodeHealth::Drained). Returns the moved tenants in id
+    /// order. In-flight requests ride along and are still answered
+    /// exactly once.
+    pub fn drain_node(&mut self, node: usize) -> Result<Vec<ClusterTenantId>, ClusterError> {
+        self.check_node(node)?;
+        self.nodes[node].health = NodeHealth::Draining;
+        let movers = self.tenants_on(node)?;
+        for &tenant in &movers {
+            let dst = self.pick_destination(node)?;
+            self.migrate_tenant(tenant, dst)?;
+        }
+        self.nodes[node].health = NodeHealth::Drained;
+        Ok(movers)
+    }
+
+    /// The least-loaded admitting node with free capacity, excluding
+    /// `exclude`; ties fall to the lowest node index.
+    fn pick_destination(&self, exclude: usize) -> Result<usize, ClusterError> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i == exclude || !node.health.admits() {
+                continue;
+            }
+            if node.svc.registry().free_slots().is_empty() {
+                continue;
+            }
+            let load = node.svc.registry().len();
+            if best.is_none_or(|(bl, _)| load < bl) {
+                best = Some((load, i));
+            }
+        }
+        best.map(|(_, i)| i).ok_or(ClusterError::CapacityExhausted)
+    }
+
+    /// Replaces an **empty** node's service with a freshly constructed
+    /// one (same shard count, geometry and technology), resets its fault
+    /// tally and marks it [`Healthy`](NodeHealth::Healthy) — the recovery
+    /// path for a [`Faulted`](NodeHealth::Faulted) node after
+    /// [`drain_node`](Self::drain_node), and the building block of a
+    /// rolling restart. Refused with [`ClusterError::NodeBusy`] while
+    /// tenants are still resident.
+    pub fn restart_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        self.check_node(node)?;
+        let resident = self.tenants_on(node)?.len();
+        if resident > 0 {
+            return Err(ClusterError::NodeBusy {
+                node,
+                tenants: resident,
+            });
+        }
+        let n = &mut self.nodes[node];
+        n.svc = ShardedService::new(n.shards, n.params, n.tech.clone())?;
+        if let Some(threads) = self.threads {
+            n.svc.set_threads(threads);
+        }
+        n.health = NodeHealth::Healthy;
+        n.fault_tally = 0;
+        // any undrained response mappings for the old incarnation are gone
+        self.request_map.retain(|&(owner, _), _| owner != node);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual clock + rebalancer pump
+    // ------------------------------------------------------------------
+
+    /// The cluster's virtual clock (cycles).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the virtual clock — the same externally-driven clock
+    /// pattern as [`FrontendDriver`](mcfpga_service::FrontendDriver).
+    pub fn advance(&mut self, cycles: u64) {
+        self.clock = self.clock.saturating_add(cycles);
+    }
+
+    /// Arms the rebalancer daemon; [`pump`](Self::pump) does nothing
+    /// until a policy is set.
+    pub fn enable_rebalancer(&mut self, policy: RebalancerPolicy) {
+        self.rebalancer = Some(policy);
+    }
+
+    /// One rebalancer tick. No-op until `check_period` cycles have
+    /// elapsed since the last check; then it drains fault buffers,
+    /// re-marks node health (fault tally ⇒ [`Faulted`](NodeHealth::Faulted),
+    /// queue depth ⇒ [`Hot`](NodeHealth::Hot)), migrates tenants off
+    /// faulted/draining nodes entirely and hot nodes by halves, and
+    /// reports what it did. Call it from the same loop that
+    /// [`advance`](Self::advance)s the clock.
+    pub fn pump(&mut self) -> Result<Vec<RebalanceAction>, ClusterError> {
+        let Some(policy) = self.rebalancer else {
+            return Ok(Vec::new());
+        };
+        if self.clock.saturating_sub(self.last_check) < policy.check_period {
+            return Ok(Vec::new());
+        }
+        self.last_check = self.clock;
+        self.collect_faults();
+        let mut actions = Vec::new();
+
+        // mark: fault tallies dominate queue depth
+        for i in 0..self.nodes.len() {
+            let node = &mut self.nodes[i];
+            match node.health {
+                NodeHealth::Healthy | NodeHealth::Hot => {
+                    if node.fault_tally >= policy.fault_threshold {
+                        node.health = NodeHealth::Faulted;
+                        actions.push(RebalanceAction::MarkedFaulted { node: i });
+                    } else if node.health == NodeHealth::Healthy
+                        && node.svc.pending_requests() >= policy.hot_pending
+                    {
+                        node.health = NodeHealth::Hot;
+                        actions.push(RebalanceAction::MarkedHot { node: i });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // shed: faulted and draining nodes empty out, hot nodes move half
+        for i in 0..self.nodes.len() {
+            let health = self.nodes[i].health;
+            let resident = self.tenants_on(i)?;
+            let movers: &[ClusterTenantId] = match health {
+                NodeHealth::Faulted | NodeHealth::Draining => &resident,
+                NodeHealth::Hot => &resident[..resident.len().div_ceil(2)],
+                _ => continue,
+            };
+            for &tenant in movers {
+                let Ok(dst) = self.pick_destination(i) else {
+                    // nowhere to put the rest: stop shedding this node
+                    break;
+                };
+                self.migrate_tenant(tenant, dst)?;
+                actions.push(RebalanceAction::Migrated {
+                    tenant,
+                    from: i,
+                    to: dst,
+                });
+            }
+            match self.nodes[i].health {
+                // pending work travelled with the migrated tenants; if the
+                // queue recovered, the node goes back into rotation
+                NodeHealth::Hot if self.nodes[i].svc.pending_requests() < policy.hot_pending => {
+                    self.nodes[i].health = NodeHealth::Healthy;
+                    actions.push(RebalanceAction::Recovered { node: i });
+                }
+                NodeHealth::Draining if self.tenants_on(i)?.is_empty() => {
+                    self.nodes[i].health = NodeHealth::Drained;
+                }
+                _ => {}
+            }
+        }
+        Ok(actions)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_node(&self, node: usize) -> Result<(), ClusterError> {
+        if node >= self.nodes.len() {
+            return Err(ClusterError::NoSuchNode {
+                node,
+                nodes: self.nodes.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn route(&self, tenant: ClusterTenantId) -> Result<&RouteEntry, ClusterError> {
+        self.routes
+            .get(tenant.0)
+            .ok_or(ClusterError::UnknownTenant(tenant.0))
+    }
+}
+
+// the cluster owns plain services plus maps of Send + Sync types
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cluster>();
+};

@@ -1,0 +1,65 @@
+//! Rebalancer policy knobs and the action log its pump emits.
+//!
+//! The daemon itself lives on [`Cluster`](crate::Cluster)
+//! ([`pump`](crate::Cluster::pump)), driven by the cluster's virtual
+//! clock: callers interleave [`advance`](crate::Cluster::advance) and
+//! `pump` exactly like the QoS front-end's
+//! [`FrontendDriver::pump`](mcfpga_service::FrontendDriver::pump) loop.
+
+use crate::federation::ClusterTenantId;
+
+/// When and how aggressively [`Cluster::pump`](crate::Cluster::pump)
+/// intervenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancerPolicy {
+    /// Virtual-clock cycles between health checks (a pump call before
+    /// the period has elapsed does nothing).
+    pub check_period: u64,
+    /// A node whose queued-request count reaches this marks
+    /// [`Hot`](crate::NodeHealth::Hot) and sheds half its tenants.
+    pub hot_pending: usize,
+    /// A node whose cumulative fault tally reaches this marks
+    /// [`Faulted`](crate::NodeHealth::Faulted) and is evacuated; only
+    /// [`restart_node`](crate::Cluster::restart_node) recovers it.
+    pub fault_threshold: usize,
+}
+
+impl Default for RebalancerPolicy {
+    fn default() -> Self {
+        RebalancerPolicy {
+            check_period: 64,
+            hot_pending: 64,
+            fault_threshold: 3,
+        }
+    }
+}
+
+/// One intervention taken by a
+/// [`Cluster::pump`](crate::Cluster::pump) tick, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceAction {
+    /// Queue depth crossed [`RebalancerPolicy::hot_pending`].
+    MarkedHot {
+        /// The overloaded node.
+        node: usize,
+    },
+    /// Fault tally crossed [`RebalancerPolicy::fault_threshold`].
+    MarkedFaulted {
+        /// The failing node.
+        node: usize,
+    },
+    /// A tenant was live-migrated off a hot/faulted/draining node.
+    Migrated {
+        /// The moved tenant.
+        tenant: ClusterTenantId,
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// A previously hot node's queue recovered; it readmits.
+    Recovered {
+        /// The recovered node.
+        node: usize,
+    },
+}

@@ -1,0 +1,130 @@
+//! Cluster determinism: the same seeded workload replayed against **one
+//! node** and against **three heterogeneous nodes** holding the same
+//! global shard space produces bit-identical responses, fault logs and
+//! billing tables — at executor widths 1 and 16.
+//!
+//! This is the cluster-level extension of the service's merge-key
+//! guarantee: a node is bit-identical at any thread count, and the
+//! cluster merges nodes in index order over a node-major global shard
+//! space, so *how the shards are cut into nodes* must not be observable
+//! either.
+
+use mcfpga_cluster::{Cluster, ClusterFault, ClusterResponse, ClusterTenantId};
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::generators;
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::ShardedService;
+
+const TENANTS: usize = 10;
+const STEPS: usize = 60;
+
+fn node(shards: usize) -> ShardedService {
+    ShardedService::new(shards, FabricParams::default(), TechParams::default()).unwrap()
+}
+
+/// Everything externally observable about one replay run.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    responses: Vec<ClusterResponse>,
+    faults: Vec<ClusterFault>,
+    billing: String,
+}
+
+/// Tiny deterministic generator so the workload is identical per run.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Replays the canonical workload on a cluster whose nodes own `split`
+/// shards each (node-major), at the given executor width.
+fn run(split: &[usize], threads: usize) -> Artifacts {
+    let mut cluster = Cluster::new(split.iter().map(|&s| node(s)).collect()).unwrap();
+    cluster.set_threads(threads);
+
+    let mut tenants: Vec<(ClusterTenantId, usize)> = Vec::new();
+    for i in 0..TENANTS {
+        // two designs so plane caches and slot costs are not uniform
+        let (nl, arity) = if i % 3 == 0 {
+            (generators::parity_tree(4).unwrap(), 4)
+        } else {
+            (generators::parity_tree(3).unwrap(), 3)
+        };
+        tenants.push((cluster.admit(&format!("t{i}"), &nl).unwrap(), arity));
+    }
+
+    let mut responses = Vec::new();
+    let mut faults = Vec::new();
+    let mut state = 0x5EED_CAFE_u64;
+    for step in 0..STEPS {
+        let (tenant, arity) = tenants[step % TENANTS];
+        let bits = lcg(&mut state);
+        let names: Vec<String> = (0..arity).map(|b| format!("x{b}")).collect();
+        let inputs: Vec<(&str, bool)> = names
+            .iter()
+            .enumerate()
+            .map(|(b, n)| (n.as_str(), bits >> b & 1 == 1))
+            .collect();
+        cluster.submit(tenant, &inputs).unwrap();
+
+        match step {
+            20 => responses.extend(cluster.drain().unwrap()),
+            30 => {
+                // poison one plane: the drain records a fault (the slot's
+                // requests stay queued), then the repair lets them answer
+                cluster.inject_plane_fault(tenants[3].0).unwrap();
+                responses.extend(cluster.drain().unwrap());
+                faults.extend(cluster.take_faults());
+                cluster.repair_plane(tenants[3].0).unwrap();
+            }
+            45 => {
+                // partial flush of two specific tenants
+                let subset = [tenants[0].0, tenants[5].0];
+                responses.extend(cluster.flush_tenants(&subset).unwrap());
+            }
+            _ => {}
+        }
+    }
+    responses.extend(cluster.drain().unwrap());
+    faults.extend(cluster.take_faults());
+    Artifacts {
+        responses,
+        faults,
+        billing: cluster.billing_report(),
+    }
+}
+
+#[test]
+fn one_node_and_three_nodes_are_bit_identical_at_any_width() {
+    // 8 global shards cut as [8] and as [3, 3, 2]
+    let reference = run(&[8], 1);
+
+    // the workload answered every submitted request exactly once
+    assert_eq!(reference.responses.len(), STEPS);
+    let mut ids: Vec<u64> = reference
+        .responses
+        .iter()
+        .map(|r| r.request.value())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), STEPS, "duplicate or lost request ids");
+    assert!(
+        !reference.faults.is_empty(),
+        "the injected fault was recorded"
+    );
+
+    for (split, threads) in [
+        (&[8usize][..], 16),
+        (&[3usize, 3, 2][..], 1),
+        (&[3usize, 3, 2][..], 16),
+    ] {
+        let other = run(split, threads);
+        assert_eq!(
+            reference, other,
+            "split {split:?} at {threads} threads diverged from 1×[8] at 1 thread"
+        );
+    }
+}

@@ -487,6 +487,20 @@ impl ResourceLayout {
     pub fn total(&self) -> usize {
         self.width * self.height * self.per_tile
     }
+
+    /// Remaps a resource id from this arena into `dst`'s arena, keeping
+    /// the tile coordinate and intra-tile offset. Both layouts must share
+    /// `per_tile` (same channel width, IO counts) and `dst` must be at
+    /// least as wide and tall as `self`.
+    fn remap_into(&self, dst: &ResourceLayout, id: ResourceId) -> ResourceId {
+        debug_assert_eq!(self.per_tile, dst.per_tile);
+        let tile = id as usize / self.per_tile;
+        let offset = id as usize % self.per_tile;
+        let x = tile % self.width;
+        let y = tile / self.width;
+        debug_assert!(x < dst.width && y < dst.height);
+        (((y * dst.width + x) * dst.per_tile) + offset) as ResourceId
+    }
 }
 
 /// One evaluation step of a compiled plane.
@@ -896,6 +910,109 @@ impl CompiledFabric {
         }
         rebased.only_ctx = Some(dst);
         Ok(rebased)
+    }
+
+    /// Re-targets a partially-compiled plane onto a *different* fabric
+    /// geometry — the pad-and-remap path behind heterogeneous restore.
+    ///
+    /// A small grid embeds into the top-left corner of a larger one: every
+    /// tile keeps its `(x, y)` coordinate and every resource keeps its
+    /// intra-tile offset, so remapping each [`Op`] and IO bind through the
+    /// destination arena preserves op order, dependencies and truth tables.
+    /// Evaluation of the rebased plane is therefore bit-for-bit identical
+    /// to the original — the extra tiles of the larger grid are simply
+    /// never addressed.
+    ///
+    /// Requirements: a single-context compilation ([`Self::compile_context`]),
+    /// matching `arch` / `lut_k` / `channel_width` / `io_in` / `io_out`
+    /// (so tiles have identical resource shapes), destination at least as
+    /// wide and tall as the source, and `dst_ctx` within the destination's
+    /// context count. Same-geometry calls fall through to
+    /// [`Self::rebase_context`].
+    pub fn rebase_onto(
+        &self,
+        dst_params: FabricParams,
+        dst_ctx: usize,
+    ) -> Result<CompiledFabric, FabricError> {
+        if dst_params == self.params {
+            return self.rebase_context(dst_ctx);
+        }
+        let Some(src) = self.only_ctx else {
+            return Err(FabricError::BadParams(
+                "rebase_onto requires a single-context compilation".into(),
+            ));
+        };
+        let compatible = dst_params.arch == self.params.arch
+            && dst_params.lut_k == self.params.lut_k
+            && dst_params.channel_width == self.params.channel_width
+            && dst_params.io_in == self.params.io_in
+            && dst_params.io_out == self.params.io_out
+            && dst_params.width >= self.params.width
+            && dst_params.height >= self.params.height;
+        if !compatible {
+            return Err(FabricError::BadParams(format!(
+                "cannot rebase {:?} plane onto incompatible geometry {:?}",
+                self.params, dst_params
+            )));
+        }
+        if dst_ctx >= dst_params.contexts {
+            return Err(FabricError::ContextOutOfRange {
+                ctx: dst_ctx,
+                contexts: dst_params.contexts,
+            });
+        }
+        let dst_layout = ResourceLayout::new(&dst_params);
+        let remap = |id: ResourceId| self.layout.remap_into(&dst_layout, id);
+        let plane = &self.planes[src];
+        let ops = plane
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Copy { src, dst } => Op::Copy {
+                    src: remap(*src),
+                    dst: remap(*dst),
+                },
+                Op::Lut {
+                    pins,
+                    k,
+                    table,
+                    dst,
+                } => Op::Lut {
+                    pins: pins.map(|p| p.map(remap)),
+                    k: *k,
+                    table: *table,
+                    dst: remap(*dst),
+                },
+            })
+            .collect();
+        let remap_binds = |binds: &[(ResourceId, String)]| {
+            binds
+                .iter()
+                .map(|(r, n)| (remap(*r), n.clone()))
+                .collect::<Vec<_>>()
+        };
+        let moved = CompiledPlane {
+            ops,
+            cyclic: plane.cyclic,
+            levels: plane.levels,
+            inputs: remap_binds(&plane.inputs),
+            outputs: remap_binds(&plane.outputs),
+        };
+        let empty = CompiledPlane {
+            ops: Vec::new(),
+            cyclic: false,
+            levels: 0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        };
+        let mut planes = vec![empty; dst_params.contexts];
+        planes[dst_ctx] = moved;
+        Ok(CompiledFabric {
+            params: dst_params,
+            layout: dst_layout,
+            planes,
+            only_ctx: Some(dst_ctx),
+        })
     }
 
     /// The resource arena layout.
@@ -1547,6 +1664,84 @@ mod tests {
             .unwrap()
             .rebase_context(0)
             .is_err());
+    }
+
+    #[test]
+    fn rebase_onto_larger_geometry_is_bit_identical() {
+        // an 8x8 plane pad-and-remapped onto 10x10 must evaluate
+        // bit-for-bit identically from every destination slot
+        let nl = generators::parity_tree(3).unwrap();
+        let small = FabricParams {
+            width: 8,
+            height: 8,
+            ..FabricParams::default()
+        };
+        let big = FabricParams {
+            width: 10,
+            height: 10,
+            contexts: 6,
+            ..FabricParams::default()
+        };
+        let mut f = Fabric::new(small).unwrap();
+        implement_netlist(&mut f, &nl, 2, 5).unwrap();
+        let compiled = CompiledFabric::compile_context(&f, 2).unwrap();
+        let ins: Vec<(&str, u64)> = vec![("x0", 0xF0F0), ("x1", 0xFF00), ("x2", 0xAAAA)];
+        let want = compiled.eval_batch_sorted(2, &ins).unwrap();
+        for dst in 0..big.contexts {
+            let moved = compiled.rebase_onto(big, dst).unwrap();
+            assert_eq!(moved.params(), &big);
+            assert_eq!(moved.compiled_context(), Some(dst));
+            assert_eq!(
+                moved.eval_batch_sorted(dst, &ins).unwrap(),
+                want,
+                "dst {dst}"
+            );
+        }
+        // same-geometry calls fall through to rebase_context
+        let same = compiled.rebase_onto(small, 0).unwrap();
+        assert_eq!(same.eval_batch_sorted(0, &ins).unwrap(), want);
+        // out-of-range destination context
+        assert!(compiled.rebase_onto(big, big.contexts).is_err());
+        // full compilations have nothing to move
+        assert!(CompiledFabric::compile(&f)
+            .unwrap()
+            .rebase_onto(big, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn rebase_onto_rejects_incompatible_geometry() {
+        let nl = generators::parity_tree(2).unwrap();
+        let mut f = Fabric::new(FabricParams::default()).unwrap();
+        implement_netlist(&mut f, &nl, 0, 5).unwrap();
+        let compiled = CompiledFabric::compile_context(&f, 0).unwrap();
+        let d = FabricParams::default();
+        let narrower = FabricParams { width: 3, ..d };
+        let shorter = FabricParams { height: 3, ..d };
+        let fatter_channel = FabricParams {
+            width: 10,
+            height: 10,
+            channel_width: d.channel_width + 1,
+            ..d
+        };
+        let bigger_lut = FabricParams {
+            width: 10,
+            height: 10,
+            lut_k: d.lut_k + 1,
+            ..d
+        };
+        let other_arch = FabricParams {
+            width: 10,
+            height: 10,
+            arch: mcfpga_core::ArchKind::Sram,
+            ..d
+        };
+        for bad in [narrower, shorter, fatter_channel, bigger_lut, other_arch] {
+            assert!(
+                matches!(compiled.rebase_onto(bad, 0), Err(FabricError::BadParams(_))),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

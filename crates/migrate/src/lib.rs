@@ -118,6 +118,14 @@ pub enum MigrateError {
         /// The requested destination shard.
         shard: usize,
     },
+    /// A plane re-provisioning attempt routed and compiled the supplied
+    /// source netlist, but no context produced the checkpoint's
+    /// configuration digest — the netlist is not the design that was
+    /// checkpointed.
+    NetlistDigestMismatch {
+        /// The digest the checkpoint demands.
+        digest: u64,
+    },
     /// An evacuation could not place every tenant elsewhere; nothing was
     /// moved.
     EvacuationBlocked {
@@ -149,6 +157,11 @@ impl std::fmt::Display for MigrateError {
                 f,
                 "no compiled plane cached for digest {digest:#018x} (checkpoints ship digests, \
                  not bitstreams)"
+            ),
+            MigrateError::NetlistDigestMismatch { digest } => write!(
+                f,
+                "supplied netlist does not reproduce checkpoint digest {digest:#018x} in any \
+                 context — refusing to provision a different design"
             ),
             MigrateError::NoFreeSlot { shard } => {
                 write!(f, "destination shard {shard} has no free context slot")

@@ -383,9 +383,12 @@ struct Stream {
     tokens_scaled: u64,
     /// Clock of the last bucket refill.
     refilled_at: u64,
-    /// EWMA of the inter-arrival gap, in Q8 fixed point (`gap << 8`).
-    /// Zero until two arrivals have been observed.
-    gap_ewma_q8: u64,
+    /// EWMA of the inter-arrival gap, in Q8 fixed point (`gap × 256`).
+    /// `None` until two arrivals have been observed — explicit, because
+    /// `Some(0)` is a *legitimate* estimate (a same-cycle burst: requests
+    /// arrive instantly). A zero-valued sentinel would make the first
+    /// nonzero gap after a burst reset the estimator instead of blending.
+    gap_ewma_q8: Option<u64>,
     last_arrival: Option<u64>,
     /// Requests flushed into the service, awaiting responses.
     inflight: usize,
@@ -403,7 +406,7 @@ impl Stream {
             queue: VecDeque::new(),
             tokens_scaled,
             refilled_at: now,
-            gap_ewma_q8: 0,
+            gap_ewma_q8: None,
             last_arrival: None,
             inflight: 0,
             usage: FrontendUsage::default(),
@@ -437,10 +440,10 @@ impl Stream {
         if missing == 0 {
             return 0;
         }
-        if self.gap_ewma_q8 == 0 {
-            return u64::MAX / 2;
+        match self.gap_ewma_q8 {
+            None => u64::MAX / 2,
+            Some(gap) => (gap.saturating_mul(missing)) >> 8,
         }
-        (self.gap_ewma_q8.saturating_mul(missing)) >> 8
     }
 }
 
@@ -613,14 +616,18 @@ impl FrontendDriver {
             stream.tokens_scaled -= rate.refill_den;
             stream.usage.rate_tokens_spent += 1;
         }
-        // admitted: update the arrival-rate estimator (EWMA, α = 1/8)
+        // admitted: update the arrival-rate estimator (EWMA, α = 1/8).
+        // The gap is widened to Q8 with a saturating multiply — a virtual
+        // clock is free to jump by more than 2^56 cycles, and `<< 8`
+        // would silently wrap such a gap to a tiny estimate. Saturated
+        // blend terms likewise: the estimator pins at "effectively
+        // forever" instead of wrapping.
         if let Some(last) = stream.last_arrival {
-            let gap_q8 = (now - last) << 8;
-            stream.gap_ewma_q8 = if stream.gap_ewma_q8 == 0 {
-                gap_q8.max(1)
-            } else {
-                (stream.gap_ewma_q8 * 7 + gap_q8) / 8
-            };
+            let gap_q8 = (now - last).saturating_mul(256);
+            stream.gap_ewma_q8 = Some(match stream.gap_ewma_q8 {
+                None => gap_q8,
+                Some(ewma) => ewma.saturating_mul(7).saturating_add(gap_q8) / 8,
+            });
         }
         stream.last_arrival = Some(now);
         let ticket = Ticket(self.next_ticket);
@@ -891,3 +898,97 @@ const _: () = {
     assert_send_sync::<FrontendEvent>();
     assert_send_sync::<FrontendError>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_device::TechParams;
+    use mcfpga_fabric::netlist_ir::generators;
+    use mcfpga_fabric::FabricParams;
+
+    fn driver_with_stream(policy: StreamPolicy) -> (FrontendDriver, TenantId) {
+        let svc = ShardedService::new(1, FabricParams::default(), TechParams::default()).unwrap();
+        let mut fe = FrontendDriver::new(svc);
+        let nl = generators::wire_lanes(1).unwrap();
+        let t = fe.admit("ewma", &nl).unwrap();
+        fe.open_stream(t, policy).unwrap();
+        (fe, t)
+    }
+
+    /// A same-cycle burst legitimately drives the estimate toward 0; the
+    /// next nonzero gap must *blend* into it (α = 1/8), not reset the
+    /// estimator as the old `== 0` "unset" sentinel did.
+    #[test]
+    fn same_cycle_burst_then_gap_blends_instead_of_resetting() {
+        let (mut fe, t) = driver_with_stream(StreamPolicy::throughput(64));
+        fe.advance(100);
+        // arrivals at the same cycle: gaps of 0 pull the EWMA to exactly 0
+        for _ in 0..40 {
+            fe.offer(t, &[("in0", true)], None).unwrap();
+        }
+        assert_eq!(fe.streams[0].gap_ewma_q8, Some(0), "burst estimate is 0");
+        // a 800-cycle gap after the burst: blended, not adopted wholesale
+        fe.advance(800);
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        let q8 = fe.streams[0].gap_ewma_q8.unwrap();
+        assert_eq!(q8, (800 * 256) / 8, "one blend step from 0, not a reset");
+        assert!(q8 < 800 * 256, "estimate must stay below the raw gap");
+    }
+
+    /// Before two arrivals the estimator is explicitly unset and
+    /// deadline-holding streams treat the fill wait as "forever".
+    #[test]
+    fn estimator_unset_until_second_arrival() {
+        let (mut fe, t) = driver_with_stream(StreamPolicy::throughput(64));
+        assert_eq!(fe.streams[0].gap_ewma_q8, None);
+        assert_eq!(fe.streams[0].predicted_fill_wait(3), u64::MAX / 2);
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        assert_eq!(fe.streams[0].gap_ewma_q8, None, "one arrival: still unset");
+        fe.advance(16);
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        assert_eq!(fe.streams[0].gap_ewma_q8, Some(16 * 256));
+        assert_eq!(fe.streams[0].predicted_fill_wait(0), 0);
+        assert_eq!(fe.streams[0].predicted_fill_wait(2), 32);
+    }
+
+    /// A virtual-clock jump beyond 2^56 cycles used to overflow the
+    /// `<< 8` widening and wrap the estimate to a tiny value; it must
+    /// saturate instead.
+    #[test]
+    fn huge_clock_jump_saturates_instead_of_wrapping() {
+        let (mut fe, t) = driver_with_stream(StreamPolicy::throughput(64));
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        fe.advance(u64::MAX / 2);
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        let q8 = fe.streams[0].gap_ewma_q8.unwrap();
+        assert!(
+            q8 >= (u64::MAX / 2) / 8,
+            "gap must saturate high, not wrap low (got {q8})"
+        );
+        // and the estimator keeps functioning afterwards
+        fe.advance(10);
+        fe.offer(t, &[("in0", true)], None).unwrap();
+        assert!(fe.streams[0].gap_ewma_q8.unwrap() < q8 || q8 == u64::MAX);
+    }
+
+    /// End-to-end consequence of the burst bug: after a same-cycle burst,
+    /// a latency-sensitive stream's flush decision uses the (near-zero)
+    /// predicted fill wait — a generous future deadline holds the partial
+    /// batch instead of flushing it immediately as the reset bug did.
+    #[test]
+    fn ls_stream_holds_partial_batch_after_burst() {
+        let (mut fe, t) = driver_with_stream(StreamPolicy::latency_sensitive(64, 1_000_000));
+        fe.advance(5);
+        for _ in 0..8 {
+            fe.offer(t, &[("in0", true)], None).unwrap();
+        }
+        assert_eq!(fe.streams[0].gap_ewma_q8, Some(0));
+        // predicted fill wait ~0 and the deadline is far: nothing is due
+        let events = fe.pump().unwrap();
+        assert!(
+            events.is_empty(),
+            "burst-rate stream with a far deadline must wait for its batch"
+        );
+        assert_eq!(fe.streams[0].queue.len(), 8, "requests stay queued");
+    }
+}

@@ -103,7 +103,7 @@ pub use frontend::{
     FrontendDriver, FrontendError, FrontendEvent, QosClass, RateLimit, RejectReason, StreamPolicy,
     Ticket,
 };
-pub use placement::{netlist_fingerprint, PlacementPolicy};
+pub use placement::{best_slot_scored, netlist_fingerprint, PlacementPolicy, SlotScore};
 pub use registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 pub use service::{ShardedService, SlotFault};
 

@@ -68,7 +68,52 @@ pub(crate) fn best_slot(
     affinity_ctx: Option<usize>,
     eligible: impl Fn(Placement) -> bool,
 ) -> Result<Option<Placement>, ServiceError> {
-    let mut best: Option<(usize, bool, usize, Placement)> = None;
+    Ok(best_slot_scored(registry, matrix, affinity_ctx, eligible)?.map(|s| s.slot))
+}
+
+/// The full lexicographic score [`best_slot_scored`] ranks slots by.
+///
+/// The cluster router compares these *across nodes*: each node reports
+/// its best free slot's score, and the router admits to the node whose
+/// score is smallest under the same
+/// `(marginal cost, affinity miss, load)` ordering a single-node
+/// admission uses, with the node index as the final tiebreak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotScore {
+    /// Broadcast toggles the slot's shard gains per sweep when this slot
+    /// joins its occupied set — the primary ranking key.
+    pub marginal_toggles: usize,
+    /// Did the slot miss the plane-cache affinity hint? (`false` sorts
+    /// first: an affinity hit reuses a compiled plane.)
+    pub affinity_miss: bool,
+    /// Tenants already resident on the slot's shard.
+    pub load: usize,
+    /// The scored slot itself.
+    pub slot: Placement,
+}
+
+impl SlotScore {
+    /// The ranking key, for lexicographic comparison across candidates
+    /// (smaller is better; compare equal-slot candidates by appending
+    /// your own tiebreak, e.g. the node index).
+    #[must_use]
+    pub fn key(&self) -> (usize, bool, usize) {
+        (self.marginal_toggles, self.affinity_miss, self.load)
+    }
+}
+
+/// `best_slot`'s scoring, with the winning score exposed — the reusable
+/// half the cluster router runs per node. Semantics are identical to an
+/// energy-aware admission: free slots filtered by `eligible`, ranked by
+/// `(marginal sweep cost from home context 0, affinity miss, shard load,
+/// slot order)`. `None` when no eligible slot is free.
+pub fn best_slot_scored(
+    registry: &TenantRegistry,
+    matrix: &CostMatrix,
+    affinity_ctx: Option<usize>,
+    eligible: impl Fn(Placement) -> bool,
+) -> Result<Option<SlotScore>, ServiceError> {
+    let mut best: Option<SlotScore> = None;
     for slot in registry.free_slots() {
         if !eligible(slot) {
             continue;
@@ -78,20 +123,23 @@ pub(crate) fn best_slot(
         let mut with = occupied;
         with.push(slot.ctx);
         let marginal = sweep_cost(matrix, Some(0), &with)?.saturating_sub(before);
-        let affinity_miss = affinity_ctx != Some(slot.ctx);
-        let load = with.len() - 1;
+        let candidate = SlotScore {
+            marginal_toggles: marginal,
+            affinity_miss: affinity_ctx != Some(slot.ctx),
+            load: with.len() - 1,
+            slot,
+        };
         // lexicographic: marginal cost, then affinity hit, then shard load,
         // then shard-major slot order (free_slots() is already sorted)
-        let key = (marginal, affinity_miss, load, slot);
         let better = match &best {
             None => true,
-            Some((m, a, l, _)) => (marginal, affinity_miss, load) < (*m, *a, *l),
+            Some(b) => candidate.key() < b.key(),
         };
         if better {
-            best = Some(key);
+            best = Some(candidate);
         }
     }
-    Ok(best.map(|(_, _, _, slot)| slot))
+    Ok(best)
 }
 
 /// Structural fingerprint of a netlist (FNV-1a over nodes and outputs).

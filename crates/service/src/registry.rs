@@ -54,6 +54,11 @@ pub struct TenantRecord {
     /// recoverable only through the digest-keyed plane cache, never by
     /// recompiling from a fabric.
     pub resident: bool,
+    /// Has the tenant been retired ([`TenantRegistry::retire`])? A
+    /// retired record keeps its id slot (ids are dense admission indices
+    /// and are never reissued) but no longer occupies a context slot and
+    /// is invisible to lookups and iteration.
+    pub retired: bool,
 }
 
 /// Maps tenants to `(shard, context)` slots, round-robin across shards.
@@ -127,10 +132,42 @@ impl TenantRegistry {
             placement,
             digest,
             resident,
+            retired: false,
         });
         self.slots[placement.shard][placement.ctx] = Some(id);
         self.cursor = (placement.shard + 1) % self.shards;
         id
+    }
+
+    /// The lowest free context slot of `shard`, without claiming it —
+    /// the cluster router's placement primitive (it spreads admissions
+    /// across shards of *different nodes* itself, then pins the shard).
+    pub fn reserve_on(&self, shard: usize) -> Result<Placement, ServiceError> {
+        if shard >= self.shards {
+            return Err(ServiceError::NoSuchShard {
+                shard,
+                shards: self.shards,
+            });
+        }
+        self.slots[shard]
+            .iter()
+            .position(Option::is_none)
+            .map(|ctx| Placement { shard, ctx })
+            .ok_or(ServiceError::CapacityExhausted {
+                shards: self.shards,
+                contexts: self.contexts,
+            })
+    }
+
+    /// Permanently removes a tenant from the slot grid — the end of a
+    /// cross-node migration (the tenant lives on elsewhere under a new
+    /// id). Its context slot frees immediately; its record stays (ids
+    /// are dense admission indices) but reads as unknown from then on.
+    pub fn retire(&mut self, id: TenantId) -> Result<Placement, ServiceError> {
+        let placement = self.tenant(id)?.placement;
+        self.slots[placement.shard][placement.ctx] = None;
+        self.records[id.0].retired = true;
+        Ok(placement)
     }
 
     /// Moves an admitted tenant to a free slot (live migration). The old
@@ -159,10 +196,13 @@ impl TenantRegistry {
         Ok(())
     }
 
-    /// The record of an admitted tenant.
+    /// The record of an admitted tenant. Retired tenants read as unknown:
+    /// their slots are freed and their engine state is gone, so letting a
+    /// stale id resolve would hand out another tenant's slot.
     pub fn tenant(&self, id: TenantId) -> Result<&TenantRecord, ServiceError> {
         self.records
             .get(id.0)
+            .filter(|r| !r.retired)
             .ok_or(ServiceError::UnknownTenant(id.0))
     }
 
@@ -201,16 +241,16 @@ impl TenantRegistry {
         })
     }
 
-    /// Number of admitted tenants.
+    /// Number of admitted, non-retired tenants.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.iter().filter(|r| !r.retired).count()
     }
 
-    /// Is the registry empty?
+    /// Is the registry empty (no live tenants)?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// Total slot capacity (`shards × contexts`).
@@ -219,11 +259,12 @@ impl TenantRegistry {
         self.shards * self.contexts
     }
 
-    /// All admitted tenants in admission order.
+    /// All live (non-retired) tenants in admission order.
     pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantRecord)> {
         self.records
             .iter()
             .enumerate()
+            .filter(|(_, r)| !r.retired)
             .map(|(i, r)| (TenantId(i), r))
     }
 }
@@ -275,6 +316,29 @@ impl PlaneCache {
             self.hits += 1;
         }
         plane
+    }
+
+    /// The cached plane for `digest` without touching the hit/miss
+    /// counters — the cluster's plane-*export* lookup (shipping a plane
+    /// to a peer node is not a local cache event).
+    #[must_use]
+    pub fn peek(&self, digest: u64) -> Option<Arc<CompiledFabric>> {
+        self.planes.get(&digest).map(Arc::clone)
+    }
+
+    /// Is a plane cached under `digest`?
+    #[must_use]
+    pub fn contains(&self, digest: u64) -> bool {
+        self.planes.contains_key(&digest)
+    }
+
+    /// Caches `plane` under `digest` — the plane-*import* half of
+    /// cross-node shipping (the exporter vouches for the digest; it was
+    /// computed by [`mcfpga_fabric::Fabric::context_digest`] at the
+    /// plane's original admission). Overwrites any previous entry, which
+    /// is safe because equal digests mean equal configurations.
+    pub fn insert(&mut self, digest: u64, plane: Arc<CompiledFabric>) {
+        self.planes.insert(digest, plane);
     }
 
     /// Cache hits so far.
@@ -363,6 +427,52 @@ mod tests {
         assert!(reg.relocate(other, to).is_err());
         assert!(reg.relocate(other, Placement { shard: 5, ctx: 0 }).is_err());
         assert_eq!(reg.tenant(other).unwrap().placement.shard, 0, "unchanged");
+    }
+
+    #[test]
+    fn retire_frees_slot_and_hides_record() {
+        let mut reg = TenantRegistry::new(2, 2).unwrap();
+        let p = reg.reserve().unwrap();
+        let id = reg.commit("leaver", p, 1);
+        let q = reg.reserve().unwrap();
+        let stay = reg.commit("stayer", q, 2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.retire(id).unwrap(), p);
+        assert_eq!(reg.occupant(p.shard, p.ctx), None, "slot freed");
+        assert!(matches!(
+            reg.tenant(id),
+            Err(ServiceError::UnknownTenant(_))
+        ));
+        assert!(reg.retire(id).is_err(), "double retire refused");
+        assert_eq!(reg.len(), 1);
+        let live: Vec<_> = reg.iter().map(|(t, _)| t).collect();
+        assert_eq!(live, vec![stay]);
+        // the freed slot is reusable and the id is never reissued
+        let r = reg.reserve_on(p.shard).unwrap();
+        assert_eq!(r, p);
+        let fresh = reg.commit("reuse", r, 3);
+        assert!(fresh.index() > stay.index());
+    }
+
+    #[test]
+    fn reserve_on_pins_the_shard() {
+        let mut reg = TenantRegistry::new(2, 2).unwrap();
+        assert_eq!(reg.reserve_on(1).unwrap(), Placement { shard: 1, ctx: 0 });
+        let p = reg.reserve_on(1).unwrap();
+        reg.commit("a", p, 0);
+        assert_eq!(reg.reserve_on(1).unwrap(), Placement { shard: 1, ctx: 1 });
+        reg.commit("b", reg.reserve_on(1).unwrap(), 1);
+        assert!(matches!(
+            reg.reserve_on(1),
+            Err(ServiceError::CapacityExhausted { .. })
+        ));
+        assert!(matches!(
+            reg.reserve_on(7),
+            Err(ServiceError::NoSuchShard {
+                shard: 7,
+                shards: 2
+            })
+        ));
     }
 
     #[test]

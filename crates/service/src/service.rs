@@ -259,6 +259,49 @@ impl ShardedService {
                 self.affinity.get(&fingerprint).copied(),
             )?,
         };
+        self.admit_into(name, netlist, placement)
+    }
+
+    /// [`admit`](Self::admit) into an **exact** free slot, bypassing the
+    /// placement policy — the cluster router's admission primitive (it
+    /// scores slots across *nodes*, something no single service can do,
+    /// then pins the winner here). Routing, compilation, plane caching
+    /// and registry commit are identical to a policy admission, so a
+    /// pinned admission is bit-for-bit equivalent to a policy admission
+    /// that happened to choose the same slot.
+    pub fn admit_placed(
+        &mut self,
+        name: &str,
+        netlist: &LogicNetlist,
+        placement: Placement,
+    ) -> Result<TenantId, ServiceError> {
+        self.check_shard(placement.shard)?;
+        if placement.ctx >= self.params.contexts {
+            return Err(ServiceError::BadConfig(format!(
+                "context {} outside 0..{}",
+                placement.ctx, self.params.contexts
+            )));
+        }
+        if self
+            .registry
+            .occupant(placement.shard, placement.ctx)
+            .is_some()
+        {
+            return Err(ServiceError::BadConfig(format!(
+                "slot (shard {}, ctx {}) is occupied",
+                placement.shard, placement.ctx
+            )));
+        }
+        self.admit_into(name, netlist, placement)
+    }
+
+    fn admit_into(
+        &mut self,
+        name: &str,
+        netlist: &LogicNetlist,
+        placement: Placement,
+    ) -> Result<TenantId, ServiceError> {
+        let fingerprint = netlist_fingerprint(netlist);
         let engine = &mut self.engines[placement.shard];
         let routed = implement_netlist_robust(
             engine.fabric_mut(),
@@ -563,8 +606,9 @@ impl ShardedService {
                 .get(digest)
                 .ok_or(MigrateError::PlaneUnavailable { digest })?
         };
+        let plane = self.plane_for_slot(plane, placement.ctx)?;
         let engine = &mut self.engines[placement.shard];
-        engine.install_plane(placement.ctx, Self::plane_for_slot(plane, placement.ctx)?);
+        engine.install_plane(placement.ctx, plane);
         // re-establish the canonical submit-coverage prefix from the true
         // plane: a migration or discard that happened *while* the slot held
         // a corrupted plane seeded from that plane's (empty) binds, and
@@ -574,18 +618,43 @@ impl ShardedService {
         Ok(())
     }
 
-    /// `plane`, usable from context `ctx`: as-is when it was compiled
-    /// there, rebased otherwise (compiled planes are context-independent;
-    /// see [`CompiledFabric::rebase_context`]).
+    /// `plane`, usable from context `ctx` of *this* service's fabrics:
+    /// as-is when it was compiled there, rebased otherwise (compiled
+    /// planes are context-independent; see
+    /// [`CompiledFabric::rebase_context`]). A plane compiled on a smaller
+    /// compatible geometry — a checkpoint restored from a differently
+    /// shaped node — is pad-and-remapped onto this service's geometry via
+    /// [`CompiledFabric::rebase_onto`].
     fn plane_for_slot(
+        &self,
         plane: Arc<CompiledFabric>,
         ctx: usize,
     ) -> Result<Arc<CompiledFabric>, ServiceError> {
-        if plane.compiled_context() == Some(ctx) {
+        if plane.params() != &self.params {
+            Ok(Arc::new(plane.rebase_onto(self.params, ctx)?))
+        } else if plane.compiled_context() == Some(ctx) {
             Ok(plane)
         } else {
             Ok(Arc::new(plane.rebase_context(ctx)?))
         }
+    }
+
+    /// Can a checkpoint taken on a `ckpt`-shaped fabric be restored onto
+    /// this service's fabrics? Tiles must have identical resource shapes
+    /// (same switch architecture, LUT arity, channel width and IO counts)
+    /// and the host grid must be at least as large in both dimensions —
+    /// the pad-and-remap embedding of [`CompiledFabric::rebase_onto`].
+    /// Context counts may differ freely: a restored plane occupies
+    /// whatever slot the host has free.
+    fn geometry_admits(&self, ckpt: &FabricParams) -> bool {
+        let host = &self.params;
+        host.arch == ckpt.arch
+            && host.lut_k == ckpt.lut_k
+            && host.channel_width == ckpt.channel_width
+            && host.io_in == ckpt.io_in
+            && host.io_out == ckpt.io_out
+            && host.width >= ckpt.width
+            && host.height >= ckpt.height
     }
 
     fn check_shard(&self, shard: usize) -> Result<(), ServiceError> {
@@ -683,18 +752,24 @@ impl ShardedService {
     /// stale checkpoint cannot resurrect requests answered or discarded
     /// after it was taken.
     ///
-    /// Fails with [`MigrateError::GeometryMismatch`] on a differently
-    /// shaped service, [`MigrateError::PlaneUnavailable`] when no plane
-    /// with the checkpoint's digest is cached (checkpoints ship digests,
-    /// not bitstreams), and [`MigrateError::NoFreeSlot`] when `dst_shard`
-    /// is full.
+    /// Geometry does **not** have to match exactly: a checkpoint taken on
+    /// a smaller fabric restores onto a larger host of the same tile
+    /// shape (same architecture, LUT arity, channel width, IO counts) by
+    /// pad-and-remapping its plane — see [`CompiledFabric::rebase_onto`].
+    /// Fails with [`MigrateError::GeometryMismatch`] only when the
+    /// geometries are truly incompatible, with
+    /// [`MigrateError::PlaneUnavailable`] when no plane with the
+    /// checkpoint's digest is cached (checkpoints ship digests, not
+    /// bitstreams — see [`provision_plane`](Self::provision_plane) for
+    /// the recompile fallback), and with [`MigrateError::NoFreeSlot`]
+    /// when `dst_shard` is full.
     pub fn restore_tenant(
         &mut self,
         ckpt: &TenantCheckpoint,
         dst_shard: usize,
     ) -> Result<(TenantId, Vec<RequestId>), ServiceError> {
         self.check_shard(dst_shard)?;
-        if ckpt.params != self.params {
+        if !self.geometry_admits(&ckpt.params) {
             return Err(MigrateError::GeometryMismatch {
                 expected: format!("{:?}", self.params),
                 found: format!("{:?}", ckpt.params),
@@ -711,7 +786,7 @@ impl ShardedService {
             .ok_or(MigrateError::PlaneUnavailable {
                 digest: ckpt.digest,
             })?;
-        let plane = Self::plane_for_slot(plane, slot.ctx)?;
+        let plane = self.plane_for_slot(plane, slot.ctx)?;
         let batch = LaneBatch::from_parts(
             self.lane_width,
             ckpt.pending.lanes,
@@ -721,8 +796,12 @@ impl ShardedService {
         // position: its broadcast resumes where the source's sat at the
         // boundary, so subsequent sweeps are planned and charged from the
         // same state (a shard with resident tenants keeps its own position
-        // — realigning it would falsify *their* accounting)
-        if self.registry.occupied_contexts(dst_shard).is_empty() {
+        // — realigning it would falsify *their* accounting); a checkpoint
+        // from a deeper-context fabric may carry a position this host
+        // doesn't have, in which case the host keeps its own
+        if self.registry.occupied_contexts(dst_shard).is_empty()
+            && ckpt.css_position < self.params.contexts
+        {
             self.engines[dst_shard].resume_css_at(ckpt.css_position)?;
         }
         let realign = self.join_cost(dst_shard, slot.ctx, None)?;
@@ -754,6 +833,93 @@ impl ShardedService {
             Vec::new()
         };
         Ok((id, fresh))
+    }
+
+    /// Exports the compiled plane cached under `digest` for shipping to
+    /// another service instance — the transfer half of a cross-node
+    /// migration (checkpoints themselves carry only the digest). Does not
+    /// touch the cache's hit/miss counters.
+    #[must_use]
+    pub fn export_plane(&self, digest: u64) -> Option<Arc<CompiledFabric>> {
+        self.cache.peek(digest)
+    }
+
+    /// Imports a plane shipped from another service instance into this
+    /// one's cache, so a subsequent [`restore_tenant`](Self::restore_tenant)
+    /// of a checkpoint carrying `digest` finds it even though this node
+    /// never routed the design. The exporter vouches that `digest` is the
+    /// plane's admission-time [`Fabric::context_digest`].
+    pub fn import_plane(&mut self, digest: u64, plane: Arc<CompiledFabric>) {
+        self.cache.insert(digest, plane);
+    }
+
+    /// Re-provisions the compiled plane a checkpoint demands on a node
+    /// that never saw the design — the recompile-at-destination fallback
+    /// for the cold-cache [`MigrateError::PlaneUnavailable`] dead end
+    /// (e.g. the source node died before its plane could be exported).
+    ///
+    /// The checkpoint's digest covers the *routed configuration*, and
+    /// admission routing is deterministic per context slot
+    /// (`SLOT_SEED + ctx`), so routing `netlist` on a scratch fabric
+    /// of the checkpoint's own geometry reproduces the original
+    /// configuration exactly — the digest proves it. Each context is
+    /// tried (a tenant that migrated between admission and checkpoint
+    /// carries a context index different from the one it was routed in);
+    /// the first digest match is compiled and cached, after which
+    /// [`restore_tenant`](Self::restore_tenant) proceeds normally. If no
+    /// context reproduces the digest the netlist is not the checkpointed
+    /// design and [`MigrateError::NetlistDigestMismatch`] refuses to
+    /// provision it. No-op when the digest is already cached.
+    ///
+    /// `params` is the geometry the design was *admitted* on (the
+    /// digest covers geometry too); for a tenant that never crossed
+    /// geometries this is just `ckpt.params`.
+    pub fn provision_plane(
+        &mut self,
+        digest: u64,
+        netlist: &LogicNetlist,
+        params: FabricParams,
+    ) -> Result<(), ServiceError> {
+        if self.cache.contains(digest) {
+            return Ok(());
+        }
+        for ctx in 0..params.contexts {
+            let mut scratch = Fabric::new(params)?;
+            if implement_netlist_robust(
+                &mut scratch,
+                netlist,
+                ctx,
+                SLOT_SEED + ctx as u64,
+                ROUTE_ATTEMPTS,
+            )
+            .is_err()
+            {
+                continue;
+            }
+            if scratch.context_digest(ctx)? == digest {
+                let plane = CompiledFabric::compile_context(&scratch, ctx)?;
+                self.cache.insert(digest, Arc::new(plane));
+                return Ok(());
+            }
+        }
+        Err(MigrateError::NetlistDigestMismatch { digest }.into())
+    }
+
+    /// Removes `tenant` from this service for good — the source-side end
+    /// of a cross-node migration, called **after** the destination's
+    /// [`restore_tenant`](Self::restore_tenant) succeeded. The engine
+    /// surrenders the tenant's state and queued lanes (the checkpoint
+    /// already carried them to the destination), a resident routed
+    /// configuration is wiped, its recorded faults are dropped, and the
+    /// slot frees for re-admission. The id is never reissued.
+    pub fn retire_tenant(&mut self, tenant: TenantId) -> Result<(), ServiceError> {
+        let record = self.registry.tenant(tenant)?;
+        let placement = record.placement;
+        let resident = record.resident;
+        let _ = self.engines[placement.shard].expel(tenant, placement.ctx, resident)?;
+        self.registry.retire(tenant)?;
+        self.faults.retain(|f| f.tenant != tenant);
+        Ok(())
     }
 
     /// Live-migrates `tenant` to a free slot on `dst_shard`, preserving
@@ -807,7 +973,7 @@ impl ShardedService {
                     ctx: src.ctx,
                 })?;
         // rebase before any mutation, so an error leaves the service intact
-        let plane = Self::plane_for_slot(plane, dst.ctx)?;
+        let plane = self.plane_for_slot(plane, dst.ctx)?;
         let realign = self.join_cost(dst.shard, dst.ctx, Some(src))?;
         self.registry.relocate(tenant, dst)?;
 
@@ -950,6 +1116,21 @@ impl ShardedService {
     #[must_use]
     pub fn params(&self) -> &FabricParams {
         &self.params
+    }
+
+    /// The technology parameters billing is rendered against.
+    #[must_use]
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// The CSS transition-cost matrix placement scoring runs against —
+    /// shared with the cluster router so cross-node slot comparisons use
+    /// exactly the scoring a local admission would (see
+    /// [`crate::placement::best_slot_scored`]).
+    #[must_use]
+    pub fn cost_matrix(&self) -> &CostMatrix {
+        &self.matrix
     }
 }
 

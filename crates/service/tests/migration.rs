@@ -299,20 +299,141 @@ fn serialized_checkpoint_restores_across_services() {
         Err(ServiceError::Migrate(MigrateError::PlaneUnavailable { .. }))
     ));
 
-    // a differently-shaped destination refuses outright
-    let mut odd = ShardedService::new(
+    // a truly incompatible destination refuses outright: a *smaller*
+    // grid cannot embed the checkpointed plane …
+    let mut narrow = ShardedService::new(
         1,
         FabricParams {
-            width: 5,
+            width: 3,
             ..FabricParams::default()
         },
         TechParams::default(),
     )
     .unwrap();
     assert!(matches!(
-        odd.restore_tenant(&ckpt, 0),
+        narrow.restore_tenant(&ckpt, 0),
         Err(ServiceError::Migrate(MigrateError::GeometryMismatch { .. }))
     ));
+    // … and neither can a grid whose tiles have a different resource
+    // shape, however large
+    let mut fat = ShardedService::new(
+        1,
+        FabricParams {
+            width: 10,
+            height: 10,
+            channel_width: FabricParams::default().channel_width + 1,
+            ..FabricParams::default()
+        },
+        TechParams::default(),
+    )
+    .unwrap();
+    assert!(matches!(
+        fat.restore_tenant(&ckpt, 0),
+        Err(ServiceError::Migrate(MigrateError::GeometryMismatch { .. }))
+    ));
+}
+
+/// Regression for the old exact-geometry false reject: a checkpoint from
+/// a smaller fabric restores onto a larger host of the same tile shape —
+/// the plane is pad-and-remapped — and answers bit-for-bit what its
+/// never-migrated twin answers.
+#[test]
+fn smaller_geometry_checkpoint_restores_onto_larger_host() {
+    let parity = generators::parity_tree(3).unwrap();
+    let small = FabricParams {
+        width: 8,
+        height: 8,
+        ..FabricParams::default()
+    };
+    let big = FabricParams {
+        width: 10,
+        height: 10,
+        contexts: 8,
+        ..FabricParams::default()
+    };
+    let mut src = ShardedService::new(1, small, TechParams::default()).unwrap();
+    let mover = src.admit("mover", &parity).unwrap();
+    let twin = src.admit("twin", &parity).unwrap();
+    submit3(&mut src, mover, 0b110);
+    submit3(&mut src, twin, 0b110);
+
+    // checkpoint the mover (pending request travels), ship its plane —
+    // the big host never routed the design, so the digest alone would
+    // dead-end in PlaneUnavailable
+    let ckpt = src.checkpoint_tenant(mover).unwrap();
+    let mut dst = ShardedService::new(1, big, TechParams::default()).unwrap();
+    assert!(matches!(
+        dst.restore_tenant(&ckpt, 0),
+        Err(ServiceError::Migrate(MigrateError::PlaneUnavailable { .. }))
+    ));
+    let plane = src.export_plane(ckpt.digest).expect("source holds plane");
+    dst.import_plane(ckpt.digest, plane);
+
+    // the old code rejected this restore with GeometryMismatch
+    let (restored, fresh) = dst.restore_tenant(&ckpt, 0).unwrap();
+    assert_eq!(fresh.len(), 1);
+    src.retire_tenant(mover).unwrap();
+
+    // bit-for-bit: the restored 8x8 tenant on the 10x10 host answers
+    // exactly what the never-migrated twin answers on the 8x8 source
+    let dst_responses = dst.drain().unwrap();
+    let src_responses = src.drain().unwrap();
+    let moved: Vec<_> = dst_responses
+        .iter()
+        .filter(|r| r.tenant == restored)
+        .collect();
+    let stayed: Vec<_> = src_responses.iter().filter(|r| r.tenant == twin).collect();
+    assert_eq!(moved.len(), 1);
+    assert_eq!(stayed.len(), 1);
+    assert_eq!(moved[0].outputs, stayed[0].outputs);
+    assert!(!moved[0].outputs[0].1, "parity(1,1,0) is even");
+
+    // the retired source id is dead; the twin still serves
+    assert!(src.usage(mover).is_err());
+    submit3(&mut src, twin, 0b000);
+    assert_eq!(src.drain().unwrap().len(), 1);
+}
+
+/// The cold-cache recovery path: a fresh node that never compiled the
+/// design re-provisions the plane from the source netlist, keyed by the
+/// checkpoint's digest — then the restore proceeds normally.
+#[test]
+fn fresh_node_restore_reprovisions_plane_from_netlist() {
+    let parity = generators::parity_tree(3).unwrap();
+    let mut src = service(1);
+    let t = src.admit("roamer", &parity).unwrap();
+    submit3(&mut src, t, 0b011);
+    let ckpt = src.checkpoint_tenant(t).unwrap();
+
+    // fresh node: digest-only restore dead-ends …
+    let mut cold = service(2);
+    assert!(matches!(
+        cold.restore_tenant(&ckpt, 0),
+        Err(ServiceError::Migrate(MigrateError::PlaneUnavailable { .. }))
+    ));
+    // … but provisioning from the shipped netlist reproduces the exact
+    // routed configuration (deterministic per-slot seeding) and caches it
+    cold.provision_plane(ckpt.digest, &parity, ckpt.params)
+        .unwrap();
+    let (restored, fresh) = cold.restore_tenant(&ckpt, 0).unwrap();
+    assert_eq!(fresh.len(), 1);
+    let responses = cold.drain().unwrap();
+    let ours: Vec<_> = responses.iter().filter(|r| r.tenant == restored).collect();
+    assert_eq!(ours.len(), 1);
+    assert!(!ours[0].outputs[0].1, "parity(0,1,1) is even");
+
+    // a *different* design never provisions under this digest
+    let other = generators::wire_lanes(1).unwrap();
+    let mut cold2 = service(1);
+    assert!(matches!(
+        cold2.provision_plane(ckpt.digest, &other, ckpt.params),
+        Err(ServiceError::Migrate(
+            MigrateError::NetlistDigestMismatch { .. }
+        ))
+    ));
+    // provisioning is idempotent once cached
+    cold.provision_plane(ckpt.digest, &parity, ckpt.params)
+        .unwrap();
 }
 
 /// Directed-migration error surface: bad shard, full shard.

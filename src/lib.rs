@@ -29,7 +29,12 @@
 //! * [`migrate`] — checkpoint/restore and live tenant migration: a
 //!   versioned checkpoint wire format capturing a tenant at a
 //!   context-switch boundary, powering `migrate_tenant` / `evacuate_shard`
-//!   on the service.
+//!   on the service;
+//! * [`cluster`] — multi-node federation: a router placing tenants across
+//!   N sharded services by load/energy score, a deterministic
+//!   node-then-shard-then-lane merge of responses/faults/billing, and a
+//!   virtual-clock rebalancer that drains, restarts and live-migrates
+//!   around hot or faulted nodes.
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
 //! `docs/GLOSSARY.md` for the paper's vocabulary as used in the code.
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use mcfpga_cluster as cluster;
 pub use mcfpga_core as core;
 pub use mcfpga_cost as cost;
 pub use mcfpga_css as css;
@@ -66,6 +72,7 @@ pub use mcfpga_switchblock as switchblock;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use mcfpga_cluster::{Cluster, NodeHealth, RebalancerPolicy, RouterPolicy};
     pub use mcfpga_core::{
         AnySwitch, ArchKind, HybridMcSwitch, McSwitch, MvFgfpMcSwitch, SramMcSwitch,
     };
