@@ -101,6 +101,7 @@ struct MixOutcome {
     events: Vec<String>,
     billing: String,
     frontend_billing: String,
+    metrics: String,
 }
 
 /// Replays `mix` open-loop for [`CYCLES`] virtual cycles: offers land on
@@ -215,6 +216,7 @@ fn run_mix(mix: TrafficMix, threads: usize) -> MixOutcome {
         events,
         billing: fe.service().billing_report(),
         frontend_billing: fe.frontend_billing_report(),
+        metrics: fe.telemetry().registry().render_json(),
     }
 }
 
@@ -303,6 +305,7 @@ fn acceptance_and_artifact() {
             "deadline_violations".into(),
             skew.deadline_violations.into(),
         ),
+        ("metrics_snapshot".into(), skew.metrics.as_str().into()),
     ];
     for (name, mix) in [("skew", &skew), ("poisson", &poisson), ("bursty", &bursty)] {
         for (class, samples) in [

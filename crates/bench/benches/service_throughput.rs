@@ -14,7 +14,10 @@ use mcfpga_device::TechParams;
 use mcfpga_fabric::compiled::MAX_LANES;
 use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
 use mcfpga_fabric::FabricParams;
-use mcfpga_service::{OptimizeMode, PlacementPolicy, Response, ShardedService, TenantId};
+use mcfpga_service::{
+    OptimizeMode, PlacementPolicy, Response, ShardedService, TenantId, SPAWN_EVENTS_METRIC,
+    TASKS_EXECUTED_METRIC, TASKS_STOLEN_METRIC, TASKS_TOTAL_METRIC, WORKERS_SPAWNED_METRIC,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -196,6 +199,28 @@ fn fill_all_slots(
     queued
 }
 
+/// The executor's wall-clock counters, read back from the service's
+/// telemetry registry at the end of one width's run.
+struct ExecutorCounters {
+    spawn_events: u64,
+    workers_spawned: u64,
+    tasks_total: u64,
+    tasks_stolen: u64,
+    per_worker_executed: Vec<u64>,
+}
+
+fn executor_counters(svc: &ShardedService) -> ExecutorCounters {
+    let r = svc.telemetry().registry();
+    let get = |name: &str| r.counter_value(name).unwrap_or(0);
+    ExecutorCounters {
+        spawn_events: get(SPAWN_EVENTS_METRIC),
+        workers_spawned: get(WORKERS_SPAWNED_METRIC),
+        tasks_total: get(TASKS_TOTAL_METRIC),
+        tasks_stolen: get(TASKS_STOLEN_METRIC),
+        per_worker_executed: r.counter_cells(TASKS_EXECUTED_METRIC).unwrap_or_default(),
+    }
+}
+
 /// What one width's run of the parallel-drain comparison observed.
 struct DrainRun {
     responses: Vec<Response>,
@@ -204,7 +229,9 @@ struct DrainRun {
     /// The very first drain at this width, seconds — the only one that
     /// pays the worker-pool spawn.
     first: f64,
-    stats: mcfpga_service::ExecutorStats,
+    stats: ExecutorCounters,
+    /// Full metrics snapshot (all classes, JSON) at end of run.
+    metrics: String,
 }
 
 /// The parallel-executor comparison on the 8-shard reference pool:
@@ -249,10 +276,11 @@ fn measure_parallel_drain() -> (DrainRun, DrainRun, usize, usize) {
             black_box(served);
         }
         DrainRun {
+            stats: executor_counters(&svc),
+            metrics: svc.telemetry().registry().render_json(),
             responses,
             best,
             first,
-            stats: svc.executor_stats(),
         }
     };
     let seq = run_width(1);
@@ -494,6 +522,7 @@ fn bench(c: &mut Criterion) {
             ("pool_spawn_events", par_par.stats.spawn_events.into()),
             ("pool_first_drain_us", pool_first_us.into()),
             ("pool_steady_drain_us", par_par_us.into()),
+            ("metrics_snapshot", par_par.metrics.as_str().into()),
         ],
     )
     .expect("write BENCH_service_throughput.json");

@@ -10,8 +10,51 @@ use mcfpga_fabric::{FabricParams, LogicNetlist};
 use mcfpga_service::{
     best_slot_scored, netlist_fingerprint, Response, ServiceError, ShardedService, TenantId,
 };
+use mcfpga_telemetry::{
+    sort_timeline, tenant_key, ClusterHealthSnapshot, Counter, Gauge, MetricClass,
+    NodeHealthSample, SpanEvent, SpanKind, Telemetry, ACTIVE_TENANTS_METRIC, FAULT_TALLY_METRIC,
+    QUEUE_DEPTH_METRIC,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Requests submitted through the cluster façade
+/// ([`MetricClass::Deterministic`]).
+pub const CLUSTER_REQUESTS_METRIC: &str = "cluster_requests_submitted";
+/// Responses merged out of member nodes ([`MetricClass::Deterministic`]).
+pub const CLUSTER_RESPONSES_METRIC: &str = "cluster_responses_merged";
+/// Live tenant migrations completed ([`MetricClass::Deterministic`]).
+pub const CLUSTER_MIGRATIONS_METRIC: &str = "cluster_migrations";
+/// Faults merged into the cluster log ([`MetricClass::Deterministic`]).
+pub const CLUSTER_FAULTS_METRIC: &str = "cluster_faults_total";
+/// Interventions taken by the rebalancer pump
+/// ([`MetricClass::Deterministic`]).
+pub const CLUSTER_REBALANCE_ACTIONS_METRIC: &str = "cluster_rebalance_actions";
+
+/// The cluster façade's own metric handles, registered on the cluster
+/// [`Telemetry`] (distinct from each member node's registry).
+#[derive(Debug, Clone)]
+struct ClusterMetrics {
+    requests: Counter,
+    responses: Counter,
+    migrations: Counter,
+    faults: Counter,
+    rebalance_actions: Counter,
+}
+
+impl ClusterMetrics {
+    fn register(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        let det = MetricClass::Deterministic;
+        ClusterMetrics {
+            requests: r.counter(CLUSTER_REQUESTS_METRIC, det),
+            responses: r.counter(CLUSTER_RESPONSES_METRIC, det),
+            migrations: r.counter(CLUSTER_MIGRATIONS_METRIC, det),
+            faults: r.counter(CLUSTER_FAULTS_METRIC, det),
+            rebalance_actions: r.counter(CLUSTER_REBALANCE_ACTIONS_METRIC, det),
+        }
+    }
+}
 
 /// Cluster-global tenant handle, minted in admission order starting at 0.
 ///
@@ -154,8 +197,21 @@ struct Node {
     shards: usize,
     params: FabricParams,
     tech: TechParams,
-    /// Cumulative slot faults observed since the last restart.
-    fault_tally: usize,
+    /// Cumulative slot faults since the last restart, *published* on the
+    /// node's own telemetry registry under [`FAULT_TALLY_METRIC`] — the
+    /// rebalancer reads it back through a [`ClusterHealthSnapshot`]
+    /// rather than poking cluster-private state.
+    fault_gauge: Gauge,
+}
+
+impl Node {
+    /// Registers the node's published fault gauge on its service
+    /// registry (fresh and zeroed — used at construction and restart).
+    fn register_fault_gauge(svc: &ShardedService) -> Gauge {
+        svc.telemetry()
+            .registry()
+            .gauge(FAULT_TALLY_METRIC, MetricClass::Deterministic)
+    }
 }
 
 /// Everything the cluster must remember about an admitted tenant to
@@ -197,6 +253,16 @@ pub struct Cluster {
     rebalancer: Option<RebalancerPolicy>,
     fault_log: Vec<ClusterFault>,
     threads: Option<usize>,
+    /// The cluster's own telemetry: façade-level metrics plus the span
+    /// ring holding `Admitted`/`MigrationHop`/`Fault` hops keyed by
+    /// cluster request/tenant ids.
+    telemetry: Telemetry,
+    metrics: ClusterMetrics,
+    /// Cluster request → every `(node, node-local raw id)` incarnation it
+    /// has had, oldest first. Unlike `request_map` (consumed at merge),
+    /// hops are kept so [`trace`](Self::trace) can stitch the full
+    /// cross-node timeline after the response is long gone.
+    trace_map: HashMap<u64, Vec<(usize, u64)>>,
 }
 
 impl Cluster {
@@ -219,13 +285,15 @@ impl Cluster {
                     shards,
                     params: *svc.params(),
                     tech: svc.tech().clone(),
-                    fault_tally: 0,
+                    fault_gauge: Node::register_fault_gauge(&svc),
                     svc,
                 };
                 base += shards;
                 node
             })
             .collect();
+        let telemetry = Telemetry::new();
+        let metrics = ClusterMetrics::register(&telemetry);
         Ok(Cluster {
             nodes,
             policy: RouterPolicy::default(),
@@ -240,6 +308,9 @@ impl Cluster {
             rebalancer: None,
             fault_log: Vec::new(),
             threads: None,
+            telemetry,
+            metrics,
+            trace_map: HashMap::new(),
         })
     }
 
@@ -442,6 +513,20 @@ impl Cluster {
         let id = ClusterRequestId(self.next_request);
         self.next_request += 1;
         self.request_map.insert((node, rid.value()), id);
+        self.trace_map
+            .entry(id.value())
+            .or_default()
+            .push((node, rid.value()));
+        self.metrics.requests.inc();
+        // the admission hop at the cluster level carries *where* the
+        // request landed; node-local hops are stitched in by `trace`
+        self.telemetry.trace_buffer().record(
+            id.value(),
+            SpanKind::Admitted,
+            self.clock,
+            node as u32,
+            rid.value() as i64,
+        );
         Ok(id)
     }
 
@@ -501,6 +586,7 @@ impl Cluster {
             .tenant_map
             .get(&(node, r.tenant))
             .ok_or_else(|| ClusterError::UnknownTenant(r.tenant.index()))?;
+        self.metrics.responses.inc();
         Ok(ClusterResponse {
             request,
             tenant,
@@ -523,8 +609,16 @@ impl Cluster {
         for node in 0..self.nodes.len() {
             let base = self.nodes[node].shard_base;
             for f in self.nodes[node].svc.take_faults() {
-                self.nodes[node].fault_tally += 1;
+                self.nodes[node].fault_gauge.add(1);
+                self.metrics.faults.inc();
                 if let Some(&tenant) = self.tenant_map.get(&(node, f.tenant)) {
+                    self.telemetry.trace_buffer().record(
+                        tenant_key(tenant.index()),
+                        SpanKind::Fault,
+                        self.clock,
+                        node as u32,
+                        (base + f.shard) as i64,
+                    );
                     self.fault_log.push(ClusterFault {
                         tenant,
                         shard: base + f.shard,
@@ -648,8 +742,29 @@ impl Cluster {
         for (&old_raw, new_rid) in ckpt.pending.requests.iter().zip(&fresh) {
             if let Some(cid) = self.request_map.remove(&(src_node, old_raw)) {
                 self.request_map.insert((dst_node, new_rid.value()), cid);
+                self.trace_map
+                    .entry(cid.value())
+                    .or_default()
+                    .push((dst_node, new_rid.value()));
+                // the hop every in-flight request takes when its tenant
+                // moves: recorded on the *destination*, detail = source
+                self.telemetry.trace_buffer().record(
+                    cid.value(),
+                    SpanKind::MigrationHop,
+                    self.clock,
+                    dst_node as u32,
+                    src_node as i64,
+                );
             }
         }
+        self.metrics.migrations.inc();
+        self.telemetry.trace_buffer().record(
+            tenant_key(tenant.index()),
+            SpanKind::MigrationHop,
+            self.clock,
+            dst_node as u32,
+            src_node as i64,
+        );
 
         self.nodes[src_node].svc.retire_tenant(src_local)?;
         self.tenant_map.remove(&(src_node, src_local));
@@ -718,10 +833,18 @@ impl Cluster {
         if let Some(threads) = self.threads {
             n.svc.set_threads(threads);
         }
+        n.svc.telemetry().set_cycle(self.clock);
         n.health = NodeHealth::Healthy;
-        n.fault_tally = 0;
-        // any undrained response mappings for the old incarnation are gone
+        // the fresh service brings a fresh registry: re-register the
+        // published fault gauge there, zeroed
+        n.fault_gauge = Node::register_fault_gauge(&n.svc);
+        // any undrained response mappings for the old incarnation are
+        // gone, and so are its trace hops — the new service's telemetry
+        // knows nothing about old raw request ids
         self.request_map.retain(|&(owner, _), _| owner != node);
+        for hops in self.trace_map.values_mut() {
+            hops.retain(|&(owner, _)| owner != node);
+        }
         Ok(())
     }
 
@@ -737,8 +860,15 @@ impl Cluster {
 
     /// Advances the virtual clock — the same externally-driven clock
     /// pattern as [`FrontendDriver`](mcfpga_service::FrontendDriver).
+    /// The clock is pushed down into the cluster's own telemetry and
+    /// every node's, so spans recorded anywhere in the fleet share one
+    /// timeline.
     pub fn advance(&mut self, cycles: u64) {
         self.clock = self.clock.saturating_add(cycles);
+        self.telemetry.set_cycle(self.clock);
+        for node in &self.nodes {
+            node.svc.telemetry().set_cycle(self.clock);
+        }
     }
 
     /// Arms the rebalancer daemon; [`pump`](Self::pump) does nothing
@@ -747,13 +877,47 @@ impl Cluster {
         self.rebalancer = Some(policy);
     }
 
+    /// A point-in-time capture of every node's published health gauges
+    /// — queue depth, fault tally, resident tenants — stamped with the
+    /// cluster's virtual clock. Built **purely from telemetry**: the
+    /// same numbers a metrics scrape of each node would see, so the
+    /// rebalancer's Hot/Faulted decisions are a pure function of
+    /// published telemetry. Each in-flight request is counted by exactly
+    /// one node at any instant (queue gauges are re-published at every
+    /// queue mutation, including mid-migration re-queues), so
+    /// [`total_queued`](ClusterHealthSnapshot::total_queued) never
+    /// double-counts work in flight.
+    #[must_use]
+    pub fn health_snapshot(&self) -> ClusterHealthSnapshot {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let r = n.svc.telemetry().registry();
+                NodeHealthSample {
+                    node: i,
+                    queued: r.gauge_value(QUEUE_DEPTH_METRIC).unwrap_or(0).max(0) as u64,
+                    fault_tally: n.fault_gauge.value().max(0) as u64,
+                    tenants: r.gauge_value(ACTIVE_TENANTS_METRIC).unwrap_or(0).max(0) as u64,
+                }
+            })
+            .collect();
+        ClusterHealthSnapshot {
+            cycle: self.clock,
+            nodes,
+        }
+    }
+
     /// One rebalancer tick. No-op until `check_period` cycles have
-    /// elapsed since the last check; then it drains fault buffers,
-    /// re-marks node health (fault tally ⇒ [`Faulted`](NodeHealth::Faulted),
-    /// queue depth ⇒ [`Hot`](NodeHealth::Hot)), migrates tenants off
-    /// faulted/draining nodes entirely and hot nodes by halves, and
-    /// reports what it did. Call it from the same loop that
-    /// [`advance`](Self::advance)s the clock.
+    /// elapsed since the last check; then it drains fault buffers, takes
+    /// a [`health_snapshot`](Self::health_snapshot), re-marks node
+    /// health from the snapshot alone (fault tally ⇒
+    /// [`Faulted`](NodeHealth::Faulted), queue depth ⇒
+    /// [`Hot`](NodeHealth::Hot)), migrates tenants off faulted/draining
+    /// nodes entirely and hot nodes by halves, and reports what it did.
+    /// Call it from the same loop that [`advance`](Self::advance)s the
+    /// clock.
     pub fn pump(&mut self) -> Result<Vec<RebalanceAction>, ClusterError> {
         let Some(policy) = self.rebalancer else {
             return Ok(Vec::new());
@@ -765,16 +929,19 @@ impl Cluster {
         self.collect_faults();
         let mut actions = Vec::new();
 
-        // mark: fault tallies dominate queue depth
+        // mark from the published snapshot: fault tallies dominate
+        // queue depth
+        let snapshot = self.health_snapshot();
         for i in 0..self.nodes.len() {
+            let sample = snapshot.nodes[i];
             let node = &mut self.nodes[i];
             match node.health {
                 NodeHealth::Healthy | NodeHealth::Hot => {
-                    if node.fault_tally >= policy.fault_threshold {
+                    if sample.fault_tally as usize >= policy.fault_threshold {
                         node.health = NodeHealth::Faulted;
                         actions.push(RebalanceAction::MarkedFaulted { node: i });
                     } else if node.health == NodeHealth::Healthy
-                        && node.svc.pending_requests() >= policy.hot_pending
+                        && sample.queued as usize >= policy.hot_pending
                     {
                         node.health = NodeHealth::Hot;
                         actions.push(RebalanceAction::MarkedHot { node: i });
@@ -805,20 +972,64 @@ impl Cluster {
                     to: dst,
                 });
             }
+            // pending work travelled with the migrated tenants; re-read
+            // the published gauges to see whether the node recovered
+            let sample = self.health_snapshot().nodes[i];
             match self.nodes[i].health {
-                // pending work travelled with the migrated tenants; if the
-                // queue recovered, the node goes back into rotation
-                NodeHealth::Hot if self.nodes[i].svc.pending_requests() < policy.hot_pending => {
+                NodeHealth::Hot if (sample.queued as usize) < policy.hot_pending => {
                     self.nodes[i].health = NodeHealth::Healthy;
                     actions.push(RebalanceAction::Recovered { node: i });
                 }
-                NodeHealth::Draining if self.tenants_on(i)?.is_empty() => {
+                NodeHealth::Draining if sample.tenants == 0 => {
                     self.nodes[i].health = NodeHealth::Drained;
                 }
                 _ => {}
             }
         }
+        self.metrics.rebalance_actions.add(actions.len() as u64);
         Ok(actions)
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// The cluster façade's own telemetry: `cluster_*` metrics plus the
+    /// span ring of cluster-level hops. Each member node keeps its own
+    /// full registry, reachable via [`node`](Self::node) and
+    /// [`ShardedService::telemetry`].
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Reconstructs `request`'s complete cross-node timeline: the
+    /// cluster-level `Admitted` and `MigrationHop` spans, merged with
+    /// every node-local span the request produced under each of its
+    /// node-local incarnations — re-keyed to the cluster id and stamped
+    /// with the owning node — in virtual-clock order
+    /// ([`sort_timeline`]). Spans survive node restarts only as far as
+    /// each node's telemetry does: a restarted node's old incarnation
+    /// contributes nothing.
+    #[must_use]
+    pub fn trace(&self, request: ClusterRequestId) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = self
+            .telemetry
+            .trace_buffer()
+            .trace(request.value())
+            .into_iter()
+            .collect();
+        if let Some(hops) = self.trace_map.get(&request.value()) {
+            for &(node, raw) in hops {
+                for mut ev in self.nodes[node].svc.telemetry().trace(raw) {
+                    ev.key = request.value();
+                    ev.node = node as u32;
+                    events.push(ev);
+                }
+            }
+        }
+        sort_timeline(&mut events);
+        events
     }
 
     // ------------------------------------------------------------------

@@ -25,10 +25,20 @@
 //! * **Rebalancing.** An optional [`RebalancerPolicy`] drives a daemon
 //!   off the same virtual clock pattern as the QoS front-end
 //!   ([`advance`](Cluster::advance) / [`pump`](Cluster::pump)): it
-//!   watches per-node queue depth and fault tallies, marks nodes
-//!   [`Hot`](NodeHealth::Hot) or [`Faulted`](NodeHealth::Faulted), and
-//!   live-migrates tenants to healthy nodes — checkpoint, plane
-//!   transfer, restore — preserving every in-flight request id.
+//!   reads each node's **published telemetry gauges** through a
+//!   [`ClusterHealthSnapshot`] ([`Cluster::health_snapshot`]), marks
+//!   nodes [`Hot`](NodeHealth::Hot) or [`Faulted`](NodeHealth::Faulted)
+//!   as a pure function of that snapshot, and live-migrates tenants to
+//!   healthy nodes — checkpoint, plane transfer, restore — preserving
+//!   every in-flight request id.
+//! * **Observability.** The façade keeps its own
+//!   [`Telemetry`](mcfpga_telemetry::Telemetry): deterministic
+//!   `cluster_*` counters, plus cluster-level `Admitted`,
+//!   `MigrationHop` and `Fault` spans keyed by [`ClusterRequestId`] /
+//!   [`ClusterTenantId`]. [`Cluster::trace`] stitches those together
+//!   with every node-local span a request produced under each of its
+//!   node-local incarnations, yielding the complete cross-node
+//!   admitted→…→demuxed timeline in virtual-clock order.
 //!
 //! Tenant moves never lose planes: checkpoints carry a configuration
 //! *digest*, and if the destination's cache misses it the cluster first
@@ -74,9 +84,15 @@ mod rebalancer;
 
 pub use federation::{
     Cluster, ClusterFault, ClusterRequestId, ClusterResponse, ClusterTenantId, NodeHealth,
-    RouterPolicy,
+    RouterPolicy, CLUSTER_FAULTS_METRIC, CLUSTER_MIGRATIONS_METRIC,
+    CLUSTER_REBALANCE_ACTIONS_METRIC, CLUSTER_REQUESTS_METRIC, CLUSTER_RESPONSES_METRIC,
 };
 pub use rebalancer::{RebalanceAction, RebalancerPolicy};
+
+// the fleet-health view the rebalancer consumes lives in
+// `mcfpga_telemetry`; re-exported because `Cluster::health_snapshot`
+// is its producer
+pub use mcfpga_telemetry::{ClusterHealthSnapshot, NodeHealthSample};
 
 use mcfpga_service::ServiceError;
 

@@ -1,0 +1,194 @@
+//! Cluster telemetry scenarios: cross-node request-lifecycle trace
+//! reconstruction through a live migration, and health snapshots as a
+//! pure function of published gauges — including the mid-drain /
+//! mid-migration invariant that an in-flight request is counted by
+//! exactly one node at any instant.
+
+use mcfpga_cluster::{Cluster, ClusterTenantId, RebalancerPolicy};
+use mcfpga_device::TechParams;
+use mcfpga_fabric::netlist_ir::generators;
+use mcfpga_fabric::FabricParams;
+use mcfpga_service::ShardedService;
+use mcfpga_telemetry::SpanKind;
+
+fn node(shards: usize) -> ShardedService {
+    ShardedService::new(shards, FabricParams::default(), TechParams::default()).unwrap()
+}
+
+fn submit3(c: &mut Cluster, t: ClusterTenantId, bits: u64) -> mcfpga_cluster::ClusterRequestId {
+    c.submit(
+        t,
+        &[
+            ("x0", bits & 1 == 1),
+            ("x1", bits >> 1 & 1 == 1),
+            ("x2", bits >> 2 & 1 == 1),
+        ],
+    )
+    .unwrap()
+}
+
+/// The acceptance scenario: a request admitted on node 0, carried to
+/// node 1 by a live tenant migration while still queued, then drained —
+/// `trace` must reconstruct the complete admitted→demuxed timeline,
+/// including the cross-node `MigrationHop`, with every span keyed to the
+/// cluster request id and stamped with the node that recorded it.
+#[test]
+fn trace_reconstructs_cross_node_timeline_through_migration() {
+    let mut c = Cluster::new(vec![node(2), node(2)]).unwrap();
+    let parity = generators::parity_tree(3).unwrap();
+    let t = c.admit("mover", &parity).unwrap();
+    assert_eq!(c.tenant_node(t).unwrap(), 0);
+
+    c.advance(5);
+    let rid = submit3(&mut c, t, 0b101);
+    c.advance(2); // clock 7
+    c.migrate_tenant(t, 1).unwrap();
+    assert_eq!(c.tenant_node(t).unwrap(), 1);
+    c.advance(2); // clock 9
+    let responses = c.drain().unwrap();
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].request, rid);
+    assert!(!responses[0].outputs[0].1, "parity(1,0,1) is even");
+
+    let timeline = c.trace(rid);
+    let kinds: Vec<SpanKind> = timeline.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            SpanKind::Admitted,
+            SpanKind::Queued,
+            SpanKind::MigrationHop,
+            SpanKind::Planned,
+            SpanKind::Evaluated,
+            SpanKind::Applied,
+            SpanKind::Demuxed,
+        ],
+        "full timeline:\n{}",
+        timeline
+            .iter()
+            .map(|e| format!("  {e}\n"))
+            .collect::<String>()
+    );
+    // every span answers to the cluster request id, stamped with the
+    // node that recorded it: admission on node 0, everything after the
+    // hop on node 1
+    assert!(timeline.iter().all(|e| e.key == rid.value()));
+    let nodes: Vec<u32> = timeline.iter().map(|e| e.node).collect();
+    assert_eq!(nodes, vec![0, 0, 1, 1, 1, 1, 1]);
+    // the hop names its source, and the virtual-clock stamps hold
+    let hop = &timeline[2];
+    assert_eq!(hop.detail, 0, "hop records the source node");
+    assert_eq!(hop.cycle, 7);
+    assert_eq!(timeline[0].cycle, 5, "admission stamped at submit time");
+    assert_eq!(timeline[6].cycle, 9, "demux stamped at drain time");
+}
+
+/// A request that never migrates still traces end to end on its single
+/// node.
+#[test]
+fn trace_of_local_request_covers_full_lifecycle() {
+    let mut c = Cluster::new(vec![node(2)]).unwrap();
+    let parity = generators::parity_tree(3).unwrap();
+    let t = c.admit("stay", &parity).unwrap();
+    let rid = submit3(&mut c, t, 0b111);
+    c.drain().unwrap();
+
+    let kinds: Vec<SpanKind> = c.trace(rid).iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            SpanKind::Admitted,
+            SpanKind::Queued,
+            SpanKind::Planned,
+            SpanKind::Evaluated,
+            SpanKind::Applied,
+            SpanKind::Demuxed,
+        ]
+    );
+    assert!(c.trace(rid).iter().all(|e| e.node == 0));
+}
+
+/// The mid-drain regression pin: a health snapshot taken while requests
+/// are in flight — including *mid-migration*, when a tenant's queue has
+/// just been re-homed — counts every queued request on exactly one node.
+/// The total is conserved from submit through migration and reaches
+/// zero after the drain.
+#[test]
+fn health_snapshot_never_double_counts_inflight_requests() {
+    let mut c = Cluster::new(vec![node(2), node(2)]).unwrap();
+    let parity = generators::parity_tree(3).unwrap();
+    let movers: Vec<ClusterTenantId> = (0..2)
+        .map(|i| c.admit(&format!("t{i}"), &parity).unwrap())
+        .collect();
+    for (i, &t) in movers.iter().enumerate() {
+        for j in 0..3 {
+            submit3(&mut c, t, (i + j) as u64);
+        }
+    }
+    let before = c.health_snapshot();
+    assert_eq!(before.total_queued(), 6);
+    assert_eq!(before.total_tenants(), 2);
+
+    // move a loaded tenant across nodes: its queue travels with it, and
+    // the snapshot total must not count those requests on both nodes
+    let src = c.tenant_node(movers[0]).unwrap();
+    let dst = 1 - src;
+    let src_queued_before = c.health_snapshot().node(src).unwrap().queued;
+    c.migrate_tenant(movers[0], dst).unwrap();
+    let mid = c.health_snapshot();
+    assert_eq!(
+        mid.total_queued(),
+        6,
+        "migration double-counted or dropped in-flight requests:\n{}",
+        mid.render()
+    );
+    assert!(
+        mid.node(src).unwrap().queued < src_queued_before,
+        "the moved tenant's requests left the source's gauge"
+    );
+
+    let answered = c.drain().unwrap();
+    assert_eq!(answered.len(), 6);
+    let after = c.health_snapshot();
+    assert_eq!(after.total_queued(), 0, "drained fleet publishes empty");
+    assert_eq!(after.total_tenants(), 2);
+}
+
+/// Fault tallies surface through the snapshot (the same numbers the
+/// rebalancer classifies from), and a node restart zeroes the published
+/// gauge along with the node.
+#[test]
+fn snapshot_fault_tally_follows_faults_and_restart() {
+    let mut c = Cluster::new(vec![node(2), node(2)]).unwrap();
+    c.enable_rebalancer(RebalancerPolicy {
+        check_period: 1,
+        hot_pending: 1000,
+        fault_threshold: 100, // never trips: we only watch the gauge
+    });
+    let parity = generators::parity_tree(3).unwrap();
+    let t = c.admit("flaky", &parity).unwrap();
+    let home = c.tenant_node(t).unwrap();
+
+    submit3(&mut c, t, 1);
+    c.inject_plane_fault(t).unwrap();
+    c.drain().unwrap_or_default();
+    c.advance(1);
+    c.pump().unwrap(); // collects faults into the published gauge
+    let snap = c.health_snapshot();
+    assert!(
+        snap.node(home).unwrap().fault_tally >= 1,
+        "fault not published:\n{}",
+        snap.render()
+    );
+
+    c.repair_plane(t).unwrap();
+    c.drain().unwrap();
+    c.take_faults();
+    c.drain_node(home).unwrap();
+    c.restart_node(home).unwrap();
+    assert_eq!(
+        c.health_snapshot().node(home).unwrap().fault_tally,
+        0,
+        "restart re-registers the fault gauge zeroed"
+    );
+}

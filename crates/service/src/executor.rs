@@ -19,8 +19,15 @@
 //! the other segments round-robin and **steals from the back** — so a
 //! skewed workload (one shard holding every tenant) spreads across all
 //! workers instead of serializing on one. Steals and per-worker execution
-//! counts are tallied ([`ParallelExecutor::stats`]) so tests and the
-//! bench artifact can assert the distribution rather than trusting it.
+//! counts are published as telemetry counters on the executor's
+//! [`Registry`] (`executor_tasks_stolen`, the per-worker-sharded
+//! `executor_tasks_executed`, …) so tests and the bench artifact can
+//! assert the distribution rather than trusting it.
+//!
+//! All executor metrics are [`MetricClass::WallClock`]: how many tasks
+//! go through the pool (versus the inline path) and who steals what
+//! depend on the configured width and on scheduling, so none of them are
+//! part of the deterministic snapshot the chaos replays compare.
 //!
 //! ## Determinism
 //!
@@ -61,15 +68,30 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+use mcfpga_telemetry::{Counter, MetricClass, Registry};
 
 /// Environment variable overriding the worker-thread count
 /// (`MCFPGA_THREADS=1` forces the inline path). See the
 /// [module docs](self) for the full contract; the resolution is cached
 /// process-wide on first use.
 pub const THREADS_ENV: &str = "MCFPGA_THREADS";
+
+/// Counter: times a worker pool was spawned. Stays at 1 after warmup.
+pub const SPAWN_EVENTS_METRIC: &str = "executor_spawn_events";
+/// Counter: total worker threads ever spawned.
+pub const WORKERS_SPAWNED_METRIC: &str = "executor_workers_spawned";
+/// Counter: tasks submitted through [`ParallelExecutor::run_owned`]
+/// (inline and pooled).
+pub const TASKS_TOTAL_METRIC: &str = "executor_tasks_total";
+/// Counter: pooled tasks a worker took from a segment other than its
+/// own.
+pub const TASKS_STOLEN_METRIC: &str = "executor_tasks_stolen";
+/// Sharded counter (one cell per worker): pooled tasks executed per
+/// worker — the work-distribution histogram.
+pub const TASKS_EXECUTED_METRIC: &str = "executor_tasks_executed";
 
 /// Where an executor's width came from — the provenance half of
 /// [`ExecutorConfig`], so "why is the pool this wide?" is answerable from
@@ -101,23 +123,33 @@ pub struct ExecutorConfig {
     pub source: ThreadSource,
 }
 
-/// A snapshot of the pool's lifetime counters — the observability the
-/// work-distribution gate and the bench artifact assert against.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ExecutorStats {
-    /// Times a worker pool was spawned. Stays at 1 after warmup: the
-    /// whole point of the persistent pool is that drains reuse it.
-    pub spawn_events: u64,
-    /// Total worker threads ever spawned (`spawn_events × threads`).
-    pub workers_spawned: u64,
-    /// Tasks submitted through [`ParallelExecutor::run_owned`] (inline
-    /// and pooled).
-    pub tasks_total: u64,
-    /// Pooled tasks a worker took from a segment other than its own.
-    pub tasks_stolen: u64,
-    /// Pooled tasks executed per worker, worker index order. Empty until
-    /// the pool spawns.
-    pub per_worker_executed: Vec<u64>,
+/// The executor's telemetry handles, registered under the
+/// `executor_*` metric names on the registry handed to the
+/// constructor. All wall-clock class: pool accounting depends on the
+/// configured width and scheduling.
+#[derive(Debug, Clone)]
+struct ExecutorMetrics {
+    spawn_events: Counter,
+    workers_spawned: Counter,
+    tasks_total: Counter,
+    stolen: Counter,
+    executed: Counter,
+}
+
+impl ExecutorMetrics {
+    fn register(registry: &Registry, threads: usize) -> Self {
+        ExecutorMetrics {
+            spawn_events: registry.counter(SPAWN_EVENTS_METRIC, MetricClass::WallClock),
+            workers_spawned: registry.counter(WORKERS_SPAWNED_METRIC, MetricClass::WallClock),
+            tasks_total: registry.counter(TASKS_TOTAL_METRIC, MetricClass::WallClock),
+            stolen: registry.counter(TASKS_STOLEN_METRIC, MetricClass::WallClock),
+            executed: registry.counter_sharded(
+                TASKS_EXECUTED_METRIC,
+                MetricClass::WallClock,
+                threads,
+            ),
+        }
+    }
 }
 
 /// One unit of pooled work: consumes its payload, reports through its own
@@ -141,10 +173,10 @@ struct PoolShared {
     queues: Vec<Mutex<VecDeque<Job>>>,
     state: Mutex<PoolState>,
     condvar: Condvar,
-    /// Jobs taken from a foreign segment.
-    stolen: AtomicU64,
-    /// Jobs executed, per worker.
-    executed: Vec<AtomicU64>,
+    /// Telemetry counter for jobs taken from a foreign segment.
+    stolen: Counter,
+    /// Per-worker-sharded telemetry counter for executed jobs.
+    executed: Counter,
 }
 
 /// The persistent worker threads plus their shared injector. Dropping the
@@ -155,7 +187,7 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn spawn(workers: usize) -> Self {
+    fn spawn(workers: usize, stolen: Counter, executed: Counter) -> Self {
         let shared = Arc::new(PoolShared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             state: Mutex::new(PoolState {
@@ -163,8 +195,8 @@ impl WorkerPool {
                 shutdown: false,
             }),
             condvar: Condvar::new(),
-            stolen: AtomicU64::new(0),
-            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            stolen,
+            executed,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -235,9 +267,9 @@ impl WorkerPool {
                 std::hint::spin_loop();
             };
             if stolen {
-                shared.stolen.fetch_add(1, Ordering::Relaxed);
+                shared.stolen.inc();
             }
-            shared.executed[w].fetch_add(1, Ordering::Relaxed);
+            shared.executed.add_to(w, 1);
             job(w);
         }
     }
@@ -261,9 +293,8 @@ impl Drop for WorkerPool {
 pub struct ParallelExecutor {
     config: ExecutorConfig,
     pool: Option<WorkerPool>,
-    spawn_events: u64,
-    workers_spawned: u64,
-    tasks_total: u64,
+    registry: Registry,
+    metrics: ExecutorMetrics,
     /// Defense-in-depth against re-entrant dispatch. `run_owned` takes
     /// `&mut self`, so re-entrancy is already rejected at compile time;
     /// this catches a future refactor that weakens the receiver.
@@ -272,14 +303,27 @@ pub struct ParallelExecutor {
 
 impl ParallelExecutor {
     /// An executor of `threads` workers (clamped to at least 1), source
-    /// [`ThreadSource::Explicit`]. No thread is spawned here — the pool
-    /// appears on the first run that can use it.
+    /// [`ThreadSource::Explicit`], publishing into its own private
+    /// [`Registry`]. No thread is spawned here — the pool appears on the
+    /// first run that can use it.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        Self::with_config(ExecutorConfig {
-            threads: threads.max(1),
-            source: ThreadSource::Explicit,
-        })
+        Self::new_on(threads, &Registry::new())
+    }
+
+    /// Like [`new`](ParallelExecutor::new), but publishing the
+    /// `executor_*` metrics on `registry` — replacing (and zeroing) any
+    /// previous executor's registrations there, which is exactly the
+    /// reset `ShardedService::set_threads` wants.
+    #[must_use]
+    pub fn new_on(threads: usize, registry: &Registry) -> Self {
+        Self::with_config(
+            ExecutorConfig {
+                threads: threads.max(1),
+                source: ThreadSource::Explicit,
+            },
+            registry.clone(),
+        )
     }
 
     /// An executor sized from the environment — see the
@@ -289,20 +333,27 @@ impl ParallelExecutor {
     /// make two services disagree about the machine's width).
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_env_on(&Registry::new())
+    }
+
+    /// Like [`from_env`](ParallelExecutor::from_env), but publishing the
+    /// `executor_*` metrics on `registry`.
+    #[must_use]
+    pub fn from_env_on(registry: &Registry) -> Self {
         static RESOLVED: OnceLock<ExecutorConfig> = OnceLock::new();
         let config = RESOLVED
             .get_or_init(|| resolve(std::env::var(THREADS_ENV).ok().as_deref()))
             .clone();
-        Self::with_config(config)
+        Self::with_config(config, registry.clone())
     }
 
-    fn with_config(config: ExecutorConfig) -> Self {
+    fn with_config(config: ExecutorConfig, registry: Registry) -> Self {
+        let metrics = ExecutorMetrics::register(&registry, config.threads);
         ParallelExecutor {
             config,
             pool: None,
-            spawn_events: 0,
-            workers_spawned: 0,
-            tasks_total: 0,
+            registry,
+            metrics,
             active: false,
         }
     }
@@ -320,27 +371,21 @@ impl ParallelExecutor {
         &self.config
     }
 
-    /// A snapshot of the pool's lifetime counters.
+    /// The registry this executor publishes its `executor_*` counters
+    /// on. Read pool accounting from here (e.g.
+    /// `registry().counter_value(`[`TASKS_STOLEN_METRIC`]`)` or the
+    /// per-worker cells of [`TASKS_EXECUTED_METRIC`]).
     #[must_use]
-    pub fn stats(&self) -> ExecutorStats {
-        let (tasks_stolen, per_worker_executed) = match &self.pool {
-            Some(pool) => (
-                pool.shared.stolen.load(Ordering::Relaxed),
-                pool.shared
-                    .executed
-                    .iter()
-                    .map(|c| c.load(Ordering::Relaxed))
-                    .collect(),
-            ),
-            None => (0, Vec::new()),
-        };
-        ExecutorStats {
-            spawn_events: self.spawn_events,
-            workers_spawned: self.workers_spawned,
-            tasks_total: self.tasks_total,
-            tasks_stolen,
-            per_worker_executed,
-        }
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A clone that shares the configuration but publishes fresh zeroed
+    /// `executor_*` metrics on `registry` and spawns its own pool on
+    /// first parallel use.
+    #[must_use]
+    pub fn clone_on(&self, registry: &Registry) -> Self {
+        Self::with_config(self.config.clone(), registry.clone())
     }
 
     /// Runs every `(affinity, task)` through `f` and returns the results
@@ -368,7 +413,7 @@ impl ParallelExecutor {
     {
         assert!(!self.active, "re-entrant ParallelExecutor dispatch");
         self.active = true;
-        self.tasks_total += tasks.len() as u64;
+        self.metrics.tasks_total.add(tasks.len() as u64);
         let out = if self.config.threads <= 1 || tasks.len() <= 1 {
             tasks.into_iter().map(|(_, task)| f(task)).collect()
         } else {
@@ -392,9 +437,13 @@ impl ParallelExecutor {
         R: Send + 'static,
     {
         if self.pool.is_none() {
-            self.spawn_events += 1;
-            self.workers_spawned += self.config.threads as u64;
-            self.pool = Some(WorkerPool::spawn(self.config.threads));
+            self.metrics.spawn_events.inc();
+            self.metrics.workers_spawned.add(self.config.threads as u64);
+            self.pool = Some(WorkerPool::spawn(
+                self.config.threads,
+                self.metrics.stolen.clone(),
+                self.metrics.executed.clone(),
+            ));
         }
         let pool = self.pool.as_ref().expect("pool just ensured above");
         let n = tasks.len();
@@ -483,13 +532,15 @@ impl Default for ParallelExecutor {
     }
 }
 
-/// Cloning shares the *configuration*, never the pool: the clone starts
-/// with no workers and zeroed counters, and spawns its own pool on first
-/// parallel use. (A shared pool would entangle two services' collectors;
-/// `ShardedService`'s derived `Clone` relies on this isolation.)
+/// Cloning shares the *configuration*, never the pool or the metrics:
+/// the clone publishes fresh zeroed counters on its own private
+/// registry and spawns its own pool on first parallel use. (A shared
+/// pool would entangle two services' collectors; `ShardedService`'s
+/// `Clone` relies on this isolation and re-homes the clone's metrics via
+/// [`clone_on`](ParallelExecutor::clone_on).)
 impl Clone for ParallelExecutor {
     fn clone(&self) -> Self {
-        Self::with_config(self.config.clone())
+        self.clone_on(&Registry::new())
     }
 }
 
@@ -498,7 +549,14 @@ impl std::fmt::Debug for ParallelExecutor {
         f.debug_struct("ParallelExecutor")
             .field("config", &self.config)
             .field("pool_spawned", &self.pool.is_some())
-            .field("stats", &self.stats())
+            .field(
+                "tasks_total",
+                &self.registry.counter_value(TASKS_TOTAL_METRIC),
+            )
+            .field(
+                "tasks_stolen",
+                &self.registry.counter_value(TASKS_STOLEN_METRIC),
+            )
             .finish()
     }
 }
@@ -513,11 +571,17 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Barrier;
 
     fn id_fn() -> Arc<dyn Fn(usize) -> usize + Send + Sync> {
         Arc::new(|x| x)
+    }
+
+    fn counter(exec: &ParallelExecutor, name: &str) -> u64 {
+        exec.registry()
+            .counter_value(name)
+            .expect("executor metric registered")
     }
 
     #[test]
@@ -561,13 +625,16 @@ mod tests {
             }),
         );
         assert_eq!(out, vec![0, 1, 2, 3]);
-        let stats = exec.stats();
-        assert_eq!(stats.tasks_total, 4);
+        assert_eq!(counter(&exec, TASKS_TOTAL_METRIC), 4);
         assert_eq!(
-            stats.tasks_stolen, 3,
+            counter(&exec, TASKS_STOLEN_METRIC),
+            3,
             "3 of 4 same-segment tasks must be stolen"
         );
-        assert_eq!(stats.per_worker_executed, vec![1, 1, 1, 1]);
+        assert_eq!(
+            exec.registry().counter_cells(TASKS_EXECUTED_METRIC),
+            Some(vec![1, 1, 1, 1])
+        );
     }
 
     /// The deterministic balance gate: 16 tasks on one segment, executed
@@ -590,9 +657,12 @@ mod tests {
         );
         assert_eq!(out, (0..16).collect::<Vec<_>>(), "exactly-once, in order");
         assert_eq!(executed.load(Ordering::Relaxed), 16);
-        let stats = exec.stats();
-        assert_eq!(stats.per_worker_executed, vec![4, 4, 4, 4], "balanced");
-        assert_eq!(stats.tasks_stolen, 12);
+        assert_eq!(
+            exec.registry().counter_cells(TASKS_EXECUTED_METRIC),
+            Some(vec![4, 4, 4, 4]),
+            "balanced"
+        );
+        assert_eq!(counter(&exec, TASKS_STOLEN_METRIC), 12);
     }
 
     /// Pool lifecycle: 1,000 runs spawn exactly one pool (no thread
@@ -605,11 +675,14 @@ mod tests {
             let out = exec.run_owned(tasks, id_fn());
             assert_eq!(out, (round..round + 4).collect::<Vec<_>>());
         }
-        let stats = exec.stats();
-        assert_eq!(stats.spawn_events, 1, "drains must reuse the pool");
-        assert_eq!(stats.workers_spawned, 3);
-        assert_eq!(stats.tasks_total, 4_000);
-        assert_eq!(stats.per_worker_executed.iter().sum::<u64>(), 4_000);
+        assert_eq!(
+            counter(&exec, SPAWN_EVENTS_METRIC),
+            1,
+            "drains must reuse the pool"
+        );
+        assert_eq!(counter(&exec, WORKERS_SPAWNED_METRIC), 3);
+        assert_eq!(counter(&exec, TASKS_TOTAL_METRIC), 4_000);
+        assert_eq!(counter(&exec, TASKS_EXECUTED_METRIC), 4_000);
     }
 
     /// Dropping the executor joins every worker: the workers are the only
@@ -647,7 +720,11 @@ mod tests {
         // the pool is still usable
         let out = exec.run_owned((0..4).map(|i| (i, i)).collect(), id_fn());
         assert_eq!(out, vec![0, 1, 2, 3]);
-        assert_eq!(exec.stats().spawn_events, 1, "no respawn after a panic");
+        assert_eq!(
+            counter(&exec, SPAWN_EVENTS_METRIC),
+            1,
+            "no respawn after a panic"
+        );
     }
 
     #[test]
@@ -662,21 +739,42 @@ mod tests {
             }),
         );
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
-        assert_eq!(exec.stats().spawn_events, 0, "width 1 never spawns");
+        assert_eq!(
+            counter(&exec, SPAWN_EVENTS_METRIC),
+            0,
+            "width 1 never spawns"
+        );
         // a single task also stays inline at any width
         let mut wide = ParallelExecutor::new(8);
         wide.run_owned(vec![(0, 7usize)], id_fn());
-        assert_eq!(wide.stats().spawn_events, 0);
+        assert_eq!(counter(&wide, SPAWN_EVENTS_METRIC), 0);
     }
 
     #[test]
-    fn clone_shares_config_but_not_pool_or_stats() {
+    fn clone_shares_config_but_not_pool_or_metrics() {
         let mut exec = ParallelExecutor::new(2);
         exec.run_owned((0..4).map(|i| (i, i)).collect(), id_fn());
-        assert_eq!(exec.stats().spawn_events, 1);
+        assert_eq!(counter(&exec, SPAWN_EVENTS_METRIC), 1);
         let clone = exec.clone();
         assert_eq!(clone.config(), exec.config());
-        assert_eq!(clone.stats(), ExecutorStats::default());
+        assert_eq!(counter(&clone, SPAWN_EVENTS_METRIC), 0);
+        assert_eq!(counter(&clone, TASKS_TOTAL_METRIC), 0);
+    }
+
+    /// `clone_on` re-homes the clone's metrics, replacing (and zeroing)
+    /// any executor metrics previously registered on that registry.
+    #[test]
+    fn clone_on_replaces_metrics_on_the_target_registry() {
+        let registry = Registry::new();
+        let mut first = ParallelExecutor::new_on(2, &registry);
+        first.run_owned((0..4).map(|i| (i, i)).collect(), id_fn());
+        assert_eq!(registry.counter_value(TASKS_TOTAL_METRIC), Some(4));
+        let _second = first.clone_on(&registry);
+        assert_eq!(
+            registry.counter_value(TASKS_TOTAL_METRIC),
+            Some(0),
+            "re-registration zeroes the registry's view"
+        );
     }
 
     #[test]

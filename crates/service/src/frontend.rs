@@ -37,6 +37,14 @@
 //!   time via [`advance`], so every test and bench is deterministic —
 //!   latency is measured in virtual-clock cycles and is bit-for-bit
 //!   reproducible at any executor thread count.
+//! * **Observability**. Every admission outcome is mirrored into the
+//!   wrapped service's [`Telemetry`] as deterministic `frontend_*`
+//!   counters and virtual-cycle histograms, and every request's
+//!   front-end hops become spans — `Admitted` (backfilled at its arrival
+//!   cycle once the service mints the [`RequestId`]) and `Flushed`,
+//!   plus ticket-keyed `Expired`/`Fault` for requests that never earned
+//!   an id — so [`trace`](FrontendDriver::trace) replays the full
+//!   admitted→…→demuxed lifecycle.
 //!
 //! The flow per request: `offer` (admit / backpressure / reject) → bounded
 //! stream queue → `pump` (expire, then flush-decision per stream) →
@@ -82,8 +90,77 @@ use crate::service::{ShardedService, SlotFault};
 use crate::ServiceError;
 use mcfpga_cost::attribution::{render_frontend_billing, FrontendUsage};
 use mcfpga_fabric::LogicNetlist;
+use mcfpga_telemetry::{
+    ticket_key, Counter, Gauge, Histogram, MetricClass, SpanEvent, SpanKind, Telemetry,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Offers received, every outcome included ([`MetricClass::Deterministic`]).
+pub const FRONTEND_OFFERED_METRIC: &str = "frontend_offered";
+/// Offers admitted into a stream queue ([`MetricClass::Deterministic`]).
+pub const FRONTEND_ADMITTED_METRIC: &str = "frontend_admitted";
+/// Offers refused by a full stream queue ([`MetricClass::Deterministic`]).
+pub const FRONTEND_REJECTED_BACKPRESSURE_METRIC: &str = "frontend_rejected_backpressure";
+/// Offers rejected by a token bucket ([`MetricClass::Deterministic`]).
+pub const FRONTEND_REJECTED_RATE_METRIC: &str = "frontend_rejected_rate";
+/// Offers rejected dead-on-arrival ([`MetricClass::Deterministic`]).
+pub const FRONTEND_REJECTED_DEADLINE_METRIC: &str = "frontend_rejected_deadline";
+/// Tickets resolved as completed ([`MetricClass::Deterministic`]).
+pub const FRONTEND_COMPLETED_METRIC: &str = "frontend_completed";
+/// Tickets expired while queued ([`MetricClass::Deterministic`]).
+pub const FRONTEND_EXPIRED_METRIC: &str = "frontend_expired";
+/// Tickets the service refused at submit ([`MetricClass::Deterministic`]).
+pub const FRONTEND_FAILED_METRIC: &str = "frontend_failed";
+/// Requests flushed into the service, awaiting responses
+/// ([`MetricClass::Deterministic`] gauge).
+pub const FRONTEND_INFLIGHT_METRIC: &str = "frontend_inflight";
+/// log2 histogram of arrival→completion virtual cycles
+/// ([`MetricClass::Deterministic`]).
+pub const FRONTEND_LATENCY_METRIC: &str = "frontend_latency_cycles";
+/// log2 histogram of arrival→flush virtual cycles
+/// ([`MetricClass::Deterministic`]).
+pub const FRONTEND_QUEUE_WAIT_METRIC: &str = "frontend_queue_wait_cycles";
+
+/// The front-end's slice of the service telemetry registry. Everything is
+/// measured in virtual-clock cycles or admission counts, so every metric
+/// is [`MetricClass::Deterministic`]: bit-identical at any executor
+/// thread count, and at any lane width as long as stream capacities bound
+/// the batch width (the chaos-replay gate enforces exactly that).
+#[derive(Debug, Clone)]
+struct FrontendMetrics {
+    offered: Counter,
+    admitted: Counter,
+    rejected_backpressure: Counter,
+    rejected_rate: Counter,
+    rejected_deadline: Counter,
+    completed: Counter,
+    expired: Counter,
+    failed: Counter,
+    inflight: Gauge,
+    latency_cycles: Histogram,
+    queue_wait_cycles: Histogram,
+}
+
+impl FrontendMetrics {
+    fn register(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        let det = MetricClass::Deterministic;
+        FrontendMetrics {
+            offered: r.counter(FRONTEND_OFFERED_METRIC, det),
+            admitted: r.counter(FRONTEND_ADMITTED_METRIC, det),
+            rejected_backpressure: r.counter(FRONTEND_REJECTED_BACKPRESSURE_METRIC, det),
+            rejected_rate: r.counter(FRONTEND_REJECTED_RATE_METRIC, det),
+            rejected_deadline: r.counter(FRONTEND_REJECTED_DEADLINE_METRIC, det),
+            completed: r.counter(FRONTEND_COMPLETED_METRIC, det),
+            expired: r.counter(FRONTEND_EXPIRED_METRIC, det),
+            failed: r.counter(FRONTEND_FAILED_METRIC, det),
+            inflight: r.gauge(FRONTEND_INFLIGHT_METRIC, det),
+            latency_cycles: r.histogram(FRONTEND_LATENCY_METRIC, det),
+            queue_wait_cycles: r.histogram(FRONTEND_QUEUE_WAIT_METRIC, det),
+        }
+    }
+}
 
 /// The service class of one tenant's request stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -459,7 +536,7 @@ struct Inflight {
 
 /// The QoS streaming front-end over a [`ShardedService`]. See the
 /// [module docs](self) for the model and a runnable example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FrontendDriver {
     svc: ShardedService,
     /// Streams in registration order — every per-stream scan walks this
@@ -470,6 +547,28 @@ pub struct FrontendDriver {
     next_ticket: u64,
     /// Requests flushed into the service, awaiting their responses.
     inflight: HashMap<RequestId, Inflight>,
+    metrics: FrontendMetrics,
+}
+
+impl Clone for FrontendDriver {
+    /// The clone gets the wrapped service's fresh [`Telemetry`] (zeroed
+    /// metrics, empty trace ring) with the front-end's own metrics
+    /// re-registered and the virtual clock pushed down — queue contents
+    /// and admission state carry over, history does not.
+    fn clone(&self) -> Self {
+        let svc = self.svc.clone();
+        let metrics = FrontendMetrics::register(svc.telemetry());
+        svc.telemetry().set_cycle(self.now);
+        metrics.inflight.set(self.inflight.len() as i64);
+        FrontendDriver {
+            svc,
+            streams: self.streams.clone(),
+            now: self.now,
+            next_ticket: self.next_ticket,
+            inflight: self.inflight.clone(),
+            metrics,
+        }
+    }
 }
 
 impl FrontendDriver {
@@ -477,12 +576,14 @@ impl FrontendDriver {
     /// virtual clock at 0.
     #[must_use]
     pub fn new(svc: ShardedService) -> Self {
+        let metrics = FrontendMetrics::register(svc.telemetry());
         FrontendDriver {
             svc,
             streams: Vec::new(),
             now: 0,
             next_ticket: 0,
             inflight: HashMap::new(),
+            metrics,
         }
     }
 
@@ -513,9 +614,28 @@ impl FrontendDriver {
     }
 
     /// Advances the virtual clock. Time never advances on its own — the
-    /// caller owns it, which is what keeps every test wall-time-free.
+    /// caller owns it, which is what keeps every test wall-time-free. The
+    /// clock is pushed down into the service [`Telemetry`], so spans the
+    /// service records during a flush carry the front-end's cycle.
     pub fn advance(&mut self, cycles: u64) {
         self.now = self.now.saturating_add(cycles);
+        self.svc.telemetry().set_cycle(self.now);
+    }
+
+    /// The wrapped service's telemetry (the front-end publishes its
+    /// `frontend_*` metrics and lifecycle spans there, so one registry
+    /// covers the whole node).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        self.svc.telemetry()
+    }
+
+    /// Every recorded span for `request`, in virtual-clock timeline
+    /// order — the front-end's `Admitted`/`Flushed` hops interleaved with
+    /// the service's `Queued`→`Planned`→`Evaluated`→`Applied`→`Demuxed`.
+    #[must_use]
+    pub fn trace(&self, request: RequestId) -> Vec<SpanEvent> {
+        self.svc.trace(request)
     }
 
     /// Opens `tenant`'s request stream under `policy`. One stream per
@@ -575,6 +695,7 @@ impl FrontendDriver {
             .ok_or(FrontendError::NoStream(tenant))?;
         let stream = &mut self.streams[idx];
         stream.usage.offered += 1;
+        self.metrics.offered.inc();
         let deadline = deadline.or_else(|| {
             stream
                 .policy
@@ -584,6 +705,7 @@ impl FrontendDriver {
         if let Some(d) = deadline {
             if d < now {
                 stream.usage.rejected_deadline += 1;
+                self.metrics.rejected_deadline.inc();
                 return Err(FrontendError::Rejected {
                     tenant,
                     reason: RejectReason::DeadlinePassed { deadline: d, now },
@@ -592,6 +714,7 @@ impl FrontendDriver {
         }
         if stream.queue.len() >= stream.policy.capacity {
             stream.usage.rejected_backpressure += 1;
+            self.metrics.rejected_backpressure.inc();
             return Err(FrontendError::Backpressure {
                 tenant,
                 queued: stream.queue.len(),
@@ -602,6 +725,7 @@ impl FrontendDriver {
             stream.refill(now);
             if stream.tokens_scaled < rate.refill_den {
                 stream.usage.rejected_rate += 1;
+                self.metrics.rejected_rate.inc();
                 let needed = rate.refill_den - stream.tokens_scaled;
                 let retry_cycles = if rate.refill_num == 0 {
                     u64::MAX
@@ -639,6 +763,7 @@ impl FrontendDriver {
             arrived: now,
         });
         stream.usage.admitted += 1;
+        self.metrics.admitted.inc();
         Ok(ticket)
     }
 
@@ -706,10 +831,20 @@ impl FrontendDriver {
                 if overdue {
                     let req = stream.queue.remove(i).expect("index checked");
                     stream.usage.expired += 1;
+                    self.metrics.expired.inc();
+                    let deadline = req.deadline.expect("overdue implies a deadline");
+                    // ticket-keyed: an expired request never earned a
+                    // service RequestId, the ticket is all it ever had
+                    self.svc.telemetry().span_at(
+                        SpanKind::Expired,
+                        ticket_key(req.ticket.value()),
+                        now,
+                        (now - deadline) as i64,
+                    );
                     events.push(FrontendEvent::Expired {
                         ticket: req.ticket,
                         tenant: stream.tenant,
-                        deadline: req.deadline.expect("overdue implies a deadline"),
+                        deadline,
                         now,
                     });
                 } else {
@@ -760,6 +895,18 @@ impl FrontendDriver {
                     Ok(request) => {
                         let req = stream.queue.pop_front().expect("head existed");
                         stream.inflight += 1;
+                        // now the ticket has a RequestId, backfill its
+                        // admission hop at the cycle it actually arrived
+                        // (detail: deadline slack at admission, -1 = none)
+                        let slack = req.deadline.map_or(-1, |d| (d - req.arrived) as i64);
+                        let telemetry = self.svc.telemetry();
+                        telemetry.span_at(SpanKind::Admitted, request.value(), req.arrived, slack);
+                        telemetry.span_at(
+                            SpanKind::Flushed,
+                            request.value(),
+                            now,
+                            (now - req.arrived) as i64,
+                        );
                         self.inflight.insert(
                             request,
                             Inflight {
@@ -776,6 +923,13 @@ impl FrontendDriver {
                     Err(error) => {
                         let req = stream.queue.pop_front().expect("head existed");
                         stream.usage.failed += 1;
+                        self.metrics.failed.inc();
+                        self.svc.telemetry().span_at(
+                            SpanKind::Fault,
+                            ticket_key(req.ticket.value()),
+                            now,
+                            stream.tenant.index() as i64,
+                        );
                         events.push(FrontendEvent::Failed {
                             ticket: req.ticket,
                             tenant: stream.tenant,
@@ -794,6 +948,7 @@ impl FrontendDriver {
             .map(|s| s.tenant)
             .collect();
         if flush_list.is_empty() && !(force && self.svc.pending_requests() > 0) {
+            self.metrics.inflight.set(self.inflight.len() as i64);
             return Ok(events);
         }
         let responses = if force {
@@ -807,6 +962,11 @@ impl FrontendDriver {
                     let stream = &mut self.streams[meta.stream];
                     stream.inflight -= 1;
                     stream.usage.completed += 1;
+                    self.metrics.completed.inc();
+                    self.metrics.latency_cycles.observe(now - meta.arrived);
+                    self.metrics
+                        .queue_wait_cycles
+                        .observe(meta.flushed - meta.arrived);
                     events.push(FrontendEvent::Completed {
                         ticket: meta.ticket,
                         request: response.request,
@@ -819,6 +979,7 @@ impl FrontendDriver {
                 None => events.push(FrontendEvent::PassThrough { response }),
             }
         }
+        self.metrics.inflight.set(self.inflight.len() as i64);
         Ok(events)
     }
 

@@ -98,7 +98,10 @@ pub mod service;
 
 pub use batch::{BatchQueue, RequestId, RequestIdSource, Response};
 pub use engine::ShardEngine;
-pub use executor::{ExecutorConfig, ExecutorStats, ParallelExecutor, ThreadSource, THREADS_ENV};
+pub use executor::{
+    ExecutorConfig, ParallelExecutor, ThreadSource, SPAWN_EVENTS_METRIC, TASKS_EXECUTED_METRIC,
+    TASKS_STOLEN_METRIC, TASKS_TOTAL_METRIC, THREADS_ENV, WORKERS_SPAWNED_METRIC,
+};
 pub use frontend::{
     FrontendDriver, FrontendError, FrontendEvent, QosClass, RateLimit, RejectReason, StreamPolicy,
     Ticket,

@@ -29,7 +29,7 @@
 
 use crate::batch::{RequestId, RequestIdSource, Response};
 use crate::engine::{eval_step, PlannedStep, ShardEngine, TenantState};
-use crate::executor::{ExecutorConfig, ExecutorStats, ParallelExecutor};
+use crate::executor::{ExecutorConfig, ParallelExecutor};
 use crate::placement::{best_slot, choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
 use crate::ServiceError;
@@ -40,8 +40,13 @@ use mcfpga_fabric::compiled::{LaneBatch, LaneChunk, MAX_LANES};
 use mcfpga_fabric::route::implement_netlist_robust;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, RegisterFile, TileCoord};
 use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint};
+use mcfpga_telemetry::{
+    tenant_key, Counter, Gauge, Histogram, MetricClass, SpanEvent, SpanKind, Telemetry,
+    ACTIVE_TENANTS_METRIC, QUEUE_DEPTH_METRIC,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Routing seed per context slot: admission is deterministic per slot, so
 /// identical netlists admitted into same-index slots route identically and
@@ -67,11 +72,72 @@ pub struct SlotFault {
     pub error: ServiceError,
 }
 
+/// The service's telemetry handles. Deterministic class throughout
+/// except the phase-timing histograms: every counter here is bumped on
+/// the coordinating thread during the sequential plan/apply phases (or
+/// in `submit`/`discard`, which are caller-sequenced), so the values are
+/// bit-identical at any executor width and lane width.
+#[derive(Debug, Clone)]
+struct ServiceMetrics {
+    /// Requests accepted by `submit`, sharded per shard.
+    requests_submitted: Counter,
+    /// Responses demuxed, sharded per shard.
+    responses_total: Counter,
+    /// Sweep steps applied, sharded per shard.
+    steps_applied: Counter,
+    /// Slot faults recorded.
+    faults_total: Counter,
+    /// Drain/flush pipeline runs.
+    drains_total: Counter,
+    /// Queued requests dropped by `discard_pending`.
+    requests_discarded: Counter,
+    /// Tenant moves (live migrations in, plus checkpoint restores).
+    migrations: Counter,
+    /// CSS broadcast toggles charged at plan time.
+    css_toggles: Counter,
+    /// Requests parked in lane batches right now.
+    queue_depth: Gauge,
+    /// Admitted, non-retired tenants.
+    active_tenants: Gauge,
+    /// Lanes served per applied step (log2 buckets).
+    batch_lanes: Histogram,
+    /// Wall-clock microseconds of the sequential plan phase.
+    plan_us: Histogram,
+    /// Wall-clock microseconds of the (possibly pooled) eval phase.
+    eval_us: Histogram,
+    /// Wall-clock microseconds of the sequential apply phase.
+    apply_us: Histogram,
+}
+
+impl ServiceMetrics {
+    fn register(telemetry: &Telemetry, shards: usize) -> Self {
+        let r = telemetry.registry();
+        let det = MetricClass::Deterministic;
+        let wall = MetricClass::WallClock;
+        ServiceMetrics {
+            requests_submitted: r.counter_sharded("service_requests_submitted", det, shards),
+            responses_total: r.counter_sharded("service_responses_total", det, shards),
+            steps_applied: r.counter_sharded("service_steps_applied", det, shards),
+            faults_total: r.counter("service_faults_total", det),
+            drains_total: r.counter("service_drains_total", det),
+            requests_discarded: r.counter("service_requests_discarded", det),
+            migrations: r.counter("service_migrations", det),
+            css_toggles: r.counter("service_css_toggles", det),
+            queue_depth: r.gauge(QUEUE_DEPTH_METRIC, det),
+            active_tenants: r.gauge(ACTIVE_TENANTS_METRIC, det),
+            batch_lanes: r.histogram("service_batch_lanes", det),
+            plan_us: r.histogram("service_plan_us", wall),
+            eval_us: r.histogram("service_eval_us", wall),
+            apply_us: r.histogram("service_apply_us", wall),
+        }
+    }
+}
+
 /// A multi-tenant batched execution runtime over `N` fabric shards.
 ///
 /// See the [crate docs](crate) for the end-to-end picture and a runnable
 /// example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedService {
     params: FabricParams,
     tech: TechParams,
@@ -98,6 +164,44 @@ pub struct ShardedService {
     /// Netlist fingerprint → context index of its first admission: the
     /// plane-cache affinity hint energy-aware placement tie-breaks on.
     affinity: HashMap<u64, usize>,
+    /// The service's observability surface: metric registry, span ring
+    /// and virtual-clock cell (fed by whatever driver owns the clock).
+    telemetry: Telemetry,
+    /// Handles into `telemetry`'s registry — see [`ServiceMetrics`].
+    metrics: ServiceMetrics,
+}
+
+/// Cloning forks the execution state but **not** the telemetry: the
+/// clone gets a fresh registry/span ring (with gauges resynced and the
+/// `executor_*` metrics re-registered there), so two services never
+/// double-record into one registry. Matches the executor's own clone
+/// isolation.
+impl Clone for ShardedService {
+    fn clone(&self) -> Self {
+        let telemetry = Telemetry::with_trace_capacity(self.telemetry.trace_buffer().capacity());
+        let metrics = ServiceMetrics::register(&telemetry, self.engines.len());
+        let executor = self.executor.clone_on(telemetry.registry());
+        let svc = ShardedService {
+            params: self.params,
+            tech: self.tech.clone(),
+            registry: self.registry.clone(),
+            cache: self.cache.clone(),
+            engines: self.engines.clone(),
+            executor,
+            ids: self.ids.clone(),
+            ready: self.ready.clone(),
+            faults: self.faults.clone(),
+            optimize: self.optimize,
+            placement: self.placement,
+            matrix: self.matrix.clone(),
+            lane_width: self.lane_width,
+            affinity: self.affinity.clone(),
+            telemetry,
+            metrics,
+        };
+        svc.sync_gauges();
+        svc
+    }
 }
 
 impl ShardedService {
@@ -138,13 +242,16 @@ impl ShardedService {
             engines.push(ShardEngine::new(shard, params, MAX_LANES)?);
         }
         let matrix = engines[0].sequencer().cost_matrix();
+        let telemetry = Telemetry::new();
+        let metrics = ServiceMetrics::register(&telemetry, shards);
+        let executor = ParallelExecutor::from_env_on(telemetry.registry());
         Ok(ShardedService {
             params,
             tech,
             registry,
             cache: PlaneCache::new(),
             engines,
-            executor: ParallelExecutor::from_env(),
+            executor,
             ids: RequestIdSource::new(),
             ready: Vec::new(),
             faults: Vec::new(),
@@ -153,6 +260,8 @@ impl ShardedService {
             matrix,
             lane_width: MAX_LANES,
             affinity: HashMap::new(),
+            telemetry,
+            metrics,
         })
     }
 
@@ -194,7 +303,9 @@ impl ShardedService {
     /// had spawned) is joined here; the new pool spawns lazily on the
     /// next parallel drain.
     pub fn set_threads(&mut self, threads: usize) {
-        self.executor = ParallelExecutor::new(threads);
+        // re-registers the `executor_*` metrics on this service's
+        // registry, zeroing them — a new pool starts a new accounting era
+        self.executor = ParallelExecutor::new_on(threads, self.telemetry.registry());
     }
 
     /// The executor's resolved width and its provenance (env variable,
@@ -205,13 +316,23 @@ impl ShardedService {
         self.executor.config()
     }
 
-    /// A snapshot of the worker pool's lifetime counters: spawn events
-    /// (stays at 1 after warmup — drains reuse the pool), tasks
-    /// dispatched, tasks stolen across injector segments, and the
-    /// per-worker execution histogram.
+    /// The service's telemetry surface: its metric registry (service
+    /// counters/gauges/histograms plus the executor's `executor_*`
+    /// accounting), its span ring buffer, and the virtual-clock cell the
+    /// owning driver stamps spans with. Read-only handles are cheap to
+    /// clone out of it.
     #[must_use]
-    pub fn executor_stats(&self) -> ExecutorStats {
-        self.executor.stats()
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Reconstructs one request's recorded lifecycle — queued → planned
+    /// → evaluated → applied → demuxed (plus migration hops) — in
+    /// canonical timeline order. Empty when the request's spans have
+    /// aged out of the ring buffer (see the `trace_dropped` metric).
+    #[must_use]
+    pub fn trace(&self, request: RequestId) -> Vec<SpanEvent> {
+        self.telemetry.trace(request.value())
     }
 
     /// Lanes coalesced per slot per pass (the auto-flush threshold).
@@ -325,6 +446,7 @@ impl ShardedService {
         let engine = &mut self.engines[placement.shard];
         engine.add_tenant(id);
         engine.seed_slot(placement.ctx)?;
+        self.sync_gauges();
         Ok(id)
     }
 
@@ -357,9 +479,14 @@ impl ShardedService {
         let placement = self.registry.tenant(tenant)?.placement;
         let (id, full) =
             self.engines[placement.shard].submit(placement.ctx, tenant, inputs, &mut self.ids)?;
+        self.metrics.requests_submitted.add_to(placement.shard, 1);
+        let queued = self.engines[placement.shard].tickets(placement.ctx).len();
+        self.telemetry
+            .span(SpanKind::Queued, id.value(), queued as i64);
         if full {
             self.run_engine(placement.shard, &[(placement.ctx, tenant)])?;
         }
+        self.sync_gauges();
         Ok(id)
     }
 
@@ -370,7 +497,10 @@ impl ShardedService {
     /// `vectors_per_pass` keeps reflecting requests actually served.
     pub fn discard_pending(&mut self, tenant: TenantId) -> Result<usize, ServiceError> {
         let placement = self.registry.tenant(tenant)?.placement;
-        self.engines[placement.shard].discard_pending(placement.ctx, tenant)
+        let dropped = self.engines[placement.shard].discard_pending(placement.ctx, tenant)?;
+        self.metrics.requests_discarded.add(dropped as u64);
+        self.sync_gauges();
+        Ok(dropped)
     }
 
     /// Flushes every slot with pending work and returns all completed
@@ -448,13 +578,23 @@ impl ShardedService {
     ) -> Result<Vec<Response>, ServiceError> {
         let mut steps = Vec::new();
         let mut errors: Vec<Option<ServiceError>> = vec![None; self.engines.len()];
+        let toggles_before = self.total_css_toggles();
+        let plan_start = Instant::now();
         for (shard, active) in work.iter().enumerate() {
             if !active.is_empty() {
                 errors[shard] =
                     self.engines[shard].plan_sweep(active, self.optimize, &self.matrix, &mut steps);
             }
         }
+        self.metrics
+            .plan_us
+            .observe(plan_start.elapsed().as_micros() as u64);
+        self.metrics
+            .css_toggles
+            .add(self.total_css_toggles().saturating_sub(toggles_before));
         self.eval_and_apply(steps, &mut errors);
+        self.metrics.drains_total.inc();
+        self.sync_gauges();
         // a structural engine failure never drops executed work: every
         // planned step was still evaluated and applied above (consuming
         // its requests), and the first error in shard order is returned —
@@ -477,6 +617,7 @@ impl ShardedService {
             return;
         }
         type Evaluated = (PlannedStep, Result<Vec<(String, LaneChunk)>, ServiceError>);
+        let eval_start = Instant::now();
         let results: Vec<Evaluated> = if self.executor.threads() > 1 && steps.len() > 1 {
             let tasks: Vec<(usize, PlannedStep)> =
                 steps.into_iter().map(|s| (s.shard, s)).collect();
@@ -496,22 +637,74 @@ impl ShardedService {
                 })
                 .collect()
         };
+        self.metrics
+            .eval_us
+            .observe(eval_start.elapsed().as_micros() as u64);
+        let apply_start = Instant::now();
         let mut prev_key = None;
         for (step, outs) in results {
-            let shard = step.shard;
-            let key = (shard, step.pos);
+            let key = (step.shard, step.pos);
             debug_assert!(
                 prev_key < Some(key),
                 "apply order violated the (shard, sweep-position) merge key: \
                  {prev_key:?} then {key:?}"
             );
             prev_key = Some(key);
-            if let Err(e) =
-                self.engines[shard].apply_step(&step, outs, &mut self.ready, &mut self.faults)
-            {
-                if errors[shard].is_none() {
-                    errors[shard] = Some(e);
-                }
+            self.apply_step_traced(&step, outs, errors);
+        }
+        self.metrics
+            .apply_us
+            .observe(apply_start.elapsed().as_micros() as u64);
+    }
+
+    /// Applies one evaluated step, recording its telemetry: per-shard
+    /// step/response counters, the served-lanes histogram, one
+    /// planned→evaluated→applied→demuxed span quartet per demuxed
+    /// response, and fault counters/spans for a failed apply. Runs on
+    /// the coordinating thread in merge-key order, so every recording
+    /// here is deterministic-class. Apply errors land in `errors` per
+    /// shard, never overwriting an earlier (plan-phase) error.
+    fn apply_step_traced(
+        &mut self,
+        step: &PlannedStep,
+        outs: Result<Vec<(String, LaneChunk)>, ServiceError>,
+        errors: &mut [Option<ServiceError>],
+    ) {
+        let shard = step.shard;
+        let ready_before = self.ready.len();
+        let faults_before = self.faults.len();
+        let result = self.engines[shard].apply_step(step, outs, &mut self.ready, &mut self.faults);
+        self.metrics.steps_applied.add_to(shard, 1);
+        let served = self.ready.len() - ready_before;
+        if served > 0 {
+            self.metrics.responses_total.add_to(shard, served as u64);
+            self.metrics.batch_lanes.observe(served as u64);
+        }
+        for resp in &self.ready[ready_before..] {
+            let key = resp.request.value();
+            // the whole drain shares one virtual-clock stamp; the span
+            // ranks keep the phases ordered within the cycle
+            self.telemetry.span(SpanKind::Planned, key, shard as i64);
+            self.telemetry
+                .span(SpanKind::Evaluated, key, step.ctx as i64);
+            self.telemetry.span(SpanKind::Applied, key, step.pos as i64);
+            self.telemetry
+                .span(SpanKind::Demuxed, key, resp.outputs.len() as i64);
+        }
+        let faulted = self.faults.len() - faults_before;
+        if faulted > 0 {
+            self.metrics.faults_total.add(faulted as u64);
+            for fault in &self.faults[faults_before..] {
+                self.telemetry.span(
+                    SpanKind::Fault,
+                    tenant_key(fault.tenant.index()),
+                    fault.shard as i64,
+                );
+            }
+        }
+        if let Err(e) = result {
+            if errors[shard].is_none() {
+                errors[shard] = Some(e);
             }
         }
     }
@@ -542,19 +735,40 @@ impl ShardedService {
     ) -> Result<(), ServiceError> {
         let mut steps = Vec::new();
         let mut errors: Vec<Option<ServiceError>> = vec![None; self.engines.len()];
+        let toggles_before = self.total_css_toggles();
         errors[shard] =
             self.engines[shard].plan_sweep(active, self.optimize, &self.matrix, &mut steps);
+        self.metrics
+            .css_toggles
+            .add(self.total_css_toggles().saturating_sub(toggles_before));
         for step in steps {
             let outs = eval_step(&step);
-            if let Err(e) =
-                self.engines[shard].apply_step(&step, outs, &mut self.ready, &mut self.faults)
-            {
-                if errors[shard].is_none() {
-                    errors[shard] = Some(e);
-                }
-            }
+            self.apply_step_traced(&step, outs, &mut errors);
         }
         errors.into_iter().flatten().next().map_or(Ok(()), Err)
+    }
+
+    /// Resyncs the point-in-time gauges with the structures they mirror.
+    /// Called wherever queue depth or tenancy changes; cheap (sums one
+    /// counter per engine).
+    fn sync_gauges(&self) {
+        self.metrics.queue_depth.set(self.pending_requests() as i64);
+        self.metrics.active_tenants.set(self.registry.len() as i64);
+    }
+
+    /// Every live tenant's accumulated CSS broadcast toggles — the
+    /// before/after delta around a plan phase is the sweep's toggle
+    /// charge, mirrored into the `service_css_toggles` counter.
+    fn total_css_toggles(&self) -> u64 {
+        self.registry
+            .iter()
+            .map(|(id, rec)| {
+                self.engines[rec.placement.shard]
+                    .tenant_state(id)
+                    .map(|s| s.usage.css_toggles as u64)
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// Removes and returns the per-slot execution faults recorded since the
@@ -832,6 +1046,10 @@ impl ShardedService {
         } else {
             Vec::new()
         };
+        self.metrics.migrations.inc();
+        // cross-node hop spans are the *cluster's* to record: it alone
+        // knows both the source node and the old↔new request-id mapping
+        self.sync_gauges();
         Ok((id, fresh))
     }
 
@@ -919,6 +1137,7 @@ impl ShardedService {
         let _ = self.engines[placement.shard].expel(tenant, placement.ctx, resident)?;
         self.registry.retire(tenant)?;
         self.faults.retain(|f| f.tenant != tenant);
+        self.sync_gauges();
         Ok(())
     }
 
@@ -992,6 +1211,14 @@ impl ShardedService {
         usage.migration_bytes += ckpt.encoded_len();
         usage.migration_downtime_cycles += 1 + ckpt.pending.lanes;
         usage.migration_css_toggles += realign;
+        self.metrics.migrations.inc();
+        // every in-flight request hops with its tenant: one span each,
+        // keyed by the (preserved) request id, detail = source shard
+        for &raw in &ckpt.pending.requests {
+            self.telemetry
+                .span(SpanKind::MigrationHop, raw, src.shard as i64);
+        }
+        self.sync_gauges();
         Ok(dst)
     }
 

@@ -5,7 +5,9 @@
 //! result exactly once, in task order**, and the pool's own counters
 //! agree — the executed-per-worker histogram sums to the task total.
 
-use mcfpga_service::ParallelExecutor;
+use mcfpga_service::{
+    ParallelExecutor, SPAWN_EVENTS_METRIC, TASKS_EXECUTED_METRIC, TASKS_TOTAL_METRIC,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -49,14 +51,24 @@ proptest! {
             );
             prop_assert_eq!(&got, &expect, "results must land in task order");
         }
-        let stats = pool.stats();
-        prop_assert_eq!(stats.tasks_total, 2 * tasks as u64);
-        let executed: u64 = stats.per_worker_executed.iter().sum();
+        let registry = pool.registry();
+        prop_assert_eq!(
+            registry.counter_value(TASKS_TOTAL_METRIC),
+            Some(2 * tasks as u64)
+        );
+        let executed: u64 = registry
+            .counter_cells(TASKS_EXECUTED_METRIC)
+            .expect("executed histogram registered")
+            .iter()
+            .sum();
         let pooled = if tasks > 1 { 2 * tasks as u64 } else { 0 };
         prop_assert_eq!(
             executed, pooled,
             "worker histogram must account for every pooled task"
         );
-        prop_assert!(stats.spawn_events <= 1, "one pool serves both rounds");
+        prop_assert!(
+            registry.counter_value(SPAWN_EVENTS_METRIC) <= Some(1),
+            "one pool serves both rounds"
+        );
     }
 }

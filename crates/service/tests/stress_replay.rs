@@ -76,6 +76,15 @@ struct ReplayArtifacts {
     faults: Vec<LoggedFault>,
     billing: String,
     migrations: usize,
+    /// The deterministic-class metrics snapshot (JSON). Wall-clock
+    /// metrics — executor counters, phase timings — are excluded by
+    /// construction; everything here must be bit-identical at any
+    /// thread count × lane width.
+    metrics: String,
+    /// The full span ring, rendered. Spans are recorded only from the
+    /// sequential plan/apply phases, so the log is as deterministic as
+    /// the response stream itself.
+    trace: String,
 }
 
 impl Harness {
@@ -371,9 +380,11 @@ fn run_artifact_replay(threads: usize, lane_width: usize) -> ReplayArtifacts {
     h.settle();
     conservation(&h);
     ReplayArtifacts {
+        billing: h.svc.billing_report(),
+        metrics: h.svc.telemetry().registry().deterministic_json(),
+        trace: h.svc.telemetry().trace_buffer().render(),
         responses: h.resp_log,
         faults: h.fault_log,
-        billing: h.svc.billing_report(),
         migrations: h.migrations,
     }
 }
@@ -421,6 +432,14 @@ fn parallel_replay_is_bitwise_identical_at_threads_1_to_16_lanes_64_and_256() {
         assert_eq!(
             run.billing, baseline.billing,
             "billing table diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.metrics, baseline.metrics,
+            "deterministic metrics snapshot diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.trace, baseline.trace,
+            "span log diverged at {threads} threads × {lanes} lanes"
         );
         assert_eq!(run.migrations, baseline.migrations);
     }
@@ -495,6 +514,12 @@ struct FrontendReplayArtifacts {
     /// The front-end admission/QoS billing table.
     frontend_billing: String,
     migrations: usize,
+    /// Deterministic-class metrics snapshot (JSON): `frontend_*` and
+    /// `service_*` counters, gauges and virtual-cycle histograms.
+    metrics: String,
+    /// The full span ring, rendered — the request lifecycle log with
+    /// virtual-clock stamps.
+    trace: String,
 }
 
 /// One seeded open-loop chaos run through the front-end at an explicit
@@ -554,6 +579,8 @@ fn run_frontend_chaos_replay(threads: usize, lane_width: usize) -> FrontendRepla
         billing: String::new(),
         frontend_billing: String::new(),
         migrations: 0,
+        metrics: String::new(),
+        trace: String::new(),
     };
     let mut poisoned: HashSet<TenantId> = HashSet::new();
     for _ in 0..CYCLES {
@@ -653,6 +680,8 @@ fn run_frontend_chaos_replay(threads: usize, lane_width: usize) -> FrontendRepla
     }
     art.billing = fe.service().billing_report();
     art.frontend_billing = fe.frontend_billing_report();
+    art.metrics = fe.telemetry().registry().deterministic_json();
+    art.trace = fe.telemetry().trace_buffer().render();
     art
 }
 
@@ -709,6 +738,14 @@ fn frontend_chaos_replay_is_bitwise_identical_across_threads_and_lanes() {
         assert_eq!(
             run.frontend_billing, baseline.frontend_billing,
             "frontend billing diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.metrics, baseline.metrics,
+            "deterministic metrics snapshot diverged at {threads} threads × {lanes} lanes"
+        );
+        assert_eq!(
+            run.trace, baseline.trace,
+            "span log diverged at {threads} threads × {lanes} lanes"
         );
         assert_eq!(run.migrations, baseline.migrations);
     }

@@ -1,0 +1,109 @@
+//! Fleet health snapshots: the published-telemetry view of per-node
+//! load that the cluster rebalancer consumes instead of poking node
+//! internals.
+
+/// Gauge name under which each node publishes its pending-request
+/// queue depth.
+pub const QUEUE_DEPTH_METRIC: &str = "service_queue_depth";
+
+/// Gauge name under which each node publishes its accumulated fault
+/// tally since the last restart.
+pub const FAULT_TALLY_METRIC: &str = "node_fault_tally";
+
+/// Gauge name under which each node publishes its resident tenant
+/// count.
+pub const ACTIVE_TENANTS_METRIC: &str = "service_active_tenants";
+
+/// One node's published health sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHealthSample {
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Pending (queued, not yet drained) requests on the node.
+    pub queued: u64,
+    /// Faults recorded since the node last (re)started.
+    pub fault_tally: u64,
+    /// Tenants resident on the node.
+    pub tenants: u64,
+}
+
+/// A point-in-time capture of every node's published health gauges,
+/// stamped with the cluster's virtual clock.
+///
+/// Built purely from telemetry gauges — classification decisions made
+/// from a snapshot are a pure function of published metrics. Each
+/// in-flight request is counted by exactly one node at any instant, so
+/// [`total_queued`](ClusterHealthSnapshot::total_queued) is conserved
+/// across migrations and drains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterHealthSnapshot {
+    /// Virtual-clock cycle at capture time.
+    pub cycle: u64,
+    /// One sample per node, in node order.
+    pub nodes: Vec<NodeHealthSample>,
+}
+
+impl ClusterHealthSnapshot {
+    /// Sample for node `i`, if the cluster has one.
+    pub fn node(&self, i: usize) -> Option<&NodeHealthSample> {
+        self.nodes.iter().find(|n| n.node == i)
+    }
+
+    /// Total queued requests across all nodes.
+    pub fn total_queued(&self) -> u64 {
+        self.nodes.iter().map(|n| n.queued).sum()
+    }
+
+    /// Total resident tenants across all nodes.
+    pub fn total_tenants(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tenants).sum()
+    }
+
+    /// Render one line per node plus a totals line.
+    pub fn render(&self) -> String {
+        let mut out = format!("cycle={}\n", self.cycle);
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "node={} queued={} fault_tally={} tenants={}\n",
+                n.node, n.queued, n.fault_tally, n.tenants
+            ));
+        }
+        out.push_str(&format!(
+            "total queued={} tenants={}\n",
+            self.total_queued(),
+            self.total_tenants()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_nodes() {
+        let snap = ClusterHealthSnapshot {
+            cycle: 12,
+            nodes: vec![
+                NodeHealthSample {
+                    node: 0,
+                    queued: 3,
+                    fault_tally: 1,
+                    tenants: 2,
+                },
+                NodeHealthSample {
+                    node: 1,
+                    queued: 5,
+                    fault_tally: 0,
+                    tenants: 1,
+                },
+            ],
+        };
+        assert_eq!(snap.total_queued(), 8);
+        assert_eq!(snap.total_tenants(), 3);
+        assert_eq!(snap.node(1).unwrap().queued, 5);
+        assert!(snap.node(2).is_none());
+        assert!(snap.render().contains("node=1 queued=5"));
+    }
+}

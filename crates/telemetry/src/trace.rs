@@ -1,0 +1,352 @@
+//! Request-lifecycle tracing: a bounded ring buffer of typed span
+//! events keyed by request id, with a `trace(key)` query that
+//! reconstructs one request's timeline.
+//!
+//! Spans are recorded only from the sequential phases of the drain
+//! pipeline (plan / apply / demux run on the coordinating thread), so
+//! the recording order — and therefore the whole buffer — is
+//! bit-identical at any `MCFPGA_THREADS` and lane width. On overflow
+//! the ring drops the **oldest** span and counts the drop in the
+//! `trace_dropped` metric; it never panics and never blocks recording.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Counter;
+
+/// Key-space tag: the span is keyed by a front-end ticket, not a
+/// request id (the request was refused or expired before one existed).
+pub const TICKET_KEY_BIT: u64 = 1 << 63;
+
+/// Key-space tag: the span is keyed by a tenant index (faults that
+/// cannot be pinned to one request).
+pub const TENANT_KEY_BIT: u64 = 1 << 62;
+
+/// Build a span key from a front-end ticket value.
+pub fn ticket_key(ticket: u64) -> u64 {
+    ticket | TICKET_KEY_BIT
+}
+
+/// Build a span key from a tenant index.
+pub fn tenant_key(tenant: usize) -> u64 {
+    tenant as u64 | TENANT_KEY_BIT
+}
+
+/// The lifecycle stage a span event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Admitted by the QoS front-end (or routed by the cluster).
+    Admitted,
+    /// Queued into a context slot's lane batch.
+    Queued,
+    /// Re-homed to another node by a live migration.
+    MigrationHop,
+    /// Flushed from a stream queue into the service.
+    Flushed,
+    /// Covered by a planned sweep step.
+    Planned,
+    /// Evaluated by the (parallel, pure) evaluation phase.
+    Evaluated,
+    /// Merged back in the sequential apply phase.
+    Applied,
+    /// Demultiplexed into a per-request response.
+    Demuxed,
+    /// Expired in a stream queue past its deadline.
+    Expired,
+    /// Terminated by a fault.
+    Fault,
+}
+
+impl SpanKind {
+    /// Lifecycle rank used as the secondary timeline sort key, so that
+    /// same-cycle events order admitted → … → demuxed.
+    pub fn rank(self) -> u8 {
+        match self {
+            SpanKind::Admitted => 0,
+            SpanKind::Queued => 1,
+            SpanKind::MigrationHop => 2,
+            SpanKind::Flushed => 3,
+            SpanKind::Planned => 4,
+            SpanKind::Evaluated => 5,
+            SpanKind::Applied => 6,
+            SpanKind::Demuxed => 7,
+            SpanKind::Expired => 8,
+            SpanKind::Fault => 9,
+        }
+    }
+
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Admitted => "admitted",
+            SpanKind::Queued => "queued",
+            SpanKind::MigrationHop => "migration_hop",
+            SpanKind::Flushed => "flushed",
+            SpanKind::Planned => "planned",
+            SpanKind::Evaluated => "evaluated",
+            SpanKind::Applied => "applied",
+            SpanKind::Demuxed => "demuxed",
+            SpanKind::Expired => "expired",
+            SpanKind::Fault => "fault",
+        }
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded span event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Per-buffer record sequence number (assigned at record time).
+    pub seq: u64,
+    /// Request key: a raw request-id value, or a ticket / tenant key
+    /// tagged with [`TICKET_KEY_BIT`] / [`TENANT_KEY_BIT`].
+    pub key: u64,
+    /// Lifecycle stage.
+    pub kind: SpanKind,
+    /// Virtual-clock cycle stamp.
+    pub cycle: u64,
+    /// Node that recorded the event (0 for single-node deployments).
+    pub node: u32,
+    /// Stage-specific detail: deadline slack for admissions, shard for
+    /// planned steps, source node for migration hops, …
+    pub detail: i64,
+}
+
+impl std::fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let key = if self.key & TICKET_KEY_BIT != 0 {
+            format!("ticket:{}", self.key & !TICKET_KEY_BIT)
+        } else if self.key & TENANT_KEY_BIT != 0 {
+            format!("tenant:{}", self.key & !TENANT_KEY_BIT)
+        } else {
+            format!("req:{}", self.key)
+        };
+        write!(
+            f,
+            "cycle={} node={} {} {} detail={}",
+            self.cycle, self.node, key, self.kind, self.detail
+        )
+    }
+}
+
+/// Sort a timeline in place by `(cycle, lifecycle rank, node, seq)` —
+/// the canonical order for rendering one request's reconstructed trace.
+pub fn sort_timeline(events: &mut [SpanEvent]) {
+    events.sort_by_key(|e| (e.cycle, e.kind.rank(), e.node, e.seq));
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<SpanEvent>,
+    seq: u64,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A bounded ring buffer of [`SpanEvent`]s.
+///
+/// Handles are cheap to clone and share the same ring. Recording into a
+/// full ring evicts the oldest span and bumps both the internal drop
+/// tally and the `trace_dropped` metric counter; it never panics and
+/// never blocks.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    inner: Arc<Mutex<Inner>>,
+    dropped_metric: Counter,
+}
+
+impl TraceBuffer {
+    /// Create a buffer holding at most `capacity` spans, reporting
+    /// drops through `dropped_metric`.
+    pub fn new(capacity: usize, dropped_metric: Counter) -> Self {
+        TraceBuffer {
+            inner: Arc::new(Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                seq: 0,
+                dropped: 0,
+                capacity: capacity.max(1),
+            })),
+            dropped_metric,
+        }
+    }
+
+    /// Record one span event.
+    pub fn record(&self, key: u64, kind: SpanKind, cycle: u64, node: u32, detail: i64) {
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        if inner.ring.len() >= inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+            self.dropped_metric.inc();
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.ring.push_back(SpanEvent {
+            seq,
+            key,
+            kind,
+            cycle,
+            node,
+            detail,
+        });
+    }
+
+    /// All spans recorded for `key`, in canonical timeline order.
+    pub fn trace(&self, key: u64) -> Vec<SpanEvent> {
+        let inner = self.inner.lock().expect("trace buffer poisoned");
+        let mut events: Vec<SpanEvent> = inner
+            .ring
+            .iter()
+            .filter(|e| e.key == key)
+            .cloned()
+            .collect();
+        drop(inner);
+        sort_timeline(&mut events);
+        events
+    }
+
+    /// Every retained span, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let inner = self.inner.lock().expect("trace buffer poisoned");
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// Number of spans evicted by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace buffer poisoned").dropped
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("trace buffer poisoned").capacity
+    }
+
+    /// Number of currently retained spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace buffer poisoned").ring.len()
+    }
+
+    /// Whether the buffer holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the whole buffer as text: a drop-count header line
+    /// followed by one line per retained span, oldest first.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("trace buffer poisoned");
+        let mut out = format!(
+            "spans={} dropped={} capacity={}\n",
+            inner.ring.len(),
+            inner.dropped,
+            inner.capacity
+        );
+        for e in &inner.ring {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricClass, Registry};
+
+    fn buffer(capacity: usize) -> (TraceBuffer, Registry) {
+        let r = Registry::new();
+        let dropped = r.counter("trace_dropped", MetricClass::Deterministic);
+        (TraceBuffer::new(capacity, dropped), r)
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_without_panicking() {
+        let (buf, registry) = buffer(4);
+        for i in 0..10 {
+            buf.record(i, SpanKind::Queued, i, 0, 0);
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 6);
+        assert_eq!(registry.counter_value("trace_dropped"), Some(6));
+        // oldest six are gone, newest four retained in order
+        let keys: Vec<u64> = buf.events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn trace_filters_by_key_and_sorts_by_lifecycle() {
+        let (buf, _r) = buffer(16);
+        // record out of lifecycle order within one cycle
+        buf.record(7, SpanKind::Demuxed, 5, 0, 0);
+        buf.record(7, SpanKind::Applied, 5, 0, 0);
+        buf.record(9, SpanKind::Queued, 5, 0, 0);
+        buf.record(7, SpanKind::Queued, 2, 0, 3);
+        let t = buf.trace(7);
+        let kinds: Vec<SpanKind> = t.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Queued, SpanKind::Applied, SpanKind::Demuxed]
+        );
+        assert!(t.iter().all(|e| e.key == 7));
+    }
+
+    #[test]
+    fn key_spaces_do_not_collide_and_render_distinctly() {
+        let (buf, _r) = buffer(8);
+        buf.record(3, SpanKind::Queued, 0, 0, 0);
+        buf.record(ticket_key(3), SpanKind::Expired, 0, 0, 0);
+        buf.record(tenant_key(3), SpanKind::Fault, 0, 0, 0);
+        assert_eq!(buf.trace(3).len(), 1);
+        assert_eq!(buf.trace(ticket_key(3)).len(), 1);
+        assert_eq!(buf.trace(tenant_key(3)).len(), 1);
+        let rendered = buf.render();
+        assert!(rendered.contains("req:3 queued"));
+        assert!(rendered.contains("ticket:3 expired"));
+        assert!(rendered.contains("tenant:3 fault"));
+    }
+
+    #[test]
+    fn timeline_sort_breaks_cycle_ties_by_rank_then_node_then_seq() {
+        let mut events = vec![
+            SpanEvent {
+                seq: 0,
+                key: 1,
+                kind: SpanKind::Demuxed,
+                cycle: 4,
+                node: 0,
+                detail: 0,
+            },
+            SpanEvent {
+                seq: 1,
+                key: 1,
+                kind: SpanKind::MigrationHop,
+                cycle: 4,
+                node: 1,
+                detail: 0,
+            },
+            SpanEvent {
+                seq: 2,
+                key: 1,
+                kind: SpanKind::Admitted,
+                cycle: 1,
+                node: 1,
+                detail: 0,
+            },
+        ];
+        sort_timeline(&mut events);
+        let kinds: Vec<SpanKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Admitted,
+                SpanKind::MigrationHop,
+                SpanKind::Demuxed
+            ]
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Observability tour: the metric registry, request-lifecycle tracing,
+//! and fleet health snapshots — all deterministic, all offline.
+//!
+//! A two-node cluster admits a tenant, serves a request locally, then
+//! live-migrates the tenant mid-queue so a second request crosses nodes.
+//! Afterwards we read back everything the telemetry subsystem captured:
+//!
+//! * the **Prometheus text page** and **deterministic JSON snapshot** of
+//!   a node's registry (the same snapshot the benches stamp into their
+//!   `BENCH_*.json` artifacts);
+//! * the **cross-node trace** of the migrated request — admission on
+//!   node 0, a `MigrationHop`, then plan/eval/apply/demux on node 1,
+//!   every span stamped with the virtual clock;
+//! * the **cluster health snapshot** the rebalancer classifies from — a
+//!   pure function of the published gauges.
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use mcfpga::fabric::netlist_ir::generators;
+use mcfpga::prelude::*;
+
+fn main() {
+    let node = |shards| {
+        ShardedService::new(shards, FabricParams::default(), TechParams::default())
+            .expect("service")
+    };
+    let mut cluster = Cluster::new(vec![node(2), node(2)]).expect("cluster");
+
+    // Admit a tenant (lands on node 0) and serve one request locally.
+    let parity = cluster
+        .admit("parity", &generators::parity_tree(3).expect("netlist"))
+        .expect("admit");
+    let home = cluster.tenant_node(parity).expect("home");
+    cluster
+        .submit(parity, &[("x0", true), ("x1", true), ("x2", false)])
+        .expect("submit");
+    cluster.drain().expect("drain");
+
+    // Second request: admitted at cycle 5, migrated at 7, drained at 9.
+    cluster.advance(5);
+    let traveller = cluster
+        .submit(parity, &[("x0", true), ("x1", false), ("x2", false)])
+        .expect("submit");
+    cluster.advance(2);
+    cluster.migrate_tenant(parity, 1 - home).expect("migrate");
+    cluster.advance(2);
+    let responses = cluster.drain().expect("drain");
+    assert!(responses[0].outputs[0].1, "parity(1,0,0) = 1");
+
+    // 1. The metric registry, two renderings of the same cells: the
+    //    Prometheus text page, and the deterministic-class JSON snapshot
+    //    (bit-identical at any MCFPGA_THREADS x lane width).
+    let registry = cluster.node(home).expect("node").telemetry().registry();
+    println!("=== node {home} Prometheus page ===");
+    print!("{}", registry.render_prometheus());
+    println!("\n=== node {home} deterministic snapshot ===");
+    println!("{}", registry.deterministic_json());
+
+    // 2. The request-lifecycle trace, stitched across both nodes.
+    println!("\n=== trace({traveller}) ===");
+    for span in cluster.trace(traveller) {
+        println!("  {span}");
+    }
+    let timeline = cluster.trace(traveller);
+    assert!(
+        timeline.iter().any(|s| s.kind == SpanKind::MigrationHop),
+        "the migrated request's timeline records its hop"
+    );
+    assert_eq!(timeline.first().expect("admitted").node, home as u32);
+    assert_eq!(
+        timeline.last().expect("demuxed").node,
+        (1 - home) as u32,
+        "served from the destination node"
+    );
+
+    // 3. The fleet health snapshot the rebalancer consumes: queue depth,
+    //    fault tally and resident tenants per node, read purely from the
+    //    published gauges.
+    let snapshot = cluster.health_snapshot();
+    println!("\n=== health snapshot ===");
+    print!("{}", snapshot.render());
+    assert_eq!(snapshot.total_queued(), 0, "everything drained");
+    assert_eq!(snapshot.total_tenants(), 1);
+}

@@ -34,7 +34,11 @@
 //!   N sharded services by load/energy score, a deterministic
 //!   node-then-shard-then-lane merge of responses/faults/billing, and a
 //!   virtual-clock rebalancer that drains, restarts and live-migrates
-//!   around hot or faulted nodes.
+//!   around hot or faulted nodes;
+//! * [`telemetry`] — deterministic observability: a metric registry with
+//!   deterministic / wall-clock classes, a bounded ring of request
+//!   lifecycle spans with cross-node trace reconstruction, and the
+//!   cluster health snapshots the rebalancer consumes.
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and data flow, and
 //! `docs/GLOSSARY.md` for the paper's vocabulary as used in the code.
@@ -69,6 +73,7 @@ pub use mcfpga_mvl as mvl;
 pub use mcfpga_netlist as netlist;
 pub use mcfpga_service as service;
 pub use mcfpga_switchblock as switchblock;
+pub use mcfpga_telemetry as telemetry;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -89,4 +94,7 @@ pub mod prelude {
         TenantId,
     };
     pub use mcfpga_switchblock::{remap_to_designated_rows, RouteSet, SwitchBlock};
+    pub use mcfpga_telemetry::{
+        ClusterHealthSnapshot, MetricClass, Registry, SpanEvent, SpanKind, Telemetry,
+    };
 }
