@@ -1,0 +1,285 @@
+//! X6 — hot-path evaluation pipeline: straight-line kernel vs branchy
+//! interpreter, plus the dirty-cone incremental path's hit rate.
+//!
+//! The reference workload is the service-throughput fabric: an 8×8,
+//! 4-context, channel-width-6 fabric holding the four wide equality
+//! comparators (cmp16..cmp13), one per context. Each context's plane is
+//! evaluated at the full 256-lane chunk width three ways — the branchy
+//! reference interpreter, the branch-free straight-line kernel (full
+//! sweeps), and the prebound dirty-cone path under a service-like
+//! repeat/partial-change request mix. Outputs are cross-checked
+//! bit-for-bit on every path; outside smoke mode the bench **fails if
+//! the kernel is slower than the interpreter** on this workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfpga_bench::{smoke, time_us, write_bench_json};
+use mcfpga_fabric::compiled::{CompiledFabric, LaneChunk, LANE_WORDS, MAX_LANES};
+use mcfpga_fabric::netlist_ir::{generators, LogicNetlist, Node};
+use mcfpga_fabric::route::implement_netlist;
+use mcfpga_fabric::{Fabric, FabricParams, DIRTY_ALL};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Sweeps in the dirty-cone request mix per context.
+const MIX_SWEEPS: usize = 64;
+
+fn reference_designs() -> Vec<(&'static str, LogicNetlist)> {
+    vec![
+        ("cmp16", generators::equality_comparator(16).unwrap()),
+        ("cmp15", generators::equality_comparator(15).unwrap()),
+        ("cmp14", generators::equality_comparator(14).unwrap()),
+        ("cmp13", generators::equality_comparator(13).unwrap()),
+    ]
+}
+
+/// The 8×8/4-context reference fabric with one comparator per context,
+/// compiled; returns the per-context input-name lists alongside.
+fn build_reference() -> (Fabric, CompiledFabric, Vec<Vec<String>>) {
+    let mut f = Fabric::new(FabricParams {
+        width: 8,
+        height: 8,
+        channel_width: 6,
+        ..FabricParams::default()
+    })
+    .expect("fabric");
+    let mut names = Vec::new();
+    for (ctx, (_, nl)) in reference_designs().iter().enumerate() {
+        implement_netlist(&mut f, nl, ctx, ctx as u64).expect("route");
+        names.push(
+            nl.input_ids()
+                .into_iter()
+                .map(|n| match nl.node(n) {
+                    Node::Input { name } => name.clone(),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        );
+    }
+    let compiled = CompiledFabric::compile(&f).expect("compile");
+    (f, compiled, names)
+}
+
+fn random_chunk(rng: &mut StdRng) -> LaneChunk {
+    std::array::from_fn(|_| rng.random_range(0..u64::MAX))
+}
+
+/// One context's measurements.
+struct CtxRun {
+    ops_total: u64,
+    interpreter_us: f64,
+    kernel_us: f64,
+    mix_ops_total: u64,
+    mix_ops_skipped: u64,
+}
+
+fn run_context(compiled: &CompiledFabric, ctx: usize, names: &[String]) -> CtxRun {
+    assert!(compiled.has_kernel(ctx), "comparator planes are acyclic");
+    let bound = compiled.bind(ctx).expect("bind");
+    let mut rng = StdRng::seed_from_u64(0xEA17 + ctx as u64);
+    let chunks: Vec<LaneChunk> = bound
+        .inputs()
+        .iter()
+        .map(|_| random_chunk(&mut rng))
+        .collect();
+    let named: Vec<(&str, LaneChunk)> = bound
+        .inputs()
+        .iter()
+        .zip(&chunks)
+        .map(|((_, n, _), c)| (n.as_ref(), *c))
+        .collect();
+
+    // correctness first, always (smoke mode included): kernel output ==
+    // interpreter output, bit for bit, across all 256 lanes
+    let mut st = compiled.new_state();
+    let reference = compiled
+        .eval_chunks_into_reference(ctx, &named, LANE_WORDS, &mut st)
+        .expect("reference eval");
+    let mut kst = compiled.new_state();
+    let mut outs = Vec::new();
+    let stats = compiled
+        .eval_bound_into(&bound, &chunks, LANE_WORDS, DIRTY_ALL, &mut kst, &mut outs)
+        .expect("kernel eval");
+    assert!(stats.kernel);
+    for ((_, name, _), chunk) in bound.outputs().iter().zip(&outs) {
+        let r = reference
+            .iter()
+            .find(|(n, _)| n == name.as_ref())
+            .expect("output present");
+        assert_eq!(&r.1, chunk, "kernel diverged on output '{name}'");
+    }
+
+    let iters = if smoke() { 8 } else { 2000 };
+    let interpreter_us = time_us(iters, || {
+        let out = compiled
+            .eval_chunks_into_reference(ctx, &named, LANE_WORDS, &mut st)
+            .expect("reference eval");
+        black_box(out);
+    });
+    let kernel_us = time_us(iters, || {
+        let s = compiled
+            .eval_bound_into(&bound, &chunks, LANE_WORDS, DIRTY_ALL, &mut kst, &mut outs)
+            .expect("kernel eval");
+        black_box(s);
+    });
+
+    // service-like request mix on the persistent state: half the sweeps
+    // repeat the previous vectors exactly, a quarter flip one input, a
+    // quarter redraw everything — the dirty-cone hit rate is what the
+    // incremental path saves across the whole mix
+    let mut mix = chunks.clone();
+    let (mut mix_total, mut mix_skipped) = (0u64, 0u64);
+    for sweep in 0..MIX_SWEEPS {
+        let dirty = match sweep % 4 {
+            0 | 2 => 0u64,
+            1 => {
+                let i = rng.random_range(0..mix.len());
+                mix[i] = random_chunk(&mut rng);
+                1u64 << i
+            }
+            _ => {
+                for c in mix.iter_mut() {
+                    *c = random_chunk(&mut rng);
+                }
+                DIRTY_ALL
+            }
+        };
+        let s = compiled
+            .eval_bound_into(&bound, &mix, LANE_WORDS, dirty, &mut kst, &mut outs)
+            .expect("incremental eval");
+        mix_total += s.ops_total;
+        mix_skipped += s.ops_skipped;
+        // every incremental answer equals a cold full sweep
+        let mut cold_st = compiled.new_state();
+        let mut cold = Vec::new();
+        compiled
+            .eval_bound_into(&bound, &mix, LANE_WORDS, DIRTY_ALL, &mut cold_st, &mut cold)
+            .expect("cold eval");
+        assert_eq!(outs, cold, "incremental sweep diverged (ctx {ctx})");
+    }
+
+    let _ = names;
+    CtxRun {
+        ops_total: stats.ops_total,
+        interpreter_us,
+        kernel_us,
+        mix_ops_total: mix_total,
+        mix_ops_skipped: mix_skipped,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (_f, compiled, names) = build_reference();
+    let runs: Vec<CtxRun> = (0..names.len())
+        .map(|ctx| run_context(&compiled, ctx, &names[ctx]))
+        .collect();
+
+    let ops: u64 = runs.iter().map(|r| r.ops_total).sum();
+    let interp_us: f64 = runs.iter().map(|r| r.interpreter_us).sum();
+    let kernel_us: f64 = runs.iter().map(|r| r.kernel_us).sum();
+    let interp_ns_per_op = interp_us * 1e3 / ops as f64;
+    let kernel_ns_per_op = kernel_us * 1e3 / ops as f64;
+    let speedup = interp_us / kernel_us.max(f64::MIN_POSITIVE);
+    let mix_total: u64 = runs.iter().map(|r| r.mix_ops_total).sum();
+    let mix_skipped: u64 = runs.iter().map(|r| r.mix_ops_skipped).sum();
+    let hit_rate = mix_skipped as f64 / mix_total.max(1) as f64;
+
+    let gate_enforced = !smoke();
+    println!(
+        "eval kernel (8x8, 4 contexts, cmp16..cmp13, {MAX_LANES} lanes, {ops} ops/4-ctx sweep):\n  \
+         interpreter: {interp_us:.2} µs/4-ctx sweep ({interp_ns_per_op:.2} ns/op)\n  \
+         kernel:      {kernel_us:.2} µs/4-ctx sweep ({kernel_ns_per_op:.2} ns/op)\n  \
+         speedup: {speedup:.2}x (gate: kernel <= interpreter, {})\n  \
+         dirty-cone mix: {mix_skipped}/{mix_total} ops skipped ({:.1}% hit rate)",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "skipped: smoke mode"
+        },
+        hit_rate * 100.0,
+    );
+    if gate_enforced {
+        assert!(
+            kernel_us <= interp_us,
+            "straight-line kernel ({kernel_us:.2} µs) slower than the branchy \
+             interpreter ({interp_us:.2} µs) on the reference workload"
+        );
+    }
+    assert!(
+        hit_rate > 0.4,
+        "the repeat-heavy mix must skip a substantial share of ops \
+         (got {:.1}%)",
+        hit_rate * 100.0
+    );
+
+    let json = write_bench_json(
+        "eval_kernel",
+        &[
+            ("ops_per_sweep", ops.into()),
+            ("lanes", MAX_LANES.into()),
+            ("contexts", names.len().into()),
+            ("interpreter_us_per_sweep", interp_us.into()),
+            ("kernel_us_per_sweep", kernel_us.into()),
+            ("interpreter_ns_per_op", interp_ns_per_op.into()),
+            ("kernel_ns_per_op", kernel_ns_per_op.into()),
+            ("kernel_speedup", speedup.into()),
+            ("dirty_mix_sweeps", (MIX_SWEEPS * names.len()).into()),
+            ("dirty_mix_ops_total", mix_total.into()),
+            ("dirty_mix_ops_skipped", mix_skipped.into()),
+            ("dirty_cone_hit_rate", hit_rate.into()),
+        ],
+    )
+    .expect("write BENCH_eval_kernel.json");
+    println!("wrote {}", json.display());
+
+    c.bench_function("fabric/kernel_4ctx_256lane_sweep", |b| {
+        let bounds: Vec<_> = (0..names.len())
+            .map(|ctx| compiled.bind(ctx).expect("bind"))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let chunks: Vec<Vec<LaneChunk>> = bounds
+            .iter()
+            .map(|b| b.inputs().iter().map(|_| random_chunk(&mut rng)).collect())
+            .collect();
+        let mut st = compiled.new_state();
+        let mut outs = Vec::new();
+        b.iter(|| {
+            for (bound, c) in bounds.iter().zip(&chunks) {
+                let s = compiled
+                    .eval_bound_into(bound, c, LANE_WORDS, DIRTY_ALL, &mut st, &mut outs)
+                    .expect("eval");
+                black_box(s);
+            }
+        });
+    });
+
+    c.bench_function("fabric/interpreter_4ctx_256lane_sweep", |b| {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let named: Vec<Vec<(String, LaneChunk)>> = names
+            .iter()
+            .map(|ns| {
+                ns.iter()
+                    .map(|n| (n.clone(), random_chunk(&mut rng)))
+                    .collect()
+            })
+            .collect();
+        let mut st = compiled.new_state();
+        b.iter(|| {
+            for (ctx, inputs) in named.iter().enumerate() {
+                let refs: Vec<(&str, LaneChunk)> =
+                    inputs.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+                let out = compiled
+                    .eval_chunks_into_reference(ctx, &refs, LANE_WORDS, &mut st)
+                    .expect("eval");
+                black_box(out);
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -72,6 +72,11 @@ fn build_service_mode(mode: OptimizeMode) -> (ShardedService, Vec<(TenantId, Vec
         PlacementPolicy::RoundRobin,
     )
     .expect("service");
+    // size the span ring explicitly: a throughput run would otherwise
+    // recycle the default 4096-slot ring hundreds of thousands of times,
+    // paying formatting + lock + eviction per span just to report
+    // `trace_dropped` in the hundreds of thousands
+    svc.telemetry().trace_buffer().set_capacity(0);
     let tenants = tenant_designs()
         .iter()
         .map(|(name, nl)| {
@@ -151,6 +156,8 @@ fn build_parallel_service() -> (ShardedService, Vec<(TenantId, Vec<String>)>) {
         PlacementPolicy::RoundRobin,
     )
     .expect("service");
+    // the timed drains are not a tracing benchmark: disable the span ring
+    svc.telemetry().trace_buffer().set_capacity(0);
     let designs = vec![
         ("add12", generators::ripple_adder(12).unwrap()),
         ("add11", generators::ripple_adder(11).unwrap()),

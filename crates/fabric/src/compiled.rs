@@ -55,10 +55,22 @@
 use crate::array::{Dir, Fabric, FabricParams, Sink, Source, TileCoord};
 use crate::lut::MultiContextLut;
 use crate::FabricError;
+use std::sync::Arc;
 
 /// Lanes per `u64` word — the legacy single-word batch width, kept as the
 /// default [`LaneBatch::new`] width so single-word callers are unaffected.
 pub const LANES: usize = 64;
+
+/// Prefix of signal names that are *stream registers*: values carried
+/// across context-switch boundaries ([`crate::temporal`]) and between a
+/// service tenant's passes, rather than returned as primary outputs. The
+/// one naming convention shared by the temporal partitioner, the compiled
+/// engine's [`BoundPlan`] and the service's register harvesting.
+pub const REG_PREFIX: &str = "reg:";
+
+/// Dirty mask treating every bound input as changed — the full-sweep
+/// sentinel for [`CompiledFabric::eval_bound_into`].
+pub const DIRTY_ALL: u64 = u64::MAX;
 
 /// `u64` words per [`LaneChunk`].
 pub const LANE_WORDS: usize = 4;
@@ -376,6 +388,15 @@ impl LaneBatch {
         self.inputs.get(idx).map(|(n, _)| n.as_str())
     }
 
+    /// The union lane chunk at index `idx` (zeros when out of range) —
+    /// the indexed companion to [`name_index`](Self::name_index), letting
+    /// executors that resolved names once read chunks without further
+    /// string comparisons.
+    #[must_use]
+    pub fn input_chunk(&self, idx: usize) -> LaneChunk {
+        self.inputs.get(idx).map_or([0u64; LANE_WORDS], |(_, c)| *c)
+    }
+
     /// Number of distinct input names in the union.
     #[must_use]
     pub fn name_count(&self) -> usize {
@@ -562,6 +583,10 @@ pub struct CompiledPlane {
     inputs: Vec<(ResourceId, String)>,
     /// `(io_out resource, signal name)` for this context's bound outputs.
     outputs: Vec<(ResourceId, String)>,
+    /// Branch-free straight-line program for the steady-state path; `None`
+    /// for cyclic planes and planes with an unreachable bound output
+    /// (which must fault through the interpreter's unknown propagation).
+    kernel: Option<PlaneKernel>,
 }
 
 impl CompiledPlane {
@@ -594,6 +619,106 @@ impl CompiledPlane {
     pub fn output_binds(&self) -> &[(ResourceId, String)] {
         &self.outputs
     }
+
+    /// Does this plane carry a straight-line kernel (acyclic, every bound
+    /// output reachable from the bound inputs)?
+    #[must_use]
+    pub fn has_kernel(&self) -> bool {
+        self.kernel.is_some()
+    }
+}
+
+/// One step of a [`PlaneKernel`]'s straight-line program. Unlike [`Op`],
+/// every pin is a pre-resolved arena index — unconfigured pins point at
+/// the arena's always-zero sentinel cell — so execution needs no `Option`
+/// dispatch and no `known`-bitmap branching.
+#[derive(Debug, Clone)]
+enum KernelOp {
+    /// `values[dst] = values[src]`, one word at a time.
+    Copy { src: u32, dst: u32 },
+    /// `values[dst] = lut(tables[table], pins…)`, one word at a time.
+    Lut {
+        pins: [u32; MultiContextLut::MAX_K],
+        k: u8,
+        /// Index into [`PlaneKernel::tables`].
+        table: u32,
+        dst: u32,
+    },
+}
+
+impl KernelOp {
+    fn dst(&self) -> u32 {
+        match *self {
+            KernelOp::Copy { dst, .. } | KernelOp::Lut { dst, .. } => dst,
+        }
+    }
+}
+
+/// The compiled straight-line program of one acyclic plane: ops already
+/// filtered down to the subset reachable from the bound inputs (exactly
+/// the ops the branchy interpreter would ever run), in topological order,
+/// with truth tables flattened into one contiguous arena and a per-op
+/// *input cone* mask for dirty-cone skipping.
+#[derive(Debug, Clone)]
+struct PlaneKernel {
+    ops: Vec<KernelOp>,
+    /// `cones[i]`: bit `b` set ⇔ op `i`'s value depends on bound input
+    /// `b`. All-ones when the plane binds more than 64 inputs (cone
+    /// tracking disabled, every sweep is a full sweep).
+    cones: Vec<u64>,
+    /// Flattened LUT truth tables, indexed by [`KernelOp::Lut::table`].
+    tables: Vec<u64>,
+}
+
+/// A context's IO names resolved to dense resource ids once, at tenant
+/// admission, so steady-state sweeps index arrays instead of scanning
+/// name lists and clone `Arc<str>`s instead of `String`s.
+///
+/// Entries keep the plane's bind order — output order is exactly the
+/// response order of the name-keyed evaluation APIs. The `bool` marks
+/// stream registers ([`REG_PREFIX`]).
+#[derive(Debug, Clone)]
+pub struct BoundPlan {
+    ctx: usize,
+    inputs: Vec<(ResourceId, Arc<str>, bool)>,
+    outputs: Vec<(ResourceId, Arc<str>, bool)>,
+}
+
+impl BoundPlan {
+    /// The context this plan binds.
+    #[must_use]
+    pub fn ctx(&self) -> usize {
+        self.ctx
+    }
+
+    /// Bound inputs `(resource, interned name, is stream register)`, in
+    /// plane bind order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(ResourceId, Arc<str>, bool)] {
+        &self.inputs
+    }
+
+    /// Bound outputs `(resource, interned name, is stream register)`, in
+    /// plane bind order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(ResourceId, Arc<str>, bool)] {
+        &self.outputs
+    }
+}
+
+/// Deterministic accounting of one [`CompiledFabric::eval_bound_into`]
+/// pass: pure counts of compiled ops, so totals are bit-identical at any
+/// thread count and lane width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Ops in the executed program (kernel ops, or interpreter ops for
+    /// planes without a kernel).
+    pub ops_total: u64,
+    /// Ops skipped because no bound input in their cone was dirty.
+    pub ops_skipped: u64,
+    /// Whether the straight-line kernel ran (vs the reference
+    /// interpreter).
+    pub kernel: bool,
 }
 
 /// Dense lane values of every resource after one batch evaluation.
@@ -674,6 +799,27 @@ fn lut_lanes(table: u64, pins: &[u64]) -> u64 {
     acc[0]
 }
 
+/// [`lut_lanes`] monomorphized to an exact row count (`ROWS = 2^k`): the
+/// accumulator is exactly sized (no 64-entry scratch to initialize for a
+/// 2-pin mux) and the fold loops fully unroll. The straight-line kernel
+/// dispatches to this per op; `debug_assert` keeps the pin count honest.
+#[inline]
+fn mux_reduce<const ROWS: usize>(table: u64, pins: &[u64]) -> u64 {
+    debug_assert_eq!(ROWS, 1usize << pins.len());
+    let mut acc = [0u64; ROWS];
+    for (r, slot) in acc.iter_mut().enumerate() {
+        *slot = if (table >> r) & 1 == 1 { !0u64 } else { 0 };
+    }
+    let mut len = ROWS;
+    for &p in pins {
+        len /= 2;
+        for j in 0..len {
+            acc[j] = (acc[2 * j] & !p) | (acc[2 * j + 1] & p);
+        }
+    }
+    acc[0]
+}
+
 /// A fabric flattened, levelized and ready for bit-parallel evaluation.
 #[derive(Debug, Clone)]
 pub struct CompiledFabric {
@@ -724,6 +870,7 @@ impl CompiledFabric {
             levels: 0,
             inputs: Vec::new(),
             outputs: Vec::new(),
+            kernel: None,
         };
         let mut planes = vec![empty; params.contexts];
         planes[ctx] = Self::compile_plane(fabric, &layout, ctx)?;
@@ -797,18 +944,24 @@ impl CompiledFabric {
 
         let (ops, cyclic, levels) = Self::levelize(ops, layout.total());
 
-        let inputs = fabric
+        let inputs: Vec<(ResourceId, String)> = fabric
             .input_binds()
             .iter()
             .filter(|(_, _, c, _)| *c == ctx)
             .map(|(t, p, _, name)| (layout.io_in(*t, *p), name.clone()))
             .collect();
-        let outputs = fabric
+        let outputs: Vec<(ResourceId, String)> = fabric
             .output_binds()
             .iter()
             .filter(|(_, _, c, _)| *c == ctx)
             .map(|(t, p, _, name)| (layout.io_out(*t, *p), name.clone()))
             .collect();
+
+        let kernel = if cyclic {
+            None
+        } else {
+            Self::build_kernel(&ops, &inputs, &outputs, layout)
+        };
 
         Ok(CompiledPlane {
             ops,
@@ -816,6 +969,96 @@ impl CompiledFabric {
             levels,
             inputs,
             outputs,
+            kernel,
+        })
+    }
+
+    /// Compiles the straight-line kernel of an acyclic, topologically
+    /// sorted op list: a single forward pass keeps exactly the ops the
+    /// interpreter's unknown propagation would ever run (those whose
+    /// configured sources are all reachable from the bound inputs) and
+    /// accumulates each op's input-cone mask. Returns `None` when any
+    /// bound output is unreachable — such planes must keep faulting
+    /// through the interpreter with its exact error.
+    fn build_kernel(
+        ops: &[Op],
+        inputs: &[(ResourceId, String)],
+        outputs: &[(ResourceId, String)],
+        layout: &ResourceLayout,
+    ) -> Option<PlaneKernel> {
+        let zero_pin = layout.total() as u32;
+        // cone[r] = Some(mask of bound inputs r depends on) ⇔ r reachable
+        let mut cone: Vec<Option<u64>> = vec![None; layout.total()];
+        let wide = inputs.len() > 64;
+        for (i, (id, _)) in inputs.iter().enumerate() {
+            let mask = if wide { DIRTY_ALL } else { 1u64 << i };
+            let slot = &mut cone[*id as usize];
+            *slot = Some(slot.unwrap_or(0) | mask);
+        }
+        let mut kops = Vec::with_capacity(ops.len());
+        let mut cones = Vec::with_capacity(ops.len());
+        let mut tables = Vec::new();
+        for op in ops {
+            match op {
+                Op::Copy { src, dst } => {
+                    let Some(c) = cone[*src as usize] else {
+                        continue;
+                    };
+                    cone[*dst as usize] = Some(c);
+                    kops.push(KernelOp::Copy {
+                        src: *src,
+                        dst: *dst,
+                    });
+                    cones.push(c);
+                }
+                Op::Lut {
+                    pins,
+                    k,
+                    table,
+                    dst,
+                } => {
+                    // unconfigured pins read the always-zero sentinel and
+                    // impose no reachability requirement (run_op parity)
+                    let mut c = 0u64;
+                    let mut resolved = [zero_pin; MultiContextLut::MAX_K];
+                    let mut runnable = true;
+                    for (i, pin) in pins.iter().take(*k as usize).enumerate() {
+                        if let Some(src) = pin {
+                            match cone[*src as usize] {
+                                Some(pc) => {
+                                    c |= pc;
+                                    resolved[i] = *src;
+                                }
+                                None => {
+                                    runnable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !runnable {
+                        continue;
+                    }
+                    cone[*dst as usize] = Some(c);
+                    let ti = tables.len() as u32;
+                    tables.push(*table);
+                    kops.push(KernelOp::Lut {
+                        pins: resolved,
+                        k: *k,
+                        table: ti,
+                        dst: *dst,
+                    });
+                    cones.push(c);
+                }
+            }
+        }
+        if outputs.iter().any(|(id, _)| cone[*id as usize].is_none()) {
+            return None;
+        }
+        Some(PlaneKernel {
+            ops: kops,
+            cones,
+            tables,
         })
     }
 
@@ -964,7 +1207,7 @@ impl CompiledFabric {
         let dst_layout = ResourceLayout::new(&dst_params);
         let remap = |id: ResourceId| self.layout.remap_into(&dst_layout, id);
         let plane = &self.planes[src];
-        let ops = plane
+        let ops: Vec<Op> = plane
             .ops
             .iter()
             .map(|op| match op {
@@ -991,12 +1234,22 @@ impl CompiledFabric {
                 .map(|(r, n)| (remap(*r), n.clone()))
                 .collect::<Vec<_>>()
         };
+        let inputs = remap_binds(&plane.inputs);
+        let outputs = remap_binds(&plane.outputs);
+        // the kernel bakes arena indices, so it is rebuilt against the
+        // destination layout rather than remapped op by op
+        let kernel = if plane.cyclic {
+            None
+        } else {
+            Self::build_kernel(&ops, &inputs, &outputs, &dst_layout)
+        };
         let moved = CompiledPlane {
             ops,
             cyclic: plane.cyclic,
             levels: plane.levels,
-            inputs: remap_binds(&plane.inputs),
-            outputs: remap_binds(&plane.outputs),
+            inputs,
+            outputs,
+            kernel,
         };
         let empty = CompiledPlane {
             ops: Vec::new(),
@@ -1004,6 +1257,7 @@ impl CompiledFabric {
             levels: 0,
             inputs: Vec::new(),
             outputs: Vec::new(),
+            kernel: None,
         };
         let mut planes = vec![empty; dst_params.contexts];
         planes[dst_ctx] = moved;
@@ -1053,31 +1307,61 @@ impl CompiledFabric {
     }
 
     /// A scratch state sized for this fabric, reusable across
-    /// [`Self::eval_chunks_into`] calls.
+    /// [`Self::eval_chunks_into`] calls. The arena carries one extra
+    /// always-zero cell past [`ResourceLayout::total`] — the sentinel an
+    /// unconfigured kernel pin reads; nothing ever writes it.
     #[must_use]
     pub fn new_state(&self) -> CompiledState {
         CompiledState {
             layout: self.layout,
-            values: vec![[0u64; LANE_WORDS]; self.layout.total()],
-            known: vec![false; self.layout.total()],
+            values: vec![[0u64; LANE_WORDS]; self.layout.total() + 1],
+            known: vec![false; self.layout.total() + 1],
         }
     }
 
     /// [`Self::eval_batch`] writing into a caller-owned scratch state —
     /// hot loops (schedule replay, staged execution) evaluate many batches
-    /// without re-allocating the arena each step.
+    /// without re-allocating the arena each step. The single-word path
+    /// seeds the arena directly from the `u64` inputs — no intermediate
+    /// chunk-widening vector is built.
     pub fn eval_batch_into(
         &self,
         ctx: usize,
         inputs: &[(&str, u64)],
         st: &mut CompiledState,
     ) -> Result<Vec<(String, u64)>, FabricError> {
-        let chunks: Vec<(&str, LaneChunk)> = inputs
-            .iter()
-            .map(|(n, v)| (*n, chunk_of_word(*v)))
-            .collect();
-        let outs = self.eval_chunks_into(ctx, &chunks, 1, st)?;
-        Ok(outs.into_iter().map(|(n, c)| (n, c[0])).collect())
+        let plane = self.plane(ctx)?;
+        self.prepare_state(st);
+        for (id, name) in &plane.inputs {
+            let v = inputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| FabricError::Unresolved(format!("input '{name}' not driven")))?;
+            st.values[*id as usize] = chunk_of_word(v);
+            st.known[*id as usize] = true;
+        }
+        if let Some(kernel) = &plane.kernel {
+            Self::kernel_run_all(kernel, 1, st);
+            Ok(plane
+                .outputs
+                .iter()
+                .map(|(id, name)| (name.clone(), st.values[*id as usize][0]))
+                .collect())
+        } else {
+            Self::run_interpreter(plane, 1, st);
+            plane
+                .outputs
+                .iter()
+                .map(|(id, name)| {
+                    st.read_chunk(*id)
+                        .map(|c| (name.clone(), c[0]))
+                        .ok_or_else(|| {
+                            FabricError::Unresolved(format!("output '{name}' unresolved"))
+                        })
+                })
+                .collect()
+        }
     }
 
     /// Evaluates context `ctx` on up to [`MAX_LANES`] input vectors at
@@ -1102,6 +1386,10 @@ impl CompiledFabric {
     }
 
     /// [`Self::eval_chunks`] writing into a caller-owned scratch state.
+    /// Acyclic planes dispatch to the straight-line kernel; cyclic planes
+    /// (and planes with unreachable bound outputs) fall back to the
+    /// reference interpreter, with identical results and errors either
+    /// way.
     pub fn eval_chunks_into(
         &self,
         ctx: usize,
@@ -1111,33 +1399,209 @@ impl CompiledFabric {
     ) -> Result<Vec<(String, LaneChunk)>, FabricError> {
         let words = words.clamp(1, LANE_WORDS);
         let plane = self.plane(ctx)?;
-        if st.layout != self.layout {
-            // scratch from a differently-shaped fabric: rebuild rather than
-            // silently reading through the wrong resource layout
-            *st = self.new_state();
-        } else {
-            st.reset();
-        }
+        self.prepare_state(st);
         for (id, name) in &plane.inputs {
-            let mut v = inputs
+            let v = inputs
                 .iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| *v)
                 .ok_or_else(|| FabricError::Unresolved(format!("input '{name}' not driven")))?;
-            // lanes past the occupied words read as 0, keeping the
-            // invariant that every known chunk is zero beyond `words` —
-            // outputs (and harvested stream registers) then never carry
-            // stale or stray high-word bits
-            for word in v.iter_mut().skip(words) {
-                *word = 0;
-            }
-            st.values[*id as usize] = v;
-            st.known[*id as usize] = true;
+            Self::seed_input(st, *id, v, words);
         }
+        if let Some(kernel) = &plane.kernel {
+            Self::kernel_run_all(kernel, words, st);
+            Ok(plane
+                .outputs
+                .iter()
+                .map(|(id, name)| (name.clone(), st.values[*id as usize]))
+                .collect())
+        } else {
+            Self::run_interpreter(plane, words, st);
+            let mut outs = Vec::with_capacity(plane.outputs.len());
+            for (id, name) in &plane.outputs {
+                let v = st.read_chunk(*id).ok_or_else(|| {
+                    FabricError::Unresolved(format!("output '{name}' unresolved"))
+                })?;
+                outs.push((name.clone(), v));
+            }
+            Ok(outs)
+        }
+    }
 
+    /// The v1 branchy interpreter, unconditionally — bit-for-bit the
+    /// pre-kernel [`Self::eval_chunks_into`]. Kept public as the
+    /// equivalence oracle for the kernel path (property tests, the
+    /// `eval_kernel` bench) and as executable documentation of the
+    /// semantics the kernel must reproduce.
+    pub fn eval_chunks_into_reference(
+        &self,
+        ctx: usize,
+        inputs: &[(&str, LaneChunk)],
+        words: usize,
+        st: &mut CompiledState,
+    ) -> Result<Vec<(String, LaneChunk)>, FabricError> {
+        let words = words.clamp(1, LANE_WORDS);
+        let plane = self.plane(ctx)?;
+        self.prepare_state(st);
+        for (id, name) in &plane.inputs {
+            let v = inputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| FabricError::Unresolved(format!("input '{name}' not driven")))?;
+            Self::seed_input(st, *id, v, words);
+        }
+        Self::run_interpreter(plane, words, st);
+        let mut outs = Vec::with_capacity(plane.outputs.len());
+        for (id, name) in &plane.outputs {
+            let v = st
+                .read_chunk(*id)
+                .ok_or_else(|| FabricError::Unresolved(format!("output '{name}' unresolved")))?;
+            outs.push((name.clone(), v));
+        }
+        Ok(outs)
+    }
+
+    /// Resolves context `ctx`'s IO names to a reusable [`BoundPlan`] —
+    /// the admission-time half of the v2 pipeline. Errors exactly like
+    /// [`Self::plane`] for uncompiled contexts.
+    pub fn bind(&self, ctx: usize) -> Result<BoundPlan, FabricError> {
+        let plane = self.plane(ctx)?;
+        let intern = |(id, name): &(ResourceId, String)| {
+            (*id, Arc::from(name.as_str()), name.starts_with(REG_PREFIX))
+        };
+        Ok(BoundPlan {
+            ctx,
+            inputs: plane.inputs.iter().map(intern).collect(),
+            outputs: plane.outputs.iter().map(intern).collect(),
+        })
+    }
+
+    /// Does context `ctx` carry a straight-line kernel?
+    #[must_use]
+    pub fn has_kernel(&self, ctx: usize) -> bool {
+        self.plane(ctx).is_ok_and(CompiledPlane::has_kernel)
+    }
+
+    /// Evaluates a prebound plan: `chunks` parallel to
+    /// [`BoundPlan::inputs`], outputs pushed into `outs` parallel to
+    /// [`BoundPlan::outputs`] — no name resolution, no `String` clones.
+    ///
+    /// `dirty` drives the dirty-cone incremental path on kernel planes:
+    /// bit `i` set means input `i`'s chunk may differ from the previous
+    /// call on this same `st`. Passing anything other than [`DIRTY_ALL`]
+    /// is a contract that `st` holds the completed previous sweep of this
+    /// plan **at the same `words`** and that every un-dirty chunk equals
+    /// the chunk passed then; ops whose input cone misses every dirty bit
+    /// are skipped and their cached values reused — observationally
+    /// equivalent to a full sweep. Non-kernel planes ignore `dirty` and
+    /// always sweep fully through the reference interpreter.
+    pub fn eval_bound_into(
+        &self,
+        bound: &BoundPlan,
+        chunks: &[LaneChunk],
+        words: usize,
+        dirty: u64,
+        st: &mut CompiledState,
+        outs: &mut Vec<LaneChunk>,
+    ) -> Result<EvalStats, FabricError> {
+        let words = words.clamp(1, LANE_WORDS);
+        let plane = self.plane(bound.ctx)?;
+        if chunks.len() != bound.inputs.len() {
+            return Err(FabricError::BadParams(format!(
+                "{} input chunks for {} bound inputs",
+                chunks.len(),
+                bound.inputs.len()
+            )));
+        }
+        let mut dirty = dirty;
+        if st.layout != self.layout {
+            *st = self.new_state();
+            dirty = DIRTY_ALL;
+        }
+        if bound.inputs.len() > 64 && dirty != 0 {
+            // the dirty mask cannot address inputs past bit 63 (and cone
+            // tracking is disabled for such planes): sweep fully
+            dirty = DIRTY_ALL;
+        }
+        outs.clear();
+        if let Some(kernel) = &plane.kernel {
+            let ops_total = kernel.ops.len() as u64;
+            let run = if dirty == DIRTY_ALL {
+                st.reset();
+                for ((id, _, _), chunk) in bound.inputs.iter().zip(chunks) {
+                    Self::seed_input(st, *id, *chunk, words);
+                }
+                Self::kernel_run_all(kernel, words, st);
+                ops_total
+            } else if dirty == 0 {
+                0
+            } else {
+                for (i, ((id, _, _), chunk)) in bound.inputs.iter().zip(chunks).enumerate() {
+                    if dirty >> i & 1 == 1 {
+                        Self::seed_input(st, *id, *chunk, words);
+                    }
+                }
+                Self::kernel_run_dirty(kernel, words, dirty, st)
+            };
+            for (id, _, _) in &bound.outputs {
+                outs.push(st.values[*id as usize]);
+            }
+            Ok(EvalStats {
+                ops_total,
+                ops_skipped: ops_total - run,
+                kernel: true,
+            })
+        } else {
+            st.reset();
+            for ((id, _, _), chunk) in bound.inputs.iter().zip(chunks) {
+                Self::seed_input(st, *id, *chunk, words);
+            }
+            Self::run_interpreter(plane, words, st);
+            for (id, name, _) in &bound.outputs {
+                let v = st.read_chunk(*id).ok_or_else(|| {
+                    FabricError::Unresolved(format!("output '{name}' unresolved"))
+                })?;
+                outs.push(v);
+            }
+            Ok(EvalStats {
+                ops_total: plane.ops.len() as u64,
+                ops_skipped: 0,
+                kernel: false,
+            })
+        }
+    }
+
+    /// Readies a caller scratch state for a fresh sweep: rebuilt when it
+    /// came from a differently-shaped fabric (rather than silently
+    /// reading through the wrong resource layout), reset otherwise.
+    fn prepare_state(&self, st: &mut CompiledState) {
+        if st.layout != self.layout || st.values.len() != self.layout.total() + 1 {
+            *st = self.new_state();
+        } else {
+            st.reset();
+        }
+    }
+
+    /// Seeds one bound input chunk, zeroing lanes past the occupied words
+    /// — the invariant that every known chunk is zero beyond `words`, so
+    /// outputs (and harvested stream registers) never carry stale or
+    /// stray high-word bits.
+    #[inline]
+    fn seed_input(st: &mut CompiledState, id: ResourceId, mut chunk: LaneChunk, words: usize) {
+        for word in chunk.iter_mut().skip(words) {
+            *word = 0;
+        }
+        st.values[id as usize] = chunk;
+        st.known[id as usize] = true;
+    }
+
+    /// One full interpreter sweep over a seeded state: the monotone
+    /// fixpoint loop for cyclic planes (each productive pass resolves ≥1
+    /// resource, so `ops.len() + 1` passes suffice), a single in-order
+    /// pass otherwise.
+    fn run_interpreter(plane: &CompiledPlane, words: usize, st: &mut CompiledState) {
         if plane.cyclic {
-            // monotone sweep: each productive pass resolves ≥1 resource, so
-            // ops.len() + 1 passes reach the fixpoint
             for _ in 0..=plane.ops.len() {
                 let mut changed = false;
                 for op in &plane.ops {
@@ -1152,15 +1616,94 @@ impl CompiledFabric {
                 Self::run_op(op, words, st);
             }
         }
+    }
 
-        let mut outs = Vec::with_capacity(plane.outputs.len());
-        for (id, name) in &plane.outputs {
-            let v = st
-                .read_chunk(*id)
-                .ok_or_else(|| FabricError::Unresolved(format!("output '{name}' unresolved")))?;
-            outs.push((name.clone(), v));
+    /// Executes the whole straight-line program in topological op order
+    /// (every source chunk is fully written before it is read, so no
+    /// `known` checks are needed), computing all [`LANE_WORDS`] words of
+    /// each op unconditionally — a fixed-width inner loop the compiler
+    /// unrolls — then zeroes each produced chunk's unoccupied high words
+    /// and marks it known. The resulting value *and* known arrays are
+    /// bit-identical to an interpreter sweep.
+    fn kernel_run_all(kernel: &PlaneKernel, words: usize, st: &mut CompiledState) {
+        for op in &kernel.ops {
+            Self::run_kernel_op_chunk(kernel, op, st);
         }
-        Ok(outs)
+        for op in &kernel.ops {
+            let dst = op.dst() as usize;
+            for word in &mut st.values[dst][words..] {
+                *word = 0;
+            }
+            st.known[dst] = true;
+        }
+    }
+
+    /// The incremental variant of [`Self::kernel_run_all`]: runs only ops
+    /// whose input cone intersects `dirty`, reusing every other op's
+    /// value (and already-zeroed high words) from the previous sweep held
+    /// in `st`. Returns the number of ops run.
+    fn kernel_run_dirty(
+        kernel: &PlaneKernel,
+        words: usize,
+        dirty: u64,
+        st: &mut CompiledState,
+    ) -> u64 {
+        let mut run = 0u64;
+        for (op, cone) in kernel.ops.iter().zip(&kernel.cones) {
+            if cone & dirty != 0 {
+                Self::run_kernel_op_chunk(kernel, op, st);
+                run += 1;
+            }
+        }
+        if words < LANE_WORDS {
+            // re-run ops recomputed their high words from the (zeroed)
+            // input tails; restore the all-zero-past-`words` invariant
+            for (op, cone) in kernel.ops.iter().zip(&kernel.cones) {
+                if cone & dirty != 0 {
+                    for word in &mut st.values[op.dst() as usize][words..] {
+                        *word = 0;
+                    }
+                }
+            }
+        }
+        run
+    }
+
+    /// One kernel op over a whole [`LaneChunk`] — branch-free on `known`,
+    /// `Option`-free on pins, mux reduction monomorphized per pin count
+    /// so the row array is exactly sized and the folds fully unrolled.
+    #[inline]
+    fn run_kernel_op_chunk(kernel: &PlaneKernel, op: &KernelOp, st: &mut CompiledState) {
+        match op {
+            KernelOp::Copy { src, dst } => {
+                st.values[*dst as usize] = st.values[*src as usize];
+            }
+            KernelOp::Lut {
+                pins,
+                k,
+                table,
+                dst,
+            } => {
+                let k = *k as usize;
+                let table = kernel.tables[*table as usize];
+                let mut out = [0u64; LANE_WORDS];
+                for (w, slot) in out.iter_mut().enumerate() {
+                    let mut lanes = [0u64; MultiContextLut::MAX_K];
+                    for (lane, pin) in lanes.iter_mut().zip(pins).take(k) {
+                        *lane = st.values[*pin as usize][w];
+                    }
+                    *slot = match k {
+                        1 => mux_reduce::<2>(table, &lanes[..1]),
+                        2 => mux_reduce::<4>(table, &lanes[..2]),
+                        3 => mux_reduce::<8>(table, &lanes[..3]),
+                        4 => mux_reduce::<16>(table, &lanes[..4]),
+                        5 => mux_reduce::<32>(table, &lanes[..5]),
+                        _ => mux_reduce::<64>(table, &lanes[..6]),
+                    };
+                }
+                st.values[*dst as usize] = out;
+            }
+        }
     }
 
     /// Runs one op on the first `words` lane words; returns true when

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod temporal;
 
 pub use array::{Fabric, FabricParams, TileCoord};
-pub use compiled::CompiledFabric;
+pub use compiled::{BoundPlan, CompiledFabric, EvalStats, DIRTY_ALL, REG_PREFIX};
 pub use context::{run_schedule, ContextSequencer};
 pub use lut::MultiContextLut;
 pub use netlist_ir::{LogicNetlist, NodeId};

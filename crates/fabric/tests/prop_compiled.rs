@@ -1,23 +1,28 @@
 //! Engine equivalence: the compiled levelized bit-parallel engine must
 //! match the legacy fixpoint sweep **bit-for-bit** — on random routed
-//! fabrics, across every context, across all 64 lanes of a batch.
+//! fabrics, across every context, across all 64 lanes of a batch — and
+//! the straight-line kernel (with its dirty-cone incremental path) must
+//! match the branchy interpreter across all 256 chunked lanes.
 
-use mcfpga_fabric::compiled::{CompiledFabric, LANES};
+use mcfpga_fabric::array::{Dir, Sink, Source};
+use mcfpga_fabric::compiled::{CompiledFabric, LaneChunk, LANES, LANE_WORDS, MAX_LANES};
 use mcfpga_fabric::netlist_ir::{LogicNetlist, NodeId};
 use mcfpga_fabric::route::implement_netlist;
 use mcfpga_fabric::sim::evaluate_fixpoint;
-use mcfpga_fabric::{Fabric, FabricParams};
+use mcfpga_fabric::{Fabric, FabricParams, TileCoord, DIRTY_ALL};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Random DAG: `inputs` primary inputs named `i0..`, `luts` LUT nodes with
-/// 1–3 fanins drawn from earlier nodes, 2 primary outputs.
-fn random_dag(seed: u64, inputs: usize, luts: usize) -> LogicNetlist {
+/// Random DAG: `inputs` primary inputs named `{prefix}i0..`, `luts` LUT
+/// nodes with 1–3 fanins drawn from earlier nodes, 2 primary outputs
+/// named `{prefix}o1`/`{prefix}o2`. A `"reg:"` prefix mimics a temporal
+/// stage's stream-register IO.
+fn random_dag(seed: u64, inputs: usize, luts: usize, prefix: &str) -> LogicNetlist {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nl = LogicNetlist::new();
     let mut pool: Vec<NodeId> = (0..inputs)
-        .map(|i| nl.add_input(&format!("i{i}")))
+        .map(|i| nl.add_input(&format!("{prefix}i{i}")))
         .collect();
     for j in 0..luts {
         let f = 1 + rng.random_range(0..3usize.min(pool.len()));
@@ -33,8 +38,8 @@ fn random_dag(seed: u64, inputs: usize, luts: usize) -> LogicNetlist {
     }
     let o1 = pool[pool.len() - 1];
     let o2 = pool[pool.len() - 2];
-    nl.add_output("o1", o1).unwrap();
-    nl.add_output("o2", o2).unwrap();
+    nl.add_output(&format!("{prefix}o1"), o1).unwrap();
+    nl.add_output(&format!("{prefix}o2"), o2).unwrap();
     nl
 }
 
@@ -46,6 +51,41 @@ fn fabric() -> Fabric {
         ..FabricParams::default()
     })
     .unwrap()
+}
+
+/// Random full-width lane chunk: one of 256 vectors per bit position.
+fn random_chunk(rng: &mut StdRng) -> LaneChunk {
+    std::array::from_fn(|_| rng.random_range(0..u64::MAX))
+}
+
+/// Overlay a two-tile combinational wire loop on free sinks of `ctx`,
+/// turning the plane cyclic without disturbing the routed netlist.
+/// Returns false if every candidate sink pair is already driven.
+fn inject_wire_loop(f: &mut Fabric, ctx: usize) -> bool {
+    let p = *f.params();
+    for y in 0..p.height {
+        for x in 0..p.width.saturating_sub(1) {
+            let a = TileCoord { x, y };
+            let b = TileCoord { x: x + 1, y };
+            for w in 0..p.channel_width {
+                let east = Sink::WireTo { dir: Dir::East, w };
+                let west = Sink::WireTo { dir: Dir::West, w };
+                let free = f.route_of(a, ctx, east).unwrap().is_none()
+                    && f.route_of(b, ctx, west).unwrap().is_none();
+                if !free {
+                    continue;
+                }
+                // a.east <- (east neighbour's) west feed and vice versa:
+                // the two wires drive each other and never resolve
+                f.set_route(a, ctx, east, Some(Source::WireFrom { dir: Dir::East, w }))
+                    .unwrap();
+                f.set_route(b, ctx, west, Some(Source::WireFrom { dir: Dir::West, w }))
+                    .unwrap();
+                return true;
+            }
+        }
+    }
+    false
 }
 
 proptest! {
@@ -63,7 +103,7 @@ proptest! {
         let mut f = fabric();
         let mut mapped = Vec::new();
         for ctx in 0..4usize {
-            let nl = random_dag(seed.wrapping_add(1 + ctx as u64), INPUTS, 5 + ctx);
+            let nl = random_dag(seed.wrapping_add(1 + ctx as u64), INPUTS, 5 + ctx, "");
             if implement_netlist(&mut f, &nl, ctx, seed ^ ctx as u64).is_ok() {
                 mapped.push(ctx);
             } else {
@@ -115,7 +155,7 @@ proptest! {
         vector in any::<u8>(),
     ) {
         const INPUTS: usize = 4;
-        let nl = random_dag(seed, INPUTS, 7);
+        let nl = random_dag(seed, INPUTS, 7, "");
         let mut f = fabric();
         prop_assume!(implement_netlist(&mut f, &nl, 0, seed).is_ok());
         let compiled = CompiledFabric::compile(&f).unwrap();
@@ -153,6 +193,255 @@ proptest! {
                     want.io_out(t, port),
                     got.io_out(t, port).map(|v| v & 1 == 1),
                     "io_out {} {}", t, port
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The straight-line kernel equals the branchy interpreter — and the
+    /// legacy fixpoint sweep — bit-for-bit across all 256 chunked lanes,
+    /// with and without stream-register (`reg:`) IO names.
+    #[test]
+    fn kernel_matches_interpreter_and_fixpoint_across_chunked_lanes(
+        seed in 0u64..5000,
+        lane_seed in any::<u64>(),
+        reg_io in any::<bool>(),
+    ) {
+        const INPUTS: usize = 4;
+        let prefix = if reg_io { "reg:" } else { "" };
+        let nl = random_dag(seed, INPUTS, 7, prefix);
+        let mut f = fabric();
+        prop_assume!(implement_netlist(&mut f, &nl, 0, seed).is_ok());
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        prop_assert!(compiled.has_kernel(0), "acyclic plane must compile a kernel");
+
+        let mut rng = StdRng::seed_from_u64(lane_seed);
+        let names: Vec<String> = (0..INPUTS).map(|i| format!("{prefix}i{i}")).collect();
+        let chunks: Vec<LaneChunk> = names.iter().map(|_| random_chunk(&mut rng)).collect();
+        let inputs: Vec<(&str, LaneChunk)> = names
+            .iter()
+            .zip(&chunks)
+            .map(|(n, c)| (n.as_str(), *c))
+            .collect();
+
+        let mut st_kernel = compiled.new_state();
+        let kernel_outs = compiled
+            .eval_chunks_into(0, &inputs, LANE_WORDS, &mut st_kernel)
+            .unwrap();
+        let mut st_ref = compiled.new_state();
+        let ref_outs = compiled
+            .eval_chunks_into_reference(0, &inputs, LANE_WORDS, &mut st_ref)
+            .unwrap();
+        prop_assert_eq!(&kernel_outs, &ref_outs, "kernel vs interpreter");
+
+        // the prebound path agrees too, and flags the reg-ness of the IO
+        let bound = compiled.bind(0).unwrap();
+        for (_, name, is_reg) in bound.inputs().iter().chain(bound.outputs()) {
+            prop_assert_eq!(*is_reg, reg_io, "reg flag of '{}'", name);
+        }
+        let bound_chunks: Vec<LaneChunk> = bound
+            .inputs()
+            .iter()
+            .map(|(_, name, _)| {
+                inputs.iter().find(|(n, _)| *n == name.as_ref()).unwrap().1
+            })
+            .collect();
+        let mut st_bound = compiled.new_state();
+        let mut outs = Vec::new();
+        let stats = compiled
+            .eval_bound_into(&bound, &bound_chunks, LANE_WORDS, DIRTY_ALL, &mut st_bound, &mut outs)
+            .unwrap();
+        prop_assert!(stats.kernel);
+        prop_assert_eq!(stats.ops_skipped, 0, "a DIRTY_ALL sweep skips nothing");
+        for ((_, name, _), chunk) in bound.outputs().iter().zip(&outs) {
+            let named = kernel_outs
+                .iter()
+                .find(|(n, _)| n == name.as_ref())
+                .unwrap();
+            prop_assert_eq!(&named.1, chunk, "bound output '{}'", name);
+        }
+
+        // every one of the 256 lanes equals a scalar fixpoint evaluation
+        let mut want_sorted = kernel_outs.clone();
+        want_sorted.sort();
+        for lane in 0..MAX_LANES {
+            let (word, bit) = (lane / 64, lane % 64);
+            let scalar: Vec<(&str, bool)> = names
+                .iter()
+                .zip(&chunks)
+                .map(|(n, c)| (n.as_str(), (c[word] >> bit) & 1 == 1))
+                .collect();
+            let (mut gold, _) = evaluate_fixpoint(&f, 0, &scalar).unwrap();
+            gold.sort();
+            prop_assert_eq!(gold.len(), want_sorted.len());
+            for (g, (name, chunk)) in gold.iter().zip(&want_sorted) {
+                prop_assert_eq!(&g.0, name, "lane {}", lane);
+                prop_assert_eq!(
+                    g.1,
+                    (chunk[word] >> bit) & 1 == 1,
+                    "output {} lane {}", g.0, lane
+                );
+            }
+        }
+    }
+
+    /// A cyclic plane compiles no kernel; `eval_chunks_into` falls back
+    /// to the interpreter and stays the bit-exact oracle, and the
+    /// prebound path reports a full non-kernel sweep regardless of the
+    /// dirty mask.
+    #[test]
+    fn cyclic_overlay_falls_back_to_the_interpreter(
+        seed in 0u64..3000,
+        lane_seed in any::<u64>(),
+    ) {
+        const INPUTS: usize = 4;
+        let nl = random_dag(seed, INPUTS, 5, "");
+        let mut f = fabric();
+        prop_assume!(implement_netlist(&mut f, &nl, 0, seed).is_ok());
+        prop_assume!(inject_wire_loop(&mut f, 0));
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        prop_assert!(compiled.plane(0).unwrap().is_cyclic());
+        prop_assert!(!compiled.has_kernel(0), "cyclic planes carry no kernel");
+
+        let mut rng = StdRng::seed_from_u64(lane_seed);
+        let names: Vec<String> = (0..INPUTS).map(|i| format!("i{i}")).collect();
+        let chunks: Vec<LaneChunk> = names.iter().map(|_| random_chunk(&mut rng)).collect();
+        let inputs: Vec<(&str, LaneChunk)> = names
+            .iter()
+            .zip(&chunks)
+            .map(|(n, c)| (n.as_str(), *c))
+            .collect();
+
+        let mut st_a = compiled.new_state();
+        let got = compiled.eval_chunks_into(0, &inputs, LANE_WORDS, &mut st_a).unwrap();
+        let mut st_b = compiled.new_state();
+        let reference = compiled
+            .eval_chunks_into_reference(0, &inputs, LANE_WORDS, &mut st_b)
+            .unwrap();
+        prop_assert_eq!(&got, &reference);
+
+        let bound = compiled.bind(0).unwrap();
+        let bound_chunks: Vec<LaneChunk> = bound
+            .inputs()
+            .iter()
+            .map(|(_, name, _)| {
+                inputs.iter().find(|(n, _)| *n == name.as_ref()).unwrap().1
+            })
+            .collect();
+        let mut st_c = compiled.new_state();
+        let mut outs = Vec::new();
+        // dirty = 0 is ignored off the kernel path: still a full sweep
+        let stats = compiled
+            .eval_bound_into(&bound, &bound_chunks, LANE_WORDS, 0, &mut st_c, &mut outs)
+            .unwrap();
+        prop_assert!(!stats.kernel);
+        prop_assert_eq!(stats.ops_skipped, 0);
+        for ((_, name, _), chunk) in bound.outputs().iter().zip(&outs) {
+            let named = got.iter().find(|(n, _)| n == name.as_ref()).unwrap();
+            prop_assert_eq!(&named.1, chunk, "bound output '{}'", name);
+        }
+
+        for lane in 0..MAX_LANES {
+            let (word, bit) = (lane / 64, lane % 64);
+            let scalar: Vec<(&str, bool)> = names
+                .iter()
+                .zip(&chunks)
+                .map(|(n, c)| (n.as_str(), (c[word] >> bit) & 1 == 1))
+                .collect();
+            let (mut gold, _) = evaluate_fixpoint(&f, 0, &scalar).unwrap();
+            gold.sort();
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            for (g, (name, chunk)) in gold.iter().zip(&got_sorted) {
+                prop_assert_eq!(&g.0, name);
+                prop_assert_eq!(
+                    g.1,
+                    (chunk[word] >> bit) & 1 == 1,
+                    "output {} lane {}", g.0, lane
+                );
+            }
+        }
+    }
+
+    /// Dirty-cone partial sweeps on a persistent state are
+    /// observationally equivalent to fresh full sweeps: after any
+    /// sequence of partial input changes, outputs match both a cold
+    /// DIRTY_ALL kernel run and the reference interpreter.
+    #[test]
+    fn dirty_cone_partial_sweeps_match_full_evals(
+        seed in 0u64..5000,
+        lane_seed in any::<u64>(),
+        rounds in 1usize..5,
+    ) {
+        const INPUTS: usize = 4;
+        let nl = random_dag(seed, INPUTS, 7, "");
+        let mut f = fabric();
+        prop_assume!(implement_netlist(&mut f, &nl, 0, seed).is_ok());
+        let compiled = CompiledFabric::compile(&f).unwrap();
+        prop_assume!(compiled.has_kernel(0));
+        let bound = compiled.bind(0).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(lane_seed);
+        let mut chunks: Vec<LaneChunk> =
+            bound.inputs().iter().map(|_| random_chunk(&mut rng)).collect();
+        let mut st = compiled.new_state();
+        let mut outs = Vec::new();
+        let full = compiled
+            .eval_bound_into(&bound, &chunks, LANE_WORDS, DIRTY_ALL, &mut st, &mut outs)
+            .unwrap();
+        prop_assert!(full.kernel);
+        prop_assert_eq!(full.ops_skipped, 0);
+
+        for round in 0..rounds {
+            // flip a random subset of inputs (possibly none)
+            let mut dirty = 0u64;
+            for (i, chunk) in chunks.iter_mut().enumerate() {
+                if rng.random_range(0..2u32) == 1 {
+                    *chunk = random_chunk(&mut rng);
+                    dirty |= 1 << i;
+                }
+            }
+            let stats = compiled
+                .eval_bound_into(&bound, &chunks, LANE_WORDS, dirty, &mut st, &mut outs)
+                .unwrap();
+            prop_assert!(stats.kernel);
+            prop_assert_eq!(stats.ops_total, full.ops_total);
+            if dirty == 0 {
+                prop_assert_eq!(
+                    stats.ops_skipped, stats.ops_total,
+                    "an unchanged sweep skips the whole op program"
+                );
+            }
+            let incremental = outs.clone();
+
+            // oracle 1: a cold full kernel sweep on a fresh state
+            let mut st_cold = compiled.new_state();
+            let cold = compiled
+                .eval_bound_into(&bound, &chunks, LANE_WORDS, DIRTY_ALL, &mut st_cold, &mut outs)
+                .unwrap();
+            prop_assert_eq!(cold.ops_skipped, 0);
+            prop_assert_eq!(&incremental, &outs, "round {}: partial vs cold", round);
+
+            // oracle 2: the branchy reference interpreter
+            let named: Vec<(&str, LaneChunk)> = bound
+                .inputs()
+                .iter()
+                .zip(&chunks)
+                .map(|((_, n, _), c)| (n.as_ref(), *c))
+                .collect();
+            let mut st_ref = compiled.new_state();
+            let reference = compiled
+                .eval_chunks_into_reference(0, &named, LANE_WORDS, &mut st_ref)
+                .unwrap();
+            for ((_, name, _), chunk) in bound.outputs().iter().zip(&incremental) {
+                let r = reference.iter().find(|(n, _)| n == name.as_ref()).unwrap();
+                prop_assert_eq!(
+                    &r.1, chunk,
+                    "round {}: output '{}' vs interpreter", round, name
                 );
             }
         }

@@ -217,6 +217,14 @@ impl BatchQueue {
         (!slot.batch.is_empty()).then_some(&slot.batch)
     }
 
+    /// Borrows a slot's lane batch whether or not it holds work — the
+    /// union names (canonical prefix included) are live even on an empty
+    /// batch, which is what admission-time index resolution needs.
+    #[must_use]
+    pub fn batch(&self, ctx: usize) -> &LaneBatch {
+        &self.slots[ctx].batch
+    }
+
     /// A slot's per-lane `(request, tenant)` tickets, lane order — what a
     /// checkpoint records as its pending-request audit trail.
     #[must_use]

@@ -45,7 +45,8 @@ use mcfpga_cost::attribution::TenantUsage;
 use mcfpga_css::optimize::{CostMatrix, OptimizeMode};
 use mcfpga_css::Schedule;
 use mcfpga_fabric::compiled::{
-    chunk_bit, CompiledState, LaneBatch, LaneChunk, PushRefusal, LANE_WORDS,
+    chunk_bit, BoundPlan, CompiledState, EvalStats, LaneBatch, LaneChunk, PushRefusal, DIRTY_ALL,
+    LANE_WORDS,
 };
 use mcfpga_fabric::context::ContextSequencer;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, RegisterFile};
@@ -56,9 +57,10 @@ use std::sync::Arc;
 /// Prefix of signal names that are *stream registers*: outputs so named
 /// are captured into the tenant's [`RegisterFile`] after each pass and
 /// re-driven as inputs on its next pass (lane-aligned), instead of being
-/// returned in responses. The same convention `fabric::temporal` uses for
-/// values crossing context-switch boundaries.
-pub(crate) const REG_PREFIX: &str = "reg:";
+/// returned in responses. Re-exported from the fabric crate, which owns
+/// the convention (`fabric::temporal` uses it for values crossing
+/// context-switch boundaries).
+pub(crate) use mcfpga_fabric::compiled::REG_PREFIX;
 
 /// Per-tenant state an engine keeps for each tenant placed on it: the
 /// usage counters billing reads and the stream-register file carried
@@ -84,11 +86,12 @@ pub(crate) struct TenantHandoff {
 
 /// One per-context sweep task, planned sequentially and evaluated (maybe
 /// concurrently, maybe stolen onto a different worker) by [`eval_step`].
-/// Owns everything its evaluation needs — plane `Arc`, input chunks,
-/// occupied word count — so the worker borrows nothing from the engine:
-/// the engine's queue still holds the slot's batch, which is consumed
-/// only at apply time on success, and the `(shard, pos)` pair is the
-/// deterministic merge key the coordinator orders applies by.
+/// Owns everything its evaluation needs — plane `Arc`, prebound plan,
+/// dense input chunks, occupied word count — so the worker borrows
+/// nothing from the engine: the engine's queue still holds the slot's
+/// batch, which is consumed only at apply time on success, and the
+/// `(shard, pos)` pair is the deterministic merge key the coordinator
+/// orders applies by.
 #[derive(Debug, Clone)]
 pub(crate) struct PlannedStep {
     /// Shard of the slot (first half of the merge key, and the pool
@@ -106,37 +109,135 @@ pub(crate) struct PlannedStep {
     pub words: usize,
     /// The slot's compiled plane (shared, immutable).
     pub plane: Arc<CompiledFabric>,
-    /// Union input chunks: the queued requests' lane words plus the
-    /// tenant's `reg:*` stream state, captured at plan time.
-    pub lane_inputs: Vec<(String, LaneChunk)>,
+    /// The slot's prebound IO plan (shared, immutable). `None` only when
+    /// binding failed at install time — evaluation then reproduces the
+    /// plane-access error.
+    pub bound: Option<Arc<BoundPlan>>,
+    /// Dense input chunks, parallel to the bound plan's inputs: queued
+    /// request lanes plus the tenant's `reg:*` stream state, captured at
+    /// plan time.
+    pub chunks: Vec<LaneChunk>,
+    /// Dirty mask over the bound inputs vs the slot's previous sweep
+    /// ([`DIRTY_ALL`] when no valid cached sweep exists).
+    pub dirty: u64,
+    /// A bound non-register input the batch union lacked (possible only
+    /// on a slot installed without seeding): evaluation must fail with
+    /// the interpreter's exact undriven-input error.
+    pub missing: Option<Arc<str>>,
+    /// The slot's persistent evaluation state (kernel slots only): moved
+    /// out of the slot cache at plan time, returned to it at apply time —
+    /// the arena the dirty-cone path reuses values from.
+    pub state: Option<CompiledState>,
+}
+
+/// What one evaluated step hands to the apply phase.
+#[derive(Debug)]
+pub(crate) struct EvalOutcome {
+    /// Output chunks, parallel to the bound plan's outputs.
+    pub outs: Vec<LaneChunk>,
+    /// Deterministic op accounting for the pass.
+    pub stats: EvalStats,
 }
 
 thread_local! {
-    /// Per-thread evaluation scratch, reused across steps: pool workers
-    /// and the coordinator thread each keep one, so steady-state sweeps
-    /// re-allocate no arenas. `eval_chunks_into` rebuilds it when a
+    /// Per-thread evaluation scratch for steps without a persistent slot
+    /// state (non-kernel planes), reused across steps: pool workers and
+    /// the coordinator thread each keep one, so steady-state sweeps
+    /// re-allocate no arenas. `eval_bound_into` rebuilds it when a
     /// plane's resource layout differs from the scratch's.
     static EVAL_SCRATCH: RefCell<Option<CompiledState>> = const { RefCell::new(None) };
 }
 
 /// Evaluates one planned step — the **pure** phase of a sweep, safe on
 /// any thread: reads only the step's own data (and a thread-local
-/// scratch), mutates no engine state. An `Err` here is the *pass*
-/// failing; [`ShardEngine::apply_step`] turns it into a
-/// [`SlotFault`] with the requests left queued.
-pub(crate) fn eval_step(step: &PlannedStep) -> Result<Vec<(String, LaneChunk)>, ServiceError> {
-    let inputs: Vec<(&str, LaneChunk)> = step
-        .lane_inputs
-        .iter()
-        .map(|(n, v)| (n.as_str(), *v))
-        .collect();
-    EVAL_SCRATCH.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        let scratch = slot.get_or_insert_with(|| step.plane.new_state());
-        step.plane
-            .eval_chunks_into(step.ctx, &inputs, step.words, scratch)
-            .map_err(ServiceError::from)
-    })
+/// scratch), mutates no engine state beyond the step's own carried
+/// arena. An `Err` here is the *pass* failing;
+/// [`ShardEngine::apply_step`] turns it into a [`SlotFault`] with the
+/// requests left queued.
+pub(crate) fn eval_step(step: &mut PlannedStep) -> Result<EvalOutcome, ServiceError> {
+    let Some(bound) = step.bound.clone() else {
+        // binding failed at install: reproduce the plane-access error the
+        // name-keyed path would have raised
+        return match step.plane.plane(step.ctx) {
+            Err(e) => Err(e.into()),
+            Ok(_) => Err(ServiceError::SlotNotProgrammed {
+                shard: step.shard,
+                ctx: step.ctx,
+            }),
+        };
+    };
+    if let Some(name) = &step.missing {
+        return Err(
+            mcfpga_fabric::FabricError::Unresolved(format!("input '{name}' not driven")).into(),
+        );
+    }
+    let mut outs = Vec::with_capacity(bound.outputs().len());
+    let stats = if let Some(state) = step.state.as_mut() {
+        step.plane.eval_bound_into(
+            &bound,
+            &step.chunks,
+            step.words,
+            step.dirty,
+            state,
+            &mut outs,
+        )?
+    } else if step.plane.has_kernel(bound.ctx()) {
+        // first sweep of a kernel slot: allocate the arena that will
+        // persist in the slot cache from here on
+        let mut st = step.plane.new_state();
+        let stats = step.plane.eval_bound_into(
+            &bound,
+            &step.chunks,
+            step.words,
+            DIRTY_ALL,
+            &mut st,
+            &mut outs,
+        )?;
+        step.state = Some(st);
+        stats
+    } else {
+        EVAL_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let scratch = slot.get_or_insert_with(|| step.plane.new_state());
+            step.plane.eval_bound_into(
+                &bound,
+                &step.chunks,
+                step.words,
+                DIRTY_ALL,
+                scratch,
+                &mut outs,
+            )
+        })?
+    };
+    Ok(EvalOutcome { outs, stats })
+}
+
+/// Admission-time binding state of one context slot, kept parallel to
+/// the engine's plane pointers and rebuilt whenever a plane is installed
+/// — the "resolve names once" half of the v2 pipeline.
+#[derive(Debug, Clone, Default)]
+struct BoundSlot {
+    /// The installed plane's prebound IO plan.
+    plan: Option<Arc<BoundPlan>>,
+    /// The completed previous sweep (kernel slots only), fueling the
+    /// dirty-cone incremental path.
+    cache: Option<SlotCache>,
+    /// Batch-union index of each bound input, in bind order
+    /// (`u32::MAX` = not in the canonical prefix, i.e. a `reg:*` input
+    /// fed from the tenant's [`RegisterFile`]); rebuilt by
+    /// [`ShardEngine::seed_slot`].
+    batch_idx: Vec<u32>,
+}
+
+/// A kernel slot's completed sweep: the dense input chunks it consumed
+/// and the evaluation arena it filled, reused by the next sweep to skip
+/// ops outside the dirty cone.
+#[derive(Debug, Clone)]
+struct SlotCache {
+    tenant: TenantId,
+    words: usize,
+    inputs: Vec<LaneChunk>,
+    state: CompiledState,
 }
 
 /// One independent fabric shard's execution engine. See the
@@ -148,6 +249,9 @@ pub struct ShardEngine {
     fabric: Fabric,
     /// Per-context compiled plane (Arc-shared through the digest cache).
     planes: Vec<Option<Arc<CompiledFabric>>>,
+    /// Per-context prebound plan + dirty-cone sweep cache, parallel to
+    /// `planes`.
+    bound: Vec<BoundSlot>,
     seq: ContextSequencer,
     /// This shard's partition of the service's pending work.
     queue: BatchQueue,
@@ -167,6 +271,7 @@ impl ShardEngine {
             shard,
             fabric: Fabric::new(params)?,
             planes: vec![None; params.contexts],
+            bound: vec![BoundSlot::default(); params.contexts],
             seq: ContextSequencer::new(params.arch, params.contexts)?,
             queue: BatchQueue::with_width(params.contexts, lane_width)?,
             tenants: HashMap::new(),
@@ -191,6 +296,8 @@ impl ShardEngine {
         );
         self.queue = BatchQueue::with_width(self.planes.len(), width)?;
         for ctx in 0..self.planes.len() {
+            // a cached sweep at the old width cannot seed the new one
+            self.bound[ctx].cache = None;
             if self.planes[ctx].is_some() {
                 self.seed_slot(ctx)?;
             }
@@ -215,8 +322,15 @@ impl ShardEngine {
     }
 
     /// Installs (or replaces) the compiled plane of context `ctx` — an
-    /// `Arc` clone of a cache entry, never a deep copy.
+    /// `Arc` clone of a cache entry, never a deep copy. Binding runs
+    /// once, here; the slot's dirty-cone cache is discarded (it described
+    /// sweeps of the previous plane).
     pub(crate) fn install_plane(&mut self, ctx: usize, plane: Arc<CompiledFabric>) {
+        self.bound[ctx] = BoundSlot {
+            plan: plane.bind(ctx).ok().map(Arc::new),
+            cache: None,
+            batch_idx: Vec::new(),
+        };
         self.planes[ctx] = Some(plane);
     }
 
@@ -291,6 +405,26 @@ impl ShardEngine {
                 .map(|(_, n)| n.as_str())
                 .filter(|n| !n.starts_with(REG_PREFIX)),
         );
+        // re-resolve each bound input's union index once — sweeps then
+        // read request chunks by index, with no per-pass name scans.
+        // Non-register names are all in the canonical prefix just seeded;
+        // register inputs are fed from the RegisterFile (or a live
+        // explicit drive, resolved at plan time) and get the sentinel.
+        let slot = &mut self.bound[ctx];
+        slot.batch_idx.clear();
+        if let Some(plan) = &slot.plan {
+            for (_, name, is_reg) in plan.inputs() {
+                let idx = if *is_reg {
+                    u32::MAX
+                } else {
+                    self.queue
+                        .batch(ctx)
+                        .name_index(name)
+                        .map_or(u32::MAX, |i| i as u32)
+                };
+                slot.batch_idx.push(idx);
+            }
+        }
         Ok(())
     }
 
@@ -386,6 +520,7 @@ impl ShardEngine {
             .remove(&tenant)
             .ok_or(ServiceError::UnknownTenant(tenant.index()))?;
         self.planes[ctx] = None;
+        self.bound[ctx] = BoundSlot::default();
         if resident {
             self.fabric.clear_context(ctx)?;
         }
@@ -407,7 +542,7 @@ impl ShardEngine {
         plane: Arc<CompiledFabric>,
         handoff: TenantHandoff,
     ) -> Result<(), ServiceError> {
-        self.planes[ctx] = Some(plane);
+        self.install_plane(ctx, plane);
         self.tenants.insert(tenant, handoff.state);
         self.seed_slot(ctx)?;
         if let Some(batch) = handoff.batch {
@@ -495,32 +630,91 @@ impl ShardEngine {
                 .iter()
                 .find(|(c, _)| *c == ctx)
                 .map_or(toggles, |(_, cost)| *cost);
-            let usage = &mut self
+            let tenant_state = self
                 .tenants
                 .get_mut(&tenant)
+                .ok_or(ServiceError::UnknownTenant(tenant.index()))?;
+            tenant_state.usage.css_toggles += toggles;
+            tenant_state.usage.css_toggles_baseline += toggles_baseline;
+            let tenant_regs = &self
+                .tenants
+                .get(&tenant)
                 .ok_or(ServiceError::UnknownTenant(tenant.index()))?
-                .usage;
-            usage.css_toggles += toggles;
-            usage.css_toggles_baseline += toggles_baseline;
-            // stream registers: every bound `reg:*` input reads the
-            // tenant's chunk from its previous pass (0 before the first) —
-            // lane-aligned, so lane `l` of pass `p+1` consumes the state
-            // lane `l` of pass `p` produced. A request that drove the name
-            // explicitly wins (the batch entry resolves first), which is
-            // how a caller seeds stream state by hand.
-            let binds = plane.plane(ctx)?.input_binds();
-            let tenant_regs = &self.tenant_state(tenant)?.regs;
-            let mut lane_inputs: Vec<(String, LaneChunk)> = batch
-                .lane_inputs()
-                .into_iter()
-                .map(|(n, v)| (n.to_string(), v))
-                .collect();
-            for (_, name) in binds {
-                if name.starts_with(REG_PREFIX) && !lane_inputs.iter().any(|(n, _)| n == name) {
-                    lane_inputs.push((
-                        name.clone(),
-                        tenant_regs.get_chunk(name).unwrap_or([0u64; LANE_WORDS]),
-                    ));
+                .regs;
+            let words = batch.words();
+            let slot = &mut self.bound[ctx];
+            let bound = slot.plan.clone();
+            let mut chunks: Vec<LaneChunk> = Vec::new();
+            let mut missing: Option<Arc<str>> = None;
+            if let Some(bound) = &bound {
+                chunks.reserve_exact(bound.inputs().len());
+                // indices were resolved at seed time; a slot installed
+                // without seeding (fault injection) resolves live
+                let idx_valid = slot.batch_idx.len() == bound.inputs().len();
+                for (i, (_, name, is_reg)) in bound.inputs().iter().enumerate() {
+                    let chunk = if *is_reg {
+                        // stream registers: every bound `reg:*` input reads
+                        // the tenant's chunk from its previous pass (0
+                        // before the first) — lane-aligned, so lane `l` of
+                        // pass `p+1` consumes the state lane `l` of pass
+                        // `p` produced. A request that drove the name
+                        // explicitly wins (the batch entry resolves first),
+                        // which is how a caller seeds stream state by hand.
+                        match batch.name_index(name) {
+                            Some(j) => batch.input_chunk(j),
+                            None => tenant_regs.get_chunk(name).unwrap_or([0u64; LANE_WORDS]),
+                        }
+                    } else {
+                        let j = if idx_valid {
+                            Some(slot.batch_idx[i] as usize).filter(|&j| j != u32::MAX as usize)
+                        } else {
+                            batch.name_index(name)
+                        };
+                        match j {
+                            Some(j) => {
+                                debug_assert_eq!(
+                                    batch.input_name(j),
+                                    Some(name.as_ref()),
+                                    "stale bound-input index for slot {ctx}"
+                                );
+                                batch.input_chunk(j)
+                            }
+                            None => {
+                                // the union lacks a bound non-register
+                                // input — the pass must fail exactly as the
+                                // interpreter's seed scan would
+                                if missing.is_none() {
+                                    missing = Some(Arc::clone(name));
+                                }
+                                [0u64; LANE_WORDS]
+                            }
+                        }
+                    };
+                    chunks.push(chunk);
+                }
+            }
+            // dirty-cone basis: reuse the slot's cached sweep only when it
+            // demonstrably describes the same tenant, word count and input
+            // arity (the kernel path then skips ops whose cone is clean)
+            let kernel_ok =
+                missing.is_none() && bound.is_some() && chunks.len() <= 64 && plane.has_kernel(ctx);
+            let mut dirty = DIRTY_ALL;
+            let mut state = None;
+            if kernel_ok {
+                if let Some(cache) = slot.cache.take() {
+                    if cache.tenant == tenant
+                        && cache.words == words
+                        && cache.inputs.len() == chunks.len()
+                    {
+                        let mut mask = 0u64;
+                        for (i, (new, old)) in chunks.iter().zip(&cache.inputs).enumerate() {
+                            if new != old {
+                                mask |= 1 << i;
+                            }
+                        }
+                        dirty = mask;
+                    }
+                    state = Some(cache.state);
                 }
             }
             steps.push(PlannedStep {
@@ -528,9 +722,13 @@ impl ShardEngine {
                 pos,
                 ctx,
                 tenant,
-                words: batch.words(),
+                words,
                 plane,
-                lane_inputs,
+                bound,
+                chunks,
+                dirty,
+                missing,
+                state,
             });
             pos += 1;
         }
@@ -542,21 +740,26 @@ impl ShardEngine {
     /// requests stay queued and a [`SlotFault`] is recorded (the switch
     /// into the context was already charged at plan time). On success the
     /// slot's batch is consumed: `reg:*` output chunks are harvested into
-    /// the tenant's register file (state, not answers) and the visible
-    /// outputs demux into per-lane responses. An `Err` from *this*
+    /// the tenant's register file (state, not answers), the visible
+    /// outputs demux into per-lane responses (sharing the bound plan's
+    /// interned names — no string allocation anywhere in the pass), and a
+    /// kernel slot's inputs + arena return to the slot cache to fuel the
+    /// next sweep's dirty-cone skip. Returns the pass's [`EvalStats`]
+    /// (`None` for a faulted pass) so the coordinator can bump the
+    /// deterministic op counters in apply order. An `Err` from *this*
     /// function is structural (the planned tenant vanished mid-drain) and
     /// practically unreachable — the coordinator sequences every mutation
     /// between plan and apply.
     pub(crate) fn apply_step(
         &mut self,
-        step: &PlannedStep,
-        outs: Result<Vec<(String, LaneChunk)>, ServiceError>,
+        step: &mut PlannedStep,
+        outcome: Result<EvalOutcome, ServiceError>,
         responses: &mut Vec<Response>,
         faults: &mut Vec<SlotFault>,
-    ) -> Result<(), ServiceError> {
+    ) -> Result<Option<EvalStats>, ServiceError> {
         debug_assert_eq!(step.shard, self.shard, "step applied to the wrong engine");
-        let outs = match outs {
-            Ok(outs) => outs,
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
             Err(error) => {
                 faults.push(SlotFault {
                     tenant: step.tenant,
@@ -564,9 +767,15 @@ impl ShardEngine {
                     ctx: step.ctx,
                     error,
                 });
-                return Ok(());
+                // a faulted pass leaves no completed sweep to reuse
+                self.bound[step.ctx].cache = None;
+                return Ok(None);
             }
         };
+        let bound = step
+            .bound
+            .as_ref()
+            .expect("a successful pass evaluated through its bound plan");
         let state = self
             .tenants
             .get_mut(&step.tenant)
@@ -576,14 +785,14 @@ impl ShardEngine {
             .take(step.ctx)
             .expect("planned slot was non-empty and its pass succeeded");
         state.usage.passes += 1;
-        // One Arc per visible name, shared by all the pass's responses —
-        // demuxing a full batch allocates no strings
-        let mut visible: Vec<(Arc<str>, LaneChunk)> = Vec::with_capacity(outs.len());
-        for (name, chunk) in &outs {
-            if name.starts_with(REG_PREFIX) {
+        // One Arc clone per visible name, shared by all the pass's
+        // responses — demuxing a full batch allocates no strings
+        let mut visible: Vec<(Arc<str>, LaneChunk)> = Vec::with_capacity(outcome.outs.len());
+        for ((_, name, is_reg), chunk) in bound.outputs().iter().zip(&outcome.outs) {
+            if *is_reg {
                 state.regs.set_chunk(name, *chunk);
             } else {
-                visible.push((Arc::from(name.as_str()), *chunk));
+                visible.push((Arc::clone(name), *chunk));
             }
         }
         for (lane, (request, owner)) in taken.tickets.iter().enumerate() {
@@ -599,7 +808,17 @@ impl ShardEngine {
         // hand the emptied buffers back to the slot (cleared, capacity
         // kept) so steady-state flushes re-allocate nothing
         self.queue.recycle(step.ctx, taken);
-        Ok(())
+        if outcome.stats.kernel {
+            if let Some(arena) = step.state.take() {
+                self.bound[step.ctx].cache = Some(SlotCache {
+                    tenant: step.tenant,
+                    words: step.words,
+                    inputs: std::mem::take(&mut step.chunks),
+                    state: arena,
+                });
+            }
+        }
+        Ok(Some(outcome.stats))
     }
 }
 

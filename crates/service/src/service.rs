@@ -28,7 +28,7 @@
 //! [`set_lane_width`]: ShardedService::set_lane_width
 
 use crate::batch::{RequestId, RequestIdSource, Response};
-use crate::engine::{eval_step, PlannedStep, ShardEngine, TenantState};
+use crate::engine::{eval_step, EvalOutcome, PlannedStep, ShardEngine, TenantState};
 use crate::executor::{ExecutorConfig, ParallelExecutor};
 use crate::placement::{best_slot, choose_energy_aware, netlist_fingerprint, PlacementPolicy};
 use crate::registry::{Placement, PlaneCache, TenantId, TenantRegistry};
@@ -36,7 +36,7 @@ use crate::ServiceError;
 use mcfpga_cost::attribution::{bill, render_billing, TenantBill, TenantUsage};
 use mcfpga_css::optimize::{sweep_cost, CostMatrix, OptimizeMode};
 use mcfpga_device::TechParams;
-use mcfpga_fabric::compiled::{LaneBatch, LaneChunk, MAX_LANES};
+use mcfpga_fabric::compiled::{LaneBatch, MAX_LANES};
 use mcfpga_fabric::route::implement_netlist_robust;
 use mcfpga_fabric::{CompiledFabric, Fabric, FabricParams, LogicNetlist, RegisterFile, TileCoord};
 use mcfpga_migrate::{MigrateError, PendingBatch, TenantCheckpoint};
@@ -95,6 +95,15 @@ struct ServiceMetrics {
     migrations: Counter,
     /// CSS broadcast toggles charged at plan time.
     css_toggles: Counter,
+    /// Compiled ops in every applied pass's program (kernel or
+    /// interpreter) — the denominator of the dirty-cone skip rate.
+    fabric_ops_total: Counter,
+    /// Ops skipped by dirty-cone incremental sweeps (clean input cone,
+    /// cached chunks reused) — observationally equivalent to running.
+    fabric_ops_skipped: Counter,
+    /// Applied passes evaluated by the straight-line kernel (vs the
+    /// reference interpreter).
+    fabric_kernel_evals: Counter,
     /// Requests parked in lane batches right now.
     queue_depth: Gauge,
     /// Admitted, non-retired tenants.
@@ -123,6 +132,9 @@ impl ServiceMetrics {
             requests_discarded: r.counter("service_requests_discarded", det),
             migrations: r.counter("service_migrations", det),
             css_toggles: r.counter("service_css_toggles", det),
+            fabric_ops_total: r.counter("fabric_ops_total", det),
+            fabric_ops_skipped: r.counter("fabric_ops_skipped", det),
+            fabric_kernel_evals: r.counter("fabric_kernel_evals", det),
             queue_depth: r.gauge(QUEUE_DEPTH_METRIC, det),
             active_tenants: r.gauge(ACTIVE_TENANTS_METRIC, det),
             batch_lanes: r.histogram("service_batch_lanes", det),
@@ -616,23 +628,23 @@ impl ShardedService {
         if steps.is_empty() {
             return;
         }
-        type Evaluated = (PlannedStep, Result<Vec<(String, LaneChunk)>, ServiceError>);
+        type Evaluated = (PlannedStep, Result<EvalOutcome, ServiceError>);
         let eval_start = Instant::now();
         let results: Vec<Evaluated> = if self.executor.threads() > 1 && steps.len() > 1 {
             let tasks: Vec<(usize, PlannedStep)> =
                 steps.into_iter().map(|s| (s.shard, s)).collect();
             self.executor.run_owned(
                 tasks,
-                Arc::new(|step: PlannedStep| {
-                    let outs = eval_step(&step);
+                Arc::new(|mut step: PlannedStep| {
+                    let outs = eval_step(&mut step);
                     (step, outs)
                 }),
             )
         } else {
             steps
                 .into_iter()
-                .map(|step| {
-                    let outs = eval_step(&step);
+                .map(|mut step| {
+                    let outs = eval_step(&mut step);
                     (step, outs)
                 })
                 .collect()
@@ -642,7 +654,7 @@ impl ShardedService {
             .observe(eval_start.elapsed().as_micros() as u64);
         let apply_start = Instant::now();
         let mut prev_key = None;
-        for (step, outs) in results {
+        for (mut step, outs) in results {
             let key = (step.shard, step.pos);
             debug_assert!(
                 prev_key < Some(key),
@@ -650,7 +662,7 @@ impl ShardedService {
                  {prev_key:?} then {key:?}"
             );
             prev_key = Some(key);
-            self.apply_step_traced(&step, outs, errors);
+            self.apply_step_traced(&mut step, outs, errors);
         }
         self.metrics
             .apply_us
@@ -666,30 +678,45 @@ impl ShardedService {
     /// shard, never overwriting an earlier (plan-phase) error.
     fn apply_step_traced(
         &mut self,
-        step: &PlannedStep,
-        outs: Result<Vec<(String, LaneChunk)>, ServiceError>,
+        step: &mut PlannedStep,
+        outcome: Result<EvalOutcome, ServiceError>,
         errors: &mut [Option<ServiceError>],
     ) {
         let shard = step.shard;
         let ready_before = self.ready.len();
         let faults_before = self.faults.len();
-        let result = self.engines[shard].apply_step(step, outs, &mut self.ready, &mut self.faults);
+        let result =
+            self.engines[shard].apply_step(step, outcome, &mut self.ready, &mut self.faults);
         self.metrics.steps_applied.add_to(shard, 1);
+        let result = match result {
+            Ok(Some(stats)) => {
+                self.metrics.fabric_ops_total.add(stats.ops_total);
+                self.metrics.fabric_ops_skipped.add(stats.ops_skipped);
+                if stats.kernel {
+                    self.metrics.fabric_kernel_evals.inc();
+                }
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(e),
+        };
         let served = self.ready.len() - ready_before;
         if served > 0 {
             self.metrics.responses_total.add_to(shard, served as u64);
             self.metrics.batch_lanes.observe(served as u64);
         }
-        for resp in &self.ready[ready_before..] {
-            let key = resp.request.value();
-            // the whole drain shares one virtual-clock stamp; the span
-            // ranks keep the phases ordered within the cycle
-            self.telemetry.span(SpanKind::Planned, key, shard as i64);
-            self.telemetry
-                .span(SpanKind::Evaluated, key, step.ctx as i64);
-            self.telemetry.span(SpanKind::Applied, key, step.pos as i64);
-            self.telemetry
-                .span(SpanKind::Demuxed, key, resp.outputs.len() as i64);
+        if self.telemetry.trace_buffer().is_enabled() {
+            for resp in &self.ready[ready_before..] {
+                let key = resp.request.value();
+                // the whole drain shares one virtual-clock stamp; the span
+                // ranks keep the phases ordered within the cycle
+                self.telemetry.span(SpanKind::Planned, key, shard as i64);
+                self.telemetry
+                    .span(SpanKind::Evaluated, key, step.ctx as i64);
+                self.telemetry.span(SpanKind::Applied, key, step.pos as i64);
+                self.telemetry
+                    .span(SpanKind::Demuxed, key, resp.outputs.len() as i64);
+            }
         }
         let faulted = self.faults.len() - faults_before;
         if faulted > 0 {
@@ -741,9 +768,9 @@ impl ShardedService {
         self.metrics
             .css_toggles
             .add(self.total_css_toggles().saturating_sub(toggles_before));
-        for step in steps {
-            let outs = eval_step(&step);
-            self.apply_step_traced(&step, outs, &mut errors);
+        for mut step in steps {
+            let outs = eval_step(&mut step);
+            self.apply_step_traced(&mut step, outs, &mut errors);
         }
         errors.into_iter().flatten().next().map_or(Ok(()), Err)
     }

@@ -467,6 +467,62 @@ fn a_256_request_burst_is_one_pass_and_matches_four_narrow_passes() {
     );
 }
 
+/// Dirty-cone incremental sweeps: resubmitting identical vectors to a
+/// kernel-eligible plane skips the whole cone (the cached per-slot state
+/// already holds the answer) while a changed vector re-runs it — and the
+/// responses are identical either way. The skip shows up in the
+/// deterministic `fabric_ops_skipped` counter.
+#[test]
+fn identical_resubmission_skips_the_dirty_cone() {
+    let mut svc = service(1);
+    let nl = generators::parity_tree(4).unwrap();
+    let t = svc.admit("parity", &nl).unwrap();
+    let inputs = [("x0", true), ("x1", false), ("x2", true), ("x3", false)];
+    let registry = svc.telemetry().registry().clone();
+    let counter = move |name: &str| registry.counter_value(name).unwrap_or(0);
+
+    svc.submit(t, &inputs).unwrap();
+    let first = svc.drain().unwrap();
+    assert_eq!(counter("fabric_ops_skipped"), 0, "first sweep runs cold");
+    let total_after_first = counter("fabric_ops_total");
+    assert!(total_after_first > 0, "kernel sweep reports its op count");
+    assert_eq!(counter("fabric_kernel_evals"), 1);
+
+    // same vector again: the plan-phase diff finds zero dirty lanes and
+    // the whole op program is skipped
+    svc.submit(t, &inputs).unwrap();
+    let second = svc.drain().unwrap();
+    let skipped = counter("fabric_ops_skipped");
+    assert_eq!(
+        skipped, total_after_first,
+        "an unchanged sweep skips every op"
+    );
+    assert_eq!(
+        counter("fabric_ops_total"),
+        2 * total_after_first,
+        "ops_total counts planned ops whether or not they ran"
+    );
+    assert_eq!(first[0].outputs, second[0].outputs, "skip is invisible");
+
+    // flip one input: ops in x0's cone re-run, ops outside it (the
+    // routing and LUTs fed only by x1..x3) stay skipped, and the answer
+    // flips with the input
+    svc.submit(
+        t,
+        &[("x0", false), ("x1", false), ("x2", true), ("x3", false)],
+    )
+    .unwrap();
+    let third = svc.drain().unwrap();
+    let skipped_partial = counter("fabric_ops_skipped") - skipped;
+    assert!(
+        skipped_partial > 0 && skipped_partial < total_after_first,
+        "a one-input change skips some ops but re-runs x0's cone \
+         ({skipped_partial} of {total_after_first} skipped)"
+    );
+    assert_ne!(first[0].outputs[0].1, third[0].outputs[0].1);
+    assert_eq!(counter("fabric_kernel_evals"), 3);
+}
+
 #[test]
 fn lane_width_rejects_bad_values_and_pending_work() {
     let mut svc = service(1);

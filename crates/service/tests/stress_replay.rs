@@ -409,6 +409,23 @@ fn parallel_replay_is_bitwise_identical_at_threads_1_to_16_lanes_64_and_256() {
     );
     assert!(!baseline.faults.is_empty(), "replay never faulted");
     assert!(baseline.migrations > 10, "replay barely migrated");
+    // the hot-path eval counters are deterministic-class: they must be
+    // stamped into the replay's metric snapshot (and therefore gated
+    // bit-for-bit across every width below)
+    for counter in [
+        "fabric_ops_total",
+        "fabric_ops_skipped",
+        "fabric_kernel_evals",
+    ] {
+        assert!(
+            baseline.metrics.contains(counter),
+            "deterministic snapshot missing {counter}"
+        );
+    }
+    assert!(
+        !baseline.metrics.contains("\"fabric_ops_total\": 0"),
+        "chaos replay swept planes without counting fabric ops"
+    );
     for (threads, lanes) in [
         (1usize, 256usize),
         (2, 64),

@@ -10,6 +10,7 @@
 //! `trace_dropped` metric; it never panics and never blocks recording.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::metrics::Counter;
@@ -154,30 +155,65 @@ struct Inner {
 /// full ring evicts the oldest span and bumps both the internal drop
 /// tally and the `trace_dropped` metric counter; it never panics and
 /// never blocks.
+///
+/// A buffer with capacity 0 is **disabled**: [`record`](Self::record)
+/// returns before taking the lock, nothing is retained, and nothing is
+/// counted as dropped. Hot paths should consult
+/// [`is_enabled`](Self::is_enabled) before even *formatting* span
+/// details, so a disabled buffer costs one relaxed atomic load per
+/// would-be span.
 #[derive(Debug, Clone)]
 pub struct TraceBuffer {
     inner: Arc<Mutex<Inner>>,
+    enabled: Arc<AtomicBool>,
     dropped_metric: Counter,
 }
 
 impl TraceBuffer {
     /// Create a buffer holding at most `capacity` spans, reporting
-    /// drops through `dropped_metric`.
+    /// drops through `dropped_metric`. Capacity 0 disables tracing.
     pub fn new(capacity: usize, dropped_metric: Counter) -> Self {
         TraceBuffer {
             inner: Arc::new(Mutex::new(Inner {
-                ring: VecDeque::with_capacity(capacity.max(1)),
+                ring: VecDeque::with_capacity(capacity),
                 seq: 0,
                 dropped: 0,
-                capacity: capacity.max(1),
+                capacity,
             })),
+            enabled: Arc::new(AtomicBool::new(capacity > 0)),
             dropped_metric,
         }
     }
 
-    /// Record one span event.
-    pub fn record(&self, key: u64, kind: SpanKind, cycle: u64, node: u32, detail: i64) {
+    /// Whether recording is live (capacity > 0). One relaxed atomic
+    /// load — cheap enough to gate span *construction* in hot loops.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Resize the ring in place, shared by every clone of this handle.
+    /// Shrinking evicts the oldest spans *without* counting them as
+    /// dropped (resizing is an operator action, not overflow); capacity
+    /// 0 disables recording entirely.
+    pub fn set_capacity(&self, capacity: usize) {
         let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        inner.capacity = capacity;
+        while inner.ring.len() > capacity {
+            inner.ring.pop_front();
+        }
+        self.enabled.store(capacity > 0, Ordering::Relaxed);
+    }
+
+    /// Record one span event. A no-op (no lock, no drop tally) when the
+    /// buffer is disabled.
+    pub fn record(&self, key: u64, kind: SpanKind, cycle: u64, node: u32, detail: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
         if inner.ring.len() >= inner.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;
@@ -276,6 +312,45 @@ mod tests {
         // oldest six are gone, newest four retained in order
         let keys: Vec<u64> = buf.events().iter().map(|e| e.key).collect();
         assert_eq!(keys, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing_and_counts_no_drops() {
+        let (buf, registry) = buffer(0);
+        assert!(!buf.is_enabled());
+        for i in 0..1000 {
+            buf.record(i, SpanKind::Queued, i, 0, 0);
+        }
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.dropped(), 0);
+        assert_eq!(registry.counter_value("trace_dropped"), Some(0));
+    }
+
+    #[test]
+    fn set_capacity_resizes_shared_ring_without_counting_drops() {
+        let (buf, registry) = buffer(8);
+        let clone = buf.clone();
+        for i in 0..8 {
+            buf.record(i, SpanKind::Queued, i, 0, 0);
+        }
+        // shrink via the clone: oldest spans evicted, not "dropped"
+        clone.set_capacity(3);
+        assert_eq!(buf.capacity(), 3);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 0);
+        assert_eq!(registry.counter_value("trace_dropped"), Some(0));
+        let keys: Vec<u64> = buf.events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![5, 6, 7]);
+        // shrink to zero disables recording on every clone
+        clone.set_capacity(0);
+        assert!(!buf.is_enabled());
+        buf.record(99, SpanKind::Queued, 0, 0, 0);
+        assert_eq!(buf.len(), 0);
+        // re-enable and confirm recording resumes
+        buf.set_capacity(2);
+        assert!(clone.is_enabled());
+        clone.record(1, SpanKind::Queued, 0, 0, 0);
+        assert_eq!(buf.len(), 1);
     }
 
     #[test]
